@@ -1,0 +1,180 @@
+/// \file bench_ablations.cc
+/// Ablations for the design choices DESIGN.md calls out:
+///  1. Operator fusion on/off — the JIT analog; reproduces the §5.2.2
+///     RowScan-vs-plain-C++ microbenchmark shape and the interpreted
+///     penalty on a full join.
+///  2. Exchange key compression on/off (§4.1.2) — bytes moved + runtime.
+///  3. Software write-combining buffer size sweep in the RDMA exchange.
+///  4. S3 write-combining on/off (§4.4) — request count + runtime of a
+///     serverless exchange.
+
+#include <random>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/exec_context.h"
+#include "plans/distributed_groupby.h"
+#include "plans/distributed_join.h"
+#include "suboperators/agg_ops.h"
+#include "suboperators/scan_ops.h"
+#include "tpch/queries.h"
+
+namespace modularis {
+namespace {
+
+std::vector<RowVectorPtr> MakeFragments(int world, int64_t rows,
+                                        uint32_t seed) {
+  std::vector<int64_t> keys(rows);
+  for (int64_t i = 0; i < rows; ++i) keys[i] = i;
+  std::mt19937_64 rng(seed);
+  std::shuffle(keys.begin(), keys.end(), rng);
+  std::vector<RowVectorPtr> frags;
+  for (int r = 0; r < world; ++r) {
+    frags.push_back(RowVector::Make(KeyValueSchema()));
+  }
+  for (int64_t i = 0; i < rows; ++i) {
+    RowWriter w = frags[i % world]->AppendRow();
+    w.SetInt64(0, keys[i]);
+    w.SetInt64(1, keys[i] + 1);
+  }
+  return frags;
+}
+
+void RowScanMicrobench() {
+  std::printf("\n[1a] RowScan interpretation overhead (§5.2.2 microbench):\n");
+  const int64_t n = bench::ScaledRows(20'000'000);
+  RowVectorPtr data = RowVector::Make(Schema({Field::I64("v")}));
+  data->Reserve(n);
+  for (int64_t i = 0; i < n; ++i) data->AppendRow().SetInt64(0, i & 1023);
+
+  // Plain C++ loop.
+  bench::WallTimer raw_timer;
+  int64_t sum = 0;
+  {
+    const uint8_t* p = data->data();
+    for (int64_t i = 0; i < n; ++i, p += data->row_size()) {
+      int64_t v;
+      std::memcpy(&v, p, 8);
+      sum += v;
+    }
+  }
+  double raw = raw_timer.Seconds();
+
+  auto run_reduce = [&](bool fused) -> double {
+    ExecContext ctx;
+    ctx.options.enable_fusion = fused;
+    SubOpPtr src = std::make_unique<CollectionSource>(
+        std::vector<RowVectorPtr>{data});
+    if (!fused) src = std::make_unique<RowScan>(std::move(src));
+    Reduce reduce(std::move(src),
+                  {AggSpec{AggKind::kSum, ex::Col(0), "sum",
+                           AtomType::kInt64}},
+                  data->schema());
+    bench::WallTimer timer;
+    Tuple t;
+    if (!reduce.Open(&ctx).ok() || !reduce.Next(&t)) return -1;
+    double s = timer.Seconds();
+    if (t[0].row().GetInt64(0) != sum) std::fprintf(stderr, "sum mismatch\n");
+    return s;
+  };
+  double fused = run_reduce(true);
+  double interpreted = run_reduce(false);
+  std::printf("  sum of %lld i64s: plain C++ %.3fs | fused sub-operators "
+              "%.3fs | tuple-at-a-time %.3fs\n",
+              static_cast<long long>(n), raw, fused, interpreted);
+  std::printf("  (paper: RowScan ~1.0s vs plain C++ ~0.8s on 1B ints — "
+              "interpretation costs ~25%%; JIT/fusion recovers it)\n");
+}
+
+void FusionJoinAblation() {
+  std::printf("\n[1b] Full distributed join, fusion on/off:\n");
+  const int64_t rows = bench::ScaledRows(1'000'000);
+  auto inner = MakeFragments(4, rows, 1);
+  auto outer = MakeFragments(4, rows, 2);
+  for (bool fused : {true, false}) {
+    plans::DistJoinOptions opts;
+    opts.world_size = 4;
+    opts.exec.enable_fusion = fused;
+    StatsRegistry stats;
+    bench::WallTimer timer;
+    auto result = plans::RunDistributedJoin(inner, outer, opts, &stats);
+    std::printf("  fusion=%-5s  %8.3fs %s\n", fused ? "on" : "off",
+                timer.Seconds(), result.ok() ? "" : "(FAILED)");
+  }
+}
+
+void CompressionAblation() {
+  std::printf("\n[2] Exchange key compression (§4.1.2), 4 ranks:\n");
+  const int64_t rows = bench::ScaledRows(2'000'000);
+  auto frags = MakeFragments(4, rows, 3);
+  for (bool compress : {true, false}) {
+    plans::DistGroupByOptions opts;
+    opts.world_size = 4;
+    opts.compress = compress;
+    StatsRegistry stats;
+    bench::WallTimer timer;
+    auto result = plans::RunDistributedGroupBy(frags, opts, &stats);
+    std::printf("  compress=%-5s  %8.3fs  %8.1f MB on the wire %s\n",
+                compress ? "on" : "off", timer.Seconds(),
+                stats.GetCounter("net.bytes_sent") / 1e6,
+                result.ok() ? "" : "(FAILED)");
+  }
+  std::printf("  (paper: compression halves network traffic — 'crucial "
+              "for performance', §4.3)\n");
+}
+
+void BufferSweep() {
+  std::printf("\n[3] Write-combining buffer size sweep (RDMA exchange):\n");
+  const int64_t rows = bench::ScaledRows(2'000'000);
+  auto inner = MakeFragments(4, rows, 4);
+  auto outer = MakeFragments(4, rows, 5);
+  for (size_t kb : {1, 4, 16, 64, 256}) {
+    plans::DistJoinOptions opts;
+    opts.world_size = 4;
+    opts.exec.exchange_buffer_bytes = kb << 10;
+    StatsRegistry stats;
+    bench::WallTimer timer;
+    auto result = plans::RunDistributedJoin(inner, outer, opts, &stats);
+    std::printf("  buffer %4zu KiB  %8.3fs %s\n", kb, timer.Seconds(),
+                result.ok() ? "" : "(FAILED)");
+  }
+}
+
+void S3WriteCombiningAblation() {
+  std::printf("\n[4] Lambada S3 write combining (§4.4), TPC-H Q12 on "
+              "lambda, 4 workers:\n");
+  tpch::GeneratorOptions gen;
+  gen.scale_factor = 0.01 * bench::ScaleFactor();
+  tpch::TpchTables db = tpch::GenerateTpch(gen);
+  for (bool combining : {true, false}) {
+    tpch::TpchRunOptions opts = tpch::TpchRunOptions::Lambda(4);
+    opts.exec.s3_write_combining = combining;
+    auto ctx = tpch::PrepareTpch(db, opts);
+    if (!ctx.ok()) continue;
+    StatsRegistry stats;
+    bench::WallTimer timer;
+    auto result = tpch::RunTpchQuery(12, **ctx, opts, &stats);
+    std::printf("  combining=%-5s  %8.3fs  %6lld S3 requests %s\n",
+                combining ? "on" : "off", timer.Seconds(),
+                static_cast<long long>(stats.GetCounter("s3.requests")),
+                result.ok() ? "" : "(FAILED)");
+  }
+  std::printf("  (Lambada: one object per sender instead of one per "
+              "sender-receiver pair)\n");
+}
+
+int Main() {
+  bench::PrintHeader("Ablations: fusion / compression / write combining",
+                     "§4.1.2, §4.4, §5.2.2");
+  RowScanMicrobench();
+  FusionJoinAblation();
+  CompressionAblation();
+  BufferSweep();
+  S3WriteCombiningAblation();
+  return 0;
+}
+
+}  // namespace
+}  // namespace modularis
+
+int main() { return modularis::Main(); }

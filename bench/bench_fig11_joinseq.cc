@@ -1,0 +1,127 @@
+/// \file bench_fig11_joinseq.cc
+/// Reproduces Fig. 11: sequences of joins on a common attribute, naive vs
+/// pre-partitioned (optimized) plans — (a) runtime across cluster sizes,
+/// (b) runtime vs first-join output size, (c) network time vs first-join
+/// output size, (d) runtime vs number of joins. Tuple counts scale with
+/// MODULARIS_BENCH_SCALE.
+
+#include <algorithm>
+#include <random>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "plans/join_sequence.h"
+
+namespace modularis {
+namespace {
+
+/// Relation with `rows` tuples whose keys cycle over [0, key_space):
+/// joining against a 1-to-1 keyed relation of `key_space` keys yields
+/// exactly `rows` output tuples.
+std::vector<RowVectorPtr> MakeRelation(int world, int64_t rows,
+                                       int64_t key_space, uint32_t seed) {
+  std::vector<int64_t> keys(rows);
+  for (int64_t i = 0; i < rows; ++i) keys[i] = i % key_space;
+  std::mt19937_64 rng(seed);
+  std::shuffle(keys.begin(), keys.end(), rng);
+  std::vector<RowVectorPtr> frags;
+  for (int r = 0; r < world; ++r) {
+    frags.push_back(RowVector::Make(KeyValueSchema()));
+    frags.back()->Reserve(rows / world + 1);
+  }
+  for (int64_t i = 0; i < rows; ++i) {
+    RowWriter w = frags[i % world]->AppendRow();
+    w.SetInt64(0, keys[i]);
+    w.SetInt64(1, keys[i] + 3);
+  }
+  return frags;
+}
+
+struct RunResult {
+  double seconds = -1;
+  double network_seconds = 0;
+};
+
+RunResult Run(const std::vector<std::vector<RowVectorPtr>>& relations,
+              int world, bool optimized) {
+  plans::JoinSequenceOptions opts;
+  opts.world_size = world;
+  StatsRegistry stats;
+  bench::WallTimer timer;
+  auto result = plans::RunJoinSequence(relations, opts, optimized, &stats);
+  RunResult r;
+  if (!result.ok()) {
+    std::fprintf(stderr, "joinseq: %s\n",
+                 result.status().ToString().c_str());
+    return r;
+  }
+  r.seconds = timer.Seconds();
+  r.network_seconds = stats.GetTime("net.charged");
+  return r;
+}
+
+int Main() {
+  bench::PrintHeader("Figure 11: sequences of joins (naive vs optimized)",
+                     "Fig. 11a-d, §5.4");
+  bench::PrintClusterSpec(net::FabricOptions());
+  const int64_t rows = bench::ScaledRows(1'000'000);
+
+  // (a) Two joins across cluster sizes.
+  std::printf("\nFig. 11a — 2-join cascade, %lld-tuple relations [s]:\n",
+              static_cast<long long>(rows));
+  std::printf("%-8s %10s %10s\n", "ranks", "naive", "optimized");
+  for (int world = 2; world <= 8; ++world) {
+    std::vector<std::vector<RowVectorPtr>> rels;
+    for (int i = 0; i < 3; ++i) {
+      rels.push_back(MakeRelation(world, rows, rows, 10 + i));
+    }
+    RunResult naive = Run(rels, world, false);
+    RunResult opt = Run(rels, world, true);
+    std::printf("%-8d %10.3f %10.3f\n", world, naive.seconds, opt.seconds);
+  }
+
+  // (b) + (c): growing first-join output on 8 ranks. R1's keys cycle over
+  // R0's key space, so the first join emits |R1| tuples.
+  const int world = 8;
+  std::printf("\nFig. 11b/11c — first-join output sweep, 8 ranks:\n");
+  std::printf("%-16s %10s %10s %14s %14s\n", "join output", "naive[s]",
+              "opt[s]", "naive net[s]", "opt net[s]");
+  for (int mult = 1; mult <= 4; ++mult) {
+    int64_t out_rows = rows / 4 * mult;
+    std::vector<std::vector<RowVectorPtr>> rels;
+    rels.push_back(MakeRelation(world, rows, rows, 20));       // R0
+    rels.push_back(MakeRelation(world, out_rows, rows, 21));   // R1
+    rels.push_back(MakeRelation(world, rows, rows, 22));       // R2
+    RunResult naive = Run(rels, world, false);
+    RunResult opt = Run(rels, world, true);
+    std::printf("%-16lld %10.3f %10.3f %14.3f %14.3f\n",
+                static_cast<long long>(out_rows), naive.seconds,
+                opt.seconds, naive.network_seconds, opt.network_seconds);
+  }
+
+  // (d) Number of joins.
+  std::printf("\nFig. 11d — cascade length sweep, 8 ranks, %lld-tuple "
+              "relations [s]:\n",
+              static_cast<long long>(rows / 2));
+  std::printf("%-8s %10s %10s\n", "joins", "naive", "optimized");
+  for (int joins : {2, 3, 4, 5, 6, 8}) {
+    std::vector<std::vector<RowVectorPtr>> rels;
+    for (int i = 0; i <= joins; ++i) {
+      rels.push_back(MakeRelation(world, rows / 2, rows / 2, 30 + i));
+    }
+    RunResult naive = Run(rels, world, false);
+    RunResult opt = Run(rels, world, true);
+    std::printf("%-8d %10.3f %10.3f\n", joins, naive.seconds, opt.seconds);
+  }
+  std::printf(
+      "\nExpected shape (paper): the optimized plan shuffles N+1 instead "
+      "of 2N relations — constant\nnetwork time vs join output (11c), "
+      "sublinear total growth (11b), and a gap that widens\nwith the "
+      "number of joins (11d).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace modularis
+
+int main() { return modularis::Main(); }

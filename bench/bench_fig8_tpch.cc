@@ -1,0 +1,123 @@
+/// \file bench_fig8_tpch.cc
+/// Reproduces Fig. 8: TPC-H runtimes (Q1, Q3, Q4, Q6, Q12, Q14, Q18, Q19)
+/// across Modularis on RDMA (with and without disc reads), the Presto- and
+/// SingleStore-profile cluster baselines, Modularis on serverless (Lambda
+/// exchange and S3Select scans), and the Athena-/BigQuery-profile QaaS
+/// baselines. The paper runs SF-500 on 8 machines; here the scale factor
+/// and fleet shrink with MODULARIS_BENCH_SCALE while the relative shapes
+/// are preserved (see EXPERIMENTS.md).
+
+#include <vector>
+
+#include "baseline/tpch_baselines.h"
+#include "bench/bench_util.h"
+#include "tpch/queries.h"
+
+namespace modularis {
+namespace {
+
+using bench::PrintHeader;
+using bench::WallTimer;
+
+struct Series {
+  const char* name;
+  std::vector<double> seconds;
+};
+
+int Main() {
+  PrintHeader("Figure 8: TPC-H end-to-end runtimes", "Fig. 8, §5.1");
+  const double sf = 0.05 * bench::ScaleFactor();
+  const int ranks = 4;
+  // The paper's serverless fleets are sized so one worker reads ~one file
+  // shard (512 workers at SF-500); 4 workers is the same regime at our
+  // scale — larger fleets only multiply S3 request latency here.
+  const int workers = 4;
+  std::printf("TPC-H SF %.3f, %d ranks / %d serverless workers "
+              "(warm runs reported, as in the paper)\n\n",
+              sf, ranks, workers);
+
+  tpch::GeneratorOptions gen;
+  gen.scale_factor = sf;
+  tpch::TpchTables db = tpch::GenerateTpch(gen);
+  const std::vector<int> queries = {1, 3, 4, 6, 12, 14, 18, 19};
+
+  std::vector<Series> series;
+
+  auto run_modularis = [&](const char* name, tpch::TpchRunOptions opts) {
+    Series s{name, {}};
+    auto ctx = tpch::PrepareTpch(db, opts);
+    if (!ctx.ok()) {
+      std::fprintf(stderr, "prepare %s: %s\n", name,
+                   ctx.status().ToString().c_str());
+      return;
+    }
+    for (int q : queries) {
+      // Warm-up run (the paper reports warm runs for the cluster systems).
+      StatsRegistry warm_stats;
+      (void)tpch::RunTpchQuery(q, **ctx, opts, &warm_stats);
+      StatsRegistry stats;
+      WallTimer timer;
+      auto result = tpch::RunTpchQuery(q, **ctx, opts, &stats);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s Q%d: %s\n", name, q,
+                     result.status().ToString().c_str());
+        s.seconds.push_back(-1);
+        continue;
+      }
+      s.seconds.push_back(timer.Seconds());
+    }
+    series.push_back(std::move(s));
+  };
+
+  run_modularis("modularis-rdma", tpch::TpchRunOptions::Rdma(ranks));
+  run_modularis("modularis-rdma+disc",
+                tpch::TpchRunOptions::Rdma(ranks, /*with_disc=*/true));
+
+  auto run_baseline = [&](const char* name,
+                          baseline::BaselineSystem system) {
+    Series s{name, {}};
+    for (int q : queries) {
+      StatsRegistry warm_stats;
+      (void)baseline::RunBaselineTpch(system, q, db, ranks, &warm_stats);
+      StatsRegistry stats;
+      auto result = baseline::RunBaselineTpch(system, q, db, ranks, &stats);
+      s.seconds.push_back(result.ok() ? result->seconds : -1);
+    }
+    series.push_back(std::move(s));
+  };
+  run_baseline("singlestore-profile", baseline::BaselineSystem::kSingleStore);
+  run_baseline("presto-profile", baseline::BaselineSystem::kPresto);
+
+  run_modularis("modularis-lambda", tpch::TpchRunOptions::Lambda(workers));
+  run_modularis("modularis-s3select",
+                tpch::TpchRunOptions::S3Select(workers));
+  run_baseline("athena-profile", baseline::BaselineSystem::kAthena);
+  run_baseline("bigquery-profile", baseline::BaselineSystem::kBigQuery);
+
+  std::printf("%-22s", "system \\ query [s]");
+  for (int q : queries) std::printf("  Q%-6d", q);
+  std::printf("\n");
+  for (const Series& s : series) {
+    std::printf("%-22s", s.name);
+    for (double v : s.seconds) {
+      if (v < 0) {
+        std::printf("  %-7s", "FAIL");
+      } else {
+        std::printf("  %-7.3f", v);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nExpected shape (paper): Modularis-RDMA leads on join/agg-heavy "
+      "queries (Q1, Q3, Q12, Q18);\nthe SingleStore profile wins "
+      "broadcast-friendly Q14/Q19; the Presto profile trails by a large\n"
+      "factor; Modularis-Lambda beats the QaaS profiles on most queries "
+      "while S3Select pays for\nuncompressed CSV transfers.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace modularis
+
+int main() { return modularis::Main(); }

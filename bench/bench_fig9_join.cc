@@ -1,0 +1,172 @@
+/// \file bench_fig9_join.cc
+/// Reproduces Fig. 9: (a) per-phase breakdown of the distributed radix
+/// hash join on 4 and 8 ranks for the hand-tuned original, the isolated
+/// sub-operator model, and the full Modularis plan; (b) total runtime of
+/// monolithic vs modular across 2–8 ranks. The paper uses 2048M-tuple
+/// relations on real InfiniBand; tuple counts scale with
+/// MODULARIS_BENCH_SCALE.
+
+#include <algorithm>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "baseline/join_model.h"
+#include "baseline/monolithic_join.h"
+#include "bench/bench_util.h"
+#include "plans/distributed_join.h"
+
+namespace modularis {
+namespace {
+
+std::vector<RowVectorPtr> MakeFragments(int world, int64_t rows,
+                                        uint32_t seed) {
+  std::vector<int64_t> keys(rows);
+  for (int64_t i = 0; i < rows; ++i) keys[i] = i;
+  std::mt19937_64 rng(seed);
+  std::shuffle(keys.begin(), keys.end(), rng);
+  std::vector<RowVectorPtr> frags;
+  for (int r = 0; r < world; ++r) {
+    frags.push_back(RowVector::Make(KeyValueSchema()));
+    frags.back()->Reserve(rows / world + 1);
+  }
+  for (int64_t i = 0; i < rows; ++i) {
+    RowWriter w = frags[i % world]->AppendRow();
+    w.SetInt64(0, keys[i]);
+    w.SetInt64(1, keys[i] + 7);
+  }
+  return frags;
+}
+
+const std::vector<const char*> kPhases = {
+    "phase.local_histogram", "phase.global_histogram",
+    "phase.network_partition", "phase.local_partition",
+    "phase.build_probe"};
+
+struct Breakdown {
+  std::map<std::string, double> phases;
+  double total = 0;
+};
+
+/// Repeats a run and keeps the fastest (the paper averages five warm
+/// runs; min-of-3 suppresses scheduler noise at our smaller scale).
+template <typename Fn>
+Breakdown Best(const Fn& fn, int repeats = 3) {
+  Breakdown best;
+  for (int i = 0; i < repeats; ++i) {
+    Breakdown b = fn();
+    if (best.total == 0 || (b.total > 0 && b.total < best.total)) best = b;
+  }
+  return best;
+}
+
+Breakdown RunOriginal(const std::vector<RowVectorPtr>& inner,
+                      const std::vector<RowVectorPtr>& outer, int world) {
+  baseline::MonolithicJoinOptions opts;
+  opts.world_size = world;
+  StatsRegistry stats;
+  bench::WallTimer timer;
+  auto result = baseline::RunMonolithicJoin(inner, outer, opts, &stats);
+  Breakdown b;
+  b.total = timer.Seconds();
+  if (!result.ok()) {
+    std::fprintf(stderr, "monolithic: %s\n",
+                 result.status().ToString().c_str());
+    return b;
+  }
+  b.phases = stats.times();
+  return b;
+}
+
+Breakdown RunModel(const std::vector<RowVectorPtr>& inner,
+                   const std::vector<RowVectorPtr>& outer, int world) {
+  baseline::JoinModelOptions opts;
+  opts.world_size = world;
+  bench::WallTimer timer;
+  auto result = baseline::RunJoinModel(inner, outer, opts);
+  Breakdown b;
+  b.total = timer.Seconds();
+  if (!result.ok()) {
+    std::fprintf(stderr, "model: %s\n", result.status().ToString().c_str());
+    return b;
+  }
+  b.phases = *result;
+  return b;
+}
+
+Breakdown RunModular(const std::vector<RowVectorPtr>& inner,
+                     const std::vector<RowVectorPtr>& outer, int world) {
+  plans::DistJoinOptions opts;
+  opts.world_size = world;
+  StatsRegistry stats;
+  bench::WallTimer timer;
+  auto result = plans::RunDistributedJoin(inner, outer, opts, &stats);
+  Breakdown b;
+  b.total = timer.Seconds();
+  if (!result.ok()) {
+    std::fprintf(stderr, "modularis: %s\n",
+                 result.status().ToString().c_str());
+    return b;
+  }
+  b.phases = stats.times();
+  return b;
+}
+
+int Main() {
+  bench::PrintHeader(
+      "Figure 9: distributed join — phase breakdown and scale-out",
+      "Fig. 9a/9b, §5.2.2");
+  bench::PrintClusterSpec(net::FabricOptions());
+  const int64_t rows = bench::ScaledRows(4'000'000);
+  std::printf("relations: 2 x %lld tuples (16-byte ⟨key,value⟩), "
+              "1-to-1 key match\n", static_cast<long long>(rows));
+
+  // (a) Breakdown on 4 and 8 ranks.
+  for (int world : {4, 8}) {
+    auto inner = MakeFragments(world, rows, 1);
+    auto outer = MakeFragments(world, rows, 2);
+    Breakdown original =
+        Best([&] { return RunOriginal(inner, outer, world); });
+    Breakdown model = Best([&] { return RunModel(inner, outer, world); });
+    Breakdown modular =
+        Best([&] { return RunModular(inner, outer, world); });
+
+    std::printf("\nFig. 9a — %d ranks, per-phase seconds (max over ranks):\n",
+                world);
+    std::printf("%-26s %10s %10s %10s\n", "phase", "original", "model",
+                "modularis");
+    for (const char* phase : kPhases) {
+      std::printf("%-26s %10.3f %10.3f %10.3f\n", phase + 6,
+                  original.phases[phase], model.phases[phase],
+                  modular.phases[phase]);
+    }
+    std::printf("%-26s %10.3f %10s %10.3f\n", "total wall", original.total,
+                "-", modular.total);
+  }
+
+  // (b) Total runtime across machine counts.
+  std::printf("\nFig. 9b — total join runtime vs ranks [s]:\n");
+  std::printf("%-8s %12s %12s %10s\n", "ranks", "monolithic", "modular",
+              "overhead");
+  for (int world = 2; world <= 8; ++world) {
+    auto inner = MakeFragments(world, rows, 1);
+    auto outer = MakeFragments(world, rows, 2);
+    Breakdown original =
+        Best([&] { return RunOriginal(inner, outer, world); });
+    Breakdown modular =
+        Best([&] { return RunModular(inner, outer, world); });
+    std::printf("%-8d %12.3f %12.3f %9.0f%%\n", world, original.total,
+                modular.total,
+                100.0 * (modular.total - original.total) / original.total);
+  }
+  std::printf(
+      "\nExpected shape (paper): the modular plan stays within ~12-30%% of "
+      "the hand-tuned original,\nwith the gap coming from pipeline "
+      "interpretation and collective skew (§5.2.2).\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace modularis
+
+int main() { return modularis::Main(); }

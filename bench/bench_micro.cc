@@ -1,0 +1,134 @@
+/// \file bench_micro.cc
+/// Google-benchmark microbenchmarks of the hot sub-operator primitives:
+/// radix histogram/scatter, join hash table, ReduceByKey, expression
+/// evaluation, and the ColumnFile codec. These are the "model performance"
+/// numbers (§5.2.2) at the smallest granularity.
+
+#include <random>
+
+#include <benchmark/benchmark.h>
+
+#include "core/exec_context.h"
+#include "core/expr.h"
+#include "storage/column_file.h"
+#include "suboperators/agg_ops.h"
+#include "suboperators/join_ops.h"
+#include "suboperators/partition_ops.h"
+#include "suboperators/scan_ops.h"
+
+namespace modularis {
+namespace {
+
+RowVectorPtr MakeKv(int64_t rows, int64_t key_space) {
+  RowVectorPtr data = RowVector::Make(KeyValueSchema());
+  data->Reserve(rows);
+  std::mt19937_64 rng(42);
+  std::uniform_int_distribution<int64_t> dist(0, key_space - 1);
+  for (int64_t i = 0; i < rows; ++i) {
+    RowWriter w = data->AppendRow();
+    w.SetInt64(0, dist(rng));
+    w.SetInt64(1, i);
+  }
+  return data;
+}
+
+void BM_RadixHistogram(benchmark::State& state) {
+  RowVectorPtr data = MakeKv(state.range(0), 1 << 20);
+  RadixSpec spec{8, 0, RadixHash::kIdentity};
+  std::vector<int64_t> counts(spec.fanout());
+  for (auto _ : state) {
+    std::fill(counts.begin(), counts.end(), 0);
+    CountRows(*data, spec, 0, counts.data());
+    benchmark::DoNotOptimize(counts.data());
+  }
+  state.SetItemsProcessed(state.iterations() * data->size());
+}
+BENCHMARK(BM_RadixHistogram)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_RadixScatter(benchmark::State& state) {
+  RowVectorPtr data = MakeKv(state.range(0), 1 << 20);
+  RadixSpec spec{8, 0, RadixHash::kIdentity};
+  for (auto _ : state) {
+    std::vector<RowVectorPtr> parts;
+    for (int p = 0; p < spec.fanout(); ++p) {
+      parts.push_back(RowVector::Make(KeyValueSchema()));
+    }
+    ScatterRows(*data, spec, 0, &parts);
+    benchmark::DoNotOptimize(parts.data());
+  }
+  state.SetItemsProcessed(state.iterations() * data->size());
+}
+BENCHMARK(BM_RadixScatter)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_JoinHashTableBuildProbe(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  RowVectorPtr build = MakeKv(n, n);
+  for (auto _ : state) {
+    JoinHashTable table;
+    table.Reserve(n);
+    for (int64_t i = 0; i < n; ++i) {
+      table.Insert(build->row(i).GetInt64(0), static_cast<uint32_t>(i));
+    }
+    int64_t hits = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      hits += table.Find(i) != JoinHashTable::kNone;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_JoinHashTableBuildProbe)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_ReduceByKey(benchmark::State& state) {
+  RowVectorPtr data = MakeKv(1 << 20, state.range(0));
+  ExecContext ctx;
+  for (auto _ : state) {
+    ReduceByKey rk(std::make_unique<CollectionSource>(
+                       std::vector<RowVectorPtr>{data}),
+                   {0},
+                   {AggSpec{AggKind::kSum, ex::Col(1), "sum",
+                            AtomType::kInt64}},
+                   KeyValueSchema());
+    Tuple t;
+    if (!rk.Open(&ctx).ok()) state.SkipWithError("open failed");
+    int64_t groups = 0;
+    while (rk.Next(&t)) ++groups;
+    benchmark::DoNotOptimize(groups);
+  }
+  state.SetItemsProcessed(state.iterations() * data->size());
+}
+BENCHMARK(BM_ReduceByKey)->Arg(64)->Arg(1 << 16);
+
+void BM_ExprFilterEval(benchmark::State& state) {
+  RowVectorPtr data = MakeKv(1 << 18, 1000);
+  ExprPtr pred = ex::And(ex::Ge(ex::Col(0), ex::Lit(int64_t{100})),
+                         ex::Lt(ex::Col(0), ex::Lit(int64_t{900})));
+  for (auto _ : state) {
+    int64_t matches = 0;
+    for (size_t i = 0; i < data->size(); ++i) {
+      matches += pred->EvalBool(data->row(i));
+    }
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() * data->size());
+}
+BENCHMARK(BM_ExprFilterEval);
+
+void BM_ColumnFileRoundTrip(benchmark::State& state) {
+  ColumnTablePtr table = ColumnTable::FromRowVector(*MakeKv(1 << 16, 1000));
+  for (auto _ : state) {
+    std::string bytes = storage::WriteColumnFile(*table);
+    auto reader = storage::ColumnFileReader::Open(
+        std::make_shared<storage::StringReader>(bytes));
+    if (!reader.ok()) state.SkipWithError("open failed");
+    auto part = (*reader)->ReadRowGroup(0, {});
+    benchmark::DoNotOptimize(part);
+  }
+  state.SetItemsProcessed(state.iterations() * table->num_rows());
+}
+BENCHMARK(BM_ColumnFileRoundTrip);
+
+}  // namespace
+}  // namespace modularis
+
+BENCHMARK_MAIN();

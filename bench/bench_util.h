@@ -1,0 +1,62 @@
+#ifndef MODULARIS_BENCH_BENCH_UTIL_H_
+#define MODULARIS_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "net/fabric.h"
+
+/// \file bench_util.h
+/// Shared helpers for the figure/table reproduction benchmarks.
+/// Workload sizes scale with the MODULARIS_BENCH_SCALE environment
+/// variable (default 1.0); absolute numbers shrink relative to the paper's
+/// testbed, the *shapes* are what the benches reproduce (EXPERIMENTS.md).
+
+namespace modularis::bench {
+
+inline double ScaleFactor() {
+  const char* env = std::getenv("MODULARIS_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  double v = std::atof(env);
+  return v > 0 ? v : 1.0;
+}
+
+/// Scaled row count: `base` rows at scale 1.
+inline int64_t ScaledRows(int64_t base) {
+  return static_cast<int64_t>(static_cast<double>(base) * ScaleFactor());
+}
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Prints the simulated-cluster banner (the Table 3 analog).
+inline void PrintClusterSpec(const net::FabricOptions& fabric) {
+  std::printf(
+      "# simulated cluster: ranks are threads; interconnect '%s' "
+      "(%.1f Gbit/s per NIC, %.1f us latency)\n",
+      fabric.name.c_str(), fabric.bandwidth_bytes_per_sec * 8 / 1e9,
+      fabric.latency_seconds * 1e6);
+}
+
+inline void PrintHeader(const char* experiment, const char* paper_ref) {
+  std::printf("\n=============================================================\n");
+  std::printf("%s   (paper: %s)\n", experiment, paper_ref);
+  std::printf("bench scale: %.3g (MODULARIS_BENCH_SCALE)\n", ScaleFactor());
+  std::printf("=============================================================\n");
+}
+
+}  // namespace modularis::bench
+
+#endif  // MODULARIS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,70 @@
+/// \file distributed_join.cc
+/// The paper's flagship case study (§4.1) end to end: the RDMA-aware
+/// distributed radix hash join of Fig. 3 on a simulated 4-rank cluster,
+/// with the per-phase breakdown the Fig. 9 analysis is built on.
+///
+///   $ ./example_distributed_join
+
+#include <cstdio>
+#include <random>
+
+#include "plans/distributed_join.h"
+
+using namespace modularis;  // NOLINT — example brevity
+
+int main() {
+  const int world = 4;
+  const int64_t rows = 1'000'000;
+
+  // Per-rank fragments of two ⟨key, value⟩ relations with a 1-to-1 key
+  // correspondence (the §5.2 workload).
+  std::vector<RowVectorPtr> inner, outer;
+  std::vector<int64_t> keys(rows);
+  for (int64_t i = 0; i < rows; ++i) keys[i] = i;
+  std::mt19937_64 rng(7);
+  std::shuffle(keys.begin(), keys.end(), rng);
+  for (int r = 0; r < world; ++r) {
+    inner.push_back(RowVector::Make(KeyValueSchema()));
+    outer.push_back(RowVector::Make(KeyValueSchema()));
+  }
+  for (int64_t i = 0; i < rows; ++i) {
+    RowWriter wi = inner[i % world]->AppendRow();
+    wi.SetInt64(0, keys[i]);
+    wi.SetInt64(1, keys[i] * 2);
+    RowWriter wo = outer[(i + 1) % world]->AppendRow();
+    wo.SetInt64(0, keys[i]);
+    wo.SetInt64(1, keys[i] * 3);
+  }
+
+  plans::DistJoinOptions opts;
+  opts.world_size = world;
+  opts.compress = true;  // §4.1.2 16→8 byte exchange compression
+
+  StatsRegistry stats;
+  auto result = plans::RunDistributedJoin(inner, outer, opts, &stats);
+  if (!result.ok()) {
+    std::fprintf(stderr, "join failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("joined %zu rows across %d ranks over '%s'\n",
+              (*result)->size(), world, opts.fabric.name.c_str());
+  std::printf("\nphase breakdown (slowest rank):\n");
+  for (const auto& [phase, seconds] : stats.times()) {
+    if (phase.rfind("phase.", 0) == 0) {
+      std::printf("  %-28s %8.3f s\n", phase.c_str() + 6, seconds);
+    }
+  }
+  std::printf("\nnetwork: %.1f MB sent, %.3f s modelled transfer time\n",
+              stats.GetCounter("net.bytes_sent") / 1e6,
+              stats.GetTime("net.charged"));
+
+  // Spot-check a row: key k joins value 2k with value 3k.
+  RowRef row = (*result)->row(0);
+  std::printf("\nsample: key=%lld value=%lld value_r=%lld\n",
+              static_cast<long long>(row.GetInt64(0)),
+              static_cast<long long>(row.GetInt64(1)),
+              static_cast<long long>(row.GetInt64(2)));
+  return 0;
+}

@@ -1,0 +1,73 @@
+/// \file quickstart.cc
+/// Five-minute tour of the Modularis public API: build a collection, wire
+/// sub-operators into a plan (scan → filter → aggregate), execute it with
+/// the Volcano interface, and inspect the result.
+///
+///   $ ./example_quickstart
+
+#include <cstdio>
+
+#include "core/exec_context.h"
+#include "core/expr.h"
+#include "suboperators/agg_ops.h"
+#include "suboperators/basic_ops.h"
+#include "suboperators/scan_ops.h"
+
+using namespace modularis;  // NOLINT — example brevity
+
+int main() {
+  // 1. A physical collection: packed rows of ⟨city, temperature⟩.
+  Schema schema({Field::Str("city", 16), Field::F64("temp_c")});
+  RowVectorPtr readings = RowVector::Make(schema);
+  struct Reading {
+    const char* city;
+    double temp;
+  };
+  for (const Reading& r :
+       {Reading{"zurich", 14.5}, Reading{"zurich", 17.0},
+        Reading{"nairobi", 24.0}, Reading{"zurich", 9.5},
+        Reading{"nairobi", 27.5}, Reading{"oslo", -3.0}}) {
+    RowWriter w = readings->AppendRow();
+    w.SetString(0, r.city);
+    w.SetFloat64(1, r.temp);
+  }
+
+  // 2. A plan of sub-operators: scan the collection record by record,
+  //    keep warm readings, and aggregate per city.
+  //    CollectionSource → RowScan → Filter → ReduceByKey
+  auto scan = std::make_unique<RowScan>(std::make_unique<CollectionSource>(
+      std::vector<RowVectorPtr>{readings}));
+  auto warm = std::make_unique<Filter>(
+      std::move(scan), ex::Gt(ex::Col(1), ex::Lit(0.0)));
+  std::vector<AggSpec> aggs = {
+      AggSpec{AggKind::kCount, nullptr, "n", AtomType::kInt64},
+      AggSpec{AggKind::kMax, ex::Col(1), "max_c", AtomType::kFloat64},
+      AggSpec{AggKind::kSum, ex::Col(1), "sum_c", AtomType::kFloat64},
+  };
+  ReduceByKey agg(std::move(warm), {0}, aggs, schema);
+
+  // 3. Execute with the Volcano interface: Open / Next / Close.
+  ExecContext ctx;
+  Status st = agg.Open(&ctx);
+  if (!st.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("%-10s %5s %8s %8s\n", "city", "n", "max", "avg");
+  Tuple t;
+  while (agg.Next(&t)) {
+    RowRef row = t[0].row();
+    int64_t n = row.GetInt64(1);
+    std::printf("%-10s %5lld %8.1f %8.1f\n",
+                std::string(row.GetString(0)).c_str(),
+                static_cast<long long>(n), row.GetFloat64(2),
+                row.GetFloat64(3) / static_cast<double>(n));
+  }
+  if (!agg.status().ok()) {
+    std::fprintf(stderr, "execution failed: %s\n",
+                 agg.status().ToString().c_str());
+    return 1;
+  }
+  (void)agg.Close();
+  return 0;
+}

@@ -1,0 +1,81 @@
+/// \file smart_storage.cc
+/// The smart-storage integration of paper §4.5: pushing selections and
+/// projections into the storage service (S3Select) through the decomposed
+/// S3SelectScan — request → columnar table → collection → records — and
+/// what the pushdown saves on the wire.
+///
+///   $ ./example_smart_storage
+
+#include <cstdio>
+
+#include "core/exec_context.h"
+#include "serverless/s3select.h"
+#include "serverless/serverless_ops.h"
+#include "storage/csv.h"
+#include "suboperators/scan_ops.h"
+
+using namespace modularis;  // NOLINT — example brevity
+
+int main() {
+  // A CSV "object" with order records in simulated S3.
+  Schema schema({Field::I64("order_id"), Field::Str("status", 8),
+                 Field::F64("total"), Field::Date("day")});
+  ColumnTablePtr orders = ColumnTable::Make(schema);
+  for (int64_t i = 0; i < 50'000; ++i) {
+    orders->column(0).AppendInt64(i);
+    orders->column(1).AppendString(i % 7 == 0 ? "OPEN" : "DONE");
+    orders->column(2).AppendFloat64(100.0 + (i % 900));
+    orders->column(3).AppendInt32(DateFromYMD(1997, 1 + i % 12, 1 + i % 28));
+  }
+  orders->FinishBulkLoad();
+
+  storage::BlobStore store;
+  std::string csv = storage::WriteCsv(*orders);
+  std::printf("stored orders.csv: %.1f MB\n", csv.size() / 1e6);
+  store.Put("orders.csv", std::move(csv));
+
+  storage::BlobClient client(&store, storage::BlobClientOptions::S3());
+  serverless::S3SelectEngine engine(&store, serverless::S3SelectOptions{});
+
+  // SELECT order_id, total FROM s3object WHERE status = 'OPEN'
+  // — pushed into storage, decomposed into three reusable sub-operators.
+  S3SelectRequest::Options req;
+  req.object_schema = schema;
+  req.projection = {0, 1, 2};
+  req.predicate = ex::Eq(ex::Col(1), ex::Lit(std::string("OPEN")));
+
+  auto request = std::make_unique<S3SelectRequest>(
+      std::make_unique<TupleSource>(
+          std::vector<Tuple>{Tuple{Item(std::string("orders.csv"))}}),
+      req);
+  auto collection = std::make_unique<TableToCollection>(std::move(request));
+  RowScan records(std::move(collection));
+
+  ExecContext ctx;
+  ctx.s3select = &engine;
+  ctx.blob = &client;
+  if (!records.Open(&ctx).ok()) return 1;
+  int64_t count = 0;
+  double sum = 0;
+  Tuple t;
+  while (records.Next(&t)) {
+    ++count;
+    sum += t[0].row().GetFloat64(2);
+  }
+  if (!records.status().ok()) {
+    std::fprintf(stderr, "scan failed: %s\n",
+                 records.status().ToString().c_str());
+    return 1;
+  }
+  (void)records.Close();
+
+  std::printf("open orders: %lld, total value %.0f\n",
+              static_cast<long long>(count), sum);
+  std::printf("bytes over the wire with pushdown: %.2f MB "
+              "(the service scanned the full object storage-side)\n",
+              client.bytes_transferred() / 1e6);
+  std::printf(
+      "\nThe same three sub-operators would serve any other smart-storage "
+      "backend —\nonly the request operator is service-specific (§4.5).\n");
+  return 0;
+}

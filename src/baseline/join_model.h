@@ -1,0 +1,41 @@
+#ifndef MODULARIS_BASELINE_JOIN_MODEL_H_
+#define MODULARIS_BASELINE_JOIN_MODEL_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/row_vector.h"
+#include "core/stats.h"
+#include "net/fabric.h"
+
+/// \file join_model.h
+/// The "model" of paper §5.2.2: each join phase microbenchmarked in
+/// isolation on ideal inputs, using the same sub-operators as the full
+/// Fig. 3 plan but without the enclosing pipelines/nested plans. The model
+/// is the per-phase performance Modularis' components can achieve; Fig. 9a
+/// plots original vs model vs full plan.
+
+namespace modularis::baseline {
+
+struct JoinModelOptions {
+  int world_size = 4;
+  net::FabricOptions fabric;
+  int network_radix_bits = 6;
+  int local_radix_bits = 6;
+  bool compress = true;
+  int key_domain_bits = 29;
+  size_t buffer_bytes = 1 << 16;
+};
+
+/// Runs all phase microbenchmarks over per-rank kv16 fragments and
+/// returns phase-name → seconds (max over ranks), keys matching the full
+/// plan's: phase.local_histogram, phase.global_histogram,
+/// phase.network_partition, phase.local_partition, phase.build_probe.
+Result<std::map<std::string, double>> RunJoinModel(
+    const std::vector<RowVectorPtr>& inner,
+    const std::vector<RowVectorPtr>& outer, const JoinModelOptions& options);
+
+}  // namespace modularis::baseline
+
+#endif  // MODULARIS_BASELINE_JOIN_MODEL_H_

@@ -1,0 +1,45 @@
+#ifndef MODULARIS_BASELINE_MONOLITHIC_JOIN_H_
+#define MODULARIS_BASELINE_MONOLITHIC_JOIN_H_
+
+#include <vector>
+
+#include "core/row_vector.h"
+#include "core/stats.h"
+#include "mpi/communicator.h"
+#include "net/fabric.h"
+
+/// \file monolithic_join.h
+/// The hand-tuned comparator of paper §5.2: the distributed radix hash
+/// join of Barthels et al. [13, 14] written the way the original codebase
+/// is written — one imperative class, phases inlined, data paths
+/// specialized to the 16-byte ⟨key, value⟩ workload, no sub-operator
+/// reuse, extended (like the paper does for fairness) with result
+/// materialization. The SLOC of this file pair vs. the sub-operators used
+/// by the Fig. 3 plan is the §5.2.1 comparison.
+
+namespace modularis::baseline {
+
+struct MonolithicJoinOptions {
+  int world_size = 4;
+  net::FabricOptions fabric;
+  int network_radix_bits = 6;
+  int local_radix_bits = 6;
+  /// 16 → 8 byte key/value compression over the wire (as the original).
+  bool compress = true;
+  int key_domain_bits = 29;
+  size_t buffer_bytes = 1 << 16;
+};
+
+/// Runs the monolithic join over per-rank kv16 fragments. Returns the
+/// materialized ⟨key, value, value_r⟩ result; phase timings (same keys as
+/// the modular plan: phase.local_histogram, phase.global_histogram,
+/// phase.network_partition, phase.local_partition, phase.build_probe)
+/// land in `stats` as the per-phase maximum over ranks.
+Result<RowVectorPtr> RunMonolithicJoin(
+    const std::vector<RowVectorPtr>& inner,
+    const std::vector<RowVectorPtr>& outer,
+    const MonolithicJoinOptions& options, StatsRegistry* stats);
+
+}  // namespace modularis::baseline
+
+#endif  // MODULARIS_BASELINE_MONOLITHIC_JOIN_H_

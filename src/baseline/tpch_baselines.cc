@@ -1,0 +1,130 @@
+#include "baseline/tpch_baselines.h"
+
+#include <chrono>
+#include <thread>
+
+namespace modularis::baseline {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double Elapsed(Clock::time_point since) {
+  return std::chrono::duration<double>(Clock::now() - since).count();
+}
+
+/// Rough size of the columns a query touches, for the QaaS scan model.
+double ScannedBytes(int query, const tpch::TpchTables& db) {
+  auto table_bytes = [](const ColumnTablePtr& t, int cols_used) {
+    return static_cast<double>(t->num_rows()) * cols_used * 8.0;
+  };
+  switch (query) {
+    case 1: return table_bytes(db.lineitem, 7);
+    case 3:
+      return table_bytes(db.lineitem, 4) + table_bytes(db.orders, 4) +
+             table_bytes(db.customer, 2);
+    case 4: return table_bytes(db.lineitem, 3) + table_bytes(db.orders, 3);
+    case 6: return table_bytes(db.lineitem, 4);
+    case 12: return table_bytes(db.lineitem, 5) + table_bytes(db.orders, 2);
+    case 14: return table_bytes(db.lineitem, 4) + table_bytes(db.part, 2);
+    case 18:
+      return table_bytes(db.lineitem, 2) + table_bytes(db.orders, 4) +
+             table_bytes(db.customer, 2);
+    case 19: return table_bytes(db.lineitem, 6) + table_bytes(db.part, 4);
+    default: return 0;
+  }
+}
+
+/// QaaS cost model parameters.
+struct QaasProfile {
+  double startup_seconds;
+  double scan_bytes_per_sec;       // aggregate fleet scan bandwidth
+  double compute_parallelism;      // speedup over single-threaded compute
+};
+
+Result<BaselineRunResult> RunQaas(const QaasProfile& profile, int query,
+                                  const tpch::TpchTables& db,
+                                  StatsRegistry* stats) {
+  auto start = Clock::now();
+  MODULARIS_ASSIGN_OR_RETURN(RowVectorPtr rows,
+                             tpch::RunReferenceQuery(query, db));
+  double compute = Elapsed(start);
+  double scan = ScannedBytes(query, db) / profile.scan_bytes_per_sec;
+  double modelled =
+      profile.startup_seconds + scan + compute / profile.compute_parallelism;
+  stats->AddTime("qaas.startup", profile.startup_seconds);
+  stats->AddTime("qaas.scan", scan);
+  stats->AddTime("qaas.compute", compute / profile.compute_parallelism);
+  if (modelled > compute) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(modelled - compute));
+  }
+  BaselineRunResult result;
+  result.rows = std::move(rows);
+  result.seconds = Elapsed(start);
+  return result;
+}
+
+}  // namespace
+
+const char* BaselineName(BaselineSystem system) {
+  switch (system) {
+    case BaselineSystem::kPresto: return "presto-profile";
+    case BaselineSystem::kSingleStore: return "singlestore-profile";
+    case BaselineSystem::kAthena: return "athena-profile";
+    case BaselineSystem::kBigQuery: return "bigquery-profile";
+  }
+  return "?";
+}
+
+Result<BaselineRunResult> RunBaselineTpch(BaselineSystem system, int query,
+                                          const tpch::TpchTables& db,
+                                          int world_size,
+                                          StatsRegistry* stats) {
+  switch (system) {
+    case BaselineSystem::kPresto: {
+      // Interpreted row-at-a-time engine on disk-backed storage with a
+      // two-sided TCP exchange and coordinator startup overhead.
+      tpch::TpchRunOptions opts =
+          tpch::TpchRunOptions::Rdma(world_size, /*with_disc=*/true);
+      opts.fabric = net::FabricOptions::TcpProfile();
+      opts.exec.tcp_exchange = true;  // two-sided shuffle, no RDMA
+      opts.exec.enable_fusion = false;
+      opts.storage.profile = "hdfs";
+      opts.storage.request_latency_seconds = 0.002;
+      opts.storage.bandwidth_bytes_per_sec = 150e6;
+      MODULARIS_ASSIGN_OR_RETURN(auto ctx, tpch::PrepareTpch(db, opts));
+      auto start = Clock::now();
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(0.35));  // coordinator + JVM
+      MODULARIS_ASSIGN_OR_RETURN(
+          RowVectorPtr rows, tpch::RunTpchQuery(query, *ctx, opts, stats));
+      BaselineRunResult result;
+      result.rows = std::move(rows);
+      result.seconds = Elapsed(start);
+      return result;
+    }
+    case BaselineSystem::kSingleStore: {
+      // Warm in-memory columnar engine: fused execution, broadcast joins
+      // for small build sides, TCP-profile interconnect.
+      tpch::TpchRunOptions opts = tpch::TpchRunOptions::Rdma(world_size);
+      opts.fabric = net::FabricOptions::TcpProfile();
+      opts.exec.broadcast_small_build = true;
+      MODULARIS_ASSIGN_OR_RETURN(auto ctx, tpch::PrepareTpch(db, opts));
+      auto start = Clock::now();
+      MODULARIS_ASSIGN_OR_RETURN(
+          RowVectorPtr rows, tpch::RunTpchQuery(query, *ctx, opts, stats));
+      BaselineRunResult result;
+      result.rows = std::move(rows);
+      result.seconds = Elapsed(start);
+      return result;
+    }
+    case BaselineSystem::kAthena:
+      return RunQaas(QaasProfile{1.1, 6.0e9, 24.0}, query, db, stats);
+    case BaselineSystem::kBigQuery:
+      return RunQaas(QaasProfile{1.9, 8.0e9, 32.0}, query, db, stats);
+  }
+  return Status::InvalidArgument("unknown baseline system");
+}
+
+}  // namespace modularis::baseline

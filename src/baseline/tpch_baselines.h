@@ -1,0 +1,52 @@
+#ifndef MODULARIS_BASELINE_TPCH_BASELINES_H_
+#define MODULARIS_BASELINE_TPCH_BASELINES_H_
+
+#include <string>
+
+#include "core/stats.h"
+#include "tpch/queries.h"
+
+/// \file tpch_baselines.h
+/// The Fig. 8 comparator systems, rebuilt as documented synthetic
+/// stand-ins (DESIGN.md §1). None of the four commercial systems can run
+/// offline, so each profile reproduces the *architectural properties* the
+/// paper attributes the comparison to:
+///
+///  * Presto profile ("RowEngine"): interpreted row-at-a-time execution
+///    (fusion off), two-sided TCP exchange, disk-backed scans, fixed
+///    coordinator overhead — a general, storage-agnostic engine.
+///  * SingleStore profile ("ColumnEngine"): warm in-memory columnar scans,
+///    fused execution, broadcast joins for small build sides (which beats
+///    the histogram exchange on Q14/Q19-shaped joins — §5.1.1), but a
+///    TCP-profile interconnect.
+///  * Athena / BigQuery profiles ("QaasEngine"): managed query-as-a-
+///    service cost model — fixed startup, storage-side columnar scan at
+///    aggregate fleet bandwidth, internal parallel compute; results from
+///    the reference engine.
+
+namespace modularis::baseline {
+
+enum class BaselineSystem {
+  kPresto,
+  kSingleStore,
+  kAthena,
+  kBigQuery,
+};
+
+const char* BaselineName(BaselineSystem system);
+
+struct BaselineRunResult {
+  RowVectorPtr rows;
+  double seconds = 0;
+};
+
+/// Runs TPC-H query `query` through the given baseline profile.
+/// `world_size` is the cluster/fleet size where applicable.
+Result<BaselineRunResult> RunBaselineTpch(BaselineSystem system, int query,
+                                          const tpch::TpchTables& db,
+                                          int world_size,
+                                          StatsRegistry* stats);
+
+}  // namespace modularis::baseline
+
+#endif  // MODULARIS_BASELINE_TPCH_BASELINES_H_

@@ -1,0 +1,76 @@
+#include "core/column_table.h"
+
+namespace modularis {
+
+ColumnTable::ColumnTable(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (const Field& f : schema_.fields()) {
+    columns_.emplace_back(f.type);
+  }
+}
+
+void ColumnTable::AppendRow(const RowRef& row) {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    switch (schema_.field(c).type) {
+      case AtomType::kInt32:
+      case AtomType::kDate:
+        columns_[c].AppendInt32(row.GetInt32(static_cast<int>(c)));
+        break;
+      case AtomType::kInt64:
+        columns_[c].AppendInt64(row.GetInt64(static_cast<int>(c)));
+        break;
+      case AtomType::kFloat64:
+        columns_[c].AppendFloat64(row.GetFloat64(static_cast<int>(c)));
+        break;
+      case AtomType::kString:
+        columns_[c].AppendString(row.GetString(static_cast<int>(c)));
+        break;
+    }
+  }
+  ++num_rows_;
+}
+
+void ColumnTable::FinishBulkLoad() {
+  num_rows_ = columns_.empty() ? 0 : columns_[0].size();
+}
+
+void ColumnTable::MaterializeRow(size_t i, RowWriter* writer) const {
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    int col = static_cast<int>(c);
+    switch (schema_.field(c).type) {
+      case AtomType::kInt32:
+      case AtomType::kDate:
+        writer->SetInt32(col, columns_[c].GetInt32(i));
+        break;
+      case AtomType::kInt64:
+        writer->SetInt64(col, columns_[c].GetInt64(i));
+        break;
+      case AtomType::kFloat64:
+        writer->SetFloat64(col, columns_[c].GetFloat64(i));
+        break;
+      case AtomType::kString:
+        writer->SetString(col, columns_[c].GetString(i));
+        break;
+    }
+  }
+}
+
+RowVectorPtr ColumnTable::ToRowVector() const {
+  RowVectorPtr out = RowVector::Make(schema_);
+  out->Reserve(num_rows_);
+  for (size_t i = 0; i < num_rows_; ++i) {
+    RowWriter w = out->AppendRow();
+    MaterializeRow(i, &w);
+  }
+  return out;
+}
+
+ColumnTablePtr ColumnTable::FromRowVector(const RowVector& rows) {
+  ColumnTablePtr table = Make(rows.schema());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    table->AppendRow(rows.row(i));
+  }
+  return table;
+}
+
+}  // namespace modularis

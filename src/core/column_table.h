@@ -1,0 +1,105 @@
+#ifndef MODULARIS_CORE_COLUMN_TABLE_H_
+#define MODULARIS_CORE_COLUMN_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "core/row_vector.h"
+#include "core/types.h"
+
+/// \file column_table.h
+/// ColumnTable is the columnar in-memory collection format (the analog of
+/// the Arrow tables of paper §4.5 and of Parquet column chunks in §4.4).
+/// It is the second physical collection of the type system next to
+/// RowVector; ColumnScan extracts individual tuples from it and
+/// TableToCollection converts it into a RowVector wholesale.
+
+namespace modularis {
+
+class ColumnTable;
+using ColumnTablePtr = std::shared_ptr<ColumnTable>;
+
+/// A typed column: contiguous values; strings use offset+arena storage.
+class Column {
+ public:
+  explicit Column(AtomType type) : type_(type) {}
+
+  AtomType type() const { return type_; }
+  size_t size() const { return size_; }
+
+  void AppendInt32(int32_t v) { i32_.push_back(v); ++size_; }
+  void AppendInt64(int64_t v) { i64_.push_back(v); ++size_; }
+  void AppendFloat64(double v) { f64_.push_back(v); ++size_; }
+  void AppendString(std::string_view v) {
+    str_offsets_.push_back(static_cast<uint32_t>(str_arena_.size()));
+    str_arena_.append(v);
+    ++size_;
+  }
+
+  int32_t GetInt32(size_t i) const { return i32_[i]; }
+  int64_t GetInt64(size_t i) const { return i64_[i]; }
+  double GetFloat64(size_t i) const { return f64_[i]; }
+  std::string_view GetString(size_t i) const {
+    uint32_t begin = str_offsets_[i];
+    uint32_t end = i + 1 < str_offsets_.size()
+                       ? str_offsets_[i + 1]
+                       : static_cast<uint32_t>(str_arena_.size());
+    return std::string_view(str_arena_).substr(begin, end - begin);
+  }
+
+  const std::vector<int32_t>& i32_data() const { return i32_; }
+  const std::vector<int64_t>& i64_data() const { return i64_; }
+  const std::vector<double>& f64_data() const { return f64_; }
+
+ private:
+  AtomType type_;
+  size_t size_ = 0;
+  std::vector<int32_t> i32_;
+  std::vector<int64_t> i64_;
+  std::vector<double> f64_;
+  std::vector<uint32_t> str_offsets_;
+  std::string str_arena_;
+};
+
+/// An immutable-schema columnar table.
+class ColumnTable {
+ public:
+  explicit ColumnTable(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+  Column& column(size_t i) { return columns_[i]; }
+  const Column& column(size_t i) const { return columns_[i]; }
+
+  /// Appends one packed row (layout must match schema()).
+  void AppendRow(const RowRef& row);
+  void set_num_rows(size_t n) { num_rows_ = n; }
+  /// Recomputes num_rows from column 0 after bulk column fills.
+  void FinishBulkLoad();
+
+  /// Writes row `i` into `writer` (layout must match schema()).
+  void MaterializeRow(size_t i, RowWriter* writer) const;
+
+  /// Converts the whole table into a RowVector.
+  RowVectorPtr ToRowVector() const;
+
+  /// Builds a ColumnTable from a RowVector.
+  static ColumnTablePtr FromRowVector(const RowVector& rows);
+
+  static ColumnTablePtr Make(Schema schema) {
+    return std::make_shared<ColumnTable>(std::move(schema));
+  }
+
+ private:
+  Schema schema_;
+  size_t num_rows_ = 0;
+  std::vector<Column> columns_;
+};
+
+}  // namespace modularis
+
+#endif  // MODULARIS_CORE_COLUMN_TABLE_H_

@@ -1,0 +1,113 @@
+#ifndef MODULARIS_CORE_EXEC_CONTEXT_H_
+#define MODULARIS_CORE_EXEC_CONTEXT_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/stats.h"
+#include "core/tuple.h"
+
+/// \file exec_context.h
+/// Per-rank execution state handed to every sub-operator at Open() time:
+/// rank identity, platform services, tunables, parameter frames for
+/// ParameterLookup / NestedMap, and the metrics registry.
+
+namespace modularis {
+
+namespace mpi {
+class Communicator;
+}
+namespace storage {
+class BlobClient;
+}
+namespace serverless {
+class S3SelectEngine;
+struct LambdaWorkerContext;
+}
+
+/// Engine tunables (RocksDB-style options struct). The plan specializer
+/// and the benchmarks override these; defaults match the paper's setup
+/// scaled to a single machine.
+struct ExecOptions {
+  /// Plan-time operator fusion (the JIT analog). When false, every plan
+  /// runs pure tuple-at-a-time through virtual Next() calls.
+  bool enable_fusion = true;
+
+  /// log2 of the network partitioning fan-out (radix bits). The number of
+  /// network partitions is 1 << network_radix_bits; partitions are assigned
+  /// to ranks round-robin.
+  int network_radix_bits = 6;
+
+  /// log2 of the local (cache-conscious) partitioning fan-out.
+  int local_radix_bits = 6;
+
+  /// Software write-combining buffer size per target partition in the
+  /// network exchange, in bytes.
+  size_t exchange_buffer_bytes = 1 << 16;
+
+  /// 16-byte → 8-byte key/value compression in the network exchange
+  /// (paper §4.1.2). Enabled by the compression pass for dense domains.
+  bool compress_keys = false;
+
+  /// Bits needed to represent keys/values of the workload (P in §4.1.2).
+  int key_domain_bits = 29;
+
+  /// Serverless: combine all partitions for one receiver into a single S3
+  /// object row-group ("write combining" of Lambada, §4.4).
+  bool s3_write_combining = true;
+
+  /// Replicate small build sides via broadcast instead of the histogram
+  /// exchange (the strategy commercial engines use for small joins; the
+  /// SingleStore-profile baseline enables it — §5.1.1's Q19 discussion).
+  bool broadcast_small_build = false;
+
+  /// Use the two-sided TCP exchange backend instead of the RDMA one
+  /// (the additional backend §4.4 sketches; the Presto-profile baseline
+  /// runs with it).
+  bool tcp_exchange = false;
+
+  /// Max retries for transient S3 failures.
+  int s3_max_retries = 4;
+};
+
+/// Per-rank execution context. Not thread-safe; each rank owns one.
+class ExecContext {
+ public:
+  ExecContext() = default;
+
+  int rank = 0;
+  int world = 1;
+
+  /// Platform services; null when the plan runs on a platform that does
+  /// not provide them. `blob` is the rank's storage connection — an S3
+  /// client on serverless, an NFS/disk client on the RDMA cluster.
+  mpi::Communicator* comm = nullptr;
+  storage::BlobClient* blob = nullptr;
+  serverless::S3SelectEngine* s3select = nullptr;
+  serverless::LambdaWorkerContext* lambda = nullptr;
+
+  ExecOptions options;
+
+  /// Metrics sink; never null during execution.
+  StatsRegistry* stats = &default_stats_;
+
+  // -- Parameter frames (paper §3.4) ---------------------------------------
+  // ParameterLookup yields the tuple on top of this stack. Executors push
+  // the plan-input tuple; each NestedMap invocation pushes the tuple it is
+  // currently mapping over.
+
+  void PushParams(const Tuple* params) { frames_.push_back(params); }
+  void PopParams() { frames_.pop_back(); }
+  const Tuple* CurrentParams() const {
+    return frames_.empty() ? nullptr : frames_.back();
+  }
+  size_t ParamDepth() const { return frames_.size(); }
+
+ private:
+  std::vector<const Tuple*> frames_;
+  StatsRegistry default_stats_;
+};
+
+}  // namespace modularis
+
+#endif  // MODULARIS_CORE_EXEC_CONTEXT_H_

@@ -1,0 +1,568 @@
+#include "core/expr.h"
+
+#include <cstdlib>
+#include <unordered_set>
+
+#include "core/types.h"
+
+namespace modularis {
+
+const char* AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kSum: return "sum";
+    case AggKind::kCount: return "count";
+    case AggKind::kMin: return "min";
+    case AggKind::kMax: return "max";
+  }
+  return "?";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Node implementations
+// ---------------------------------------------------------------------------
+
+class ColumnRefExpr : public Expr {
+ public:
+  explicit ColumnRefExpr(int index) : index_(index) {}
+
+  Item Eval(const RowRef& row) const override {
+    const Field& f = row.schema().field(index_);
+    switch (f.type) {
+      case AtomType::kInt32:
+      case AtomType::kDate:
+        return Item(static_cast<int64_t>(row.GetInt32(index_)));
+      case AtomType::kInt64:
+        return Item(row.GetInt64(index_));
+      case AtomType::kFloat64:
+        return Item(row.GetFloat64(index_));
+      case AtomType::kString:
+        return Item(std::string(row.GetString(index_)));
+    }
+    return Item();
+  }
+
+  bool TryEvalView(const RowRef& row, ScalarView* out) const override {
+    const Field& f = row.schema().field(index_);
+    switch (f.type) {
+      case AtomType::kInt32:
+      case AtomType::kDate:
+        out->tag = ScalarView::Tag::kInt;
+        out->i = row.GetInt32(index_);
+        return true;
+      case AtomType::kInt64:
+        out->tag = ScalarView::Tag::kInt;
+        out->i = row.GetInt64(index_);
+        return true;
+      case AtomType::kFloat64:
+        out->tag = ScalarView::Tag::kDouble;
+        out->d = row.GetFloat64(index_);
+        return true;
+      case AtomType::kString:
+        out->tag = ScalarView::Tag::kString;
+        out->s = row.GetString(index_);
+        return true;
+    }
+    return false;
+  }
+
+  void CollectColumns(std::vector<int>* cols) const override {
+    cols->push_back(index_);
+  }
+
+  int AsColumnIndex() const override { return index_; }
+
+  std::string ToString() const override {
+    return "$" + std::to_string(index_);
+  }
+
+  int index() const { return index_; }
+
+ private:
+  int index_;
+};
+
+class LiteralExpr : public Expr {
+ public:
+  explicit LiteralExpr(Item value) : value_(std::move(value)) {}
+
+  Item Eval(const RowRef&) const override { return value_; }
+
+  bool TryEvalView(const RowRef&, ScalarView* out) const override {
+    switch (value_.kind()) {
+      case Item::Kind::kInt64:
+        out->tag = ScalarView::Tag::kInt;
+        out->i = value_.i64();
+        return true;
+      case Item::Kind::kFloat64:
+        out->tag = ScalarView::Tag::kDouble;
+        out->d = value_.f64();
+        return true;
+      case Item::Kind::kString:
+        out->tag = ScalarView::Tag::kString;
+        out->s = value_.str();
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  std::string ToString() const override { return value_.ToString(); }
+
+ private:
+  Item value_;
+};
+
+int CompareViews(const ScalarView& a, const ScalarView& b) {
+  if (a.tag == ScalarView::Tag::kString ||
+      b.tag == ScalarView::Tag::kString) {
+    return a.s.compare(b.s) < 0 ? -1 : (a.s == b.s ? 0 : 1);
+  }
+  if (a.tag == ScalarView::Tag::kDouble ||
+      b.tag == ScalarView::Tag::kDouble) {
+    double x = a.tag == ScalarView::Tag::kDouble
+                   ? a.d
+                   : static_cast<double>(a.i);
+    double y = b.tag == ScalarView::Tag::kDouble
+                   ? b.d
+                   : static_cast<double>(b.i);
+    return x < y ? -1 : (x == y ? 0 : 1);
+  }
+  return a.i < b.i ? -1 : (a.i == b.i ? 0 : 1);
+}
+
+class CompareExpr : public Expr {
+ public:
+  CompareExpr(CmpOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  bool EvalBool(const RowRef& row) const override {
+    ScalarView a, b;
+    if (!lhs_->TryEvalView(row, &a) || !rhs_->TryEvalView(row, &b)) {
+      // Slow path: materialize items.
+      Item ia = lhs_->Eval(row);
+      Item ib = rhs_->Eval(row);
+      a = ViewOf(ia, &sa_);
+      b = ViewOf(ib, &sb_);
+    }
+    int c = CompareViews(a, b);
+    switch (op_) {
+      case CmpOp::kEq: return c == 0;
+      case CmpOp::kNe: return c != 0;
+      case CmpOp::kLt: return c < 0;
+      case CmpOp::kLe: return c <= 0;
+      case CmpOp::kGt: return c > 0;
+      case CmpOp::kGe: return c >= 0;
+    }
+    return false;
+  }
+
+  Item Eval(const RowRef& row) const override {
+    return Item(static_cast<int64_t>(EvalBool(row) ? 1 : 0));
+  }
+
+  void CollectColumns(std::vector<int>* cols) const override {
+    lhs_->CollectColumns(cols);
+    rhs_->CollectColumns(cols);
+  }
+
+  std::string ToString() const override {
+    static const char* kNames[] = {"=", "<>", "<", "<=", ">", ">="};
+    return "(" + lhs_->ToString() + " " + kNames[static_cast<int>(op_)] +
+           " " + rhs_->ToString() + ")";
+  }
+
+ private:
+  static ScalarView ViewOf(const Item& item, std::string* storage) {
+    ScalarView v;
+    switch (item.kind()) {
+      case Item::Kind::kInt64:
+        v.tag = ScalarView::Tag::kInt;
+        v.i = item.i64();
+        break;
+      case Item::Kind::kFloat64:
+        v.tag = ScalarView::Tag::kDouble;
+        v.d = item.f64();
+        break;
+      case Item::Kind::kString:
+        *storage = item.str();
+        v.tag = ScalarView::Tag::kString;
+        v.s = *storage;
+        break;
+      default:
+        break;
+    }
+    return v;
+  }
+
+  CmpOp op_;
+  ExprPtr lhs_, rhs_;
+  mutable std::string sa_, sb_;
+};
+
+class ArithExpr : public Expr {
+ public:
+  ArithExpr(ArithOp op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Item Eval(const RowRef& row) const override {
+    Item a = lhs_->Eval(row);
+    Item b = rhs_->Eval(row);
+    if (op_ != ArithOp::kDiv && a.is_i64() && b.is_i64()) {
+      switch (op_) {
+        case ArithOp::kAdd: return Item(a.i64() + b.i64());
+        case ArithOp::kSub: return Item(a.i64() - b.i64());
+        case ArithOp::kMul: return Item(a.i64() * b.i64());
+        default: break;
+      }
+    }
+    double x = a.AsDouble();
+    double y = b.AsDouble();
+    switch (op_) {
+      case ArithOp::kAdd: return Item(x + y);
+      case ArithOp::kSub: return Item(x - y);
+      case ArithOp::kMul: return Item(x * y);
+      case ArithOp::kDiv: return Item(y == 0 ? 0.0 : x / y);
+    }
+    return Item();
+  }
+
+  void CollectColumns(std::vector<int>* cols) const override {
+    lhs_->CollectColumns(cols);
+    rhs_->CollectColumns(cols);
+  }
+
+  std::string ToString() const override {
+    static const char* kNames[] = {"+", "-", "*", "/"};
+    return "(" + lhs_->ToString() + " " + kNames[static_cast<int>(op_)] +
+           " " + rhs_->ToString() + ")";
+  }
+
+ private:
+  ArithOp op_;
+  ExprPtr lhs_, rhs_;
+};
+
+class AndExpr : public Expr {
+ public:
+  explicit AndExpr(std::vector<ExprPtr> children)
+      : children_(std::move(children)) {}
+
+  bool EvalBool(const RowRef& row) const override {
+    for (const ExprPtr& c : children_) {
+      if (!c->EvalBool(row)) return false;
+    }
+    return true;
+  }
+
+  Item Eval(const RowRef& row) const override {
+    return Item(static_cast<int64_t>(EvalBool(row) ? 1 : 0));
+  }
+
+  void CollectColumns(std::vector<int>* cols) const override {
+    for (const ExprPtr& c : children_) c->CollectColumns(cols);
+  }
+
+  std::string ToString() const override {
+    std::string out = "(";
+    for (size_t i = 0; i < children_.size(); ++i) {
+      if (i > 0) out += " AND ";
+      out += children_[i]->ToString();
+    }
+    return out + ")";
+  }
+
+  const std::vector<ExprPtr>& children() const { return children_; }
+
+ private:
+  std::vector<ExprPtr> children_;
+};
+
+class OrExpr : public Expr {
+ public:
+  explicit OrExpr(std::vector<ExprPtr> children)
+      : children_(std::move(children)) {}
+
+  bool EvalBool(const RowRef& row) const override {
+    for (const ExprPtr& c : children_) {
+      if (c->EvalBool(row)) return true;
+    }
+    return false;
+  }
+
+  Item Eval(const RowRef& row) const override {
+    return Item(static_cast<int64_t>(EvalBool(row) ? 1 : 0));
+  }
+
+  void CollectColumns(std::vector<int>* cols) const override {
+    for (const ExprPtr& c : children_) c->CollectColumns(cols);
+  }
+
+  std::string ToString() const override {
+    std::string out = "(";
+    for (size_t i = 0; i < children_.size(); ++i) {
+      if (i > 0) out += " OR ";
+      out += children_[i]->ToString();
+    }
+    return out + ")";
+  }
+
+ private:
+  std::vector<ExprPtr> children_;
+};
+
+class NotExpr : public Expr {
+ public:
+  explicit NotExpr(ExprPtr inner) : inner_(std::move(inner)) {}
+
+  bool EvalBool(const RowRef& row) const override {
+    return !inner_->EvalBool(row);
+  }
+  Item Eval(const RowRef& row) const override {
+    return Item(static_cast<int64_t>(EvalBool(row) ? 1 : 0));
+  }
+  void CollectColumns(std::vector<int>* cols) const override {
+    inner_->CollectColumns(cols);
+  }
+  std::string ToString() const override {
+    return "NOT " + inner_->ToString();
+  }
+
+ private:
+  ExprPtr inner_;
+};
+
+/// Recursive SQL LIKE matcher supporting '%' and '_'.
+bool LikeMatch(std::string_view text, std::string_view pattern) {
+  size_t ti = 0, pi = 0;
+  size_t star_p = std::string_view::npos, star_t = 0;
+  while (ti < text.size()) {
+    if (pi < pattern.size() &&
+        (pattern[pi] == '_' || pattern[pi] == text[ti])) {
+      ++ti;
+      ++pi;
+    } else if (pi < pattern.size() && pattern[pi] == '%') {
+      star_p = pi++;
+      star_t = ti;
+    } else if (star_p != std::string_view::npos) {
+      pi = star_p + 1;
+      ti = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (pi < pattern.size() && pattern[pi] == '%') ++pi;
+  return pi == pattern.size();
+}
+
+class LikeExpr : public Expr {
+ public:
+  LikeExpr(ExprPtr input, std::string pattern)
+      : input_(std::move(input)), pattern_(std::move(pattern)) {}
+
+  bool EvalBool(const RowRef& row) const override {
+    ScalarView v;
+    if (input_->TryEvalView(row, &v) && v.tag == ScalarView::Tag::kString) {
+      return LikeMatch(v.s, pattern_);
+    }
+    Item item = input_->Eval(row);
+    return item.is_str() && LikeMatch(item.str(), pattern_);
+  }
+
+  Item Eval(const RowRef& row) const override {
+    return Item(static_cast<int64_t>(EvalBool(row) ? 1 : 0));
+  }
+
+  void CollectColumns(std::vector<int>* cols) const override {
+    input_->CollectColumns(cols);
+  }
+
+  std::string ToString() const override {
+    return input_->ToString() + " LIKE '" + pattern_ + "'";
+  }
+
+ private:
+  ExprPtr input_;
+  std::string pattern_;
+};
+
+class InStrExpr : public Expr {
+ public:
+  InStrExpr(ExprPtr input, std::vector<std::string> values)
+      : input_(std::move(input)),
+        values_(values.begin(), values.end()) {}
+
+  bool EvalBool(const RowRef& row) const override {
+    ScalarView v;
+    if (input_->TryEvalView(row, &v) && v.tag == ScalarView::Tag::kString) {
+      return values_.count(std::string(v.s)) > 0;
+    }
+    Item item = input_->Eval(row);
+    return item.is_str() && values_.count(item.str()) > 0;
+  }
+
+  Item Eval(const RowRef& row) const override {
+    return Item(static_cast<int64_t>(EvalBool(row) ? 1 : 0));
+  }
+
+  void CollectColumns(std::vector<int>* cols) const override {
+    input_->CollectColumns(cols);
+  }
+
+  std::string ToString() const override {
+    std::string out = input_->ToString() + " IN (";
+    bool first = true;
+    for (const auto& v : values_) {
+      if (!first) out += ", ";
+      out += "'" + v + "'";
+      first = false;
+    }
+    return out + ")";
+  }
+
+ private:
+  ExprPtr input_;
+  std::unordered_set<std::string> values_;
+};
+
+class InIntExpr : public Expr {
+ public:
+  InIntExpr(ExprPtr input, std::vector<int64_t> values)
+      : input_(std::move(input)), values_(std::move(values)) {}
+
+  bool EvalBool(const RowRef& row) const override {
+    ScalarView v;
+    int64_t x;
+    if (input_->TryEvalView(row, &v) && v.tag == ScalarView::Tag::kInt) {
+      x = v.i;
+    } else {
+      Item item = input_->Eval(row);
+      if (!item.is_i64()) return false;
+      x = item.i64();
+    }
+    for (int64_t candidate : values_) {
+      if (candidate == x) return true;
+    }
+    return false;
+  }
+
+  Item Eval(const RowRef& row) const override {
+    return Item(static_cast<int64_t>(EvalBool(row) ? 1 : 0));
+  }
+
+  void CollectColumns(std::vector<int>* cols) const override {
+    input_->CollectColumns(cols);
+  }
+
+  std::string ToString() const override {
+    std::string out = input_->ToString() + " IN (";
+    for (size_t i = 0; i < values_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(values_[i]);
+    }
+    return out + ")";
+  }
+
+ private:
+  ExprPtr input_;
+  std::vector<int64_t> values_;
+};
+
+class IfExpr : public Expr {
+ public:
+  IfExpr(ExprPtr cond, ExprPtr then_expr, ExprPtr else_expr)
+      : cond_(std::move(cond)),
+        then_(std::move(then_expr)),
+        else_(std::move(else_expr)) {}
+
+  Item Eval(const RowRef& row) const override {
+    return cond_->EvalBool(row) ? then_->Eval(row) : else_->Eval(row);
+  }
+
+  void CollectColumns(std::vector<int>* cols) const override {
+    cond_->CollectColumns(cols);
+    then_->CollectColumns(cols);
+    else_->CollectColumns(cols);
+  }
+
+  std::string ToString() const override {
+    return "IF(" + cond_->ToString() + ", " + then_->ToString() + ", " +
+           else_->ToString() + ")";
+  }
+
+ private:
+  ExprPtr cond_, then_, else_;
+};
+
+}  // namespace
+
+namespace ex {
+
+ExprPtr Col(int index) { return std::make_shared<ColumnRefExpr>(index); }
+ExprPtr Lit(int64_t v) { return std::make_shared<LiteralExpr>(Item(v)); }
+ExprPtr Lit(double v) { return std::make_shared<LiteralExpr>(Item(v)); }
+ExprPtr Lit(std::string v) {
+  return std::make_shared<LiteralExpr>(Item(std::move(v)));
+}
+
+ExprPtr DateLit(std::string_view ymd) {
+  Result<int32_t> date = ParseDate(ymd);
+  if (!date.ok()) std::abort();  // malformed compile-time constant
+  return Lit(static_cast<int64_t>(date.value()));
+}
+
+ExprPtr Cmp(CmpOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<CompareExpr>(op, std::move(lhs), std::move(rhs));
+}
+ExprPtr Eq(ExprPtr l, ExprPtr r) { return Cmp(CmpOp::kEq, l, r); }
+ExprPtr Ne(ExprPtr l, ExprPtr r) { return Cmp(CmpOp::kNe, l, r); }
+ExprPtr Lt(ExprPtr l, ExprPtr r) { return Cmp(CmpOp::kLt, l, r); }
+ExprPtr Le(ExprPtr l, ExprPtr r) { return Cmp(CmpOp::kLe, l, r); }
+ExprPtr Gt(ExprPtr l, ExprPtr r) { return Cmp(CmpOp::kGt, l, r); }
+ExprPtr Ge(ExprPtr l, ExprPtr r) { return Cmp(CmpOp::kGe, l, r); }
+
+ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs) {
+  return std::make_shared<ArithExpr>(op, std::move(lhs), std::move(rhs));
+}
+ExprPtr Add(ExprPtr l, ExprPtr r) { return Arith(ArithOp::kAdd, l, r); }
+ExprPtr Sub(ExprPtr l, ExprPtr r) { return Arith(ArithOp::kSub, l, r); }
+ExprPtr Mul(ExprPtr l, ExprPtr r) { return Arith(ArithOp::kMul, l, r); }
+ExprPtr Div(ExprPtr l, ExprPtr r) { return Arith(ArithOp::kDiv, l, r); }
+
+ExprPtr And(std::vector<ExprPtr> children) {
+  if (children.size() == 1) return children[0];
+  return std::make_shared<AndExpr>(std::move(children));
+}
+ExprPtr And(ExprPtr a, ExprPtr b) { return And({std::move(a), std::move(b)}); }
+ExprPtr And(ExprPtr a, ExprPtr b, ExprPtr c) {
+  return And({std::move(a), std::move(b), std::move(c)});
+}
+ExprPtr Or(std::vector<ExprPtr> children) {
+  if (children.size() == 1) return children[0];
+  return std::make_shared<OrExpr>(std::move(children));
+}
+ExprPtr Or(ExprPtr a, ExprPtr b) { return Or({std::move(a), std::move(b)}); }
+ExprPtr Not(ExprPtr inner) { return std::make_shared<NotExpr>(inner); }
+
+ExprPtr Like(ExprPtr input, std::string pattern) {
+  return std::make_shared<LikeExpr>(std::move(input), std::move(pattern));
+}
+ExprPtr InStr(ExprPtr input, std::vector<std::string> values) {
+  return std::make_shared<InStrExpr>(std::move(input), std::move(values));
+}
+ExprPtr InInt(ExprPtr input, std::vector<int64_t> values) {
+  return std::make_shared<InIntExpr>(std::move(input), std::move(values));
+}
+ExprPtr Between(ExprPtr input, ExprPtr lo, ExprPtr hi) {
+  return And(Cmp(CmpOp::kGe, input, std::move(lo)),
+             Cmp(CmpOp::kLe, input, std::move(hi)));
+}
+ExprPtr If(ExprPtr cond, ExprPtr then_expr, ExprPtr else_expr) {
+  return std::make_shared<IfExpr>(std::move(cond), std::move(then_expr),
+                                  std::move(else_expr));
+}
+
+}  // namespace ex
+
+}  // namespace modularis

@@ -1,0 +1,135 @@
+#ifndef MODULARIS_CORE_EXPR_H_
+#define MODULARIS_CORE_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/row_vector.h"
+#include "core/tuple.h"
+
+/// \file expr.h
+/// Scalar expression trees evaluated against packed rows. Filter, Map,
+/// Projection and the predicate/projection pushdown passes are built on
+/// these. In the paper the UDFs are Numba-compiled Python inlined into the
+/// LLVM plan; here they are C++ expression trees (or std::function callables
+/// in ParametrizedMap) inlined into fused loops by the fusion pass.
+
+namespace modularis {
+
+/// Comparison operators.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+/// Arithmetic operators. Division always yields f64; the others preserve
+/// integer-ness when both sides are integers.
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+/// Borrowed scalar view used on the non-allocating comparison fast path.
+struct ScalarView {
+  enum class Tag : uint8_t { kInt, kDouble, kString } tag = Tag::kInt;
+  int64_t i = 0;
+  double d = 0;
+  std::string_view s;
+};
+
+/// Immutable expression node. Expressions are shared (shared_ptr) between
+/// plans and passes.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+
+  /// Evaluates to an owned Item (allocates for strings).
+  virtual Item Eval(const RowRef& row) const = 0;
+
+  /// Boolean evaluation fast path; default falls back to Eval().
+  virtual bool EvalBool(const RowRef& row) const {
+    Item v = Eval(row);
+    return v.is_i64() ? v.i64() != 0 : (v.is_f64() && v.f64() != 0);
+  }
+
+  /// Non-allocating scalar view fast path; returns false if this node
+  /// cannot produce a borrowed view (then use Eval()).
+  virtual bool TryEvalView(const RowRef& row, ScalarView* out) const {
+    (void)row;
+    (void)out;
+    return false;
+  }
+
+  /// Appends every column index referenced by this subtree (for pruning).
+  virtual void CollectColumns(std::vector<int>* cols) const { (void)cols; }
+
+  /// If this node is a bare column reference, its index; otherwise -1.
+  /// Lets operators compile direct-offset fast paths (the JIT analog).
+  virtual int AsColumnIndex() const { return -1; }
+
+  virtual std::string ToString() const = 0;
+};
+
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Aggregate function kinds supported by Reduce / ReduceByKey. AVG is
+/// expanded by the frontend into SUM + COUNT plus a final Map division.
+enum class AggKind { kSum, kCount, kMin, kMax };
+
+/// One aggregate column: `kind` applied to `input` (null input = COUNT(*)),
+/// materialized under `name` with type `out_type`.
+struct AggSpec {
+  AggKind kind = AggKind::kSum;
+  ExprPtr input;
+  std::string name;
+  AtomType out_type = AtomType::kFloat64;
+};
+
+const char* AggKindName(AggKind kind);
+
+// -- Builder helpers --------------------------------------------------------
+// Terse constructors used throughout plan builders and tests:
+//   ex::Gt(ex::Col(3), ex::Lit(int64_t{10}))
+
+namespace ex {
+
+/// Reference to column `index` of the input row.
+ExprPtr Col(int index);
+/// Integer / float / string / date literals.
+ExprPtr Lit(int64_t v);
+ExprPtr Lit(double v);
+ExprPtr Lit(std::string v);
+/// Date literal from "YYYY-MM-DD" (aborts on malformed constant).
+ExprPtr DateLit(std::string_view ymd);
+
+ExprPtr Cmp(CmpOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr Eq(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Ne(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Lt(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Le(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Gt(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Ge(ExprPtr lhs, ExprPtr rhs);
+
+ExprPtr Arith(ArithOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr Add(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Sub(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Mul(ExprPtr lhs, ExprPtr rhs);
+ExprPtr Div(ExprPtr lhs, ExprPtr rhs);
+
+ExprPtr And(std::vector<ExprPtr> children);
+ExprPtr And(ExprPtr a, ExprPtr b);
+ExprPtr And(ExprPtr a, ExprPtr b, ExprPtr c);
+ExprPtr Or(std::vector<ExprPtr> children);
+ExprPtr Or(ExprPtr a, ExprPtr b);
+ExprPtr Not(ExprPtr inner);
+
+/// SQL LIKE with '%' and '_' wildcards.
+ExprPtr Like(ExprPtr input, std::string pattern);
+/// Membership in a set of string literals.
+ExprPtr InStr(ExprPtr input, std::vector<std::string> values);
+/// Membership in a set of integer literals.
+ExprPtr InInt(ExprPtr input, std::vector<int64_t> values);
+/// lo <= input <= hi (numeric).
+ExprPtr Between(ExprPtr input, ExprPtr lo, ExprPtr hi);
+/// cond ? then : otherwise.
+ExprPtr If(ExprPtr cond, ExprPtr then_expr, ExprPtr else_expr);
+
+}  // namespace ex
+
+}  // namespace modularis
+
+#endif  // MODULARIS_CORE_EXPR_H_

@@ -1,0 +1,56 @@
+#include "core/pipeline.h"
+
+namespace modularis {
+
+Status PipelineRef::Open(ExecContext* ctx) {
+  MODULARIS_RETURN_NOT_OK(SubOperator::Open(ctx));
+  auto it = plan_->results_.find(pipeline_name_);
+  if (it == plan_->results_.end()) {
+    return Status::Internal("PipelineRef: pipeline '" + pipeline_name_ +
+                            "' has not materialized yet");
+  }
+  tuples_ = &it->second;
+  pos_ = 0;
+  return Status::OK();
+}
+
+bool PipelineRef::Next(Tuple* out) {
+  if (tuples_ == nullptr || pos_ >= tuples_->size()) return false;
+  *out = (*tuples_)[pos_++];
+  return true;
+}
+
+Status PipelinePlan::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  status_ = Status::OK();
+  results_.clear();
+  arena_.clear();
+  for (auto& [name, root] : pipelines_) {
+    MODULARIS_RETURN_NOT_OK(root->Open(ctx));
+    std::vector<Tuple>& sink = results_[name];
+    Tuple t;
+    while (root->Next(&t)) {
+      sink.push_back(OwnTuple(t, &arena_));
+    }
+    MODULARIS_RETURN_NOT_OK(root->status());
+    MODULARIS_RETURN_NOT_OK(root->Close());
+  }
+  if (output_ == nullptr) {
+    return Status::Internal("PipelinePlan: no output pipeline set");
+  }
+  return output_->Open(ctx);
+}
+
+bool PipelinePlan::Next(Tuple* out) {
+  if (output_->Next(out)) return true;
+  if (!output_->status().ok()) return Fail(output_->status());
+  return false;
+}
+
+Status PipelinePlan::Close() {
+  results_.clear();
+  arena_.clear();
+  return output_ != nullptr ? output_->Close() : Status::OK();
+}
+
+}  // namespace modularis

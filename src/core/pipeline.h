@@ -1,0 +1,81 @@
+#ifndef MODULARIS_CORE_PIPELINE_H_
+#define MODULARIS_CORE_PIPELINE_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sub_operator.h"
+
+/// \file pipeline.h
+/// The execution model on DAGs (paper §3.3): plans are cut into pipelines
+/// wherever a result has several consumers; each pipeline is a tree
+/// executed with the iterator model, and pipelines materialize their
+/// results so that multiple downstream pipelines can read them.
+///
+/// PipelinePlan is itself a sub-operator, so nested plans (inside
+/// NestedMap) can be pipelined too — their pipelines re-execute on every
+/// nested invocation, which is exactly the per-partition-pair behaviour
+/// of Fig. 3.
+
+namespace modularis {
+
+class PipelinePlan;
+
+/// Source operator reading the materialized result of an earlier pipeline
+/// of the enclosing PipelinePlan.
+class PipelineRef : public SubOperator {
+ public:
+  PipelineRef(const PipelinePlan* plan, std::string pipeline_name)
+      : SubOperator("PipelineRef(" + pipeline_name + ")"),
+        plan_(plan),
+        pipeline_name_(std::move(pipeline_name)) {}
+
+  Status Open(ExecContext* ctx) override;
+  bool Next(Tuple* out) override;
+
+ private:
+  const PipelinePlan* plan_;
+  std::string pipeline_name_;
+  const std::vector<Tuple>* tuples_ = nullptr;
+  size_t pos_ = 0;
+};
+
+/// An ordered list of materializing pipelines plus one streamed output
+/// pipeline. Open() runs the intermediate pipelines in order (each fully
+/// drained into a named result); Next() streams the output pipeline.
+class PipelinePlan : public SubOperator {
+ public:
+  PipelinePlan() : SubOperator("PipelinePlan") {}
+
+  /// Appends an intermediate pipeline; its result is readable by later
+  /// pipelines through MakeRef(name).
+  void Add(std::string name, SubOpPtr root) {
+    pipelines_.emplace_back(std::move(name), std::move(root));
+  }
+
+  /// Sets the final (streamed) pipeline. Must be called exactly once.
+  void SetOutput(SubOpPtr root) { output_ = std::move(root); }
+
+  /// Creates a source reading pipeline `name`'s materialized result.
+  SubOpPtr MakeRef(const std::string& name) const {
+    return std::make_unique<PipelineRef>(this, name);
+  }
+
+  Status Open(ExecContext* ctx) override;
+  bool Next(Tuple* out) override;
+  Status Close() override;
+
+ private:
+  friend class PipelineRef;
+
+  std::vector<std::pair<std::string, SubOpPtr>> pipelines_;
+  SubOpPtr output_;
+  std::map<std::string, std::vector<Tuple>> results_;
+  std::vector<RowVectorPtr> arena_;
+};
+
+}  // namespace modularis
+
+#endif  // MODULARIS_CORE_PIPELINE_H_

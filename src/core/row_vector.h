@@ -1,0 +1,157 @@
+#ifndef MODULARIS_CORE_ROW_VECTOR_H_
+#define MODULARIS_CORE_ROW_VECTOR_H_
+
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/types.h"
+
+/// \file row_vector.h
+/// RowVector is the default physical collection of the execution layer:
+/// a C-array of packed C-structs (paper §3.3, "RowVector⟨TupleType⟩").
+/// All bulk data — base tables in memory, exchange partitions, nested-plan
+/// materializations — travels inside RowVectors referenced by tuples.
+
+namespace modularis {
+
+class RowVector;
+using RowVectorPtr = std::shared_ptr<RowVector>;
+
+/// A read-only view of one packed row. Cheap to copy; does not own memory.
+class RowRef {
+ public:
+  RowRef() = default;
+  RowRef(const uint8_t* data, const Schema* schema)
+      : data_(data), schema_(schema) {}
+
+  const uint8_t* data() const { return data_; }
+  const Schema& schema() const { return *schema_; }
+  bool valid() const { return data_ != nullptr; }
+
+  int32_t GetInt32(int col) const {
+    int32_t v;
+    std::memcpy(&v, data_ + schema_->offset(col), sizeof(v));
+    return v;
+  }
+  int64_t GetInt64(int col) const {
+    int64_t v;
+    std::memcpy(&v, data_ + schema_->offset(col), sizeof(v));
+    return v;
+  }
+  double GetFloat64(int col) const {
+    double v;
+    std::memcpy(&v, data_ + schema_->offset(col), sizeof(v));
+    return v;
+  }
+  int32_t GetDate(int col) const { return GetInt32(col); }
+  std::string_view GetString(int col) const {
+    const uint8_t* p = data_ + schema_->offset(col);
+    uint16_t len;
+    std::memcpy(&len, p, sizeof(len));
+    return std::string_view(reinterpret_cast<const char*>(p + 2), len);
+  }
+
+ private:
+  const uint8_t* data_ = nullptr;
+  const Schema* schema_ = nullptr;
+};
+
+/// A mutable view of one packed row; used when filling freshly appended rows.
+class RowWriter {
+ public:
+  RowWriter(uint8_t* data, const Schema* schema)
+      : data_(data), schema_(schema) {}
+
+  uint8_t* data() const { return data_; }
+
+  void SetInt32(int col, int32_t v) {
+    std::memcpy(data_ + schema_->offset(col), &v, sizeof(v));
+  }
+  void SetInt64(int col, int64_t v) {
+    std::memcpy(data_ + schema_->offset(col), &v, sizeof(v));
+  }
+  void SetFloat64(int col, double v) {
+    std::memcpy(data_ + schema_->offset(col), &v, sizeof(v));
+  }
+  void SetDate(int col, int32_t v) { SetInt32(col, v); }
+  void SetString(int col, std::string_view v) {
+    uint8_t* p = data_ + schema_->offset(col);
+    uint32_t width = schema_->field(col).width;
+    uint16_t len = static_cast<uint16_t>(v.size() > width ? width : v.size());
+    std::memcpy(p, &len, sizeof(len));
+    std::memcpy(p + 2, v.data(), len);
+    if (len < width) std::memset(p + 2 + len, 0, width - len);
+  }
+
+ private:
+  uint8_t* data_;
+  const Schema* schema_;
+};
+
+/// A contiguous, append-only buffer of packed rows sharing one Schema.
+/// RowVectors are the unit of materialization between pipelines and the
+/// payload of collection-typed tuple items; they are reference counted
+/// (shared_ptr) so multiple pipelines can consume one materialization.
+class RowVector {
+ public:
+  explicit RowVector(Schema schema)
+      : schema_(std::move(schema)), row_size_(schema_.row_size()) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t size() const { return num_rows_; }
+  bool empty() const { return num_rows_ == 0; }
+  uint32_t row_size() const { return row_size_; }
+  /// Total payload bytes (rows * row_size).
+  size_t byte_size() const { return num_rows_ * static_cast<size_t>(row_size_); }
+
+  const uint8_t* data() const { return buf_.data(); }
+  uint8_t* mutable_data() { return buf_.data(); }
+
+  void Reserve(size_t rows) { buf_.reserve(rows * row_size_); }
+
+  /// Appends one zero-initialized row and returns a writer for it.
+  RowWriter AppendRow() {
+    buf_.resize(buf_.size() + row_size_, 0);
+    ++num_rows_;
+    return RowWriter(buf_.data() + (num_rows_ - 1) * row_size_, &schema_);
+  }
+
+  /// Appends a raw packed row (must match this schema's layout).
+  void AppendRaw(const uint8_t* row) {
+    buf_.insert(buf_.end(), row, row + row_size_);
+    ++num_rows_;
+  }
+
+  /// Appends `count` packed rows from a contiguous buffer.
+  void AppendRawBatch(const uint8_t* rows, size_t count) {
+    buf_.insert(buf_.end(), rows, rows + count * row_size_);
+    num_rows_ += count;
+  }
+
+  /// Appends all rows of `other` (schemas must have identical layout).
+  void AppendAll(const RowVector& other) {
+    AppendRawBatch(other.data(), other.size());
+  }
+
+  RowRef row(size_t i) const {
+    return RowRef(buf_.data() + i * row_size_, &schema_);
+  }
+  uint8_t* mutable_row(size_t i) { return buf_.data() + i * row_size_; }
+
+  /// Creates an empty RowVector with the given schema.
+  static RowVectorPtr Make(Schema schema) {
+    return std::make_shared<RowVector>(std::move(schema));
+  }
+
+ private:
+  Schema schema_;
+  uint32_t row_size_;
+  size_t num_rows_ = 0;
+  std::vector<uint8_t> buf_;
+};
+
+}  // namespace modularis
+
+#endif  // MODULARIS_CORE_ROW_VECTOR_H_

@@ -1,0 +1,103 @@
+#ifndef MODULARIS_CORE_STATS_H_
+#define MODULARIS_CORE_STATS_H_
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+
+/// \file stats.h
+/// Per-execution metrics registry. Sub-operators record phase timings
+/// (local histogram, network partitioning, build-probe, ...) and byte
+/// counters here; the Fig. 9 breakdown and Fig. 11c network-time series
+/// are read straight out of this registry.
+
+namespace modularis {
+
+/// Thread-safe map of named timers (seconds) and counters.
+class StatsRegistry {
+ public:
+  void AddTime(const std::string& key, double seconds) {
+    std::lock_guard<std::mutex> lock(mu_);
+    times_[key] += seconds;
+  }
+  void AddCounter(const std::string& key, int64_t delta) {
+    std::lock_guard<std::mutex> lock(mu_);
+    counters_[key] += delta;
+  }
+  double GetTime(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = times_.find(key);
+    return it == times_.end() ? 0.0 : it->second;
+  }
+  int64_t GetCounter(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = counters_.find(key);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  /// Accumulates all entries of `other` into this registry.
+  void Merge(const StatsRegistry& other) {
+    std::scoped_lock lock(mu_, other.mu_);
+    for (const auto& [k, v] : other.times_) times_[k] += v;
+    for (const auto& [k, v] : other.counters_) counters_[k] += v;
+  }
+  /// Takes the per-key maximum (used to aggregate per-rank phase times the
+  /// way the paper reports them: the slowest rank defines the phase time).
+  void MergeMax(const StatsRegistry& other) {
+    std::scoped_lock lock(mu_, other.mu_);
+    for (const auto& [k, v] : other.times_) {
+      double& mine = times_[k];
+      if (v > mine) mine = v;
+    }
+    for (const auto& [k, v] : other.counters_) counters_[k] += v;
+  }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    times_.clear();
+    counters_.clear();
+  }
+  std::map<std::string, double> times() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return times_;
+  }
+  std::map<std::string, int64_t> counters() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, double> times_;
+  std::map<std::string, int64_t> counters_;
+};
+
+/// RAII phase timer: adds elapsed wall time to `registry[key]` at scope exit.
+class ScopedTimer {
+ public:
+  ScopedTimer(StatsRegistry* registry, std::string key)
+      : registry_(registry),
+        key_(std::move(key)),
+        start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() { Stop(); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Stops early (idempotent).
+  void Stop() {
+    if (registry_ == nullptr) return;
+    auto end = std::chrono::steady_clock::now();
+    registry_->AddTime(
+        key_, std::chrono::duration<double>(end - start_).count());
+    registry_ = nullptr;
+  }
+
+ private:
+  StatsRegistry* registry_;
+  std::string key_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace modularis
+
+#endif  // MODULARIS_CORE_STATS_H_

@@ -1,0 +1,159 @@
+#ifndef MODULARIS_CORE_STATUS_H_
+#define MODULARIS_CORE_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+/// \file status.h
+/// Error handling primitives. The codebase does not use C++ exceptions;
+/// every fallible operation returns a Status or a Result<T>
+/// (Google/RocksDB style).
+
+namespace modularis {
+
+/// Machine-readable failure category carried by every Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kIOError,
+  kOutOfRange,
+  kResourceExhausted,
+  kUnimplemented,
+  kAborted,
+  kInternal,
+};
+
+/// A Status is either OK or an error code plus a human-readable message.
+/// Statuses are cheap to copy in the OK case (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Renders "OK" or "<code>: <message>" for logs and test failures.
+  std::string ToString() const {
+    if (ok()) return "OK";
+    return std::string(CodeName(code_)) + ": " + msg_;
+  }
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+  static const char* CodeName(StatusCode code) {
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kInvalidArgument: return "InvalidArgument";
+      case StatusCode::kNotFound: return "NotFound";
+      case StatusCode::kAlreadyExists: return "AlreadyExists";
+      case StatusCode::kIOError: return "IOError";
+      case StatusCode::kOutOfRange: return "OutOfRange";
+      case StatusCode::kResourceExhausted: return "ResourceExhausted";
+      case StatusCode::kUnimplemented: return "Unimplemented";
+      case StatusCode::kAborted: return "Aborted";
+      case StatusCode::kInternal: return "Internal";
+    }
+    return "Unknown";
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Result<T> holds either a value of type T or an error Status.
+/// Mirrors absl::StatusOr / arrow::Result.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value or an error Status keeps call
+  /// sites terse: `return value;` / `return Status::IOError(...)`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status)                         // NOLINT(runtime/explicit)
+      : repr_(std::move(status)) {}
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(repr_);
+  }
+
+  T& value() { return std::get<T>(repr_); }
+  const T& value() const { return std::get<T>(repr_); }
+
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Moves the value out of the Result; only valid when ok().
+  T TakeValue() { return std::move(std::get<T>(repr_)); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define MODULARIS_RETURN_NOT_OK(expr)            \
+  do {                                           \
+    ::modularis::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                   \
+  } while (false)
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the
+/// error. `lhs` must be a declaration, e.g. `auto x`.
+#define MODULARIS_ASSIGN_OR_RETURN(lhs, rexpr)   \
+  MODULARIS_ASSIGN_OR_RETURN_IMPL(               \
+      MODULARIS_CONCAT_(_result_, __LINE__), lhs, rexpr)
+
+#define MODULARIS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                    \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = tmp.TakeValue()
+
+#define MODULARIS_CONCAT_IMPL_(a, b) a##b
+#define MODULARIS_CONCAT_(a, b) MODULARIS_CONCAT_IMPL_(a, b)
+
+}  // namespace modularis
+
+#endif  // MODULARIS_CORE_STATUS_H_

@@ -1,0 +1,118 @@
+#ifndef MODULARIS_CORE_SUB_OPERATOR_H_
+#define MODULARIS_CORE_SUB_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/exec_context.h"
+#include "core/status.h"
+#include "core/tuple.h"
+
+/// \file sub_operator.h
+/// The sub-operator interface (paper §3.3): Volcano-style iterators over
+/// tuples, extended with the collection-aware type system. Operators form
+/// trees inside a pipeline; DAGs are cut into pipelines at multi-consumer
+/// edges (see pipeline.h).
+///
+/// Lifecycle contract:
+///  * Open(ctx) prepares the operator and (by default) its children. An
+///    operator must support repeated Open/Close cycles: NestedMap re-opens
+///    its nested plan once per input tuple.
+///  * Next(out) yields the next tuple, returning false at end-of-stream OR
+///    on error; callers distinguish the two via status(). Borrowed row
+///    items in `out` stay valid only until the next Next()/Close() call.
+///  * Close() releases resources; it must be safe to call after an error.
+
+namespace modularis {
+
+class SubOperator;
+using SubOpPtr = std::unique_ptr<SubOperator>;
+
+/// Base class of every sub-operator.
+class SubOperator {
+ public:
+  explicit SubOperator(std::string name) : name_(std::move(name)) {}
+  virtual ~SubOperator() = default;
+
+  SubOperator(const SubOperator&) = delete;
+  SubOperator& operator=(const SubOperator&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Wires `child` as the next upstream of this operator (owned).
+  /// Returns `this` to allow chained plan construction.
+  SubOperator* AddChild(SubOpPtr child) {
+    children_.push_back(std::move(child));
+    return this;
+  }
+
+  size_t num_children() const { return children_.size(); }
+  SubOperator* child(size_t i) const { return children_[i].get(); }
+  /// Releases ownership of child `i` (used by fusion rewrites).
+  SubOpPtr TakeChild(size_t i) { return std::move(children_[i]); }
+  void SetChild(size_t i, SubOpPtr child) { children_[i] = std::move(child); }
+
+  /// Prepares this operator for iteration. Default: opens all children.
+  virtual Status Open(ExecContext* ctx) {
+    ctx_ = ctx;
+    status_ = Status::OK();
+    for (auto& c : children_) MODULARIS_RETURN_NOT_OK(c->Open(ctx));
+    return Status::OK();
+  }
+
+  /// Produces the next tuple into `*out`. Returns false at end-of-stream
+  /// or on error (check status()).
+  virtual bool Next(Tuple* out) = 0;
+
+  /// Releases per-execution resources. Default: closes all children.
+  virtual Status Close() {
+    Status st = Status::OK();
+    for (auto& c : children_) {
+      Status cst = c->Close();
+      if (st.ok() && !cst.ok()) st = cst;
+    }
+    return st;
+  }
+
+  /// Error state of this operator (OK while streaming / at clean EOS).
+  const Status& status() const { return status_; }
+
+  /// Drains this operator into a vector of tuples (testing / driver use).
+  Result<std::vector<Tuple>> Drain(ExecContext* ctx) {
+    MODULARIS_RETURN_NOT_OK(Open(ctx));
+    std::vector<Tuple> rows;
+    Tuple t;
+    while (Next(&t)) rows.push_back(t);
+    if (!status_.ok()) return status_;
+    MODULARIS_RETURN_NOT_OK(Close());
+    return rows;
+  }
+
+ protected:
+  /// Marks this operator failed and returns false (for use in Next()).
+  bool Fail(Status s) {
+    status_ = std::move(s);
+    return false;
+  }
+
+  /// Checks whether `child` ended with an error and propagates it.
+  /// Call after a child's Next() returned false. Returns false always,
+  /// so `return ChildEnd(c);` reads naturally in Next().
+  bool ChildEnd(SubOperator* child) {
+    if (!child->status().ok()) status_ = child->status();
+    return false;
+  }
+
+  ExecContext* ctx_ = nullptr;
+  Status status_;
+  std::vector<SubOpPtr> children_;
+
+ private:
+  std::string name_;
+};
+
+}  // namespace modularis
+
+#endif  // MODULARIS_CORE_SUB_OPERATOR_H_

@@ -1,0 +1,87 @@
+#include "core/tuple.h"
+
+#include <cstring>
+
+namespace modularis {
+
+bool Item::operator==(const Item& other) const {
+  if (kind() != other.kind()) return false;
+  switch (kind()) {
+    case Kind::kNull:
+      return true;
+    case Kind::kInt64:
+      return i64() == other.i64();
+    case Kind::kFloat64:
+      return f64() == other.f64();
+    case Kind::kString:
+      return str() == other.str();
+    case Kind::kCollection:
+      return collection() == other.collection();
+    case Kind::kRow:
+      // Rows compare by content (same schema layout assumed).
+      return row().data() == other.row().data() ||
+             (row().valid() && other.row().valid() &&
+              row().schema().row_size() == other.row().schema().row_size() &&
+              std::memcmp(row().data(), other.row().data(),
+                          row().schema().row_size()) == 0);
+    case Kind::kTable:
+      return table() == other.table();
+  }
+  return false;
+}
+
+std::string Item::ToString() const {
+  switch (kind()) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kInt64:
+      return std::to_string(i64());
+    case Kind::kFloat64:
+      return std::to_string(f64());
+    case Kind::kString:
+      return "\"" + str() + "\"";
+    case Kind::kCollection: {
+      const RowVectorPtr& rv = collection();
+      if (rv == nullptr) return "RowVector(null)";
+      return "RowVector" + rv->schema().ToString() + "[" +
+             std::to_string(rv->size()) + "]";
+    }
+    case Kind::kRow:
+      return "row@" + std::to_string(reinterpret_cast<uintptr_t>(row().data()));
+    case Kind::kTable: {
+      const ColumnTablePtr& t = table();
+      if (t == nullptr) return "ColumnTable(null)";
+      return "ColumnTable" + t->schema().ToString() + "[" +
+             std::to_string(t->num_rows()) + "]";
+    }
+  }
+  return "?";
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < items_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items_[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+Tuple OwnTuple(const Tuple& t, std::vector<RowVectorPtr>* arena) {
+  Tuple owned;
+  for (size_t i = 0; i < t.size(); ++i) {
+    const Item& item = t[i];
+    if (item.is_row()) {
+      RowVectorPtr copy = RowVector::Make(item.row().schema());
+      copy->AppendRaw(item.row().data());
+      owned.push_back(Item(copy->row(0)));
+      arena->push_back(std::move(copy));
+    } else {
+      owned.push_back(item);
+    }
+  }
+  return owned;
+}
+
+}  // namespace modularis

@@ -1,0 +1,122 @@
+#ifndef MODULARIS_CORE_TUPLE_H_
+#define MODULARIS_CORE_TUPLE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "core/column_table.h"
+#include "core/row_vector.h"
+
+/// \file tuple.h
+/// The runtime values flowing between sub-operators.
+///
+/// Paper §3.3: sub-operators are iterators over tuples, and tuples map field
+/// identifiers to *items*, where an item is either an atom or a collection
+/// of tuples. Bulk data always travels inside collection items (RowVector);
+/// atom items carry scalars such as partition IDs, paths, or single column
+/// values extracted by scan operators.
+///
+/// As an engine-level optimization, scan operators stream individual records
+/// as *row items*: borrowed views into the underlying collection (or into an
+/// operator-owned scratch row). A row item yielded by Next() is only valid
+/// until the next call to Next() on the same operator; operators that retain
+/// rows (Materialize*, BuildProbe) copy the packed bytes.
+
+namespace modularis {
+
+/// One field of a runtime tuple: an atom, a collection, or a borrowed row.
+class Item {
+ public:
+  enum class Kind : uint8_t {
+    kNull,
+    kInt64,
+    kFloat64,
+    kString,
+    kCollection,
+    kRow,
+    kTable,
+  };
+
+  Item() : repr_(std::monostate{}) {}
+  Item(int64_t v) : repr_(v) {}              // NOLINT(runtime/explicit)
+  Item(int32_t v)                            // NOLINT(runtime/explicit)
+      : repr_(static_cast<int64_t>(v)) {}
+  Item(double v) : repr_(v) {}               // NOLINT(runtime/explicit)
+  Item(std::string v) : repr_(std::move(v)) {}  // NOLINT(runtime/explicit)
+  Item(const char* v) : repr_(std::string(v)) {}  // NOLINT(runtime/explicit)
+  Item(RowVectorPtr v) : repr_(std::move(v)) {}   // NOLINT(runtime/explicit)
+  Item(RowRef v) : repr_(v) {}               // NOLINT(runtime/explicit)
+  Item(ColumnTablePtr v) : repr_(std::move(v)) {}  // NOLINT(runtime/explicit)
+
+  Kind kind() const { return static_cast<Kind>(repr_.index()); }
+  bool is_null() const { return kind() == Kind::kNull; }
+  bool is_i64() const { return kind() == Kind::kInt64; }
+  bool is_f64() const { return kind() == Kind::kFloat64; }
+  bool is_str() const { return kind() == Kind::kString; }
+  bool is_collection() const { return kind() == Kind::kCollection; }
+  bool is_row() const { return kind() == Kind::kRow; }
+  bool is_table() const { return kind() == Kind::kTable; }
+
+  int64_t i64() const { return std::get<int64_t>(repr_); }
+  double f64() const { return std::get<double>(repr_); }
+  const std::string& str() const { return std::get<std::string>(repr_); }
+  const RowVectorPtr& collection() const {
+    return std::get<RowVectorPtr>(repr_);
+  }
+  const RowRef& row() const { return std::get<RowRef>(repr_); }
+  const ColumnTablePtr& table() const { return std::get<ColumnTablePtr>(repr_); }
+
+  /// Numeric coercion: i64 or f64 as double (used by aggregate exprs).
+  double AsDouble() const {
+    return is_i64() ? static_cast<double>(i64()) : f64();
+  }
+
+  bool operator==(const Item& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string, RowVectorPtr,
+               RowRef, ColumnTablePtr>
+      repr_;
+};
+
+/// An ordered sequence of items; the unit passed through Next() calls.
+class Tuple {
+ public:
+  Tuple() = default;
+  Tuple(std::initializer_list<Item> items) : items_(items) {}
+  explicit Tuple(std::vector<Item> items) : items_(std::move(items)) {}
+
+  size_t size() const { return items_.size(); }
+  bool empty() const { return items_.empty(); }
+  Item& operator[](size_t i) { return items_[i]; }
+  const Item& operator[](size_t i) const { return items_[i]; }
+  void push_back(Item item) { items_.push_back(std::move(item)); }
+  void clear() { items_.clear(); }
+
+  /// Appends all items of `other` (used by Zip / CartesianProduct).
+  void Append(const Tuple& other) {
+    items_.insert(items_.end(), other.items_.begin(), other.items_.end());
+  }
+
+  bool operator==(const Tuple& other) const { return items_ == other.items_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Item> items_;
+};
+
+/// Deep-copies a tuple: borrowed row items are copied into fresh
+/// single-row collections owned by `arena` and re-pointed, so the tuple
+/// outlives its producer. Atom, collection and table items are shared.
+Tuple OwnTuple(const Tuple& t, std::vector<RowVectorPtr>* arena);
+
+}  // namespace modularis
+
+#endif  // MODULARIS_CORE_TUPLE_H_

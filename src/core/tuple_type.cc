@@ -1,0 +1,80 @@
+#include "core/tuple_type.h"
+
+namespace modularis {
+
+bool ItemType::Equals(const ItemType& other) const {
+  if (kind != other.kind) return false;
+  if (kind == Kind::kAtom) {
+    return atom == other.atom && width == other.width;
+  }
+  if (collection != other.collection) return false;
+  if ((element == nullptr) != (other.element == nullptr)) return false;
+  return element == nullptr || element->Equals(*other.element);
+}
+
+std::string ItemType::ToString() const {
+  if (kind == Kind::kAtom) {
+    std::string out = AtomTypeName(atom);
+    if (atom == AtomType::kString) out += "(" + std::to_string(width) + ")";
+    return out;
+  }
+  return collection + (element ? element->ToString() : "⟨?⟩");
+}
+
+bool TupleType::Equals(const TupleType& other) const {
+  if (fields.size() != other.fields.size()) return false;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].first != other.fields[i].first) return false;
+    if (!fields[i].second.Equals(other.fields[i].second)) return false;
+  }
+  return true;
+}
+
+std::string TupleType::ToString() const {
+  std::string out = "⟨";
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields[i].first + ":" + fields[i].second.ToString();
+  }
+  out += "⟩";
+  return out;
+}
+
+int TupleType::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (fields[i].first == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+TupleTypePtr TupleTypeFromSchema(const Schema& schema) {
+  std::vector<std::pair<std::string, ItemType>> fields;
+  fields.reserve(schema.num_fields());
+  for (const Field& f : schema.fields()) {
+    fields.emplace_back(f.name, ItemType::Atom(f.type, f.width));
+  }
+  return TupleType::Make(std::move(fields));
+}
+
+Result<Schema> SchemaFromTupleType(const TupleType& type) {
+  std::vector<Field> fields;
+  fields.reserve(type.fields.size());
+  for (const auto& [name, item] : type.fields) {
+    if (item.kind != ItemType::Kind::kAtom) {
+      return Status::InvalidArgument(
+          "tuple type has non-atom field '" + name +
+          "'; cannot derive a row schema");
+    }
+    fields.push_back(Field{name, item.atom, item.width});
+  }
+  return Schema(std::move(fields));
+}
+
+TupleTypePtr CollectionTupleType(const std::string& field_name,
+                                 const Schema& schema) {
+  return TupleType::Make(
+      {{field_name,
+        ItemType::Collection("RowVector", TupleTypeFromSchema(schema))}});
+}
+
+}  // namespace modularis

@@ -1,0 +1,90 @@
+#ifndef MODULARIS_CORE_TUPLE_TYPE_H_
+#define MODULARIS_CORE_TUPLE_TYPE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+/// \file tuple_type.h
+/// Static type descriptors for the recursive tuple type system of §3.3:
+///
+///   tuple := ⟨item, ..., item⟩
+///   item  := { atom | collection of tuples }
+///
+/// Plan construction validates sub-operator wiring against these types
+/// (e.g. RowScan requires an upstream producing ⟨RowVector⟨T⟩⟩ and yields
+/// tuples of T).
+
+namespace modularis {
+
+struct TupleType;
+using TupleTypePtr = std::shared_ptr<const TupleType>;
+
+/// The type of one tuple field: an atom or a named collection of tuples.
+struct ItemType {
+  enum class Kind : uint8_t { kAtom, kCollection };
+
+  Kind kind = Kind::kAtom;
+  AtomType atom = AtomType::kInt64;
+  /// For kString atoms: maximum width in bytes.
+  uint32_t width = 0;
+  /// For collections: the physical format name (e.g. "RowVector").
+  std::string collection;
+  /// For collections: the element tuple type.
+  TupleTypePtr element;
+
+  static ItemType Atom(AtomType type, uint32_t width = 0) {
+    ItemType t;
+    t.kind = Kind::kAtom;
+    t.atom = type;
+    t.width = width;
+    return t;
+  }
+  static ItemType Collection(std::string format, TupleTypePtr element) {
+    ItemType t;
+    t.kind = Kind::kCollection;
+    t.collection = std::move(format);
+    t.element = std::move(element);
+    return t;
+  }
+
+  bool Equals(const ItemType& other) const;
+  std::string ToString() const;
+};
+
+/// A named, ordered list of item types.
+struct TupleType {
+  std::vector<std::pair<std::string, ItemType>> fields;
+
+  static TupleTypePtr Make(
+      std::vector<std::pair<std::string, ItemType>> fields) {
+    auto t = std::make_shared<TupleType>();
+    t->fields = std::move(fields);
+    return t;
+  }
+
+  size_t size() const { return fields.size(); }
+  bool Equals(const TupleType& other) const;
+  std::string ToString() const;
+
+  /// Index of the field named `name`, or -1.
+  int FieldIndex(const std::string& name) const;
+};
+
+/// Derives the tuple type of rows materialized with the given schema.
+TupleTypePtr TupleTypeFromSchema(const Schema& schema);
+
+/// Derives a row schema from a tuple type consisting only of atoms.
+/// Fails with InvalidArgument if any field is a collection.
+Result<Schema> SchemaFromTupleType(const TupleType& type);
+
+/// The type of a tuple wrapping a whole collection:
+/// ⟨field : RowVector⟨schema⟩⟩.
+TupleTypePtr CollectionTupleType(const std::string& field_name,
+                                 const Schema& schema);
+
+}  // namespace modularis
+
+#endif  // MODULARIS_CORE_TUPLE_TYPE_H_

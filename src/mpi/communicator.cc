@@ -1,0 +1,150 @@
+#include "mpi/communicator.h"
+
+#include <thread>
+
+namespace modularis::mpi {
+
+void Communicator::Rendezvous(
+    const std::function<void(World::CollectiveSlot&)>& on_arrive,
+    const std::function<void(World::CollectiveSlot&)>& on_complete) {
+  World::CollectiveSlot& slot = world_->slot_;
+  std::unique_lock<std::mutex> lock(slot.mu);
+  uint64_t my_generation = slot.generation;
+  if (on_arrive) on_arrive(slot);
+  if (++slot.arrived == world_->size()) {
+    if (on_complete) on_complete(slot);
+    slot.arrived = 0;
+    ++slot.generation;
+    slot.cv.notify_all();
+  } else {
+    slot.cv.wait(lock, [&] { return slot.generation != my_generation; });
+  }
+}
+
+void Communicator::Barrier() {
+  Rendezvous(nullptr, nullptr);
+}
+
+void Communicator::AllreduceSum(std::vector<int64_t>* data) {
+  Rendezvous(
+      [&](World::CollectiveSlot& slot) {
+        if (slot.reduce_acc.size() != data->size()) {
+          slot.reduce_acc.assign(data->size(), 0);
+        }
+        for (size_t i = 0; i < data->size(); ++i) {
+          slot.reduce_acc[i] += (*data)[i];
+        }
+      },
+      nullptr);
+  // After the rendezvous every rank copies the reduced vector out. The
+  // accumulator is reset by the first arriver of the *next* allreduce, so
+  // a second rendezvous fences the read before reuse.
+  {
+    std::unique_lock<std::mutex> lock(world_->slot_.mu);
+    *data = world_->slot_.reduce_acc;
+  }
+  Rendezvous(nullptr, [](World::CollectiveSlot& slot) {
+    slot.reduce_acc.clear();
+  });
+}
+
+std::vector<std::vector<int64_t>> Communicator::AllgatherI64(
+    const std::vector<int64_t>& local) {
+  Rendezvous(
+      [&](World::CollectiveSlot& slot) {
+        if (slot.gather_parts.size() != static_cast<size_t>(size())) {
+          slot.gather_parts.assign(size(), {});
+        }
+        slot.gather_parts[rank_] = local;
+      },
+      nullptr);
+  std::vector<std::vector<int64_t>> result;
+  {
+    std::unique_lock<std::mutex> lock(world_->slot_.mu);
+    result = world_->slot_.gather_parts;
+  }
+  Rendezvous(nullptr, [](World::CollectiveSlot& slot) {
+    slot.gather_parts.clear();
+  });
+  return result;
+}
+
+std::vector<std::vector<uint8_t>> Communicator::AllgatherBytes(
+    const std::vector<uint8_t>& local) {
+  // Charge the fabric for sending this payload to every peer, then wait
+  // out the modelled serialization before publishing.
+  for (int peer = 0; peer < size(); ++peer) {
+    if (peer == rank_) continue;
+    world_->fabric().Charge(rank_, local.size());
+  }
+  world_->fabric().Flush(rank_);
+  Rendezvous(
+      [&](World::CollectiveSlot& slot) {
+        if (slot.gather_bytes.size() != static_cast<size_t>(size())) {
+          slot.gather_bytes.assign(size(), {});
+        }
+        slot.gather_bytes[rank_] = local;
+      },
+      nullptr);
+  std::vector<std::vector<uint8_t>> result;
+  {
+    std::unique_lock<std::mutex> lock(world_->slot_.mu);
+    result = world_->slot_.gather_bytes;
+  }
+  Rendezvous(nullptr, [](World::CollectiveSlot& slot) {
+    slot.gather_bytes.clear();
+  });
+  return result;
+}
+
+net::WindowId Communicator::WinAllocate(size_t local_bytes) {
+  net::WindowId id = world_->fabric().RegisterWindow(rank_, local_bytes);
+  // Window ids align across ranks because every rank registers in the
+  // same collective order; the barrier publishes the registrations.
+  Barrier();
+  return id;
+}
+
+Status Communicator::WinPut(int target, net::WindowId window, size_t offset,
+                            const void* data, size_t len) {
+  return world_->fabric().Put(rank_, target, window, offset, data, len);
+}
+
+void Communicator::WinFlush() {
+  world_->fabric().Flush(rank_);
+}
+
+uint8_t* Communicator::WinData(net::WindowId window) {
+  return world_->fabric().WindowData(rank_, window);
+}
+
+size_t Communicator::WinSize(net::WindowId window) {
+  return world_->fabric().WindowSize(rank_, window);
+}
+
+void Communicator::WinFree(net::WindowId window) {
+  Barrier();  // no rank may free while others still read
+  world_->fabric().FreeWindow(rank_, window);
+}
+
+Status MpiRuntime::Run(int world_size,
+                       const net::FabricOptions& fabric_options,
+                       const RankFn& fn) {
+  World world(world_size, fabric_options);
+  std::vector<Status> statuses(world_size, Status::OK());
+  std::vector<std::thread> threads;
+  threads.reserve(world_size);
+  for (int r = 0; r < world_size; ++r) {
+    threads.emplace_back([&, r] {
+      Communicator comm(r, &world);
+      statuses[r] = fn(comm);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+}  // namespace modularis::mpi

@@ -1,0 +1,124 @@
+#ifndef MODULARIS_MPI_COMMUNICATOR_H_
+#define MODULARIS_MPI_COMMUNICATOR_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/status.h"
+#include "net/fabric.h"
+
+/// \file communicator.h
+/// The MPI substitute (DESIGN.md §1): barrier, allreduce, allgather and
+/// MPI-3-style one-sided windows over the simulated fabric. Ranks are
+/// threads; collectives genuinely block on the slowest rank, reproducing
+/// the collective-skew / tail-latency effects the paper analyzes in §5.2.2
+/// (MPI_Allreduce waiting on stalled ranks, window allocation as a
+/// collective, etc.).
+
+namespace modularis::mpi {
+
+class Communicator;
+
+/// Shared state of one communicator group (one per MpiRuntime::Run call).
+class World {
+ public:
+  World(int size, net::FabricOptions fabric_options)
+      : size_(size), fabric_(size, std::move(fabric_options)) {}
+
+  int size() const { return size_; }
+  net::Fabric& fabric() { return fabric_; }
+
+ private:
+  friend class Communicator;
+
+  struct CollectiveSlot {
+    std::mutex mu;
+    std::condition_variable cv;
+    int arrived = 0;
+    uint64_t generation = 0;
+    std::vector<int64_t> reduce_acc;
+    std::vector<std::vector<int64_t>> gather_parts;
+    std::vector<std::vector<uint8_t>> gather_bytes;
+  };
+
+  const int size_;
+  net::Fabric fabric_;
+  CollectiveSlot slot_;
+};
+
+/// Per-rank handle to the world; mirrors the subset of the MPI API the
+/// paper's operators use (OpenMPI 3.1.4 in their setup).
+class Communicator {
+ public:
+  Communicator(int rank, World* world) : rank_(rank), world_(world) {}
+
+  int rank() const { return rank_; }
+  int size() const { return world_->size(); }
+  net::Fabric& fabric() { return world_->fabric(); }
+
+  /// MPI_Barrier.
+  void Barrier();
+
+  /// MPI_Allreduce(MPI_SUM) over an i64 vector, in place. All ranks must
+  /// pass equally sized vectors.
+  void AllreduceSum(std::vector<int64_t>* data);
+
+  /// MPI_Allgather: returns every rank's vector, indexed by rank.
+  std::vector<std::vector<int64_t>> AllgatherI64(
+      const std::vector<int64_t>& local);
+
+  /// MPI_Allgather over opaque byte payloads (used by broadcast joins).
+  /// Transfer costs are charged through the fabric (each rank sends its
+  /// payload to every other rank).
+  std::vector<std::vector<uint8_t>> AllgatherBytes(
+      const std::vector<uint8_t>& local);
+
+  // -- One-sided (MPI-3 RMA over the fabric) --------------------------------
+
+  /// Collective window allocation: every rank contributes a local window
+  /// of `local_bytes`; the returned id addresses the matching window on
+  /// every rank.
+  net::WindowId WinAllocate(size_t local_bytes);
+
+  /// One-sided write into `target`'s window (asynchronous).
+  Status WinPut(int target, net::WindowId window, size_t offset,
+                const void* data, size_t len);
+
+  /// Completes all outstanding WinPuts issued by this rank.
+  void WinFlush();
+
+  /// Local access to this rank's own window.
+  uint8_t* WinData(net::WindowId window);
+  size_t WinSize(net::WindowId window);
+
+  /// Collective window release.
+  void WinFree(net::WindowId window);
+
+ private:
+  /// Generic rendezvous helper: the last-arriving rank runs `on_complete`
+  /// while holding the slot lock, then everyone is released.
+  void Rendezvous(const std::function<void(World::CollectiveSlot&)>& on_arrive,
+                  const std::function<void(World::CollectiveSlot&)>&
+                      on_complete);
+
+  int rank_;
+  World* world_;
+};
+
+/// Spawns a world of rank threads, runs `fn` on each, and joins them.
+/// Returns the first non-OK per-rank status (if any).
+class MpiRuntime {
+ public:
+  using RankFn = std::function<Status(Communicator&)>;
+
+  static Status Run(int world_size, const net::FabricOptions& fabric_options,
+                    const RankFn& fn);
+};
+
+}  // namespace modularis::mpi
+
+#endif  // MODULARIS_MPI_COMMUNICATOR_H_

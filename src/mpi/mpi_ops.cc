@@ -1,0 +1,341 @@
+#include "mpi/mpi_ops.h"
+
+#include "suboperators/partition_ops.h"
+#include "suboperators/scan_ops.h"
+
+namespace modularis {
+
+Schema CompressedSchema() {
+  return Schema({Field::I64("word")});
+}
+
+// ---------------------------------------------------------------------------
+// MpiExecutor
+// ---------------------------------------------------------------------------
+
+Status MpiExecutor::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  status_ = Status::OK();
+  results_.clear();
+  arenas_.assign(config_.world_size, {});
+  emit_pos_ = 0;
+
+  std::vector<StatsRegistry> rank_stats(config_.world_size);
+  std::vector<std::vector<Tuple>> rank_results(config_.world_size);
+  const ExecOptions options = ctx->options;
+
+  Status st = mpi::MpiRuntime::Run(
+      config_.world_size, config_.fabric,
+      [&](mpi::Communicator& comm) -> Status {
+        const int r = comm.rank();
+        ExecContext rctx;
+        rctx.rank = r;
+        rctx.world = comm.size();
+        rctx.comm = &comm;
+        rctx.options = options;
+        rctx.stats = &rank_stats[r];
+        Tuple params =
+            config_.rank_params ? config_.rank_params(r) : Tuple{};
+        rctx.PushParams(&params);
+
+        ScopedTimer total(rctx.stats, "phase.rank_total");
+        SubOpPtr plan = config_.plan_factory(r);
+        MODULARIS_RETURN_NOT_OK(plan->Open(&rctx));
+        Tuple t;
+        while (plan->Next(&t)) {
+          rank_results[r].push_back(OwnTuple(t, &arenas_[r]));
+        }
+        MODULARIS_RETURN_NOT_OK(plan->status());
+        MODULARIS_RETURN_NOT_OK(plan->Close());
+        total.Stop();
+
+        // Snapshot fabric accounting before the world is torn down.
+        rctx.stats->AddCounter("net.bytes_sent", comm.fabric().bytes_sent(r));
+        rctx.stats->AddTime("net.charged", comm.fabric().charged_seconds(r));
+        rctx.stats->AddTime("net.stall", comm.fabric().stall_seconds(r));
+        return Status::OK();
+      });
+  MODULARIS_RETURN_NOT_OK(st);
+
+  // Phase times are reported as the slowest rank (as in the paper's
+  // breakdowns); counters accumulate.
+  for (const StatsRegistry& rs : rank_stats) {
+    ctx->stats->MergeMax(rs);
+  }
+  for (auto& tuples : rank_results) {
+    for (Tuple& t : tuples) results_.push_back(std::move(t));
+  }
+  return Status::OK();
+}
+
+bool MpiExecutor::Next(Tuple* out) {
+  if (emit_pos_ >= results_.size()) return false;
+  *out = results_[emit_pos_++];
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// MpiHistogram
+// ---------------------------------------------------------------------------
+
+bool MpiHistogram::Next(Tuple* out) {
+  if (done_) return false;
+  Tuple t;
+  if (!child(0)->Next(&t)) {
+    if (!child(0)->status().ok()) return Fail(child(0)->status());
+    return Fail(Status::InvalidArgument(
+        "MpiHistogram: upstream yielded no local histogram"));
+  }
+  const RowVectorPtr& local = t[0].collection();
+  std::vector<int64_t> counts(local->size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = local->row(i).GetInt64(0);
+  }
+  {
+    ScopedTimer timer(ctx_->stats, timer_key_);
+    ctx_->comm->AllreduceSum(&counts);
+  }
+  RowVectorPtr global = RowVector::Make(HistogramSchema());
+  global->Reserve(counts.size());
+  for (int64_t c : counts) global->AppendRow().SetInt64(0, c);
+  done_ = true;
+  out->clear();
+  out->push_back(Item(std::move(global)));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// MpiExchange
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<int64_t> ReadHistogram(const RowVector& hist) {
+  std::vector<int64_t> counts(hist.size());
+  for (size_t i = 0; i < hist.size(); ++i) {
+    counts[i] = hist.row(i).GetInt64(0);
+  }
+  return counts;
+}
+
+}  // namespace
+
+Status MpiExchange::DoExchange() {
+  mpi::Communicator* comm = ctx_->comm;
+  if (comm == nullptr) {
+    return Status::Internal("MpiExchange requires an MPI communicator");
+  }
+  const int world = comm->size();
+  const int me = comm->rank();
+  const int fanout = opts_.spec.fanout();
+
+  // Gather the input collections (the pipeline has materialized them).
+  std::vector<RowVectorPtr> inputs;
+  RowVectorPtr row_buffer;
+  {
+    Tuple t;
+    while (child(0)->Next(&t)) {
+      const Item& item = t[0];
+      if (item.is_collection()) {
+        inputs.push_back(item.collection());
+      } else if (item.is_row()) {
+        if (row_buffer == nullptr) {
+          row_buffer = RowVector::Make(item.row().schema());
+        }
+        row_buffer->AppendRaw(item.row().data());
+      } else {
+        return Status::InvalidArgument(
+            "MpiExchange expects rows or collections, got " +
+            item.ToString());
+      }
+    }
+    MODULARIS_RETURN_NOT_OK(child(0)->status());
+    if (row_buffer != nullptr) inputs.push_back(std::move(row_buffer));
+  }
+
+  // Histograms.
+  Tuple hist_tuple;
+  if (!child(1)->Next(&hist_tuple)) {
+    MODULARIS_RETURN_NOT_OK(child(1)->status());
+    return Status::InvalidArgument("MpiExchange: missing local histogram");
+  }
+  std::vector<int64_t> local_counts = ReadHistogram(*hist_tuple[0].collection());
+  if (!child(2)->Next(&hist_tuple)) {
+    MODULARIS_RETURN_NOT_OK(child(2)->status());
+    return Status::InvalidArgument("MpiExchange: missing global histogram");
+  }
+  std::vector<int64_t> global_counts =
+      ReadHistogram(*hist_tuple[0].collection());
+  if (static_cast<int>(local_counts.size()) != fanout ||
+      static_cast<int>(global_counts.size()) != fanout) {
+    return Status::InvalidArgument("MpiExchange: histogram/fanout mismatch");
+  }
+
+  Schema in_schema =
+      inputs.empty() ? KeyValueSchema() : inputs.front()->schema();
+  if (opts_.compress) {
+    if (in_schema.num_fields() != 2 ||
+        in_schema.field(0).type != AtomType::kInt64 ||
+        in_schema.field(1).type != AtomType::kInt64 ||
+        opts_.spec.hash != RadixHash::kIdentity || opts_.spec.shift != 0) {
+      return Status::InvalidArgument(
+          "MpiExchange: compression requires a ⟨i64 key, i64 value⟩ "
+          "workload with identity radix hashing");
+    }
+    if (2 * opts_.domain_bits - opts_.spec.bits > 64) {
+      return Status::InvalidArgument(
+          "MpiExchange: 2·P − F exceeds 64 bits; cannot compress");
+    }
+  }
+  const Schema out_schema =
+      opts_.compress ? CompressedSchema() : in_schema;
+  const uint32_t out_row = out_schema.row_size();
+
+  ScopedTimer timer(ctx_->stats, opts_.timer_key);
+
+  // Exclusive write offsets from the allgathered local histograms.
+  std::vector<std::vector<int64_t>> all_local =
+      comm->AllgatherI64(local_counts);
+
+  // Window layout at each owner: its partitions in ascending pid order.
+  std::vector<int64_t> partition_base(fanout, 0);  // row offset at owner
+  std::vector<int64_t> owner_rows(world, 0);
+  for (int p = 0; p < fanout; ++p) {
+    int owner = p % world;
+    partition_base[p] = owner_rows[owner];
+    owner_rows[owner] += global_counts[p];
+  }
+
+  // My starting write offset inside each partition's region.
+  std::vector<int64_t> write_offset(fanout);  // in rows, absolute in window
+  for (int p = 0; p < fanout; ++p) {
+    int64_t before_me = 0;
+    for (int r = 0; r < me; ++r) before_me += all_local[r][p];
+    write_offset[p] = partition_base[p] + before_me;
+  }
+
+  net::WindowId window =
+      comm->WinAllocate(static_cast<size_t>(owner_rows[me]) * out_row);
+
+  // Software write-combining buffers, flushed by async one-sided writes.
+  const size_t buf_rows =
+      std::max<size_t>(1, opts_.buffer_bytes / out_row);
+  std::vector<std::vector<uint8_t>> buffers(fanout);
+  std::vector<size_t> buffered(fanout, 0);
+  for (auto& b : buffers) b.resize(buf_rows * out_row);
+
+  auto flush_partition = [&](int p) -> Status {
+    if (buffered[p] == 0) return Status::OK();
+    int owner = p % world;
+    MODULARIS_RETURN_NOT_OK(comm->WinPut(
+        owner, window, static_cast<size_t>(write_offset[p]) * out_row,
+        buffers[p].data(), buffered[p] * out_row));
+    write_offset[p] += static_cast<int64_t>(buffered[p]);
+    buffered[p] = 0;
+    return Status::OK();
+  };
+
+  const int key_col = opts_.key_col;
+  const uint32_t in_row = in_schema.row_size();
+  for (const RowVectorPtr& input : inputs) {
+    const uint8_t* p = input->data();
+    const size_t n = input->size();
+    const uint32_t key_offset = in_schema.offset(key_col);
+    const bool wide = in_schema.field(key_col).type == AtomType::kInt64;
+    for (size_t i = 0; i < n; ++i, p += in_row) {
+      int64_t key;
+      if (wide) {
+        std::memcpy(&key, p + key_offset, sizeof(key));
+      } else {
+        int32_t k32;
+        std::memcpy(&k32, p + key_offset, sizeof(k32));
+        key = k32;
+      }
+      uint32_t pid = opts_.spec.PartitionOf(key);
+      uint8_t* dst = buffers[pid].data() + buffered[pid] * out_row;
+      if (opts_.compress) {
+        int64_t value;
+        std::memcpy(&value, p + in_schema.offset(1), sizeof(value));
+        int64_t word =
+            CompressKV(key, value, opts_.spec.bits, opts_.domain_bits);
+        std::memcpy(dst, &word, sizeof(word));
+      } else {
+        std::memcpy(dst, p, in_row);
+      }
+      if (++buffered[pid] == buf_rows) {
+        MODULARIS_RETURN_NOT_OK(flush_partition(static_cast<int>(pid)));
+      }
+    }
+  }
+  for (int p = 0; p < fanout; ++p) {
+    MODULARIS_RETURN_NOT_OK(flush_partition(p));
+  }
+  comm->WinFlush();
+  comm->Barrier();  // all one-sided writes of all ranks have landed
+
+  // Materialize owned partitions out of the window (the paper's extension
+  // of the original algorithm, §4.1.2).
+  const uint8_t* win = comm->WinData(window);
+  for (int p = me; p < fanout; p += world) {
+    RowVectorPtr part = RowVector::Make(out_schema);
+    part->AppendRawBatch(
+        win + static_cast<size_t>(partition_base[p]) * out_row,
+        static_cast<size_t>(global_counts[p]));
+    out_parts_.emplace_back(p, std::move(part));
+  }
+  timer.Stop();
+  comm->WinFree(window);
+  return Status::OK();
+}
+
+bool MpiBroadcast::Next(Tuple* out) {
+  if (done_) return false;
+  if (ctx_->comm == nullptr) {
+    return Fail(Status::Internal("MpiBroadcast requires a communicator"));
+  }
+  RowVectorPtr local = RowVector::Make(schema_);
+  Tuple t;
+  while (child(0)->Next(&t)) {
+    const Item& item = t[0];
+    if (item.is_collection()) {
+      local->AppendAll(*item.collection());
+    } else if (item.is_row()) {
+      local->AppendRaw(item.row().data());
+    } else {
+      return Fail(Status::InvalidArgument(
+          "MpiBroadcast expects rows or collections, got " +
+          item.ToString()));
+    }
+  }
+  if (!child(0)->status().ok()) return Fail(child(0)->status());
+
+  ScopedTimer timer(ctx_->stats, timer_key_);
+  std::vector<uint8_t> bytes(local->data(),
+                             local->data() + local->byte_size());
+  std::vector<std::vector<uint8_t>> all =
+      ctx_->comm->AllgatherBytes(bytes);
+  RowVectorPtr merged = RowVector::Make(schema_);
+  for (const auto& part : all) {
+    merged->AppendRawBatch(part.data(), part.size() / schema_.row_size());
+  }
+  done_ = true;
+  out->clear();
+  out->push_back(Item(std::move(merged)));
+  return true;
+}
+
+bool MpiExchange::Next(Tuple* out) {
+  if (!exchanged_) {
+    Status st = DoExchange();
+    if (!st.ok()) return Fail(st);
+    exchanged_ = true;
+  }
+  if (emit_pos_ >= out_parts_.size()) return false;
+  out->clear();
+  out->push_back(Item(out_parts_[emit_pos_].first));
+  out->push_back(Item(out_parts_[emit_pos_].second));
+  ++emit_pos_;
+  return true;
+}
+
+}  // namespace modularis

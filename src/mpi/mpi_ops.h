@@ -1,0 +1,173 @@
+#ifndef MODULARIS_MPI_MPI_OPS_H_
+#define MODULARIS_MPI_MPI_OPS_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sub_operator.h"
+#include "mpi/communicator.h"
+#include "suboperators/radix.h"
+
+/// \file mpi_ops.h
+/// The MPI-specific sub-operators (paper Table 1): the only operators that
+/// are aware of the RDMA platform. Everything else in a plan is platform
+/// agnostic — this is the modularity claim of the paper, and the reason
+/// the Table 2 "platform-specific SLOC" count covers exactly these three
+/// operators.
+
+namespace modularis {
+
+/// Schema of compressed exchange partitions: one 64-bit word per record
+/// (paper §4.1.2: key and value packed into 8 bytes for dense domains).
+Schema CompressedSchema();
+
+/// Packs key/value into the 8-byte exchange word given the network radix
+/// width F and the domain width P (2·P − F ≤ 64 required).
+inline int64_t CompressKV(int64_t key, int64_t value, int radix_bits,
+                          int domain_bits) {
+  int64_t key_hi = key >> radix_bits;
+  return (key_hi << domain_bits) | value;
+}
+/// Recovers ⟨key, value⟩ from a word and its network partition id.
+inline void DecompressKV(int64_t word, int64_t pid, int radix_bits,
+                         int domain_bits, int64_t* key, int64_t* value) {
+  int64_t key_hi = word >> domain_bits;
+  *key = (key_hi << radix_bits) | pid;
+  *value = word & ((int64_t{1} << domain_bits) - 1);
+}
+
+/// MpiExecutor runs a nested plan on every rank of a simulated cluster in
+/// a data-parallel fashion (the stacked frame of Fig. 3). The nested plan
+/// is produced per rank by a factory; each rank's plan-input tuple comes
+/// from `rank_params`. The executor collects every tuple the rank plans
+/// emit and yields them (rank-ordered) to the driver-side remainder of
+/// the plan.
+class MpiExecutor : public SubOperator {
+ public:
+  struct Config {
+    int world_size = 4;
+    net::FabricOptions fabric;
+    /// Builds rank `r`'s operator tree. Must be thread-compatible (called
+    /// concurrently for distinct ranks).
+    std::function<SubOpPtr(int rank)> plan_factory;
+    /// Plan inputs for rank `r` (bound to its ParameterLookups). May be
+    /// null when the nested plan has no inputs.
+    std::function<Tuple(int rank)> rank_params;
+  };
+
+  explicit MpiExecutor(Config config)
+      : SubOperator("MpiExecutor"), config_(std::move(config)) {}
+
+  Status Open(ExecContext* ctx) override;
+  bool Next(Tuple* out) override;
+
+ private:
+  Config config_;
+  std::vector<Tuple> results_;
+  std::vector<std::vector<RowVectorPtr>> arenas_;
+  size_t emit_pos_ = 0;
+};
+
+/// MpiHistogram turns a local radix histogram into the global one via
+/// MPI_Allreduce (paper Fig. 3, operator "MH").
+class MpiHistogram : public SubOperator {
+ public:
+  explicit MpiHistogram(SubOpPtr local_hist,
+                        std::string timer_key = "phase.global_histogram")
+      : SubOperator("MpiHistogram"), timer_key_(std::move(timer_key)) {
+    AddChild(std::move(local_hist));
+  }
+
+  Status Open(ExecContext* ctx) override {
+    done_ = false;
+    return SubOperator::Open(ctx);
+  }
+
+  bool Next(Tuple* out) override;
+
+ private:
+  std::string timer_key_;
+  bool done_ = false;
+};
+
+/// MpiExchange is the RDMA-aware network partitioning operator modelled on
+/// Barthels et al. [14] (§4.1.2):
+///  1. allgathers local histograms to derive exclusive write offsets,
+///  2. collectively allocates RMA windows sized from the global histogram,
+///  3. radix-partitions its input into software write-combining buffers
+///     flushed by asynchronous one-sided writes (optionally compressing
+///     16-byte ⟨key,value⟩ records into 8-byte words),
+///  4. flushes + barriers, then materializes each owned partition and
+///     emits ⟨networkPartitionID, partitionData⟩ in ascending pid order.
+/// Partition ownership is round-robin: owner(p) = p mod world.
+class MpiExchange : public SubOperator {
+ public:
+  struct Options {
+    RadixSpec spec;             // network radix pass (shift 0)
+    int key_col = 0;
+    bool compress = false;      // §4.1.2 compression pass output
+    int domain_bits = 29;       // P
+    size_t buffer_bytes = 1 << 16;
+    std::string timer_key = "phase.network_partition";
+  };
+
+  /// Children: data, local histogram, global histogram (paper Fig. 3).
+  MpiExchange(SubOpPtr data, SubOpPtr local_hist, SubOpPtr global_hist,
+              Options options)
+      : SubOperator("MpiExchange"), opts_(std::move(options)) {
+    AddChild(std::move(data));
+    AddChild(std::move(local_hist));
+    AddChild(std::move(global_hist));
+  }
+
+  Status Open(ExecContext* ctx) override {
+    exchanged_ = false;
+    emit_pos_ = 0;
+    out_parts_.clear();
+    return SubOperator::Open(ctx);
+  }
+
+  bool Next(Tuple* out) override;
+
+ private:
+  Status DoExchange();
+
+  Options opts_;
+  bool exchanged_ = false;
+  size_t emit_pos_ = 0;
+  /// ⟨pid, partitionData⟩ for every partition this rank owns.
+  std::vector<std::pair<int64_t, RowVectorPtr>> out_parts_;
+};
+
+/// MpiBroadcast replicates its (small) input on every rank via allgather —
+/// the broadcast-join building block the histogram-based exchange loses to
+/// on small joins (the paper's Q19 discussion, §5.1.1). Emits one tuple
+/// holding the union collection of all ranks' inputs.
+class MpiBroadcast : public SubOperator {
+ public:
+  MpiBroadcast(SubOpPtr data, Schema schema,
+               std::string timer_key = "phase.broadcast")
+      : SubOperator("MpiBroadcast"),
+        schema_(std::move(schema)),
+        timer_key_(std::move(timer_key)) {
+    AddChild(std::move(data));
+  }
+
+  Status Open(ExecContext* ctx) override {
+    done_ = false;
+    return SubOperator::Open(ctx);
+  }
+
+  bool Next(Tuple* out) override;
+
+ private:
+  Schema schema_;
+  std::string timer_key_;
+  bool done_ = false;
+};
+
+}  // namespace modularis
+
+#endif  // MODULARIS_MPI_MPI_OPS_H_

@@ -1,0 +1,51 @@
+#ifndef MODULARIS_MPI_TCP_EXCHANGE_H_
+#define MODULARIS_MPI_TCP_EXCHANGE_H_
+
+#include <string>
+
+#include "core/sub_operator.h"
+#include "mpi/communicator.h"
+#include "suboperators/radix.h"
+
+/// \file tcp_exchange.h
+/// The TCP-based exchange the paper names as the natural next backend
+/// (§4.4: "we could extend the TPC-H implementation to use an exchange
+/// operator based on TCP. The addition of more backends only requires
+/// changing the executor and the operators that comprise the network
+/// exchange phase"). Unlike MpiExchange it needs no histograms and no RMA
+/// windows: records are hash-partitioned into one bucket per peer and
+/// pushed with two-sided sends; every rank then owns exactly one
+/// partition. Used by the Presto-profile baseline, whose engines exchange
+/// over commodity TCP.
+
+namespace modularis {
+
+/// Two-sided hash exchange. Consumes records/collections; emits a single
+/// ⟨pid = rank, partitionData⟩ tuple holding everything routed here.
+class TcpExchange : public SubOperator {
+ public:
+  struct Options {
+    int key_col = 0;
+    std::string timer_key = "phase.network_partition";
+  };
+
+  TcpExchange(SubOpPtr data, Options options)
+      : SubOperator("TcpExchange"), opts_(std::move(options)) {
+    AddChild(std::move(data));
+  }
+
+  Status Open(ExecContext* ctx) override {
+    done_ = false;
+    return SubOperator::Open(ctx);
+  }
+
+  bool Next(Tuple* out) override;
+
+ private:
+  Options opts_;
+  bool done_ = false;
+};
+
+}  // namespace modularis
+
+#endif  // MODULARIS_MPI_TCP_EXCHANGE_H_

@@ -1,0 +1,170 @@
+#include "net/fabric.h"
+
+#include <cstring>
+#include <thread>
+
+namespace modularis::net {
+
+namespace {
+// Sleeps shorter than this are skipped: the scheduler cannot honour them
+// accurately and they would only add noise.
+constexpr auto kMinSleep = std::chrono::microseconds(50);
+}  // namespace
+
+Fabric::Fabric(int world_size, FabricOptions options)
+    : world_size_(world_size), options_(std::move(options)) {
+  windows_.resize(world_size_);
+  nics_.reserve(world_size_);
+  for (int i = 0; i < world_size_; ++i) {
+    nics_.push_back(std::make_unique<Nic>());
+  }
+  mailboxes_.reserve(static_cast<size_t>(world_size_) * world_size_);
+  for (int i = 0; i < world_size_ * world_size_; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+}
+
+WindowId Fabric::RegisterWindow(int rank, size_t bytes) {
+  std::lock_guard<std::mutex> lock(windows_mu_);
+  auto& slots = windows_[rank];
+  slots.push_back(std::make_unique<std::vector<uint8_t>>(bytes));
+  return static_cast<WindowId>(slots.size() - 1);
+}
+
+uint8_t* Fabric::WindowData(int rank, WindowId id) {
+  std::lock_guard<std::mutex> lock(windows_mu_);
+  return windows_[rank][id]->data();
+}
+
+size_t Fabric::WindowSize(int rank, WindowId id) {
+  std::lock_guard<std::mutex> lock(windows_mu_);
+  return windows_[rank][id]->size();
+}
+
+void Fabric::FreeWindow(int rank, WindowId id) {
+  std::lock_guard<std::mutex> lock(windows_mu_);
+  windows_[rank][id].reset();
+}
+
+Fabric::Clock::time_point Fabric::ChargeTransfer(int rank, size_t len) {
+  Nic& nic = *nics_[rank];
+  double seconds = options_.latency_seconds +
+                   static_cast<double>(len) / options_.bandwidth_bytes_per_sec;
+  auto dur = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(seconds));
+  std::lock_guard<std::mutex> lock(nic.mu);
+  auto now = Clock::now();
+  auto start = nic.egress_busy_until > now ? nic.egress_busy_until : now;
+  nic.egress_busy_until = start + dur;
+  nic.bytes_sent += static_cast<int64_t>(len);
+  nic.charged_seconds += seconds;
+  return nic.egress_busy_until;
+}
+
+Status Fabric::Put(int src, int dst, WindowId window, size_t offset,
+                   const void* data, size_t len) {
+  uint8_t* base;
+  size_t size;
+  {
+    std::lock_guard<std::mutex> lock(windows_mu_);
+    auto& slot = windows_[dst][window];
+    if (slot == nullptr) {
+      return Status::InvalidArgument("Put into freed window");
+    }
+    base = slot->data();
+    size = slot->size();
+  }
+  if (offset + len > size) {
+    return Status::OutOfRange("Put overruns window: offset " +
+                              std::to_string(offset) + " + len " +
+                              std::to_string(len) + " > size " +
+                              std::to_string(size));
+  }
+  // Data lands immediately (senders write disjoint regions); only the
+  // timing model is asynchronous.
+  std::memcpy(base + offset, data, len);
+  ChargeTransfer(src, len);
+  return Status::OK();
+}
+
+void Fabric::Flush(int src) {
+  Nic& nic = *nics_[src];
+  Clock::time_point until;
+  {
+    std::lock_guard<std::mutex> lock(nic.mu);
+    until = nic.egress_busy_until;
+  }
+  auto now = Clock::now();
+  if (until <= now) return;
+  double wait = std::chrono::duration<double>(until - now).count();
+  {
+    std::lock_guard<std::mutex> lock(nic.mu);
+    nic.stall_seconds += wait;
+  }
+  if (options_.throttle && until - now >= kMinSleep) {
+    std::this_thread::sleep_until(until);
+  }
+}
+
+void Fabric::Send(int src, int dst, std::vector<uint8_t> payload) {
+  auto done = ChargeTransfer(src, payload.size());
+  // Two-sided transfers do not overlap with computation: block for the
+  // modelled serialization time before the message becomes visible.
+  auto now = Clock::now();
+  if (done > now) {
+    double wait = std::chrono::duration<double>(done - now).count();
+    {
+      Nic& nic = *nics_[src];
+      std::lock_guard<std::mutex> lock(nic.mu);
+      nic.stall_seconds += wait;
+    }
+    if (options_.throttle && done - now >= kMinSleep) {
+      std::this_thread::sleep_until(done);
+    }
+  }
+  Mailbox& box = *mailboxes_[static_cast<size_t>(dst) * world_size_ + src];
+  {
+    std::lock_guard<std::mutex> lock(box.mu);
+    box.messages.push_back(std::move(payload));
+  }
+  box.cv.notify_all();
+}
+
+std::vector<uint8_t> Fabric::Recv(int dst, int src) {
+  Mailbox& box = *mailboxes_[static_cast<size_t>(dst) * world_size_ + src];
+  std::unique_lock<std::mutex> lock(box.mu);
+  box.cv.wait(lock, [&] { return !box.messages.empty(); });
+  std::vector<uint8_t> msg = std::move(box.messages.front());
+  box.messages.pop_front();
+  return msg;
+}
+
+int64_t Fabric::bytes_sent(int rank) const {
+  Nic& nic = *nics_[rank];
+  std::lock_guard<std::mutex> lock(nic.mu);
+  return nic.bytes_sent;
+}
+
+double Fabric::charged_seconds(int rank) const {
+  Nic& nic = *nics_[rank];
+  std::lock_guard<std::mutex> lock(nic.mu);
+  return nic.charged_seconds;
+}
+
+double Fabric::stall_seconds(int rank) const {
+  Nic& nic = *nics_[rank];
+  std::lock_guard<std::mutex> lock(nic.mu);
+  return nic.stall_seconds;
+}
+
+void Fabric::ResetStats() {
+  for (auto& nic : nics_) {
+    std::lock_guard<std::mutex> lock(nic->mu);
+    nic->bytes_sent = 0;
+    nic->charged_seconds = 0;
+    nic->stall_seconds = 0;
+    nic->egress_busy_until = Clock::time_point::min();
+  }
+}
+
+}  // namespace modularis::net

@@ -1,0 +1,156 @@
+#ifndef MODULARIS_NET_FABRIC_H_
+#define MODULARIS_NET_FABRIC_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+#include "core/status.h"
+
+/// \file fabric.h
+/// Simulated cluster interconnect — the substitute for the paper's
+/// InfiniBand QDR RDMA network (DESIGN.md §1).
+///
+/// Ranks are threads inside one process. The fabric provides:
+///  * RMA windows: per-rank registered buffers remote ranks write into.
+///  * One-sided asynchronous Put (RDMA write) + Flush (completion wait).
+///  * Two-sided Send/Recv with a separate "TCP profile" used by the
+///    baseline engines (no one-sided access, higher per-message cost).
+///
+/// Transfers are real memcpys; *timing* is modelled by advancing a per-NIC
+/// busy-clock by latency + bytes/bandwidth. Put only advances the clock
+/// (communication overlaps computation, as with real async RDMA); Flush
+/// sleeps until the clock catches up, which is where network stall time
+/// becomes visible — exactly the behaviour the paper's exchange relies on
+/// (overlap partitioning with sends, wait at the end).
+
+namespace modularis::net {
+
+/// Cluster/network model parameters (the Table 3 analog).
+struct FabricOptions {
+  /// Human-readable profile name (printed by benchmark headers).
+  std::string name = "sim-infiniband-qdr";
+  /// Per-NIC egress bandwidth in bytes/second.
+  double bandwidth_bytes_per_sec = 3.2e9;
+  /// Per-message one-way latency in seconds.
+  double latency_seconds = 2e-6;
+  /// When false, transfers are not slept on (functional tests); charged
+  /// time is still accounted in stats.
+  bool throttle = true;
+
+  /// A slower, two-sided profile approximating IP-over-IB / datacenter TCP
+  /// as used by the Presto/SingleStore-profile baselines.
+  static FabricOptions TcpProfile() {
+    FabricOptions o;
+    o.name = "sim-tcp";
+    o.bandwidth_bytes_per_sec = 1.1e9;
+    o.latency_seconds = 40e-6;
+    return o;
+  }
+};
+
+/// Identifies one registered RMA window of one rank.
+using WindowId = int;
+
+/// The shared interconnect for a fixed-size world of ranks.
+/// Thread-safe: each rank calls from its own thread.
+class Fabric {
+ public:
+  Fabric(int world_size, FabricOptions options);
+
+  int world_size() const { return world_size_; }
+  const FabricOptions& options() const { return options_; }
+
+  // -- RMA windows ----------------------------------------------------------
+
+  /// Registers a `bytes`-sized window owned by `rank`. Window ids are
+  /// assigned per rank in registration order; collectives coordinate so
+  /// matching windows share ids across ranks.
+  WindowId RegisterWindow(int rank, size_t bytes);
+
+  /// Raw pointer to rank's window memory (valid until FreeWindow).
+  uint8_t* WindowData(int rank, WindowId id);
+  size_t WindowSize(int rank, WindowId id);
+
+  /// Releases the window's memory. Outstanding Puts must be flushed.
+  void FreeWindow(int rank, WindowId id);
+
+  // -- One-sided (RDMA profile) ----------------------------------------------
+
+  /// Asynchronous one-sided write of `len` bytes into (dst, window, offset).
+  /// Callers must write disjoint regions (the exchange guarantees this via
+  /// histogram-derived exclusive offsets). Returns immediately; completion
+  /// is established by Flush(src).
+  Status Put(int src, int dst, WindowId window, size_t offset,
+             const void* data, size_t len);
+
+  /// Blocks until all Puts issued by `src` have "drained" (busy-clock
+  /// caught up). Stall time is recorded under "net.flush_wait".
+  void Flush(int src);
+
+  // -- Two-sided (TCP profile, used by baselines) -----------------------------
+
+  /// Sends a message from `src` to `dst` (copies the payload; blocks for
+  /// the modelled serialization time — two-sided has no overlap).
+  void Send(int src, int dst, std::vector<uint8_t> payload);
+
+  /// Receives the next message sent from `src` to `dst` (blocking).
+  std::vector<uint8_t> Recv(int dst, int src);
+
+  /// Charges `rank`'s egress clock for a transfer of `len` bytes without
+  /// moving data (collectives whose payload travels via shared memory).
+  void Charge(int rank, size_t len) { ChargeTransfer(rank, len); }
+
+  // -- Accounting -------------------------------------------------------------
+
+  /// Bytes put/sent by `rank` since the last ResetStats.
+  int64_t bytes_sent(int rank) const;
+  /// Pure modelled transfer time charged to `rank` (bytes/bw + latency),
+  /// independent of achieved overlap. This is the Fig. 11c series.
+  double charged_seconds(int rank) const;
+  /// Wall time `rank` spent blocked in Flush/Send.
+  double stall_seconds(int rank) const;
+
+  void ResetStats();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Nic {
+    std::mutex mu;
+    Clock::time_point egress_busy_until = Clock::time_point::min();
+    int64_t bytes_sent = 0;
+    double charged_seconds = 0;
+    double stall_seconds = 0;
+  };
+
+  struct Mailbox {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::vector<uint8_t>> messages;
+  };
+
+  /// Advances rank's egress clock for a transfer of `len` bytes and
+  /// returns the time point at which the transfer completes.
+  Clock::time_point ChargeTransfer(int rank, size_t len);
+
+  const int world_size_;
+  const FabricOptions options_;
+
+  std::mutex windows_mu_;
+  std::vector<std::vector<std::unique_ptr<std::vector<uint8_t>>>> windows_;
+
+  std::vector<std::unique_ptr<Nic>> nics_;
+  /// mailboxes_[dst * world + src]
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+};
+
+}  // namespace modularis::net
+
+#endif  // MODULARIS_NET_FABRIC_H_

@@ -1,0 +1,51 @@
+#ifndef MODULARIS_PLANS_COMMON_H_
+#define MODULARIS_PLANS_COMMON_H_
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/exec_context.h"
+#include "core/pipeline.h"
+#include "core/sub_operator.h"
+#include "suboperators/basic_ops.h"
+#include "suboperators/scan_ops.h"
+
+/// \file common.h
+/// Shared helpers for the relational plan builders (distributed join,
+/// GROUP BY, join sequences, TPC-H).
+
+namespace modularis::plans {
+
+/// Wraps `src` in a RowScan unless fusion is enabled. This is the plan-
+/// time operator-fusion decision (the JIT analog, DESIGN.md §1): with
+/// fusion, bulk operators consume whole collections in tight loops; without
+/// it, every record crosses a virtual Next() call — the "interpreted"
+/// configuration measured by the ablation benchmarks.
+inline SubOpPtr MaybeScan(SubOpPtr src, bool fused) {
+  if (fused) return src;
+  return std::make_unique<RowScan>(std::move(src));
+}
+
+/// Projection of the current parameter tuple: the ubiquitous
+/// ParameterLookup → Projection prefix of nested plans (Fig. 3).
+inline SubOpPtr ParamItem(int index) {
+  return std::make_unique<Projection>(std::make_unique<ParameterLookup>(),
+                                      std::vector<int>{index});
+}
+
+/// Output schema of the normalized two-relation join:
+/// ⟨key, inner payload, outer payload⟩.
+inline Schema JoinOutSchema() {
+  return Schema({Field::I64("key"), Field::I64("value"),
+                 Field::I64("value_r")});
+}
+
+/// Drains a root operator and concatenates all collection items it yields
+/// into one RowVector of `schema`.
+Result<RowVectorPtr> DrainCollections(SubOperator* root, ExecContext* ctx,
+                                      const Schema& schema);
+
+}  // namespace modularis::plans
+
+#endif  // MODULARIS_PLANS_COMMON_H_

@@ -1,0 +1,52 @@
+#ifndef MODULARIS_PLANS_DISTRIBUTED_GROUPBY_H_
+#define MODULARIS_PLANS_DISTRIBUTED_GROUPBY_H_
+
+#include <vector>
+
+#include "core/stats.h"
+#include "mpi/mpi_ops.h"
+#include "plans/common.h"
+
+/// \file distributed_groupby.h
+/// The distributed GROUP BY of paper §4.3 (Fig. 5), built almost entirely
+/// from the join plan's sub-operators — the paper's demonstration that
+/// modularity turns "implement a new operator" into "recompose existing
+/// ones plus ReduceByKey".
+///
+///   LocalHistogram → MpiHistogram → MpiExchange →
+///   NestedMap( per network partition:
+///     LocalHistogram/LocalPartition → CartesianProduct →
+///     NestedMap( per local partition:
+///       ParametrizedMap (restore keys) → ReduceByKey →
+///       MaterializeRowVector ) → RowScan → Materialize )
+///   → RowScan → MaterializeRowVector
+
+namespace modularis::plans {
+
+struct DistGroupByOptions {
+  int world_size = 4;
+  net::FabricOptions fabric;
+  ExecOptions exec;
+  /// §4.1.2 key/value compression in the exchange ("crucial for
+  /// performance", §4.3).
+  bool compress = true;
+};
+
+/// Output schema: ⟨key, sum⟩.
+inline Schema GroupByOutSchema() {
+  return Schema({Field::I64("key"), Field::I64("sum")});
+}
+
+/// Builds one rank's Fig. 5 plan. Rank parameter tuple: ⟨data collection⟩.
+SubOpPtr BuildGroupByRankPlan(const DistGroupByOptions& opts);
+
+/// Runs the distributed GROUP BY over per-rank kv16 fragments and returns
+/// the grouped sums (keys are hash-partitioned, so rank results are
+/// disjoint and concatenate directly).
+Result<RowVectorPtr> RunDistributedGroupBy(
+    const std::vector<RowVectorPtr>& fragments,
+    const DistGroupByOptions& opts, StatsRegistry* stats);
+
+}  // namespace modularis::plans
+
+#endif  // MODULARIS_PLANS_DISTRIBUTED_GROUPBY_H_

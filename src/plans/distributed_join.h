@@ -1,0 +1,52 @@
+#ifndef MODULARIS_PLANS_DISTRIBUTED_JOIN_H_
+#define MODULARIS_PLANS_DISTRIBUTED_JOIN_H_
+
+#include <vector>
+
+#include "core/stats.h"
+#include "mpi/mpi_ops.h"
+#include "plans/common.h"
+#include "suboperators/join_ops.h"
+
+/// \file distributed_join.h
+/// The paper's flagship case study (§4.1): the RDMA-aware distributed
+/// radix hash join of Barthels et al. [14], expressed entirely as a plan
+/// of reusable sub-operators (Fig. 3):
+///
+///   per side:  LocalHistogram → MpiHistogram → MpiExchange
+///   then:      Zip → NestedMap( per network-partition pair:
+///                LocalHistogram/LocalPartition each side →
+///                CartesianProduct (re-attach pid) →
+///                Zip → NestedMap( per local-partition pair:
+///                  BuildProbe → ParametrizedMap (recover key bits) →
+///                  MaterializeRowVector ) → RowScan → Materialize )
+///              → RowScan → MaterializeRowVector
+
+namespace modularis::plans {
+
+/// Configuration of the distributed join benchmark workloads (§5.2).
+struct DistJoinOptions {
+  int world_size = 4;
+  net::FabricOptions fabric;
+  ExecOptions exec;
+  /// Apply the §4.1.2 16→8-byte network compression pass.
+  bool compress = true;
+  JoinType join_type = JoinType::kInner;
+};
+
+/// Builds rank `rank`'s operator tree for the Fig. 3 join plan. The rank's
+/// parameter tuple must be ⟨inner collection, outer collection⟩ (kv16).
+SubOpPtr BuildJoinRankPlan(const DistJoinOptions& opts);
+
+/// Runs the full distributed join: partitions `inner`/`outer` are the
+/// per-rank base-table fragments (size == world_size). Returns the
+/// materialized join result ⟨key, value, value_r⟩ (inner join) or the
+/// surviving probe records (semi/anti). Phase timings land in `stats`.
+Result<RowVectorPtr> RunDistributedJoin(
+    const std::vector<RowVectorPtr>& inner,
+    const std::vector<RowVectorPtr>& outer, const DistJoinOptions& opts,
+    StatsRegistry* stats);
+
+}  // namespace modularis::plans
+
+#endif  // MODULARIS_PLANS_DISTRIBUTED_JOIN_H_

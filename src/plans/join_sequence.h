@@ -1,0 +1,53 @@
+#ifndef MODULARIS_PLANS_JOIN_SEQUENCE_H_
+#define MODULARIS_PLANS_JOIN_SEQUENCE_H_
+
+#include <vector>
+
+#include "core/stats.h"
+#include "mpi/mpi_ops.h"
+#include "plans/common.h"
+
+/// \file join_sequence.h
+/// Sequences of joins on a common attribute (paper §4.2, Fig. 4). Two plan
+/// variants, both assembled from the same sub-operators:
+///
+///  * Naive: every join stage network-partitions both of its inputs —
+///    including the previous stage's output — so a cascade of N joins
+///    shuffles 2N relations.
+///  * Optimized: because all joins share the key attribute, all N+1 base
+///    relations are network-partitioned once up front; the entire cascade
+///    then runs inside one NestedMap over the co-partitioned data, chaining
+///    BuildProbe operators, and only the final result is materialized.
+///
+/// The paper highlights this as the restructuring that monolithic join
+/// implementations cannot express without a rewrite.
+
+namespace modularis::plans {
+
+struct JoinSequenceOptions {
+  int world_size = 4;
+  net::FabricOptions fabric;
+  ExecOptions exec;
+};
+
+/// Output schema of an N-join cascade: ⟨key, v0, v1, ..., vN⟩.
+Schema SequenceOutSchema(int num_joins);
+
+/// Builds one rank's plan for the naive cascade. Parameter tuple:
+/// ⟨R0, R1, ..., RN⟩ (kv16 fragments).
+SubOpPtr BuildNaiveSequenceRankPlan(int num_joins,
+                                    const JoinSequenceOptions& opts);
+
+/// Builds one rank's plan for the pre-partitioned (optimized) cascade.
+SubOpPtr BuildOptimizedSequenceRankPlan(int num_joins,
+                                        const JoinSequenceOptions& opts);
+
+/// Runs a cascade of `relations.size() - 1` joins. `relations[i]` holds
+/// relation i's per-rank fragments. `optimized` picks the Fig. 4 variant.
+Result<RowVectorPtr> RunJoinSequence(
+    const std::vector<std::vector<RowVectorPtr>>& relations,
+    const JoinSequenceOptions& opts, bool optimized, StatsRegistry* stats);
+
+}  // namespace modularis::plans
+
+#endif  // MODULARIS_PLANS_JOIN_SEQUENCE_H_

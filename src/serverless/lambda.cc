@@ -1,0 +1,84 @@
+#include "serverless/lambda.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace modularis::serverless {
+
+int LambdaRuntime::SpawnDepth(int worker_id, int fanout) {
+  if (fanout < 2) return worker_id + 1;
+  // Workers are numbered level by level in a complete `fanout`-ary tree.
+  int depth = 1;
+  int64_t level_size = 1;
+  int64_t covered = 1;
+  while (worker_id >= covered) {
+    level_size *= fanout;
+    covered += level_size;
+    ++depth;
+  }
+  return depth;
+}
+
+namespace {
+
+/// Reusable generation barrier across the worker fleet.
+class FleetBarrier {
+ public:
+  explicit FleetBarrier(int parties) : parties_(parties) {}
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    uint64_t my_generation = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation_ != my_generation; });
+    }
+  }
+
+ private:
+  const int parties_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int arrived_ = 0;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace
+
+Status LambdaRuntime::Run(const LambdaOptions& options, BlobStore* store,
+                          const WorkerFn& fn) {
+  FleetBarrier barrier(options.num_workers);
+  std::vector<Status> statuses(options.num_workers, Status::OK());
+  std::vector<std::thread> threads;
+  threads.reserve(options.num_workers);
+  for (int w = 0; w < options.num_workers; ++w) {
+    threads.emplace_back([&, w] {
+      // Tree-spawn startup latency: depth hops of function invocation.
+      if (options.throttle) {
+        double delay = options.invoke_latency_seconds *
+                       SpawnDepth(w, options.spawn_fanout);
+        std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+      }
+      BlobClientOptions client_options = options.s3;
+      client_options.throttle = options.throttle && client_options.throttle;
+      BlobClient client(store, client_options, w);
+      LambdaWorkerContext ctx;
+      ctx.worker_id = w;
+      ctx.num_workers = options.num_workers;
+      ctx.s3 = &client;
+      ctx.barrier = [&barrier] { barrier.Wait(); };
+      statuses[w] = fn(ctx);
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (const Status& st : statuses) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+}  // namespace modularis::serverless

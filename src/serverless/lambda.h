@@ -1,0 +1,63 @@
+#ifndef MODULARIS_SERVERLESS_LAMBDA_H_
+#define MODULARIS_SERVERLESS_LAMBDA_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+
+#include "core/status.h"
+#include "storage/blob_store.h"
+
+/// \file lambda.h
+/// The serverless substitute (DESIGN.md §1): workers are threads with
+/// modelled invocation (cold-start) latency, spawned in a tree-plan
+/// fashion (paper §3.1: the serverless executor "spawns the workers in a
+/// tree-plan fashion" because one function can only invoke a bounded
+/// number of children per unit time). Workers have NO direct channel to
+/// each other — the structural constraint that forces exchanges through
+/// storage (§4.4) — and reach S3 through per-worker BlobClients.
+
+namespace modularis::serverless {
+
+using storage::BlobClient;
+using storage::BlobClientOptions;
+using storage::BlobStore;
+
+struct LambdaOptions {
+  int num_workers = 8;
+  /// One function invocation's startup latency.
+  double invoke_latency_seconds = 0.08;
+  /// Children each worker spawns (tree fan-out).
+  int spawn_fanout = 8;
+  /// Per-worker S3 connection profile.
+  BlobClientOptions s3 = BlobClientOptions::S3();
+  bool throttle = true;
+};
+
+/// Per-worker context handed to the worker body.
+struct LambdaWorkerContext {
+  int worker_id = 0;
+  int num_workers = 1;
+  BlobClient* s3 = nullptr;
+  /// In-process stand-in for Lambada's storage-based synchronization
+  /// (workers polling S3 listings until all peers have written): blocks
+  /// until every worker reached the same rendezvous point.
+  std::function<void()> barrier;
+};
+
+/// Spawns the worker fleet, applies tree-spawn latency, runs `fn` on each
+/// worker, joins, and returns the first failure.
+class LambdaRuntime {
+ public:
+  using WorkerFn = std::function<Status(LambdaWorkerContext&)>;
+
+  static Status Run(const LambdaOptions& options, BlobStore* store,
+                    const WorkerFn& fn);
+
+  /// Depth of worker `w` in the spawn tree (root = 1 invocation hop).
+  static int SpawnDepth(int worker_id, int fanout);
+};
+
+}  // namespace modularis::serverless
+
+#endif  // MODULARIS_SERVERLESS_LAMBDA_H_

@@ -1,0 +1,293 @@
+#include "serverless/serverless_ops.h"
+
+#include "storage/csv.h"
+
+namespace modularis {
+
+// ---------------------------------------------------------------------------
+// LambdaExecutor
+// ---------------------------------------------------------------------------
+
+Status LambdaExecutor::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  status_ = Status::OK();
+  results_.clear();
+  arenas_.assign(config_.lambda.num_workers, {});
+  emit_pos_ = 0;
+
+  std::vector<StatsRegistry> worker_stats(config_.lambda.num_workers);
+  std::vector<std::vector<Tuple>> worker_results(config_.lambda.num_workers);
+  const ExecOptions options = ctx->options;
+
+  Status st = serverless::LambdaRuntime::Run(
+      config_.lambda, config_.store,
+      [&](serverless::LambdaWorkerContext& wctx) -> Status {
+        const int w = wctx.worker_id;
+        ExecContext rctx;
+        rctx.rank = w;
+        rctx.world = wctx.num_workers;
+        rctx.blob = wctx.s3;
+        rctx.s3select = config_.s3select;
+        rctx.lambda = &wctx;
+        rctx.options = options;
+        rctx.stats = &worker_stats[w];
+        Tuple params =
+            config_.worker_params ? config_.worker_params(w) : Tuple{};
+        rctx.PushParams(&params);
+
+        ScopedTimer total(rctx.stats, "phase.worker_total");
+        SubOpPtr plan = config_.plan_factory(w);
+        MODULARIS_RETURN_NOT_OK(plan->Open(&rctx));
+        Tuple t;
+        while (plan->Next(&t)) {
+          worker_results[w].push_back(OwnTuple(t, &arenas_[w]));
+        }
+        MODULARIS_RETURN_NOT_OK(plan->status());
+        MODULARIS_RETURN_NOT_OK(plan->Close());
+        total.Stop();
+
+        rctx.stats->AddTime("s3.charged", wctx.s3->charged_seconds());
+        rctx.stats->AddCounter("s3.bytes", wctx.s3->bytes_transferred());
+        rctx.stats->AddCounter("s3.requests", wctx.s3->requests());
+        return Status::OK();
+      });
+  MODULARIS_RETURN_NOT_OK(st);
+
+  for (const StatsRegistry& ws : worker_stats) {
+    ctx->stats->MergeMax(ws);
+  }
+  for (auto& tuples : worker_results) {
+    for (Tuple& t : tuples) results_.push_back(std::move(t));
+  }
+  return Status::OK();
+}
+
+bool LambdaExecutor::Next(Tuple* out) {
+  if (emit_pos_ >= results_.size()) return false;
+  *out = results_[emit_pos_++];
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// S3Exchange
+// ---------------------------------------------------------------------------
+
+Status S3Exchange::DoExchange() {
+  if (ctx_->blob == nullptr || ctx_->lambda == nullptr) {
+    return Status::Internal("S3Exchange requires a Lambda worker context");
+  }
+  ScopedTimer timer(ctx_->stats, opts_.timer_key);
+  const int me = ctx_->rank;
+  const int world = ctx_->world;
+
+  // Collect the per-receiver partitions (dense pid order from GroupBy /
+  // Partition; missing pids become empty row groups).
+  std::vector<ColumnTablePtr> parts(world);
+  Schema schema = KeyValueSchema();
+  bool have_schema = false;
+  Tuple t;
+  while (child(0)->Next(&t)) {
+    if (t.size() < 2 || !t[0].is_i64() || !t[1].is_collection()) {
+      return Status::InvalidArgument(
+          "S3Exchange expects ⟨pid, collection⟩ tuples, got " + t.ToString());
+    }
+    int64_t pid = t[0].i64();
+    if (pid < 0 || pid >= world) {
+      return Status::OutOfRange("S3Exchange: pid " + std::to_string(pid) +
+                                " outside worker range");
+    }
+    const RowVectorPtr& data = t[1].collection();
+    if (!have_schema) {
+      schema = data->schema();
+      have_schema = true;
+    }
+    parts[pid] = ColumnTable::FromRowVector(*data);
+  }
+  MODULARIS_RETURN_NOT_OK(child(0)->status());
+  for (auto& p : parts) {
+    if (p == nullptr) p = ColumnTable::Make(schema);
+  }
+
+  auto retry_put = [&](const std::string& key, std::string bytes) {
+    int attempt = 0;
+    while (true) {
+      Status st = ctx_->blob->Put(key, bytes);
+      if (st.ok() || attempt >= opts_.max_retries) return st;
+      ++attempt;
+    }
+  };
+
+  if (opts_.write_combining) {
+    // One object per sender; one row group per receiver (Lambada §4.4).
+    std::string key = opts_.prefix + "/part-" + std::to_string(me) + ".mcf";
+    MODULARIS_RETURN_NOT_OK(
+        retry_put(key, storage::WriteColumnFileFromParts(parts)));
+  } else {
+    // Ablation: one object per (sender, receiver) pair — W² requests.
+    for (int r = 0; r < world; ++r) {
+      std::string key = opts_.prefix + "/part-" + std::to_string(me) + "-" +
+                        std::to_string(r) + ".mcf";
+      MODULARIS_RETURN_NOT_OK(
+          retry_put(key, storage::WriteColumnFileFromParts({parts[r]})));
+    }
+  }
+
+  // Stand-in for Lambada's storage-based synchronization: wait until all
+  // senders have published their objects.
+  ctx_->lambda->barrier();
+
+  // Emit the read set for this worker: its row group in every sender's
+  // object.
+  for (int sender = 0; sender < world; ++sender) {
+    Tuple triple;
+    if (opts_.write_combining) {
+      triple.push_back(Item(opts_.prefix + "/part-" +
+                            std::to_string(sender) + ".mcf"));
+      triple.push_back(Item(static_cast<int64_t>(me)));
+      triple.push_back(Item(static_cast<int64_t>(me)));
+    } else {
+      triple.push_back(Item(opts_.prefix + "/part-" +
+                            std::to_string(sender) + "-" +
+                            std::to_string(me) + ".mcf"));
+      triple.push_back(Item(static_cast<int64_t>(0)));
+      triple.push_back(Item(static_cast<int64_t>(0)));
+    }
+    out_.push_back(std::move(triple));
+  }
+  return Status::OK();
+}
+
+bool S3Exchange::Next(Tuple* out) {
+  if (!exchanged_) {
+    Status st = DoExchange();
+    if (!st.ok()) return Fail(st);
+    exchanged_ = true;
+  }
+  if (emit_pos_ >= out_.size()) return false;
+  *out = out_[emit_pos_++];
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ColumnFileScan
+// ---------------------------------------------------------------------------
+
+bool ColumnFileScan::Next(Tuple* out) {
+  while (true) {
+    if (reader_ != nullptr) {
+      while (current_rg_ <= last_rg_ &&
+             current_rg_ < reader_->num_row_groups()) {
+        size_t rg = current_rg_++;
+        bool keep = true;
+        for (const Range& r : opts_.ranges) {
+          if (!reader_->MayContain(rg, r.col, r.lo, r.hi)) {
+            keep = false;
+            break;
+          }
+        }
+        if (!keep) {
+          ctx_->stats->AddCounter("scan.row_groups_pruned", 1);
+          continue;
+        }
+        ScopedTimer timer(ctx_->stats, opts_.timer_key);
+        auto table = reader_->ReadRowGroup(rg, opts_.projection);
+        if (!table.ok()) return Fail(table.status());
+        out->clear();
+        out->push_back(Item(table.TakeValue()));
+        return true;
+      }
+      reader_.reset();
+    }
+    Tuple t;
+    if (!child(0)->Next(&t)) return ChildEnd(child(0));
+    if (!t[0].is_str()) {
+      return Fail(Status::InvalidArgument(
+          "ColumnFileScan expects ⟨path⟩ tuples, got " + t.ToString()));
+    }
+    if (ctx_->blob == nullptr) {
+      return Fail(Status::Internal("ColumnFileScan: no storage client"));
+    }
+    ScopedTimer timer(ctx_->stats, opts_.timer_key);
+    source_ = std::make_shared<storage::BlobReader>(ctx_->blob, t[0].str(),
+                                                    opts_.max_retries);
+    auto reader = storage::ColumnFileReader::Open(source_);
+    if (!reader.ok()) return Fail(reader.status());
+    reader_ = reader.TakeValue();
+    if (t.size() >= 3 && t[1].is_i64() && t[2].is_i64()) {
+      current_rg_ = static_cast<size_t>(t[1].i64());
+      last_rg_ = static_cast<size_t>(t[2].i64());
+    } else {
+      current_rg_ = 0;
+      last_rg_ = reader_->num_row_groups() == 0
+                     ? 0
+                     : reader_->num_row_groups() - 1;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// MaterializeColumnFile
+// ---------------------------------------------------------------------------
+
+bool MaterializeColumnFile::Next(Tuple* out) {
+  if (done_) return false;
+  ColumnTablePtr table = ColumnTable::Make(schema_);
+  Tuple t;
+  while (child(0)->Next(&t)) {
+    const Item& item = t[0];
+    if (item.is_row()) {
+      table->AppendRow(item.row());
+    } else if (item.is_collection()) {
+      const RowVectorPtr& rows = item.collection();
+      for (size_t i = 0; i < rows->size(); ++i) table->AppendRow(rows->row(i));
+    } else {
+      return Fail(Status::InvalidArgument(
+          "MaterializeColumnFile expects rows or collections, got " +
+          item.ToString()));
+    }
+  }
+  if (!child(0)->status().ok()) return Fail(child(0)->status());
+  if (ctx_->blob == nullptr) {
+    return Fail(Status::Internal("MaterializeColumnFile: no storage client"));
+  }
+  std::string bytes = storage::WriteColumnFile(*table);
+  int attempt = 0;
+  while (true) {
+    Status st = ctx_->blob->Put(key_, bytes);
+    if (st.ok()) break;
+    if (attempt++ >= max_retries_) return Fail(st);
+  }
+  done_ = true;
+  out->clear();
+  out->push_back(Item(key_));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// S3SelectRequest
+// ---------------------------------------------------------------------------
+
+bool S3SelectRequest::Next(Tuple* out) {
+  Tuple t;
+  if (!child(0)->Next(&t)) return ChildEnd(child(0));
+  if (!t[0].is_str()) {
+    return Fail(Status::InvalidArgument(
+        "S3SelectRequest expects ⟨path⟩ tuples, got " + t.ToString()));
+  }
+  if (ctx_->s3select == nullptr) {
+    return Fail(Status::Internal("S3SelectRequest: no S3Select engine"));
+  }
+  ScopedTimer timer(ctx_->stats, opts_.timer_key);
+  auto csv = ctx_->s3select->Select(t[0].str(), opts_.object_schema,
+                                    opts_.projection, opts_.predicate,
+                                    ctx_->blob);
+  if (!csv.ok()) return Fail(csv.status());
+  // Parse the CSV response into the columnar (Arrow-table analog) form.
+  auto table = storage::ReadCsv(csv.value(), result_schema());
+  if (!table.ok()) return Fail(table.status());
+  out->clear();
+  out->push_back(Item(table.TakeValue()));
+  return true;
+}
+
+}  // namespace modularis

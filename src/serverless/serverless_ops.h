@@ -1,0 +1,192 @@
+#ifndef MODULARIS_SERVERLESS_SERVERLESS_OPS_H_
+#define MODULARIS_SERVERLESS_SERVERLESS_OPS_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sub_operator.h"
+#include "serverless/lambda.h"
+#include "serverless/s3select.h"
+#include "storage/column_file.h"
+
+/// \file serverless_ops.h
+/// The Lambda- and smart-storage-specific sub-operators (paper Table 1):
+/// together with the executor these are the *only* operators that change
+/// when a TPC-H plan moves from the RDMA cluster to serverless (Fig. 6 vs
+/// Fig. 7) — the paper's headline modularity result.
+
+namespace modularis {
+
+/// LambdaExecutor runs a nested plan on every serverless worker (spawned
+/// in a tree-plan fashion) and forwards the workers' result tuples —
+/// typically S3 paths of materialized results — to the driver plan.
+class LambdaExecutor : public SubOperator {
+ public:
+  struct Config {
+    serverless::LambdaOptions lambda;
+    storage::BlobStore* store = nullptr;
+    serverless::S3SelectEngine* s3select = nullptr;
+    std::function<SubOpPtr(int worker)> plan_factory;
+    std::function<Tuple(int worker)> worker_params;
+  };
+
+  explicit LambdaExecutor(Config config)
+      : SubOperator("LambdaExecutor"), config_(std::move(config)) {}
+
+  Status Open(ExecContext* ctx) override;
+  bool Next(Tuple* out) override;
+
+ private:
+  Config config_;
+  std::vector<Tuple> results_;
+  std::vector<std::vector<RowVectorPtr>> arenas_;
+  size_t emit_pos_ = 0;
+};
+
+/// S3Exchange implements the Lambada exchange (paper §4.4): each worker
+/// writes ONE S3 object containing one row group per receiver ("write
+/// combining", turning W² PUTs into W), synchronizes, and emits
+/// ⟨path, firstRowGroup, lastRowGroup⟩ triples for the row groups this
+/// worker must read — which a downstream ColumnFileScan fetches with
+/// ranged GETs. Consumes ⟨pid, collection⟩ tuples (from Partition/GroupBy).
+class S3Exchange : public SubOperator {
+ public:
+  struct Options {
+    /// Key prefix; objects land at "<prefix>/part-<sender>.mcf".
+    std::string prefix = "exchange";
+    /// When false (§4.4 ablation): one object per (sender, receiver) pair.
+    bool write_combining = true;
+    int max_retries = 4;
+    std::string timer_key = "phase.s3_exchange";
+  };
+
+  S3Exchange(SubOpPtr partitions, Options options)
+      : SubOperator("S3Exchange"), opts_(std::move(options)) {
+    AddChild(std::move(partitions));
+  }
+
+  Status Open(ExecContext* ctx) override {
+    exchanged_ = false;
+    emit_pos_ = 0;
+    out_.clear();
+    return SubOperator::Open(ctx);
+  }
+
+  bool Next(Tuple* out) override;
+
+ private:
+  Status DoExchange();
+
+  Options opts_;
+  bool exchanged_ = false;
+  size_t emit_pos_ = 0;
+  /// ⟨path, first_rg, last_rg⟩ triples for this worker.
+  std::vector<Tuple> out_;
+};
+
+/// ColumnFileScan (the ParquetScan analog): reads row groups of ColumnFile
+/// objects, pushing down projections (only selected chunks are fetched)
+/// and min-max range predicates (pruned row groups are never read).
+/// Consumes ⟨path⟩ or ⟨path, first_rg, last_rg⟩ tuples; produces one
+/// ⟨ColumnTable⟩ tuple per surviving row group.
+class ColumnFileScan : public SubOperator {
+ public:
+  /// Chunk-pruning predicate: keep row groups whose [min,max] of `col`
+  /// intersects [lo, hi].
+  struct Range {
+    int col;
+    int64_t lo;
+    int64_t hi;
+  };
+
+  struct Options {
+    std::vector<int> projection;  // empty = all columns
+    std::vector<Range> ranges;    // min-max pruning
+    int max_retries = 4;
+    std::string timer_key = "phase.scan";
+  };
+
+  ColumnFileScan(SubOpPtr paths, Options options)
+      : SubOperator("ColumnFileScan"), opts_(std::move(options)) {
+    AddChild(std::move(paths));
+  }
+
+  Status Open(ExecContext* ctx) override {
+    reader_.reset();
+    current_rg_ = 0;
+    last_rg_ = 0;
+    return SubOperator::Open(ctx);
+  }
+
+  bool Next(Tuple* out) override;
+
+ private:
+  Options opts_;
+  std::unique_ptr<storage::ColumnFileReader> reader_;
+  std::shared_ptr<storage::RandomReader> source_;
+  size_t current_rg_ = 0;
+  size_t last_rg_ = 0;
+};
+
+/// MaterializeColumnFile (the MaterializeParquet analog): collects its
+/// record stream into a ColumnFile object, PUTs it, and yields the path.
+class MaterializeColumnFile : public SubOperator {
+ public:
+  MaterializeColumnFile(SubOpPtr rows, Schema schema, std::string key,
+                        int max_retries = 4)
+      : SubOperator("MaterializeColumnFile"),
+        schema_(std::move(schema)),
+        key_(std::move(key)),
+        max_retries_(max_retries) {
+    AddChild(std::move(rows));
+  }
+
+  Status Open(ExecContext* ctx) override {
+    done_ = false;
+    return SubOperator::Open(ctx);
+  }
+
+  bool Next(Tuple* out) override;
+
+ private:
+  Schema schema_;
+  std::string key_;
+  int max_retries_;
+  bool done_ = false;
+};
+
+/// First stage of the decomposed S3SelectScan (paper §4.5): performs the
+/// API call per input path, parses the returned CSV into a columnar table
+/// (the Arrow-table step) and forwards it; TableToCollection/ColumnScan
+/// complete the decomposition.
+class S3SelectRequest : public SubOperator {
+ public:
+  struct Options {
+    Schema object_schema;         // schema of the stored CSV object
+    std::vector<int> projection;  // pushed-down projection (empty = all)
+    ExprPtr predicate;            // pushed-down selection (may be null)
+    std::string timer_key = "phase.s3select";
+  };
+
+  S3SelectRequest(SubOpPtr paths, Options options)
+      : SubOperator("S3SelectRequest"), opts_(std::move(options)) {
+    AddChild(std::move(paths));
+  }
+
+  bool Next(Tuple* out) override;
+
+  /// Schema of the produced tables.
+  Schema result_schema() const {
+    if (opts_.projection.empty()) return opts_.object_schema;
+    return opts_.object_schema.Select(opts_.projection);
+  }
+
+ private:
+  Options opts_;
+};
+
+}  // namespace modularis
+
+#endif  // MODULARIS_SERVERLESS_SERVERLESS_OPS_H_

@@ -1,0 +1,62 @@
+#include "storage/blob_store.h"
+
+#include <chrono>
+#include <thread>
+
+namespace modularis::storage {
+
+void BlobClient::ChargeRequest(size_t bytes) {
+  double seconds =
+      options_.request_latency_seconds +
+      static_cast<double>(bytes) / options_.bandwidth_bytes_per_sec;
+  charged_seconds_ += seconds;
+  bytes_ += static_cast<int64_t>(bytes);
+  ++requests_;
+  if (options_.throttle && seconds > 50e-6) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+}
+
+Status BlobClient::MaybeFailAndCharge(size_t bytes) {
+  if (options_.transient_failure_rate > 0) {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    if (dist(rng_) < options_.transient_failure_rate) {
+      // Failed requests still cost a round trip.
+      ChargeRequest(0);
+      return Status::IOError("transient failure (injected)");
+    }
+  }
+  ChargeRequest(bytes);
+  return Status::OK();
+}
+
+Result<std::string> BlobClient::Get(const std::string& key) {
+  MODULARIS_ASSIGN_OR_RETURN(BlobStore::Blob blob, store_->Get(key));
+  MODULARIS_RETURN_NOT_OK(MaybeFailAndCharge(blob->size()));
+  return std::string(*blob);
+}
+
+Result<std::string> BlobClient::GetRange(const std::string& key,
+                                         size_t offset, size_t len) {
+  MODULARIS_ASSIGN_OR_RETURN(BlobStore::Blob blob, store_->Get(key));
+  if (offset > blob->size()) {
+    return Status::OutOfRange("range offset beyond object size");
+  }
+  len = std::min(len, blob->size() - offset);
+  MODULARIS_RETURN_NOT_OK(MaybeFailAndCharge(len));
+  return blob->substr(offset, len);
+}
+
+Status BlobClient::Put(const std::string& key, std::string value) {
+  MODULARIS_RETURN_NOT_OK(MaybeFailAndCharge(value.size()));
+  store_->Put(key, std::move(value));
+  return Status::OK();
+}
+
+Result<size_t> BlobClient::Head(const std::string& key) {
+  MODULARIS_ASSIGN_OR_RETURN(BlobStore::Blob blob, store_->Get(key));
+  MODULARIS_RETURN_NOT_OK(MaybeFailAndCharge(0));
+  return blob->size();
+}
+
+}  // namespace modularis::storage

@@ -1,0 +1,172 @@
+#ifndef MODULARIS_STORAGE_BLOB_STORE_H_
+#define MODULARIS_STORAGE_BLOB_STORE_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+
+/// \file blob_store.h
+/// In-process object store with a request-cost model. One implementation
+/// serves as both substitutes the paper's platforms need (DESIGN.md §1):
+///  * "S3": high first-byte latency, ~80 Mbit/s per-connection bandwidth
+///    (the serverless bottleneck reported by Lambada [52]), transient
+///    failures for retry testing;
+///  * "NFS/disk": low latency, disk-like bandwidth for the RDMA cluster's
+///    base-table reads (the "w disc" TPC-H variant of Fig. 8).
+
+namespace modularis::storage {
+
+/// Client-side request cost model.
+struct BlobClientOptions {
+  std::string profile = "s3";
+  /// Added to every request (first-byte latency).
+  double request_latency_seconds = 0.015;
+  /// Per-connection transfer bandwidth in bytes/second.
+  double bandwidth_bytes_per_sec = 10e6;  // 80 Mbit/s
+  /// Probability of a transient IOError per request (deterministic RNG).
+  double transient_failure_rate = 0.0;
+  /// When false, no sleeping; costs are still accounted.
+  bool throttle = true;
+
+  static BlobClientOptions S3() { return BlobClientOptions{}; }
+  static BlobClientOptions Nfs() {
+    BlobClientOptions o;
+    o.profile = "nfs";
+    o.request_latency_seconds = 0.0002;
+    o.bandwidth_bytes_per_sec = 500e6;
+    return o;
+  }
+  /// Free access (functional tests).
+  static BlobClientOptions Unthrottled() {
+    BlobClientOptions o;
+    o.profile = "mem";
+    o.request_latency_seconds = 0;
+    o.bandwidth_bytes_per_sec = 1e18;
+    o.throttle = false;
+    return o;
+  }
+};
+
+/// Thread-safe shared object store. Values are immutable once put.
+class BlobStore {
+ public:
+  using Blob = std::shared_ptr<const std::string>;
+
+  void Put(const std::string& key, std::string value) {
+    std::lock_guard<std::mutex> lock(mu_);
+    objects_[key] = std::make_shared<const std::string>(std::move(value));
+    ++puts_;
+  }
+
+  Result<Blob> Get(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = objects_.find(key);
+    if (it == objects_.end()) {
+      return Status::NotFound("no such object: " + key);
+    }
+    ++gets_;
+    return it->second;
+  }
+
+  bool Exists(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return objects_.count(key) > 0;
+  }
+
+  std::vector<std::string> List(const std::string& prefix) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> keys;
+    for (auto it = objects_.lower_bound(prefix);
+         it != objects_.end() && it->first.compare(0, prefix.size(), prefix,
+                                                   0, prefix.size()) == 0;
+         ++it) {
+      keys.push_back(it->first);
+    }
+    return keys;
+  }
+
+  void Delete(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    objects_.erase(key);
+  }
+
+  int64_t num_gets() const { return gets_; }
+  int64_t num_puts() const { return puts_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Blob> objects_;
+  mutable std::atomic<int64_t> gets_{0};
+  int64_t puts_ = 0;
+};
+
+/// Per-worker client applying the request-cost model (latency, bandwidth,
+/// failure injection) on top of a shared BlobStore. Not thread-safe; one
+/// per worker.
+class BlobClient {
+ public:
+  BlobClient(BlobStore* store, BlobClientOptions options, int worker_id = 0)
+      : store_(store),
+        options_(std::move(options)),
+        rng_(0x9E3779B9u ^ static_cast<uint32_t>(worker_id)) {}
+
+  /// Full-object GET.
+  Result<std::string> Get(const std::string& key);
+  /// Ranged GET of `len` bytes at `offset` (clamped to object size).
+  Result<std::string> GetRange(const std::string& key, size_t offset,
+                               size_t len);
+  /// PUT (copies the payload into the store).
+  Status Put(const std::string& key, std::string value);
+  /// Object size without transfer.
+  Result<size_t> Head(const std::string& key);
+  std::vector<std::string> List(const std::string& prefix) {
+    ChargeRequest(0);
+    return store_->List(prefix);
+  }
+
+  /// Accounts (and sleeps for) a synthetic transfer of `bytes` — used by
+  /// S3Select to model streaming its CSV result to the caller.
+  void AccountTransfer(size_t bytes) { ChargeRequest(bytes); }
+
+  /// Cumulative modelled IO time (seconds) and bytes for this client.
+  double charged_seconds() const { return charged_seconds_; }
+  int64_t bytes_transferred() const { return bytes_; }
+  int64_t requests() const { return requests_; }
+
+  BlobStore* store() { return store_; }
+  const BlobClientOptions& options() const { return options_; }
+
+ private:
+  /// Injects a transient failure (if configured) and charges the request
+  /// latency + transfer time for `bytes`.
+  Status MaybeFailAndCharge(size_t bytes);
+  void ChargeRequest(size_t bytes);
+
+  BlobStore* store_;
+  BlobClientOptions options_;
+  std::mt19937 rng_;
+  double charged_seconds_ = 0;
+  int64_t bytes_ = 0;
+  int64_t requests_ = 0;
+};
+
+/// Retries transient failures of `fn` up to `max_retries` times.
+template <typename Fn>
+auto WithRetries(int max_retries, Fn&& fn) -> decltype(fn()) {
+  int attempt = 0;
+  while (true) {
+    auto result = fn();
+    if (result.ok() || attempt >= max_retries) return result;
+    ++attempt;
+  }
+}
+
+}  // namespace modularis::storage
+
+#endif  // MODULARIS_STORAGE_BLOB_STORE_H_

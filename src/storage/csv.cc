@@ -1,0 +1,121 @@
+#include "storage/csv.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace modularis::storage {
+
+std::string WriteCsv(const ColumnTable& table) {
+  std::string out;
+  const Schema& schema = table.schema();
+  out.reserve(table.num_rows() * schema.num_fields() * 8);
+  char buf[64];
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < schema.num_fields(); ++c) {
+      if (c > 0) out.push_back(',');
+      const Column& col = table.column(c);
+      switch (schema.field(c).type) {
+        case AtomType::kInt32:
+          out += std::to_string(col.GetInt32(r));
+          break;
+        case AtomType::kInt64:
+          out += std::to_string(col.GetInt64(r));
+          break;
+        case AtomType::kFloat64:
+          std::snprintf(buf, sizeof(buf), "%.6f", col.GetFloat64(r));
+          out += buf;
+          break;
+        case AtomType::kString:
+          out += col.GetString(r);
+          break;
+        case AtomType::kDate:
+          out += FormatDate(col.GetInt32(r));
+          break;
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Result<ColumnTablePtr> ReadCsv(std::string_view text, const Schema& schema) {
+  ColumnTablePtr table = ColumnTable::Make(schema);
+  size_t pos = 0;
+  const size_t n = text.size();
+  size_t line_no = 0;
+  while (pos < n) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = n;
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty()) continue;
+
+    size_t field_start = 0;
+    for (size_t c = 0; c < schema.num_fields(); ++c) {
+      size_t comma = line.find(',', field_start);
+      bool last = c + 1 == schema.num_fields();
+      if (!last && comma == std::string_view::npos) {
+        return Status::InvalidArgument(
+            "CSV line " + std::to_string(line_no) + ": too few fields");
+      }
+      std::string_view cell = line.substr(
+          field_start,
+          (comma == std::string_view::npos ? line.size() : comma) -
+              field_start);
+      field_start = comma == std::string_view::npos ? line.size() : comma + 1;
+
+      Column& col = table->column(c);
+      switch (schema.field(c).type) {
+        case AtomType::kInt32: {
+          int32_t v = 0;
+          auto [p, ec] =
+              std::from_chars(cell.data(), cell.data() + cell.size(), v);
+          if (ec != std::errc()) {
+            return Status::InvalidArgument("CSV line " +
+                                           std::to_string(line_no) +
+                                           ": bad i32 '" + std::string(cell) +
+                                           "'");
+          }
+          col.AppendInt32(v);
+          break;
+        }
+        case AtomType::kInt64: {
+          int64_t v = 0;
+          auto [p, ec] =
+              std::from_chars(cell.data(), cell.data() + cell.size(), v);
+          if (ec != std::errc()) {
+            return Status::InvalidArgument("CSV line " +
+                                           std::to_string(line_no) +
+                                           ": bad i64 '" + std::string(cell) +
+                                           "'");
+          }
+          col.AppendInt64(v);
+          break;
+        }
+        case AtomType::kFloat64: {
+          // std::from_chars for double is not available on all libstdc++
+          // configurations; strtod on a bounded copy is fine here.
+          char buf[64];
+          size_t len = std::min(cell.size(), sizeof(buf) - 1);
+          std::memcpy(buf, cell.data(), len);
+          buf[len] = '\0';
+          col.AppendFloat64(std::strtod(buf, nullptr));
+          break;
+        }
+        case AtomType::kString:
+          col.AppendString(cell);
+          break;
+        case AtomType::kDate: {
+          MODULARIS_ASSIGN_OR_RETURN(int32_t days, ParseDate(cell));
+          col.AppendInt32(days);
+          break;
+        }
+      }
+    }
+  }
+  table->FinishBulkLoad();
+  return table;
+}
+
+}  // namespace modularis::storage

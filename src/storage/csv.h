@@ -1,0 +1,27 @@
+#ifndef MODULARIS_STORAGE_CSV_H_
+#define MODULARIS_STORAGE_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/column_table.h"
+#include "core/status.h"
+
+/// \file csv.h
+/// Minimal CSV codec: the wire format S3Select returns (paper §4.5 — the
+/// service "returns chunks of uncompressed CSV data", which is exactly why
+/// S3SelectScan loses to ParquetScan in Fig. 8).
+/// Dialect: comma separator, '\n' rows, no quoting (TPC-H data contains
+/// neither commas nor newlines); dates as YYYY-MM-DD.
+
+namespace modularis::storage {
+
+/// Serializes a table to CSV (no header row).
+std::string WriteCsv(const ColumnTable& table);
+
+/// Parses CSV text into a table of the given schema.
+Result<ColumnTablePtr> ReadCsv(std::string_view text, const Schema& schema);
+
+}  // namespace modularis::storage
+
+#endif  // MODULARIS_STORAGE_CSV_H_

@@ -1,0 +1,485 @@
+#include "suboperators/agg_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "suboperators/partition_ops.h"
+#include "suboperators/radix.h"
+
+namespace modularis {
+
+// ---------------------------------------------------------------------------
+// I64StateMap
+// ---------------------------------------------------------------------------
+
+void I64StateMap::Clear() {
+  keys_.clear();
+  vals_.clear();
+  used_.clear();
+  mask_ = 0;
+  size_ = 0;
+}
+
+void I64StateMap::Grow() {
+  size_t cap = keys_.empty() ? 1024 : keys_.size() * 2;
+  std::vector<int64_t> old_keys = std::move(keys_);
+  std::vector<uint32_t> old_vals = std::move(vals_);
+  std::vector<uint8_t> old_used = std::move(used_);
+  keys_.assign(cap, 0);
+  vals_.assign(cap, 0);
+  used_.assign(cap, 0);
+  mask_ = cap - 1;
+  for (size_t i = 0; i < old_keys.size(); ++i) {
+    if (!old_used[i]) continue;
+    size_t slot = MixHash64(static_cast<uint64_t>(old_keys[i])) & mask_;
+    while (used_[slot]) slot = (slot + 1) & mask_;
+    keys_[slot] = old_keys[i];
+    vals_[slot] = old_vals[i];
+    used_[slot] = 1;
+  }
+}
+
+uint32_t I64StateMap::FindOrInsert(int64_t key, bool* inserted) {
+  if (keys_.empty() || size_ * 10 >= keys_.size() * 7) Grow();
+  size_t slot = MixHash64(static_cast<uint64_t>(key)) & mask_;
+  while (used_[slot]) {
+    if (keys_[slot] == key) {
+      *inserted = false;
+      return vals_[slot];
+    }
+    slot = (slot + 1) & mask_;
+  }
+  keys_[slot] = key;
+  vals_[slot] = static_cast<uint32_t>(size_);
+  used_[slot] = 1;
+  *inserted = true;
+  return static_cast<uint32_t>(size_++);
+}
+
+// ---------------------------------------------------------------------------
+// ReduceByKey
+// ---------------------------------------------------------------------------
+
+Schema ReduceByKey::MakeOutputSchema(const Schema& in,
+                                     const std::vector<int>& key_cols,
+                                     const std::vector<AggSpec>& aggs) {
+  std::vector<Field> fields;
+  fields.reserve(key_cols.size() + aggs.size());
+  for (int c : key_cols) fields.push_back(in.field(c));
+  for (const AggSpec& a : aggs) {
+    fields.push_back(Field{a.name, a.out_type, 0});
+  }
+  return Schema(std::move(fields));
+}
+
+Status ReduceByKey::Open(ExecContext* ctx) {
+  MODULARIS_RETURN_NOT_OK(SubOperator::Open(ctx));
+  states_ = RowVector::Make(out_schema_);
+  i64_map_.Clear();
+  byte_map_.clear();
+  consumed_ = false;
+  emit_pos_ = 0;
+
+  single_i64_key_ =
+      key_cols_.size() == 1 &&
+      (in_schema_.field(key_cols_[0]).type == AtomType::kInt64 ||
+       in_schema_.field(key_cols_[0]).type == AtomType::kInt32 ||
+       in_schema_.field(key_cols_[0]).type == AtomType::kDate);
+
+  // Compile the update plan: direct offsets when every aggregate input is
+  // a bare column (the fused/JIT-analog path).
+  slots_.clear();
+  compiled_ = ctx->options.enable_fusion;
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    const AggSpec& a = aggs_[i];
+    AggSlot slot;
+    slot.kind = a.kind;
+    slot.expr = a.input.get();
+    slot.dst_offset = out_schema_.offset(key_cols_.size() + i);
+    slot.dst_float = a.out_type == AtomType::kFloat64;
+    slot.src_col = a.input == nullptr ? -1 : a.input->AsColumnIndex();
+    if (slot.src_col >= 0) {
+      const Field& f = in_schema_.field(slot.src_col);
+      slot.src_offset = in_schema_.offset(slot.src_col);
+      slot.src_wide =
+          f.type == AtomType::kInt64 || f.type == AtomType::kFloat64;
+      slot.src_float = f.type == AtomType::kFloat64;
+    } else {
+      slot.src_offset = 0;
+      slot.src_wide = false;
+      slot.src_float = false;
+      if (a.input != nullptr) compiled_ = false;
+    }
+    slots_.push_back(slot);
+  }
+  return Status::OK();
+}
+
+namespace {
+
+inline double LoadNumeric(const uint8_t* row, const void* /*unused*/,
+                          uint32_t offset, bool wide, bool is_float) {
+  if (is_float) {
+    double v;
+    std::memcpy(&v, row + offset, sizeof(v));
+    return v;
+  }
+  if (wide) {
+    int64_t v;
+    std::memcpy(&v, row + offset, sizeof(v));
+    return static_cast<double>(v);
+  }
+  int32_t v;
+  std::memcpy(&v, row + offset, sizeof(v));
+  return v;
+}
+
+inline void StoreNumeric(uint8_t* row, uint32_t offset, bool is_float,
+                         double v) {
+  if (is_float) {
+    std::memcpy(row + offset, &v, sizeof(v));
+  } else {
+    int64_t i = static_cast<int64_t>(v);
+    std::memcpy(row + offset, &i, sizeof(i));
+  }
+}
+
+inline double LoadState(const uint8_t* row, uint32_t offset, bool is_float) {
+  if (is_float) {
+    double v;
+    std::memcpy(&v, row + offset, sizeof(v));
+    return v;
+  }
+  int64_t i;
+  std::memcpy(&i, row + offset, sizeof(i));
+  return static_cast<double>(i);
+}
+
+}  // namespace
+
+uint32_t ReduceByKey::StateFor(const RowRef& row) {
+  bool inserted = false;
+  uint32_t state;
+  if (single_i64_key_) {
+    state = i64_map_.FindOrInsert(KeyAt(row, key_cols_[0]), &inserted);
+  } else {
+    key_scratch_.clear();
+    for (int c : key_cols_) {
+      const Field& f = in_schema_.field(c);
+      switch (f.type) {
+        case AtomType::kInt32:
+        case AtomType::kDate: {
+          int32_t v = row.GetInt32(c);
+          key_scratch_.append(reinterpret_cast<const char*>(&v), sizeof(v));
+          break;
+        }
+        case AtomType::kInt64: {
+          int64_t v = row.GetInt64(c);
+          key_scratch_.append(reinterpret_cast<const char*>(&v), sizeof(v));
+          break;
+        }
+        case AtomType::kFloat64: {
+          double v = row.GetFloat64(c);
+          key_scratch_.append(reinterpret_cast<const char*>(&v), sizeof(v));
+          break;
+        }
+        case AtomType::kString: {
+          std::string_view v = row.GetString(c);
+          key_scratch_.push_back(static_cast<char>(v.size()));
+          key_scratch_.append(v);
+          break;
+        }
+      }
+    }
+    auto it = byte_map_.find(std::string_view(key_scratch_));
+    if (it != byte_map_.end()) {
+      state = it->second;
+    } else {
+      state = static_cast<uint32_t>(byte_map_.size());
+      byte_map_.emplace(key_scratch_, state);
+      inserted = true;
+    }
+  }
+  if (inserted) InitState(state, row);
+  return state;
+}
+
+void ReduceByKey::InitState(uint32_t state, const RowRef& row) {
+  (void)state;  // states are appended densely; `state` == new row index
+  RowWriter w = states_->AppendRow();
+  for (size_t i = 0; i < key_cols_.size(); ++i) {
+    int c = key_cols_[i];
+    int oc = static_cast<int>(i);
+    switch (in_schema_.field(c).type) {
+      case AtomType::kInt32:
+      case AtomType::kDate:
+        w.SetInt32(oc, row.GetInt32(c));
+        break;
+      case AtomType::kInt64:
+        w.SetInt64(oc, row.GetInt64(c));
+        break;
+      case AtomType::kFloat64:
+        w.SetFloat64(oc, row.GetFloat64(c));
+        break;
+      case AtomType::kString:
+        w.SetString(oc, row.GetString(c));
+        break;
+    }
+  }
+  // Initialize aggregates to their identity; min/max to +/- infinity
+  // equivalents so the first update takes effect.
+  uint8_t* dst = states_->mutable_row(states_->size() - 1);
+  for (const AggSlot& s : slots_) {
+    double init = 0;
+    if (s.kind == AggKind::kMin) {
+      init = std::numeric_limits<double>::infinity();
+    } else if (s.kind == AggKind::kMax) {
+      init = -std::numeric_limits<double>::infinity();
+    }
+    if (s.dst_float) {
+      StoreNumeric(dst, s.dst_offset, true, init);
+    } else {
+      int64_t iv = 0;
+      if (s.kind == AggKind::kMin) iv = std::numeric_limits<int64_t>::max();
+      if (s.kind == AggKind::kMax) iv = std::numeric_limits<int64_t>::min();
+      std::memcpy(dst + s.dst_offset, &iv, sizeof(iv));
+    }
+  }
+}
+
+void ReduceByKey::UpdateState(uint32_t state, const RowRef& row) {
+  uint8_t* dst = states_->mutable_row(state);
+  for (const AggSlot& s : slots_) {
+    double v = 0;
+    if (s.kind != AggKind::kCount) {
+      if (compiled_ && s.src_col >= 0) {
+        v = LoadNumeric(row.data(), nullptr, s.src_offset, s.src_wide,
+                        s.src_float);
+      } else {
+        v = s.expr->Eval(row).AsDouble();
+      }
+    }
+    if (s.dst_float) {
+      double cur = LoadState(dst, s.dst_offset, true);
+      switch (s.kind) {
+        case AggKind::kSum: cur += v; break;
+        case AggKind::kCount: cur += 1; break;
+        case AggKind::kMin: cur = std::min(cur, v); break;
+        case AggKind::kMax: cur = std::max(cur, v); break;
+      }
+      std::memcpy(dst + s.dst_offset, &cur, sizeof(cur));
+    } else {
+      int64_t cur;
+      std::memcpy(&cur, dst + s.dst_offset, sizeof(cur));
+      int64_t iv = static_cast<int64_t>(v);
+      switch (s.kind) {
+        case AggKind::kSum: cur += iv; break;
+        case AggKind::kCount: cur += 1; break;
+        case AggKind::kMin: cur = std::min(cur, iv); break;
+        case AggKind::kMax: cur = std::max(cur, iv); break;
+      }
+      std::memcpy(dst + s.dst_offset, &cur, sizeof(cur));
+    }
+  }
+}
+
+void ReduceByKey::Accumulate(const RowRef& row) {
+  UpdateState(StateFor(row), row);
+}
+
+void ReduceByKey::AccumulateBulk(const RowVector& rows) {
+  const size_t n = rows.size();
+  for (size_t i = 0; i < n; ++i) {
+    Accumulate(rows.row(i));
+  }
+}
+
+Status ReduceByKey::ConsumeAll() {
+  ScopedTimer timer(ctx_->stats, timer_key_);
+  Tuple t;
+  while (child(0)->Next(&t)) {
+    const Item& item = t[0];
+    if (item.is_collection()) {
+      AccumulateBulk(*item.collection());
+    } else if (item.is_row()) {
+      Accumulate(item.row());
+    } else {
+      return Status::InvalidArgument(
+          "ReduceByKey expects rows or collections, got " + item.ToString());
+    }
+  }
+  return child(0)->status();
+}
+
+bool ReduceByKey::Next(Tuple* out) {
+  if (!consumed_) {
+    Status st = ConsumeAll();
+    if (!st.ok()) return Fail(st);
+    consumed_ = true;
+  }
+  if (emit_pos_ >= states_->size()) return false;
+  out->clear();
+  out->push_back(Item(states_->row(emit_pos_++)));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Reduce
+// ---------------------------------------------------------------------------
+
+Status Reduce::Open(ExecContext* ctx) {
+  emitted_ = false;
+  return inner_.Open(ctx);
+}
+
+bool Reduce::Next(Tuple* out) {
+  if (emitted_) return false;
+  if (inner_.Next(out)) {
+    emitted_ = true;
+    return true;
+  }
+  if (!inner_.status().ok()) return Fail(inner_.status());
+  // Empty input: emit the identity row (count = 0, sums = 0).
+  empty_state_ = RowVector::Make(inner_.out_schema());
+  empty_state_->AppendRow();
+  out->clear();
+  out->push_back(Item(empty_state_->row(0)));
+  emitted_ = true;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Sort / TopK
+// ---------------------------------------------------------------------------
+
+int CompareRows(const RowRef& a, const RowRef& b,
+                const std::vector<SortKey>& keys) {
+  for (const SortKey& k : keys) {
+    int c = 0;
+    switch (a.schema().field(k.col).type) {
+      case AtomType::kInt32:
+      case AtomType::kDate: {
+        int32_t x = a.GetInt32(k.col), y = b.GetInt32(k.col);
+        c = x < y ? -1 : (x == y ? 0 : 1);
+        break;
+      }
+      case AtomType::kInt64: {
+        int64_t x = a.GetInt64(k.col), y = b.GetInt64(k.col);
+        c = x < y ? -1 : (x == y ? 0 : 1);
+        break;
+      }
+      case AtomType::kFloat64: {
+        double x = a.GetFloat64(k.col), y = b.GetFloat64(k.col);
+        c = x < y ? -1 : (x == y ? 0 : 1);
+        break;
+      }
+      case AtomType::kString: {
+        int r = a.GetString(k.col).compare(b.GetString(k.col));
+        c = r < 0 ? -1 : (r == 0 ? 0 : 1);
+        break;
+      }
+    }
+    if (c != 0) return k.desc ? -c : c;
+  }
+  return 0;
+}
+
+Status SortOp::Open(ExecContext* ctx) {
+  sorted_ = false;
+  emit_pos_ = 0;
+  return SubOperator::Open(ctx);
+}
+
+Status SortOp::ConsumeAndSort(size_t limit) {
+  ScopedTimer timer(ctx_->stats, timer_key_);
+  rows_ = RowVector::Make(schema_);
+  Tuple t;
+  while (child(0)->Next(&t)) {
+    const Item& item = t[0];
+    if (item.is_collection()) {
+      rows_->AppendAll(*item.collection());
+    } else if (item.is_row()) {
+      rows_->AppendRaw(item.row().data());
+    } else {
+      return Status::InvalidArgument(
+          "Sort expects rows or collections, got " + item.ToString());
+    }
+  }
+  MODULARIS_RETURN_NOT_OK(child(0)->status());
+  order_.resize(rows_->size());
+  for (uint32_t i = 0; i < order_.size(); ++i) order_[i] = i;
+  std::stable_sort(order_.begin(), order_.end(),
+                   [this](uint32_t x, uint32_t y) {
+                     return CompareRows(rows_->row(x), rows_->row(y),
+                                        keys_) < 0;
+                   });
+  emit_limit_ = limit == 0 ? order_.size() : std::min(limit, order_.size());
+  return Status::OK();
+}
+
+bool SortOp::Next(Tuple* out) {
+  if (!sorted_) {
+    Status st = ConsumeAndSort(0);
+    if (!st.ok()) return Fail(st);
+    sorted_ = true;
+  }
+  if (emit_pos_ >= emit_limit_) return false;
+  out->clear();
+  out->push_back(Item(rows_->row(order_[emit_pos_++])));
+  return true;
+}
+
+bool TopK::Next(Tuple* out) {
+  if (!sorted_) {
+    Status st = ConsumeAndSort(k_);
+    if (!st.ok()) return Fail(st);
+    sorted_ = true;
+  }
+  if (emit_pos_ >= emit_limit_) return false;
+  out->clear();
+  out->push_back(Item(rows_->row(order_[emit_pos_++])));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// GroupByPid
+// ---------------------------------------------------------------------------
+
+bool GroupByPid::Next(Tuple* out) {
+  if (!grouped_) {
+    Tuple t;
+    while (child(0)->Next(&t)) {
+      if (t.size() < 2 || !t[0].is_i64() || !t[1].is_collection()) {
+        return Fail(Status::InvalidArgument(
+            "GroupBy expects ⟨pid, collection⟩ tuples, got " + t.ToString()));
+      }
+      int64_t pid = t[0].i64();
+      const RowVectorPtr& data = t[1].collection();
+      auto it = groups_.find(pid);
+      if (it == groups_.end()) {
+        // First chunk of this pid: share it without copying.
+        groups_[pid] = data;
+      } else {
+        if (it->second.use_count() > 1) {
+          // Copy-on-write before merging into a shared collection.
+          RowVectorPtr merged = RowVector::Make(it->second->schema());
+          merged->AppendAll(*it->second);
+          it->second = std::move(merged);
+        }
+        it->second->AppendAll(*data);
+      }
+    }
+    if (!child(0)->status().ok()) return Fail(child(0)->status());
+    grouped_ = true;
+    emit_it_ = groups_.begin();
+  }
+  if (emit_it_ == groups_.end()) return false;
+  out->clear();
+  out->push_back(Item(emit_it_->first));
+  out->push_back(Item(emit_it_->second));
+  ++emit_it_;
+  return true;
+}
+
+}  // namespace modularis

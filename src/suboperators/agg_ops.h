@@ -1,0 +1,216 @@
+#ifndef MODULARIS_SUBOPERATORS_AGG_OPS_H_
+#define MODULARIS_SUBOPERATORS_AGG_OPS_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/expr.h"
+#include "core/sub_operator.h"
+
+/// \file agg_ops.h
+/// Aggregation, grouping, sorting and top-k sub-operators. ReduceByKey is
+/// the "highly optimized parallel hash map" the paper credits for the Q1 /
+/// Q18 speedups (§5.1.1); here it is an open-addressing table with a
+/// compiled direct-offset update path when fusion is enabled.
+
+namespace modularis {
+
+/// Open-addressing hash map from i64 keys to dense state indices.
+class I64StateMap {
+ public:
+  /// Returns the state index for `key`; sets `*inserted` if it was new.
+  uint32_t FindOrInsert(int64_t key, bool* inserted);
+  size_t size() const { return size_; }
+  void Clear();
+
+ private:
+  void Grow();
+
+  std::vector<int64_t> keys_;
+  std::vector<uint32_t> vals_;
+  std::vector<uint8_t> used_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+/// ReduceByKey aggregates records by one or more key columns.
+/// Output schema: the key fields followed by one field per AggSpec.
+class ReduceByKey : public SubOperator {
+ public:
+  ReduceByKey(SubOpPtr child, std::vector<int> key_cols,
+              std::vector<AggSpec> aggs, Schema in_schema,
+              std::string timer_key = "phase.reduce_by_key")
+      : SubOperator("ReduceByKey"),
+        key_cols_(std::move(key_cols)),
+        aggs_(std::move(aggs)),
+        in_schema_(std::move(in_schema)),
+        out_schema_(MakeOutputSchema(in_schema_, key_cols_, aggs_)),
+        timer_key_(std::move(timer_key)) {
+    AddChild(std::move(child));
+  }
+
+  /// Key fields followed by aggregate fields.
+  static Schema MakeOutputSchema(const Schema& in,
+                                 const std::vector<int>& key_cols,
+                                 const std::vector<AggSpec>& aggs);
+
+  const Schema& out_schema() const { return out_schema_; }
+
+  Status Open(ExecContext* ctx) override;
+  bool Next(Tuple* out) override;
+
+ private:
+  Status ConsumeAll();
+  void Accumulate(const RowRef& row);
+  void AccumulateBulk(const RowVector& rows);
+  uint32_t StateFor(const RowRef& row);
+  void InitState(uint32_t state, const RowRef& row);
+  void UpdateState(uint32_t state, const RowRef& row);
+
+  std::vector<int> key_cols_;
+  std::vector<AggSpec> aggs_;
+  Schema in_schema_;
+  Schema out_schema_;
+  std::string timer_key_;
+
+  // Compiled update plan (set up at Open).
+  struct AggSlot {
+    AggKind kind;
+    int src_col;        // -1 for COUNT(*) or non-column expressions
+    bool src_wide;      // i64/f64 vs i32/date source
+    bool src_float;     // f64 source
+    uint32_t src_offset;
+    uint32_t dst_offset;
+    bool dst_float;
+    const Expr* expr;   // fallback evaluation when src_col == -1
+  };
+  std::vector<AggSlot> slots_;
+  bool compiled_ = false;
+  bool single_i64_key_ = false;
+
+  RowVectorPtr states_;
+  I64StateMap i64_map_;
+  struct SvHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const noexcept {
+      size_t h = 1469598103934665603ull;
+      for (char c : s) h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+      return h;
+    }
+  };
+  struct SvEq {
+    using is_transparent = void;
+    bool operator()(std::string_view a, std::string_view b) const noexcept {
+      return a == b;
+    }
+  };
+  std::unordered_map<std::string, uint32_t, SvHash, SvEq> byte_map_;
+  std::string key_scratch_;
+
+  bool consumed_ = false;
+  size_t emit_pos_ = 0;
+};
+
+/// Reduce: keyless aggregation producing exactly one record.
+class Reduce : public SubOperator {
+ public:
+  Reduce(SubOpPtr child, std::vector<AggSpec> aggs, Schema in_schema,
+         std::string timer_key = "phase.reduce")
+      : SubOperator("Reduce"),
+        inner_(std::move(child), {}, std::move(aggs), std::move(in_schema),
+               std::move(timer_key)) {}
+
+  const Schema& out_schema() const { return inner_.out_schema(); }
+
+  Status Open(ExecContext* ctx) override;
+  bool Next(Tuple* out) override;
+  Status Close() override { return inner_.Close(); }
+
+ private:
+  ReduceByKey inner_;
+  RowVectorPtr empty_state_;
+  bool emitted_ = false;
+};
+
+/// One sort criterion: column index + direction.
+struct SortKey {
+  int col = 0;
+  bool desc = false;
+};
+
+/// Compares two packed rows by a sequence of sort keys.
+int CompareRows(const RowRef& a, const RowRef& b,
+                const std::vector<SortKey>& keys);
+
+/// Sort materializes its input and emits records in sorted order.
+class SortOp : public SubOperator {
+ public:
+  SortOp(SubOpPtr child, std::vector<SortKey> keys, Schema schema,
+         std::string timer_key = "phase.sort")
+      : SubOperator("Sort"),
+        keys_(std::move(keys)),
+        schema_(std::move(schema)),
+        timer_key_(std::move(timer_key)) {
+    AddChild(std::move(child));
+  }
+
+  Status Open(ExecContext* ctx) override;
+  bool Next(Tuple* out) override;
+
+ protected:
+  Status ConsumeAndSort(size_t limit);
+
+  std::vector<SortKey> keys_;
+  Schema schema_;
+  std::string timer_key_;
+  RowVectorPtr rows_;
+  std::vector<uint32_t> order_;
+  bool sorted_ = false;
+  size_t emit_pos_ = 0;
+  size_t emit_limit_ = 0;
+};
+
+/// TopK: sort + limit (paper Table 1; the final SELECT ... LIMIT k of
+/// Q3/Q18 and the single-row result of Q12's plan in Fig. 6).
+class TopK : public SortOp {
+ public:
+  TopK(SubOpPtr child, std::vector<SortKey> keys, size_t k, Schema schema)
+      : SortOp(std::move(child), std::move(keys), std::move(schema),
+               "phase.topk"),
+        k_(k) {}
+
+  bool Next(Tuple* out) override;
+
+ private:
+  size_t k_;
+};
+
+/// GroupBy merges ⟨pid, collection⟩ pairs by pid and emits one
+/// ⟨pid, merged collection⟩ per distinct pid in ascending pid order
+/// (used by the serverless exchange, §4.4).
+class GroupByPid : public SubOperator {
+ public:
+  explicit GroupByPid(SubOpPtr child) : SubOperator("GroupBy") {
+    AddChild(std::move(child));
+  }
+
+  Status Open(ExecContext* ctx) override {
+    groups_.clear();
+    grouped_ = false;
+    return SubOperator::Open(ctx);
+  }
+
+  bool Next(Tuple* out) override;
+
+ private:
+  std::map<int64_t, RowVectorPtr> groups_;
+  std::map<int64_t, RowVectorPtr>::iterator emit_it_;
+  bool grouped_ = false;
+};
+
+}  // namespace modularis
+
+#endif  // MODULARIS_SUBOPERATORS_AGG_OPS_H_

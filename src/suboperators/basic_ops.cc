@@ -1,0 +1,203 @@
+#include "suboperators/basic_ops.h"
+
+#include "suboperators/scan_ops.h"
+
+namespace modularis {
+
+// ---------------------------------------------------------------------------
+// NestedMap
+// ---------------------------------------------------------------------------
+
+Status NestedMap::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  status_ = Status::OK();
+  nested_open_ = false;
+  return child(0)->Open(ctx);
+}
+
+bool NestedMap::Next(Tuple* out) {
+  while (true) {
+    if (nested_open_) {
+      if (nested_->Next(out)) return true;
+      if (!nested_->status().ok()) return Fail(nested_->status());
+      Status st = nested_->Close();
+      ctx_->PopParams();
+      nested_open_ = false;
+      if (!st.ok()) return Fail(st);
+    }
+    Tuple t;
+    if (!child(0)->Next(&t)) return ChildEnd(child(0));
+    // The input tuple must outlive the whole nested execution; borrowed
+    // rows are copied into this operator's arena.
+    arena_.clear();
+    current_input_ = OwnTuple(t, &arena_);
+    ctx_->PushParams(&current_input_);
+    Status st = nested_->Open(ctx_);
+    if (!st.ok()) {
+      ctx_->PopParams();
+      return Fail(st);
+    }
+    nested_open_ = true;
+  }
+}
+
+Status NestedMap::Close() {
+  Status st = Status::OK();
+  if (nested_open_) {
+    st = nested_->Close();
+    ctx_->PopParams();
+    nested_open_ = false;
+  }
+  Status cst = child(0)->Close();
+  return st.ok() ? cst : st;
+}
+
+// ---------------------------------------------------------------------------
+// MapOp
+// ---------------------------------------------------------------------------
+
+void MapOp::WriteOutput(const RowRef& in, RowWriter* w) {
+  for (size_t c = 0; c < outputs_.size(); ++c) {
+    int col = static_cast<int>(c);
+    const MapOutput& spec = outputs_[c];
+    if (spec.passthrough_col >= 0) {
+      const Field& f = in.schema().field(spec.passthrough_col);
+      switch (f.type) {
+        case AtomType::kInt32:
+        case AtomType::kDate:
+          w->SetInt32(col, in.GetInt32(spec.passthrough_col));
+          break;
+        case AtomType::kInt64:
+          w->SetInt64(col, in.GetInt64(spec.passthrough_col));
+          break;
+        case AtomType::kFloat64:
+          w->SetFloat64(col, in.GetFloat64(spec.passthrough_col));
+          break;
+        case AtomType::kString:
+          w->SetString(col, in.GetString(spec.passthrough_col));
+          break;
+      }
+      continue;
+    }
+    Item v = spec.expr->Eval(in);
+    switch (out_schema_.field(c).type) {
+      case AtomType::kInt32:
+      case AtomType::kDate:
+        w->SetInt32(col, static_cast<int32_t>(v.i64()));
+        break;
+      case AtomType::kInt64:
+        w->SetInt64(col, v.is_f64() ? static_cast<int64_t>(v.f64()) : v.i64());
+        break;
+      case AtomType::kFloat64:
+        w->SetFloat64(col, v.AsDouble());
+        break;
+      case AtomType::kString:
+        w->SetString(col, v.str());
+        break;
+    }
+  }
+}
+
+bool MapOp::Next(Tuple* out) {
+  Tuple t;
+  if (!child(0)->Next(&t)) return ChildEnd(child(0));
+  RowWriter w(scratch_->mutable_row(0), &scratch_->schema());
+  WriteOutput(t[row_item_].row(), &w);
+  out->clear();
+  out->push_back(Item(scratch_->row(0)));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// ParametrizedMap
+// ---------------------------------------------------------------------------
+
+Status ParametrizedMap::Open(ExecContext* ctx) {
+  MODULARIS_RETURN_NOT_OK(SubOperator::Open(ctx));
+  scratch_ = RowVector::Make(out_schema_);
+  scratch_->AppendRow();
+  bulk_.reset();
+  bulk_pos_ = 0;
+  Tuple t;
+  if (!child(0)->Next(&t)) {
+    if (!child(0)->status().ok()) return child(0)->status();
+    return Status::InvalidArgument(
+        "ParametrizedMap: parameter upstream yielded no tuple");
+  }
+  param_arena_.clear();
+  param_ = OwnTuple(t, &param_arena_);
+  return Status::OK();
+}
+
+bool ParametrizedMap::Next(Tuple* out) {
+  while (true) {
+    RowRef in;
+    if (bulk_ != nullptr && bulk_pos_ < bulk_->size()) {
+      in = bulk_->row(bulk_pos_++);
+    } else {
+      Tuple t;
+      if (!child(1)->Next(&t)) return ChildEnd(child(1));
+      if (bulk_fn_ != nullptr && t[0].is_collection()) {
+        // Fused: transform the whole collection in one pass.
+        out->clear();
+        out->push_back(Item(bulk_fn_(param_, *t[0].collection())));
+        return true;
+      }
+      if (t[0].is_collection()) {
+        bulk_ = t[0].collection();
+        bulk_pos_ = 0;
+        continue;
+      }
+      if (!t[0].is_row()) {
+        return Fail(Status::InvalidArgument(
+            "ParametrizedMap expects rows or collections, got " +
+            t[0].ToString()));
+      }
+      in = t[0].row();
+    }
+    if (fn_ == nullptr) {
+      return Fail(Status::InvalidArgument(
+          "ParametrizedMap: bulk-only form received a record stream"));
+    }
+    RowWriter w(scratch_->mutable_row(0), &scratch_->schema());
+    fn_(param_, in, &w);
+    out->clear();
+    out->push_back(Item(scratch_->row(0)));
+    return true;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CartesianProduct
+// ---------------------------------------------------------------------------
+
+Status CartesianProduct::Open(ExecContext* ctx) {
+  MODULARIS_RETURN_NOT_OK(SubOperator::Open(ctx));
+  left_.clear();
+  arena_.clear();
+  right_valid_ = false;
+  left_pos_ = 0;
+  Tuple t;
+  while (child(0)->Next(&t)) {
+    left_.push_back(OwnTuple(t, &arena_));
+  }
+  return child(0)->status();
+}
+
+bool CartesianProduct::Next(Tuple* out) {
+  while (true) {
+    if (right_valid_ && left_pos_ < left_.size()) {
+      *out = left_[left_pos_++];
+      out->Append(right_current_);
+      return true;
+    }
+    if (!child(1)->Next(&right_current_)) {
+      right_valid_ = false;
+      return ChildEnd(child(1));
+    }
+    right_valid_ = true;
+    left_pos_ = 0;
+  }
+}
+
+}  // namespace modularis

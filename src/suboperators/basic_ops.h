@@ -1,0 +1,266 @@
+#ifndef MODULARIS_SUBOPERATORS_BASIC_OPS_H_
+#define MODULARIS_SUBOPERATORS_BASIC_OPS_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/expr.h"
+#include "core/sub_operator.h"
+
+/// \file basic_ops.h
+/// Orchestration sub-operators (ParameterLookup, NestedMap — paper §3.4)
+/// and the record-level data-processing operators (Filter, Map,
+/// ParametrizedMap, Projection, Zip, CartesianProduct).
+
+namespace modularis {
+
+/// ParameterLookup encapsulates plan inputs in the operator interface
+/// (paper §3.4). It yields the current parameter tuple — pushed by the
+/// executor for plan-level inputs or by the enclosing NestedMap for nested
+/// plans — exactly once per Open().
+class ParameterLookup : public SubOperator {
+ public:
+  ParameterLookup() : SubOperator("ParameterLookup") {}
+
+  Status Open(ExecContext* ctx) override {
+    done_ = false;
+    return SubOperator::Open(ctx);
+  }
+
+  bool Next(Tuple* out) override {
+    if (done_) return false;
+    const Tuple* params = ctx_->CurrentParams();
+    if (params == nullptr) {
+      return Fail(Status::Internal(
+          "ParameterLookup: no parameter frame is bound"));
+    }
+    *out = *params;
+    done_ = true;
+    return true;
+  }
+
+ private:
+  bool done_ = false;
+};
+
+/// NestedMap executes a nested plan independently for each input tuple
+/// (paper §3.4). The input tuple becomes the parameter frame of the nested
+/// plan's ParameterLookup operators; all tuples the nested plan produces
+/// are forwarded downstream. This is design principle (3): high-level
+/// control flow expressed through the operator interface itself.
+class NestedMap : public SubOperator {
+ public:
+  NestedMap(SubOpPtr input, SubOpPtr nested_plan)
+      : SubOperator("NestedMap"), nested_(std::move(nested_plan)) {
+    AddChild(std::move(input));
+  }
+
+  Status Open(ExecContext* ctx) override;
+  bool Next(Tuple* out) override;
+  Status Close() override;
+
+  SubOperator* nested_plan() const { return nested_.get(); }
+
+ private:
+  SubOpPtr nested_;
+  Tuple current_input_;
+  std::vector<RowVectorPtr> arena_;
+  bool nested_open_ = false;
+};
+
+/// Projection retains a subset of the *tuple items* of its input, in the
+/// given order (used to dissect parameter tuples in nested plans).
+class Projection : public SubOperator {
+ public:
+  Projection(SubOpPtr child, std::vector<int> indices)
+      : SubOperator("Projection"), indices_(std::move(indices)) {
+    AddChild(std::move(child));
+  }
+
+  bool Next(Tuple* out) override {
+    Tuple t;
+    if (!child(0)->Next(&t)) return ChildEnd(child(0));
+    out->clear();
+    for (int i : indices_) out->push_back(t[i]);
+    return true;
+  }
+
+ private:
+  std::vector<int> indices_;
+};
+
+/// Filter passes through record tuples whose row item satisfies the
+/// predicate expression.
+class Filter : public SubOperator {
+ public:
+  Filter(SubOpPtr child, ExprPtr predicate, int row_item = 0)
+      : SubOperator("Filter"),
+        predicate_(std::move(predicate)),
+        row_item_(row_item) {
+    AddChild(std::move(child));
+  }
+
+  bool Next(Tuple* out) override {
+    Tuple t;
+    while (child(0)->Next(&t)) {
+      if (predicate_->EvalBool(t[row_item_].row())) {
+        *out = std::move(t);
+        return true;
+      }
+    }
+    return ChildEnd(child(0));
+  }
+
+  const ExprPtr& predicate() const { return predicate_; }
+
+ private:
+  ExprPtr predicate_;
+  int row_item_;
+};
+
+/// One output column of a Map: either a passthrough of an input column or
+/// a computed expression.
+struct MapOutput {
+  /// Passthrough when >= 0 (expr ignored); computed when -1.
+  int passthrough_col = -1;
+  ExprPtr expr;
+
+  static MapOutput Pass(int col) { return MapOutput{col, nullptr}; }
+  static MapOutput Compute(ExprPtr e) { return MapOutput{-1, std::move(e)}; }
+};
+
+/// Map transforms each input record into a new record of `out_schema`
+/// (projection pushdown + computed columns). This is the sub-operator the
+/// UDF frontend compiles user functions into.
+class MapOp : public SubOperator {
+ public:
+  MapOp(SubOpPtr child, Schema out_schema, std::vector<MapOutput> outputs,
+        int row_item = 0)
+      : SubOperator("Map"),
+        out_schema_(std::move(out_schema)),
+        outputs_(std::move(outputs)),
+        row_item_(row_item) {
+    AddChild(std::move(child));
+  }
+
+  Status Open(ExecContext* ctx) override {
+    scratch_ = RowVector::Make(out_schema_);
+    scratch_->AppendRow();
+    return SubOperator::Open(ctx);
+  }
+
+  bool Next(Tuple* out) override;
+
+ private:
+  void WriteOutput(const RowRef& in, RowWriter* w);
+
+  Schema out_schema_;
+  std::vector<MapOutput> outputs_;
+  int row_item_;
+  RowVectorPtr scratch_;
+};
+
+/// ParametrizedMap transforms each record of its data upstream with a
+/// callable that additionally receives a parameter tuple read from its
+/// first upstream at Open() time (paper §4.1.2: recovering the key bits
+/// dropped by the compressed network exchange).
+class ParametrizedMap : public SubOperator {
+ public:
+  using Fn = std::function<void(const Tuple& param, const RowRef& in,
+                                RowWriter* out)>;
+  /// Bulk variant applied to whole collections (installed by the fusion
+  /// pass — the analog of JIT-inlining the UDF into the loop).
+  using BulkFn = std::function<RowVectorPtr(const Tuple& param,
+                                            const RowVector& in)>;
+
+  /// `param` upstream must yield exactly one tuple; `data` yields records.
+  ParametrizedMap(SubOpPtr param, SubOpPtr data, Schema out_schema, Fn fn)
+      : SubOperator("ParametrizedMap"),
+        out_schema_(std::move(out_schema)),
+        fn_(std::move(fn)) {
+    AddChild(std::move(param));
+    AddChild(std::move(data));
+  }
+
+  /// Fused form: `data` yields collections; `bulk_fn` transforms each in
+  /// one tight loop and the result is forwarded as a collection tuple.
+  ParametrizedMap(SubOpPtr param, SubOpPtr data, Schema out_schema,
+                  BulkFn bulk_fn)
+      : SubOperator("ParametrizedMap"),
+        out_schema_(std::move(out_schema)),
+        bulk_fn_(std::move(bulk_fn)) {
+    AddChild(std::move(param));
+    AddChild(std::move(data));
+  }
+
+  Status Open(ExecContext* ctx) override;
+  bool Next(Tuple* out) override;
+
+ private:
+  Schema out_schema_;
+  Fn fn_;
+  BulkFn bulk_fn_;
+  Tuple param_;
+  std::vector<RowVectorPtr> param_arena_;
+  RowVectorPtr scratch_;
+  // Bulk path (fused plans feed whole collections).
+  RowVectorPtr bulk_;
+  size_t bulk_pos_ = 0;
+};
+
+/// Zip combines the i-th tuples of its two upstreams into one tuple
+/// (item-wise concatenation). Streams must have equal length.
+class Zip : public SubOperator {
+ public:
+  Zip(SubOpPtr left, SubOpPtr right) : SubOperator("Zip") {
+    AddChild(std::move(left));
+    AddChild(std::move(right));
+  }
+
+  bool Next(Tuple* out) override {
+    Tuple a, b;
+    bool has_a = child(0)->Next(&a);
+    bool has_b = child(1)->Next(&b);
+    if (!has_a && !has_b) {
+      if (!child(0)->status().ok()) return Fail(child(0)->status());
+      if (!child(1)->status().ok()) return Fail(child(1)->status());
+      return false;
+    }
+    if (has_a != has_b) {
+      return Fail(Status::InvalidArgument(
+          "Zip: upstreams produced different numbers of tuples"));
+    }
+    *out = std::move(a);
+    out->Append(b);
+    return true;
+  }
+};
+
+/// CartesianProduct emits the concatenation of every (left, right) tuple
+/// pair. The left side is buffered at Open(); in the paper's plans it
+/// carries a single tuple (e.g. the network partition ID) that is attached
+/// to every right-side tuple (§4.1.2).
+class CartesianProduct : public SubOperator {
+ public:
+  CartesianProduct(SubOpPtr left, SubOpPtr right)
+      : SubOperator("CartesianProduct") {
+    AddChild(std::move(left));
+    AddChild(std::move(right));
+  }
+
+  Status Open(ExecContext* ctx) override;
+  bool Next(Tuple* out) override;
+
+ private:
+  std::vector<Tuple> left_;
+  std::vector<RowVectorPtr> arena_;
+  Tuple right_current_;
+  bool right_valid_ = false;
+  size_t left_pos_ = 0;
+};
+
+}  // namespace modularis
+
+#endif  // MODULARIS_SUBOPERATORS_BASIC_OPS_H_

@@ -1,0 +1,219 @@
+#include "suboperators/join_ops.h"
+
+namespace modularis {
+
+// ---------------------------------------------------------------------------
+// JoinHashTable
+// ---------------------------------------------------------------------------
+
+void JoinHashTable::Reserve(size_t rows) {
+  entries_.clear();
+  entries_.reserve(rows);
+  size_t buckets = 16;
+  while (buckets < rows * 2) buckets <<= 1;
+  Rehash(buckets);
+}
+
+void JoinHashTable::Rehash(size_t buckets) {
+  buckets_.assign(buckets, Bucket{});
+  mask_ = buckets - 1;
+  // Re-thread every entry; chains for duplicate keys rebuild naturally
+  // because entries are revisited in insertion order.
+  for (uint32_t e = 0; e < entries_.size(); ++e) {
+    size_t slot = MixHash64(static_cast<uint64_t>(entries_[e].key)) & mask_;
+    while (buckets_[slot].head != kNone &&
+           buckets_[slot].key != entries_[e].key) {
+      slot = (slot + 1) & mask_;
+    }
+    entries_[e].next = buckets_[slot].head;
+    buckets_[slot].key = entries_[e].key;
+    buckets_[slot].head = e;
+  }
+}
+
+void JoinHashTable::Insert(int64_t key, uint32_t row_index) {
+  if (buckets_.empty() || entries_.size() * 2 >= buckets_.size()) {
+    entries_.push_back(Entry{key, row_index, kNone});
+    Rehash(buckets_.empty() ? 16 : buckets_.size() * 2);
+    return;
+  }
+  size_t slot = MixHash64(static_cast<uint64_t>(key)) & mask_;
+  while (buckets_[slot].head != kNone && buckets_[slot].key != key) {
+    slot = (slot + 1) & mask_;
+  }
+  Entry e{key, row_index, buckets_[slot].head};
+  buckets_[slot].key = key;
+  buckets_[slot].head = static_cast<uint32_t>(entries_.size());
+  entries_.push_back(e);
+}
+
+uint32_t JoinHashTable::Find(int64_t key) const {
+  if (buckets_.empty()) return kNone;
+  size_t slot = MixHash64(static_cast<uint64_t>(key)) & mask_;
+  while (buckets_[slot].head != kNone) {
+    if (buckets_[slot].key == key) return buckets_[slot].head;
+    slot = (slot + 1) & mask_;
+  }
+  return kNone;
+}
+
+// ---------------------------------------------------------------------------
+// BuildProbe
+// ---------------------------------------------------------------------------
+
+namespace {
+
+uint32_t FieldBytes(const Field& f) {
+  switch (f.type) {
+    case AtomType::kInt32:
+    case AtomType::kDate:
+      return 4;
+    case AtomType::kInt64:
+    case AtomType::kFloat64:
+      return 8;
+    case AtomType::kString:
+      return 2 + f.width;
+  }
+  return 8;
+}
+
+void MakeCopyPlan(const Schema& src, const Schema& dst, size_t dst_start,
+                  std::vector<FieldCopy>* plan) {
+  for (size_t i = 0; i < src.num_fields(); ++i) {
+    plan->push_back(FieldCopy{src.offset(i),
+                              dst.offset(dst_start + i),
+                              FieldBytes(src.field(i))});
+  }
+}
+
+}  // namespace
+
+Status BuildProbe::Open(ExecContext* ctx) {
+  MODULARIS_RETURN_NOT_OK(SubOperator::Open(ctx));
+  built_ = false;
+  bulk_probe_ = false;
+  have_probe_row_ = false;
+  probe_bulk_.reset();
+  probe_bulk_pos_ = 0;
+  match_entry_ = JoinHashTable::kNone;
+  in_match_chain_ = false;
+  build_rows_ = RowVector::Make(build_schema_);
+  scratch_ = RowVector::Make(out_schema_);
+  scratch_->AppendRow();
+  build_copies_.clear();
+  probe_copies_.clear();
+  if (type_ == JoinType::kInner) {
+    MakeCopyPlan(build_schema_, out_schema_, 0, &build_copies_);
+    MakeCopyPlan(probe_schema_, out_schema_, build_schema_.num_fields(),
+                 &probe_copies_);
+  }
+  return Status::OK();
+}
+
+Status BuildProbe::BuildTable() {
+  ScopedTimer timer(ctx_->stats, timer_key_);
+  Tuple t;
+  while (child(0)->Next(&t)) {
+    const Item& item = t[0];
+    if (item.is_collection()) {
+      build_rows_->AppendAll(*item.collection());
+    } else if (item.is_row()) {
+      build_rows_->AppendRaw(item.row().data());
+    } else {
+      return Status::InvalidArgument(
+          "BuildProbe expects rows or collections on the build side, got " +
+          item.ToString());
+    }
+  }
+  MODULARIS_RETURN_NOT_OK(child(0)->status());
+  table_.Reserve(build_rows_->size());
+  for (size_t i = 0; i < build_rows_->size(); ++i) {
+    table_.Insert(KeyAt(build_rows_->row(i), build_key_col_) >> key_shift_,
+                  static_cast<uint32_t>(i));
+  }
+  return Status::OK();
+}
+
+void BuildProbe::EmitInner(uint32_t entry, const RowRef& probe_row,
+                           Tuple* out) {
+  uint8_t* dst = scratch_->mutable_row(0);
+  const uint8_t* bsrc = build_rows_->row(table_.RowOf(entry)).data();
+  for (const FieldCopy& c : build_copies_) {
+    std::memcpy(dst + c.dst_offset, bsrc + c.src_offset, c.bytes);
+  }
+  const uint8_t* psrc = probe_row.data();
+  for (const FieldCopy& c : probe_copies_) {
+    std::memcpy(dst + c.dst_offset, psrc + c.src_offset, c.bytes);
+  }
+  out->clear();
+  out->push_back(Item(scratch_->row(0)));
+}
+
+bool BuildProbe::Next(Tuple* out) {
+  if (!built_) {
+    Status st = BuildTable();
+    if (!st.ok()) return Fail(st);
+    built_ = true;
+  }
+
+  while (true) {
+    if (have_probe_row_) {
+      RowRef row = CurrentProbeRow();
+      if (in_match_chain_) {
+        // Continue emitting duplicate matches for the current probe row.
+        uint32_t e = match_entry_;
+        match_entry_ = table_.NextMatch(e);
+        if (match_entry_ == JoinHashTable::kNone) {
+          in_match_chain_ = false;
+          AdvanceProbe();
+        }
+        EmitInner(e, row, out);
+        return true;
+      }
+      uint32_t e =
+          table_.Find(KeyAt(row, probe_key_col_) >> key_shift_);
+      bool matched = e != JoinHashTable::kNone;
+      if (type_ == JoinType::kInner) {
+        if (!matched) {
+          AdvanceProbe();
+          continue;
+        }
+        match_entry_ = table_.NextMatch(e);
+        if (match_entry_ != JoinHashTable::kNone) {
+          in_match_chain_ = true;
+        } else {
+          AdvanceProbe();
+        }
+        EmitInner(e, row, out);
+        return true;
+      }
+      // Semi / anti: emit the probe row itself when (un)matched.
+      bool emit = (type_ == JoinType::kSemi) == matched;
+      AdvanceProbe();
+      if (!emit) continue;
+      out->clear();
+      out->push_back(Item(row));
+      return true;
+    }
+
+    Tuple t;
+    if (!child(1)->Next(&t)) return ChildEnd(child(1));
+    const Item& item = t[0];
+    if (item.is_collection()) {
+      probe_bulk_ = item.collection();
+      probe_bulk_pos_ = 0;
+      bulk_probe_ = true;
+      have_probe_row_ = probe_bulk_->size() > 0;
+    } else if (item.is_row()) {
+      probe_tuple_ = std::move(t);
+      bulk_probe_ = false;
+      have_probe_row_ = true;
+    } else {
+      return Fail(Status::InvalidArgument(
+          "BuildProbe expects rows or collections on the probe side, got " +
+          item.ToString()));
+    }
+  }
+}
+
+}  // namespace modularis

@@ -1,0 +1,226 @@
+#include "suboperators/partition_ops.h"
+
+namespace modularis {
+
+Schema HistogramSchema() {
+  return Schema({Field::I64("count")});
+}
+
+namespace {
+
+/// Reads the i64 key at a fixed byte offset of a packed row (covers i64
+/// and, via the i32 variant, date/int32 keys).
+inline int64_t LoadKey(const uint8_t* row, uint32_t offset, bool wide) {
+  if (wide) {
+    int64_t k;
+    std::memcpy(&k, row + offset, sizeof(k));
+    return k;
+  }
+  int32_t k;
+  std::memcpy(&k, row + offset, sizeof(k));
+  return k;
+}
+
+struct KeyLayout {
+  uint32_t offset;
+  bool wide;
+};
+
+KeyLayout KeyLayoutOf(const Schema& schema, int key_col) {
+  return KeyLayout{schema.offset(key_col),
+                   schema.field(key_col).type == AtomType::kInt64};
+}
+
+}  // namespace
+
+void CountRows(const RowVector& rows, const RadixSpec& spec, int key_col,
+               int64_t* counts) {
+  const KeyLayout kl = KeyLayoutOf(rows.schema(), key_col);
+  const uint8_t* p = rows.data();
+  const uint32_t stride = rows.row_size();
+  const size_t n = rows.size();
+  for (size_t i = 0; i < n; ++i, p += stride) {
+    ++counts[spec.PartitionOf(LoadKey(p, kl.offset, kl.wide))];
+  }
+}
+
+void ScatterRows(const RowVector& rows, const RadixSpec& spec, int key_col,
+                 std::vector<RowVectorPtr>* parts) {
+  const KeyLayout kl = KeyLayoutOf(rows.schema(), key_col);
+  const uint8_t* p = rows.data();
+  const uint32_t stride = rows.row_size();
+  const size_t n = rows.size();
+  for (size_t i = 0; i < n; ++i, p += stride) {
+    uint32_t pid = spec.PartitionOf(LoadKey(p, kl.offset, kl.wide));
+    (*parts)[pid]->AppendRaw(p);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LocalHistogram
+// ---------------------------------------------------------------------------
+
+bool LocalHistogram::Next(Tuple* out) {
+  if (done_) return false;
+  std::vector<int64_t> counts(spec_.fanout(), 0);
+  {
+    ScopedTimer timer(ctx_->stats, timer_key_);
+    Tuple t;
+    while (child(0)->Next(&t)) {
+      const Item& item = t[0];
+      if (item.is_collection()) {
+        CountRows(*item.collection(), spec_, key_col_, counts.data());
+      } else if (item.is_row()) {
+        ++counts[spec_.PartitionOf(KeyAt(item.row(), key_col_))];
+      } else {
+        return Fail(Status::InvalidArgument(
+            "LocalHistogram expects rows or collections, got " +
+            item.ToString()));
+      }
+    }
+  }
+  if (!child(0)->status().ok()) return Fail(child(0)->status());
+  RowVectorPtr hist = RowVector::Make(HistogramSchema());
+  hist->Reserve(counts.size());
+  for (int64_t c : counts) {
+    hist->AppendRow().SetInt64(0, c);
+  }
+  done_ = true;
+  out->clear();
+  out->push_back(Item(std::move(hist)));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// LocalPartition
+// ---------------------------------------------------------------------------
+
+Status LocalPartition::PartitionAll() {
+  // Read the histogram to pre-size the output partitions exactly (the
+  // radix-partitioning discipline of [58, 63] that makes the scatter a
+  // single streaming pass).
+  Tuple hist_tuple;
+  if (!child(1)->Next(&hist_tuple)) {
+    if (!child(1)->status().ok()) return child(1)->status();
+    return Status::InvalidArgument("LocalPartition: missing histogram");
+  }
+  const RowVectorPtr& hist = hist_tuple[0].collection();
+  if (static_cast<int>(hist->size()) != spec_.fanout()) {
+    return Status::InvalidArgument(
+        "LocalPartition: histogram size " + std::to_string(hist->size()) +
+        " != fanout " + std::to_string(spec_.fanout()));
+  }
+
+  ScopedTimer timer(ctx_->stats, timer_key_);
+  parts_.reserve(spec_.fanout());
+  Schema data_schema;
+  bool have_schema = false;
+
+  // Collect input; reserve per-partition capacity on first sight of the
+  // data schema.
+  Tuple t;
+  while (child(0)->Next(&t)) {
+    const Item& item = t[0];
+    if (item.is_collection()) {
+      const RowVector& rows = *item.collection();
+      if (!have_schema) {
+        data_schema = rows.schema();
+        have_schema = true;
+        for (int p = 0; p < spec_.fanout(); ++p) {
+          RowVectorPtr part = RowVector::Make(data_schema);
+          part->Reserve(static_cast<size_t>(hist->row(p).GetInt64(0)));
+          parts_.push_back(std::move(part));
+        }
+      }
+      ScatterRows(rows, spec_, key_col_, &parts_);
+    } else if (item.is_row()) {
+      const RowRef& row = item.row();
+      if (!have_schema) {
+        data_schema = row.schema();
+        have_schema = true;
+        for (int p = 0; p < spec_.fanout(); ++p) {
+          RowVectorPtr part = RowVector::Make(data_schema);
+          part->Reserve(static_cast<size_t>(hist->row(p).GetInt64(0)));
+          parts_.push_back(std::move(part));
+        }
+      }
+      uint32_t pid = spec_.PartitionOf(KeyAt(row, key_col_));
+      parts_[pid]->AppendRaw(row.data());
+    } else {
+      return Status::InvalidArgument(
+          "LocalPartition expects rows or collections, got " +
+          item.ToString());
+    }
+  }
+  if (!child(0)->status().ok()) return child(0)->status();
+  if (!have_schema) {
+    // Empty input: emit empty partitions with a key/value placeholder
+    // schema derived from nothing — use the histogram's count of zero.
+    for (int p = 0; p < spec_.fanout(); ++p) {
+      parts_.push_back(RowVector::Make(KeyValueSchema()));
+    }
+  }
+  return Status::OK();
+}
+
+bool LocalPartition::Next(Tuple* out) {
+  if (!partitioned_) {
+    Status st = PartitionAll();
+    if (!st.ok()) return Fail(st);
+    partitioned_ = true;
+  }
+  if (emit_pos_ >= parts_.size()) return false;
+  out->clear();
+  out->push_back(Item(static_cast<int64_t>(emit_pos_)));
+  out->push_back(Item(parts_[emit_pos_]));
+  ++emit_pos_;
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// PartitionOp
+// ---------------------------------------------------------------------------
+
+bool PartitionOp::Next(Tuple* out) {
+  if (!partitioned_) {
+    ScopedTimer timer(ctx_->stats, timer_key_);
+    Tuple t;
+    bool have_parts = false;
+    auto ensure_parts = [&](const Schema& schema) {
+      if (have_parts) return;
+      for (int p = 0; p < spec_.fanout(); ++p) {
+        parts_.push_back(RowVector::Make(schema));
+      }
+      have_parts = true;
+    };
+    while (child(0)->Next(&t)) {
+      const Item& item = t[0];
+      if (item.is_collection()) {
+        ensure_parts(item.collection()->schema());
+        ScatterRows(*item.collection(), spec_, key_col_, &parts_);
+      } else if (item.is_row()) {
+        ensure_parts(item.row().schema());
+        uint32_t pid = spec_.PartitionOf(KeyAt(item.row(), key_col_));
+        parts_[pid]->AppendRaw(item.row().data());
+      } else {
+        return Fail(Status::InvalidArgument(
+            "Partition expects rows or collections, got " + item.ToString()));
+      }
+    }
+    if (!child(0)->status().ok()) return Fail(child(0)->status());
+    if (!have_parts) {
+      for (int p = 0; p < spec_.fanout(); ++p) {
+        parts_.push_back(RowVector::Make(KeyValueSchema()));
+      }
+    }
+    partitioned_ = true;
+  }
+  if (emit_pos_ >= parts_.size()) return false;
+  out->clear();
+  out->push_back(Item(static_cast<int64_t>(emit_pos_)));
+  out->push_back(Item(parts_[emit_pos_]));
+  ++emit_pos_;
+  return true;
+}
+
+}  // namespace modularis

@@ -1,0 +1,142 @@
+#ifndef MODULARIS_SUBOPERATORS_PARTITION_OPS_H_
+#define MODULARIS_SUBOPERATORS_PARTITION_OPS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sub_operator.h"
+#include "suboperators/radix.h"
+
+/// \file partition_ops.h
+/// Histogram and partitioning sub-operators. Factoring the partitioning
+/// logic out of the join lets the same code improve cache locality in
+/// grouping too (design principle (1), §3.2).
+
+namespace modularis {
+
+/// Schema of histogram collections: one i64 count per partition, indexed
+/// by partition id.
+Schema HistogramSchema();
+
+/// LocalHistogram counts, per radix partition, the records of its input.
+/// It accepts either record streams (from RowScan) or whole collections
+/// (the fused form installed by the fusion pass) and produces a single
+/// tuple holding the histogram collection.
+class LocalHistogram : public SubOperator {
+ public:
+  LocalHistogram(SubOpPtr child, RadixSpec spec, int key_col,
+                 std::string timer_key = "phase.local_histogram")
+      : SubOperator("LocalHistogram"),
+        spec_(spec),
+        key_col_(key_col),
+        timer_key_(std::move(timer_key)) {
+    AddChild(std::move(child));
+  }
+
+  Status Open(ExecContext* ctx) override {
+    done_ = false;
+    return SubOperator::Open(ctx);
+  }
+
+  bool Next(Tuple* out) override;
+
+  const RadixSpec& spec() const { return spec_; }
+
+ private:
+  RadixSpec spec_;
+  int key_col_;
+  std::string timer_key_;
+  bool done_ = false;
+};
+
+/// LocalPartition scatters its data upstream into per-partition
+/// collections, sized exactly from the histogram upstream, and emits
+/// ⟨partitionID, partitionData⟩ pairs for every partition in dense,
+/// ordered sequence (so that Zip can align the two join sides).
+class LocalPartition : public SubOperator {
+ public:
+  /// Children: data (records or collections), histogram (single tuple).
+  LocalPartition(SubOpPtr data, SubOpPtr histogram, RadixSpec spec,
+                 int key_col,
+                 std::string timer_key = "phase.local_partition")
+      : SubOperator("LocalPartition"),
+        spec_(spec),
+        key_col_(key_col),
+        timer_key_(std::move(timer_key)) {
+    AddChild(std::move(data));
+    AddChild(std::move(histogram));
+  }
+
+  Status Open(ExecContext* ctx) override {
+    partitioned_ = false;
+    emit_pos_ = 0;
+    parts_.clear();
+    return SubOperator::Open(ctx);
+  }
+
+  bool Next(Tuple* out) override;
+
+ private:
+  Status PartitionAll();
+
+  RadixSpec spec_;
+  int key_col_;
+  std::string timer_key_;
+  bool partitioned_ = false;
+  size_t emit_pos_ = 0;
+  std::vector<RowVectorPtr> parts_;
+};
+
+/// Partition is the single-pass variant that computes its own histogram
+/// (Table 1's generic Partition; used by the serverless exchange where
+/// partitioning is only a pre-processing step for the S3 exchange, §4.4).
+class PartitionOp : public SubOperator {
+ public:
+  PartitionOp(SubOpPtr data, RadixSpec spec, int key_col,
+              std::string timer_key = "phase.partition")
+      : SubOperator("Partition"),
+        spec_(spec),
+        key_col_(key_col),
+        timer_key_(std::move(timer_key)) {
+    AddChild(std::move(data));
+  }
+
+  Status Open(ExecContext* ctx) override {
+    partitioned_ = false;
+    emit_pos_ = 0;
+    parts_.clear();
+    return SubOperator::Open(ctx);
+  }
+
+  bool Next(Tuple* out) override;
+
+ private:
+  RadixSpec spec_;
+  int key_col_;
+  std::string timer_key_;
+  bool partitioned_ = false;
+  size_t emit_pos_ = 0;
+  std::vector<RowVectorPtr> parts_;
+};
+
+/// Shared scatter routine: appends every record of `rows` to
+/// `parts[PartitionOf(key)]`. Key must be an i64/i32/date column.
+void ScatterRows(const RowVector& rows, const RadixSpec& spec, int key_col,
+                 std::vector<RowVectorPtr>* parts);
+
+/// Shared count routine: adds per-partition record counts of `rows` into
+/// `counts` (size must be spec.fanout()).
+void CountRows(const RowVector& rows, const RadixSpec& spec, int key_col,
+               int64_t* counts);
+
+/// Extracts the i64 key (i32/date widened) at `key_col` of a packed row.
+inline int64_t KeyAt(const RowRef& row, int key_col) {
+  const Field& f = row.schema().field(key_col);
+  if (f.type == AtomType::kInt64) return row.GetInt64(key_col);
+  return row.GetInt32(key_col);
+}
+
+}  // namespace modularis
+
+#endif  // MODULARIS_SUBOPERATORS_PARTITION_OPS_H_

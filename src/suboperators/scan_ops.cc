@@ -1,0 +1,53 @@
+#include "suboperators/scan_ops.h"
+
+namespace modularis {
+
+bool MaterializeRowVector::Next(Tuple* out) {
+  if (done_) return false;
+  RowVectorPtr result = RowVector::Make(schema_);
+  Tuple t;
+  while (child(0)->Next(&t)) {
+    if (t.size() == 1 && t[0].is_row()) {
+      result->AppendRaw(t[0].row().data());
+      continue;
+    }
+    if (t.size() == 1 && t[0].is_collection()) {
+      // Fused form: upstream hands whole collections (no RowScan).
+      result->AppendAll(*t[0].collection());
+      continue;
+    }
+    // Atom tuple: positional write against the target schema.
+    if (t.size() != schema_.num_fields()) {
+      return Fail(Status::InvalidArgument(
+          "MaterializeRowVector: tuple arity " + std::to_string(t.size()) +
+          " does not match schema " + schema_.ToString()));
+    }
+    RowWriter w = result->AppendRow();
+    for (size_t c = 0; c < t.size(); ++c) {
+      int col = static_cast<int>(c);
+      const Item& item = t[c];
+      switch (schema_.field(c).type) {
+        case AtomType::kInt32:
+        case AtomType::kDate:
+          w.SetInt32(col, static_cast<int32_t>(item.i64()));
+          break;
+        case AtomType::kInt64:
+          w.SetInt64(col, item.i64());
+          break;
+        case AtomType::kFloat64:
+          w.SetFloat64(col, item.AsDouble());
+          break;
+        case AtomType::kString:
+          w.SetString(col, item.str());
+          break;
+      }
+    }
+  }
+  if (!child(0)->status().ok()) return Fail(child(0)->status());
+  done_ = true;
+  out->clear();
+  out->push_back(Item(std::move(result)));
+  return true;
+}
+
+}  // namespace modularis

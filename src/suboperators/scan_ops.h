@@ -1,0 +1,214 @@
+#ifndef MODULARIS_SUBOPERATORS_SCAN_OPS_H_
+#define MODULARIS_SUBOPERATORS_SCAN_OPS_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/column_table.h"
+#include "core/sub_operator.h"
+
+/// \file scan_ops.h
+/// Materialize and scan sub-operators (paper Table 1): the operators that
+/// move between the "stream of tuples" world and physical collections.
+/// Dedicating one sub-operator to each physical format is design principle
+/// (2): it keeps every other operator independent of where data lives.
+
+namespace modularis {
+
+/// Test/driver source yielding a fixed list of tuples.
+class TupleSource : public SubOperator {
+ public:
+  explicit TupleSource(std::vector<Tuple> tuples)
+      : SubOperator("TupleSource"), tuples_(std::move(tuples)) {}
+
+  Status Open(ExecContext* ctx) override {
+    pos_ = 0;
+    return SubOperator::Open(ctx);
+  }
+
+  bool Next(Tuple* out) override {
+    if (pos_ >= tuples_.size()) return false;
+    *out = tuples_[pos_++];
+    return true;
+  }
+
+ private:
+  std::vector<Tuple> tuples_;
+  size_t pos_ = 0;
+};
+
+/// Source yielding one single-item tuple per collection.
+class CollectionSource : public SubOperator {
+ public:
+  explicit CollectionSource(std::vector<RowVectorPtr> collections)
+      : SubOperator("CollectionSource"),
+        collections_(std::move(collections)) {}
+
+  Status Open(ExecContext* ctx) override {
+    pos_ = 0;
+    return SubOperator::Open(ctx);
+  }
+
+  bool Next(Tuple* out) override {
+    if (pos_ >= collections_.size()) return false;
+    out->clear();
+    out->push_back(Item(collections_[pos_++]));
+    return true;
+  }
+
+ private:
+  std::vector<RowVectorPtr> collections_;
+  size_t pos_ = 0;
+};
+
+/// RowScan extracts individual records from RowVector collections: for
+/// every input tuple (whose item `item_index` is a RowVector) it streams
+/// one borrowed-row tuple per contained record.
+class RowScan : public SubOperator {
+ public:
+  explicit RowScan(SubOpPtr child, int item_index = 0)
+      : SubOperator("RowScan"), item_index_(item_index) {
+    AddChild(std::move(child));
+  }
+
+  Status Open(ExecContext* ctx) override {
+    current_.reset();
+    pos_ = 0;
+    return SubOperator::Open(ctx);
+  }
+
+  bool Next(Tuple* out) override {
+    while (true) {
+      if (current_ != nullptr && pos_ < current_->size()) {
+        out->clear();
+        out->push_back(Item(current_->row(pos_++)));
+        return true;
+      }
+      Tuple t;
+      if (!child(0)->Next(&t)) return ChildEnd(child(0));
+      const Item& item = t[item_index_];
+      if (!item.is_collection()) {
+        return Fail(Status::InvalidArgument(
+            "RowScan expects a collection item, got " + item.ToString()));
+      }
+      current_ = item.collection();
+      pos_ = 0;
+    }
+  }
+
+ private:
+  int item_index_;
+  RowVectorPtr current_;
+  size_t pos_ = 0;
+};
+
+/// ColumnScan extracts individual records from columnar collections
+/// (ColumnTable — our Arrow-table/column-chunk analog), materializing each
+/// record into a scratch row.
+class ColumnScan : public SubOperator {
+ public:
+  /// `schema` is the row schema of the produced records (must match the
+  /// scanned tables' schemas).
+  ColumnScan(SubOpPtr child, Schema schema, int item_index = 0)
+      : SubOperator("ColumnScan"),
+        schema_(std::move(schema)),
+        item_index_(item_index) {
+    AddChild(std::move(child));
+  }
+
+  Status Open(ExecContext* ctx) override {
+    scratch_ = RowVector::Make(schema_);
+    scratch_->AppendRow();
+    current_.reset();
+    pos_ = 0;
+    return SubOperator::Open(ctx);
+  }
+
+  bool Next(Tuple* out) override {
+    while (true) {
+      if (current_ != nullptr && pos_ < current_->num_rows()) {
+        RowWriter w(scratch_->mutable_row(0), &scratch_->schema());
+        current_->MaterializeRow(pos_++, &w);
+        out->clear();
+        out->push_back(Item(scratch_->row(0)));
+        return true;
+      }
+      Tuple t;
+      if (!child(0)->Next(&t)) return ChildEnd(child(0));
+      const Item& item = t[item_index_];
+      if (!item.is_table()) {
+        return Fail(Status::InvalidArgument(
+            "ColumnScan expects a table item, got " + item.ToString()));
+      }
+      current_ = item.table();
+      pos_ = 0;
+    }
+  }
+
+ private:
+  Schema schema_;
+  int item_index_;
+  RowVectorPtr scratch_;
+  ColumnTablePtr current_;
+  size_t pos_ = 0;
+};
+
+/// Converts whole ColumnTable items into RowVector collections (the
+/// "Arrow table to collection" operator of Table 1 / §4.5).
+class TableToCollection : public SubOperator {
+ public:
+  explicit TableToCollection(SubOpPtr child, int item_index = 0)
+      : SubOperator("TableToCollection"), item_index_(item_index) {
+    AddChild(std::move(child));
+  }
+
+  bool Next(Tuple* out) override {
+    Tuple t;
+    if (!child(0)->Next(&t)) return ChildEnd(child(0));
+    const Item& item = t[item_index_];
+    if (!item.is_table()) {
+      return Fail(Status::InvalidArgument(
+          "TableToCollection expects a table item, got " + item.ToString()));
+    }
+    out->clear();
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (static_cast<int>(i) == item_index_) {
+        out->push_back(Item(item.table()->ToRowVector()));
+      } else {
+        out->push_back(t[i]);
+      }
+    }
+    return true;
+  }
+
+ private:
+  int item_index_;
+};
+
+/// MaterializeRowVector collects its input stream into one RowVector and
+/// yields a single collection tuple. Every nested plan ends with one
+/// (paper §4.1.2). Inputs may be borrowed-row tuples (fast packed copy)
+/// or all-atom tuples matching `schema` (driver-side result assembly).
+class MaterializeRowVector : public SubOperator {
+ public:
+  MaterializeRowVector(SubOpPtr child, Schema schema)
+      : SubOperator("MaterializeRowVector"), schema_(std::move(schema)) {
+    AddChild(std::move(child));
+  }
+
+  Status Open(ExecContext* ctx) override {
+    done_ = false;
+    return SubOperator::Open(ctx);
+  }
+
+  bool Next(Tuple* out) override;
+
+ private:
+  Schema schema_;
+  bool done_ = false;
+};
+
+}  // namespace modularis
+
+#endif  // MODULARIS_SUBOPERATORS_SCAN_OPS_H_

@@ -1,0 +1,208 @@
+#include "tpch/generator.h"
+
+#include <algorithm>
+#include <random>
+
+namespace modularis::tpch {
+
+namespace {
+
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                           "MACHINERY", "HOUSEHOLD"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[] = {"REG AIR", "AIR",  "RAIL", "SHIP",
+                            "TRUCK",   "MAIL", "FOB"};
+const char* kInstructs[] = {"DELIVER IN PERSON", "COLLECT COD", "NONE",
+                            "TAKE BACK RETURN"};
+const char* kTypeSyl1[] = {"STANDARD", "SMALL",   "MEDIUM",
+                           "LARGE",    "ECONOMY", "PROMO"};
+const char* kTypeSyl2[] = {"ANODIZED", "BURNISHED", "PLATED", "POLISHED",
+                           "BRUSHED"};
+const char* kTypeSyl3[] = {"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"};
+const char* kContainerSyl1[] = {"SM", "MED", "LG", "JUMBO", "WRAP"};
+const char* kContainerSyl2[] = {"CASE", "BOX", "BAG", "JAR",
+                                "PKG",  "PACK", "CAN", "DRUM"};
+const char* kNations[] = {
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA",
+    "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"};
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+
+/// dbgen's retail price formula (spec 4.2.3).
+double RetailPrice(int64_t partkey) {
+  return (90000.0 + (partkey % 200001) / 10.0 + 100.0 * (partkey % 1000)) /
+         100.0;
+}
+
+}  // namespace
+
+int64_t NumOrders(double sf) {
+  return std::max<int64_t>(1, static_cast<int64_t>(1500000 * sf));
+}
+int64_t NumCustomers(double sf) {
+  return std::max<int64_t>(1, static_cast<int64_t>(150000 * sf));
+}
+int64_t NumParts(double sf) {
+  return std::max<int64_t>(1, static_cast<int64_t>(200000 * sf));
+}
+int64_t NumSuppliers(double sf) {
+  return std::max<int64_t>(1, static_cast<int64_t>(10000 * sf));
+}
+
+TpchTables GenerateTpch(const GeneratorOptions& options) {
+  const double sf = options.scale_factor;
+  std::mt19937_64 rng(options.seed);
+  auto uniform = [&rng](int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(rng);
+  };
+
+  TpchTables db;
+  const int64_t num_orders = NumOrders(sf);
+  const int64_t num_customers = NumCustomers(sf);
+  const int64_t num_parts = NumParts(sf);
+  const int64_t num_suppliers = NumSuppliers(sf);
+
+  const int32_t start_date = DateFromYMD(1992, 1, 1);
+  const int32_t end_date = DateFromYMD(1998, 8, 2);
+  const int32_t current_date = DateFromYMD(1995, 6, 17);
+
+  // -- region / nation -------------------------------------------------------
+  db.region = ColumnTable::Make(RegionSchema());
+  for (int i = 0; i < 5; ++i) {
+    db.region->column(r::kRegionKey).AppendInt32(i);
+    db.region->column(r::kName).AppendString(kRegions[i]);
+  }
+  db.region->FinishBulkLoad();
+
+  db.nation = ColumnTable::Make(NationSchema());
+  for (int i = 0; i < 25; ++i) {
+    db.nation->column(n::kNationKey).AppendInt32(i);
+    db.nation->column(n::kName).AppendString(kNations[i]);
+    db.nation->column(n::kRegionKey).AppendInt32(i % 5);
+  }
+  db.nation->FinishBulkLoad();
+
+  // -- customer --------------------------------------------------------------
+  db.customer = ColumnTable::Make(CustomerSchema());
+  for (int64_t k = 1; k <= num_customers; ++k) {
+    db.customer->column(c::kCustKey).AppendInt64(k);
+    db.customer->column(c::kName).AppendString("Customer#" +
+                                               std::to_string(k));
+    db.customer->column(c::kMktSegment)
+        .AppendString(kSegments[uniform(0, 4)]);
+    db.customer->column(c::kNationKey)
+        .AppendInt32(static_cast<int32_t>(uniform(0, 24)));
+  }
+  db.customer->FinishBulkLoad();
+
+  // -- supplier ---------------------------------------------------------------
+  db.supplier = ColumnTable::Make(SupplierSchema());
+  for (int64_t k = 1; k <= num_suppliers; ++k) {
+    db.supplier->column(s::kSuppKey).AppendInt64(k);
+    db.supplier->column(s::kName).AppendString("Supplier#" +
+                                               std::to_string(k));
+    db.supplier->column(s::kNationKey)
+        .AppendInt32(static_cast<int32_t>(uniform(0, 24)));
+  }
+  db.supplier->FinishBulkLoad();
+
+  // -- part -------------------------------------------------------------------
+  db.part = ColumnTable::Make(PartSchema());
+  for (int64_t k = 1; k <= num_parts; ++k) {
+    db.part->column(p::kPartKey).AppendInt64(k);
+    db.part->column(p::kBrand).AppendString(
+        "Brand#" + std::to_string(uniform(1, 5)) +
+        std::to_string(uniform(1, 5)));
+    std::string type = std::string(kTypeSyl1[uniform(0, 5)]) + " " +
+                       kTypeSyl2[uniform(0, 4)] + " " +
+                       kTypeSyl3[uniform(0, 4)];
+    db.part->column(p::kType).AppendString(type);
+    db.part->column(p::kSize).AppendInt32(
+        static_cast<int32_t>(uniform(1, 50)));
+    db.part->column(p::kContainer)
+        .AppendString(std::string(kContainerSyl1[uniform(0, 4)]) + " " +
+                      kContainerSyl2[uniform(0, 7)]);
+  }
+  db.part->FinishBulkLoad();
+
+  // -- partsupp ---------------------------------------------------------------
+  db.partsupp = ColumnTable::Make(PartsuppSchema());
+  for (int64_t k = 1; k <= num_parts; ++k) {
+    for (int i = 0; i < 4; ++i) {
+      db.partsupp->column(ps::kPartKey).AppendInt64(k);
+      db.partsupp->column(ps::kSuppKey)
+          .AppendInt64(1 + (k + i * (num_suppliers / 4 + 1)) % num_suppliers);
+      db.partsupp->column(ps::kAvailQty)
+          .AppendInt32(static_cast<int32_t>(uniform(1, 9999)));
+      db.partsupp->column(ps::kSupplyCost)
+          .AppendFloat64(static_cast<double>(uniform(100, 100000)) / 100.0);
+    }
+  }
+  db.partsupp->FinishBulkLoad();
+
+  // -- orders + lineitem -------------------------------------------------------
+  db.orders = ColumnTable::Make(OrdersSchema());
+  db.lineitem = ColumnTable::Make(LineitemSchema());
+  for (int64_t okey = 1; okey <= num_orders; ++okey) {
+    int32_t odate = static_cast<int32_t>(
+        uniform(start_date, end_date - 151));
+    int items = static_cast<int>(uniform(1, 7));
+    double total = 0;
+    int ship_count = 0;
+    for (int line = 1; line <= items; ++line) {
+      int64_t partkey = uniform(1, num_parts);
+      double qty = static_cast<double>(uniform(1, 50));
+      double price = RetailPrice(partkey) * qty;
+      double discount = static_cast<double>(uniform(0, 10)) / 100.0;
+      double tax = static_cast<double>(uniform(0, 8)) / 100.0;
+      int32_t shipdate = odate + static_cast<int32_t>(uniform(1, 121));
+      int32_t commitdate = odate + static_cast<int32_t>(uniform(30, 90));
+      int32_t receiptdate = shipdate + static_cast<int32_t>(uniform(1, 30));
+
+      db.lineitem->column(l::kOrderKey).AppendInt64(okey);
+      db.lineitem->column(l::kPartKey).AppendInt64(partkey);
+      db.lineitem->column(l::kSuppKey)
+          .AppendInt64(1 + partkey % num_suppliers);
+      db.lineitem->column(l::kLineNumber).AppendInt32(line);
+      db.lineitem->column(l::kQuantity).AppendFloat64(qty);
+      db.lineitem->column(l::kExtendedPrice).AppendFloat64(price);
+      db.lineitem->column(l::kDiscount).AppendFloat64(discount);
+      db.lineitem->column(l::kTax).AppendFloat64(tax);
+      const char* flag =
+          receiptdate <= current_date ? (uniform(0, 1) ? "R" : "A") : "N";
+      db.lineitem->column(l::kReturnFlag).AppendString(flag);
+      db.lineitem->column(l::kLineStatus)
+          .AppendString(shipdate > current_date ? "O" : "F");
+      db.lineitem->column(l::kShipDate).AppendInt32(shipdate);
+      db.lineitem->column(l::kCommitDate).AppendInt32(commitdate);
+      db.lineitem->column(l::kReceiptDate).AppendInt32(receiptdate);
+      db.lineitem->column(l::kShipInstruct)
+          .AppendString(kInstructs[uniform(0, 3)]);
+      db.lineitem->column(l::kShipMode)
+          .AppendString(kShipModes[uniform(0, 6)]);
+
+      total += price * (1 - discount) * (1 + tax);
+      if (shipdate > current_date) ++ship_count;
+    }
+    db.orders->column(o::kOrderKey).AppendInt64(okey);
+    db.orders->column(o::kCustKey)
+        .AppendInt64(uniform(1, num_customers));
+    const char* status = ship_count == items ? "O"
+                         : ship_count == 0   ? "F"
+                                             : "P";
+    db.orders->column(o::kOrderStatus).AppendString(status);
+    db.orders->column(o::kTotalPrice).AppendFloat64(total);
+    db.orders->column(o::kOrderDate).AppendInt32(odate);
+    db.orders->column(o::kOrderPriority)
+        .AppendString(kPriorities[uniform(0, 4)]);
+    db.orders->column(o::kShipPriority).AppendInt32(0);
+  }
+  db.orders->FinishBulkLoad();
+  db.lineitem->FinishBulkLoad();
+  return db;
+}
+
+}  // namespace modularis::tpch

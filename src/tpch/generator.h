@@ -1,0 +1,36 @@
+#ifndef MODULARIS_TPCH_GENERATOR_H_
+#define MODULARIS_TPCH_GENERATOR_H_
+
+#include <cstdint>
+
+#include "tpch/schema.h"
+
+/// \file generator.h
+/// Deterministic scaled-down dbgen substitute (DESIGN.md §1). Row counts,
+/// value domains, date windows and categorical distributions follow the
+/// TPC-H specification so that the evaluated queries keep their
+/// selectivities and group cardinalities; text fields are synthesized from
+/// the spec's category grammars. The same seed always produces the same
+/// database.
+
+namespace modularis::tpch {
+
+struct GeneratorOptions {
+  /// TPC-H scale factor. SF 1 ≈ 6M lineitem rows; benches default to a
+  /// fraction of that (the paper runs SF 500 on 8 machines).
+  double scale_factor = 0.01;
+  uint64_t seed = 42;
+};
+
+/// Generates all eight tables.
+TpchTables GenerateTpch(const GeneratorOptions& options);
+
+/// Row counts at a given scale factor (before lineitem's per-order fanout).
+int64_t NumOrders(double sf);
+int64_t NumCustomers(double sf);
+int64_t NumParts(double sf);
+int64_t NumSuppliers(double sf);
+
+}  // namespace modularis::tpch
+
+#endif  // MODULARIS_TPCH_GENERATOR_H_

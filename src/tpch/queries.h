@@ -1,0 +1,82 @@
+#ifndef MODULARIS_TPCH_QUERIES_H_
+#define MODULARIS_TPCH_QUERIES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+#include "mpi/mpi_ops.h"
+#include "serverless/lambda.h"
+#include "serverless/s3select.h"
+#include "serverless/serverless_ops.h"
+#include "tpch/generator.h"
+#include "tpch/reference.h"
+
+/// \file queries.h
+/// Modularis plans for the eight evaluated TPC-H queries across the three
+/// platforms of the paper (§4.4, §4.5, Figs. 6–8). One plan builder per
+/// query; only the executor + exchange + scan leaves change per platform —
+/// the modularity claim under test.
+
+namespace modularis::tpch {
+
+/// Execution platform, matching the Fig. 8 configurations.
+enum class Platform {
+  kRdma,       // MPI executor, in-memory base tables ("w/o disc")
+  kRdmaDisc,   // MPI executor, ColumnFiles on NFS-profile storage
+  kLambda,     // serverless workers, ColumnFiles on S3, S3 exchange
+  kS3Select,   // serverless workers, CSV on S3, pushdown into smart storage
+};
+
+const char* PlatformName(Platform platform);
+
+struct TpchRunOptions {
+  Platform platform = Platform::kRdma;
+  /// Ranks (RDMA) or workers (serverless; must be a power of two).
+  int world_size = 4;
+  net::FabricOptions fabric;
+  serverless::LambdaOptions lambda;
+  serverless::S3SelectOptions s3select;
+  /// Storage profile for base-table files (NFS for kRdmaDisc, S3 for
+  /// serverless platforms).
+  storage::BlobClientOptions storage;
+  ExecOptions exec;
+
+  /// Convenience constructors per platform with paper-calibrated
+  /// profiles.
+  static TpchRunOptions Rdma(int ranks, bool with_disc = false);
+  static TpchRunOptions Lambda(int workers);
+  static TpchRunOptions S3Select(int workers);
+};
+
+/// Platform-prepared database: in-memory fragments and/or stored files.
+/// Non-copyable (owns the object store).
+struct TpchContext {
+  Platform platform;
+  int world_size = 0;
+  /// frags[table][rank], tables ordered lineitem, orders, customer, part.
+  std::vector<std::vector<RowVectorPtr>> frags;
+  /// paths[table][shard] into `store`.
+  std::vector<std::vector<std::string>> paths;
+  std::unique_ptr<storage::BlobStore> store;
+  std::unique_ptr<serverless::S3SelectEngine> s3select;
+};
+
+/// Number of tables a plan's parameter tuple carries (lineitem, orders,
+/// customer, part).
+inline constexpr int kNumPlanTables = 4;
+
+/// Prepares the database for a platform (fragments, files, CSV objects).
+Result<std::unique_ptr<TpchContext>> PrepareTpch(const TpchTables& db,
+                                                 const TpchRunOptions& opts);
+
+/// Runs query `query` (1, 3, 4, 6, 12, 14, 18, 19) on the prepared
+/// context; returns the final result rows (schema per reference.h).
+Result<RowVectorPtr> RunTpchQuery(int query, const TpchContext& ctx,
+                                  const TpchRunOptions& opts,
+                                  StatsRegistry* stats);
+
+}  // namespace modularis::tpch
+
+#endif  // MODULARIS_TPCH_QUERIES_H_

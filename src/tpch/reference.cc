@@ -1,0 +1,426 @@
+#include "tpch/reference.h"
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace modularis::tpch {
+
+namespace {
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Q1: scan-heavy aggregation over lineitem
+// ---------------------------------------------------------------------------
+
+Schema Q1OutSchema() {
+  return Schema({Field::Str("l_returnflag", 1), Field::Str("l_linestatus", 1),
+                 Field::F64("sum_qty"), Field::F64("sum_base_price"),
+                 Field::F64("sum_disc_price"), Field::F64("sum_charge"),
+                 Field::I64("count_order")});
+}
+
+RowVectorPtr ReferenceQ1(const TpchTables& db) {
+  const ColumnTable& li = *db.lineitem;
+  const int32_t cutoff = DateFromYMD(1998, 12, 1) - 90;
+  struct Acc {
+    double qty = 0, base = 0, disc = 0, charge = 0;
+    int64_t count = 0;
+  };
+  std::map<std::string, Acc> groups;  // key "RF|LS" (ordered output)
+  for (size_t i = 0; i < li.num_rows(); ++i) {
+    if (li.column(l::kShipDate).GetInt32(i) > cutoff) continue;
+    std::string key = std::string(li.column(l::kReturnFlag).GetString(i)) +
+                      "|" +
+                      std::string(li.column(l::kLineStatus).GetString(i));
+    Acc& a = groups[key];
+    double qty = li.column(l::kQuantity).GetFloat64(i);
+    double price = li.column(l::kExtendedPrice).GetFloat64(i);
+    double disc = li.column(l::kDiscount).GetFloat64(i);
+    double tax = li.column(l::kTax).GetFloat64(i);
+    a.qty += qty;
+    a.base += price;
+    a.disc += price * (1 - disc);
+    a.charge += price * (1 - disc) * (1 + tax);
+    ++a.count;
+  }
+  RowVectorPtr out = RowVector::Make(Q1OutSchema());
+  for (const auto& [key, a] : groups) {
+    RowWriter w = out->AppendRow();
+    w.SetString(0, key.substr(0, 1));
+    w.SetString(1, key.substr(2, 1));
+    w.SetFloat64(2, a.qty);
+    w.SetFloat64(3, a.base);
+    w.SetFloat64(4, a.disc);
+    w.SetFloat64(5, a.charge);
+    w.SetInt64(6, a.count);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Q3: customer ⋈ orders ⋈ lineitem, top-10 revenue
+// ---------------------------------------------------------------------------
+
+Schema Q3OutSchema() {
+  return Schema({Field::I64("l_orderkey"), Field::F64("revenue"),
+                 Field::Date("o_orderdate"), Field::I32("o_shippriority")});
+}
+
+RowVectorPtr ReferenceQ3(const TpchTables& db) {
+  const int32_t date = DateFromYMD(1995, 3, 15);
+  // Building customers.
+  std::unordered_set<int64_t> building;
+  for (size_t i = 0; i < db.customer->num_rows(); ++i) {
+    if (db.customer->column(c::kMktSegment).GetString(i) == "BUILDING") {
+      building.insert(db.customer->column(c::kCustKey).GetInt64(i));
+    }
+  }
+  // Qualifying orders.
+  struct OrderInfo {
+    int32_t orderdate;
+    int32_t shippriority;
+  };
+  std::unordered_map<int64_t, OrderInfo> orders;
+  for (size_t i = 0; i < db.orders->num_rows(); ++i) {
+    if (db.orders->column(o::kOrderDate).GetInt32(i) >= date) continue;
+    if (!building.count(db.orders->column(o::kCustKey).GetInt64(i))) continue;
+    orders[db.orders->column(o::kOrderKey).GetInt64(i)] =
+        OrderInfo{db.orders->column(o::kOrderDate).GetInt32(i),
+                  db.orders->column(o::kShipPriority).GetInt32(i)};
+  }
+  // Aggregate revenue per order.
+  struct Group {
+    double revenue = 0;
+    OrderInfo info;
+  };
+  std::unordered_map<int64_t, Group> groups;
+  const ColumnTable& li = *db.lineitem;
+  for (size_t i = 0; i < li.num_rows(); ++i) {
+    if (li.column(l::kShipDate).GetInt32(i) <= date) continue;
+    int64_t okey = li.column(l::kOrderKey).GetInt64(i);
+    auto it = orders.find(okey);
+    if (it == orders.end()) continue;
+    Group& g = groups[okey];
+    g.info = it->second;
+    g.revenue += li.column(l::kExtendedPrice).GetFloat64(i) *
+                 (1 - li.column(l::kDiscount).GetFloat64(i));
+  }
+  // Top 10 by revenue desc, orderdate asc.
+  std::vector<std::pair<int64_t, Group>> rows(groups.begin(), groups.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second.revenue != b.second.revenue) {
+      return a.second.revenue > b.second.revenue;
+    }
+    if (a.second.info.orderdate != b.second.info.orderdate) {
+      return a.second.info.orderdate < b.second.info.orderdate;
+    }
+    return a.first < b.first;
+  });
+  RowVectorPtr out = RowVector::Make(Q3OutSchema());
+  for (size_t i = 0; i < rows.size() && i < 10; ++i) {
+    RowWriter w = out->AppendRow();
+    w.SetInt64(0, rows[i].first);
+    w.SetFloat64(1, rows[i].second.revenue);
+    w.SetDate(2, rows[i].second.info.orderdate);
+    w.SetInt32(3, rows[i].second.info.shippriority);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Q4: order priority checking (semi join)
+// ---------------------------------------------------------------------------
+
+Schema Q4OutSchema() {
+  return Schema(
+      {Field::Str("o_orderpriority", 15), Field::I64("order_count")});
+}
+
+RowVectorPtr ReferenceQ4(const TpchTables& db) {
+  const int32_t lo = DateFromYMD(1993, 7, 1);
+  const int32_t hi = AddMonths(lo, 3);
+  std::unordered_set<int64_t> late;
+  const ColumnTable& li = *db.lineitem;
+  for (size_t i = 0; i < li.num_rows(); ++i) {
+    if (li.column(l::kCommitDate).GetInt32(i) <
+        li.column(l::kReceiptDate).GetInt32(i)) {
+      late.insert(li.column(l::kOrderKey).GetInt64(i));
+    }
+  }
+  std::map<std::string, int64_t> counts;
+  for (size_t i = 0; i < db.orders->num_rows(); ++i) {
+    int32_t odate = db.orders->column(o::kOrderDate).GetInt32(i);
+    if (odate < lo || odate >= hi) continue;
+    if (!late.count(db.orders->column(o::kOrderKey).GetInt64(i))) continue;
+    counts[std::string(db.orders->column(o::kOrderPriority).GetString(i))]++;
+  }
+  RowVectorPtr out = RowVector::Make(Q4OutSchema());
+  for (const auto& [priority, count] : counts) {
+    RowWriter w = out->AppendRow();
+    w.SetString(0, priority);
+    w.SetInt64(1, count);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Q6: selective filter + scalar aggregate
+// ---------------------------------------------------------------------------
+
+Schema Q6OutSchema() { return Schema({Field::F64("revenue")}); }
+
+RowVectorPtr ReferenceQ6(const TpchTables& db) {
+  const int32_t lo = DateFromYMD(1994, 1, 1);
+  const int32_t hi = DateFromYMD(1995, 1, 1);
+  double revenue = 0;
+  const ColumnTable& li = *db.lineitem;
+  for (size_t i = 0; i < li.num_rows(); ++i) {
+    int32_t ship = li.column(l::kShipDate).GetInt32(i);
+    double disc = li.column(l::kDiscount).GetFloat64(i);
+    if (ship < lo || ship >= hi) continue;
+    if (disc < 0.05 - 1e-9 || disc > 0.07 + 1e-9) continue;
+    if (li.column(l::kQuantity).GetFloat64(i) >= 24) continue;
+    revenue += li.column(l::kExtendedPrice).GetFloat64(i) * disc;
+  }
+  RowVectorPtr out = RowVector::Make(Q6OutSchema());
+  out->AppendRow().SetFloat64(0, revenue);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Q12: shipping modes and order priority (join + conditional agg)
+// ---------------------------------------------------------------------------
+
+Schema Q12OutSchema() {
+  return Schema({Field::Str("l_shipmode", 10), Field::I64("high_line_count"),
+                 Field::I64("low_line_count")});
+}
+
+RowVectorPtr ReferenceQ12(const TpchTables& db) {
+  const int32_t lo = DateFromYMD(1994, 1, 1);
+  const int32_t hi = DateFromYMD(1995, 1, 1);
+  std::unordered_map<int64_t, bool> order_high;
+  for (size_t i = 0; i < db.orders->num_rows(); ++i) {
+    std::string_view prio = db.orders->column(o::kOrderPriority).GetString(i);
+    order_high[db.orders->column(o::kOrderKey).GetInt64(i)] =
+        prio == "1-URGENT" || prio == "2-HIGH";
+  }
+  std::map<std::string, std::pair<int64_t, int64_t>> counts;
+  const ColumnTable& li = *db.lineitem;
+  for (size_t i = 0; i < li.num_rows(); ++i) {
+    std::string_view mode = li.column(l::kShipMode).GetString(i);
+    if (mode != "MAIL" && mode != "SHIP") continue;
+    int32_t commit = li.column(l::kCommitDate).GetInt32(i);
+    int32_t receipt = li.column(l::kReceiptDate).GetInt32(i);
+    int32_t ship = li.column(l::kShipDate).GetInt32(i);
+    if (!(commit < receipt && ship < commit)) continue;
+    if (receipt < lo || receipt >= hi) continue;
+    auto it = order_high.find(li.column(l::kOrderKey).GetInt64(i));
+    if (it == order_high.end()) continue;
+    auto& [high, low] = counts[std::string(mode)];
+    if (it->second) {
+      ++high;
+    } else {
+      ++low;
+    }
+  }
+  RowVectorPtr out = RowVector::Make(Q12OutSchema());
+  for (const auto& [mode, hl] : counts) {
+    RowWriter w = out->AppendRow();
+    w.SetString(0, mode);
+    w.SetInt64(1, hl.first);
+    w.SetInt64(2, hl.second);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Q14: promotion effect (join + conditional agg, percentage)
+// ---------------------------------------------------------------------------
+
+Schema Q14OutSchema() { return Schema({Field::F64("promo_revenue")}); }
+
+RowVectorPtr ReferenceQ14(const TpchTables& db) {
+  const int32_t lo = DateFromYMD(1995, 9, 1);
+  const int32_t hi = AddMonths(lo, 1);
+  std::unordered_set<int64_t> promo_parts;
+  for (size_t i = 0; i < db.part->num_rows(); ++i) {
+    if (StartsWith(db.part->column(p::kType).GetString(i), "PROMO")) {
+      promo_parts.insert(db.part->column(p::kPartKey).GetInt64(i));
+    }
+  }
+  double promo = 0, total = 0;
+  const ColumnTable& li = *db.lineitem;
+  for (size_t i = 0; i < li.num_rows(); ++i) {
+    int32_t ship = li.column(l::kShipDate).GetInt32(i);
+    if (ship < lo || ship >= hi) continue;
+    double rev = li.column(l::kExtendedPrice).GetFloat64(i) *
+                 (1 - li.column(l::kDiscount).GetFloat64(i));
+    total += rev;
+    if (promo_parts.count(li.column(l::kPartKey).GetInt64(i))) promo += rev;
+  }
+  RowVectorPtr out = RowVector::Make(Q14OutSchema());
+  out->AppendRow().SetFloat64(0, total == 0 ? 0 : 100.0 * promo / total);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Q18: large-volume customers (high-cardinality aggregation)
+// ---------------------------------------------------------------------------
+
+Schema Q18OutSchema() {
+  return Schema({Field::Str("c_name", 25), Field::I64("c_custkey"),
+                 Field::I64("o_orderkey"), Field::Date("o_orderdate"),
+                 Field::F64("o_totalprice"), Field::F64("sum_qty")});
+}
+
+RowVectorPtr ReferenceQ18(const TpchTables& db) {
+  std::unordered_map<int64_t, double> order_qty;
+  const ColumnTable& li = *db.lineitem;
+  for (size_t i = 0; i < li.num_rows(); ++i) {
+    order_qty[li.column(l::kOrderKey).GetInt64(i)] +=
+        li.column(l::kQuantity).GetFloat64(i);
+  }
+  std::unordered_map<int64_t, std::string> cust_name;
+  for (size_t i = 0; i < db.customer->num_rows(); ++i) {
+    cust_name[db.customer->column(c::kCustKey).GetInt64(i)] =
+        std::string(db.customer->column(c::kName).GetString(i));
+  }
+  struct Row {
+    std::string name;
+    int64_t custkey;
+    int64_t orderkey;
+    int32_t orderdate;
+    double totalprice;
+    double qty;
+  };
+  std::vector<Row> rows;
+  for (size_t i = 0; i < db.orders->num_rows(); ++i) {
+    int64_t okey = db.orders->column(o::kOrderKey).GetInt64(i);
+    auto it = order_qty.find(okey);
+    if (it == order_qty.end() || it->second <= 300) continue;
+    int64_t ckey = db.orders->column(o::kCustKey).GetInt64(i);
+    rows.push_back(Row{cust_name[ckey], ckey, okey,
+                       db.orders->column(o::kOrderDate).GetInt32(i),
+                       db.orders->column(o::kTotalPrice).GetFloat64(i),
+                       it->second});
+  }
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    if (a.totalprice != b.totalprice) return a.totalprice > b.totalprice;
+    if (a.orderdate != b.orderdate) return a.orderdate < b.orderdate;
+    return a.orderkey < b.orderkey;
+  });
+  RowVectorPtr out = RowVector::Make(Q18OutSchema());
+  for (size_t i = 0; i < rows.size() && i < 100; ++i) {
+    RowWriter w = out->AppendRow();
+    w.SetString(0, rows[i].name);
+    w.SetInt64(1, rows[i].custkey);
+    w.SetInt64(2, rows[i].orderkey);
+    w.SetDate(3, rows[i].orderdate);
+    w.SetFloat64(4, rows[i].totalprice);
+    w.SetFloat64(5, rows[i].qty);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Q19: discounted revenue (join + disjunctive predicate)
+// ---------------------------------------------------------------------------
+
+Schema Q19OutSchema() { return Schema({Field::F64("revenue")}); }
+
+RowVectorPtr ReferenceQ19(const TpchTables& db) {
+  struct PartInfo {
+    std::string brand;
+    std::string container;
+    int32_t size;
+  };
+  std::unordered_map<int64_t, PartInfo> parts;
+  for (size_t i = 0; i < db.part->num_rows(); ++i) {
+    parts[db.part->column(p::kPartKey).GetInt64(i)] = PartInfo{
+        std::string(db.part->column(p::kBrand).GetString(i)),
+        std::string(db.part->column(p::kContainer).GetString(i)),
+        db.part->column(p::kSize).GetInt32(i)};
+  }
+  auto in = [](const std::string& v,
+               std::initializer_list<const char*> set) {
+    for (const char* s : set) {
+      if (v == s) return true;
+    }
+    return false;
+  };
+  double revenue = 0;
+  const ColumnTable& li = *db.lineitem;
+  for (size_t i = 0; i < li.num_rows(); ++i) {
+    std::string_view mode = li.column(l::kShipMode).GetString(i);
+    if (mode != "AIR" && mode != "REG AIR") continue;
+    if (li.column(l::kShipInstruct).GetString(i) != "DELIVER IN PERSON") {
+      continue;
+    }
+    auto it = parts.find(li.column(l::kPartKey).GetInt64(i));
+    if (it == parts.end()) continue;
+    const PartInfo& pi = it->second;
+    double qty = li.column(l::kQuantity).GetFloat64(i);
+    bool match =
+        (pi.brand == "Brand#12" &&
+         in(pi.container, {"SM CASE", "SM BOX", "SM PACK", "SM PKG"}) &&
+         qty >= 1 && qty <= 11 && pi.size >= 1 && pi.size <= 5) ||
+        (pi.brand == "Brand#23" &&
+         in(pi.container, {"MED BAG", "MED BOX", "MED PKG", "MED PACK"}) &&
+         qty >= 10 && qty <= 20 && pi.size >= 1 && pi.size <= 10) ||
+        (pi.brand == "Brand#34" &&
+         in(pi.container, {"LG CASE", "LG BOX", "LG PACK", "LG PKG"}) &&
+         qty >= 20 && qty <= 30 && pi.size >= 1 && pi.size <= 15);
+    if (!match) continue;
+    revenue += li.column(l::kExtendedPrice).GetFloat64(i) *
+               (1 - li.column(l::kDiscount).GetFloat64(i));
+  }
+  RowVectorPtr out = RowVector::Make(Q19OutSchema());
+  out->AppendRow().SetFloat64(0, revenue);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+
+Result<RowVectorPtr> RunReferenceQuery(int query, const TpchTables& db) {
+  switch (query) {
+    case 1: return ReferenceQ1(db);
+    case 3: return ReferenceQ3(db);
+    case 4: return ReferenceQ4(db);
+    case 6: return ReferenceQ6(db);
+    case 12: return ReferenceQ12(db);
+    case 14: return ReferenceQ14(db);
+    case 18: return ReferenceQ18(db);
+    case 19: return ReferenceQ19(db);
+    default:
+      return Status::InvalidArgument("unsupported TPC-H query " +
+                                     std::to_string(query));
+  }
+}
+
+Result<Schema> QueryOutSchema(int query) {
+  switch (query) {
+    case 1: return Q1OutSchema();
+    case 3: return Q3OutSchema();
+    case 4: return Q4OutSchema();
+    case 6: return Q6OutSchema();
+    case 12: return Q12OutSchema();
+    case 14: return Q14OutSchema();
+    case 18: return Q18OutSchema();
+    case 19: return Q19OutSchema();
+    default:
+      return Status::InvalidArgument("unsupported TPC-H query " +
+                                     std::to_string(query));
+  }
+}
+
+}  // namespace modularis::tpch

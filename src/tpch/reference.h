@@ -1,0 +1,57 @@
+#ifndef MODULARIS_TPCH_REFERENCE_H_
+#define MODULARIS_TPCH_REFERENCE_H_
+
+#include "core/row_vector.h"
+#include "tpch/schema.h"
+
+/// \file reference.h
+/// Single-threaded, loop-based reference implementations of the eight
+/// evaluated TPC-H queries. They are the correctness oracle for every
+/// platform's Modularis plans and the compute core of the QaaS baseline
+/// engines. Output schemas follow the spec (decimals as f64; AVG columns
+/// derivable from the emitted sums/counts are omitted, see DESIGN.md).
+
+namespace modularis::tpch {
+
+/// ⟨l_returnflag, l_linestatus, sum_qty, sum_base_price, sum_disc_price,
+///  sum_charge, count_order⟩ ordered by (returnflag, linestatus).
+Schema Q1OutSchema();
+RowVectorPtr ReferenceQ1(const TpchTables& db);
+
+/// ⟨l_orderkey, revenue, o_orderdate, o_shippriority⟩
+/// ordered by (revenue desc, o_orderdate), limit 10.
+Schema Q3OutSchema();
+RowVectorPtr ReferenceQ3(const TpchTables& db);
+
+/// ⟨o_orderpriority, order_count⟩ ordered by o_orderpriority.
+Schema Q4OutSchema();
+RowVectorPtr ReferenceQ4(const TpchTables& db);
+
+/// ⟨revenue⟩.
+Schema Q6OutSchema();
+RowVectorPtr ReferenceQ6(const TpchTables& db);
+
+/// ⟨l_shipmode, high_line_count, low_line_count⟩ ordered by l_shipmode.
+Schema Q12OutSchema();
+RowVectorPtr ReferenceQ12(const TpchTables& db);
+
+/// ⟨promo_revenue⟩ (percentage).
+Schema Q14OutSchema();
+RowVectorPtr ReferenceQ14(const TpchTables& db);
+
+/// ⟨c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, sum_qty⟩
+/// ordered by (o_totalprice desc, o_orderdate), limit 100.
+Schema Q18OutSchema();
+RowVectorPtr ReferenceQ18(const TpchTables& db);
+
+/// ⟨revenue⟩.
+Schema Q19OutSchema();
+RowVectorPtr ReferenceQ19(const TpchTables& db);
+
+/// Dispatch by query number (1, 3, 4, 6, 12, 14, 18, 19).
+Result<RowVectorPtr> RunReferenceQuery(int query, const TpchTables& db);
+Result<Schema> QueryOutSchema(int query);
+
+}  // namespace modularis::tpch
+
+#endif  // MODULARIS_TPCH_REFERENCE_H_

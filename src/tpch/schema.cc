@@ -1,0 +1,88 @@
+#include "tpch/schema.h"
+
+namespace modularis::tpch {
+
+Schema LineitemSchema() {
+  return Schema({
+      Field::I64("l_orderkey"),
+      Field::I64("l_partkey"),
+      Field::I64("l_suppkey"),
+      Field::I32("l_linenumber"),
+      Field::F64("l_quantity"),
+      Field::F64("l_extendedprice"),
+      Field::F64("l_discount"),
+      Field::F64("l_tax"),
+      Field::Str("l_returnflag", 1),
+      Field::Str("l_linestatus", 1),
+      Field::Date("l_shipdate"),
+      Field::Date("l_commitdate"),
+      Field::Date("l_receiptdate"),
+      Field::Str("l_shipinstruct", 25),
+      Field::Str("l_shipmode", 10),
+  });
+}
+
+Schema OrdersSchema() {
+  return Schema({
+      Field::I64("o_orderkey"),
+      Field::I64("o_custkey"),
+      Field::Str("o_orderstatus", 1),
+      Field::F64("o_totalprice"),
+      Field::Date("o_orderdate"),
+      Field::Str("o_orderpriority", 15),
+      Field::I32("o_shippriority"),
+  });
+}
+
+Schema CustomerSchema() {
+  return Schema({
+      Field::I64("c_custkey"),
+      Field::Str("c_name", 25),
+      Field::Str("c_mktsegment", 10),
+      Field::I32("c_nationkey"),
+  });
+}
+
+Schema PartSchema() {
+  return Schema({
+      Field::I64("p_partkey"),
+      Field::Str("p_brand", 10),
+      Field::Str("p_type", 25),
+      Field::I32("p_size"),
+      Field::Str("p_container", 10),
+  });
+}
+
+Schema SupplierSchema() {
+  return Schema({
+      Field::I64("s_suppkey"),
+      Field::Str("s_name", 25),
+      Field::I32("s_nationkey"),
+  });
+}
+
+Schema NationSchema() {
+  return Schema({
+      Field::I32("n_nationkey"),
+      Field::Str("n_name", 25),
+      Field::I32("n_regionkey"),
+  });
+}
+
+Schema RegionSchema() {
+  return Schema({
+      Field::I32("r_regionkey"),
+      Field::Str("r_name", 25),
+  });
+}
+
+Schema PartsuppSchema() {
+  return Schema({
+      Field::I64("ps_partkey"),
+      Field::I64("ps_suppkey"),
+      Field::I32("ps_availqty"),
+      Field::F64("ps_supplycost"),
+  });
+}
+
+}  // namespace modularis::tpch

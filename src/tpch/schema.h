@@ -1,0 +1,87 @@
+#ifndef MODULARIS_TPCH_SCHEMA_H_
+#define MODULARIS_TPCH_SCHEMA_H_
+
+#include "core/column_table.h"
+#include "core/types.h"
+
+/// \file schema.h
+/// TPC-H table schemas (the columns touched by the evaluated queries
+/// Q1, Q3, Q4, Q6, Q12, Q14, Q18, Q19) and column-index constants.
+/// Decimals are modelled as f64; dates as days since epoch.
+
+namespace modularis::tpch {
+
+Schema LineitemSchema();
+Schema OrdersSchema();
+Schema CustomerSchema();
+Schema PartSchema();
+Schema SupplierSchema();
+Schema NationSchema();
+Schema RegionSchema();
+Schema PartsuppSchema();
+
+// Column indices (must match the schemas above).
+namespace l {
+enum : int {
+  kOrderKey = 0,
+  kPartKey,
+  kSuppKey,
+  kLineNumber,
+  kQuantity,
+  kExtendedPrice,
+  kDiscount,
+  kTax,
+  kReturnFlag,
+  kLineStatus,
+  kShipDate,
+  kCommitDate,
+  kReceiptDate,
+  kShipInstruct,
+  kShipMode,
+};
+}
+namespace o {
+enum : int {
+  kOrderKey = 0,
+  kCustKey,
+  kOrderStatus,
+  kTotalPrice,
+  kOrderDate,
+  kOrderPriority,
+  kShipPriority,
+};
+}
+namespace c {
+enum : int { kCustKey = 0, kName, kMktSegment, kNationKey };
+}
+namespace p {
+enum : int { kPartKey = 0, kBrand, kType, kSize, kContainer };
+}
+namespace s {
+enum : int { kSuppKey = 0, kName, kNationKey };
+}
+namespace n {
+enum : int { kNationKey = 0, kName, kRegionKey };
+}
+namespace r {
+enum : int { kRegionKey = 0, kName };
+}
+namespace ps {
+enum : int { kPartKey = 0, kSuppKey, kAvailQty, kSupplyCost };
+}
+
+/// The generated database (columnar base tables).
+struct TpchTables {
+  ColumnTablePtr lineitem;
+  ColumnTablePtr orders;
+  ColumnTablePtr customer;
+  ColumnTablePtr part;
+  ColumnTablePtr supplier;
+  ColumnTablePtr nation;
+  ColumnTablePtr region;
+  ColumnTablePtr partsupp;
+};
+
+}  // namespace modularis::tpch
+
+#endif  // MODULARIS_TPCH_SCHEMA_H_

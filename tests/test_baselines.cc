@@ -1,0 +1,164 @@
+#include <algorithm>
+#include <array>
+#include <random>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "baseline/join_model.h"
+#include "baseline/monolithic_join.h"
+#include "baseline/tpch_baselines.h"
+#include "plans/distributed_join.h"
+
+namespace modularis::baseline {
+namespace {
+
+std::vector<RowVectorPtr> MakeFragments(int world, int64_t num_keys,
+                                        int64_t stride, uint32_t seed) {
+  std::vector<int64_t> keys(num_keys);
+  for (int64_t i = 0; i < num_keys; ++i) keys[i] = i;
+  std::mt19937 rng(seed);
+  std::shuffle(keys.begin(), keys.end(), rng);
+  std::vector<RowVectorPtr> frags;
+  for (int r = 0; r < world; ++r) {
+    frags.push_back(RowVector::Make(KeyValueSchema()));
+  }
+  for (int64_t i = 0; i < num_keys; ++i) {
+    RowWriter w = frags[i % world]->AppendRow();
+    w.SetInt64(0, keys[i]);
+    w.SetInt64(1, keys[i] * stride + 1);
+  }
+  return frags;
+}
+
+using JoinRow = std::tuple<int64_t, int64_t, int64_t>;
+
+std::vector<JoinRow> SortedRows(const RowVector& rows) {
+  std::vector<JoinRow> out;
+  out.reserve(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    RowRef r = rows.row(i);
+    out.emplace_back(r.GetInt64(0), r.GetInt64(1), r.GetInt64(2));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(MonolithicJoinTest, MatchesModularJoinResult) {
+  const int world = 4;
+  auto inner = MakeFragments(world, 30000, 2, 21);
+  auto outer = MakeFragments(world, 30000, 3, 22);
+
+  MonolithicJoinOptions mono;
+  mono.world_size = world;
+  mono.fabric.throttle = false;
+  mono.network_radix_bits = 5;
+  mono.local_radix_bits = 4;
+  StatsRegistry mono_stats;
+  auto mono_result = RunMonolithicJoin(inner, outer, mono, &mono_stats);
+  ASSERT_TRUE(mono_result.ok()) << mono_result.status().ToString();
+
+  plans::DistJoinOptions mod;
+  mod.world_size = world;
+  mod.fabric.throttle = false;
+  mod.exec.network_radix_bits = 5;
+  mod.exec.local_radix_bits = 4;
+  StatsRegistry mod_stats;
+  auto mod_result = plans::RunDistributedJoin(inner, outer, mod, &mod_stats);
+  ASSERT_TRUE(mod_result.ok()) << mod_result.status().ToString();
+
+  EXPECT_EQ(SortedRows(**mono_result), SortedRows(**mod_result));
+}
+
+TEST(MonolithicJoinTest, UncompressedModeAgrees) {
+  const int world = 2;
+  auto inner = MakeFragments(world, 5000, 2, 31);
+  auto outer = MakeFragments(world, 5000, 5, 32);
+
+  MonolithicJoinOptions mono;
+  mono.world_size = world;
+  mono.fabric.throttle = false;
+  mono.compress = false;
+  mono.network_radix_bits = 4;
+  StatsRegistry s1;
+  auto a = RunMonolithicJoin(inner, outer, mono, &s1);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  mono.compress = true;
+  StatsRegistry s2;
+  auto b = RunMonolithicJoin(inner, outer, mono, &s2);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(SortedRows(**a), SortedRows(**b));
+}
+
+TEST(MonolithicJoinTest, RecordsAllPhases) {
+  auto inner = MakeFragments(2, 4000, 2, 41);
+  auto outer = MakeFragments(2, 4000, 3, 42);
+  MonolithicJoinOptions mono;
+  mono.world_size = 2;
+  mono.fabric.throttle = false;
+  mono.network_radix_bits = 4;
+  StatsRegistry stats;
+  ASSERT_TRUE(RunMonolithicJoin(inner, outer, mono, &stats).ok());
+  for (const char* phase :
+       {"phase.local_histogram", "phase.global_histogram",
+        "phase.network_partition", "phase.local_partition",
+        "phase.build_probe"}) {
+    EXPECT_GT(stats.times().count(phase), 0u) << phase;
+  }
+}
+
+TEST(JoinModelTest, ProducesAllPhaseTimings) {
+  auto inner = MakeFragments(2, 8000, 2, 51);
+  auto outer = MakeFragments(2, 8000, 3, 52);
+  JoinModelOptions opts;
+  opts.world_size = 2;
+  opts.fabric.throttle = false;
+  opts.network_radix_bits = 4;
+  opts.local_radix_bits = 3;
+  auto model = RunJoinModel(inner, outer, opts);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  for (const char* phase :
+       {"phase.local_histogram", "phase.global_histogram",
+        "phase.network_partition", "phase.local_partition",
+        "phase.build_probe"}) {
+    EXPECT_GT(model->count(phase), 0u) << phase;
+  }
+}
+
+class BaselineEnginesTest
+    : public ::testing::TestWithParam<BaselineSystem> {};
+
+TEST_P(BaselineEnginesTest, ProducesReferenceResults) {
+  tpch::GeneratorOptions gen;
+  gen.scale_factor = 0.002;
+  gen.seed = 13;
+  tpch::TpchTables db = tpch::GenerateTpch(gen);
+
+  for (int query : {1, 6, 12}) {
+    StatsRegistry stats;
+    auto result = RunBaselineTpch(GetParam(), query, db, 2, &stats);
+    ASSERT_TRUE(result.ok())
+        << BaselineName(GetParam()) << " Q" << query << ": "
+        << result.status().ToString();
+    auto expected = tpch::RunReferenceQuery(query, db);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_EQ(result->rows->size(), (*expected)->size())
+        << BaselineName(GetParam()) << " Q" << query;
+    EXPECT_GT(result->seconds, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSystems, BaselineEnginesTest,
+    ::testing::Values(BaselineSystem::kPresto, BaselineSystem::kSingleStore,
+                      BaselineSystem::kAthena, BaselineSystem::kBigQuery),
+    [](const ::testing::TestParamInfo<BaselineSystem>& info) {
+      std::string name = BaselineName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace modularis::baseline

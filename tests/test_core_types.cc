@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "core/column_table.h"
+#include "core/pipeline.h"
+#include "core/row_vector.h"
+#include "core/tuple.h"
+#include "core/tuple_type.h"
+#include "core/types.h"
+
+namespace modularis {
+namespace {
+
+TEST(SchemaTest, LayoutIsAlignedAndPacked) {
+  Schema s({Field::I32("a"), Field::I64("b"), Field::Str("c", 5),
+            Field::F64("d"), Field::Date("e")});
+  EXPECT_EQ(s.offset(0), 0u);
+  EXPECT_EQ(s.offset(1), 8u);   // i64 aligned to 8
+  EXPECT_EQ(s.offset(2), 16u);  // string: u16 len + 5 bytes
+  EXPECT_EQ(s.offset(3), 24u);  // f64 aligned past 16+7=23
+  EXPECT_EQ(s.offset(4), 32u);
+  EXPECT_EQ(s.row_size() % 8, 0u);
+}
+
+TEST(SchemaTest, FieldIndexAndSelect) {
+  Schema s({Field::I64("x"), Field::F64("y"), Field::Str("z", 4)});
+  EXPECT_EQ(s.FieldIndex("y"), 1);
+  EXPECT_EQ(s.FieldIndex("missing"), -1);
+  Schema sub = s.Select({2, 0});
+  EXPECT_EQ(sub.num_fields(), 2u);
+  EXPECT_EQ(sub.field(0).name, "z");
+  EXPECT_EQ(sub.field(1).name, "x");
+}
+
+TEST(SchemaTest, ConcatRenamesDuplicates) {
+  Schema a({Field::I64("key"), Field::I64("v")});
+  Schema b({Field::I64("key"), Field::F64("w")});
+  Schema c = a.Concat(b);
+  EXPECT_EQ(c.num_fields(), 4u);
+  EXPECT_EQ(c.field(2).name, "key_r");
+}
+
+class DateRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(DateRoundTrip, YmdSurvivesConversion) {
+  int year = GetParam();
+  for (int month : {1, 2, 6, 12}) {
+    for (int day : {1, 15, 28}) {
+      int32_t days = DateFromYMD(year, month, day);
+      int y, m, d;
+      YMDFromDate(days, &y, &m, &d);
+      EXPECT_EQ(y, year);
+      EXPECT_EQ(m, month);
+      EXPECT_EQ(d, day);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Years, DateRoundTrip,
+                         ::testing::Values(1970, 1992, 1996, 1998, 2000,
+                                           2024, 2100));
+
+TEST(DateTest, EpochAndKnownDates) {
+  EXPECT_EQ(DateFromYMD(1970, 1, 1), 0);
+  EXPECT_EQ(DateFromYMD(1970, 1, 2), 1);
+  EXPECT_EQ(DateFromYMD(1969, 12, 31), -1);
+  EXPECT_EQ(FormatDate(DateFromYMD(1995, 3, 15)), "1995-03-15");
+}
+
+TEST(DateTest, ParseValidAndInvalid) {
+  EXPECT_EQ(*ParseDate("1998-12-01"), DateFromYMD(1998, 12, 1));
+  EXPECT_FALSE(ParseDate("1998/12/01").ok());
+  EXPECT_FALSE(ParseDate("98-12-01").ok());
+  EXPECT_FALSE(ParseDate("1998-13-01").ok());
+  EXPECT_FALSE(ParseDate("1998-12-0a").ok());
+}
+
+TEST(DateTest, AddMonthsClampsDayOfMonth) {
+  EXPECT_EQ(AddMonths(DateFromYMD(1995, 1, 31), 1), DateFromYMD(1995, 2, 28));
+  EXPECT_EQ(AddMonths(DateFromYMD(1996, 1, 31), 1), DateFromYMD(1996, 2, 29));
+  EXPECT_EQ(AddMonths(DateFromYMD(1995, 11, 15), 2),
+            DateFromYMD(1996, 1, 15));
+  EXPECT_EQ(AddMonths(DateFromYMD(1995, 3, 10), -3),
+            DateFromYMD(1994, 12, 10));
+}
+
+TEST(RowVectorTest, AppendAndReadAllTypes) {
+  Schema s({Field::I32("a"), Field::I64("b"), Field::F64("c"),
+            Field::Str("d", 8), Field::Date("e")});
+  RowVectorPtr rv = RowVector::Make(s);
+  RowWriter w = rv->AppendRow();
+  w.SetInt32(0, -42);
+  w.SetInt64(1, int64_t{1} << 40);
+  w.SetFloat64(2, 3.5);
+  w.SetString(3, "hello");
+  w.SetDate(4, DateFromYMD(1994, 7, 1));
+
+  RowRef r = rv->row(0);
+  EXPECT_EQ(r.GetInt32(0), -42);
+  EXPECT_EQ(r.GetInt64(1), int64_t{1} << 40);
+  EXPECT_EQ(r.GetFloat64(2), 3.5);
+  EXPECT_EQ(r.GetString(3), "hello");
+  EXPECT_EQ(r.GetDate(4), DateFromYMD(1994, 7, 1));
+}
+
+TEST(RowVectorTest, StringTruncatesAtWidth) {
+  Schema s({Field::Str("s", 4)});
+  RowVectorPtr rv = RowVector::Make(s);
+  rv->AppendRow().SetString(0, "abcdefgh");
+  EXPECT_EQ(rv->row(0).GetString(0), "abcd");
+}
+
+TEST(RowVectorTest, AppendRawBatchAndAll) {
+  RowVectorPtr a = RowVector::Make(KeyValueSchema());
+  for (int i = 0; i < 10; ++i) {
+    RowWriter w = a->AppendRow();
+    w.SetInt64(0, i);
+    w.SetInt64(1, i * i);
+  }
+  RowVectorPtr b = RowVector::Make(KeyValueSchema());
+  b->AppendAll(*a);
+  b->AppendRawBatch(a->data(), 5);
+  ASSERT_EQ(b->size(), 15u);
+  EXPECT_EQ(b->row(12).GetInt64(1), 4);
+}
+
+TEST(ColumnTableTest, RowVectorRoundTrip) {
+  Schema s({Field::I64("k"), Field::Str("s", 10), Field::F64("x")});
+  RowVectorPtr rows = RowVector::Make(s);
+  for (int i = 0; i < 100; ++i) {
+    RowWriter w = rows->AppendRow();
+    w.SetInt64(0, i);
+    w.SetString(1, "v" + std::to_string(i % 7));
+    w.SetFloat64(2, i / 3.0);
+  }
+  ColumnTablePtr table = ColumnTable::FromRowVector(*rows);
+  ASSERT_EQ(table->num_rows(), 100u);
+  RowVectorPtr back = table->ToRowVector();
+  ASSERT_EQ(back->size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(back->row(i).GetInt64(0), i);
+    EXPECT_EQ(back->row(i).GetString(1), "v" + std::to_string(i % 7));
+  }
+}
+
+TEST(ItemTest, KindsAndAccessors) {
+  EXPECT_TRUE(Item().is_null());
+  EXPECT_EQ(Item(int64_t{5}).i64(), 5);
+  EXPECT_EQ(Item(2.5).f64(), 2.5);
+  EXPECT_EQ(Item("abc").str(), "abc");
+  EXPECT_EQ(Item(int64_t{5}).AsDouble(), 5.0);
+  RowVectorPtr rv = RowVector::Make(KeyValueSchema());
+  EXPECT_TRUE(Item(rv).is_collection());
+  ColumnTablePtr ct = ColumnTable::Make(KeyValueSchema());
+  EXPECT_TRUE(Item(ct).is_table());
+}
+
+TEST(TupleTest, EqualityAndAppend) {
+  Tuple a{Item(int64_t{1}), Item("x")};
+  Tuple b{Item(int64_t{1}), Item("x")};
+  EXPECT_EQ(a, b);
+  b.push_back(Item(2.0));
+  EXPECT_FALSE(a == b);
+  a.Append(Tuple{Item(2.0)});
+  EXPECT_EQ(a, b);
+}
+
+TEST(OwnTupleTest, CopiesBorrowedRows) {
+  RowVectorPtr rv = RowVector::Make(KeyValueSchema());
+  RowWriter w = rv->AppendRow();
+  w.SetInt64(0, 7);
+  w.SetInt64(1, 8);
+  Tuple borrowed{Item(rv->row(0)), Item(int64_t{1})};
+  std::vector<RowVectorPtr> arena;
+  Tuple owned = OwnTuple(borrowed, &arena);
+  // Mutate the source; the owned copy must be unaffected.
+  RowWriter w2(rv->mutable_row(0), &rv->schema());
+  w2.SetInt64(0, 999);
+  EXPECT_EQ(owned[0].row().GetInt64(0), 7);
+  EXPECT_EQ(arena.size(), 1u);
+}
+
+TEST(TupleTypeTest, RecursiveStructureOfSection33) {
+  // tuple := ⟨item, ...⟩; item := atom | collection⟨tuple⟩.
+  Schema kv = KeyValueSchema();
+  TupleTypePtr record = TupleTypeFromSchema(kv);
+  EXPECT_EQ(record->size(), 2u);
+  TupleTypePtr partition = TupleType::Make(
+      {{"networkPartitionID", ItemType::Atom(AtomType::kInt64)},
+       {"partitionData", ItemType::Collection("RowVector", record)}});
+  EXPECT_EQ(partition->ToString(),
+            "⟨networkPartitionID:i64, partitionData:RowVector⟨key:i64, "
+            "value:i64⟩⟩");
+  EXPECT_TRUE(partition->Equals(*partition));
+  EXPECT_FALSE(partition->Equals(*record));
+
+  // Atom-only tuple types convert back to schemas; nested ones do not.
+  EXPECT_TRUE(SchemaFromTupleType(*record).ok());
+  auto bad = SchemaFromTupleType(*partition);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusTest, CodesAndMacros) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status s = Status::NotFound("thing");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: thing");
+
+  auto fails = []() -> Status {
+    MODULARIS_RETURN_NOT_OK(Status::IOError("disk"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kIOError);
+
+  auto produce = []() -> Result<int> { return 41; };
+  auto consume = [&]() -> Result<int> {
+    MODULARIS_ASSIGN_OR_RETURN(int v, produce());
+    return v + 1;
+  };
+  EXPECT_EQ(consume().value(), 42);
+}
+
+TEST(StatsTest, MergeAndMergeMaxSemantics) {
+  StatsRegistry a, b;
+  a.AddTime("t", 1.0);
+  b.AddTime("t", 3.0);
+  a.AddCounter("c", 5);
+  b.AddCounter("c", 7);
+
+  StatsRegistry sum;
+  sum.Merge(a);
+  sum.Merge(b);
+  EXPECT_DOUBLE_EQ(sum.GetTime("t"), 4.0);
+  EXPECT_EQ(sum.GetCounter("c"), 12);
+
+  StatsRegistry mx;
+  mx.MergeMax(a);
+  mx.MergeMax(b);
+  EXPECT_DOUBLE_EQ(mx.GetTime("t"), 3.0);  // phase time = slowest rank
+  EXPECT_EQ(mx.GetCounter("c"), 12);       // counters accumulate
+}
+
+}  // namespace
+}  // namespace modularis

@@ -1,0 +1,113 @@
+#include <map>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "plans/distributed_groupby.h"
+
+namespace modularis::plans {
+namespace {
+
+struct GroupByCase {
+  int world;
+  int64_t rows;
+  int64_t num_keys;
+  bool compress;
+  bool fused;
+};
+
+class DistributedGroupByTest : public ::testing::TestWithParam<GroupByCase> {};
+
+TEST_P(DistributedGroupByTest, MatchesReferenceAggregation) {
+  const GroupByCase& p = GetParam();
+
+  DistGroupByOptions opts;
+  opts.world_size = p.world;
+  opts.compress = p.compress;
+  opts.exec.enable_fusion = p.fused;
+  opts.exec.network_radix_bits = 5;
+  opts.exec.local_radix_bits = 4;
+  opts.fabric.throttle = false;
+
+  std::mt19937_64 rng(42);
+  std::uniform_int_distribution<int64_t> key_dist(0, p.num_keys - 1);
+  std::uniform_int_distribution<int64_t> val_dist(0, 1000);
+
+  std::vector<RowVectorPtr> frags;
+  for (int r = 0; r < p.world; ++r) {
+    frags.push_back(RowVector::Make(KeyValueSchema()));
+  }
+  std::map<int64_t, int64_t> expected;
+  for (int64_t i = 0; i < p.rows; ++i) {
+    int64_t key = key_dist(rng);
+    int64_t value = val_dist(rng);
+    expected[key] += value;
+    RowWriter w = frags[i % p.world]->AppendRow();
+    w.SetInt64(0, key);
+    w.SetInt64(1, value);
+  }
+
+  StatsRegistry stats;
+  auto result = RunDistributedGroupBy(frags, opts, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const RowVectorPtr& rows = result.value();
+
+  ASSERT_EQ(rows->size(), expected.size());
+  std::map<int64_t, int64_t> actual;
+  for (size_t i = 0; i < rows->size(); ++i) {
+    RowRef row = rows->row(i);
+    ASSERT_TRUE(actual.emplace(row.GetInt64(0), row.GetInt64(1)).second)
+        << "duplicate group key " << row.GetInt64(0);
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, DistributedGroupByTest,
+    ::testing::Values(GroupByCase{1, 10000, 100, true, true},
+                      GroupByCase{2, 20000, 1000, true, true},
+                      GroupByCase{4, 20000, 64, true, true},
+                      GroupByCase{4, 20000, 5000, false, true},
+                      GroupByCase{2, 8000, 128, false, false},
+                      GroupByCase{3, 15000, 17, true, false}),
+    [](const ::testing::TestParamInfo<GroupByCase>& info) {
+      return "w" + std::to_string(info.param.world) + "_k" +
+             std::to_string(info.param.num_keys) +
+             (info.param.compress ? "_compressed" : "_raw") +
+             (info.param.fused ? "_fused" : "_interpreted");
+    });
+
+TEST(DistributedGroupByTest, SingleKeyAllRowsOneGroup) {
+  DistGroupByOptions opts;
+  opts.world_size = 2;
+  opts.fabric.throttle = false;
+  std::vector<RowVectorPtr> frags;
+  for (int r = 0; r < 2; ++r) frags.push_back(RowVector::Make(KeyValueSchema()));
+  for (int64_t i = 0; i < 1000; ++i) {
+    RowWriter w = frags[i % 2]->AppendRow();
+    w.SetInt64(0, 7);
+    w.SetInt64(1, 1);
+  }
+  StatsRegistry stats;
+  auto result = RunDistributedGroupBy(frags, opts, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result.value()->size(), 1u);
+  EXPECT_EQ(result.value()->row(0).GetInt64(0), 7);
+  EXPECT_EQ(result.value()->row(0).GetInt64(1), 1000);
+}
+
+TEST(DistributedGroupByTest, EmptyInputYieldsNoGroups) {
+  DistGroupByOptions opts;
+  opts.world_size = 2;
+  opts.fabric.throttle = false;
+  std::vector<RowVectorPtr> frags;
+  for (int r = 0; r < 2; ++r) frags.push_back(RowVector::Make(KeyValueSchema()));
+  StatsRegistry stats;
+  auto result = RunDistributedGroupBy(frags, opts, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value()->size(), 0u);
+}
+
+}  // namespace
+}  // namespace modularis::plans

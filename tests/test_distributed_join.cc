@@ -1,0 +1,189 @@
+#include <algorithm>
+#include <random>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "plans/distributed_join.h"
+
+namespace modularis::plans {
+namespace {
+
+/// Builds per-rank kv16 fragments: keys are a shuffled dense range,
+/// value = f(key), sliced round-robin across ranks.
+std::vector<RowVectorPtr> MakeFragments(int world, int64_t num_keys,
+                                        int64_t value_stride, uint32_t seed) {
+  std::vector<int64_t> keys(num_keys);
+  for (int64_t i = 0; i < num_keys; ++i) keys[i] = i;
+  std::mt19937 rng(seed);
+  std::shuffle(keys.begin(), keys.end(), rng);
+
+  std::vector<RowVectorPtr> frags;
+  for (int r = 0; r < world; ++r) {
+    frags.push_back(RowVector::Make(KeyValueSchema()));
+  }
+  for (int64_t i = 0; i < num_keys; ++i) {
+    RowWriter w = frags[i % world]->AppendRow();
+    w.SetInt64(0, keys[i]);
+    w.SetInt64(1, keys[i] * value_stride + 1);
+  }
+  return frags;
+}
+
+struct JoinCase {
+  int world;
+  bool compress;
+  bool fused;
+};
+
+class DistributedJoinTest : public ::testing::TestWithParam<JoinCase> {};
+
+TEST_P(DistributedJoinTest, MatchesReferenceJoin) {
+  const JoinCase& param = GetParam();
+  const int64_t n = 20000;
+
+  DistJoinOptions opts;
+  opts.world_size = param.world;
+  opts.compress = param.compress;
+  opts.exec.enable_fusion = param.fused;
+  opts.exec.network_radix_bits = 5;
+  opts.exec.local_radix_bits = 4;
+  opts.fabric.throttle = false;
+
+  auto inner = MakeFragments(param.world, n, 2, /*seed=*/1);
+  auto outer = MakeFragments(param.world, n, 3, /*seed=*/2);
+
+  StatsRegistry stats;
+  auto result = RunDistributedJoin(inner, outer, opts, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const RowVectorPtr& rows = result.value();
+
+  // 1-to-1 key correspondence: every key joins exactly once.
+  ASSERT_EQ(rows->size(), static_cast<size_t>(n));
+
+  std::unordered_map<int64_t, std::pair<int64_t, int64_t>> expected;
+  for (int64_t k = 0; k < n; ++k) {
+    expected[k] = {k * 2 + 1, k * 3 + 1};
+  }
+  for (size_t i = 0; i < rows->size(); ++i) {
+    RowRef row = rows->row(i);
+    int64_t key = row.GetInt64(0);
+    auto it = expected.find(key);
+    ASSERT_NE(it, expected.end()) << "unexpected key " << key;
+    EXPECT_EQ(row.GetInt64(1), it->second.first) << "key " << key;
+    EXPECT_EQ(row.GetInt64(2), it->second.second) << "key " << key;
+    expected.erase(it);
+  }
+  EXPECT_TRUE(expected.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, DistributedJoinTest,
+    ::testing::Values(JoinCase{1, false, true}, JoinCase{2, false, true},
+                      JoinCase{2, true, true}, JoinCase{4, true, true},
+                      JoinCase{4, false, false}, JoinCase{4, true, false},
+                      JoinCase{3, true, true}),
+    [](const ::testing::TestParamInfo<JoinCase>& info) {
+      return "w" + std::to_string(info.param.world) +
+             (info.param.compress ? "_compressed" : "_raw") +
+             (info.param.fused ? "_fused" : "_interpreted");
+    });
+
+TEST(DistributedJoinTest, SemiJoinKeepsMatchingProbes) {
+  DistJoinOptions opts;
+  opts.world_size = 2;
+  opts.compress = false;
+  opts.join_type = JoinType::kSemi;
+  opts.exec.network_radix_bits = 4;
+  opts.fabric.throttle = false;
+
+  // Build side: keys 0..999. Probe side: keys 500..1499.
+  auto inner = MakeFragments(2, 1000, 2, 3);
+  std::vector<RowVectorPtr> outer;
+  for (int r = 0; r < 2; ++r) outer.push_back(RowVector::Make(KeyValueSchema()));
+  for (int64_t k = 500; k < 1500; ++k) {
+    RowWriter w = outer[k % 2]->AppendRow();
+    w.SetInt64(0, k);
+    w.SetInt64(1, k);
+  }
+
+  StatsRegistry stats;
+  auto result = RunDistributedJoin(inner, outer, opts, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value()->size(), 500u);  // keys 500..999 survive
+}
+
+TEST(DistributedJoinTest, AntiJoinKeepsNonMatchingProbes) {
+  DistJoinOptions opts;
+  opts.world_size = 2;
+  opts.compress = false;
+  opts.join_type = JoinType::kAnti;
+  opts.exec.network_radix_bits = 4;
+  opts.fabric.throttle = false;
+
+  auto inner = MakeFragments(2, 1000, 2, 3);
+  std::vector<RowVectorPtr> outer;
+  for (int r = 0; r < 2; ++r) outer.push_back(RowVector::Make(KeyValueSchema()));
+  for (int64_t k = 500; k < 1500; ++k) {
+    RowWriter w = outer[k % 2]->AppendRow();
+    w.SetInt64(0, k);
+    w.SetInt64(1, k);
+  }
+
+  StatsRegistry stats;
+  auto result = RunDistributedJoin(inner, outer, opts, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value()->size(), 500u);  // keys 1000..1499 survive
+}
+
+TEST(DistributedJoinTest, DuplicateBuildKeysProduceAllPairs) {
+  DistJoinOptions opts;
+  opts.world_size = 2;
+  opts.compress = false;
+  opts.exec.network_radix_bits = 4;
+  opts.fabric.throttle = false;
+
+  // Inner has every key twice; expect 2 output rows per probe key.
+  std::vector<RowVectorPtr> inner, outer;
+  for (int r = 0; r < 2; ++r) {
+    inner.push_back(RowVector::Make(KeyValueSchema()));
+    outer.push_back(RowVector::Make(KeyValueSchema()));
+  }
+  for (int64_t k = 0; k < 100; ++k) {
+    for (int dup = 0; dup < 2; ++dup) {
+      RowWriter w = inner[k % 2]->AppendRow();
+      w.SetInt64(0, k);
+      w.SetInt64(1, 1000 + dup);
+    }
+    RowWriter w = outer[(k + 1) % 2]->AppendRow();
+    w.SetInt64(0, k);
+    w.SetInt64(1, k);
+  }
+
+  StatsRegistry stats;
+  auto result = RunDistributedJoin(inner, outer, opts, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value()->size(), 200u);
+}
+
+TEST(DistributedJoinTest, RecordsPhaseTimings) {
+  DistJoinOptions opts;
+  opts.world_size = 2;
+  opts.fabric.throttle = false;
+  auto inner = MakeFragments(2, 5000, 2, 7);
+  auto outer = MakeFragments(2, 5000, 3, 8);
+  StatsRegistry stats;
+  auto result = RunDistributedJoin(inner, outer, opts, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto times = stats.times();
+  EXPECT_GT(times.count("phase.local_histogram"), 0u);
+  EXPECT_GT(times.count("phase.global_histogram"), 0u);
+  EXPECT_GT(times.count("phase.network_partition"), 0u);
+  EXPECT_GT(times.count("phase.local_partition"), 0u);
+  EXPECT_GT(times.count("phase.build_probe"), 0u);
+  EXPECT_GT(stats.GetCounter("net.bytes_sent"), 0);
+}
+
+}  // namespace
+}  // namespace modularis::plans

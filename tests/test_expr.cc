@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "core/expr.h"
+
+namespace modularis {
+namespace {
+
+/// One scratch row shared by the expression tests.
+class ExprTest : public ::testing::Test {
+ protected:
+  ExprTest()
+      : schema_({Field::I64("i"), Field::F64("f"), Field::Str("s", 24),
+                 Field::Date("d"), Field::I32("n")}),
+        rows_(RowVector::Make(schema_)) {
+    RowWriter w = rows_->AppendRow();
+    w.SetInt64(0, 10);
+    w.SetFloat64(1, 2.5);
+    w.SetString(2, "PROMO BRUSHED TIN");
+    w.SetDate(3, DateFromYMD(1995, 6, 1));
+    w.SetInt32(4, -3);
+  }
+
+  RowRef row() const { return rows_->row(0); }
+
+  Schema schema_;
+  RowVectorPtr rows_;
+};
+
+TEST_F(ExprTest, ColumnRefAllTypes) {
+  EXPECT_EQ(ex::Col(0)->Eval(row()).i64(), 10);
+  EXPECT_EQ(ex::Col(1)->Eval(row()).f64(), 2.5);
+  EXPECT_EQ(ex::Col(2)->Eval(row()).str(), "PROMO BRUSHED TIN");
+  EXPECT_EQ(ex::Col(3)->Eval(row()).i64(), DateFromYMD(1995, 6, 1));
+  EXPECT_EQ(ex::Col(4)->Eval(row()).i64(), -3);
+}
+
+TEST_F(ExprTest, ComparisonsIntFloatString) {
+  EXPECT_TRUE(ex::Eq(ex::Col(0), ex::Lit(int64_t{10}))->EvalBool(row()));
+  EXPECT_TRUE(ex::Ne(ex::Col(0), ex::Lit(int64_t{11}))->EvalBool(row()));
+  EXPECT_TRUE(ex::Lt(ex::Col(4), ex::Lit(int64_t{0}))->EvalBool(row()));
+  EXPECT_TRUE(ex::Ge(ex::Col(1), ex::Lit(2.5))->EvalBool(row()));
+  // Mixed int/double comparison promotes to double.
+  EXPECT_TRUE(ex::Gt(ex::Col(0), ex::Lit(9.5))->EvalBool(row()));
+  EXPECT_TRUE(
+      ex::Gt(ex::Col(2), ex::Lit(std::string("PROMO")))->EvalBool(row()));
+  EXPECT_TRUE(ex::Le(ex::Col(3), ex::DateLit("1995-06-01"))->EvalBool(row()));
+}
+
+TEST_F(ExprTest, ArithmeticIntegerPreservation) {
+  Item sum = ex::Add(ex::Col(0), ex::Lit(int64_t{5}))->Eval(row());
+  EXPECT_TRUE(sum.is_i64());
+  EXPECT_EQ(sum.i64(), 15);
+  Item mixed = ex::Mul(ex::Col(0), ex::Col(1))->Eval(row());
+  EXPECT_TRUE(mixed.is_f64());
+  EXPECT_EQ(mixed.f64(), 25.0);
+  // Division always yields f64 and guards division by zero.
+  EXPECT_EQ(ex::Div(ex::Col(0), ex::Lit(4.0))->Eval(row()).f64(), 2.5);
+  EXPECT_EQ(ex::Div(ex::Col(0), ex::Lit(0.0))->Eval(row()).f64(), 0.0);
+}
+
+TEST_F(ExprTest, BooleanConnectives) {
+  ExprPtr t = ex::Eq(ex::Col(0), ex::Lit(int64_t{10}));
+  ExprPtr f = ex::Eq(ex::Col(0), ex::Lit(int64_t{11}));
+  EXPECT_TRUE(ex::And(t, t)->EvalBool(row()));
+  EXPECT_FALSE(ex::And(t, f)->EvalBool(row()));
+  EXPECT_TRUE(ex::Or(f, t)->EvalBool(row()));
+  EXPECT_FALSE(ex::Or(f, f)->EvalBool(row()));
+  EXPECT_TRUE(ex::Not(f)->EvalBool(row()));
+  EXPECT_TRUE(ex::And(t, t, t)->EvalBool(row()));
+}
+
+struct LikeCase {
+  const char* pattern;
+  bool expected;
+};
+
+class LikeTest : public ::testing::TestWithParam<LikeCase> {};
+
+TEST_P(LikeTest, MatchesSqlSemantics) {
+  Schema schema({Field::Str("s", 24)});
+  RowVectorPtr rows = RowVector::Make(schema);
+  rows->AppendRow().SetString(0, "PROMO BRUSHED TIN");
+  EXPECT_EQ(ex::Like(ex::Col(0), GetParam().pattern)->EvalBool(rows->row(0)),
+            GetParam().expected)
+      << GetParam().pattern;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, LikeTest,
+    ::testing::Values(LikeCase{"PROMO%", true}, LikeCase{"%TIN", true},
+                      LikeCase{"%BRUSHED%", true}, LikeCase{"PROMO", false},
+                      LikeCase{"%", true}, LikeCase{"P_OMO%", true},
+                      LikeCase{"_ROMO%", true}, LikeCase{"X%", false},
+                      LikeCase{"%NICKEL%", false},
+                      LikeCase{"PROMO BRUSHED TIN", true},
+                      LikeCase{"%T_N", true}, LikeCase{"%T_O", false}));
+
+TEST_F(ExprTest, InAndBetween) {
+  EXPECT_TRUE(ex::InStr(ex::Col(2), {"FOO", "PROMO BRUSHED TIN"})
+                  ->EvalBool(row()));
+  EXPECT_FALSE(ex::InStr(ex::Col(2), {"FOO", "BAR"})->EvalBool(row()));
+  EXPECT_TRUE(ex::InInt(ex::Col(0), {1, 10, 100})->EvalBool(row()));
+  EXPECT_FALSE(ex::InInt(ex::Col(0), {1, 2, 3})->EvalBool(row()));
+  EXPECT_TRUE(ex::Between(ex::Col(1), ex::Lit(2.0), ex::Lit(3.0))
+                  ->EvalBool(row()));
+  EXPECT_FALSE(ex::Between(ex::Col(1), ex::Lit(2.6), ex::Lit(3.0))
+                   ->EvalBool(row()));
+}
+
+TEST_F(ExprTest, IfThenElse) {
+  ExprPtr e = ex::If(ex::Gt(ex::Col(0), ex::Lit(int64_t{5})),
+                     ex::Mul(ex::Col(1), ex::Lit(2.0)), ex::Lit(0.0));
+  EXPECT_EQ(e->Eval(row()).f64(), 5.0);
+}
+
+TEST_F(ExprTest, CollectColumnsWalksTheTree) {
+  ExprPtr e = ex::And(ex::Gt(ex::Col(3), ex::Lit(int64_t{0})),
+                      ex::Like(ex::Col(2), "X%"),
+                      ex::If(ex::Eq(ex::Col(0), ex::Lit(int64_t{1})),
+                             ex::Col(1), ex::Col(4)));
+  std::vector<int> cols;
+  e->CollectColumns(&cols);
+  std::sort(cols.begin(), cols.end());
+  EXPECT_EQ(cols, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST_F(ExprTest, AsColumnIndexIdentifiesBareRefs) {
+  EXPECT_EQ(ex::Col(3)->AsColumnIndex(), 3);
+  EXPECT_EQ(ex::Add(ex::Col(3), ex::Lit(int64_t{1}))->AsColumnIndex(), -1);
+  EXPECT_EQ(ex::Lit(int64_t{1})->AsColumnIndex(), -1);
+}
+
+TEST_F(ExprTest, ToStringIsReadable) {
+  EXPECT_EQ(ex::Gt(ex::Col(0), ex::Lit(int64_t{5}))->ToString(),
+            "($0 > 5)");
+  EXPECT_EQ(ex::Like(ex::Col(2), "P%")->ToString(), "$2 LIKE 'P%'");
+}
+
+}  // namespace
+}  // namespace modularis

@@ -1,0 +1,242 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "storage/blob_store.h"
+#include "storage/column_file.h"
+#include "storage/csv.h"
+
+namespace modularis::storage {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Field::I64("id"), Field::F64("price"),
+                 Field::Str("name", 16), Field::Date("day"),
+                 Field::I32("qty")});
+}
+
+ColumnTablePtr MakeTable(size_t rows, uint32_t seed) {
+  ColumnTablePtr table = ColumnTable::Make(TestSchema());
+  std::mt19937 rng(seed);
+  for (size_t i = 0; i < rows; ++i) {
+    table->column(0).AppendInt64(static_cast<int64_t>(i));
+    table->column(1).AppendFloat64(static_cast<double>(rng() % 10000) / 100);
+    table->column(2).AppendString("name" + std::to_string(rng() % 50));
+    table->column(3).AppendInt32(DateFromYMD(1995, 1 + rng() % 12,
+                                             1 + rng() % 28));
+    table->column(4).AppendInt32(static_cast<int32_t>(rng() % 100));
+  }
+  table->FinishBulkLoad();
+  return table;
+}
+
+void ExpectTablesEqual(const ColumnTable& a, const ColumnTable& b) {
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  ASSERT_TRUE(a.schema().Equals(b.schema()));
+  for (size_t r = 0; r < a.num_rows(); ++r) {
+    for (size_t c = 0; c < a.schema().num_fields(); ++c) {
+      switch (a.schema().field(c).type) {
+        case AtomType::kInt32:
+        case AtomType::kDate:
+          ASSERT_EQ(a.column(c).GetInt32(r), b.column(c).GetInt32(r));
+          break;
+        case AtomType::kInt64:
+          ASSERT_EQ(a.column(c).GetInt64(r), b.column(c).GetInt64(r));
+          break;
+        case AtomType::kFloat64:
+          ASSERT_NEAR(a.column(c).GetFloat64(r), b.column(c).GetFloat64(r),
+                      1e-6);
+          break;
+        case AtomType::kString:
+          ASSERT_EQ(a.column(c).GetString(r), b.column(c).GetString(r));
+          break;
+      }
+    }
+  }
+}
+
+TEST(CsvTest, RoundTrip) {
+  ColumnTablePtr table = MakeTable(500, 7);
+  std::string csv = WriteCsv(*table);
+  auto parsed = ReadCsv(csv, TestSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ExpectTablesEqual(*table, **parsed);
+}
+
+TEST(CsvTest, RejectsMalformedNumbers) {
+  auto parsed = ReadCsv("abc,1.0,n,1995-01-01,2\n",
+                        TestSchema());
+  EXPECT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvTest, EmptyInputYieldsEmptyTable) {
+  auto parsed = ReadCsv("", TestSchema());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)->num_rows(), 0u);
+}
+
+class ColumnFileRoundTrip : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ColumnFileRoundTrip, PreservesAllRowsAcrossRowGroupSizes) {
+  ColumnTablePtr table = MakeTable(3000, 11);
+  ColumnFileWriteOptions opts;
+  opts.rows_per_row_group = GetParam();
+  std::string bytes = WriteColumnFile(*table, opts);
+
+  auto reader = ColumnFileReader::Open(
+      std::make_shared<StringReader>(bytes));
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ((*reader)->total_rows(), 3000u);
+  ASSERT_TRUE((*reader)->schema().Equals(TestSchema()));
+
+  ColumnTablePtr all = ColumnTable::Make(TestSchema());
+  for (size_t rg = 0; rg < (*reader)->num_row_groups(); ++rg) {
+    auto part = (*reader)->ReadRowGroup(rg, {});
+    ASSERT_TRUE(part.ok()) << part.status().ToString();
+    for (size_t r = 0; r < (*part)->num_rows(); ++r) {
+      for (size_t c = 0; c < TestSchema().num_fields(); ++c) {
+        switch (TestSchema().field(c).type) {
+          case AtomType::kInt32:
+          case AtomType::kDate:
+            all->column(c).AppendInt32((*part)->column(c).GetInt32(r));
+            break;
+          case AtomType::kInt64:
+            all->column(c).AppendInt64((*part)->column(c).GetInt64(r));
+            break;
+          case AtomType::kFloat64:
+            all->column(c).AppendFloat64((*part)->column(c).GetFloat64(r));
+            break;
+          case AtomType::kString:
+            all->column(c).AppendString((*part)->column(c).GetString(r));
+            break;
+        }
+      }
+    }
+  }
+  all->FinishBulkLoad();
+  ExpectTablesEqual(*table, *all);
+}
+
+INSTANTIATE_TEST_SUITE_P(RowGroupSizes, ColumnFileRoundTrip,
+                         ::testing::Values(64, 500, 3000, 10000));
+
+TEST(ColumnFileTest, ProjectionReturnsOnlySelectedColumns) {
+  ColumnTablePtr table = MakeTable(100, 3);
+  std::string bytes = WriteColumnFile(*table);
+  auto reader = ColumnFileReader::Open(std::make_shared<StringReader>(bytes));
+  ASSERT_TRUE(reader.ok());
+  auto part = (*reader)->ReadRowGroup(0, {2, 0});
+  ASSERT_TRUE(part.ok());
+  ASSERT_EQ((*part)->num_columns(), 2u);
+  EXPECT_EQ((*part)->schema().field(0).name, "name");
+  EXPECT_EQ((*part)->schema().field(1).name, "id");
+  EXPECT_EQ((*part)->column(1).GetInt64(5), 5);
+}
+
+TEST(ColumnFileTest, MinMaxStatsEnablePruning) {
+  ColumnTablePtr table = MakeTable(1000, 5);
+  ColumnFileWriteOptions opts;
+  opts.rows_per_row_group = 100;  // ids 0..99, 100..199, ...
+  std::string bytes = WriteColumnFile(*table, opts);
+  auto reader = ColumnFileReader::Open(std::make_shared<StringReader>(bytes));
+  ASSERT_TRUE(reader.ok());
+  // id column (0) is monotonically increasing per construction.
+  EXPECT_TRUE((*reader)->MayContain(0, 0, 50, 60));
+  EXPECT_FALSE((*reader)->MayContain(0, 0, 150, 160));
+  EXPECT_TRUE((*reader)->MayContain(1, 0, 150, 160));
+  auto stats = (*reader)->stats(2, 0);
+  EXPECT_TRUE(stats.valid);
+  EXPECT_EQ(stats.min, 200);
+  EXPECT_EQ(stats.max, 299);
+}
+
+TEST(ColumnFileTest, PartitionedWriterOneRowGroupPerPart) {
+  std::vector<ColumnTablePtr> parts;
+  for (int p = 0; p < 4; ++p) {
+    ColumnTablePtr t = ColumnTable::Make(KeyValueSchema());
+    for (int i = 0; i < p * 10; ++i) {  // part 0 is empty
+      t->column(0).AppendInt64(p);
+      t->column(1).AppendInt64(i);
+    }
+    t->FinishBulkLoad();
+    parts.push_back(t);
+  }
+  std::string bytes = WriteColumnFileFromParts(parts);
+  auto reader = ColumnFileReader::Open(std::make_shared<StringReader>(bytes));
+  ASSERT_TRUE(reader.ok());
+  ASSERT_EQ((*reader)->num_row_groups(), 4u);
+  for (size_t rg = 0; rg < 4; ++rg) {
+    EXPECT_EQ((*reader)->row_group_rows(rg), rg * 10);
+    auto part = (*reader)->ReadRowGroup(rg, {});
+    ASSERT_TRUE(part.ok());
+    for (size_t r = 0; r < (*part)->num_rows(); ++r) {
+      EXPECT_EQ((*part)->column(0).GetInt64(r), static_cast<int64_t>(rg));
+    }
+  }
+}
+
+TEST(ColumnFileTest, RejectsCorruptFooter) {
+  auto reader = ColumnFileReader::Open(
+      std::make_shared<StringReader>("definitely not a column file"));
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(BlobStoreTest, PutGetListDelete) {
+  BlobStore store;
+  BlobClient client(&store, BlobClientOptions::Unthrottled());
+  ASSERT_TRUE(client.Put("a/1", "one").ok());
+  ASSERT_TRUE(client.Put("a/2", "two").ok());
+  ASSERT_TRUE(client.Put("b/1", "three").ok());
+
+  auto got = client.Get("a/1");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, "one");
+  EXPECT_EQ(client.List("a/").size(), 2u);
+  EXPECT_FALSE(client.Get("missing").ok());
+  EXPECT_EQ(client.Get("missing").status().code(), StatusCode::kNotFound);
+
+  auto range = client.GetRange("b/1", 1, 3);
+  ASSERT_TRUE(range.ok());
+  EXPECT_EQ(*range, "hre");
+
+  store.Delete("a/1");
+  EXPECT_FALSE(client.Get("a/1").ok());
+}
+
+TEST(BlobStoreTest, ChargesLatencyAndBandwidth) {
+  BlobStore store;
+  BlobClientOptions opts;
+  opts.request_latency_seconds = 0.01;
+  opts.bandwidth_bytes_per_sec = 1000;  // 1 KB/s
+  opts.throttle = false;                // account only
+  BlobClient client(&store, opts);
+  ASSERT_TRUE(client.Put("k", std::string(500, 'x')).ok());
+  // 0.01 latency + 500/1000 transfer.
+  EXPECT_NEAR(client.charged_seconds(), 0.51, 1e-9);
+  EXPECT_EQ(client.bytes_transferred(), 500);
+}
+
+TEST(BlobStoreTest, TransientFailuresAndRetries) {
+  BlobStore store;
+  store.Put("k", "value");
+  BlobClientOptions opts = BlobClientOptions::Unthrottled();
+  opts.transient_failure_rate = 0.5;
+  BlobClient client(&store, opts, /*worker_id=*/1);
+
+  int failures = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (!client.Get("k").ok()) ++failures;
+  }
+  EXPECT_GT(failures, 50);
+  EXPECT_LT(failures, 150);
+
+  // WithRetries recovers with overwhelming probability.
+  for (int i = 0; i < 20; ++i) {
+    auto result = WithRetries(10, [&] { return client.Get("k"); });
+    ASSERT_TRUE(result.ok());
+  }
+}
+
+}  // namespace
+}  // namespace modularis::storage
