@@ -1,17 +1,29 @@
 /// \file bench_micro.cc
-/// Google-benchmark microbenchmarks of the hot sub-operator primitives:
-/// radix histogram/scatter, join hash table, ReduceByKey, expression
-/// evaluation, and the ColumnFile codec. These are the "model performance"
-/// numbers (§5.2.2) at the smallest granularity.
+/// Microbenchmarks of the hot sub-operator primitives: radix
+/// histogram/scatter, join hash table, ReduceByKey, expression
+/// evaluation, the ColumnFile codec, and the partition→build→probe
+/// pipeline with the vectorized batch path on and off. These are the
+/// "model performance" numbers (§5.2.2) at the smallest granularity.
+///
+/// Standalone driver (no google-benchmark): prints a table and writes
+/// machine-readable results to BENCH_micro.json (or argv[1]) so the
+/// perf trajectory is tracked across PRs.
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
 #include <random>
-
-#include <benchmark/benchmark.h>
+#include <string>
+#include <vector>
 
 #include "core/exec_context.h"
 #include "core/expr.h"
+#include "core/pipeline.h"
 #include "storage/column_file.h"
 #include "suboperators/agg_ops.h"
+#include "suboperators/basic_ops.h"
 #include "suboperators/join_ops.h"
 #include "suboperators/partition_ops.h"
 #include "suboperators/scan_ops.h"
@@ -19,51 +31,109 @@
 namespace modularis {
 namespace {
 
-RowVectorPtr MakeKv(int64_t rows, int64_t key_space) {
+struct BenchResult {
+  std::string op;
+  size_t rows = 0;
+  double seconds = 0;
+  double rows_per_sec = 0;
+  double bytes_per_sec = 0;
+  int vectorized = -1;  // -1: not applicable, 0: off, 1: on
+};
+
+std::vector<BenchResult>* Results() {
+  static std::vector<BenchResult> results;
+  return &results;
+}
+
+/// Times `fn` (best of a few runs after one warmup) and records a result.
+BenchResult RunBench(const std::string& op, size_t rows, size_t bytes,
+                     int vectorized, const std::function<void()>& fn) {
+  using clock = std::chrono::steady_clock;
+  fn();  // warmup
+  double best = 1e300;
+  double total = 0;
+  for (int iter = 0; iter < 5 && total < 1.0; ++iter) {
+    auto start = clock::now();
+    fn();
+    double secs = std::chrono::duration<double>(clock::now() - start).count();
+    best = std::min(best, secs);
+    total += secs;
+  }
+  BenchResult r;
+  r.op = op;
+  r.rows = rows;
+  r.seconds = best;
+  r.rows_per_sec = static_cast<double>(rows) / best;
+  r.bytes_per_sec = static_cast<double>(bytes) / best;
+  r.vectorized = vectorized;
+  Results()->push_back(r);
+  std::printf("%-32s %10zu rows  %10.3f ms  %8.1f Mrows/s  %8.1f MB/s%s\n",
+              op.c_str(), rows, best * 1e3, r.rows_per_sec / 1e6,
+              r.bytes_per_sec / 1e6,
+              vectorized < 0 ? "" : (vectorized ? "  [vectorized]" : "  [row-at-a-time]"));
+  return r;
+}
+
+RowVectorPtr MakeKv(int64_t rows, int64_t key_space, uint32_t seed = 42,
+                    /// >0: key = i / dup (each key `dup` times, in order).
+                    int sequential_dup = 0) {
   RowVectorPtr data = RowVector::Make(KeyValueSchema());
   data->Reserve(rows);
-  std::mt19937_64 rng(42);
+  std::mt19937_64 rng(seed);
   std::uniform_int_distribution<int64_t> dist(0, key_space - 1);
   for (int64_t i = 0; i < rows; ++i) {
     RowWriter w = data->AppendRow();
-    w.SetInt64(0, dist(rng));
+    w.SetInt64(0, sequential_dup > 0 ? i / sequential_dup : dist(rng));
     w.SetInt64(1, i);
   }
   return data;
 }
 
-void BM_RadixHistogram(benchmark::State& state) {
-  RowVectorPtr data = MakeKv(state.range(0), 1 << 20);
+void BenchRadixHistogram() {
+  RowVectorPtr data = MakeKv(1 << 20, 1 << 20);
   RadixSpec spec{8, 0, RadixHash::kIdentity};
   std::vector<int64_t> counts(spec.fanout());
-  for (auto _ : state) {
+  RunBench("radix_histogram", data->size(), data->byte_size(), -1, [&] {
     std::fill(counts.begin(), counts.end(), 0);
     CountRows(*data, spec, 0, counts.data());
-    benchmark::DoNotOptimize(counts.data());
-  }
-  state.SetItemsProcessed(state.iterations() * data->size());
+  });
 }
-BENCHMARK(BM_RadixHistogram)->Arg(1 << 16)->Arg(1 << 20);
 
-void BM_RadixScatter(benchmark::State& state) {
-  RowVectorPtr data = MakeKv(state.range(0), 1 << 20);
+void BenchRadixScatter() {
+  RowVectorPtr data = MakeKv(1 << 20, 1 << 20);
   RadixSpec spec{8, 0, RadixHash::kIdentity};
-  for (auto _ : state) {
+  RunBench("radix_scatter", data->size(), data->byte_size(), -1, [&] {
     std::vector<RowVectorPtr> parts;
     for (int p = 0; p < spec.fanout(); ++p) {
       parts.push_back(RowVector::Make(KeyValueSchema()));
     }
     ScatterRows(*data, spec, 0, &parts);
-    benchmark::DoNotOptimize(parts.data());
-  }
-  state.SetItemsProcessed(state.iterations() * data->size());
+  });
+  // Pre-sized variant: exact per-partition allocation from a histogram,
+  // rows written in place at prefix offsets.
+  std::vector<int64_t> counts(spec.fanout(), 0);
+  CountRows(*data, spec, 0, counts.data());
+  RunBench("radix_scatter_presized", data->size(), data->byte_size(), -1,
+           [&] {
+             std::vector<RowVectorPtr> parts;
+             std::vector<size_t> cursors(spec.fanout(), 0);
+             for (int p = 0; p < spec.fanout(); ++p) {
+               RowVectorPtr part = RowVector::Make(KeyValueSchema());
+               part->ResizeRows(static_cast<size_t>(counts[p]));
+               parts.push_back(std::move(part));
+             }
+             Status st =
+                 ScatterSpanPresized(data->data(), data->size(),
+                                     data->schema(), spec, 0, &parts,
+                                     &cursors);
+             if (!st.ok()) std::abort();
+           });
 }
-BENCHMARK(BM_RadixScatter)->Arg(1 << 16)->Arg(1 << 20);
 
-void BM_JoinHashTableBuildProbe(benchmark::State& state) {
-  const int64_t n = state.range(0);
+void BenchJoinHashTable() {
+  const int64_t n = 1 << 18;
   RowVectorPtr build = MakeKv(n, n);
-  for (auto _ : state) {
+  RunBench("join_hash_table", 2 * n, 2 * build->byte_size(), -1, [&] {
     JoinHashTable table;
     table.Reserve(n);
     for (int64_t i = 0; i < n; ++i) {
@@ -73,62 +143,184 @@ void BM_JoinHashTableBuildProbe(benchmark::State& state) {
     for (int64_t i = 0; i < n; ++i) {
       hits += table.Find(i) != JoinHashTable::kNone;
     }
-    benchmark::DoNotOptimize(hits);
-  }
-  state.SetItemsProcessed(state.iterations() * n * 2);
+    if (hits < 0) std::abort();  // keep the loop observable
+  });
 }
-BENCHMARK(BM_JoinHashTableBuildProbe)->Arg(1 << 14)->Arg(1 << 18);
 
-void BM_ReduceByKey(benchmark::State& state) {
-  RowVectorPtr data = MakeKv(1 << 20, state.range(0));
+void BenchReduceByKey(bool vectorized) {
+  RowVectorPtr data = MakeKv(1 << 20, 1 << 16);
   ExecContext ctx;
-  for (auto _ : state) {
-    ReduceByKey rk(std::make_unique<CollectionSource>(
-                       std::vector<RowVectorPtr>{data}),
-                   {0},
-                   {AggSpec{AggKind::kSum, ex::Col(1), "sum",
-                            AtomType::kInt64}},
-                   KeyValueSchema());
-    Tuple t;
-    if (!rk.Open(&ctx).ok()) state.SkipWithError("open failed");
-    int64_t groups = 0;
-    while (rk.Next(&t)) ++groups;
-    benchmark::DoNotOptimize(groups);
-  }
-  state.SetItemsProcessed(state.iterations() * data->size());
+  ctx.options.enable_vectorized = vectorized;
+  RunBench("reduce_by_key", data->size(), data->byte_size(),
+           vectorized ? 1 : 0, [&] {
+             ReduceByKey rk(
+                 std::make_unique<RowScan>(std::make_unique<CollectionSource>(
+                     std::vector<RowVectorPtr>{data})),
+                 {0},
+                 {AggSpec{AggKind::kSum, ex::Col(1), "sum", AtomType::kInt64}},
+                 KeyValueSchema());
+             if (!rk.Open(&ctx).ok()) std::abort();
+             Tuple t;
+             int64_t groups = 0;
+             while (rk.Next(&t)) ++groups;
+             if (groups == 0) std::abort();
+           });
 }
-BENCHMARK(BM_ReduceByKey)->Arg(64)->Arg(1 << 16);
 
-void BM_ExprFilterEval(benchmark::State& state) {
+void BenchExprFilterEval() {
   RowVectorPtr data = MakeKv(1 << 18, 1000);
   ExprPtr pred = ex::And(ex::Ge(ex::Col(0), ex::Lit(int64_t{100})),
                          ex::Lt(ex::Col(0), ex::Lit(int64_t{900})));
-  for (auto _ : state) {
+  RunBench("expr_filter_eval", data->size(), data->byte_size(), -1, [&] {
     int64_t matches = 0;
     for (size_t i = 0; i < data->size(); ++i) {
       matches += pred->EvalBool(data->row(i));
     }
-    benchmark::DoNotOptimize(matches);
-  }
-  state.SetItemsProcessed(state.iterations() * data->size());
+    if (matches < 0) std::abort();
+  });
 }
-BENCHMARK(BM_ExprFilterEval);
 
-void BM_ColumnFileRoundTrip(benchmark::State& state) {
+void BenchColumnFileRoundTrip() {
   ColumnTablePtr table = ColumnTable::FromRowVector(*MakeKv(1 << 16, 1000));
-  for (auto _ : state) {
-    std::string bytes = storage::WriteColumnFile(*table);
-    auto reader = storage::ColumnFileReader::Open(
-        std::make_shared<storage::StringReader>(bytes));
-    if (!reader.ok()) state.SkipWithError("open failed");
-    auto part = (*reader)->ReadRowGroup(0, {});
-    benchmark::DoNotOptimize(part);
-  }
-  state.SetItemsProcessed(state.iterations() * table->num_rows());
+  RunBench("column_file_roundtrip", table->num_rows(),
+           table->num_rows() * 16, -1, [&] {
+             std::string bytes = storage::WriteColumnFile(*table);
+             auto reader = storage::ColumnFileReader::Open(
+                 std::make_shared<storage::StringReader>(bytes));
+             if (!reader.ok()) std::abort();
+             auto part = (*reader)->ReadRowGroup(0, {});
+             if (!part.ok()) std::abort();
+           });
 }
-BENCHMARK(BM_ColumnFileRoundTrip);
+
+/// The acceptance microbenchmark: a full local partition→build→probe
+/// pipeline (histograms, pre-sized partitioning, per-partition-pair hash
+/// join via NestedMap) over ≥1M rows per side, built with explicit
+/// RowScans so the only difference between the two runs is the
+/// enable_vectorized toggle.
+size_t RunPartitionBuildProbe(const RowVectorPtr& r, const RowVectorPtr& s,
+                              bool vectorized) {
+  ExecContext ctx;
+  ctx.options.enable_vectorized = vectorized;
+  // 256-way partitioning keeps each per-pair hash table L1/L2-resident
+  // (the cache-conscious discipline the local partition pass exists for).
+  RadixSpec spec{8, 0, RadixHash::kIdentity};
+  const Schema kv = KeyValueSchema();
+
+  auto plan = std::make_unique<PipelinePlan>();
+  auto scan_r = [&] {
+    return std::make_unique<RowScan>(std::make_unique<CollectionSource>(
+        std::vector<RowVectorPtr>{r}));
+  };
+  auto scan_s = [&] {
+    return std::make_unique<RowScan>(std::make_unique<CollectionSource>(
+        std::vector<RowVectorPtr>{s}));
+  };
+  plan->Add("lh_r", std::make_unique<LocalHistogram>(scan_r(), spec, 0));
+  plan->Add("lp_r", std::make_unique<LocalPartition>(
+                        scan_r(), plan->MakeRef("lh_r"), spec, 0));
+  plan->Add("lh_s", std::make_unique<LocalHistogram>(scan_s(), spec, 0));
+  plan->Add("lp_s", std::make_unique<LocalPartition>(
+                        scan_s(), plan->MakeRef("lh_s"), spec, 0));
+
+  auto zip = std::make_unique<Zip>(plan->MakeRef("lp_r"),
+                                   plan->MakeRef("lp_s"));
+  // Nested plan per partition pair: ⟨pid, R_p, pid, S_p⟩.
+  auto bp = std::make_unique<BuildProbe>(
+      std::make_unique<RowScan>(std::make_unique<Projection>(
+          std::make_unique<ParameterLookup>(), std::vector<int>{1})),
+      std::make_unique<RowScan>(std::make_unique<Projection>(
+          std::make_unique<ParameterLookup>(), std::vector<int>{3})),
+      kv, kv, /*build_key_col=*/0, /*probe_key_col=*/0);
+  Schema out_schema = bp->out_schema();
+  auto nested_root =
+      std::make_unique<MaterializeRowVector>(std::move(bp), out_schema);
+  auto nested =
+      std::make_unique<NestedMap>(std::move(zip), std::move(nested_root));
+  plan->SetOutput(std::move(nested));
+
+  // Drain the same plan through the protocol under test: batches when
+  // vectorized, tuples otherwise.
+  if (!plan->Open(&ctx).ok()) std::abort();
+  size_t out_rows = 0;
+  if (vectorized) {
+    RowBatch batch;
+    while (plan->NextBatch(&batch)) out_rows += batch.size();
+  } else {
+    Tuple t;
+    while (plan->Next(&t)) {
+      out_rows += t[0].collection()->size();
+    }
+  }
+  if (!plan->status().ok()) std::abort();
+  if (!plan->Close().ok()) std::abort();
+  return out_rows;
+}
+
+void BenchPartitionBuildProbe() {
+  const int64_t n = 1 << 20;  // 1M rows per side
+  // FK-join shape (think orders ⋈ lineitem): the build side holds every
+  // key four times, the probe side draws uniformly from the key domain —
+  // every probe row matches a four-element duplicate chain.
+  RowVectorPtr r = MakeKv(n, n / 4, /*seed=*/1, /*sequential_dup=*/4);
+  RowVectorPtr s = MakeKv(n, n / 4, /*seed=*/2);
+  const size_t in_rows = static_cast<size_t>(2 * n);
+  const size_t in_bytes = r->byte_size() + s->byte_size();
+
+  size_t rows_off = 0, rows_on = 0;
+  BenchResult off =
+      RunBench("partition_build_probe", in_rows, in_bytes, 0,
+               [&] { rows_off = RunPartitionBuildProbe(r, s, false); });
+  BenchResult on =
+      RunBench("partition_build_probe", in_rows, in_bytes, 1,
+               [&] { rows_on = RunPartitionBuildProbe(r, s, true); });
+  if (rows_off != rows_on) {
+    std::fprintf(stderr, "FAIL: result mismatch (%zu vs %zu rows)\n",
+                 rows_off, rows_on);
+    std::exit(1);
+  }
+  std::printf("partition_build_probe speedup: %.2fx (vectorized vs "
+              "row-at-a-time, %zu result rows)\n",
+              off.seconds / on.seconds, rows_on);
+}
+
+void WriteJson(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "[\n");
+  const std::vector<BenchResult>& results = *Results();
+  for (size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    std::fprintf(f,
+                 "  {\"op\": \"%s\", \"rows\": %zu, \"seconds\": %.6f, "
+                 "\"rows_per_sec\": %.1f, \"bytes_per_sec\": %.1f, "
+                 "\"vectorized\": %s}%s\n",
+                 r.op.c_str(), r.rows, r.seconds, r.rows_per_sec,
+                 r.bytes_per_sec,
+                 r.vectorized < 0 ? "null" : (r.vectorized ? "true" : "false"),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu results)\n", path.c_str(), results.size());
+}
 
 }  // namespace
 }  // namespace modularis
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace modularis;
+  BenchRadixHistogram();
+  BenchRadixScatter();
+  BenchJoinHashTable();
+  BenchReduceByKey(false);
+  BenchReduceByKey(true);
+  BenchExprFilterEval();
+  BenchColumnFileRoundTrip();
+  BenchPartitionBuildProbe();
+  WriteJson(argc > 1 ? argv[1] : "BENCH_micro.json");
+  return 0;
+}

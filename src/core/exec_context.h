@@ -33,6 +33,13 @@ struct ExecOptions {
   /// runs pure tuple-at-a-time through virtual Next() calls.
   bool enable_fusion = true;
 
+  /// Vector-at-a-time execution: consumers drain record streams through
+  /// NextBatch() and operators run loop-over-packed-bytes inner loops.
+  /// When false, every record crosses one virtual Next() call — the
+  /// row-at-a-time correctness oracle and ablation baseline (mirrors
+  /// enable_fusion).
+  bool enable_vectorized = true;
+
   /// log2 of the network partitioning fan-out (radix bits). The number of
   /// network partitions is 1 << network_radix_bits; partitions are assigned
   /// to ranks round-robin.

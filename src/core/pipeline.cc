@@ -9,15 +9,81 @@ Status PipelineRef::Open(ExecContext* ctx) {
     return Status::Internal("PipelineRef: pipeline '" + pipeline_name_ +
                             "' has not materialized yet");
   }
-  tuples_ = &it->second;
-  pos_ = 0;
+  result_ = &it->second;
+  row_pos_ = 0;
+  tuple_pos_ = 0;
   return Status::OK();
 }
 
 bool PipelineRef::Next(Tuple* out) {
-  if (tuples_ == nullptr || pos_ >= tuples_->size()) return false;
-  *out = (*tuples_)[pos_++];
+  if (result_ == nullptr) return false;
+  if (result_->rows != nullptr && row_pos_ < result_->rows->size()) {
+    out->clear();
+    out->push_back(Item(result_->rows->row(row_pos_++)));
+    return true;
+  }
+  if (tuple_pos_ >= result_->tuples.size()) return false;
+  *out = result_->tuples[tuple_pos_++];
   return true;
+}
+
+bool PipelineRef::NextBatch(RowBatch* out) {
+  out->Clear();
+  if (result_ == nullptr) return false;
+  if (result_->rows != nullptr && row_pos_ < result_->rows->size()) {
+    out->BorrowRange(result_->rows, row_pos_,
+                     result_->rows->size() - row_pos_);
+    out->MarkDurable();  // plan-owned materialization, read-only
+    row_pos_ = result_->rows->size();
+    return true;
+  }
+  if (tuple_pos_ < result_->tuples.size()) {
+    return SubOperator::NextBatch(out);
+  }
+  return false;
+}
+
+Status PipelinePlan::Materialize(SubOperator* root, PipelineResult* sink) {
+  // Declared record streams drain through the batch protocol straight
+  // into one packed RowVector.
+  if (ctx_->options.enable_vectorized && root->ProducesRecordStream()) {
+    RowBatch batch;
+    while (root->NextBatch(&batch)) {
+      if (sink->rows == nullptr) sink->rows = RowVector::Make(batch.schema());
+      if (sink->rows->empty()) sink->rows->Reserve(batch.size());
+      sink->rows->AppendRawBatch(batch.data(), batch.size());
+    }
+    return root->status();
+  }
+  bool demoted = false;
+  Tuple t;
+  // Demotion (rare, mixed streams only): move already-packed rows into
+  // owned single-row tuples so the original tuple order is preserved.
+  auto demote = [&] {
+    if (sink->rows != nullptr) {
+      for (size_t i = 0; i < sink->rows->size(); ++i) {
+        Tuple row_tuple{Item(sink->rows->row(i))};
+        sink->tuples.push_back(OwnTuple(row_tuple, &arena_));
+      }
+      sink->rows.reset();
+    }
+    demoted = true;
+  };
+  while (root->Next(&t)) {
+    // Rows pack only while the stream is still all-rows; once any
+    // non-row tuple arrived, later rows go to the tuple list too so
+    // PipelineRef replays the stream in its original order.
+    if (!demoted && sink->tuples.empty() && t.size() == 1 &&
+        t[0].is_row()) {
+      const RowRef& row = t[0].row();
+      if (sink->rows == nullptr) sink->rows = RowVector::Make(row.schema());
+      sink->rows->AppendRaw(row.data());
+      continue;
+    }
+    if (!demoted && sink->rows != nullptr) demote();
+    sink->tuples.push_back(OwnTuple(t, &arena_));
+  }
+  return root->status();
 }
 
 Status PipelinePlan::Open(ExecContext* ctx) {
@@ -27,12 +93,7 @@ Status PipelinePlan::Open(ExecContext* ctx) {
   arena_.clear();
   for (auto& [name, root] : pipelines_) {
     MODULARIS_RETURN_NOT_OK(root->Open(ctx));
-    std::vector<Tuple>& sink = results_[name];
-    Tuple t;
-    while (root->Next(&t)) {
-      sink.push_back(OwnTuple(t, &arena_));
-    }
-    MODULARIS_RETURN_NOT_OK(root->status());
+    MODULARIS_RETURN_NOT_OK(Materialize(root.get(), &results_[name]));
     MODULARIS_RETURN_NOT_OK(root->Close());
   }
   if (output_ == nullptr) {
@@ -43,6 +104,12 @@ Status PipelinePlan::Open(ExecContext* ctx) {
 
 bool PipelinePlan::Next(Tuple* out) {
   if (output_->Next(out)) return true;
+  if (!output_->status().ok()) return Fail(output_->status());
+  return false;
+}
+
+bool PipelinePlan::NextBatch(RowBatch* out) {
+  if (output_->NextBatch(out)) return true;
   if (!output_->status().ok()) return Fail(output_->status());
   return false;
 }

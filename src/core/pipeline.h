@@ -14,6 +14,12 @@
 /// executed with the iterator model, and pipelines materialize their
 /// results so that multiple downstream pipelines can read them.
 ///
+/// Record-stream pipelines materialize as one packed RowVector (drained
+/// through NextBatch when vectorized execution is on); non-record
+/// pipelines (⟨pid, collection⟩ pairs, histograms, ...) keep the generic
+/// tuple representation. PipelineRef replays either form and serves the
+/// packed form zero-copy to batch-aware consumers.
+///
 /// PipelinePlan is itself a sub-operator, so nested plans (inside
 /// NestedMap) can be pipelined too — their pipelines re-execute on every
 /// nested invocation, which is exactly the per-partition-pair behaviour
@@ -22,6 +28,14 @@
 namespace modularis {
 
 class PipelinePlan;
+
+/// Materialized result of one intermediate pipeline: packed rows for
+/// record streams, generic tuples otherwise (mixed streams demote to
+/// tuples to preserve order).
+struct PipelineResult {
+  RowVectorPtr rows;
+  std::vector<Tuple> tuples;
+};
 
 /// Source operator reading the materialized result of an earlier pipeline
 /// of the enclosing PipelinePlan.
@@ -34,12 +48,21 @@ class PipelineRef : public SubOperator {
 
   Status Open(ExecContext* ctx) override;
   bool Next(Tuple* out) override;
+  /// Record stream iff the materialized result is purely packed rows.
+  bool ProducesRecordStream() const override {
+    return result_ != nullptr && result_->rows != nullptr &&
+           result_->tuples.empty();
+  }
+  /// Serves the packed remainder of a record-stream result as one
+  /// zero-copy batch; falls back to the adapter for tuple results.
+  bool NextBatch(RowBatch* out) override;
 
  private:
   const PipelinePlan* plan_;
   std::string pipeline_name_;
-  const std::vector<Tuple>* tuples_ = nullptr;
-  size_t pos_ = 0;
+  const PipelineResult* result_ = nullptr;
+  size_t row_pos_ = 0;
+  size_t tuple_pos_ = 0;
 };
 
 /// An ordered list of materializing pipelines plus one streamed output
@@ -65,14 +88,22 @@ class PipelinePlan : public SubOperator {
 
   Status Open(ExecContext* ctx) override;
   bool Next(Tuple* out) override;
+  bool ProducesRecordStream() const override {
+    return output_ != nullptr && output_->ProducesRecordStream();
+  }
+  bool NextBatch(RowBatch* out) override;
   Status Close() override;
 
  private:
   friend class PipelineRef;
 
+  /// Drains one pipeline root into `sink` (packed rows when the stream
+  /// turns out to be a record stream, tuples otherwise).
+  Status Materialize(SubOperator* root, PipelineResult* sink);
+
   std::vector<std::pair<std::string, SubOpPtr>> pipelines_;
   SubOpPtr output_;
-  std::map<std::string, std::vector<Tuple>> results_;
+  std::map<std::string, PipelineResult> results_;
   std::vector<RowVectorPtr> arena_;
 };
 

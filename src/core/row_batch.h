@@ -1,0 +1,161 @@
+#ifndef MODULARIS_CORE_ROW_BATCH_H_
+#define MODULARIS_CORE_ROW_BATCH_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "core/row_vector.h"
+
+/// \file row_batch.h
+/// RowBatch is the unit of the vectorized execution protocol
+/// (SubOperator::NextBatch): a schema plus a contiguous span of packed
+/// rows. A batch either *borrows* its rows from an existing RowVector
+/// (zero copy — the batch shares ownership so the rows stay alive) or
+/// points at an internal scratch RowVector that an adapter or producing
+/// operator filled.
+///
+/// Lifetime contract: the rows viewed by a batch stay valid until the
+/// next NextBatch()/Next()/Close() call on the producing operator, or
+/// until the batch is Cleared/re-filled — whichever comes first.
+/// Consumers that retain rows copy the packed bytes (AppendRawBatch).
+
+namespace modularis {
+
+class RowBatch {
+ public:
+  /// Row budget per batch for adapters and copying producers. Large
+  /// enough to amortize the virtual call, small enough to keep a batch
+  /// of 16-byte rows L1/L2-resident.
+  static constexpr size_t kDefaultRows = 1024;
+
+  RowBatch() = default;
+
+  /// Batches carry shared scratch state; views are transferred explicitly
+  /// via BorrowFrom instead of copy-assignment.
+  RowBatch(const RowBatch&) = delete;
+  RowBatch& operator=(const RowBatch&) = delete;
+
+  void Clear() {
+    pin_.reset();
+    schema_ = nullptr;
+    data_ = nullptr;
+    num_rows_ = 0;
+    row_size_ = 0;
+    released_ = false;
+    durable_ = false;
+  }
+
+  bool empty() const { return num_rows_ == 0; }
+  size_t size() const { return num_rows_; }
+  const uint8_t* data() const { return data_; }
+  uint32_t row_size() const { return row_size_; }
+  size_t byte_size() const {
+    return num_rows_ * static_cast<size_t>(row_size_);
+  }
+  const Schema& schema() const { return *schema_; }
+  RowRef row(size_t i) const {
+    return RowRef(data_ + i * row_size_, schema_);
+  }
+
+  /// Zero-copy view of every row of `rows`; shares ownership.
+  void Borrow(RowVectorPtr rows) {
+    size_t n = rows->size();
+    BorrowRange(std::move(rows), 0, n);
+  }
+
+  /// Zero-copy view of rows [begin, begin + count) of `rows`.
+  void BorrowRange(RowVectorPtr rows, size_t begin, size_t count) {
+    schema_ = &rows->schema();
+    row_size_ = rows->row_size();
+    data_ = rows->data() + begin * row_size_;
+    num_rows_ = count;
+    pin_ = std::move(rows);
+    released_ = false;
+    durable_ = false;
+  }
+
+  /// Adopts `other`'s view (and its pin). Scratch storage is not shared.
+  void BorrowFrom(const RowBatch& other) {
+    pin_ = other.pin_;
+    schema_ = other.schema_;
+    data_ = other.data_;
+    num_rows_ = other.num_rows_;
+    row_size_ = other.row_size_;
+    released_ = other.released_;
+    durable_ = other.durable_;
+  }
+
+  /// Producer-side ownership handoff: marks the pinned vector as
+  /// relinquished — the producer will allocate a fresh buffer instead of
+  /// reusing it, so a consumer may steal the whole vector zero-copy.
+  void MarkReleased() {
+    released_ = true;
+    durable_ = true;
+  }
+
+  /// Marks the pinned vector as durable: the producer guarantees it will
+  /// not mutate it for the rest of its Open cycle (true for borrowed
+  /// upstream collections; NOT true for reused output buffers). Durable
+  /// whole-vector batches may be shared instead of copied.
+  void MarkDurable() { durable_ = true; }
+
+  /// Steals the pinned vector if the producer released it and this view
+  /// covers it entirely; returns null otherwise. The view itself stays
+  /// intact for consumers that fall back to copying.
+  RowVectorPtr TakeReleased() {
+    if (!released_ || pin_ == nullptr || data_ != pin_->data() ||
+        num_rows_ != pin_->size()) {
+      return nullptr;
+    }
+    released_ = false;
+    return std::move(pin_);
+  }
+
+  /// Shares the underlying vector read-only if this view covers all of
+  /// a durable pin (safe for a consumer that only reads it within the
+  /// producer's current Open cycle, e.g. a build side held for probing).
+  RowVectorPtr ShareWhole() const {
+    if (!durable_ || pin_ == nullptr || data_ != pin_->data() ||
+        num_rows_ != pin_->size()) {
+      return nullptr;
+    }
+    return pin_;
+  }
+
+  /// Returns this batch's scratch RowVector, emptied and re-schema'd if
+  /// needed. Fill it, then call SealScratch() to point the view at it.
+  /// The scratch buffer (and its capacity) is reused across calls, so a
+  /// consumer-owned RowBatch amortizes allocation over the whole stream.
+  RowVector* Scratch(const Schema& schema) {
+    if (scratch_ == nullptr || !scratch_->schema().Equals(schema)) {
+      scratch_ = RowVector::Make(schema);
+    } else {
+      scratch_->Clear();
+    }
+    return scratch_.get();
+  }
+
+  void SealScratch() {
+    schema_ = &scratch_->schema();
+    row_size_ = scratch_->row_size();
+    data_ = scratch_->data();
+    num_rows_ = scratch_->size();
+    pin_ = scratch_;
+    released_ = false;  // scratch is reused; never stealable
+    durable_ = false;
+  }
+
+ private:
+  RowVectorPtr pin_;      // keeps the viewed rows alive (may be scratch_)
+  RowVectorPtr scratch_;  // owned buffer for copying producers
+  const Schema* schema_ = nullptr;
+  const uint8_t* data_ = nullptr;
+  size_t num_rows_ = 0;
+  uint32_t row_size_ = 0;
+  bool released_ = false;
+  bool durable_ = false;
+};
+
+}  // namespace modularis
+
+#endif  // MODULARIS_CORE_ROW_BATCH_H_

@@ -1,7 +1,9 @@
 #ifndef MODULARIS_CORE_STATS_H_
 #define MODULARIS_CORE_STATS_H_
 
+#include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <string>
@@ -55,7 +57,20 @@ class StatsRegistry {
     std::lock_guard<std::mutex> lock(mu_);
     times_.clear();
     counters_.clear();
+    epoch_.fetch_add(1, std::memory_order_relaxed);
   }
+  /// Resolves the accumulation slot for `key` once. std::map values are
+  /// address-stable, so the returned pointer survives later inserts;
+  /// it is invalidated only by Clear(), which bumps epoch() so cached
+  /// bindings (PhaseTimer) re-resolve. A rank owns its registry during
+  /// execution, so unsynchronized accumulation through the slot races
+  /// with nothing.
+  double* TimeSlot(const std::string& key) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return &times_[key];
+  }
+  /// Incremented by Clear(); slot pointers from an older epoch are dead.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_relaxed); }
   std::map<std::string, double> times() const {
     std::lock_guard<std::mutex> lock(mu_);
     return times_;
@@ -69,6 +84,7 @@ class StatsRegistry {
   mutable std::mutex mu_;
   std::map<std::string, double> times_;
   std::map<std::string, int64_t> counters_;
+  std::atomic<uint64_t> epoch_{0};
 };
 
 /// RAII phase timer: adds elapsed wall time to `registry[key]` at scope exit.
@@ -96,6 +112,52 @@ class ScopedTimer {
   StatsRegistry* registry_;
   std::string key_;
   std::chrono::steady_clock::time_point start_;
+};
+
+/// Phase timer with a pre-resolved registry slot. ScopedTimer pays a
+/// string copy, a mutex acquisition and a map lookup at every stop —
+/// noise that distorts phases which nested plans re-enter thousands of
+/// times (one BuildProbe per local-partition pair). PhaseTimer resolves
+/// the slot once per (registry, key) binding; Start/Stop is then two
+/// clock reads and an add. Bind at Open(), time whole batch drains —
+/// never individual rows.
+class PhaseTimer {
+ public:
+  void Bind(StatsRegistry* registry, const std::string& key) {
+    uint64_t epoch = registry->epoch();
+    if (registry == registry_ && epoch == epoch_ && key == key_) {
+      return;  // cached
+    }
+    registry_ = registry;
+    epoch_ = epoch;
+    key_ = key;
+    slot_ = registry->TimeSlot(key);
+  }
+
+  void Start() { start_ = std::chrono::steady_clock::now(); }
+  void Stop() {
+    auto end = std::chrono::steady_clock::now();
+    *slot_ += std::chrono::duration<double>(end - start_).count();
+  }
+
+ private:
+  StatsRegistry* registry_ = nullptr;
+  uint64_t epoch_ = 0;
+  std::string key_;
+  double* slot_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII wrapper over a bound PhaseTimer.
+class ScopedPhase {
+ public:
+  explicit ScopedPhase(PhaseTimer* timer) : timer_(timer) { timer_->Start(); }
+  ~ScopedPhase() { timer_->Stop(); }
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+ private:
+  PhaseTimer* timer_;
 };
 
 }  // namespace modularis

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/exec_context.h"
+#include "core/row_batch.h"
 #include "core/status.h"
 #include "core/tuple.h"
 
@@ -66,6 +67,76 @@ class SubOperator {
   /// or on error (check status()).
   virtual bool Next(Tuple* out) = 0;
 
+  /// Capability hint for batch-aware consumers: true when this
+  /// operator's output is a record stream (single-item tuples of
+  /// borrowed rows) that is safe to drain through NextBatch(). False is
+  /// always safe — it merely routes consumers that must also accept
+  /// atom tuples (MaterializeRowVector, pipeline materialization) to the
+  /// tuple loop. Call after Open().
+  virtual bool ProducesRecordStream() const { return false; }
+
+  /// Vectorized protocol: produces the next batch of packed records into
+  /// `*out`, equivalent to a run of Next() calls that would each have
+  /// yielded a single-item borrowed-row tuple. Returns false at
+  /// end-of-stream or on error (check status()).
+  ///
+  /// Contract:
+  ///  * Only record streams batch. A stream tuple holding a whole
+  ///    collection is forwarded as one zero-copy borrowed batch; any
+  ///    other tuple shape (atoms, multi-item) is an error — consumers
+  ///    of non-record streams must keep using Next().
+  ///  * Next() and NextBatch() may be mixed on one stream; NextBatch
+  ///    continues from the current position (implementations flush any
+  ///    partially consumed unit first).
+  ///  * Batch contents stay valid until the next NextBatch()/Next()/
+  ///    Close() call on this operator.
+  ///
+  /// The default adapter loops Next(), so every operator keeps working
+  /// unmodified; hot operators override it with loop-over-packed-bytes
+  /// implementations.
+  virtual bool NextBatch(RowBatch* out) {
+    out->Clear();
+    Tuple t;
+    RowVector* sink = nullptr;
+    while (Next(&t)) {
+      if (t.size() != 1) {
+        return Fail(Status::InvalidArgument(
+            name_ + ": cannot batch a tuple of arity " +
+            std::to_string(t.size())));
+      }
+      const Item& item = t[0];
+      if (item.is_collection()) {
+        if (item.collection()->empty() && sink == nullptr) continue;
+        if (sink == nullptr) {
+          out->Borrow(item.collection());
+          out->MarkDurable();  // upstream-owned collection, read-only
+          return true;
+        }
+        // Mixed rows-then-collection: fold the collection into the
+        // scratch batch and emit the combined run.
+        sink->AppendAll(*item.collection());
+        out->SealScratch();
+        return true;
+      }
+      if (!item.is_row()) {
+        return Fail(Status::InvalidArgument(
+            name_ + ": cannot batch a " + item.ToString() + " item"));
+      }
+      if (sink == nullptr) sink = out->Scratch(item.row().schema());
+      sink->AppendRaw(item.row().data());
+      if (sink->size() >= RowBatch::kDefaultRows) {
+        out->SealScratch();
+        return true;
+      }
+    }
+    if (!status_.ok()) return false;
+    if (sink != nullptr && !sink->empty()) {
+      out->SealScratch();
+      return true;
+    }
+    return false;
+  }
+
   /// Releases per-execution resources. Default: closes all children.
   virtual Status Close() {
     Status st = Status::OK();
@@ -112,6 +183,38 @@ class SubOperator {
  private:
   std::string name_;
 };
+
+/// Drains `child`'s record stream through the batch protocol into
+/// `*dest` (pre-made with the desired schema, initially empty): a single
+/// durable whole-collection batch is adopted zero-copy, anything else is
+/// bulk-copied. For consumers that hold the rows read-only for the rest
+/// of their Open cycle (hash-join build sides, sort inputs). Returns the
+/// child's status.
+inline Status DrainRecordStreamInto(SubOperator* child, RowVectorPtr* dest) {
+  RowBatch batch;
+  RowVectorPtr adopted;
+  bool first = true;
+  while (child->NextBatch(&batch)) {
+    if (first) {
+      first = false;
+      adopted = batch.ShareWhole();
+      if (adopted != nullptr) continue;
+    }
+    if (adopted != nullptr) {
+      // More than one batch after all: fall back to copying (durable
+      // batches stay valid across later pulls).
+      (*dest)->Reserve(adopted->size() + batch.size());
+      (*dest)->AppendAll(*adopted);
+      adopted.reset();
+    } else if ((*dest)->empty()) {
+      (*dest)->Reserve(batch.size());
+    }
+    (*dest)->AppendRawBatch(batch.data(), batch.size());
+  }
+  MODULARIS_RETURN_NOT_OK(child->status());
+  if (adopted != nullptr) *dest = std::move(adopted);
+  return Status::OK();
+}
 
 }  // namespace modularis
 

@@ -132,7 +132,31 @@ Status MpiExchange::DoExchange() {
   // Gather the input collections (the pipeline has materialized them).
   std::vector<RowVectorPtr> inputs;
   RowVectorPtr row_buffer;
-  {
+  if (ctx_->options.enable_vectorized && child(0)->ProducesRecordStream()) {
+    // Batched drain of record streams: durable whole-collection batches
+    // are shared zero-copy; anything else is bulk-copied. Mixing demotes
+    // to copies so the exchange scatters rows in stream order.
+    RowBatch batch;
+    while (child(0)->NextBatch(&batch)) {
+      if (batch.empty()) continue;
+      if (row_buffer == nullptr) {
+        RowVectorPtr shared = batch.ShareWhole();
+        if (shared != nullptr) {
+          inputs.push_back(std::move(shared));
+          continue;
+        }
+        row_buffer = RowVector::Make(batch.schema());
+        for (const RowVectorPtr& prev : inputs) {
+          row_buffer->Reserve(row_buffer->size() + prev->size());
+          row_buffer->AppendAll(*prev);
+        }
+        inputs.clear();
+      }
+      row_buffer->AppendRawBatch(batch.data(), batch.size());
+    }
+    MODULARIS_RETURN_NOT_OK(child(0)->status());
+    if (row_buffer != nullptr) inputs.push_back(std::move(row_buffer));
+  } else {
     Tuple t;
     while (child(0)->Next(&t)) {
       const Item& item = t[0];

@@ -288,15 +288,28 @@ void ReduceByKey::Accumulate(const RowRef& row) {
   UpdateState(StateFor(row), row);
 }
 
-void ReduceByKey::AccumulateBulk(const RowVector& rows) {
-  const size_t n = rows.size();
-  for (size_t i = 0; i < n; ++i) {
-    Accumulate(rows.row(i));
+void ReduceByKey::AccumulateSpan(const uint8_t* rows, size_t n,
+                                 const Schema& schema) {
+  const uint32_t stride = schema.row_size();
+  for (size_t i = 0; i < n; ++i, rows += stride) {
+    Accumulate(RowRef(rows, &schema));
   }
 }
 
+void ReduceByKey::AccumulateBulk(const RowVector& rows) {
+  AccumulateSpan(rows.data(), rows.size(), rows.schema());
+}
+
 Status ReduceByKey::ConsumeAll() {
-  ScopedTimer timer(ctx_->stats, timer_key_);
+  timer_.Bind(ctx_->stats, timer_key_);
+  ScopedPhase phase(&timer_);
+  if (ctx_->options.enable_vectorized) {
+    RowBatch batch;
+    while (child(0)->NextBatch(&batch)) {
+      AccumulateSpan(batch.data(), batch.size(), batch.schema());
+    }
+    return child(0)->status();
+  }
   Tuple t;
   while (child(0)->Next(&t)) {
     const Item& item = t[0];
@@ -392,18 +405,25 @@ Status SortOp::Open(ExecContext* ctx) {
 }
 
 Status SortOp::ConsumeAndSort(size_t limit) {
-  ScopedTimer timer(ctx_->stats, timer_key_);
+  timer_.Bind(ctx_->stats, timer_key_);
+  ScopedPhase phase(&timer_);
   rows_ = RowVector::Make(schema_);
-  Tuple t;
-  while (child(0)->Next(&t)) {
-    const Item& item = t[0];
-    if (item.is_collection()) {
-      rows_->AppendAll(*item.collection());
-    } else if (item.is_row()) {
-      rows_->AppendRaw(item.row().data());
-    } else {
-      return Status::InvalidArgument(
-          "Sort expects rows or collections, got " + item.ToString());
+  if (ctx_->options.enable_vectorized) {
+    // Sort only permutes an index array, so a single durable
+    // whole-collection input can be adopted without copying.
+    MODULARIS_RETURN_NOT_OK(DrainRecordStreamInto(child(0), &rows_));
+  } else {
+    Tuple t;
+    while (child(0)->Next(&t)) {
+      const Item& item = t[0];
+      if (item.is_collection()) {
+        rows_->AppendAll(*item.collection());
+      } else if (item.is_row()) {
+        rows_->AppendRaw(item.row().data());
+      } else {
+        return Status::InvalidArgument(
+            "Sort expects rows or collections, got " + item.ToString());
+      }
     }
   }
   MODULARIS_RETURN_NOT_OK(child(0)->status());

@@ -61,11 +61,13 @@ class ReduceByKey : public SubOperator {
 
   Status Open(ExecContext* ctx) override;
   bool Next(Tuple* out) override;
+  bool ProducesRecordStream() const override { return true; }
 
  private:
   Status ConsumeAll();
   void Accumulate(const RowRef& row);
   void AccumulateBulk(const RowVector& rows);
+  void AccumulateSpan(const uint8_t* rows, size_t n, const Schema& schema);
   uint32_t StateFor(const RowRef& row);
   void InitState(uint32_t state, const RowRef& row);
   void UpdateState(uint32_t state, const RowRef& row);
@@ -75,6 +77,7 @@ class ReduceByKey : public SubOperator {
   Schema in_schema_;
   Schema out_schema_;
   std::string timer_key_;
+  PhaseTimer timer_;
 
   // Compiled update plan (set up at Open).
   struct AggSlot {
@@ -127,6 +130,7 @@ class Reduce : public SubOperator {
 
   Status Open(ExecContext* ctx) override;
   bool Next(Tuple* out) override;
+  bool ProducesRecordStream() const override { return true; }
   Status Close() override { return inner_.Close(); }
 
  private:
@@ -159,6 +163,7 @@ class SortOp : public SubOperator {
 
   Status Open(ExecContext* ctx) override;
   bool Next(Tuple* out) override;
+  bool ProducesRecordStream() const override { return true; }
 
  protected:
   Status ConsumeAndSort(size_t limit);
@@ -166,6 +171,7 @@ class SortOp : public SubOperator {
   std::vector<SortKey> keys_;
   Schema schema_;
   std::string timer_key_;
+  PhaseTimer timer_;
   RowVectorPtr rows_;
   std::vector<uint32_t> order_;
   bool sorted_ = false;

@@ -15,29 +15,41 @@ Status NestedMap::Open(ExecContext* ctx) {
   return child(0)->Open(ctx);
 }
 
+bool NestedMap::AdvanceNested() {
+  if (nested_open_) {
+    if (!nested_->status().ok()) return Fail(nested_->status());
+    Status st = nested_->Close();
+    ctx_->PopParams();
+    nested_open_ = false;
+    if (!st.ok()) return Fail(st);
+  }
+  Tuple t;
+  if (!child(0)->Next(&t)) return ChildEnd(child(0));
+  // The input tuple must outlive the whole nested execution; borrowed
+  // rows are copied into this operator's arena.
+  arena_.clear();
+  current_input_ = OwnTuple(t, &arena_);
+  ctx_->PushParams(&current_input_);
+  Status st = nested_->Open(ctx_);
+  if (!st.ok()) {
+    ctx_->PopParams();
+    return Fail(st);
+  }
+  nested_open_ = true;
+  return true;
+}
+
 bool NestedMap::Next(Tuple* out) {
   while (true) {
-    if (nested_open_) {
-      if (nested_->Next(out)) return true;
-      if (!nested_->status().ok()) return Fail(nested_->status());
-      Status st = nested_->Close();
-      ctx_->PopParams();
-      nested_open_ = false;
-      if (!st.ok()) return Fail(st);
-    }
-    Tuple t;
-    if (!child(0)->Next(&t)) return ChildEnd(child(0));
-    // The input tuple must outlive the whole nested execution; borrowed
-    // rows are copied into this operator's arena.
-    arena_.clear();
-    current_input_ = OwnTuple(t, &arena_);
-    ctx_->PushParams(&current_input_);
-    Status st = nested_->Open(ctx_);
-    if (!st.ok()) {
-      ctx_->PopParams();
-      return Fail(st);
-    }
-    nested_open_ = true;
+    if (nested_open_ && nested_->Next(out)) return true;
+    if (!AdvanceNested()) return false;
+  }
+}
+
+bool NestedMap::NextBatch(RowBatch* out) {
+  while (true) {
+    if (nested_open_ && nested_->NextBatch(out)) return true;
+    if (!AdvanceNested()) return false;
   }
 }
 
@@ -50,6 +62,46 @@ Status NestedMap::Close() {
   }
   Status cst = child(0)->Close();
   return st.ok() ? cst : st;
+}
+
+// ---------------------------------------------------------------------------
+// Filter
+// ---------------------------------------------------------------------------
+
+bool Filter::NextBatch(RowBatch* out) {
+  // Multi-item streams (row_item != 0) cannot batch; the adapter
+  // reports the arity error a batch consumer would hit anyway.
+  if (row_item_ != 0) return SubOperator::NextBatch(out);
+  out->Clear();
+  while (child(0)->NextBatch(&in_batch_)) {
+    const size_t n = in_batch_.size();
+    if (n == 0) continue;
+    // Leading all-pass run: if the whole batch passes, forward it
+    // zero-copy without touching any row bytes.
+    size_t i = 0;
+    while (i < n && predicate_->EvalBool(in_batch_.row(i))) ++i;
+    if (i == n) {
+      out->BorrowFrom(in_batch_);
+      return true;
+    }
+    if (out_rows_ == nullptr ||
+        !out_rows_->schema().Equals(in_batch_.schema())) {
+      out_rows_ = RowVector::Make(in_batch_.schema());
+    } else {
+      out_rows_->Clear();
+    }
+    out_rows_->Reserve(n);
+    if (i > 0) out_rows_->AppendRawBatch(in_batch_.data(), i);
+    for (++i; i < n; ++i) {
+      if (predicate_->EvalBool(in_batch_.row(i))) {
+        out_rows_->AppendRaw(in_batch_.row(i).data());
+      }
+    }
+    if (out_rows_->empty()) continue;
+    out->Borrow(out_rows_);
+    return true;
+  }
+  return ChildEnd(child(0));
 }
 
 // ---------------------------------------------------------------------------
@@ -106,6 +158,28 @@ bool MapOp::Next(Tuple* out) {
   out->clear();
   out->push_back(Item(scratch_->row(0)));
   return true;
+}
+
+bool MapOp::NextBatch(RowBatch* out) {
+  if (row_item_ != 0) return SubOperator::NextBatch(out);
+  out->Clear();
+  while (child(0)->NextBatch(&in_batch_)) {
+    const size_t n = in_batch_.size();
+    if (n == 0) continue;
+    if (out_rows_ == nullptr) {
+      out_rows_ = RowVector::Make(out_schema_);
+    } else {
+      out_rows_->Clear();
+    }
+    out_rows_->Reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      RowWriter w = out_rows_->AppendRow();
+      WriteOutput(in_batch_.row(i), &w);
+    }
+    out->Borrow(out_rows_);
+    return true;
+  }
+  return ChildEnd(child(0));
 }
 
 // ---------------------------------------------------------------------------
@@ -165,6 +239,42 @@ bool ParametrizedMap::Next(Tuple* out) {
     out->push_back(Item(scratch_->row(0)));
     return true;
   }
+}
+
+bool ParametrizedMap::NextBatch(RowBatch* out) {
+  // Bulk-only form: the default adapter forwards the bulk_fn_ collection
+  // outputs of Next() zero-copy.
+  if (fn_ == nullptr) return SubOperator::NextBatch(out);
+  out->Clear();
+  auto transform = [this](const uint8_t* base, size_t n,
+                          const Schema& schema) {
+    if (out_rows_ == nullptr) {
+      out_rows_ = RowVector::Make(out_schema_);
+    } else {
+      out_rows_->Clear();
+    }
+    out_rows_->Reserve(n);
+    const uint32_t stride = schema.row_size();
+    for (size_t i = 0; i < n; ++i, base += stride) {
+      RowWriter w = out_rows_->AppendRow();
+      fn_(param_, RowRef(base, &schema), &w);
+    }
+  };
+  // Flush rows of a collection partially consumed through Next().
+  if (bulk_ != nullptr && bulk_pos_ < bulk_->size()) {
+    transform(bulk_->data() + bulk_pos_ * bulk_->row_size(),
+              bulk_->size() - bulk_pos_, bulk_->schema());
+    bulk_pos_ = bulk_->size();
+    out->Borrow(out_rows_);
+    return true;
+  }
+  while (child(1)->NextBatch(&in_batch_)) {
+    if (in_batch_.empty()) continue;
+    transform(in_batch_.data(), in_batch_.size(), in_batch_.schema());
+    out->Borrow(out_rows_);
+    return true;
+  }
+  return ChildEnd(child(1));
 }
 
 // ---------------------------------------------------------------------------

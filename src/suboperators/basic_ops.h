@@ -59,11 +59,22 @@ class NestedMap : public SubOperator {
 
   Status Open(ExecContext* ctx) override;
   bool Next(Tuple* out) override;
+  /// Streams whatever the nested plan streams.
+  bool ProducesRecordStream() const override {
+    return nested_->ProducesRecordStream();
+  }
+  /// Batch path: forwards the nested plan's batches (the nested plan
+  /// re-opens per input tuple exactly as in Next()).
+  bool NextBatch(RowBatch* out) override;
   Status Close() override;
 
   SubOperator* nested_plan() const { return nested_.get(); }
 
  private:
+  /// Closes the finished nested execution and opens the next one; false
+  /// at end of input or on error.
+  bool AdvanceNested();
+
   SubOpPtr nested_;
   Tuple current_input_;
   std::vector<RowVectorPtr> arena_;
@@ -113,11 +124,20 @@ class Filter : public SubOperator {
     return ChildEnd(child(0));
   }
 
+  /// Only the common row_item == 0 form is a plain record stream.
+  bool ProducesRecordStream() const override { return row_item_ == 0; }
+
+  /// Batch path: evaluates the predicate over a whole input batch and
+  /// compacts the selected rows; an all-pass batch is forwarded zero-copy.
+  bool NextBatch(RowBatch* out) override;
+
   const ExprPtr& predicate() const { return predicate_; }
 
  private:
   ExprPtr predicate_;
   int row_item_;
+  RowBatch in_batch_;
+  RowVectorPtr out_rows_;
 };
 
 /// One output column of a Map: either a passthrough of an input column or
@@ -152,6 +172,10 @@ class MapOp : public SubOperator {
   }
 
   bool Next(Tuple* out) override;
+  /// Only the common row_item == 0 form is a plain record stream.
+  bool ProducesRecordStream() const override { return row_item_ == 0; }
+  /// Batch path: transforms a whole input batch into an output batch.
+  bool NextBatch(RowBatch* out) override;
 
  private:
   void WriteOutput(const RowRef& in, RowWriter* w);
@@ -160,6 +184,8 @@ class MapOp : public SubOperator {
   std::vector<MapOutput> outputs_;
   int row_item_;
   RowVectorPtr scratch_;
+  RowBatch in_batch_;
+  RowVectorPtr out_rows_;
 };
 
 /// ParametrizedMap transforms each record of its data upstream with a
@@ -197,6 +223,12 @@ class ParametrizedMap : public SubOperator {
 
   Status Open(ExecContext* ctx) override;
   bool Next(Tuple* out) override;
+  /// Record form yields records; the bulk form yields collections.
+  bool ProducesRecordStream() const override { return fn_ != nullptr; }
+  /// Batch path (record form only): applies `fn` over whole input
+  /// batches. The bulk form falls back to the default adapter, which
+  /// forwards its collection outputs zero-copy.
+  bool NextBatch(RowBatch* out) override;
 
  private:
   Schema out_schema_;
@@ -208,6 +240,8 @@ class ParametrizedMap : public SubOperator {
   // Bulk path (fused plans feed whole collections).
   RowVectorPtr bulk_;
   size_t bulk_pos_ = 0;
+  RowBatch in_batch_;
+  RowVectorPtr out_rows_;
 };
 
 /// Zip combines the i-th tuples of its two upstreams into one tuple

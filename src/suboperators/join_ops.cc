@@ -57,6 +57,40 @@ uint32_t JoinHashTable::Find(int64_t key) const {
   return kNone;
 }
 
+namespace {
+/// Prefetch distance for the batched bucket walks: far enough to cover
+/// a memory round trip, near enough to stay in the L1 prefetch window.
+constexpr size_t kProbeAhead = 16;
+}  // namespace
+
+void JoinHashTable::InsertBatch(const int64_t* keys, size_t n,
+                                uint32_t first_row) {
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kProbeAhead < n && !buckets_.empty()) {
+      size_t s =
+          MixHash64(static_cast<uint64_t>(keys[i + kProbeAhead])) & mask_;
+      __builtin_prefetch(&buckets_[s], 1);
+    }
+    Insert(keys[i], first_row + static_cast<uint32_t>(i));
+  }
+}
+
+void JoinHashTable::FindBatch(const int64_t* keys, size_t n,
+                              uint32_t* out) const {
+  if (buckets_.empty()) {
+    for (size_t i = 0; i < n; ++i) out[i] = kNone;
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    if (i + kProbeAhead < n) {
+      size_t s =
+          MixHash64(static_cast<uint64_t>(keys[i + kProbeAhead])) & mask_;
+      __builtin_prefetch(&buckets_[s], 0);
+    }
+    out[i] = Find(keys[i]);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // BuildProbe
 // ---------------------------------------------------------------------------
@@ -80,9 +114,52 @@ uint32_t FieldBytes(const Field& f) {
 void MakeCopyPlan(const Schema& src, const Schema& dst, size_t dst_start,
                   std::vector<FieldCopy>* plan) {
   for (size_t i = 0; i < src.num_fields(); ++i) {
-    plan->push_back(FieldCopy{src.offset(i),
-                              dst.offset(dst_start + i),
-                              FieldBytes(src.field(i))});
+    FieldCopy next{src.offset(i), dst.offset(dst_start + i),
+                   FieldBytes(src.field(i))};
+    // Coalesce byte-adjacent copies (packed layouts without alignment
+    // gaps collapse into one memcpy per side).
+    if (!plan->empty()) {
+      FieldCopy& prev = plan->back();
+      if (prev.src_offset + prev.bytes == next.src_offset &&
+          prev.dst_offset + prev.bytes == next.dst_offset) {
+        prev.bytes += next.bytes;
+        continue;
+      }
+    }
+    plan->push_back(next);
+  }
+}
+
+/// Extracts the (arithmetically right-shifted) i64 join keys of `n`
+/// packed rows into `out`, with the key layout hoisted out of the loop.
+void ExtractShiftedKeys(const uint8_t* rows, size_t n, const Schema& schema,
+                        int key_col, int shift, int64_t* out) {
+  const uint32_t key_off = schema.offset(key_col);
+  const bool wide = schema.field(key_col).type == AtomType::kInt64;
+  const uint32_t stride = schema.row_size();
+  for (size_t i = 0; i < n; ++i, rows += stride) {
+    int64_t key;
+    if (wide) {
+      std::memcpy(&key, rows + key_off, sizeof(key));
+    } else {
+      int32_t k32;
+      std::memcpy(&k32, rows + key_off, sizeof(k32));
+      key = k32;
+    }
+    out[i] = key >> shift;
+  }
+}
+
+/// memcpy with a fixed-size fast path: the copy plans are dominated by
+/// 8/16/24/32-byte runs, and a constant-size memcpy inlines to plain
+/// register moves instead of a libc memmove call.
+inline void CopyRun(uint8_t* dst, const uint8_t* src, uint32_t bytes) {
+  switch (bytes) {
+    case 8: std::memcpy(dst, src, 8); break;
+    case 16: std::memcpy(dst, src, 16); break;
+    case 24: std::memcpy(dst, src, 24); break;
+    case 32: std::memcpy(dst, src, 32); break;
+    default: std::memcpy(dst, src, bytes); break;
   }
 }
 
@@ -106,32 +183,129 @@ Status BuildProbe::Open(ExecContext* ctx) {
     MakeCopyPlan(build_schema_, out_schema_, 0, &build_copies_);
     MakeCopyPlan(probe_schema_, out_schema_, build_schema_.num_fields(),
                  &probe_copies_);
+    // The staging emit path overwrites whole rows; it is only valid when
+    // the copy plans cover every output byte (no alignment gaps that the
+    // zeroed-scratch path would have kept at zero).
+    size_t covered = 0;
+    for (const FieldCopy& c : build_copies_) covered += c.bytes;
+    for (const FieldCopy& c : probe_copies_) covered += c.bytes;
+    gapless_out_ = covered == out_schema_.row_size();
+  } else {
+    gapless_out_ = false;
   }
   return Status::OK();
 }
 
 Status BuildProbe::BuildTable() {
-  ScopedTimer timer(ctx_->stats, timer_key_);
-  Tuple t;
-  while (child(0)->Next(&t)) {
-    const Item& item = t[0];
-    if (item.is_collection()) {
-      build_rows_->AppendAll(*item.collection());
-    } else if (item.is_row()) {
-      build_rows_->AppendRaw(item.row().data());
+  timer_.Bind(ctx_->stats, timer_key_);
+  ScopedPhase phase(&timer_);
+  if (ctx_->options.enable_vectorized) {
+    // Bulk build: adopt a single durable whole-collection batch without
+    // copying (the common case: the build side is one partition);
+    // otherwise one memcpy per batch into the build buffer.
+    MODULARIS_RETURN_NOT_OK(DrainRecordStreamInto(child(0), &build_rows_));
+  } else {
+    Tuple t;
+    while (child(0)->Next(&t)) {
+      const Item& item = t[0];
+      if (item.is_collection()) {
+        build_rows_->AppendAll(*item.collection());
+      } else if (item.is_row()) {
+        build_rows_->AppendRaw(item.row().data());
+      } else {
+        return Status::InvalidArgument(
+            "BuildProbe expects rows or collections on the build side, got " +
+            item.ToString());
+      }
+    }
+    MODULARIS_RETURN_NOT_OK(child(0)->status());
+  }
+  table_.Reserve(build_rows_->size());
+  // Bulk insert: extract the (shifted) keys from the packed bytes with a
+  // hoisted layout, then load the table with bucket prefetching.
+  const size_t n = build_rows_->size();
+  key_scratch_.resize(n);
+  ExtractShiftedKeys(build_rows_->data(), n, build_schema_, build_key_col_,
+                     key_shift_, key_scratch_.data());
+  table_.InsertBatch(key_scratch_.data(), n, 0);
+  return Status::OK();
+}
+
+void BuildProbe::EmitInnerInto(uint32_t entry, const uint8_t* probe_row,
+                               RowVector* sink) {
+  // Assemble in the zero-initialized scratch row (alignment gaps stay
+  // zero, matching the row-at-a-time path byte for byte), then append
+  // with one packed copy — no per-row zero-fill in the sink.
+  uint8_t* dst = scratch_->mutable_row(0);
+  const uint8_t* bsrc = build_rows_->row(table_.RowOf(entry)).data();
+  for (const FieldCopy& c : build_copies_) {
+    std::memcpy(dst + c.dst_offset, bsrc + c.src_offset, c.bytes);
+  }
+  for (const FieldCopy& c : probe_copies_) {
+    std::memcpy(dst + c.dst_offset, probe_row + c.src_offset, c.bytes);
+  }
+  sink->AppendRaw(dst);
+}
+
+void BuildProbe::ProbeSpanInto(const uint8_t* base, size_t n,
+                               RowVector* sink) {
+  const uint32_t stride = probe_schema_.row_size();
+  // Pass 1: extract shifted keys; pass 2: prefetched bulk lookup;
+  // pass 3: emit matches (prefetching the matched build rows ahead).
+  key_scratch_.resize(n);
+  match_scratch_.resize(n);
+  ExtractShiftedKeys(base, n, probe_schema_, probe_key_col_, key_shift_,
+                     key_scratch_.data());
+  table_.FindBatch(key_scratch_.data(), n, match_scratch_.data());
+  if (type_ == JoinType::kInner && gapless_out_) {
+    // Direct emission: assemble rows with raw pointer arithmetic into
+    // uninitialized chunks of the sink — no per-row append bookkeeping,
+    // no staging copy (valid because the copy plans cover every output
+    // byte).
+    const uint32_t out_row = out_schema_.row_size();
+    constexpr size_t kChunkRows = 512;
+    uint8_t* dst = sink->AppendUninitialized(kChunkRows);
+    size_t chunk_used = 0;
+    for (size_t i = 0; i < n; ++i, base += stride) {
+      uint32_t e = match_scratch_[i];
+      if (e == JoinHashTable::kNone) continue;
+      if (i + 4 < n && match_scratch_[i + 4] != JoinHashTable::kNone) {
+        __builtin_prefetch(
+            build_rows_->row(table_.RowOf(match_scratch_[i + 4])).data(), 0);
+      }
+      for (; e != JoinHashTable::kNone; e = table_.NextMatch(e)) {
+        const uint8_t* bsrc = build_rows_->row(table_.RowOf(e)).data();
+        for (const FieldCopy& c : build_copies_) {
+          CopyRun(dst + c.dst_offset, bsrc + c.src_offset, c.bytes);
+        }
+        for (const FieldCopy& c : probe_copies_) {
+          CopyRun(dst + c.dst_offset, base + c.src_offset, c.bytes);
+        }
+        dst += out_row;
+        if (++chunk_used == kChunkRows) {
+          dst = sink->AppendUninitialized(kChunkRows);
+          chunk_used = 0;
+        }
+      }
+    }
+    sink->TruncateRows(kChunkRows - chunk_used);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i, base += stride) {
+    uint32_t e = match_scratch_[i];
+    if (type_ == JoinType::kInner) {
+      if (i + 4 < n && match_scratch_[i + 4] != JoinHashTable::kNone) {
+        __builtin_prefetch(
+            build_rows_->row(table_.RowOf(match_scratch_[i + 4])).data(), 0);
+      }
+      for (; e != JoinHashTable::kNone; e = table_.NextMatch(e)) {
+        EmitInnerInto(e, base, sink);
+      }
     } else {
-      return Status::InvalidArgument(
-          "BuildProbe expects rows or collections on the build side, got " +
-          item.ToString());
+      bool matched = e != JoinHashTable::kNone;
+      if ((type_ == JoinType::kSemi) == matched) sink->AppendRaw(base);
     }
   }
-  MODULARIS_RETURN_NOT_OK(child(0)->status());
-  table_.Reserve(build_rows_->size());
-  for (size_t i = 0; i < build_rows_->size(); ++i) {
-    table_.Insert(KeyAt(build_rows_->row(i), build_key_col_) >> key_shift_,
-                  static_cast<uint32_t>(i));
-  }
-  return Status::OK();
 }
 
 void BuildProbe::EmitInner(uint32_t entry, const RowRef& probe_row,
@@ -147,6 +321,65 @@ void BuildProbe::EmitInner(uint32_t entry, const RowRef& probe_row,
   }
   out->clear();
   out->push_back(Item(scratch_->row(0)));
+}
+
+bool BuildProbe::NextBatch(RowBatch* out) {
+  if (!built_) {
+    Status st = BuildTable();
+    if (!st.ok()) return Fail(st);
+    built_ = true;
+  }
+  out->Clear();
+  if (out_rows_ == nullptr) {
+    out_rows_ = RowVector::Make(out_schema_);
+  } else {
+    out_rows_->Clear();
+  }
+
+  // Flush probe state a prior Next() left behind: finish the in-flight
+  // duplicate-match chain, then the rest of the current probe unit.
+  if (have_probe_row_) {
+    RowRef row = CurrentProbeRow();
+    if (in_match_chain_) {
+      for (uint32_t e = match_entry_; e != JoinHashTable::kNone;
+           e = table_.NextMatch(e)) {
+        EmitInnerInto(e, row.data(), out_rows_.get());
+      }
+      in_match_chain_ = false;
+      match_entry_ = JoinHashTable::kNone;
+      AdvanceProbe();
+    }
+    if (have_probe_row_) {
+      if (bulk_probe_) {
+        ProbeSpanInto(probe_bulk_->data() +
+                          probe_bulk_pos_ * probe_bulk_->row_size(),
+                      probe_bulk_->size() - probe_bulk_pos_,
+                      out_rows_.get());
+        probe_bulk_pos_ = probe_bulk_->size();
+      } else {
+        ProbeSpanInto(CurrentProbeRow().data(), 1, out_rows_.get());
+      }
+      have_probe_row_ = false;
+    }
+    if (!out_rows_->empty()) {
+      // Hand the whole output vector to the consumer (it may adopt it
+      // zero-copy); allocate fresh on the next call.
+      out->Borrow(std::move(out_rows_));
+      out->MarkReleased();
+      return true;
+    }
+  }
+
+  while (child(1)->NextBatch(&probe_in_)) {
+    if (probe_in_.empty()) continue;
+    out_rows_->Reserve(probe_in_.size());
+    ProbeSpanInto(probe_in_.data(), probe_in_.size(), out_rows_.get());
+    if (out_rows_->empty()) continue;  // no matches in this batch
+    out->Borrow(std::move(out_rows_));
+    out->MarkReleased();
+    return true;
+  }
+  return ChildEnd(child(1));
 }
 
 bool BuildProbe::Next(Tuple* out) {

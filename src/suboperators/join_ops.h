@@ -29,8 +29,15 @@ class JoinHashTable {
 
   void Reserve(size_t rows);
   void Insert(int64_t key, uint32_t row_index);
+  /// Bulk insert of `n` keys for consecutive row indices starting at
+  /// `first_row`, with software prefetching of the target buckets (the
+  /// cache-miss latency of the random bucket walk is hidden behind the
+  /// packed key stream — only a batched caller can do this).
+  void InsertBatch(const int64_t* keys, size_t n, uint32_t first_row);
   /// First entry matching `key`, or kNone.
   uint32_t Find(int64_t key) const;
+  /// Bulk lookup with software prefetching; out[i] = Find(keys[i]).
+  void FindBatch(const int64_t* keys, size_t n, uint32_t* out) const;
   /// Next entry with the same key, or kNone.
   uint32_t NextMatch(uint32_t entry) const { return entries_[entry].next; }
   uint32_t RowOf(uint32_t entry) const { return entries_[entry].row; }
@@ -94,6 +101,11 @@ class BuildProbe : public SubOperator {
 
   Status Open(ExecContext* ctx) override;
   bool Next(Tuple* out) override;
+  bool ProducesRecordStream() const override { return true; }
+  /// Batch path: probes a whole input batch per call, emitting all
+  /// matches (concatenated via the FieldCopy plans) into one output
+  /// batch. Flushes any probe state a prior Next() left behind first.
+  bool NextBatch(RowBatch* out) override;
 
   const Schema& out_schema() const { return out_schema_; }
 
@@ -101,6 +113,11 @@ class BuildProbe : public SubOperator {
   Status BuildTable();
   /// Emits the concatenated row for (build entry, current probe row).
   void EmitInner(uint32_t entry, const RowRef& probe_row, Tuple* out);
+  /// Assembles the concatenated ⟨build, probe⟩ row into `sink`.
+  void EmitInnerInto(uint32_t entry, const uint8_t* probe_row,
+                     RowVector* sink);
+  /// Probes `n` packed rows starting at `base`, appending results.
+  void ProbeSpanInto(const uint8_t* base, size_t n, RowVector* sink);
 
   /// The probe cursor: the row currently being probed, from either a bulk
   /// collection or a streamed record tuple.
@@ -125,6 +142,7 @@ class BuildProbe : public SubOperator {
   int key_shift_;
   JoinType type_;
   std::string timer_key_;
+  PhaseTimer timer_;
 
   std::vector<FieldCopy> build_copies_;
   std::vector<FieldCopy> probe_copies_;
@@ -132,6 +150,13 @@ class BuildProbe : public SubOperator {
   JoinHashTable table_;
   RowVectorPtr build_rows_;
   RowVectorPtr scratch_;
+  RowBatch probe_in_;
+  RowVectorPtr out_rows_;
+  std::vector<int64_t> key_scratch_;
+  std::vector<uint32_t> match_scratch_;
+  /// True when the inner-join copy plans cover every output byte, which
+  /// enables direct emission into uninitialized sink rows.
+  bool gapless_out_ = false;
   bool built_ = false;
 
   // Probe cursor state.

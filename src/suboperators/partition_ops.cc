@@ -33,27 +33,58 @@ KeyLayout KeyLayoutOf(const Schema& schema, int key_col) {
 
 }  // namespace
 
-void CountRows(const RowVector& rows, const RadixSpec& spec, int key_col,
-               int64_t* counts) {
-  const KeyLayout kl = KeyLayoutOf(rows.schema(), key_col);
-  const uint8_t* p = rows.data();
-  const uint32_t stride = rows.row_size();
-  const size_t n = rows.size();
+void CountSpan(const uint8_t* rows, size_t n, const Schema& schema,
+               const RadixSpec& spec, int key_col, int64_t* counts) {
+  const KeyLayout kl = KeyLayoutOf(schema, key_col);
+  const uint32_t stride = schema.row_size();
+  const uint8_t* p = rows;
   for (size_t i = 0; i < n; ++i, p += stride) {
     ++counts[spec.PartitionOf(LoadKey(p, kl.offset, kl.wide))];
   }
 }
 
-void ScatterRows(const RowVector& rows, const RadixSpec& spec, int key_col,
+void CountRows(const RowVector& rows, const RadixSpec& spec, int key_col,
+               int64_t* counts) {
+  CountSpan(rows.data(), rows.size(), rows.schema(), spec, key_col, counts);
+}
+
+void ScatterSpan(const uint8_t* rows, size_t n, const Schema& schema,
+                 const RadixSpec& spec, int key_col,
                  std::vector<RowVectorPtr>* parts) {
-  const KeyLayout kl = KeyLayoutOf(rows.schema(), key_col);
-  const uint8_t* p = rows.data();
-  const uint32_t stride = rows.row_size();
-  const size_t n = rows.size();
+  const KeyLayout kl = KeyLayoutOf(schema, key_col);
+  const uint32_t stride = schema.row_size();
+  const uint8_t* p = rows;
   for (size_t i = 0; i < n; ++i, p += stride) {
     uint32_t pid = spec.PartitionOf(LoadKey(p, kl.offset, kl.wide));
     (*parts)[pid]->AppendRaw(p);
   }
+}
+
+void ScatterRows(const RowVector& rows, const RadixSpec& spec, int key_col,
+                 std::vector<RowVectorPtr>* parts) {
+  ScatterSpan(rows.data(), rows.size(), rows.schema(), spec, key_col, parts);
+}
+
+Status ScatterSpanPresized(const uint8_t* rows, size_t n,
+                           const Schema& schema, const RadixSpec& spec,
+                           int key_col, std::vector<RowVectorPtr>* parts,
+                           std::vector<size_t>* cursors) {
+  const KeyLayout kl = KeyLayoutOf(schema, key_col);
+  const uint32_t stride = schema.row_size();
+  const uint8_t* p = rows;
+  for (size_t i = 0; i < n; ++i, p += stride) {
+    uint32_t pid = spec.PartitionOf(LoadKey(p, kl.offset, kl.wide));
+    size_t& cursor = (*cursors)[pid];
+    RowVector& part = *(*parts)[pid];
+    if (cursor >= part.size()) {
+      return Status::InvalidArgument(
+          "presized scatter: partition " + std::to_string(pid) +
+          " overflows its histogram count " + std::to_string(part.size()));
+    }
+    std::memcpy(part.mutable_row(cursor), p, stride);
+    ++cursor;
+  }
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------
@@ -63,8 +94,19 @@ void ScatterRows(const RowVector& rows, const RadixSpec& spec, int key_col,
 bool LocalHistogram::Next(Tuple* out) {
   if (done_) return false;
   std::vector<int64_t> counts(spec_.fanout(), 0);
-  {
-    ScopedTimer timer(ctx_->stats, timer_key_);
+  timer_.Bind(ctx_->stats, timer_key_);
+  if (ctx_->options.enable_vectorized) {
+    // Batched drain: every batch is counted in one packed loop,
+    // regardless of whether the upstream streams records or hands whole
+    // collections.
+    ScopedPhase phase(&timer_);
+    RowBatch batch;
+    while (child(0)->NextBatch(&batch)) {
+      CountSpan(batch.data(), batch.size(), batch.schema(), spec_, key_col_,
+                counts.data());
+    }
+  } else {
+    ScopedPhase phase(&timer_);
     Tuple t;
     while (child(0)->Next(&t)) {
       const Item& item = t[0];
@@ -95,6 +137,49 @@ bool LocalHistogram::Next(Tuple* out) {
 // LocalPartition
 // ---------------------------------------------------------------------------
 
+Status LocalPartition::PartitionAllVectorized(const RowVector& hist) {
+  ScopedPhase phase(&timer_);
+  std::vector<size_t> cursors;
+  bool have_schema = false;
+  RowBatch batch;
+  while (child(0)->NextBatch(&batch)) {
+    if (batch.empty()) continue;
+    if (!have_schema) {
+      have_schema = true;
+      // Exact allocation per partition from the histogram prefix counts;
+      // the scatter overwrites every row with a full-stride copy (the
+      // cursor check below guarantees full coverage), so the rows need
+      // no zero-fill.
+      for (int p = 0; p < spec_.fanout(); ++p) {
+        RowVectorPtr part = RowVector::Make(batch.schema());
+        part->ResizeRowsUninitialized(
+            static_cast<size_t>(hist.row(p).GetInt64(0)));
+        parts_.push_back(std::move(part));
+      }
+      cursors.assign(spec_.fanout(), 0);
+    }
+    MODULARIS_RETURN_NOT_OK(ScatterSpanPresized(batch.data(), batch.size(),
+                                                batch.schema(), spec_,
+                                                key_col_, &parts_, &cursors));
+  }
+  MODULARIS_RETURN_NOT_OK(child(0)->status());
+  if (!have_schema) {
+    for (int p = 0; p < spec_.fanout(); ++p) {
+      parts_.push_back(RowVector::Make(KeyValueSchema()));
+    }
+    return Status::OK();
+  }
+  for (int p = 0; p < spec_.fanout(); ++p) {
+    if (cursors[p] != parts_[p]->size()) {
+      return Status::InvalidArgument(
+          "LocalPartition: histogram count " +
+          std::to_string(parts_[p]->size()) + " != scattered rows " +
+          std::to_string(cursors[p]) + " for partition " + std::to_string(p));
+    }
+  }
+  return Status::OK();
+}
+
 Status LocalPartition::PartitionAll() {
   // Read the histogram to pre-size the output partitions exactly (the
   // radix-partitioning discipline of [58, 63] that makes the scatter a
@@ -111,8 +196,13 @@ Status LocalPartition::PartitionAll() {
         " != fanout " + std::to_string(spec_.fanout()));
   }
 
-  ScopedTimer timer(ctx_->stats, timer_key_);
+  timer_.Bind(ctx_->stats, timer_key_);
   parts_.reserve(spec_.fanout());
+  if (ctx_->options.enable_vectorized) {
+    return PartitionAllVectorized(*hist);
+  }
+
+  ScopedPhase phase(&timer_);
   Schema data_schema;
   bool have_schema = false;
 
@@ -183,8 +273,8 @@ bool LocalPartition::Next(Tuple* out) {
 
 bool PartitionOp::Next(Tuple* out) {
   if (!partitioned_) {
-    ScopedTimer timer(ctx_->stats, timer_key_);
-    Tuple t;
+    timer_.Bind(ctx_->stats, timer_key_);
+    ScopedPhase phase(&timer_);
     bool have_parts = false;
     auto ensure_parts = [&](const Schema& schema) {
       if (have_parts) return;
@@ -193,18 +283,30 @@ bool PartitionOp::Next(Tuple* out) {
       }
       have_parts = true;
     };
-    while (child(0)->Next(&t)) {
-      const Item& item = t[0];
-      if (item.is_collection()) {
-        ensure_parts(item.collection()->schema());
-        ScatterRows(*item.collection(), spec_, key_col_, &parts_);
-      } else if (item.is_row()) {
-        ensure_parts(item.row().schema());
-        uint32_t pid = spec_.PartitionOf(KeyAt(item.row(), key_col_));
-        parts_[pid]->AppendRaw(item.row().data());
-      } else {
-        return Fail(Status::InvalidArgument(
-            "Partition expects rows or collections, got " + item.ToString()));
+    if (ctx_->options.enable_vectorized) {
+      RowBatch batch;
+      while (child(0)->NextBatch(&batch)) {
+        if (batch.empty()) continue;
+        ensure_parts(batch.schema());
+        ScatterSpan(batch.data(), batch.size(), batch.schema(), spec_,
+                    key_col_, &parts_);
+      }
+    } else {
+      Tuple t;
+      while (child(0)->Next(&t)) {
+        const Item& item = t[0];
+        if (item.is_collection()) {
+          ensure_parts(item.collection()->schema());
+          ScatterRows(*item.collection(), spec_, key_col_, &parts_);
+        } else if (item.is_row()) {
+          ensure_parts(item.row().schema());
+          uint32_t pid = spec_.PartitionOf(KeyAt(item.row(), key_col_));
+          parts_[pid]->AppendRaw(item.row().data());
+        } else {
+          return Fail(Status::InvalidArgument(
+              "Partition expects rows or collections, got " +
+              item.ToString()));
+        }
       }
     }
     if (!child(0)->status().ok()) return Fail(child(0)->status());

@@ -47,6 +47,7 @@ class LocalHistogram : public SubOperator {
   RadixSpec spec_;
   int key_col_;
   std::string timer_key_;
+  PhaseTimer timer_;
   bool done_ = false;
 };
 
@@ -79,10 +80,15 @@ class LocalPartition : public SubOperator {
 
  private:
   Status PartitionAll();
+  /// Vectorized variant: partitions are sized exactly from the histogram
+  /// up front (ResizeRows) and rows land at histogram prefix offsets in
+  /// one streaming pass — no per-row append bookkeeping.
+  Status PartitionAllVectorized(const RowVector& hist);
 
   RadixSpec spec_;
   int key_col_;
   std::string timer_key_;
+  PhaseTimer timer_;
   bool partitioned_ = false;
   size_t emit_pos_ = 0;
   std::vector<RowVectorPtr> parts_;
@@ -115,6 +121,7 @@ class PartitionOp : public SubOperator {
   RadixSpec spec_;
   int key_col_;
   std::string timer_key_;
+  PhaseTimer timer_;
   bool partitioned_ = false;
   size_t emit_pos_ = 0;
   std::vector<RowVectorPtr> parts_;
@@ -124,11 +131,27 @@ class PartitionOp : public SubOperator {
 /// `parts[PartitionOf(key)]`. Key must be an i64/i32/date column.
 void ScatterRows(const RowVector& rows, const RadixSpec& spec, int key_col,
                  std::vector<RowVectorPtr>* parts);
+/// Span form of ScatterRows (batch inputs).
+void ScatterSpan(const uint8_t* rows, size_t n, const Schema& schema,
+                 const RadixSpec& spec, int key_col,
+                 std::vector<RowVectorPtr>* parts);
+
+/// Pre-sized scatter: writes each record of the span at
+/// `parts[pid]->mutable_row(cursors[pid]++)`. Partitions must already be
+/// ResizeRows'd to their exact histogram counts; returns
+/// InvalidArgument if a partition overflows (histogram/data mismatch).
+Status ScatterSpanPresized(const uint8_t* rows, size_t n,
+                           const Schema& schema, const RadixSpec& spec,
+                           int key_col, std::vector<RowVectorPtr>* parts,
+                           std::vector<size_t>* cursors);
 
 /// Shared count routine: adds per-partition record counts of `rows` into
 /// `counts` (size must be spec.fanout()).
 void CountRows(const RowVector& rows, const RadixSpec& spec, int key_col,
                int64_t* counts);
+/// Span form of CountRows (batch inputs).
+void CountSpan(const uint8_t* rows, size_t n, const Schema& schema,
+               const RadixSpec& spec, int key_col, int64_t* counts);
 
 /// Extracts the i64 key (i32/date widened) at `key_col` of a packed row.
 inline int64_t KeyAt(const RowRef& row, int key_col) {

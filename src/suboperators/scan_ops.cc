@@ -5,8 +5,33 @@ namespace modularis {
 bool MaterializeRowVector::Next(Tuple* out) {
   if (done_) return false;
   RowVectorPtr result = RowVector::Make(schema_);
+  // Vectorized drain when the upstream declares a record stream: batches
+  // land with one bulk memcpy each, and a released whole-vector batch
+  // (the common single-output-batch case of a nested BuildProbe) is
+  // adopted zero-copy. Streams that may carry atom tuples (driver-side
+  // result assembly) keep the row loop below.
+  if (ctx_->options.enable_vectorized && child(0)->ProducesRecordStream()) {
+    RowBatch batch;
+    while (child(0)->NextBatch(&batch)) {
+      if (result->empty() && batch.schema().Equals(schema_)) {
+        RowVectorPtr stolen = batch.TakeReleased();
+        if (stolen != nullptr) {
+          result = std::move(stolen);
+          continue;
+        }
+      }
+      if (result->empty()) result->Reserve(batch.size());
+      result->AppendRawBatch(batch.data(), batch.size());
+    }
+    if (!child(0)->status().ok()) return Fail(child(0)->status());
+    done_ = true;
+    out->clear();
+    out->push_back(Item(std::move(result)));
+    return true;
+  }
   Tuple t;
-  while (child(0)->Next(&t)) {
+  while (true) {
+    if (!child(0)->Next(&t)) break;
     if (t.size() == 1 && t[0].is_row()) {
       result->AppendRaw(t[0].row().data());
       continue;

@@ -97,6 +97,32 @@ class RowScan : public SubOperator {
     }
   }
 
+  bool ProducesRecordStream() const override { return true; }
+
+  /// Native batch path: each input collection is forwarded as one
+  /// zero-copy borrowed batch (the remainder of it, if Next() already
+  /// consumed a prefix).
+  bool NextBatch(RowBatch* out) override {
+    out->Clear();
+    while (true) {
+      if (current_ != nullptr && pos_ < current_->size()) {
+        out->BorrowRange(current_, pos_, current_->size() - pos_);
+        out->MarkDurable();  // upstream-owned collection, read-only
+        pos_ = current_->size();
+        return true;
+      }
+      Tuple t;
+      if (!child(0)->Next(&t)) return ChildEnd(child(0));
+      const Item& item = t[item_index_];
+      if (!item.is_collection()) {
+        return Fail(Status::InvalidArgument(
+            "RowScan expects a collection item, got " + item.ToString()));
+      }
+      current_ = item.collection();
+      pos_ = 0;
+    }
+  }
+
  private:
   int item_index_;
   RowVectorPtr current_;
@@ -124,6 +150,8 @@ class ColumnScan : public SubOperator {
     pos_ = 0;
     return SubOperator::Open(ctx);
   }
+
+  bool ProducesRecordStream() const override { return true; }
 
   bool Next(Tuple* out) override {
     while (true) {
