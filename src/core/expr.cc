@@ -1,6 +1,9 @@
 #include "core/expr.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <cstring>
+#include <string_view>
 #include <unordered_set>
 
 #include "core/types.h"
@@ -17,7 +20,115 @@ const char* AggKindName(AggKind kind) {
   return "?";
 }
 
+// ---------------------------------------------------------------------------
+// Batch evaluation: interpreted fallbacks
+// ---------------------------------------------------------------------------
+
+Status Expr::EvalBatch(const RowSpan& rows, const uint32_t* sel, size_t n,
+                       BatchColumn* out, BatchScratch* scratch) const {
+  (void)scratch;
+  out->Reset(BatchTag::kItem, n);
+  for (size_t i = 0; i < n; ++i) out->items[i] = Eval(rows.row(sel[i]));
+  return Status::OK();
+}
+
+Status Expr::FilterBatch(const RowSpan& rows, SelVector* sel,
+                         BatchScratch* scratch, bool checked) const {
+  if (sel->empty()) return Status::OK();
+  BatchColumn* v = scratch->AcquireColumn();
+  Status st = EvalBatch(rows, sel->data(), sel->size(), v, scratch);
+  if (st.ok()) {
+    size_t k = 0;
+    switch (v->tag) {
+      case BatchTag::kI64:
+        for (size_t i = 0; i < sel->size(); ++i) {
+          if (v->i64[i] != 0) (*sel)[k++] = (*sel)[i];
+        }
+        sel->resize(k);
+        break;
+      case BatchTag::kF64:
+        for (size_t i = 0; i < sel->size(); ++i) {
+          if (v->f64[i] != 0) (*sel)[k++] = (*sel)[i];
+        }
+        sel->resize(k);
+        break;
+      case BatchTag::kStr:
+        // The satellite of EvalBoolChecked: a string-valued predicate is a
+        // hard error on the checked path, legacy-false on the unchecked one.
+        if (checked) {
+          st = Status::InvalidArgument("predicate " + ToString() +
+                                       " evaluated to a non-numeric value");
+        } else {
+          sel->clear();
+        }
+        break;
+      case BatchTag::kItem:
+        for (size_t i = 0; i < sel->size(); ++i) {
+          const Item& item = v->items[i];
+          bool keep = false;
+          if (item.is_i64()) {
+            keep = item.i64() != 0;
+          } else if (item.is_f64()) {
+            keep = item.f64() != 0;
+          } else if (checked) {
+            st = Status::InvalidArgument("predicate " + ToString() +
+                                         " evaluated to a non-numeric value");
+            break;
+          }
+          if (keep) (*sel)[k++] = (*sel)[i];
+        }
+        if (st.ok()) sel->resize(k);
+        break;
+    }
+  }
+  scratch->ReleaseColumn();
+  return st;
+}
+
 namespace {
+
+// ---------------------------------------------------------------------------
+// Batch kernel helpers
+// ---------------------------------------------------------------------------
+
+/// Marks the rows of `sel` present in `passed` (⊆ sel, both ascending)
+/// with 1 and the rest with 0 — the value form of a predicate.
+void MarkMatches(const uint32_t* sel, size_t n, const SelVector& passed,
+                 BatchColumn* out) {
+  out->Reset(BatchTag::kI64, n);
+  size_t j = 0;
+  for (size_t i = 0; i < n; ++i) {
+    bool hit = j < passed.size() && passed[j] == sel[i];
+    out->i64[i] = hit ? 1 : 0;
+    if (hit) ++j;
+  }
+}
+
+/// Value kernel of a predicate node: narrow a copy of the selection, then
+/// mark survivors. Unchecked narrowing, because the value form mirrors
+/// Eval(), which uses the unchecked EvalBool.
+Status EvalViaFilter(const Expr& e, const RowSpan& rows, const uint32_t* sel,
+                     size_t n, BatchColumn* out, BatchScratch* scratch) {
+  SelVector* s = scratch->AcquireSel();
+  s->assign(sel, sel + n);
+  Status st = e.FilterBatch(rows, s, scratch, /*checked=*/false);
+  if (st.ok()) MarkMatches(sel, n, *s, out);
+  scratch->ReleaseSel();
+  return st;
+}
+
+/// In place: remaining -= removed (removed ⊆ remaining, both ascending).
+void SubtractSorted(SelVector* remaining, const SelVector& removed) {
+  size_t k = 0, j = 0;
+  for (size_t i = 0; i < remaining->size(); ++i) {
+    if (j < removed.size() && removed[j] == (*remaining)[i]) {
+      ++j;
+      continue;
+    }
+    (*remaining)[k++] = (*remaining)[i];
+  }
+  remaining->resize(k);
+}
 
 // ---------------------------------------------------------------------------
 // Node implementations
@@ -67,6 +178,65 @@ class ColumnRefExpr : public Expr {
     return false;
   }
 
+  BatchTag BatchType(const Schema& schema) const override {
+    switch (schema.field(index_).type) {
+      case AtomType::kInt32:
+      case AtomType::kDate:
+      case AtomType::kInt64:
+        return BatchTag::kI64;
+      case AtomType::kFloat64:
+        return BatchTag::kF64;
+      case AtomType::kString:
+        return BatchTag::kStr;
+    }
+    return BatchTag::kItem;
+  }
+
+  Status EvalBatch(const RowSpan& rows, const uint32_t* sel, size_t n,
+                   BatchColumn* out, BatchScratch*) const override {
+    const uint32_t off = rows.schema->offset(index_);
+    switch (rows.schema->field(index_).type) {
+      case AtomType::kInt32:
+      case AtomType::kDate: {
+        out->Reset(BatchTag::kI64, n);
+        for (size_t i = 0; i < n; ++i) {
+          int32_t v;
+          std::memcpy(&v, rows.row_ptr(sel[i]) + off, sizeof(v));
+          out->i64[i] = v;
+        }
+        break;
+      }
+      case AtomType::kInt64: {
+        out->Reset(BatchTag::kI64, n);
+        for (size_t i = 0; i < n; ++i) {
+          std::memcpy(&out->i64[i], rows.row_ptr(sel[i]) + off,
+                      sizeof(int64_t));
+        }
+        break;
+      }
+      case AtomType::kFloat64: {
+        out->Reset(BatchTag::kF64, n);
+        for (size_t i = 0; i < n; ++i) {
+          std::memcpy(&out->f64[i], rows.row_ptr(sel[i]) + off,
+                      sizeof(double));
+        }
+        break;
+      }
+      case AtomType::kString: {
+        out->Reset(BatchTag::kStr, n);
+        for (size_t i = 0; i < n; ++i) {
+          const uint8_t* p = rows.row_ptr(sel[i]) + off;
+          uint16_t len;
+          std::memcpy(&len, p, sizeof(len));
+          out->str[i] =
+              std::string_view(reinterpret_cast<const char*>(p + 2), len);
+        }
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
   void CollectColumns(std::vector<int>* cols) const override {
     cols->push_back(index_);
   }
@@ -108,6 +278,36 @@ class LiteralExpr : public Expr {
     }
   }
 
+  BatchTag BatchType(const Schema&) const override {
+    switch (value_.kind()) {
+      case Item::Kind::kInt64: return BatchTag::kI64;
+      case Item::Kind::kFloat64: return BatchTag::kF64;
+      case Item::Kind::kString: return BatchTag::kStr;
+      default: return BatchTag::kItem;
+    }
+  }
+
+  Status EvalBatch(const RowSpan& rows, const uint32_t* sel, size_t n,
+                   BatchColumn* out, BatchScratch* scratch) const override {
+    switch (value_.kind()) {
+      case Item::Kind::kInt64:
+        out->Reset(BatchTag::kI64, n);
+        std::fill(out->i64.begin(), out->i64.end(), value_.i64());
+        return Status::OK();
+      case Item::Kind::kFloat64:
+        out->Reset(BatchTag::kF64, n);
+        std::fill(out->f64.begin(), out->f64.end(), value_.f64());
+        return Status::OK();
+      case Item::Kind::kString:
+        out->Reset(BatchTag::kStr, n);
+        std::fill(out->str.begin(), out->str.end(),
+                  std::string_view(value_.str()));
+        return Status::OK();
+      default:
+        return Expr::EvalBatch(rows, sel, n, out, scratch);
+    }
+  }
+
   std::string ToString() const override { return value_.ToString(); }
 
  private:
@@ -146,20 +346,81 @@ class CompareExpr : public Expr {
       a = ViewOf(ia, &sa_);
       b = ViewOf(ib, &sb_);
     }
-    int c = CompareViews(a, b);
-    switch (op_) {
-      case CmpOp::kEq: return c == 0;
-      case CmpOp::kNe: return c != 0;
-      case CmpOp::kLt: return c < 0;
-      case CmpOp::kLe: return c <= 0;
-      case CmpOp::kGt: return c > 0;
-      case CmpOp::kGe: return c >= 0;
-    }
-    return false;
+    return Holds(CompareViews(a, b));
   }
 
   Item Eval(const RowRef& row) const override {
     return Item(static_cast<int64_t>(EvalBool(row) ? 1 : 0));
+  }
+
+  Status EvalBoolChecked(const RowRef& row, bool* out) const override {
+    *out = EvalBool(row);
+    return Status::OK();
+  }
+
+  BatchTag BatchType(const Schema&) const override { return BatchTag::kI64; }
+
+  Status EvalBatch(const RowSpan& rows, const uint32_t* sel, size_t n,
+                   BatchColumn* out, BatchScratch* scratch) const override {
+    return EvalViaFilter(*this, rows, sel, n, out, scratch);
+  }
+
+  Status FilterBatch(const RowSpan& rows, SelVector* sel,
+                     BatchScratch* scratch, bool) const override {
+    if (sel->empty()) return Status::OK();
+    const BatchTag lt = lhs_->BatchType(*rows.schema);
+    const BatchTag rt = rhs_->BatchType(*rows.schema);
+    if (lt == BatchTag::kItem || rt == BatchTag::kItem) {
+      // Dynamically typed side: per-row EvalBool materializes Items
+      // exactly like the row path.
+      size_t k = 0;
+      for (size_t i = 0; i < sel->size(); ++i) {
+        if (EvalBool(rows.row((*sel)[i]))) (*sel)[k++] = (*sel)[i];
+      }
+      sel->resize(k);
+      return Status::OK();
+    }
+    BatchColumn* a = scratch->AcquireColumn();
+    BatchColumn* b = scratch->AcquireColumn();
+    Status st = lhs_->EvalBatch(rows, sel->data(), sel->size(), a, scratch);
+    if (st.ok()) {
+      st = rhs_->EvalBatch(rows, sel->data(), sel->size(), b, scratch);
+    }
+    if (st.ok()) {
+      const size_t n = sel->size();
+      size_t k = 0;
+      if (lt == BatchTag::kStr || rt == BatchTag::kStr) {
+        // Mirrors CompareViews: a non-string side contributes the empty
+        // view to the string comparison.
+        for (size_t i = 0; i < n; ++i) {
+          std::string_view x =
+              lt == BatchTag::kStr ? a->str[i] : std::string_view();
+          std::string_view y =
+              rt == BatchTag::kStr ? b->str[i] : std::string_view();
+          int c = x.compare(y) < 0 ? -1 : (x == y ? 0 : 1);
+          if (Holds(c)) (*sel)[k++] = (*sel)[i];
+        }
+      } else if (lt == BatchTag::kF64 || rt == BatchTag::kF64) {
+        for (size_t i = 0; i < n; ++i) {
+          double x = lt == BatchTag::kF64 ? a->f64[i]
+                                          : static_cast<double>(a->i64[i]);
+          double y = rt == BatchTag::kF64 ? b->f64[i]
+                                          : static_cast<double>(b->i64[i]);
+          int c = x < y ? -1 : (x == y ? 0 : 1);
+          if (Holds(c)) (*sel)[k++] = (*sel)[i];
+        }
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          int64_t x = a->i64[i], y = b->i64[i];
+          int c = x < y ? -1 : (x == y ? 0 : 1);
+          if (Holds(c)) (*sel)[k++] = (*sel)[i];
+        }
+      }
+      sel->resize(k);
+    }
+    scratch->ReleaseColumn();
+    scratch->ReleaseColumn();
+    return st;
   }
 
   void CollectColumns(std::vector<int>* cols) const override {
@@ -174,6 +435,18 @@ class CompareExpr : public Expr {
   }
 
  private:
+  bool Holds(int c) const {
+    switch (op_) {
+      case CmpOp::kEq: return c == 0;
+      case CmpOp::kNe: return c != 0;
+      case CmpOp::kLt: return c < 0;
+      case CmpOp::kLe: return c <= 0;
+      case CmpOp::kGt: return c > 0;
+      case CmpOp::kGe: return c >= 0;
+    }
+    return false;
+  }
+
   static ScalarView ViewOf(const Item& item, std::string* storage) {
     ScalarView v;
     switch (item.kind()) {
@@ -228,6 +501,64 @@ class ArithExpr : public Expr {
     return Item();
   }
 
+  BatchTag BatchType(const Schema& schema) const override {
+    const BatchTag lt = lhs_->BatchType(schema);
+    const BatchTag rt = rhs_->BatchType(schema);
+    if (lt == BatchTag::kStr || lt == BatchTag::kItem ||
+        rt == BatchTag::kStr || rt == BatchTag::kItem) {
+      return BatchTag::kItem;
+    }
+    if (op_ == ArithOp::kDiv) return BatchTag::kF64;  // division yields f64
+    if (lt == BatchTag::kI64 && rt == BatchTag::kI64) return BatchTag::kI64;
+    return BatchTag::kF64;
+  }
+
+  Status EvalBatch(const RowSpan& rows, const uint32_t* sel, size_t n,
+                   BatchColumn* out, BatchScratch* scratch) const override {
+    const BatchTag tag = BatchType(*rows.schema);
+    if (tag == BatchTag::kItem) {
+      return Expr::EvalBatch(rows, sel, n, out, scratch);
+    }
+    BatchColumn* a = scratch->AcquireColumn();
+    BatchColumn* b = scratch->AcquireColumn();
+    Status st = lhs_->EvalBatch(rows, sel, n, a, scratch);
+    if (st.ok()) st = rhs_->EvalBatch(rows, sel, n, b, scratch);
+    if (st.ok()) {
+      out->Reset(tag, n);
+      if (tag == BatchTag::kI64) {
+        switch (op_) {
+          case ArithOp::kAdd:
+            for (size_t i = 0; i < n; ++i) out->i64[i] = a->i64[i] + b->i64[i];
+            break;
+          case ArithOp::kSub:
+            for (size_t i = 0; i < n; ++i) out->i64[i] = a->i64[i] - b->i64[i];
+            break;
+          case ArithOp::kMul:
+            for (size_t i = 0; i < n; ++i) out->i64[i] = a->i64[i] * b->i64[i];
+            break;
+          case ArithOp::kDiv:
+            break;  // unreachable: kDiv is typed kF64
+        }
+      } else {
+        const bool lf = a->tag == BatchTag::kF64;
+        const bool rf = b->tag == BatchTag::kF64;
+        for (size_t i = 0; i < n; ++i) {
+          double x = lf ? a->f64[i] : static_cast<double>(a->i64[i]);
+          double y = rf ? b->f64[i] : static_cast<double>(b->i64[i]);
+          switch (op_) {
+            case ArithOp::kAdd: out->f64[i] = x + y; break;
+            case ArithOp::kSub: out->f64[i] = x - y; break;
+            case ArithOp::kMul: out->f64[i] = x * y; break;
+            case ArithOp::kDiv: out->f64[i] = y == 0 ? 0.0 : x / y; break;
+          }
+        }
+      }
+    }
+    scratch->ReleaseColumn();
+    scratch->ReleaseColumn();
+    return st;
+  }
+
   void CollectColumns(std::vector<int>* cols) const override {
     lhs_->CollectColumns(cols);
     rhs_->CollectColumns(cols);
@@ -258,6 +589,37 @@ class AndExpr : public Expr {
 
   Item Eval(const RowRef& row) const override {
     return Item(static_cast<int64_t>(EvalBool(row) ? 1 : 0));
+  }
+
+  Status EvalBoolChecked(const RowRef& row, bool* out) const override {
+    for (const ExprPtr& c : children_) {
+      bool b = false;
+      MODULARIS_RETURN_NOT_OK(c->EvalBoolChecked(row, &b));
+      if (!b) {
+        *out = false;
+        return Status::OK();
+      }
+    }
+    *out = true;
+    return Status::OK();
+  }
+
+  BatchTag BatchType(const Schema&) const override { return BatchTag::kI64; }
+
+  Status EvalBatch(const RowSpan& rows, const uint32_t* sel, size_t n,
+                   BatchColumn* out, BatchScratch* scratch) const override {
+    return EvalViaFilter(*this, rows, sel, n, out, scratch);
+  }
+
+  Status FilterBatch(const RowSpan& rows, SelVector* sel,
+                     BatchScratch* scratch, bool checked) const override {
+    // Child-by-child narrowing IS short-circuit evaluation: a row that
+    // fails child i never reaches child i+1, exactly as in the row path.
+    for (const ExprPtr& c : children_) {
+      if (sel->empty()) return Status::OK();
+      MODULARIS_RETURN_NOT_OK(c->FilterBatch(rows, sel, scratch, checked));
+    }
+    return Status::OK();
   }
 
   void CollectColumns(std::vector<int>* cols) const override {
@@ -295,6 +657,55 @@ class OrExpr : public Expr {
     return Item(static_cast<int64_t>(EvalBool(row) ? 1 : 0));
   }
 
+  Status EvalBoolChecked(const RowRef& row, bool* out) const override {
+    for (const ExprPtr& c : children_) {
+      bool b = false;
+      MODULARIS_RETURN_NOT_OK(c->EvalBoolChecked(row, &b));
+      if (b) {
+        *out = true;
+        return Status::OK();
+      }
+    }
+    *out = false;
+    return Status::OK();
+  }
+
+  BatchTag BatchType(const Schema&) const override { return BatchTag::kI64; }
+
+  Status EvalBatch(const RowSpan& rows, const uint32_t* sel, size_t n,
+                   BatchColumn* out, BatchScratch* scratch) const override {
+    return EvalViaFilter(*this, rows, sel, n, out, scratch);
+  }
+
+  Status FilterBatch(const RowSpan& rows, SelVector* sel,
+                     BatchScratch* scratch, bool checked) const override {
+    if (sel->empty()) return Status::OK();
+    // Each child only sees the rows every earlier child rejected — the
+    // short-circuit dual of AND's narrowing.
+    SelVector* remaining = scratch->AcquireSel();
+    SelVector* accepted = scratch->AcquireSel();
+    SelVector* tmp = scratch->AcquireSel();
+    *remaining = *sel;
+    accepted->clear();
+    Status st = Status::OK();
+    for (const ExprPtr& c : children_) {
+      if (remaining->empty()) break;
+      *tmp = *remaining;
+      st = c->FilterBatch(rows, tmp, scratch, checked);
+      if (!st.ok()) break;
+      accepted->insert(accepted->end(), tmp->begin(), tmp->end());
+      SubtractSorted(remaining, *tmp);
+    }
+    if (st.ok()) {
+      std::sort(accepted->begin(), accepted->end());
+      *sel = *accepted;
+    }
+    scratch->ReleaseSel();
+    scratch->ReleaseSel();
+    scratch->ReleaseSel();
+    return st;
+  }
+
   void CollectColumns(std::vector<int>* cols) const override {
     for (const ExprPtr& c : children_) c->CollectColumns(cols);
   }
@@ -321,6 +732,27 @@ class NotExpr : public Expr {
   }
   Item Eval(const RowRef& row) const override {
     return Item(static_cast<int64_t>(EvalBool(row) ? 1 : 0));
+  }
+  Status EvalBoolChecked(const RowRef& row, bool* out) const override {
+    bool b = false;
+    MODULARIS_RETURN_NOT_OK(inner_->EvalBoolChecked(row, &b));
+    *out = !b;
+    return Status::OK();
+  }
+  BatchTag BatchType(const Schema&) const override { return BatchTag::kI64; }
+  Status EvalBatch(const RowSpan& rows, const uint32_t* sel, size_t n,
+                   BatchColumn* out, BatchScratch* scratch) const override {
+    return EvalViaFilter(*this, rows, sel, n, out, scratch);
+  }
+  Status FilterBatch(const RowSpan& rows, SelVector* sel,
+                     BatchScratch* scratch, bool checked) const override {
+    if (sel->empty()) return Status::OK();
+    SelVector* tmp = scratch->AcquireSel();
+    *tmp = *sel;
+    Status st = inner_->FilterBatch(rows, tmp, scratch, checked);
+    if (st.ok()) SubtractSorted(sel, *tmp);
+    scratch->ReleaseSel();
+    return st;
   }
   void CollectColumns(std::vector<int>* cols) const override {
     inner_->CollectColumns(cols);
@@ -374,6 +806,46 @@ class LikeExpr : public Expr {
     return Item(static_cast<int64_t>(EvalBool(row) ? 1 : 0));
   }
 
+  Status EvalBoolChecked(const RowRef& row, bool* out) const override {
+    *out = EvalBool(row);
+    return Status::OK();
+  }
+
+  BatchTag BatchType(const Schema&) const override { return BatchTag::kI64; }
+
+  Status EvalBatch(const RowSpan& rows, const uint32_t* sel, size_t n,
+                   BatchColumn* out, BatchScratch* scratch) const override {
+    return EvalViaFilter(*this, rows, sel, n, out, scratch);
+  }
+
+  Status FilterBatch(const RowSpan& rows, SelVector* sel,
+                     BatchScratch* scratch, bool) const override {
+    if (sel->empty()) return Status::OK();
+    const BatchTag it = input_->BatchType(*rows.schema);
+    if (it == BatchTag::kI64 || it == BatchTag::kF64) {
+      sel->clear();  // non-string LIKE input never matches (row-path rule)
+      return Status::OK();
+    }
+    BatchColumn* v = scratch->AcquireColumn();
+    Status st = input_->EvalBatch(rows, sel->data(), sel->size(), v, scratch);
+    if (st.ok()) {
+      size_t k = 0;
+      for (size_t i = 0; i < sel->size(); ++i) {
+        bool match;
+        if (v->tag == BatchTag::kStr) {
+          match = LikeMatch(v->str[i], pattern_);
+        } else {
+          const Item& item = v->items[i];
+          match = item.is_str() && LikeMatch(item.str(), pattern_);
+        }
+        if (match) (*sel)[k++] = (*sel)[i];
+      }
+      sel->resize(k);
+    }
+    scratch->ReleaseColumn();
+    return st;
+  }
+
   void CollectColumns(std::vector<int>* cols) const override {
     input_->CollectColumns(cols);
   }
@@ -396,14 +868,54 @@ class InStrExpr : public Expr {
   bool EvalBool(const RowRef& row) const override {
     ScalarView v;
     if (input_->TryEvalView(row, &v) && v.tag == ScalarView::Tag::kString) {
-      return values_.count(std::string(v.s)) > 0;
+      return Contains(v.s);
     }
     Item item = input_->Eval(row);
-    return item.is_str() && values_.count(item.str()) > 0;
+    return item.is_str() && Contains(item.str());
   }
 
   Item Eval(const RowRef& row) const override {
     return Item(static_cast<int64_t>(EvalBool(row) ? 1 : 0));
+  }
+
+  Status EvalBoolChecked(const RowRef& row, bool* out) const override {
+    *out = EvalBool(row);
+    return Status::OK();
+  }
+
+  BatchTag BatchType(const Schema&) const override { return BatchTag::kI64; }
+
+  Status EvalBatch(const RowSpan& rows, const uint32_t* sel, size_t n,
+                   BatchColumn* out, BatchScratch* scratch) const override {
+    return EvalViaFilter(*this, rows, sel, n, out, scratch);
+  }
+
+  Status FilterBatch(const RowSpan& rows, SelVector* sel,
+                     BatchScratch* scratch, bool) const override {
+    if (sel->empty()) return Status::OK();
+    const BatchTag it = input_->BatchType(*rows.schema);
+    if (it == BatchTag::kI64 || it == BatchTag::kF64) {
+      sel->clear();  // non-string input is never a member (row-path rule)
+      return Status::OK();
+    }
+    BatchColumn* v = scratch->AcquireColumn();
+    Status st = input_->EvalBatch(rows, sel->data(), sel->size(), v, scratch);
+    if (st.ok()) {
+      size_t k = 0;
+      for (size_t i = 0; i < sel->size(); ++i) {
+        bool member;
+        if (v->tag == BatchTag::kStr) {
+          member = Contains(v->str[i]);
+        } else {
+          const Item& item = v->items[i];
+          member = item.is_str() && Contains(item.str());
+        }
+        if (member) (*sel)[k++] = (*sel)[i];
+      }
+      sel->resize(k);
+    }
+    scratch->ReleaseColumn();
+    return st;
   }
 
   void CollectColumns(std::vector<int>* cols) const override {
@@ -422,8 +934,21 @@ class InStrExpr : public Expr {
   }
 
  private:
+  // Transparent hashing so membership tests take string_view without a
+  // per-row std::string allocation (the batch kernel's hot loop).
+  struct SvHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+
+  bool Contains(std::string_view s) const {
+    return values_.find(s) != values_.end();
+  }
+
   ExprPtr input_;
-  std::unordered_set<std::string> values_;
+  std::unordered_set<std::string, SvHash, std::equal_to<>> values_;
 };
 
 class InIntExpr : public Expr {
@@ -451,6 +976,46 @@ class InIntExpr : public Expr {
     return Item(static_cast<int64_t>(EvalBool(row) ? 1 : 0));
   }
 
+  Status EvalBoolChecked(const RowRef& row, bool* out) const override {
+    *out = EvalBool(row);
+    return Status::OK();
+  }
+
+  BatchTag BatchType(const Schema&) const override { return BatchTag::kI64; }
+
+  Status EvalBatch(const RowSpan& rows, const uint32_t* sel, size_t n,
+                   BatchColumn* out, BatchScratch* scratch) const override {
+    return EvalViaFilter(*this, rows, sel, n, out, scratch);
+  }
+
+  Status FilterBatch(const RowSpan& rows, SelVector* sel,
+                     BatchScratch* scratch, bool) const override {
+    if (sel->empty()) return Status::OK();
+    const BatchTag it = input_->BatchType(*rows.schema);
+    if (it == BatchTag::kF64 || it == BatchTag::kStr) {
+      sel->clear();  // non-integer input is never a member (row-path rule)
+      return Status::OK();
+    }
+    BatchColumn* v = scratch->AcquireColumn();
+    Status st = input_->EvalBatch(rows, sel->data(), sel->size(), v, scratch);
+    if (st.ok()) {
+      size_t k = 0;
+      for (size_t i = 0; i < sel->size(); ++i) {
+        bool member = false;
+        if (v->tag == BatchTag::kI64) {
+          member = Contains(v->i64[i]);
+        } else {
+          const Item& item = v->items[i];
+          member = item.is_i64() && Contains(item.i64());
+        }
+        if (member) (*sel)[k++] = (*sel)[i];
+      }
+      sel->resize(k);
+    }
+    scratch->ReleaseColumn();
+    return st;
+  }
+
   void CollectColumns(std::vector<int>* cols) const override {
     input_->CollectColumns(cols);
   }
@@ -465,6 +1030,13 @@ class InIntExpr : public Expr {
   }
 
  private:
+  bool Contains(int64_t x) const {
+    for (int64_t candidate : values_) {
+      if (candidate == x) return true;
+    }
+    return false;
+  }
+
   ExprPtr input_;
   std::vector<int64_t> values_;
 };
@@ -478,6 +1050,71 @@ class IfExpr : public Expr {
 
   Item Eval(const RowRef& row) const override {
     return cond_->EvalBool(row) ? then_->Eval(row) : else_->Eval(row);
+  }
+
+  BatchTag BatchType(const Schema& schema) const override {
+    const BatchTag t = then_->BatchType(schema);
+    const BatchTag e = else_->BatchType(schema);
+    // Branches of different static types produce per-row dynamic typing —
+    // exactly what the interpreted kItem fallback exists for.
+    return (t == e && t != BatchTag::kItem) ? t : BatchTag::kItem;
+  }
+
+  Status EvalBatch(const RowSpan& rows, const uint32_t* sel, size_t n,
+                   BatchColumn* out, BatchScratch* scratch) const override {
+    const BatchTag tag = BatchType(*rows.schema);
+    if (tag == BatchTag::kItem) {
+      return Expr::EvalBatch(rows, sel, n, out, scratch);
+    }
+    // Split the selection by the condition (unchecked: Eval() routes
+    // through the unchecked EvalBool), evaluate each branch only on its
+    // rows, and merge positionally.
+    SelVector* passed = scratch->AcquireSel();
+    SelVector* failed = scratch->AcquireSel();
+    passed->assign(sel, sel + n);
+    Status st = cond_->FilterBatch(rows, passed, scratch, /*checked=*/false);
+    if (st.ok()) {
+      failed->assign(sel, sel + n);
+      SubtractSorted(failed, *passed);
+      BatchColumn* tc = scratch->AcquireColumn();
+      BatchColumn* ec = scratch->AcquireColumn();
+      st = then_->EvalBatch(rows, passed->data(), passed->size(), tc,
+                            scratch);
+      if (st.ok()) {
+        st = else_->EvalBatch(rows, failed->data(), failed->size(), ec,
+                              scratch);
+      }
+      if (st.ok()) {
+        out->Reset(tag, n);
+        size_t jp = 0, jf = 0;
+        for (size_t i = 0; i < n; ++i) {
+          bool hit = jp < passed->size() && (*passed)[jp] == sel[i];
+          switch (tag) {
+            case BatchTag::kI64:
+              out->i64[i] = hit ? tc->i64[jp] : ec->i64[jf];
+              break;
+            case BatchTag::kF64:
+              out->f64[i] = hit ? tc->f64[jp] : ec->f64[jf];
+              break;
+            case BatchTag::kStr:
+              out->str[i] = hit ? tc->str[jp] : ec->str[jf];
+              break;
+            case BatchTag::kItem:
+              break;  // unreachable: handled by the fallback above
+          }
+          if (hit) {
+            ++jp;
+          } else {
+            ++jf;
+          }
+        }
+      }
+      scratch->ReleaseColumn();
+      scratch->ReleaseColumn();
+    }
+    scratch->ReleaseSel();
+    scratch->ReleaseSel();
+    return st;
   }
 
   void CollectColumns(std::vector<int>* cols) const override {

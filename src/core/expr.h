@@ -31,6 +31,97 @@ struct ScalarView {
   std::string_view s;
 };
 
+// -- Batch expression evaluation --------------------------------------------
+// Expressions also compile to column-wise kernels that evaluate a whole
+// batch of packed rows at once (docs/DESIGN-vectorized.md, "Batch
+// expression evaluation"). Predicates narrow *selection vectors* instead
+// of producing per-row booleans, so filtered rows are never copied before
+// projection; value kernels fill typed scratch vectors. Nodes that cannot
+// be statically typed (mixed-type IF branches) fall back to the
+// interpreted per-row Eval() inside the batch API, so batch results are
+// byte-identical to the row-at-a-time oracle by construction.
+
+/// Ascending indices of the rows of a batch that are still live.
+using SelVector = std::vector<uint32_t>;
+
+/// A span of packed rows handed to batch kernels (the data/stride/schema
+/// triple of a RowBatch without the ownership machinery).
+struct RowSpan {
+  const uint8_t* data = nullptr;
+  uint32_t stride = 0;
+  const Schema* schema = nullptr;
+
+  const uint8_t* row_ptr(uint32_t r) const {
+    return data + static_cast<size_t>(r) * stride;
+  }
+  RowRef row(uint32_t r) const { return RowRef(row_ptr(r), schema); }
+};
+
+/// Static result type of an expression over one schema. kItem marks the
+/// interpreted fallback: the node's dynamic type can vary per row (or is
+/// not worth a kernel), so batch evaluation stores whole Items.
+enum class BatchTag : uint8_t { kI64, kF64, kStr, kItem };
+
+/// One value per selected row, in the statically derived representation.
+/// String entries are borrowed views into the rows / literal nodes and
+/// stay valid as long as the batch they were evaluated from.
+struct BatchColumn {
+  BatchTag tag = BatchTag::kI64;
+  std::vector<int64_t> i64;
+  std::vector<double> f64;
+  std::vector<std::string_view> str;
+  std::vector<Item> items;  // interpreted fallback (kItem)
+
+  /// Re-types the column and sizes the active vector (capacity reused).
+  void Reset(BatchTag t, size_t n) {
+    tag = t;
+    switch (t) {
+      case BatchTag::kI64: i64.resize(n); break;
+      case BatchTag::kF64: f64.resize(n); break;
+      case BatchTag::kStr: str.resize(n); break;
+      case BatchTag::kItem: items.resize(n); break;
+    }
+  }
+  size_t size() const {
+    switch (tag) {
+      case BatchTag::kI64: return i64.size();
+      case BatchTag::kF64: return f64.size();
+      case BatchTag::kStr: return str.size();
+      case BatchTag::kItem: return items.size();
+    }
+    return 0;
+  }
+};
+
+/// Reusable scratch for batch kernels. Owned by the evaluating operator —
+/// NOT by the expression tree, which is shared between concurrently
+/// executing rank plans. Acquire/Release follow the recursion, i.e. strict
+/// LIFO; vectors keep their capacity across batches.
+class BatchScratch {
+ public:
+  BatchColumn* AcquireColumn() {
+    if (columns_used_ == columns_.size()) {
+      columns_.push_back(std::make_unique<BatchColumn>());
+    }
+    return columns_[columns_used_++].get();
+  }
+  void ReleaseColumn() { --columns_used_; }
+
+  SelVector* AcquireSel() {
+    if (sels_used_ == sels_.size()) {
+      sels_.push_back(std::make_unique<SelVector>());
+    }
+    return sels_[sels_used_++].get();
+  }
+  void ReleaseSel() { --sels_used_; }
+
+ private:
+  std::vector<std::unique_ptr<BatchColumn>> columns_;
+  size_t columns_used_ = 0;
+  std::vector<std::unique_ptr<SelVector>> sels_;
+  size_t sels_used_ = 0;
+};
+
 /// Immutable expression node. Expressions are shared (shared_ptr) between
 /// plans and passes.
 class Expr {
@@ -41,10 +132,57 @@ class Expr {
   virtual Item Eval(const RowRef& row) const = 0;
 
   /// Boolean evaluation fast path; default falls back to Eval().
+  /// NOTE: silently treats non-numeric results as false. Predicate
+  /// contexts with an error channel (Filter, the batch kernels) use
+  /// EvalBoolChecked() instead; this unchecked form remains only where no
+  /// Status can surface (IfExpr conditions inside Eval()).
   virtual bool EvalBool(const RowRef& row) const {
     Item v = Eval(row);
     return v.is_i64() ? v.i64() != 0 : (v.is_f64() && v.f64() != 0);
   }
+
+  /// Checked boolean evaluation: like EvalBool(), but a predicate that
+  /// evaluates to a non-numeric value (a string column used as a filter)
+  /// is a hard error instead of silently false.
+  virtual Status EvalBoolChecked(const RowRef& row, bool* out) const {
+    Item v = Eval(row);
+    if (v.is_i64()) {
+      *out = v.i64() != 0;
+      return Status::OK();
+    }
+    if (v.is_f64()) {
+      *out = v.f64() != 0;
+      return Status::OK();
+    }
+    return Status::InvalidArgument("predicate " + ToString() +
+                                   " evaluated to a non-numeric value");
+  }
+
+  /// Static batch result type of this node over rows of `schema`. kItem
+  /// means the node (or a child) cannot be statically typed and EvalBatch
+  /// will run the interpreted per-row fallback.
+  virtual BatchTag BatchType(const Schema& schema) const {
+    (void)schema;
+    return BatchTag::kItem;
+  }
+
+  /// Column-wise value kernel: evaluates this node for the `n` rows
+  /// sel[0..n) of `rows` into `*out` (whose tag will equal
+  /// BatchType(*rows.schema)). The base implementation is the interpreted
+  /// fallback — one Eval() per selected row into an Item vector — so every
+  /// node batches semantically; typed nodes override with tight loops.
+  virtual Status EvalBatch(const RowSpan& rows, const uint32_t* sel, size_t n,
+                           BatchColumn* out, BatchScratch* scratch) const;
+
+  /// Predicate kernel: narrows `*sel` (ascending) in place to the rows
+  /// satisfying this predicate. Composite predicates narrow child by
+  /// child, which preserves the row path's short-circuit semantics: a row
+  /// never reaches a child that per-row evaluation would have skipped.
+  /// With `checked`, a non-numeric predicate value is a hard error
+  /// (EvalBoolChecked semantics); unchecked matches legacy EvalBool
+  /// (non-numeric → false) and is used where Eval() has no error channel.
+  virtual Status FilterBatch(const RowSpan& rows, SelVector* sel,
+                             BatchScratch* scratch, bool checked) const;
 
   /// Non-allocating scalar view fast path; returns false if this node
   /// cannot produce a borrowed view (then use Eval()).

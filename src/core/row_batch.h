@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <utility>
+#include <vector>
 
 #include "core/row_vector.h"
 
@@ -18,6 +19,15 @@
 /// next NextBatch()/Next()/Close() call on the producing operator, or
 /// until the batch is Cleared/re-filled — whichever comes first.
 /// Consumers that retain rows copy the packed bytes (AppendRawBatch).
+///
+/// Selection vectors: a producer pulled through NextBatchSelective() may
+/// attach a selection vector — ascending indices into the dense row view —
+/// instead of compacting the surviving rows (Filter does). With a
+/// selection attached, size()/row(i) describe the *selected* rows;
+/// data()/dense_size()/byte_size() keep describing the dense underlying
+/// view, so bulk-memcpy consumers must only ever pull via NextBatch(),
+/// which never attaches selections. The selection array is owned by the
+/// producer and follows the same lifetime as the rows.
 
 namespace modularis {
 
@@ -43,18 +53,51 @@ class RowBatch {
     row_size_ = 0;
     released_ = false;
     durable_ = false;
+    sel_ = nullptr;
+    sel_size_ = 0;
   }
 
-  bool empty() const { return num_rows_ == 0; }
-  size_t size() const { return num_rows_; }
+  bool empty() const { return size() == 0; }
+  /// Number of logical rows: the selected count when a selection is
+  /// attached, the dense count otherwise.
+  size_t size() const { return sel_ != nullptr ? sel_size_ : num_rows_; }
+  /// Base of the dense row view (selection-oblivious; see header note).
   const uint8_t* data() const { return data_; }
   uint32_t row_size() const { return row_size_; }
+  /// Bytes of the dense view (selection-oblivious).
   size_t byte_size() const {
     return num_rows_ * static_cast<size_t>(row_size_);
   }
+  /// Rows in the dense view regardless of any selection.
+  size_t dense_size() const { return num_rows_; }
   const Schema& schema() const { return *schema_; }
   RowRef row(size_t i) const {
-    return RowRef(data_ + i * row_size_, schema_);
+    return RowRef(data_ + (sel_ != nullptr ? sel_[i] : i) * row_size_,
+                  schema_);
+  }
+
+  // -- Selection vectors ----------------------------------------------------
+
+  bool has_selection() const { return sel_ != nullptr; }
+  /// Ascending indices into the dense view (null when dense).
+  const uint32_t* selection() const { return sel_; }
+  /// The selection, or — for a dense batch — the identity permutation
+  /// 0..size()-1 materialized into *scratch. The canonical way for a
+  /// selection-aware consumer to iterate logical rows by index; the
+  /// returned pointer is valid for size() entries.
+  const uint32_t* SelectionOrIdentity(std::vector<uint32_t>* scratch) const {
+    if (sel_ != nullptr) return sel_;
+    scratch->resize(num_rows_);
+    for (size_t i = 0; i < num_rows_; ++i) {
+      (*scratch)[i] = static_cast<uint32_t>(i);
+    }
+    return scratch->data();
+  }
+  /// Attaches a producer-owned selection vector; the batch then logically
+  /// contains rows sel[0..count). Cleared by Clear()/Borrow*/SealScratch.
+  void SetSelection(const uint32_t* sel, size_t count) {
+    sel_ = sel;
+    sel_size_ = count;
   }
 
   /// Zero-copy view of every row of `rows`; shares ownership.
@@ -72,9 +115,12 @@ class RowBatch {
     pin_ = std::move(rows);
     released_ = false;
     durable_ = false;
+    sel_ = nullptr;
+    sel_size_ = 0;
   }
 
-  /// Adopts `other`'s view (and its pin). Scratch storage is not shared.
+  /// Adopts `other`'s view (and its pin and selection). Scratch storage
+  /// is not shared.
   void BorrowFrom(const RowBatch& other) {
     pin_ = other.pin_;
     schema_ = other.schema_;
@@ -83,6 +129,8 @@ class RowBatch {
     row_size_ = other.row_size_;
     released_ = other.released_;
     durable_ = other.durable_;
+    sel_ = other.sel_;
+    sel_size_ = other.sel_size_;
   }
 
   /// Producer-side ownership handoff: marks the pinned vector as
@@ -104,7 +152,7 @@ class RowBatch {
   /// intact for consumers that fall back to copying.
   RowVectorPtr TakeReleased() {
     if (!released_ || pin_ == nullptr || data_ != pin_->data() ||
-        num_rows_ != pin_->size()) {
+        num_rows_ != pin_->size() || sel_ != nullptr) {
       return nullptr;
     }
     released_ = false;
@@ -116,7 +164,7 @@ class RowBatch {
   /// producer's current Open cycle, e.g. a build side held for probing).
   RowVectorPtr ShareWhole() const {
     if (!durable_ || pin_ == nullptr || data_ != pin_->data() ||
-        num_rows_ != pin_->size()) {
+        num_rows_ != pin_->size() || sel_ != nullptr) {
       return nullptr;
     }
     return pin_;
@@ -143,6 +191,8 @@ class RowBatch {
     pin_ = scratch_;
     released_ = false;  // scratch is reused; never stealable
     durable_ = false;
+    sel_ = nullptr;
+    sel_size_ = 0;
   }
 
  private:
@@ -154,6 +204,8 @@ class RowBatch {
   uint32_t row_size_ = 0;
   bool released_ = false;
   bool durable_ = false;
+  const uint32_t* sel_ = nullptr;  // producer-owned selection (optional)
+  size_t sel_size_ = 0;
 };
 
 }  // namespace modularis

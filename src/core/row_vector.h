@@ -82,6 +82,7 @@ class ByteBuffer {
 
   /// Appends `n` bytes (capacity must have been ensured by the caller).
   void append(const uint8_t* p, size_t n) {
+    if (n == 0) return;  // empty source may be a null pointer (UB in memcpy)
     std::memcpy(data_.get() + size_, p, n);
     size_ += n;
   }

@@ -34,7 +34,9 @@ using SubOpPtr = std::unique_ptr<SubOperator>;
 /// Base class of every sub-operator.
 class SubOperator {
  public:
-  explicit SubOperator(std::string name) : name_(std::move(name)) {}
+  explicit SubOperator(std::string name)
+      : name_(std::move(name)),
+        adapter_counter_key_("vectorized.default_adapter." + name_) {}
   virtual ~SubOperator() = default;
 
   SubOperator(const SubOperator&) = delete;
@@ -95,16 +97,68 @@ class SubOperator {
   /// unmodified; hot operators override it with loop-over-packed-bytes
   /// implementations.
   virtual bool NextBatch(RowBatch* out) {
+    // Adapter-coverage instrumentation: one counter bump per adapter
+    // batch, keyed by operator name. The parity suite asserts the named
+    // hot operators (ColumnScan, GroupBy, TcpExchange, S3Exchange, ...)
+    // never report this counter, i.e. they own a native batch path.
+    if (ctx_ != nullptr) {
+      ctx_->stats->AddCounter(adapter_counter_key_, 1);
+    }
+    return NextBatchFromTuples(out, 0, /*require_arity_one=*/true);
+  }
+
+  /// Selection-aware pull: like NextBatch(), but the producer may attach
+  /// a selection vector to `*out` instead of compacting the surviving
+  /// rows (Filter defers compaction this way, so filtered rows are never
+  /// copied before the consumer projects or aggregates them). Only
+  /// consumers that iterate `out->row(i)` / honor `out->selection()` may
+  /// call this; bulk-memcpy consumers must keep pulling via NextBatch().
+  /// Default: the dense batch path.
+  virtual bool NextBatchSelective(RowBatch* out) { return NextBatch(out); }
+
+  /// Releases per-execution resources. Default: closes all children.
+  virtual Status Close() {
+    Status st = Status::OK();
+    for (auto& c : children_) {
+      Status cst = c->Close();
+      if (st.ok() && !cst.ok()) st = cst;
+    }
+    return st;
+  }
+
+  /// Error state of this operator (OK while streaming / at clean EOS).
+  const Status& status() const { return status_; }
+
+  /// Drains this operator into a vector of tuples (testing / driver use).
+  Result<std::vector<Tuple>> Drain(ExecContext* ctx) {
+    MODULARIS_RETURN_NOT_OK(Open(ctx));
+    std::vector<Tuple> rows;
+    Tuple t;
+    while (Next(&t)) rows.push_back(t);
+    if (!status_.ok()) return status_;
+    MODULARIS_RETURN_NOT_OK(Close());
+    return rows;
+  }
+
+ protected:
+  /// The tuple-loop batching state machine shared by the default adapter
+  /// and single-item specializations (Projection): batches item
+  /// `item_index` of each Next() tuple — whole collections forwarded as
+  /// one zero-copy borrowed batch, rows packed into the scratch buffer in
+  /// kDefaultRows runs. With `require_arity_one`, multi-item tuples are
+  /// an error (the adapter contract).
+  bool NextBatchFromTuples(RowBatch* out, int item_index,
+                           bool require_arity_one) {
     out->Clear();
     Tuple t;
     RowVector* sink = nullptr;
     while (Next(&t)) {
-      if (t.size() != 1) {
+      if (require_arity_one && t.size() != 1) {
         return Fail(Status::InvalidArgument(
             name_ + ": cannot batch a tuple of arity " +
             std::to_string(t.size())));
       }
-      const Item& item = t[0];
+      const Item& item = t[item_index];
       if (item.is_collection()) {
         if (item.collection()->empty() && sink == nullptr) continue;
         if (sink == nullptr) {
@@ -137,31 +191,6 @@ class SubOperator {
     return false;
   }
 
-  /// Releases per-execution resources. Default: closes all children.
-  virtual Status Close() {
-    Status st = Status::OK();
-    for (auto& c : children_) {
-      Status cst = c->Close();
-      if (st.ok() && !cst.ok()) st = cst;
-    }
-    return st;
-  }
-
-  /// Error state of this operator (OK while streaming / at clean EOS).
-  const Status& status() const { return status_; }
-
-  /// Drains this operator into a vector of tuples (testing / driver use).
-  Result<std::vector<Tuple>> Drain(ExecContext* ctx) {
-    MODULARIS_RETURN_NOT_OK(Open(ctx));
-    std::vector<Tuple> rows;
-    Tuple t;
-    while (Next(&t)) rows.push_back(t);
-    if (!status_.ok()) return status_;
-    MODULARIS_RETURN_NOT_OK(Close());
-    return rows;
-  }
-
- protected:
   /// Marks this operator failed and returns false (for use in Next()).
   bool Fail(Status s) {
     status_ = std::move(s);
@@ -182,6 +211,7 @@ class SubOperator {
 
  private:
   std::string name_;
+  std::string adapter_counter_key_;  // prebuilt: hot per-batch counter
 };
 
 /// Drains `child`'s record stream through the batch protocol into

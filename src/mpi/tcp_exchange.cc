@@ -4,11 +4,10 @@
 
 namespace modularis {
 
-bool TcpExchange::Next(Tuple* out) {
-  if (done_) return false;
+Status TcpExchange::DoExchange() {
   mpi::Communicator* comm = ctx_->comm;
   if (comm == nullptr) {
-    return Fail(Status::Internal("TcpExchange requires a communicator"));
+    return Status::Internal("TcpExchange requires a communicator");
   }
   const int world = comm->size();
   const int me = comm->rank();
@@ -30,7 +29,22 @@ bool TcpExchange::Next(Tuple* out) {
     buckets[h % world]->AppendRaw(row.data());
   };
 
-  {
+  if (ctx_->options.enable_vectorized && child(0)->ProducesRecordStream()) {
+    // Batched drain (the MpiExchange packed-row pattern): whole batches of
+    // packed rows are routed without a virtual Next() call per record.
+    RowBatch batch;
+    while (child(0)->NextBatch(&batch)) {
+      if (batch.empty()) continue;
+      ensure_buckets(batch.schema());
+      const uint8_t* p = batch.data();
+      const uint32_t stride = batch.row_size();
+      const size_t n = batch.size();
+      for (size_t i = 0; i < n; ++i, p += stride) {
+        route(RowRef(p, &batch.schema()));
+      }
+    }
+    MODULARIS_RETURN_NOT_OK(child(0)->status());
+  } else {
     Tuple t;
     while (child(0)->Next(&t)) {
       const Item& item = t[0];
@@ -42,18 +56,18 @@ bool TcpExchange::Next(Tuple* out) {
         ensure_buckets(item.row().schema());
         route(item.row());
       } else {
-        return Fail(Status::InvalidArgument(
+        return Status::InvalidArgument(
             "TcpExchange expects rows or collections, got " +
-            item.ToString()));
+            item.ToString());
       }
     }
-    if (!child(0)->status().ok()) return Fail(child(0)->status());
-    if (!have_schema) ensure_buckets(KeyValueSchema());
+    MODULARIS_RETURN_NOT_OK(child(0)->status());
   }
+  if (!have_schema) ensure_buckets(KeyValueSchema());
 
   ScopedTimer timer(ctx_->stats, opts_.timer_key);
-  RowVectorPtr mine = RowVector::Make(schema);
-  mine->AppendAll(*buckets[me]);
+  mine_ = RowVector::Make(schema);
+  mine_->AppendAll(*buckets[me]);
   // Two-sided push: send each peer its bucket, then collect world-1
   // messages addressed to us. Sends block for the modelled wire time —
   // TCP gives none of the RDMA overlap.
@@ -67,14 +81,38 @@ bool TcpExchange::Next(Tuple* out) {
   for (int peer = 0; peer < world; ++peer) {
     if (peer == me) continue;
     std::vector<uint8_t> payload = comm->fabric().Recv(me, peer);
-    mine->AppendRawBatch(payload.data(), payload.size() / schema.row_size());
+    mine_->AppendRawBatch(payload.data(), payload.size() / schema.row_size());
   }
   timer.Stop();
+  exchanged_ = true;
+  return Status::OK();
+}
 
+bool TcpExchange::Next(Tuple* out) {
+  if (done_) return false;
+  if (!exchanged_) {
+    Status st = DoExchange();
+    if (!st.ok()) return Fail(std::move(st));
+  }
   done_ = true;
+  const int64_t pid = ctx_->comm->rank();
   out->clear();
-  out->push_back(Item(static_cast<int64_t>(me)));
-  out->push_back(Item(std::move(mine)));
+  out->push_back(Item(pid));
+  out->push_back(Item(mine_));
+  return true;
+}
+
+bool TcpExchange::NextBatch(RowBatch* out) {
+  out->Clear();
+  if (done_) return false;
+  if (!exchanged_) {
+    Status st = DoExchange();
+    if (!st.ok()) return Fail(std::move(st));
+  }
+  done_ = true;
+  if (mine_->empty()) return false;
+  out->Borrow(mine_);
+  out->MarkDurable();  // kept alive and unmutated for the whole Open cycle
   return true;
 }
 

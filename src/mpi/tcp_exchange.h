@@ -35,15 +35,37 @@ class TcpExchange : public SubOperator {
   }
 
   Status Open(ExecContext* ctx) override {
+    exchanged_ = false;
     done_ = false;
+    mine_.reset();
     return SubOperator::Open(ctx);
+  }
+
+  Status Close() override {
+    mine_.reset();  // don't retain the partition past the Open cycle
+    return SubOperator::Close();
   }
 
   bool Next(Tuple* out) override;
 
+  /// Record projection of the stream (docs/DESIGN-vectorized.md): the
+  /// partition this rank owns as one durable borrowed batch (the pid atom
+  /// — always this rank — is only observable through Next()). Next() and
+  /// NextBatch() share the stream position: the partition is delivered
+  /// exactly once per Open, whichever protocol pulls it first. The input
+  /// side drains record streams through the batch protocol, so routing
+  /// runs over packed rows instead of one virtual Next() per record.
+  bool NextBatch(RowBatch* out) override;
+
  private:
+  /// Buckets the input per destination rank, pushes the peers' buckets
+  /// over the fabric and collects this rank's partition into mine_.
+  Status DoExchange();
+
   Options opts_;
-  bool done_ = false;
+  bool exchanged_ = false;
+  bool done_ = false;  // the single output unit was emitted (either form)
+  RowVectorPtr mine_;
 };
 
 }  // namespace modularis

@@ -163,9 +163,65 @@ bool S3Exchange::Next(Tuple* out) {
     if (!st.ok()) return Fail(st);
     exchanged_ = true;
   }
+  if (batch_reader_ != nullptr) {
+    // A NextBatch() pull left a triple partially expanded; hand the
+    // unread row-group remainder back as a path triple so no rows are
+    // lost when the consumer switches protocols mid-stream.
+    const bool remainder = batch_rg_ <= batch_last_rg_ &&
+                           batch_rg_ < batch_reader_->num_row_groups();
+    const size_t first = batch_rg_;
+    const size_t last = batch_last_rg_;
+    std::string path = std::move(batch_path_);
+    batch_reader_.reset();
+    batch_source_.reset();
+    if (remainder) {
+      out->clear();
+      out->push_back(Item(std::move(path)));
+      out->push_back(Item(static_cast<int64_t>(first)));
+      out->push_back(Item(static_cast<int64_t>(last)));
+      return true;
+    }
+  }
   if (emit_pos_ >= out_.size()) return false;
   *out = out_[emit_pos_++];
   return true;
+}
+
+bool S3Exchange::NextBatch(RowBatch* out) {
+  if (!exchanged_) {
+    Status st = DoExchange();
+    if (!st.ok()) return Fail(st);
+    exchanged_ = true;
+  }
+  out->Clear();
+  while (true) {
+    if (batch_reader_ != nullptr) {
+      while (batch_rg_ <= batch_last_rg_ &&
+             batch_rg_ < batch_reader_->num_row_groups()) {
+        size_t rg = batch_rg_++;
+        ScopedTimer timer(ctx_->stats, opts_.timer_key);
+        auto table = batch_reader_->ReadRowGroup(rg, {});
+        if (!table.ok()) return Fail(table.status());
+        if ((*table)->num_rows() == 0) continue;
+        out->Borrow((*table)->ToRowVector());
+        out->MarkReleased();  // fresh vector per row group: stealable
+        return true;
+      }
+      batch_reader_.reset();
+      batch_source_.reset();
+    }
+    if (emit_pos_ >= out_.size()) return false;
+    const Tuple& triple = out_[emit_pos_++];
+    ScopedTimer timer(ctx_->stats, opts_.timer_key);
+    batch_path_ = triple[0].str();
+    batch_source_ = std::make_shared<storage::BlobReader>(
+        ctx_->blob, batch_path_, opts_.max_retries);
+    auto reader = storage::ColumnFileReader::Open(batch_source_);
+    if (!reader.ok()) return Fail(reader.status());
+    batch_reader_ = reader.TakeValue();
+    batch_rg_ = static_cast<size_t>(triple[1].i64());
+    batch_last_rg_ = static_cast<size_t>(triple[2].i64());
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -71,19 +71,39 @@ class S3Exchange : public SubOperator {
     exchanged_ = false;
     emit_pos_ = 0;
     out_.clear();
+    batch_reader_.reset();
+    batch_source_.reset();
     return SubOperator::Open(ctx);
   }
 
   bool Next(Tuple* out) override;
+
+  /// Record projection of the stream (docs/DESIGN-vectorized.md): reads
+  /// this worker's row groups back from the blob store — the job the
+  /// ⟨path, firstRowGroup, lastRowGroup⟩ triples of Next() delegate to a
+  /// downstream ColumnFileScan — and emits one released batch per
+  /// non-empty row group. Next() and NextBatch() share the triple cursor:
+  /// each triple is delivered exactly once per Open, either as a path
+  /// tuple or as its row-group batches, whichever protocol pulls it —
+  /// a triple NextBatch() only partially expanded is handed back to
+  /// Next() as a remainder triple covering the unread row groups.
+  bool NextBatch(RowBatch* out) override;
 
  private:
   Status DoExchange();
 
   Options opts_;
   bool exchanged_ = false;
+  /// Triple cursor, shared by Next() and NextBatch().
   size_t emit_pos_ = 0;
   /// ⟨path, first_rg, last_rg⟩ triples for this worker.
   std::vector<Tuple> out_;
+  // Read-back state for the triple NextBatch() is currently expanding.
+  std::unique_ptr<storage::ColumnFileReader> batch_reader_;
+  std::shared_ptr<storage::RandomReader> batch_source_;
+  std::string batch_path_;
+  size_t batch_rg_ = 0;
+  size_t batch_last_rg_ = 0;
 };
 
 /// ColumnFileScan (the ParquetScan analog): reads row groups of ColumnFile

@@ -304,9 +304,17 @@ Status ReduceByKey::ConsumeAll() {
   timer_.Bind(ctx_->stats, timer_key_);
   ScopedPhase phase(&timer_);
   if (ctx_->options.enable_vectorized) {
+    // Selective pull: an upstream Filter hands its input batch plus a
+    // selection vector, so rejected rows are never compacted just to be
+    // aggregated here.
     RowBatch batch;
-    while (child(0)->NextBatch(&batch)) {
-      AccumulateSpan(batch.data(), batch.size(), batch.schema());
+    while (child(0)->NextBatchSelective(&batch)) {
+      if (batch.has_selection()) {
+        const size_t n = batch.size();
+        for (size_t i = 0; i < n; ++i) Accumulate(batch.row(i));
+      } else {
+        AccumulateSpan(batch.data(), batch.size(), batch.schema());
+      }
     }
     return child(0)->status();
   }
@@ -466,33 +474,39 @@ bool TopK::Next(Tuple* out) {
 // GroupByPid
 // ---------------------------------------------------------------------------
 
+Status GroupByPid::GroupAll() {
+  Tuple t;
+  while (child(0)->Next(&t)) {
+    if (t.size() < 2 || !t[0].is_i64() || !t[1].is_collection()) {
+      return Status::InvalidArgument(
+          "GroupBy expects ⟨pid, collection⟩ tuples, got " + t.ToString());
+    }
+    int64_t pid = t[0].i64();
+    const RowVectorPtr& data = t[1].collection();
+    auto it = groups_.find(pid);
+    if (it == groups_.end()) {
+      // First chunk of this pid: share it without copying.
+      groups_[pid] = data;
+    } else {
+      if (it->second.use_count() > 1) {
+        // Copy-on-write before merging into a shared collection.
+        RowVectorPtr merged = RowVector::Make(it->second->schema());
+        merged->AppendAll(*it->second);
+        it->second = std::move(merged);
+      }
+      it->second->AppendAll(*data);
+    }
+  }
+  MODULARIS_RETURN_NOT_OK(child(0)->status());
+  grouped_ = true;
+  emit_it_ = groups_.begin();
+  return Status::OK();
+}
+
 bool GroupByPid::Next(Tuple* out) {
   if (!grouped_) {
-    Tuple t;
-    while (child(0)->Next(&t)) {
-      if (t.size() < 2 || !t[0].is_i64() || !t[1].is_collection()) {
-        return Fail(Status::InvalidArgument(
-            "GroupBy expects ⟨pid, collection⟩ tuples, got " + t.ToString()));
-      }
-      int64_t pid = t[0].i64();
-      const RowVectorPtr& data = t[1].collection();
-      auto it = groups_.find(pid);
-      if (it == groups_.end()) {
-        // First chunk of this pid: share it without copying.
-        groups_[pid] = data;
-      } else {
-        if (it->second.use_count() > 1) {
-          // Copy-on-write before merging into a shared collection.
-          RowVectorPtr merged = RowVector::Make(it->second->schema());
-          merged->AppendAll(*it->second);
-          it->second = std::move(merged);
-        }
-        it->second->AppendAll(*data);
-      }
-    }
-    if (!child(0)->status().ok()) return Fail(child(0)->status());
-    grouped_ = true;
-    emit_it_ = groups_.begin();
+    Status st = GroupAll();
+    if (!st.ok()) return Fail(std::move(st));
   }
   if (emit_it_ == groups_.end()) return false;
   out->clear();
@@ -500,6 +514,23 @@ bool GroupByPid::Next(Tuple* out) {
   out->push_back(Item(emit_it_->second));
   ++emit_it_;
   return true;
+}
+
+bool GroupByPid::NextBatch(RowBatch* out) {
+  if (!grouped_) {
+    Status st = GroupAll();
+    if (!st.ok()) return Fail(std::move(st));
+  }
+  out->Clear();
+  while (emit_it_ != groups_.end()) {
+    RowVectorPtr data = emit_it_->second;
+    ++emit_it_;
+    if (data->empty()) continue;
+    out->Borrow(std::move(data));
+    out->MarkDurable();  // merged groups are not mutated after grouping
+    return true;
+  }
+  return false;
 }
 
 }  // namespace modularis

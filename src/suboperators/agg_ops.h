@@ -211,7 +211,16 @@ class GroupByPid : public SubOperator {
 
   bool Next(Tuple* out) override;
 
+  /// Record projection of the stream (docs/DESIGN-vectorized.md): each
+  /// merged group forwarded as one durable borrowed batch in ascending
+  /// pid order. The pid atom itself is only observable through Next();
+  /// batch and row pulls share the emit cursor.
+  bool NextBatch(RowBatch* out) override;
+
  private:
+  /// Drains the input and merges collections per pid.
+  Status GroupAll();
+
   std::map<int64_t, RowVectorPtr> groups_;
   std::map<int64_t, RowVectorPtr>::iterator emit_it_;
   bool grouped_ = false;

@@ -53,6 +53,13 @@ bool NestedMap::NextBatch(RowBatch* out) {
   }
 }
 
+bool NestedMap::NextBatchSelective(RowBatch* out) {
+  while (true) {
+    if (nested_open_ && nested_->NextBatchSelective(out)) return true;
+    if (!AdvanceNested()) return false;
+  }
+}
+
 Status NestedMap::Close() {
   Status st = Status::OK();
   if (nested_open_) {
@@ -65,43 +72,78 @@ Status NestedMap::Close() {
 }
 
 // ---------------------------------------------------------------------------
+// Projection
+// ---------------------------------------------------------------------------
+
+bool Projection::NextBatch(RowBatch* out) {
+  // Multi-item projections keep the tuple protocol (the adapter reports
+  // the arity error a batch consumer would hit anyway). The single-item
+  // form batches the projected item directly through the shared tuple-
+  // loop state machine — its own Next() already strips the envelope, so
+  // item 0 of this operator's tuples is the projected item.
+  if (indices_.size() != 1) return SubOperator::NextBatch(out);
+  return NextBatchFromTuples(out, 0, /*require_arity_one=*/false);
+}
+
+// ---------------------------------------------------------------------------
 // Filter
 // ---------------------------------------------------------------------------
 
-bool Filter::NextBatch(RowBatch* out) {
+bool Filter::NextBatchSelective(RowBatch* out) {
   // Multi-item streams (row_item != 0) cannot batch; the adapter
   // reports the arity error a batch consumer would hit anyway.
   if (row_item_ != 0) return SubOperator::NextBatch(out);
   out->Clear();
-  while (child(0)->NextBatch(&in_batch_)) {
+  while (child(0)->NextBatchSelective(&in_batch_)) {
     const size_t n = in_batch_.size();
     if (n == 0) continue;
-    // Leading all-pass run: if the whole batch passes, forward it
-    // zero-copy without touching any row bytes.
-    size_t i = 0;
-    while (i < n && predicate_->EvalBool(in_batch_.row(i))) ++i;
-    if (i == n) {
-      out->BorrowFrom(in_batch_);
+    // FilterBatch narrows sel_ in place, so an inherited selection is
+    // copied rather than aliased.
+    const uint32_t* in_sel = in_batch_.SelectionOrIdentity(&sel_);
+    if (in_sel != sel_.data()) sel_.assign(in_sel, in_sel + n);
+    RowSpan span{in_batch_.data(), in_batch_.row_size(), &in_batch_.schema()};
+    Status st =
+        predicate_->FilterBatch(span, &sel_, &expr_scratch_, /*checked=*/true);
+    if (!st.ok()) return Fail(std::move(st));
+    if (sel_.empty()) continue;
+    out->BorrowFrom(in_batch_);
+    if (!in_batch_.has_selection() && sel_.size() == in_batch_.dense_size()) {
+      // All-pass dense batch: forward unmodified (still stealable).
       return true;
     }
-    if (out_rows_ == nullptr ||
-        !out_rows_->schema().Equals(in_batch_.schema())) {
-      out_rows_ = RowVector::Make(in_batch_.schema());
-    } else {
-      out_rows_->Clear();
-    }
-    out_rows_->Reserve(n);
-    if (i > 0) out_rows_->AppendRawBatch(in_batch_.data(), i);
-    for (++i; i < n; ++i) {
-      if (predicate_->EvalBool(in_batch_.row(i))) {
-        out_rows_->AppendRaw(in_batch_.row(i).data());
-      }
-    }
-    if (out_rows_->empty()) continue;
-    out->Borrow(out_rows_);
+    out->SetSelection(sel_.data(), sel_.size());
     return true;
   }
   return ChildEnd(child(0));
+}
+
+bool Filter::NextBatch(RowBatch* out) {
+  if (row_item_ != 0) return SubOperator::NextBatch(out);
+  // The selective pull already loops past empty batches, so one call
+  // either yields a non-empty batch or ends the stream.
+  if (!NextBatchSelective(out)) return false;  // status set by the pull
+  if (!out->has_selection()) return true;  // all-pass, forwarded dense
+  // Compact the surviving rows; contiguous index runs collapse into
+  // one memcpy each.
+  if (out_rows_ == nullptr ||
+      !out_rows_->schema().Equals(in_batch_.schema())) {
+    out_rows_ = RowVector::Make(in_batch_.schema());
+  } else {
+    out_rows_->Clear();
+  }
+  const size_t m = sel_.size();
+  out_rows_->Reserve(m);
+  const uint32_t stride = in_batch_.row_size();
+  size_t i = 0;
+  while (i < m) {
+    size_t j = i + 1;
+    while (j < m && sel_[j] == sel_[j - 1] + 1) ++j;
+    out_rows_->AppendRawBatch(
+        in_batch_.data() + static_cast<size_t>(sel_[i]) * stride, j - i);
+    i = j;
+  }
+  out->Borrow(out_rows_);
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -163,23 +205,169 @@ bool MapOp::Next(Tuple* out) {
 bool MapOp::NextBatch(RowBatch* out) {
   if (row_item_ != 0) return SubOperator::NextBatch(out);
   out->Clear();
-  while (child(0)->NextBatch(&in_batch_)) {
-    const size_t n = in_batch_.size();
-    if (n == 0) continue;
-    if (out_rows_ == nullptr) {
-      out_rows_ = RowVector::Make(out_schema_);
-    } else {
-      out_rows_->Clear();
-    }
-    out_rows_->Reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-      RowWriter w = out_rows_->AppendRow();
-      WriteOutput(in_batch_.row(i), &w);
-    }
+  while (child(0)->NextBatchSelective(&in_batch_)) {
+    if (in_batch_.empty()) continue;
+    Status st = TransformBatch(in_batch_);
+    if (!st.ok()) return Fail(std::move(st));
     out->Borrow(out_rows_);
     return true;
   }
   return ChildEnd(child(0));
+}
+
+Status MapOp::TransformBatch(const RowBatch& in) {
+  const size_t n = in.size();
+  const uint32_t* sel = in.SelectionOrIdentity(&identity_sel_);
+  if (out_rows_ == nullptr) {
+    out_rows_ = RowVector::Make(out_schema_);
+  } else {
+    out_rows_->Clear();
+  }
+  // Zero-filled rows, so string padding matches the row path's AppendRow.
+  out_rows_->ResizeRows(n);
+  uint8_t* obase = out_rows_->mutable_data();
+  const uint32_t ostride = out_rows_->row_size();
+  const Schema& in_schema = in.schema();
+  const uint32_t istride = in.row_size();
+  const uint8_t* ibase = in.data();
+  RowSpan span{ibase, istride, &in_schema};
+  for (size_t c = 0; c < outputs_.size(); ++c) {
+    const MapOutput& spec = outputs_[c];
+    const int col = static_cast<int>(c);
+    const uint32_t ooff = out_schema_.offset(c);
+    if (spec.passthrough_col >= 0) {
+      const uint32_t ioff = in_schema.offset(spec.passthrough_col);
+      switch (in_schema.field(spec.passthrough_col).type) {
+        case AtomType::kInt32:
+        case AtomType::kDate:
+          for (size_t i = 0; i < n; ++i) {
+            std::memcpy(obase + i * ostride + ooff,
+                        ibase + static_cast<size_t>(sel[i]) * istride + ioff,
+                        sizeof(int32_t));
+          }
+          break;
+        case AtomType::kInt64:
+        case AtomType::kFloat64:
+          for (size_t i = 0; i < n; ++i) {
+            std::memcpy(obase + i * ostride + ooff,
+                        ibase + static_cast<size_t>(sel[i]) * istride + ioff,
+                        sizeof(int64_t));
+          }
+          break;
+        case AtomType::kString:
+          // Re-encode through Get/Set so width clamping and padding match
+          // the row path even when in/out widths differ.
+          for (size_t i = 0; i < n; ++i) {
+            RowWriter w(obase + i * ostride, &out_schema_);
+            w.SetString(col, span.row(sel[i]).GetString(spec.passthrough_col));
+          }
+          break;
+      }
+      continue;
+    }
+    BatchColumn* v = expr_scratch_.AcquireColumn();
+    Status st = spec.expr->EvalBatch(span, sel, n, v, &expr_scratch_);
+    if (st.ok()) st = StoreColumn(*v, col, ooff, obase, ostride, n);
+    expr_scratch_.ReleaseColumn();
+    MODULARIS_RETURN_NOT_OK(st);
+  }
+  return Status::OK();
+}
+
+/// Stores a batch-evaluated column into packed output rows, replicating
+/// WriteOutput's per-kind conversions exactly.
+Status MapOp::StoreColumn(const BatchColumn& v, int col, uint32_t ooff,
+                          uint8_t* obase, uint32_t ostride, size_t n) {
+  const AtomType out_type = out_schema_.field(col).type;
+  auto type_error = [&] {
+    return Status::InvalidArgument(
+        "Map: computed column " + std::to_string(col) +
+        " produced a value incompatible with " + AtomTypeName(out_type));
+  };
+  switch (out_type) {
+    case AtomType::kInt32:
+    case AtomType::kDate:
+      if (v.tag == BatchTag::kI64) {
+        for (size_t i = 0; i < n; ++i) {
+          int32_t x = static_cast<int32_t>(v.i64[i]);
+          std::memcpy(obase + i * ostride + ooff, &x, sizeof(x));
+        }
+      } else if (v.tag == BatchTag::kItem) {
+        for (size_t i = 0; i < n; ++i) {
+          if (!v.items[i].is_i64()) return type_error();
+          int32_t x = static_cast<int32_t>(v.items[i].i64());
+          std::memcpy(obase + i * ostride + ooff, &x, sizeof(x));
+        }
+      } else {
+        return type_error();
+      }
+      break;
+    case AtomType::kInt64:
+      if (v.tag == BatchTag::kI64) {
+        for (size_t i = 0; i < n; ++i) {
+          std::memcpy(obase + i * ostride + ooff, &v.i64[i], sizeof(int64_t));
+        }
+      } else if (v.tag == BatchTag::kF64) {
+        for (size_t i = 0; i < n; ++i) {
+          int64_t x = static_cast<int64_t>(v.f64[i]);
+          std::memcpy(obase + i * ostride + ooff, &x, sizeof(x));
+        }
+      } else if (v.tag == BatchTag::kItem) {
+        for (size_t i = 0; i < n; ++i) {
+          const Item& item = v.items[i];
+          int64_t x;
+          if (item.is_f64()) {
+            x = static_cast<int64_t>(item.f64());
+          } else if (item.is_i64()) {
+            x = item.i64();
+          } else {
+            return type_error();
+          }
+          std::memcpy(obase + i * ostride + ooff, &x, sizeof(x));
+        }
+      } else {
+        return type_error();
+      }
+      break;
+    case AtomType::kFloat64:
+      if (v.tag == BatchTag::kF64) {
+        for (size_t i = 0; i < n; ++i) {
+          std::memcpy(obase + i * ostride + ooff, &v.f64[i], sizeof(double));
+        }
+      } else if (v.tag == BatchTag::kI64) {
+        for (size_t i = 0; i < n; ++i) {
+          double x = static_cast<double>(v.i64[i]);
+          std::memcpy(obase + i * ostride + ooff, &x, sizeof(x));
+        }
+      } else if (v.tag == BatchTag::kItem) {
+        for (size_t i = 0; i < n; ++i) {
+          const Item& item = v.items[i];
+          if (!item.is_i64() && !item.is_f64()) return type_error();
+          double x = item.AsDouble();
+          std::memcpy(obase + i * ostride + ooff, &x, sizeof(x));
+        }
+      } else {
+        return type_error();
+      }
+      break;
+    case AtomType::kString:
+      if (v.tag == BatchTag::kStr) {
+        for (size_t i = 0; i < n; ++i) {
+          RowWriter w(obase + i * ostride, &out_schema_);
+          w.SetString(col, v.str[i]);
+        }
+      } else if (v.tag == BatchTag::kItem) {
+        for (size_t i = 0; i < n; ++i) {
+          if (!v.items[i].is_str()) return type_error();
+          RowWriter w(obase + i * ostride, &out_schema_);
+          w.SetString(col, v.items[i].str());
+        }
+      } else {
+        return type_error();
+      }
+      break;
+  }
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------

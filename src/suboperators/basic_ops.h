@@ -66,6 +66,8 @@ class NestedMap : public SubOperator {
   /// Batch path: forwards the nested plan's batches (the nested plan
   /// re-opens per input tuple exactly as in Next()).
   bool NextBatch(RowBatch* out) override;
+  /// Forwards the nested plan's selection batches untouched.
+  bool NextBatchSelective(RowBatch* out) override;
   Status Close() override;
 
   SubOperator* nested_plan() const { return nested_.get(); }
@@ -98,12 +100,18 @@ class Projection : public SubOperator {
     return true;
   }
 
+  /// Native batch path for the single-item form: the selected item of
+  /// each input tuple is batched directly (collections forwarded
+  /// zero-copy, rows packed), skipping the per-tuple Projection::Next.
+  bool NextBatch(RowBatch* out) override;
+
  private:
   std::vector<int> indices_;
 };
 
 /// Filter passes through record tuples whose row item satisfies the
-/// predicate expression.
+/// predicate expression. A predicate evaluating to a non-numeric value is
+/// a hard error on every path (row, batch, selective).
 class Filter : public SubOperator {
  public:
   Filter(SubOpPtr child, ExprPtr predicate, int row_item = 0)
@@ -116,7 +124,10 @@ class Filter : public SubOperator {
   bool Next(Tuple* out) override {
     Tuple t;
     while (child(0)->Next(&t)) {
-      if (predicate_->EvalBool(t[row_item_].row())) {
+      bool keep = false;
+      Status st = predicate_->EvalBoolChecked(t[row_item_].row(), &keep);
+      if (!st.ok()) return Fail(std::move(st));
+      if (keep) {
         *out = std::move(t);
         return true;
       }
@@ -127,9 +138,15 @@ class Filter : public SubOperator {
   /// Only the common row_item == 0 form is a plain record stream.
   bool ProducesRecordStream() const override { return row_item_ == 0; }
 
-  /// Batch path: evaluates the predicate over a whole input batch and
-  /// compacts the selected rows; an all-pass batch is forwarded zero-copy.
+  /// Dense batch path: selective pull + compaction of the surviving rows
+  /// (contiguous runs copied in one memcpy); an all-pass batch is
+  /// forwarded zero-copy.
   bool NextBatch(RowBatch* out) override;
+
+  /// Selection path: the predicate kernel narrows a selection vector over
+  /// the input batch, which is forwarded in place — surviving rows are
+  /// never copied. Chains through upstream selections.
+  bool NextBatchSelective(RowBatch* out) override;
 
   const ExprPtr& predicate() const { return predicate_; }
 
@@ -138,6 +155,8 @@ class Filter : public SubOperator {
   int row_item_;
   RowBatch in_batch_;
   RowVectorPtr out_rows_;
+  SelVector sel_;
+  BatchScratch expr_scratch_;
 };
 
 /// One output column of a Map: either a passthrough of an input column or
@@ -174,11 +193,19 @@ class MapOp : public SubOperator {
   bool Next(Tuple* out) override;
   /// Only the common row_item == 0 form is a plain record stream.
   bool ProducesRecordStream() const override { return row_item_ == 0; }
-  /// Batch path: transforms a whole input batch into an output batch.
+  /// Batch path: pulls selectively (consuming upstream Filter selection
+  /// vectors without an intermediate compaction copy) and projects whole
+  /// batches column-wise through the batch expression kernels.
   bool NextBatch(RowBatch* out) override;
 
  private:
   void WriteOutput(const RowRef& in, RowWriter* w);
+  /// Column-wise projection of the (possibly selection-carrying) input
+  /// batch into out_rows_.
+  Status TransformBatch(const RowBatch& in);
+  /// Stores one batch-evaluated column into the packed output rows.
+  Status StoreColumn(const BatchColumn& v, int col, uint32_t ooff,
+                     uint8_t* obase, uint32_t ostride, size_t n);
 
   Schema out_schema_;
   std::vector<MapOutput> outputs_;
@@ -186,6 +213,8 @@ class MapOp : public SubOperator {
   RowVectorPtr scratch_;
   RowBatch in_batch_;
   RowVectorPtr out_rows_;
+  SelVector identity_sel_;
+  BatchScratch expr_scratch_;
 };
 
 /// ParametrizedMap transforms each record of its data upstream with a

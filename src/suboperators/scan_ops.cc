@@ -1,6 +1,83 @@
 #include "suboperators/scan_ops.h"
 
+#include <algorithm>
+#include <cstring>
+
 namespace modularis {
+
+// ---------------------------------------------------------------------------
+// ColumnScan
+// ---------------------------------------------------------------------------
+
+bool ColumnScan::NextBatch(RowBatch* out) {
+  out->Clear();
+  while (true) {
+    if (current_ != nullptr && pos_ < current_->num_rows()) {
+      const size_t n =
+          std::min(current_->num_rows() - pos_, RowBatch::kDefaultRows);
+      if (batch_rows_ == nullptr) {
+        batch_rows_ = RowVector::Make(schema_);
+      } else {
+        batch_rows_->Clear();
+      }
+      // Zero-filled rows so string padding matches the row path.
+      batch_rows_->ResizeRows(n);
+      uint8_t* base = batch_rows_->mutable_data();
+      const uint32_t stride = batch_rows_->row_size();
+      for (size_t c = 0; c < schema_.num_fields(); ++c) {
+        const Column& column = current_->column(c);
+        const uint32_t off = schema_.offset(c);
+        const int col = static_cast<int>(c);
+        switch (schema_.field(c).type) {
+          case AtomType::kInt32:
+          case AtomType::kDate: {
+            const std::vector<int32_t>& v = column.i32_data();
+            for (size_t i = 0; i < n; ++i) {
+              std::memcpy(base + i * stride + off, &v[pos_ + i],
+                          sizeof(int32_t));
+            }
+            break;
+          }
+          case AtomType::kInt64: {
+            const std::vector<int64_t>& v = column.i64_data();
+            for (size_t i = 0; i < n; ++i) {
+              std::memcpy(base + i * stride + off, &v[pos_ + i],
+                          sizeof(int64_t));
+            }
+            break;
+          }
+          case AtomType::kFloat64: {
+            const std::vector<double>& v = column.f64_data();
+            for (size_t i = 0; i < n; ++i) {
+              std::memcpy(base + i * stride + off, &v[pos_ + i],
+                          sizeof(double));
+            }
+            break;
+          }
+          case AtomType::kString: {
+            for (size_t i = 0; i < n; ++i) {
+              RowWriter w(base + i * stride, &schema_);
+              w.SetString(col, column.GetString(pos_ + i));
+            }
+            break;
+          }
+        }
+      }
+      pos_ += n;
+      out->Borrow(batch_rows_);
+      return true;
+    }
+    Tuple t;
+    if (!child(0)->Next(&t)) return ChildEnd(child(0));
+    const Item& item = t[item_index_];
+    if (!item.is_table()) {
+      return Fail(Status::InvalidArgument(
+          "ColumnScan expects a table item, got " + item.ToString()));
+    }
+    current_ = item.table();
+    pos_ = 0;
+  }
+}
 
 bool MaterializeRowVector::Next(Tuple* out) {
   if (done_) return false;

@@ -174,10 +174,16 @@ class ColumnScan : public SubOperator {
     }
   }
 
+  /// Native batch path: materializes up to kDefaultRows records at a time
+  /// column-wise (one type dispatch per column chunk instead of one per
+  /// cell). Continues from wherever Next() left the scan.
+  bool NextBatch(RowBatch* out) override;
+
  private:
   Schema schema_;
   int item_index_;
   RowVectorPtr scratch_;
+  RowVectorPtr batch_rows_;
   ColumnTablePtr current_;
   size_t pos_ = 0;
 };

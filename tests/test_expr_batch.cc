@@ -1,0 +1,537 @@
+/// \file test_expr_batch.cc
+/// Differential/property harness for the batch expression evaluator:
+/// thousands of random (seeded, reproducible) Expr trees over a mixed
+/// i64/f64/string/i32/date schema, asserting that the column-wise kernels
+/// (EvalBatch) and selection-vector predicates (FilterBatch) are
+/// byte-equal to the interpreted per-row oracle (Eval / EvalBoolChecked),
+/// including division-by-zero (yields f64 0.0), -0.0, empty strings,
+/// empty batches, subset selections, and the hard-error rule for
+/// non-numeric predicate results. Plus operator-level regressions for the
+/// selection-vector flow through Filter → Map → ReduceByKey.
+
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/exec_context.h"
+#include "core/expr.h"
+#include "suboperators/agg_ops.h"
+#include "suboperators/basic_ops.h"
+#include "suboperators/scan_ops.h"
+
+namespace modularis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Random data / tree generation
+// ---------------------------------------------------------------------------
+
+Schema TestSchema() {
+  return Schema({Field::I64("a"), Field::F64("b"), Field::Str("s", 8),
+                 Field::I32("c"), Field::Date("d"), Field::I64("e")});
+}
+
+const std::vector<std::string>& StringPool() {
+  static const std::vector<std::string> pool = {
+      "", "a", "ab", "abc", "abcdefgh", "zz", "even", "odd", "a_c", "%"};
+  return pool;
+}
+
+const std::vector<int64_t>& IntPool() {
+  // "NULL-ish" and boundary-flavored values, bounded so arithmetic stays
+  // away from signed-overflow UB (both paths would hit it identically,
+  // but the harness should not rely on that).
+  static const std::vector<int64_t> pool = {0,  1,  -1, 2,   -2,  7,
+                                            42, -9, 50, 999, -999, 100000};
+  return pool;
+}
+
+const std::vector<double>& DoublePool() {
+  static const std::vector<double> pool = {0.0,  -0.0, 1.0,   -1.0, 0.5,
+                                           -2.25, 3.75, 1e12, -1e12, 41.0};
+  return pool;
+}
+
+RowVectorPtr MakeRows(std::mt19937_64* rng, size_t n) {
+  RowVectorPtr rows = RowVector::Make(TestSchema());
+  std::uniform_int_distribution<size_t> spick(0, StringPool().size() - 1);
+  std::uniform_int_distribution<size_t> ipick(0, IntPool().size() - 1);
+  std::uniform_int_distribution<size_t> dpick(0, DoublePool().size() - 1);
+  for (size_t i = 0; i < n; ++i) {
+    RowWriter w = rows->AppendRow();
+    w.SetInt64(0, IntPool()[ipick(*rng)]);
+    w.SetFloat64(1, DoublePool()[dpick(*rng)]);
+    w.SetString(2, StringPool()[spick(*rng)]);
+    w.SetInt32(3, static_cast<int32_t>(IntPool()[ipick(*rng)]));
+    w.SetDate(4, static_cast<int32_t>(IntPool()[ipick(*rng)] & 0x7fff));
+    w.SetInt64(5, IntPool()[ipick(*rng)]);
+  }
+  return rows;
+}
+
+enum class Want { kBool, kNum, kStr };
+
+ExprPtr Gen(std::mt19937_64* rng, int depth, Want want);
+
+ExprPtr GenStr(std::mt19937_64* rng, int depth) {
+  std::uniform_int_distribution<int> pick(0, depth > 0 ? 3 : 2);
+  switch (pick(*rng)) {
+    case 0:
+      return ex::Col(2);
+    case 1:
+    case 2: {
+      std::uniform_int_distribution<size_t> s(0, StringPool().size() - 1);
+      return ex::Lit(StringPool()[s(*rng)]);
+    }
+    default:
+      return ex::If(Gen(rng, depth - 1, Want::kBool),
+                    Gen(rng, depth - 1, Want::kStr),
+                    Gen(rng, depth - 1, Want::kStr));
+  }
+}
+
+ExprPtr GenNum(std::mt19937_64* rng, int depth) {
+  std::uniform_int_distribution<int> pick(0, depth > 0 ? 9 : 4);
+  switch (pick(*rng)) {
+    case 0:
+      return ex::Col(0);
+    case 1:
+      return ex::Col(1);
+    case 2: {
+      std::uniform_int_distribution<int> c(0, 2);
+      return ex::Col(3 + c(*rng));  // i32 / date / i64
+    }
+    case 3: {
+      std::uniform_int_distribution<size_t> s(0, IntPool().size() - 1);
+      return ex::Lit(IntPool()[s(*rng)]);
+    }
+    case 4: {
+      std::uniform_int_distribution<size_t> s(0, DoublePool().size() - 1);
+      return ex::Lit(DoublePool()[s(*rng)]);
+    }
+    case 5:
+    case 6:
+    case 7: {
+      std::uniform_int_distribution<int> op(0, 3);
+      return ex::Arith(static_cast<ArithOp>(op(*rng)),
+                       Gen(rng, depth - 1, Want::kNum),
+                       Gen(rng, depth - 1, Want::kNum));
+    }
+    case 8:
+      // Mixed-type IF branches exercise the interpreted kItem fallback.
+      return ex::If(Gen(rng, depth - 1, Want::kBool),
+                    Gen(rng, depth - 1, Want::kNum),
+                    Gen(rng, depth - 1, Want::kNum));
+    default:
+      return Gen(rng, depth - 1, Want::kBool);  // 0/1 as a number
+  }
+}
+
+ExprPtr GenBool(std::mt19937_64* rng, int depth) {
+  std::uniform_int_distribution<int> pick(0, depth > 0 ? 11 : 1);
+  std::uniform_int_distribution<int> cmp(0, 5);
+  switch (pick(*rng)) {
+    case 0:
+    case 1:
+      return ex::Cmp(static_cast<CmpOp>(cmp(*rng)),
+                     Gen(rng, depth - 1, Want::kNum),
+                     Gen(rng, depth - 1, Want::kNum));
+    case 2:
+      return ex::Cmp(static_cast<CmpOp>(cmp(*rng)),
+                     Gen(rng, depth - 1, Want::kStr),
+                     Gen(rng, depth - 1, Want::kStr));
+    case 3:
+      // Mixed string/number comparison: the empty-view CompareViews rule.
+      return ex::Cmp(static_cast<CmpOp>(cmp(*rng)),
+                     Gen(rng, depth - 1, Want::kNum),
+                     Gen(rng, depth - 1, Want::kStr));
+    case 4:
+      return ex::And(Gen(rng, depth - 1, Want::kBool),
+                     Gen(rng, depth - 1, Want::kBool));
+    case 5:
+      return ex::Or(Gen(rng, depth - 1, Want::kBool),
+                    Gen(rng, depth - 1, Want::kBool));
+    case 6:
+      return ex::Not(Gen(rng, depth - 1, Want::kBool));
+    case 7: {
+      static const std::vector<std::string> patterns = {
+          "a%", "%b", "_b%", "%", "", "ab", "a_c", "%e%"};
+      std::uniform_int_distribution<size_t> p(0, patterns.size() - 1);
+      return ex::Like(Gen(rng, depth - 1, Want::kStr), patterns[p(*rng)]);
+    }
+    case 8: {
+      std::uniform_int_distribution<size_t> s(0, StringPool().size() - 1);
+      return ex::InStr(Gen(rng, depth - 1, Want::kStr),
+                       {StringPool()[s(*rng)], StringPool()[s(*rng)], "ab"});
+    }
+    case 9: {
+      std::uniform_int_distribution<size_t> s(0, IntPool().size() - 1);
+      return ex::InInt(Gen(rng, depth - 1, Want::kNum),
+                       {IntPool()[s(*rng)], IntPool()[s(*rng)], 0});
+    }
+    case 10:
+      return ex::Between(Gen(rng, depth - 1, Want::kNum),
+                         ex::Lit(int64_t{-2}), ex::Lit(int64_t{50}));
+    default:
+      return ex::If(Gen(rng, depth - 1, Want::kBool),
+                    Gen(rng, depth - 1, Want::kBool),
+                    Gen(rng, depth - 1, Want::kBool));
+  }
+}
+
+ExprPtr Gen(std::mt19937_64* rng, int depth, Want want) {
+  switch (want) {
+    case Want::kBool: return GenBool(rng, depth);
+    case Want::kNum: return GenNum(rng, depth);
+    case Want::kStr: return GenStr(rng, depth);
+  }
+  return ex::Lit(int64_t{0});
+}
+
+// ---------------------------------------------------------------------------
+// Differential checks
+// ---------------------------------------------------------------------------
+
+/// Compares one batch-evaluated value against the interpreted oracle.
+void ExpectValueEqual(const BatchColumn& col, size_t i, const Item& expected,
+                      const std::string& label) {
+  switch (col.tag) {
+    case BatchTag::kI64:
+      ASSERT_TRUE(expected.is_i64()) << label;
+      ASSERT_EQ(col.i64[i], expected.i64()) << label;
+      break;
+    case BatchTag::kF64: {
+      ASSERT_TRUE(expected.is_f64()) << label;
+      double got = col.f64[i], want = expected.f64();
+      ASSERT_EQ(0, std::memcmp(&got, &want, sizeof(double)))
+          << label << ": " << got << " vs " << want;
+      break;
+    }
+    case BatchTag::kStr:
+      ASSERT_TRUE(expected.is_str()) << label;
+      ASSERT_EQ(std::string(col.str[i]), expected.str()) << label;
+      break;
+    case BatchTag::kItem:
+      ASSERT_TRUE(col.items[i] == expected)
+          << label << ": " << col.items[i].ToString() << " vs "
+          << expected.ToString();
+      break;
+  }
+}
+
+/// Runs every differential check for one expression over one row set.
+void CheckTree(const ExprPtr& expr, const RowVector& rows,
+               const SelVector& sel, BatchScratch* scratch,
+               const std::string& label) {
+  RowSpan span{rows.data(), rows.row_size(), &rows.schema()};
+  const size_t n = sel.size();
+
+  // 1. Value parity: batch kernel vs per-row Eval().
+  BatchColumn col;
+  Status st = expr->EvalBatch(span, sel.data(), n, &col, scratch);
+  ASSERT_TRUE(st.ok()) << label << ": " << st.ToString();
+  ASSERT_EQ(col.size(), n) << label;
+  ASSERT_EQ(col.tag, expr->BatchType(rows.schema())) << label;
+  for (size_t i = 0; i < n; ++i) {
+    Item expected = expr->Eval(rows.row(sel[i]));
+    ExpectValueEqual(col, i, expected, label + " row " + std::to_string(i));
+  }
+
+  // 2. Checked predicate parity: FilterBatch vs per-row EvalBoolChecked.
+  SelVector expected_sel;
+  bool oracle_error = false;
+  for (size_t i = 0; i < n && !oracle_error; ++i) {
+    bool keep = false;
+    Status est = expr->EvalBoolChecked(rows.row(sel[i]), &keep);
+    if (!est.ok()) {
+      oracle_error = true;
+    } else if (keep) {
+      expected_sel.push_back(sel[i]);
+    }
+  }
+  SelVector got_sel = sel;
+  st = expr->FilterBatch(span, &got_sel, scratch, /*checked=*/true);
+  if (oracle_error) {
+    ASSERT_FALSE(st.ok()) << label << ": oracle errored, batch did not";
+  } else {
+    ASSERT_TRUE(st.ok()) << label << ": " << st.ToString();
+    ASSERT_EQ(got_sel, expected_sel) << label;
+  }
+
+  // 3. Unchecked predicate parity: legacy EvalBool semantics, no errors.
+  SelVector expected_unchecked;
+  for (size_t i = 0; i < n; ++i) {
+    if (expr->EvalBool(rows.row(sel[i]))) expected_unchecked.push_back(sel[i]);
+  }
+  got_sel = sel;
+  st = expr->FilterBatch(span, &got_sel, scratch, /*checked=*/false);
+  ASSERT_TRUE(st.ok()) << label << ": " << st.ToString();
+  ASSERT_EQ(got_sel, expected_unchecked) << label;
+
+  // 4. Empty selection: trivially OK on every path.
+  SelVector empty;
+  st = expr->FilterBatch(span, &empty, scratch, /*checked=*/true);
+  ASSERT_TRUE(st.ok()) << label;
+  ASSERT_TRUE(empty.empty()) << label;
+  st = expr->EvalBatch(span, nullptr, 0, &col, scratch);
+  ASSERT_TRUE(st.ok()) << label;
+  ASSERT_EQ(col.size(), 0u) << label;
+}
+
+TEST(ExprBatchDifferentialTest, RandomTreesMatchInterpretedOracle) {
+  const size_t kRows = 96;
+  const int kTreesPerKind = 420;  // 3 kinds → 1260 trees total
+  BatchScratch scratch;
+  for (int kind = 0; kind < 3; ++kind) {
+    for (int t = 0; t < kTreesPerKind; ++t) {
+      std::mt19937_64 rng(1000003u * kind + t);  // seeded, reproducible
+      RowVectorPtr rows = MakeRows(&rng, kRows);
+      ExprPtr expr = Gen(&rng, 4, static_cast<Want>(kind));
+      std::string label = "kind=" + std::to_string(kind) +
+                          " tree=" + std::to_string(t) + " " +
+                          expr->ToString();
+
+      // Identity selection over the full batch.
+      SelVector all(kRows);
+      for (size_t i = 0; i < kRows; ++i) all[i] = static_cast<uint32_t>(i);
+      CheckTree(expr, *rows, all, &scratch, label);
+
+      // Random subset selection (kernels must honor gaps).
+      SelVector subset;
+      std::uniform_int_distribution<int> coin(0, 2);
+      for (size_t i = 0; i < kRows; ++i) {
+        if (coin(rng) == 0) subset.push_back(static_cast<uint32_t>(i));
+      }
+      CheckTree(expr, *rows, subset, &scratch, label + " (subset)");
+    }
+  }
+}
+
+TEST(ExprBatchDifferentialTest, EmptyBatchAllPaths) {
+  RowVectorPtr rows = RowVector::Make(TestSchema());
+  RowSpan span{rows->data(), rows->row_size(), &rows->schema()};
+  BatchScratch scratch;
+  ExprPtr expr = ex::And(ex::Lt(ex::Col(0), ex::Lit(int64_t{3})),
+                         ex::Like(ex::Col(2), "a%"));
+  SelVector sel;
+  ASSERT_TRUE(expr->FilterBatch(span, &sel, &scratch, true).ok());
+  EXPECT_TRUE(sel.empty());
+  BatchColumn col;
+  ASSERT_TRUE(expr->EvalBatch(span, nullptr, 0, &col, &scratch).ok());
+  EXPECT_EQ(col.size(), 0u);
+}
+
+TEST(ExprBatchDifferentialTest, DivisionByZeroYieldsFloat64Zero) {
+  std::mt19937_64 rng(7);
+  RowVectorPtr rows = MakeRows(&rng, 64);
+  BatchScratch scratch;
+  ExprPtr expr = ex::Div(ex::Col(0), ex::Lit(int64_t{0}));
+  ASSERT_EQ(expr->BatchType(rows->schema()), BatchTag::kF64);
+  SelVector all(rows->size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<uint32_t>(i);
+  CheckTree(expr, *rows, all, &scratch, "div-by-zero");
+  RowSpan span{rows->data(), rows->row_size(), &rows->schema()};
+  BatchColumn col;
+  ASSERT_TRUE(expr->EvalBatch(span, all.data(), all.size(), &col, &scratch)
+                  .ok());
+  for (size_t i = 0; i < col.size(); ++i) EXPECT_EQ(col.f64[i], 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Non-numeric predicate results are hard errors (regression)
+// ---------------------------------------------------------------------------
+
+RowVectorPtr MixedRows(size_t n) {
+  std::mt19937_64 rng(11);
+  return MakeRows(&rng, n);
+}
+
+SubOpPtr ScanOf(const RowVectorPtr& data) {
+  return std::make_unique<RowScan>(std::make_unique<CollectionSource>(
+      std::vector<RowVectorPtr>{data}));
+}
+
+TEST(StringPredicateTest, ExprLevelCheckedError) {
+  RowVectorPtr rows = MixedRows(8);
+  ExprPtr pred = ex::Col(2);  // string column used as a predicate
+  bool keep = false;
+  Status st = pred->EvalBoolChecked(rows->row(0), &keep);
+  EXPECT_FALSE(st.ok());
+  // Legacy unchecked EvalBool keeps the silent-false behavior.
+  EXPECT_FALSE(pred->EvalBool(rows->row(0)));
+
+  BatchScratch scratch;
+  RowSpan span{rows->data(), rows->row_size(), &rows->schema()};
+  SelVector sel = {0, 1, 2};
+  EXPECT_FALSE(pred->FilterBatch(span, &sel, &scratch, true).ok());
+  sel = {0, 1, 2};
+  ASSERT_TRUE(pred->FilterBatch(span, &sel, &scratch, false).ok());
+  EXPECT_TRUE(sel.empty());
+}
+
+TEST(StringPredicateTest, FilterRowPathFailsHard) {
+  Filter filter(ScanOf(MixedRows(16)), ex::Col(2));
+  ExecContext ctx;
+  ASSERT_TRUE(filter.Open(&ctx).ok());
+  Tuple t;
+  EXPECT_FALSE(filter.Next(&t));
+  EXPECT_FALSE(filter.status().ok());
+}
+
+TEST(StringPredicateTest, FilterBatchPathFailsHard) {
+  Filter filter(ScanOf(MixedRows(16)),
+                ex::And(ex::Ge(ex::Col(0), ex::Lit(int64_t{-1000000})),
+                        ex::Col(2)));
+  ExecContext ctx;
+  ASSERT_TRUE(filter.Open(&ctx).ok());
+  RowBatch batch;
+  EXPECT_FALSE(filter.NextBatch(&batch));
+  EXPECT_FALSE(filter.status().ok());
+}
+
+// ---------------------------------------------------------------------------
+// Selection-vector flow through the operator stack
+// ---------------------------------------------------------------------------
+
+TEST(SelectionFlowTest, FilterAttachesSelectionWithoutCopy) {
+  RowVectorPtr data = RowVector::Make(KeyValueSchema());
+  for (int64_t i = 0; i < 100; ++i) {
+    RowWriter w = data->AppendRow();
+    w.SetInt64(0, i % 10);
+    w.SetInt64(1, i);
+  }
+  // Partial pass: selection attached, rows left in place.
+  Filter partial(ScanOf(data), ex::Lt(ex::Col(0), ex::Lit(int64_t{5})));
+  ExecContext ctx;
+  ASSERT_TRUE(partial.Open(&ctx).ok());
+  RowBatch batch;
+  ASSERT_TRUE(partial.NextBatchSelective(&batch));
+  EXPECT_TRUE(batch.has_selection());
+  EXPECT_EQ(batch.size(), 50u);
+  EXPECT_EQ(batch.dense_size(), 100u);
+  EXPECT_EQ(batch.data(), data->data());  // zero copy
+  EXPECT_EQ(batch.row(1).GetInt64(1), 1);
+  ASSERT_TRUE(partial.Close().ok());
+
+  // All-pass: forwarded dense, no selection.
+  Filter all(ScanOf(data), ex::Lt(ex::Col(0), ex::Lit(int64_t{100})));
+  ASSERT_TRUE(all.Open(&ctx).ok());
+  ASSERT_TRUE(all.NextBatchSelective(&batch));
+  EXPECT_FALSE(batch.has_selection());
+  EXPECT_EQ(batch.size(), 100u);
+  EXPECT_EQ(batch.data(), data->data());
+}
+
+TEST(SelectionFlowTest, ChainedFiltersNarrowOneSelection) {
+  RowVectorPtr data = RowVector::Make(KeyValueSchema());
+  for (int64_t i = 0; i < 1000; ++i) {
+    RowWriter w = data->AppendRow();
+    w.SetInt64(0, i);
+    w.SetInt64(1, -i);
+  }
+  auto inner =
+      std::make_unique<Filter>(ScanOf(data),
+                               ex::Ge(ex::Col(0), ex::Lit(int64_t{100})));
+  Filter outer(std::move(inner), ex::Lt(ex::Col(0), ex::Lit(int64_t{200})));
+  ExecContext ctx;
+  ASSERT_TRUE(outer.Open(&ctx).ok());
+  RowBatch batch;
+  ASSERT_TRUE(outer.NextBatchSelective(&batch));
+  EXPECT_TRUE(batch.has_selection());
+  EXPECT_EQ(batch.size(), 100u);
+  EXPECT_EQ(batch.data(), data->data());  // still the base collection
+  EXPECT_EQ(batch.row(0).GetInt64(0), 100);
+  EXPECT_EQ(batch.row(99).GetInt64(0), 199);
+}
+
+/// Full Filter → Map → ReduceByKey plan: vectorized (selection-vector)
+/// path must be byte-identical to the row-at-a-time oracle.
+TEST(SelectionFlowTest, FilterMapReduceParity) {
+  RowVectorPtr data = RowVector::Make(KeyValueSchema());
+  std::mt19937_64 rng(23);
+  std::uniform_int_distribution<int64_t> dist(0, 999);
+  for (int64_t i = 0; i < 20000; ++i) {
+    RowWriter w = data->AppendRow();
+    w.SetInt64(0, dist(rng));
+    w.SetInt64(1, i);
+  }
+  Schema mapped({Field::I64("g"), Field::F64("x")});
+  auto make_plan = [&] {
+    auto filter = std::make_unique<Filter>(
+        ScanOf(data), ex::And(ex::Ge(ex::Col(0), ex::Lit(int64_t{100})),
+                              ex::Lt(ex::Col(0), ex::Lit(int64_t{600}))));
+    auto map = std::make_unique<MapOp>(
+        std::move(filter), mapped,
+        std::vector<MapOutput>{
+            MapOutput::Compute(ex::Sub(ex::Col(0), ex::Lit(int64_t{100}))),
+            MapOutput::Compute(ex::Div(ex::Col(1), ex::Lit(3.0)))});
+    return std::make_unique<ReduceByKey>(
+        std::move(map), std::vector<int>{0},
+        std::vector<AggSpec>{
+            AggSpec{AggKind::kSum, ex::Col(1), "sum", AtomType::kFloat64},
+            AggSpec{AggKind::kCount, nullptr, "cnt", AtomType::kInt64}},
+        mapped);
+  };
+  RowVectorPtr baseline, got;
+  for (bool vectorized : {false, true}) {
+    auto plan = make_plan();
+    ExecContext ctx;
+    ctx.options.enable_vectorized = vectorized;
+    ASSERT_TRUE(plan->Open(&ctx).ok());
+    RowVectorPtr result = RowVector::Make(plan->out_schema());
+    Tuple t;
+    while (plan->Next(&t)) result->AppendRaw(t[0].row().data());
+    ASSERT_TRUE(plan->status().ok()) << plan->status().ToString();
+    ASSERT_TRUE(plan->Close().ok());
+    (vectorized ? got : baseline) = std::move(result);
+  }
+  ASSERT_GT(baseline->size(), 0u);
+  ASSERT_EQ(baseline->size(), got->size());
+  ASSERT_EQ(0, std::memcmp(baseline->data(), got->data(),
+                           baseline->byte_size()));
+}
+
+/// Map over a mixed schema straight from the differential generator's
+/// domain: passthroughs of every type plus computed columns.
+TEST(SelectionFlowTest, MapMixedSchemaParity) {
+  std::mt19937_64 rng(31);
+  RowVectorPtr data = MakeRows(&rng, 5000);
+  Schema out({Field::I64("a"), Field::Str("s", 8), Field::I32("c"),
+              Field::F64("q"), Field::I64("flag")});
+  auto make_plan = [&] {
+    auto filter = std::make_unique<Filter>(
+        ScanOf(data), ex::Or(ex::Like(ex::Col(2), "a%"),
+                             ex::Gt(ex::Col(1), ex::Lit(0.0))));
+    return std::make_unique<MapOp>(
+        std::move(filter), out,
+        std::vector<MapOutput>{
+            MapOutput::Pass(0), MapOutput::Pass(2), MapOutput::Pass(3),
+            MapOutput::Compute(ex::Add(ex::Col(1), ex::Col(0))),
+            MapOutput::Compute(ex::If(ex::Eq(ex::Col(2), ex::Lit("ab")),
+                                      ex::Lit(int64_t{1}),
+                                      ex::Lit(int64_t{0})))});
+  };
+  RowVectorPtr baseline, got;
+  for (bool vectorized : {false, true}) {
+    auto plan = make_plan();
+    ExecContext ctx;
+    ctx.options.enable_vectorized = vectorized;
+    MaterializeRowVector mat(std::move(plan), out);
+    ASSERT_TRUE(mat.Open(&ctx).ok());
+    Tuple t;
+    ASSERT_TRUE(mat.Next(&t));
+    ASSERT_TRUE(mat.status().ok());
+    ASSERT_TRUE(mat.Close().ok());
+    (vectorized ? got : baseline) = t[0].collection();
+  }
+  ASSERT_GT(baseline->size(), 0u);
+  ASSERT_EQ(baseline->size(), got->size());
+  ASSERT_EQ(0, std::memcmp(baseline->data(), got->data(),
+                           baseline->byte_size()));
+}
+
+}  // namespace
+}  // namespace modularis

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for BENCH_micro.json.
+
+Compares the current run against the committed baseline and fails on a
+throughput (rows_per_sec) regression beyond --threshold in the gated
+microbenches: the partition→build→probe pipeline and the filter-heavy
+expression benches.
+
+Because CI machines differ from the machine that produced the committed
+baseline, throughputs are first rescaled by a calibration bench
+(--calibrate, default radix_histogram: pure memory bandwidth, untouched
+by engine changes). The gate therefore measures "did this change slow the
+gated paths down relative to the machine's speed", which is stable across
+hosts; ratios like vectorized-vs-row speedups are additionally gated
+directly.
+
+Usage: bench_gate.py BASELINE.json CURRENT.json [--threshold 0.15]
+"""
+
+import argparse
+import json
+import sys
+
+GATED_OPS = [
+    ("partition_build_probe", False),
+    ("partition_build_probe", True),
+    ("filter_map", False),
+    ("filter_map", True),
+    ("expr_filter_interp_p01", False),
+    ("expr_filter_interp_p50", False),
+    ("expr_filter_interp_p99", False),
+    ("expr_filter_batch_p01", True),
+    ("expr_filter_batch_p50", True),
+    ("expr_filter_batch_p99", True),
+    ("reduce_by_key", False),
+    ("reduce_by_key", True),
+]
+
+# (op, off/on): the vectorized-vs-row speedup ratios that must not decay.
+GATED_RATIOS = ["partition_build_probe", "filter_map", "reduce_by_key"]
+
+
+def load(path):
+    with open(path) as f:
+        entries = json.load(f)
+    table = {}
+    for e in entries:
+        table[(e["op"], e.get("vectorized"))] = e
+    return table
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=0.15,
+                    help="max allowed fractional throughput regression")
+    ap.add_argument("--calibrate", default="radix_histogram",
+                    help="bench used to normalize machine speed ('' = off)")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+
+    scale = 1.0
+    if args.calibrate:
+        bkey = (args.calibrate, None)
+        if bkey in base and bkey in cur:
+            scale = cur[bkey]["rows_per_sec"] / base[bkey]["rows_per_sec"]
+            print(f"calibration ({args.calibrate}): machine speed factor "
+                  f"{scale:.3f}")
+        else:
+            print(f"calibration bench {args.calibrate!r} missing; "
+                  "comparing raw throughputs")
+
+    failures = []
+    for op, vec in GATED_OPS:
+        key = (op, vec)
+        if key not in base:
+            print(f"  NEW      {op} vectorized={vec} (no baseline entry)")
+            continue
+        if key not in cur:
+            failures.append(f"{op} vectorized={vec}: missing from current run")
+            continue
+        expected = base[key]["rows_per_sec"] * scale
+        got = cur[key]["rows_per_sec"]
+        delta = got / expected - 1.0
+        status = "OK"
+        if got < expected * (1.0 - args.threshold):
+            status = "REGRESSION"
+            failures.append(
+                f"{op} vectorized={vec}: {got / 1e6:.2f} Mrows/s vs expected "
+                f"{expected / 1e6:.2f} Mrows/s ({delta * 100:+.1f}%)")
+        print(f"  {status:10s} {op} vectorized={vec}: {delta * 100:+.1f}% "
+              f"vs calibrated baseline")
+
+    for op in GATED_RATIOS:
+        off_b, on_b = base.get((op, False)), base.get((op, True))
+        off_c, on_c = cur.get((op, False)), cur.get((op, True))
+        if not (off_b and on_b and off_c and on_c):
+            continue
+        ratio_b = on_b["rows_per_sec"] / off_b["rows_per_sec"]
+        ratio_c = on_c["rows_per_sec"] / off_c["rows_per_sec"]
+        delta = ratio_c / ratio_b - 1.0
+        status = "OK"
+        if ratio_c < ratio_b * (1.0 - args.threshold):
+            status = "REGRESSION"
+            failures.append(
+                f"{op} speedup ratio: {ratio_c:.2f}x vs baseline "
+                f"{ratio_b:.2f}x ({delta * 100:+.1f}%)")
+        print(f"  {status:10s} {op} vectorized speedup: {ratio_c:.2f}x "
+              f"(baseline {ratio_b:.2f}x)")
+
+    if failures:
+        print("\nbench gate FAILED:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("\nbench gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
