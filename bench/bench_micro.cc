@@ -16,10 +16,12 @@
 #include <memory>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/exec_context.h"
 #include "core/expr.h"
+#include "core/parallel.h"
 #include "core/pipeline.h"
 #include "storage/column_file.h"
 #include "suboperators/agg_ops.h"
@@ -38,6 +40,7 @@ struct BenchResult {
   double rows_per_sec = 0;
   double bytes_per_sec = 0;
   int vectorized = -1;  // -1: not applicable, 0: off, 1: on
+  int threads = 0;      // 0: not applicable (single-thread legacy entry)
 };
 
 std::vector<BenchResult>* Results() {
@@ -46,8 +49,11 @@ std::vector<BenchResult>* Results() {
 }
 
 /// Times `fn` (best of a few runs after one warmup) and records a result.
+/// `threads` > 0 tags a thread-scaling entry; the printed per-thread
+/// throughput is aggregate / threads.
 BenchResult RunBench(const std::string& op, size_t rows, size_t bytes,
-                     int vectorized, const std::function<void()>& fn) {
+                     int vectorized, const std::function<void()>& fn,
+                     int threads = 0) {
   using clock = std::chrono::steady_clock;
   fn();  // warmup
   double best = 1e300;
@@ -66,11 +72,22 @@ BenchResult RunBench(const std::string& op, size_t rows, size_t bytes,
   r.rows_per_sec = static_cast<double>(rows) / best;
   r.bytes_per_sec = static_cast<double>(bytes) / best;
   r.vectorized = vectorized;
+  r.threads = threads;
   Results()->push_back(r);
-  std::printf("%-32s %10zu rows  %10.3f ms  %8.1f Mrows/s  %8.1f MB/s%s\n",
-              op.c_str(), rows, best * 1e3, r.rows_per_sec / 1e6,
-              r.bytes_per_sec / 1e6,
-              vectorized < 0 ? "" : (vectorized ? "  [vectorized]" : "  [row-at-a-time]"));
+  if (threads > 0) {
+    std::printf(
+        "%-32s %10zu rows  %10.3f ms  %8.1f Mrows/s  %8.1f Mrows/s/thread"
+        "  [%d threads]\n",
+        op.c_str(), rows, best * 1e3, r.rows_per_sec / 1e6,
+        r.rows_per_sec / threads / 1e6, threads);
+  } else {
+    std::printf(
+        "%-32s %10zu rows  %10.3f ms  %8.1f Mrows/s  %8.1f MB/s%s\n",
+        op.c_str(), rows, best * 1e3, r.rows_per_sec / 1e6,
+        r.bytes_per_sec / 1e6,
+        vectorized < 0 ? ""
+                       : (vectorized ? "  [vectorized]" : "  [row-at-a-time]"));
+  }
   return r;
 }
 
@@ -151,6 +168,7 @@ void BenchReduceByKey(bool vectorized) {
   RowVectorPtr data = MakeKv(1 << 20, 1 << 16);
   ExecContext ctx;
   ctx.options.enable_vectorized = vectorized;
+  ctx.options.num_threads = 1;  // legacy entry: single-thread baseline
   RunBench("reduce_by_key", data->size(), data->byte_size(),
            vectorized ? 1 : 0, [&] {
              ReduceByKey rk(
@@ -235,6 +253,7 @@ void BenchFilterSelectivity() {
 size_t RunFilterMap(const RowVectorPtr& data, bool vectorized) {
   ExecContext ctx;
   ctx.options.enable_vectorized = vectorized;
+  ctx.options.num_threads = 1;  // legacy entry: single-thread baseline
   Schema out({Field::I64("k2"), Field::F64("r"), Field::I64("v")});
   auto filter = std::make_unique<Filter>(
       std::make_unique<RowScan>(std::make_unique<CollectionSource>(
@@ -295,9 +314,10 @@ void BenchColumnFileRoundTrip() {
 /// RowScans so the only difference between the two runs is the
 /// enable_vectorized toggle.
 size_t RunPartitionBuildProbe(const RowVectorPtr& r, const RowVectorPtr& s,
-                              bool vectorized) {
+                              bool vectorized, int num_threads = 1) {
   ExecContext ctx;
   ctx.options.enable_vectorized = vectorized;
+  ctx.options.num_threads = num_threads;
   // 256-way partitioning keeps each per-pair hash table L1/L2-resident
   // (the cache-conscious discipline the local partition pass exists for).
   RadixSpec spec{8, 0, RadixHash::kIdentity};
@@ -380,6 +400,133 @@ void BenchPartitionBuildProbe() {
               off.seconds / on.seconds, rows_on);
 }
 
+/// Thread-scaling sweep (1/2/4/8 workers) for the three hot pipelines the
+/// ISSUE gates: the partition→build→probe plan, ReduceByKey, and the p50
+/// batch filter kernel. Entries are named <op>_t<N> and carry a
+/// "threads" field; the committed single-thread entries stay untouched so
+/// old baselines keep comparing. bench_gate.py checks the 4-thread
+/// speedup ratio on machines with >= 4 cores.
+void BenchThreadScaling() {
+  const std::vector<int> sweep = {1, 2, 4, 8};
+
+  // partition_build_probe: same 1M x 1M FK-join shape as the legacy bench.
+  {
+    const int64_t n = 1 << 20;
+    RowVectorPtr r = MakeKv(n, n / 4, /*seed=*/1, /*sequential_dup=*/4);
+    RowVectorPtr s = MakeKv(n, n / 4, /*seed=*/2);
+    const size_t in_rows = static_cast<size_t>(2 * n);
+    const size_t in_bytes = r->byte_size() + s->byte_size();
+    size_t rows_t1 = 0;
+    for (int t : sweep) {
+      size_t rows = 0;
+      RunBench("partition_build_probe_t" + std::to_string(t), in_rows,
+               in_bytes, 1,
+               [&] { rows = RunPartitionBuildProbe(r, s, true, t); }, t);
+      if (t == 1) {
+        rows_t1 = rows;
+      } else if (rows != rows_t1) {
+        std::fprintf(stderr,
+                     "FAIL: partition_build_probe t%d mismatch (%zu vs %zu)\n",
+                     t, rows, rows_t1);
+        std::exit(1);
+      }
+    }
+  }
+
+  // reduce_by_key: 1M rows, 64k groups, i64 SUM (the parallel-safe shape).
+  {
+    RowVectorPtr data = MakeKv(1 << 20, 1 << 16);
+    size_t groups_t1 = 0;
+    for (int t : sweep) {
+      size_t groups = 0;
+      ExecContext ctx;
+      ctx.options.num_threads = t;
+      RunBench("reduce_by_key_t" + std::to_string(t), data->size(),
+               data->byte_size(), 1,
+               [&] {
+                 ReduceByKey rk(
+                     std::make_unique<RowScan>(
+                         std::make_unique<CollectionSource>(
+                             std::vector<RowVectorPtr>{data})),
+                     {0},
+                     {AggSpec{AggKind::kSum, ex::Col(1), "sum",
+                              AtomType::kInt64}},
+                     KeyValueSchema());
+                 if (!rk.Open(&ctx).ok()) std::abort();
+                 Tuple tup;
+                 size_t g = 0;
+                 while (rk.Next(&tup)) ++g;
+                 if (!rk.status().ok() || !rk.Close().ok()) std::abort();
+                 groups = g;
+               },
+               t);
+      if (t == 1) {
+        groups_t1 = groups;
+      } else if (groups != groups_t1) {
+        std::fprintf(stderr, "FAIL: reduce_by_key t%d mismatch (%zu vs %zu)\n",
+                     t, groups, groups_t1);
+        std::exit(1);
+      }
+      if (ctx.stats->GetCounter("parallel.serial_fallback.ReduceByKey") != 0) {
+        std::fprintf(stderr, "FAIL: reduce_by_key t%d fell back to serial\n",
+                     t);
+        std::exit(1);
+      }
+    }
+  }
+
+  // expr_filter_batch_p50: the 50%-selectivity predicate kernel over
+  // static worker ranges (each worker owns its scratch and selection).
+  {
+    RowVectorPtr data = MakeKv(1 << 20, 1000);
+    ExprPtr pred = ex::And(ex::Ge(ex::Col(0), ex::Lit(int64_t{0})),
+                           ex::Lt(ex::Col(0), ex::Lit(int64_t{500})));
+    size_t matches_t1 = 0;
+    for (int t : sweep) {
+      size_t matches = 0;
+      RunBench("expr_filter_batch_p50_t" + std::to_string(t), data->size(),
+               data->byte_size(), 1,
+               [&] {
+                 std::vector<size_t> bounds = SplitRows(data->size(), t);
+                 std::vector<size_t> counts(t, 0);
+                 Status st = ParallelFor(t, [&](int w) -> Status {
+                   BatchScratch scratch;
+                   SelVector sel;
+                   RowSpan span{data->data(), data->row_size(),
+                                &data->schema()};
+                   size_t local = 0;
+                   for (size_t base = bounds[w]; base < bounds[w + 1];
+                        base += RowBatch::kDefaultRows) {
+                     size_t m = std::min(bounds[w + 1] - base,
+                                         RowBatch::kDefaultRows);
+                     sel.resize(m);
+                     for (size_t i = 0; i < m; ++i) {
+                       sel[i] = static_cast<uint32_t>(base + i);
+                     }
+                     MODULARIS_RETURN_NOT_OK(
+                         pred->FilterBatch(span, &sel, &scratch, true));
+                     local += sel.size();
+                   }
+                   counts[w] = local;
+                   return Status::OK();
+                 });
+                 if (!st.ok()) std::abort();
+                 matches = 0;
+                 for (size_t c : counts) matches += c;
+               },
+               t);
+      if (t == 1) {
+        matches_t1 = matches;
+      } else if (matches != matches_t1) {
+        std::fprintf(stderr,
+                     "FAIL: expr_filter_batch_p50 t%d mismatch (%zu vs %zu)\n",
+                     t, matches, matches_t1);
+        std::exit(1);
+      }
+    }
+  }
+}
+
 void WriteJson(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -387,17 +534,26 @@ void WriteJson(const std::string& path) {
     std::exit(1);
   }
   std::fprintf(f, "[\n");
+  // Machine descriptor first: bench_gate.py only enforces the
+  // thread-scaling ratios when the producing machine had the cores.
+  std::fprintf(f,
+               "  {\"op\": \"_meta\", \"hardware_concurrency\": %u},\n",
+               std::thread::hardware_concurrency());
   const std::vector<BenchResult>& results = *Results();
   for (size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
     std::fprintf(f,
                  "  {\"op\": \"%s\", \"rows\": %zu, \"seconds\": %.6f, "
                  "\"rows_per_sec\": %.1f, \"bytes_per_sec\": %.1f, "
-                 "\"vectorized\": %s}%s\n",
+                 "\"vectorized\": %s",
                  r.op.c_str(), r.rows, r.seconds, r.rows_per_sec,
                  r.bytes_per_sec,
-                 r.vectorized < 0 ? "null" : (r.vectorized ? "true" : "false"),
-                 i + 1 < results.size() ? "," : "");
+                 r.vectorized < 0 ? "null" : (r.vectorized ? "true" : "false"));
+    if (r.threads > 0) {
+      std::fprintf(f, ", \"threads\": %d, \"rows_per_sec_per_thread\": %.1f",
+                   r.threads, r.rows_per_sec / r.threads);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(f, "]\n");
   std::fclose(f);
@@ -419,6 +575,7 @@ int main(int argc, char** argv) {
   BenchFilterMap();
   BenchColumnFileRoundTrip();
   BenchPartitionBuildProbe();
+  BenchThreadScaling();
   WriteJson(argc > 1 ? argv[1] : "BENCH_micro.json");
   return 0;
 }

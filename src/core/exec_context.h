@@ -75,9 +75,35 @@ struct ExecOptions {
 
   /// Max retries for transient S3 failures.
   int s3_max_retries = 4;
+
+  // -- Intra-node parallelism (docs/DESIGN-parallel.md) ---------------------
+
+  /// Worker threads per rank for morsel-driven pipeline phases. 0 resolves
+  /// to hardware_concurrency (or the MODULARIS_NUM_THREADS env override);
+  /// 1 preserves the single-threaded behaviour exactly. N-thread and
+  /// 1-thread runs are byte-identical by construction (deterministic
+  /// merges); see ResolvedNumThreads().
+  int num_threads = 0;
+
+  /// Rows per dynamically claimed morsel (order-insensitive phases).
+  size_t morsel_rows = 1 << 14;
+
+  /// Minimum input rows per worker before a phase goes parallel: below
+  /// workers * parallel_min_rows the serial path wins on thread startup
+  /// and merge overhead alone (nested per-partition plans stay serial
+  /// inside parallel NestedMap workers this way too).
+  size_t parallel_min_rows = 1 << 15;
+
+  /// Resolves num_threads: explicit value, else MODULARIS_NUM_THREADS,
+  /// else hardware_concurrency (min 1). Defined in parallel.cc.
+  int ResolvedNumThreads() const;
 };
 
 /// Per-rank execution context. Not thread-safe; each rank owns one.
+/// Under the morsel-driven worker pool each worker owns a private view
+/// built by InitWorker() — same rank identity and services, its own stats
+/// registry and parameter-frame stack — so no operator ever shares one
+/// ExecContext across threads.
 class ExecContext {
  public:
   ExecContext() = default;
@@ -102,6 +128,24 @@ class ExecContext {
   // ParameterLookup yields the tuple on top of this stack. Executors push
   // the plan-input tuple; each NestedMap invocation pushes the tuple it is
   // currently mapping over.
+
+  /// Initializes this context as a worker view of `base`: same rank
+  /// identity, services and tunables (num_threads pinned to 1 so workers
+  /// never nest another pool), `worker_stats` as the private metrics sink,
+  /// and a copy of the parameter-frame stack (frames point at tuples owned
+  /// by the driver, which outlive the parallel region).
+  void InitWorker(const ExecContext& base, StatsRegistry* worker_stats) {
+    rank = base.rank;
+    world = base.world;
+    comm = base.comm;
+    blob = base.blob;
+    s3select = base.s3select;
+    lambda = base.lambda;
+    options = base.options;
+    options.num_threads = 1;
+    stats = worker_stats;
+    frames_ = base.frames_;
+  }
 
   void PushParams(const Tuple* params) { frames_.push_back(params); }
   void PopParams() { frames_.pop_back(); }

@@ -168,9 +168,13 @@ class Expr {
 
   /// Column-wise value kernel: evaluates this node for the `n` rows
   /// sel[0..n) of `rows` into `*out` (whose tag will equal
-  /// BatchType(*rows.schema)). The base implementation is the interpreted
-  /// fallback — one Eval() per selected row into an Item vector — so every
-  /// node batches semantically; typed nodes override with tight loops.
+  /// BatchType(*rows.schema)). `sel` must be strictly ascending (the
+  /// SelVector contract above) — the typed kernels detect contiguous
+  /// runs by their endpoints and take fixed-stride fast paths that would
+  /// mis-assign lanes on a permuted selection. The base implementation is
+  /// the interpreted fallback — one Eval() per selected row into an Item
+  /// vector — so every node batches semantically; typed nodes override
+  /// with tight loops.
   virtual Status EvalBatch(const RowSpan& rows, const uint32_t* sel, size_t n,
                            BatchColumn* out, BatchScratch* scratch) const;
 

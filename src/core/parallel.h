@@ -1,0 +1,108 @@
+#ifndef MODULARIS_CORE_PARALLEL_H_
+#define MODULARIS_CORE_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/exec_context.h"
+#include "core/status.h"
+
+/// \file parallel.h
+/// Morsel-driven intra-node parallelism (docs/DESIGN-parallel.md). A
+/// blocking sub-operator that has materialized its record-stream input as
+/// packed rows splits the span into morsels and fans the work out over a
+/// per-rank worker pool; thread-local results (histograms, partitions,
+/// aggregate tables, probe outputs) merge deterministically at the end so
+/// `num_threads = N` is byte-identical to `num_threads = 1`.
+///
+/// Two scheduling modes:
+///  * MorselCursor — dynamic claiming, for phases whose merge is
+///    order-insensitive (histogram counting). Classic morsel-driven
+///    load balancing.
+///  * SplitRows — static contiguous ranges in input order, for phases
+///    whose merge must replay the serial order exactly (partition
+///    scatter offsets, aggregate first-occurrence order, probe output
+///    concatenation).
+
+namespace modularis {
+
+/// Runs `body(worker)` for workers 0..num_workers-1 concurrently; worker 0
+/// executes on the calling thread. Returns the first non-OK status (all
+/// workers always run to completion so partial state stays consistent).
+/// Thread spawn cost is ~100us total — callers gate on PlanWorkers() so a
+/// parallel region always amortizes it over a large morsel run.
+Status ParallelFor(int num_workers, const std::function<Status(int)>& body);
+
+/// Picks the worker count for a phase over `rows` input rows: enough rows
+/// per worker (options.parallel_min_rows) to amortize thread startup and
+/// merge cost, capped at the resolved thread budget. Returns 1 when the
+/// input is too small to be worth splitting (callers then keep the serial
+/// path; that is a sizing decision, not a `parallel.serial_fallback.*`
+/// safety fallback).
+int PlanWorkers(size_t rows, const ExecOptions& options);
+
+/// Records that an operator requested parallel execution but had to fall
+/// back to the serial path for a structural reason (non-vectorized mode,
+/// an unclonable chain, an order-sensitive float aggregate, ...). Keyed
+/// "parallel.serial_fallback.<op>"; the parity suite asserts these stay
+/// zero for the operators with native parallel paths.
+void NoteSerialFallback(ExecContext* ctx, const char* op_name);
+
+/// Static contiguous split of [0, total) into `workers` ranges in input
+/// order: range w is [out[w], out[w+1]). Ranges differ in size by at most
+/// one row, so out has workers + 1 entries.
+std::vector<size_t> SplitRows(size_t total, int workers);
+
+/// Dynamic morsel dispenser over [0, total): workers claim fixed-size
+/// morsels with one atomic add. Use only for order-insensitive merges.
+class MorselCursor {
+ public:
+  MorselCursor(size_t total, size_t morsel_rows)
+      : total_(total), morsel_rows_(morsel_rows == 0 ? 1 : morsel_rows) {}
+
+  /// Claims the next morsel; false when the input is exhausted.
+  bool Claim(size_t* begin, size_t* count) {
+    size_t b = next_.fetch_add(morsel_rows_, std::memory_order_relaxed);
+    if (b >= total_) return false;
+    *begin = b;
+    *count = total_ - b < morsel_rows_ ? total_ - b : morsel_rows_;
+    return true;
+  }
+
+ private:
+  const size_t total_;
+  const size_t morsel_rows_;
+  std::atomic<size_t> next_{0};
+};
+
+/// Per-worker ExecContext views plus stats merging. Each worker gets a
+/// private StatsRegistry (so PhaseTimer slots never contend on the shared
+/// Stats mutex in hot loops) and a context copy with num_threads pinned to
+/// 1 (a worker never re-parallelizes — nested operators inside a worker
+/// run serially, which also keeps the pool from oversubscribing).
+/// MergeStats() folds the worker registries into the base context at the
+/// end of the parallel region: times via MergeMax (a phase costs what its
+/// slowest worker took, the paper's per-rank reporting convention),
+/// counters summed.
+class WorkerSet {
+ public:
+  WorkerSet(ExecContext* base, int num_workers);
+
+  int size() const { return static_cast<int>(contexts_.size()); }
+  ExecContext* ctx(int w) { return contexts_[w].get(); }
+  StatsRegistry* stats(int w) { return registries_[w].get(); }
+
+  void MergeStats();
+
+ private:
+  ExecContext* base_;
+  std::vector<std::unique_ptr<StatsRegistry>> registries_;
+  std::vector<std::unique_ptr<ExecContext>> contexts_;
+};
+
+}  // namespace modularis
+
+#endif  // MODULARIS_CORE_PARALLEL_H_

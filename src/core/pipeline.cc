@@ -43,6 +43,33 @@ bool PipelineRef::NextBatch(RowBatch* out) {
   return false;
 }
 
+SubOpPtr PipelineRef::CloneForWorker(WorkerCloneContext* cc) const {
+  const PipelinePlan* plan = plan_;
+  auto it = cc->plan_remap.find(plan_);
+  if (it != cc->plan_remap.end()) {
+    plan = static_cast<const PipelinePlan*>(it->second);
+  }
+  return std::make_unique<PipelineRef>(plan, pipeline_name_);
+}
+
+SubOpPtr PipelinePlan::CloneForWorker(WorkerCloneContext* cc) const {
+  auto clone = std::make_unique<PipelinePlan>();
+  // Register the mapping first: refs inside this plan's own pipelines
+  // must re-bind to the clone, not to this (driver-owned) plan.
+  cc->plan_remap[this] = clone.get();
+  for (const auto& [name, root] : pipelines_) {
+    SubOpPtr root_clone = root->CloneForWorker(cc);
+    if (root_clone == nullptr) return nullptr;
+    clone->Add(name, std::move(root_clone));
+  }
+  if (output_ != nullptr) {
+    SubOpPtr out_clone = output_->CloneForWorker(cc);
+    if (out_clone == nullptr) return nullptr;
+    clone->SetOutput(std::move(out_clone));
+  }
+  return clone;
+}
+
 Status PipelinePlan::Materialize(SubOperator* root, PipelineResult* sink) {
   // Declared record streams drain through the batch protocol straight
   // into one packed RowVector.

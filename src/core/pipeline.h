@@ -56,6 +56,10 @@ class PipelineRef : public SubOperator {
   /// Serves the packed remainder of a record-stream result as one
   /// zero-copy batch; falls back to the adapter for tuple results.
   bool NextBatch(RowBatch* out) override;
+  /// Re-binds to the worker clone of the owning plan when the clone
+  /// context has one; otherwise keeps reading the original plan's
+  /// results (materialized before workers start, hence read-only).
+  SubOpPtr CloneForWorker(WorkerCloneContext* cc) const override;
 
  private:
   const PipelinePlan* plan_;
@@ -93,6 +97,11 @@ class PipelinePlan : public SubOperator {
   }
   bool NextBatch(RowBatch* out) override;
   Status Close() override;
+  /// Clones the whole plan (intermediate pipelines, output pipeline and
+  /// the refs between them) for a parallel worker; each clone
+  /// re-materializes its own results on Open(). Null if any pipeline root
+  /// is not parallel-safe.
+  SubOpPtr CloneForWorker(WorkerCloneContext* cc) const override;
 
  private:
   friend class PipelineRef;

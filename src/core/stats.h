@@ -13,6 +13,14 @@
 /// (local histogram, network partitioning, build-probe, ...) and byte
 /// counters here; the Fig. 9 breakdown and Fig. 11c network-time series
 /// are read straight out of this registry.
+///
+/// Under the morsel-driven worker pool (docs/DESIGN-parallel.md) each
+/// worker gets a PRIVATE registry (core/parallel.h WorkerSet): PhaseTimer
+/// binds to worker-local slots, so hot loops never contend on the shared
+/// mutex, and the set merges into the rank registry at the end of the
+/// parallel region — times via MergeMax (a phase costs what its slowest
+/// worker took, the paper's per-rank reporting convention), counters
+/// summed.
 
 namespace modularis {
 

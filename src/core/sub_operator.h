@@ -1,6 +1,7 @@
 #ifndef MODULARIS_CORE_SUB_OPERATOR_H_
 #define MODULARIS_CORE_SUB_OPERATOR_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <utility>
@@ -30,6 +31,16 @@ namespace modularis {
 
 class SubOperator;
 using SubOpPtr = std::unique_ptr<SubOperator>;
+
+/// State threaded through CloneForWorker() when a chain is cloned for a
+/// parallel worker (docs/DESIGN-parallel.md). `plan_remap` maps enclosing
+/// PipelinePlans to their worker clones so a cloned PipelineRef re-binds
+/// to the clone's results; a ref whose plan is NOT in the map keeps
+/// pointing at the original plan — its results are fully materialized and
+/// read-only by the time workers run, so concurrent reads are safe.
+struct WorkerCloneContext {
+  std::map<const SubOperator*, SubOperator*> plan_remap;
+};
 
 /// Base class of every sub-operator.
 class SubOperator {
@@ -105,6 +116,20 @@ class SubOperator {
       ctx_->stats->AddCounter(adapter_counter_key_, 1);
     }
     return NextBatchFromTuples(out, 0, /*require_arity_one=*/true);
+  }
+
+  /// Deep-copies this operator (and its children) into a fresh instance a
+  /// parallel worker can Open() and drain independently of the original
+  /// (docs/DESIGN-parallel.md: the clone/merge contract). Clones share
+  /// only immutable configuration — schemas, ExprPtr trees (shared_ptr to
+  /// const), input collections (read-only shared_ptr) — never execution
+  /// state. Returns null when this operator cannot run concurrently with
+  /// itself (communicators, stateful callables, ...); null propagates up
+  /// the chain and the caller falls back to serial execution, recording a
+  /// `parallel.serial_fallback.*` counter.
+  virtual SubOpPtr CloneForWorker(WorkerCloneContext* cc) const {
+    (void)cc;
+    return nullptr;
   }
 
   /// Selection-aware pull: like NextBatch(), but the producer may attach
@@ -238,6 +263,37 @@ inline Status DrainRecordStreamInto(SubOperator* child, RowVectorPtr* dest) {
       adopted.reset();
     } else if ((*dest)->empty()) {
       (*dest)->Reserve(batch.size());
+    }
+    (*dest)->AppendRawBatch(batch.data(), batch.size());
+  }
+  MODULARIS_RETURN_NOT_OK(child->status());
+  if (adopted != nullptr) *dest = std::move(adopted);
+  return Status::OK();
+}
+
+/// Schema-discovering variant of DrainRecordStreamInto: `*dest` starts
+/// null and takes the schema of the first non-empty batch (it stays null
+/// when the stream is empty). The parallel drivers use this to turn a
+/// record stream of unknown schema into one packed span they can split
+/// into morsels; the single-durable-collection hot case still adopts the
+/// vector zero-copy.
+inline Status DrainRecordStream(SubOperator* child, RowVectorPtr* dest) {
+  RowBatch batch;
+  RowVectorPtr adopted;
+  while (child->NextBatch(&batch)) {
+    if (batch.empty()) continue;
+    if (*dest == nullptr && adopted == nullptr) {
+      adopted = batch.ShareWhole();
+      if (adopted != nullptr) continue;
+      *dest = RowVector::Make(batch.schema());
+      (*dest)->Reserve(batch.size());
+    } else if (adopted != nullptr) {
+      // A second batch arrived after all: demote the adoption to a copy
+      // (durable batches stay valid across later pulls).
+      *dest = RowVector::Make(adopted->schema());
+      (*dest)->Reserve(adopted->size() + batch.size());
+      (*dest)->AppendAll(*adopted);
+      adopted.reset();
     }
     (*dest)->AppendRawBatch(batch.data(), batch.size());
   }

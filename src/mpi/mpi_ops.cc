@@ -1,5 +1,7 @@
 #include "mpi/mpi_ops.h"
 
+#include <algorithm>
+
 #include "suboperators/partition_ops.h"
 #include "suboperators/scan_ops.h"
 
@@ -33,6 +35,12 @@ Status MpiExecutor::Open(ExecContext* ctx) {
         rctx.world = comm.size();
         rctx.comm = &comm;
         rctx.options = options;
+        // Ranks already run as concurrent threads on this machine: divide
+        // the intra-node worker budget between them so a multi-rank run
+        // does not oversubscribe the cores (world * per-rank workers <=
+        // the resolved thread budget).
+        rctx.options.num_threads =
+            std::max(1, options.ResolvedNumThreads() / comm.size());
         rctx.stats = &rank_stats[r];
         Tuple params =
             config_.rank_params ? config_.rank_params(r) : Tuple{};

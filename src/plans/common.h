@@ -34,6 +34,16 @@ inline SubOpPtr ParamItem(int index) {
                                       std::vector<int>{index});
 }
 
+/// Declares a ParametrizedMap's callable thread-safe so the chain stays
+/// clonable for the morsel-driven NestedMap workers
+/// (docs/DESIGN-parallel.md). The plan builders' callables are stateless
+/// lambdas capturing plan constants by value, which qualifies.
+inline std::unique_ptr<ParametrizedMap> CloneSafe(
+    std::unique_ptr<ParametrizedMap> pm) {
+  pm->MarkCloneSafe();
+  return pm;
+}
+
 /// Output schema of the normalized two-relation join:
 /// ⟨key, inner payload, outer payload⟩.
 inline Schema JoinOutSchema() {

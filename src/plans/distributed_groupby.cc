@@ -18,7 +18,7 @@ SubOpPtr BuildAggregateNestedPlan(const DistGroupByOptions& opts) {
   if (opts.compress && fused) {
     // Fused form: restore the keys of the whole partition in one tight
     // loop (the JIT-inlined UDF analog).
-    records = std::make_unique<ParametrizedMap>(
+    records = CloneSafe(std::make_unique<ParametrizedMap>(
         ParamItem(0), ParamItem(2), KeyValueSchema(),
         ParametrizedMap::BulkFn(
             [F, P](const Tuple& param, const RowVector& in) {
@@ -38,18 +38,18 @@ SubOpPtr BuildAggregateNestedPlan(const DistGroupByOptions& opts) {
                 res->AppendRaw(row);
               }
               return res;
-            }));
+            })));
   } else if (opts.compress) {
     // Restore the full keys before the ReduceByKey (paper §4.3: unlike the
     // join, recovery happens before the aggregation).
-    records = std::make_unique<ParametrizedMap>(
+    records = CloneSafe(std::make_unique<ParametrizedMap>(
         ParamItem(0), MaybeScan(ParamItem(2), fused), KeyValueSchema(),
         [F, P](const Tuple& param, const RowRef& in, RowWriter* w) {
           int64_t key, value;
           DecompressKV(in.GetInt64(0), param[0].i64(), F, P, &key, &value);
           w->SetInt64(0, key);
           w->SetInt64(1, value);
-        });
+        }));
   } else {
     records = MaybeScan(ParamItem(2), fused);
   }

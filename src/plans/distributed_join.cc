@@ -33,7 +33,7 @@ SubOpPtr BuildProbeNestedPlan(const DistJoinOptions& opts,
       auto pairs = std::make_unique<MaterializeRowVector>(std::move(bp),
                                                           pair_schema);
       Schema out = out_schema;
-      return std::make_unique<ParametrizedMap>(
+      return CloneSafe(std::make_unique<ParametrizedMap>(
           ParamItem(0), std::move(pairs), out_schema,
           ParametrizedMap::BulkFn(
               [F, P, out](const Tuple& param, const RowVector& in) {
@@ -56,11 +56,11 @@ SubOpPtr BuildProbeNestedPlan(const DistJoinOptions& opts,
                   res->AppendRaw(row);
                 }
                 return res;
-              }));
+              })));
     }
     if (opts.compress) {
       // ⟨word, word_r⟩ → ⟨key, value, value_r⟩ given the network pid.
-      transformed = std::make_unique<ParametrizedMap>(
+      transformed = CloneSafe(std::make_unique<ParametrizedMap>(
           ParamItem(0), std::move(bp), out_schema,
           [F, P](const Tuple& param, const RowRef& in, RowWriter* w) {
             int64_t pid = param[0].i64();
@@ -70,7 +70,7 @@ SubOpPtr BuildProbeNestedPlan(const DistJoinOptions& opts,
             w->SetInt64(0, key);
             w->SetInt64(1, value);
             w->SetInt64(2, value_r);
-          });
+          }));
     } else {
       // ⟨key, value, key_r, value_r⟩ → ⟨key, value, value_r⟩.
       transformed = std::make_unique<MapOp>(
@@ -82,14 +82,14 @@ SubOpPtr BuildProbeNestedPlan(const DistJoinOptions& opts,
     // Semi/anti joins emit the surviving probe records.
     out_schema = KeyValueSchema();
     if (opts.compress) {
-      transformed = std::make_unique<ParametrizedMap>(
+      transformed = CloneSafe(std::make_unique<ParametrizedMap>(
           ParamItem(0), std::move(bp), out_schema,
           [F, P](const Tuple& param, const RowRef& in, RowWriter* w) {
             int64_t key, value;
             DecompressKV(in.GetInt64(0), param[0].i64(), F, P, &key, &value);
             w->SetInt64(0, key);
             w->SetInt64(1, value);
-          });
+          }));
     } else {
       transformed = std::make_unique<MapOp>(
           std::move(bp), out_schema,

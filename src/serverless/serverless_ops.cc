@@ -1,5 +1,7 @@
 #include "serverless/serverless_ops.h"
 
+#include <algorithm>
+
 #include "storage/csv.h"
 
 namespace modularis {
@@ -30,6 +32,10 @@ Status LambdaExecutor::Open(ExecContext* ctx) {
         rctx.s3select = config_.s3select;
         rctx.lambda = &wctx;
         rctx.options = options;
+        // Lambda workers are concurrent threads of this process: split
+        // the intra-node worker budget between them (see MpiExecutor).
+        rctx.options.num_threads =
+            std::max(1, options.ResolvedNumThreads() / wctx.num_workers);
         rctx.stats = &worker_stats[w];
         Tuple params =
             config_.worker_params ? config_.worker_params(w) : Tuple{};

@@ -201,13 +201,13 @@ uint32_t ReduceByKey::StateFor(const RowRef& row) {
       inserted = true;
     }
   }
-  if (inserted) InitState(state, row);
+  if (inserted) InitState(states_.get(), row);
   return state;
 }
 
-void ReduceByKey::InitState(uint32_t state, const RowRef& row) {
-  (void)state;  // states are appended densely; `state` == new row index
-  RowWriter w = states_->AppendRow();
+void ReduceByKey::InitState(RowVector* states, const RowRef& row) {
+  // States are appended densely; the new state index == new row index.
+  RowWriter w = states->AppendRow();
   for (size_t i = 0; i < key_cols_.size(); ++i) {
     int c = key_cols_[i];
     int oc = static_cast<int>(i);
@@ -229,7 +229,7 @@ void ReduceByKey::InitState(uint32_t state, const RowRef& row) {
   }
   // Initialize aggregates to their identity; min/max to +/- infinity
   // equivalents so the first update takes effect.
-  uint8_t* dst = states_->mutable_row(states_->size() - 1);
+  uint8_t* dst = states->mutable_row(states->size() - 1);
   for (const AggSlot& s : slots_) {
     double init = 0;
     if (s.kind == AggKind::kMin) {
@@ -248,8 +248,9 @@ void ReduceByKey::InitState(uint32_t state, const RowRef& row) {
   }
 }
 
-void ReduceByKey::UpdateState(uint32_t state, const RowRef& row) {
-  uint8_t* dst = states_->mutable_row(state);
+void ReduceByKey::UpdateState(RowVector* states, uint32_t state,
+                              const RowRef& row) {
+  uint8_t* dst = states->mutable_row(state);
   for (const AggSlot& s : slots_) {
     double v = 0;
     if (s.kind != AggKind::kCount) {
@@ -285,7 +286,103 @@ void ReduceByKey::UpdateState(uint32_t state, const RowRef& row) {
 }
 
 void ReduceByKey::Accumulate(const RowRef& row) {
-  UpdateState(StateFor(row), row);
+  UpdateState(states_.get(), StateFor(row), row);
+}
+
+void ReduceByKey::AccumulateSpanInto(const uint8_t* rows, size_t n,
+                                     const Schema& schema, RowVector* states,
+                                     I64StateMap* map) {
+  const uint32_t stride = schema.row_size();
+  for (size_t i = 0; i < n; ++i, rows += stride) {
+    RowRef row(rows, &schema);
+    bool inserted = false;
+    uint32_t state = map->FindOrInsert(KeyAt(row, key_cols_[0]), &inserted);
+    if (inserted) InitState(states, row);
+    UpdateState(states, state, row);
+  }
+}
+
+bool ReduceByKey::ParallelMergeSafe() const {
+  if (!single_i64_key_) return false;
+  for (const AggSlot& s : slots_) {
+    // Float SUM is order-dependent (merging partial sums re-associates
+    // the additions); COUNT into a float destination stays exact because
+    // every partial is integer-valued.
+    if (s.kind == AggKind::kSum && s.dst_float) return false;
+    // The worker update loop only runs the compiled direct-offset plan.
+    if (s.kind != AggKind::kCount && s.src_col < 0) return false;
+  }
+  return true;
+}
+
+void ReduceByKey::MergeStateRow(uint8_t* dst, const uint8_t* src) const {
+  for (const AggSlot& s : slots_) {
+    if (s.dst_float) {
+      double a = LoadState(dst, s.dst_offset, true);
+      double b = LoadState(src, s.dst_offset, true);
+      switch (s.kind) {
+        case AggKind::kSum:
+        case AggKind::kCount: a += b; break;
+        case AggKind::kMin: a = std::min(a, b); break;
+        case AggKind::kMax: a = std::max(a, b); break;
+      }
+      std::memcpy(dst + s.dst_offset, &a, sizeof(a));
+    } else {
+      int64_t a, b;
+      std::memcpy(&a, dst + s.dst_offset, sizeof(a));
+      std::memcpy(&b, src + s.dst_offset, sizeof(b));
+      switch (s.kind) {
+        case AggKind::kSum:
+        case AggKind::kCount: a += b; break;
+        case AggKind::kMin: a = std::min(a, b); break;
+        case AggKind::kMax: a = std::max(a, b); break;
+      }
+      std::memcpy(dst + s.dst_offset, &a, sizeof(a));
+    }
+  }
+}
+
+Status ReduceByKey::ConsumeAllParallel() {
+  RowVectorPtr input;
+  MODULARIS_RETURN_NOT_OK(DrainRecordStream(child(0), &input));
+  if (input == nullptr) return Status::OK();
+  const size_t n = input->size();
+  int workers = PlanWorkers(n, ctx_->options);
+  if (workers <= 1) {
+    AccumulateSpan(input->data(), n, input->schema());
+    return Status::OK();
+  }
+  // Thread-local aggregation over static contiguous ranges, then an
+  // ordered merge: worker 0's groups first (its range is the stream
+  // prefix), later workers contribute only keys unseen so far — exactly
+  // the serial first-occurrence order.
+  const uint32_t stride = input->row_size();
+  std::vector<size_t> bounds = SplitRows(n, workers);
+  std::vector<RowVectorPtr> worker_states(workers);
+  std::vector<I64StateMap> worker_maps(workers);
+  for (int w = 0; w < workers; ++w) {
+    worker_states[w] = RowVector::Make(out_schema_);
+  }
+  MODULARIS_RETURN_NOT_OK(ParallelFor(workers, [&](int w) -> Status {
+    AccumulateSpanInto(input->data() + bounds[w] * stride,
+                       bounds[w + 1] - bounds[w], input->schema(),
+                       worker_states[w].get(), &worker_maps[w]);
+    return Status::OK();
+  }));
+  for (int w = 0; w < workers; ++w) {
+    const RowVector& ws = *worker_states[w];
+    for (size_t i = 0; i < ws.size(); ++i) {
+      RowRef row = ws.row(i);
+      bool inserted = false;
+      uint32_t state = i64_map_.FindOrInsert(KeyAt(row, 0), &inserted);
+      if (inserted) {
+        states_->AppendRaw(row.data());
+      } else {
+        MergeStateRow(states_->mutable_row(state), row.data());
+      }
+    }
+  }
+  return Status::OK();
 }
 
 void ReduceByKey::AccumulateSpan(const uint8_t* rows, size_t n,
@@ -304,6 +401,10 @@ Status ReduceByKey::ConsumeAll() {
   timer_.Bind(ctx_->stats, timer_key_);
   ScopedPhase phase(&timer_);
   if (ctx_->options.enable_vectorized) {
+    if (ctx_->options.ResolvedNumThreads() > 1) {
+      if (ParallelMergeSafe()) return ConsumeAllParallel();
+      NoteSerialFallback(ctx_, "ReduceByKey");
+    }
     // Selective pull: an upstream Filter hands its input batch plus a
     // selection vector, so rejected rows are never compacted just to be
     // aggregated here.

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/expr.h"
+#include "core/parallel.h"
 #include "core/sub_operator.h"
 
 /// \file agg_ops.h
@@ -58,19 +59,46 @@ class ReduceByKey : public SubOperator {
                                  const std::vector<AggSpec>& aggs);
 
   const Schema& out_schema() const { return out_schema_; }
+  const std::vector<AggSpec>& aggs() const { return aggs_; }
+  const Schema& in_schema() const { return in_schema_; }
+  const std::string& timer_key() const { return timer_key_; }
 
   Status Open(ExecContext* ctx) override;
   bool Next(Tuple* out) override;
   bool ProducesRecordStream() const override { return true; }
 
+  SubOpPtr CloneForWorker(WorkerCloneContext* cc) const override {
+    SubOpPtr child_clone = child(0)->CloneForWorker(cc);
+    if (child_clone == nullptr) return nullptr;
+    return std::make_unique<ReduceByKey>(std::move(child_clone), key_cols_,
+                                         aggs_, in_schema_, timer_key_);
+  }
+
  private:
   Status ConsumeAll();
+  /// Morsel-parallel aggregation (docs/DESIGN-parallel.md): static
+  /// contiguous worker ranges accumulate into thread-local tables, merged
+  /// worker 0 first — which reproduces the serial first-occurrence group
+  /// order exactly, so the emitted states are byte-identical to one
+  /// thread's.
+  Status ConsumeAllParallel();
+  /// True when the merge is deterministic and the update plan is safe to
+  /// run from worker threads: one integer-typed key column and aggregates
+  /// that combine associatively byte-for-byte (integer SUM, COUNT,
+  /// MIN/MAX; float SUM is order-dependent and keeps the serial path).
+  bool ParallelMergeSafe() const;
   void Accumulate(const RowRef& row);
   void AccumulateBulk(const RowVector& rows);
   void AccumulateSpan(const uint8_t* rows, size_t n, const Schema& schema);
+  /// Restricted (single-i64-key) accumulation into an explicit table, the
+  /// per-worker loop of the parallel path.
+  void AccumulateSpanInto(const uint8_t* rows, size_t n, const Schema& schema,
+                          RowVector* states, I64StateMap* map);
+  /// Combines one worker state row into the merged state row.
+  void MergeStateRow(uint8_t* dst, const uint8_t* src) const;
   uint32_t StateFor(const RowRef& row);
-  void InitState(uint32_t state, const RowRef& row);
-  void UpdateState(uint32_t state, const RowRef& row);
+  void InitState(RowVector* states, const RowRef& row);
+  void UpdateState(RowVector* states, uint32_t state, const RowRef& row);
 
   std::vector<int> key_cols_;
   std::vector<AggSpec> aggs_;
@@ -133,6 +161,13 @@ class Reduce : public SubOperator {
   bool ProducesRecordStream() const override { return true; }
   Status Close() override { return inner_.Close(); }
 
+  SubOpPtr CloneForWorker(WorkerCloneContext* cc) const override {
+    SubOpPtr child_clone = inner_.child(0)->CloneForWorker(cc);
+    if (child_clone == nullptr) return nullptr;
+    return std::make_unique<Reduce>(std::move(child_clone), inner_.aggs(),
+                                    inner_.in_schema(), inner_.timer_key());
+  }
+
  private:
   ReduceByKey inner_;
   RowVectorPtr empty_state_;
@@ -165,6 +200,13 @@ class SortOp : public SubOperator {
   bool Next(Tuple* out) override;
   bool ProducesRecordStream() const override { return true; }
 
+  SubOpPtr CloneForWorker(WorkerCloneContext* cc) const override {
+    SubOpPtr child_clone = child(0)->CloneForWorker(cc);
+    if (child_clone == nullptr) return nullptr;
+    return std::make_unique<SortOp>(std::move(child_clone), keys_, schema_,
+                                    timer_key_);
+  }
+
  protected:
   Status ConsumeAndSort(size_t limit);
 
@@ -189,6 +231,12 @@ class TopK : public SortOp {
         k_(k) {}
 
   bool Next(Tuple* out) override;
+
+  SubOpPtr CloneForWorker(WorkerCloneContext* cc) const override {
+    SubOpPtr child_clone = child(0)->CloneForWorker(cc);
+    if (child_clone == nullptr) return nullptr;
+    return std::make_unique<TopK>(std::move(child_clone), keys_, k_, schema_);
+  }
 
  private:
   size_t k_;

@@ -1,5 +1,8 @@
 #include "suboperators/basic_ops.h"
 
+#include <algorithm>
+#include <atomic>
+
 #include "suboperators/scan_ops.h"
 
 namespace modularis {
@@ -12,7 +15,104 @@ Status NestedMap::Open(ExecContext* ctx) {
   ctx_ = ctx;
   status_ = Status::OK();
   nested_open_ = false;
-  return child(0)->Open(ctx);
+  par_active_ = false;
+  par_plans_.clear();
+  par_workers_.reset();
+  par_group_.clear();
+  par_task_ = 0;
+  par_out_ = 0;
+  par_input_done_ = false;
+  MODULARIS_RETURN_NOT_OK(child(0)->Open(ctx));
+
+  // Parallel mode: one nested-plan clone per worker, fed input tuples
+  // dynamically (partition pairs are skewed, so dynamic claiming is the
+  // load-balancing lever here); outputs replay in input order. Gated on
+  // enable_vectorized like every other parallel path, so the
+  // row-at-a-time oracle configuration stays a genuinely single-threaded
+  // reference execution.
+  int threads = ctx->options.ResolvedNumThreads();
+  if (threads <= 1) return Status::OK();
+  if (!ctx->options.enable_vectorized) {
+    NoteSerialFallback(ctx, "NestedMap");
+    return Status::OK();
+  }
+  WorkerCloneContext cc;
+  for (int w = 0; w < threads; ++w) {
+    SubOpPtr clone = nested_->CloneForWorker(&cc);
+    if (clone == nullptr) {
+      par_plans_.clear();
+      NoteSerialFallback(ctx, "NestedMap");
+      return Status::OK();
+    }
+    par_plans_.push_back(std::move(clone));
+  }
+  par_workers_ = std::make_unique<WorkerSet>(ctx, threads);
+  par_active_ = true;
+  return Status::OK();
+}
+
+SubOpPtr NestedMap::CloneForWorker(WorkerCloneContext* cc) const {
+  SubOpPtr input_clone = child(0)->CloneForWorker(cc);
+  SubOpPtr nested_clone =
+      input_clone == nullptr ? nullptr : nested_->CloneForWorker(cc);
+  if (nested_clone == nullptr) return nullptr;
+  return std::make_unique<NestedMap>(std::move(input_clone),
+                                     std::move(nested_clone));
+}
+
+bool NestedMap::FillParGroup() {
+  par_group_.clear();
+  par_task_ = 0;
+  par_out_ = 0;
+  if (par_input_done_) return false;
+  // Bounded group: enough tasks to keep every worker busy across skewed
+  // partition sizes without materializing the whole output stream.
+  const size_t group_budget = par_plans_.size() * 4;
+  Tuple t;
+  while (par_group_.size() < group_budget && child(0)->Next(&t)) {
+    ParTask task;
+    task.input = OwnTuple(t, &task.arena);
+    par_group_.push_back(std::move(task));
+  }
+  if (par_group_.size() < group_budget) {
+    par_input_done_ = true;
+    if (!child(0)->status().ok()) return Fail(child(0)->status());
+  }
+  if (par_group_.empty()) return false;
+
+  std::atomic<size_t> next_task{0};
+  const int workers =
+      static_cast<int>(std::min(par_plans_.size(), par_group_.size()));
+  Status st = ParallelFor(workers, [&](int w) -> Status {
+    SubOperator* plan = par_plans_[w].get();
+    ExecContext* wctx = par_workers_->ctx(w);
+    Status worker_st = Status::OK();
+    for (;;) {
+      size_t i = next_task.fetch_add(1, std::memory_order_relaxed);
+      if (i >= par_group_.size()) break;
+      ParTask& task = par_group_[i];
+      wctx->PushParams(&task.input);
+      Status open_st = plan->Open(wctx);
+      if (open_st.ok()) {
+        Tuple out;
+        while (plan->Next(&out)) {
+          task.outputs.push_back(OwnTuple(out, &task.arena));
+        }
+        open_st = plan->status();
+        Status close_st = plan->Close();
+        if (open_st.ok()) open_st = close_st;
+      }
+      wctx->PopParams();
+      if (!open_st.ok()) {
+        worker_st = std::move(open_st);
+        break;
+      }
+    }
+    return worker_st;
+  });
+  par_workers_->MergeStats();
+  if (!st.ok()) return Fail(std::move(st));
+  return true;
 }
 
 bool NestedMap::AdvanceNested() {
@@ -40,6 +140,21 @@ bool NestedMap::AdvanceNested() {
 }
 
 bool NestedMap::Next(Tuple* out) {
+  if (par_active_) {
+    while (true) {
+      if (par_task_ < par_group_.size()) {
+        ParTask& task = par_group_[par_task_];
+        if (par_out_ < task.outputs.size()) {
+          *out = task.outputs[par_out_++];
+          return true;
+        }
+        ++par_task_;
+        par_out_ = 0;
+        continue;
+      }
+      if (!FillParGroup()) return false;
+    }
+  }
   while (true) {
     if (nested_open_ && nested_->Next(out)) return true;
     if (!AdvanceNested()) return false;
@@ -47,6 +162,11 @@ bool NestedMap::Next(Tuple* out) {
 }
 
 bool NestedMap::NextBatch(RowBatch* out) {
+  // Parallel mode stores nested outputs as tuples; the shared tuple-loop
+  // state machine batches them (whole collections forwarded zero-copy).
+  if (par_active_) {
+    return NextBatchFromTuples(out, 0, /*require_arity_one=*/true);
+  }
   while (true) {
     if (nested_open_ && nested_->NextBatch(out)) return true;
     if (!AdvanceNested()) return false;
@@ -54,6 +174,7 @@ bool NestedMap::NextBatch(RowBatch* out) {
 }
 
 bool NestedMap::NextBatchSelective(RowBatch* out) {
+  if (par_active_) return NextBatch(out);
   while (true) {
     if (nested_open_ && nested_->NextBatchSelective(out)) return true;
     if (!AdvanceNested()) return false;
@@ -67,6 +188,10 @@ Status NestedMap::Close() {
     ctx_->PopParams();
     nested_open_ = false;
   }
+  par_active_ = false;
+  par_plans_.clear();
+  par_workers_.reset();
+  par_group_.clear();
   Status cst = child(0)->Close();
   return st.ok() ? cst : st;
 }
@@ -463,6 +588,24 @@ bool ParametrizedMap::NextBatch(RowBatch* out) {
     return true;
   }
   return ChildEnd(child(1));
+}
+
+SubOpPtr ParametrizedMap::CloneForWorker(WorkerCloneContext* cc) const {
+  if (!clone_safe_) return nullptr;  // callables not declared thread-safe
+  SubOpPtr param_clone = child(0)->CloneForWorker(cc);
+  SubOpPtr data_clone =
+      param_clone == nullptr ? nullptr : child(1)->CloneForWorker(cc);
+  if (data_clone == nullptr) return nullptr;
+  std::unique_ptr<ParametrizedMap> clone;
+  if (fn_ != nullptr) {
+    clone = std::make_unique<ParametrizedMap>(
+        std::move(param_clone), std::move(data_clone), out_schema_, fn_);
+  } else {
+    clone = std::make_unique<ParametrizedMap>(
+        std::move(param_clone), std::move(data_clone), out_schema_, bulk_fn_);
+  }
+  clone->MarkCloneSafe();
+  return clone;
 }
 
 // ---------------------------------------------------------------------------

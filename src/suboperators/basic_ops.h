@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/expr.h"
+#include "core/parallel.h"
 #include "core/sub_operator.h"
 
 /// \file basic_ops.h
@@ -41,6 +42,12 @@ class ParameterLookup : public SubOperator {
     return true;
   }
 
+  /// Stateless between Open cycles; each worker's clone reads the frame
+  /// its own context pushed.
+  SubOpPtr CloneForWorker(WorkerCloneContext*) const override {
+    return std::make_unique<ParameterLookup>();
+  }
+
  private:
   bool done_ = false;
 };
@@ -69,6 +76,7 @@ class NestedMap : public SubOperator {
   /// Forwards the nested plan's selection batches untouched.
   bool NextBatchSelective(RowBatch* out) override;
   Status Close() override;
+  SubOpPtr CloneForWorker(WorkerCloneContext* cc) const override;
 
   SubOperator* nested_plan() const { return nested_.get(); }
 
@@ -77,10 +85,35 @@ class NestedMap : public SubOperator {
   /// at end of input or on error.
   bool AdvanceNested();
 
+  // -- Parallel mode (docs/DESIGN-parallel.md) -----------------------------
+  // When the rank has a thread budget and the nested plan clones, input
+  // tuples are dispatched dynamically to worker-owned clones in bounded
+  // groups; outputs are emitted strictly in input order, so N-thread runs
+  // are byte-identical to the serial per-tuple loop. Workers run with
+  // num_threads pinned to 1 (no nested pools).
+
+  struct ParTask {
+    Tuple input;
+    std::vector<Tuple> outputs;
+    std::vector<RowVectorPtr> arena;
+  };
+
+  /// Pulls the next bounded group of input tuples and runs them on the
+  /// worker clones; false at end of input or on error.
+  bool FillParGroup();
+
   SubOpPtr nested_;
   Tuple current_input_;
   std::vector<RowVectorPtr> arena_;
   bool nested_open_ = false;
+
+  bool par_active_ = false;
+  std::vector<SubOpPtr> par_plans_;           // one nested clone per worker
+  std::unique_ptr<WorkerSet> par_workers_;
+  std::vector<ParTask> par_group_;
+  size_t par_task_ = 0;  // emission cursor: task within group ...
+  size_t par_out_ = 0;   // ... and output tuple within task
+  bool par_input_done_ = false;
 };
 
 /// Projection retains a subset of the *tuple items* of its input, in the
@@ -104,6 +137,12 @@ class Projection : public SubOperator {
   /// each input tuple is batched directly (collections forwarded
   /// zero-copy, rows packed), skipping the per-tuple Projection::Next.
   bool NextBatch(RowBatch* out) override;
+
+  SubOpPtr CloneForWorker(WorkerCloneContext* cc) const override {
+    SubOpPtr child_clone = child(0)->CloneForWorker(cc);
+    if (child_clone == nullptr) return nullptr;
+    return std::make_unique<Projection>(std::move(child_clone), indices_);
+  }
 
  private:
   std::vector<int> indices_;
@@ -149,6 +188,14 @@ class Filter : public SubOperator {
   bool NextBatchSelective(RowBatch* out) override;
 
   const ExprPtr& predicate() const { return predicate_; }
+
+  /// Expression trees are immutable and shared between worker clones.
+  SubOpPtr CloneForWorker(WorkerCloneContext* cc) const override {
+    SubOpPtr child_clone = child(0)->CloneForWorker(cc);
+    if (child_clone == nullptr) return nullptr;
+    return std::make_unique<Filter>(std::move(child_clone), predicate_,
+                                    row_item_);
+  }
 
  private:
   ExprPtr predicate_;
@@ -197,6 +244,13 @@ class MapOp : public SubOperator {
   /// vectors without an intermediate compaction copy) and projects whole
   /// batches column-wise through the batch expression kernels.
   bool NextBatch(RowBatch* out) override;
+
+  SubOpPtr CloneForWorker(WorkerCloneContext* cc) const override {
+    SubOpPtr child_clone = child(0)->CloneForWorker(cc);
+    if (child_clone == nullptr) return nullptr;
+    return std::make_unique<MapOp>(std::move(child_clone), out_schema_,
+                                   outputs_, row_item_);
+  }
 
  private:
   void WriteOutput(const RowRef& in, RowWriter* w);
@@ -259,10 +313,22 @@ class ParametrizedMap : public SubOperator {
   /// forwards its collection outputs zero-copy.
   bool NextBatch(RowBatch* out) override;
 
+  /// Declares the callable(s) safe to invoke concurrently from several
+  /// worker clones (stateless lambdas). Plan builders opt in explicitly;
+  /// without it the operator refuses to clone and its chain falls back to
+  /// serial execution.
+  ParametrizedMap* MarkCloneSafe() {
+    clone_safe_ = true;
+    return this;
+  }
+
+  SubOpPtr CloneForWorker(WorkerCloneContext* cc) const override;
+
  private:
   Schema out_schema_;
   Fn fn_;
   BulkFn bulk_fn_;
+  bool clone_safe_ = false;
   Tuple param_;
   std::vector<RowVectorPtr> param_arena_;
   RowVectorPtr scratch_;
@@ -299,6 +365,13 @@ class Zip : public SubOperator {
     out->Append(b);
     return true;
   }
+
+  SubOpPtr CloneForWorker(WorkerCloneContext* cc) const override {
+    SubOpPtr left = child(0)->CloneForWorker(cc);
+    SubOpPtr right = left == nullptr ? nullptr : child(1)->CloneForWorker(cc);
+    if (right == nullptr) return nullptr;
+    return std::make_unique<Zip>(std::move(left), std::move(right));
+  }
 };
 
 /// CartesianProduct emits the concatenation of every (left, right) tuple
@@ -315,6 +388,14 @@ class CartesianProduct : public SubOperator {
 
   Status Open(ExecContext* ctx) override;
   bool Next(Tuple* out) override;
+
+  SubOpPtr CloneForWorker(WorkerCloneContext* cc) const override {
+    SubOpPtr left = child(0)->CloneForWorker(cc);
+    SubOpPtr right = left == nullptr ? nullptr : child(1)->CloneForWorker(cc);
+    if (right == nullptr) return nullptr;
+    return std::make_unique<CartesianProduct>(std::move(left),
+                                              std::move(right));
+  }
 
  private:
   std::vector<Tuple> left_;

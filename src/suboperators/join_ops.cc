@@ -9,12 +9,14 @@ namespace modularis {
 void JoinHashTable::Reserve(size_t rows) {
   entries_.clear();
   entries_.reserve(rows);
+  sliced_ = false;
   size_t buckets = 16;
   while (buckets < rows * 2) buckets <<= 1;
   Rehash(buckets);
 }
 
 void JoinHashTable::Rehash(size_t buckets) {
+  sliced_ = false;  // serial rebuild probes the global bucket ring
   buckets_.assign(buckets, Bucket{});
   mask_ = buckets - 1;
   // Re-thread every entry; chains for duplicate keys rebuild naturally
@@ -31,6 +33,60 @@ void JoinHashTable::Rehash(size_t buckets) {
   }
 }
 
+Status JoinHashTable::BuildParallel(const int64_t* keys, size_t n,
+                                    int num_slices) {
+  entries_.assign(n, Entry{0, 0, kNone});
+  size_t buckets = 16;
+  while (buckets < n * 2) buckets <<= 1;
+  while (static_cast<size_t>(num_slices) * 16 > buckets) num_slices /= 2;
+  if (num_slices < 2) {
+    // Degenerate input: rebuild serially (caller handles the fallback).
+    return Status::Internal("BuildParallel: input too small to slice");
+  }
+  buckets_.assign(buckets, Bucket{});
+  mask_ = buckets - 1;
+  sliced_ = true;
+  slice_rows_ = buckets / num_slices;  // both powers of two
+  // Hash every key exactly once (range-parallel) into a home-slot array;
+  // the slice workers then only compare precomputed 4-byte slots against
+  // their range instead of re-hashing all n keys per slice. Entry row
+  // indices are uint32, so buckets <= 2^32 and the slot fits.
+  std::vector<uint32_t> home(n);
+  std::vector<size_t> bounds = SplitRows(n, num_slices);
+  MODULARIS_RETURN_NOT_OK(ParallelFor(num_slices, [&](int w) -> Status {
+    for (size_t i = bounds[w]; i < bounds[w + 1]; ++i) {
+      home[i] = static_cast<uint32_t>(
+          MixHash64(static_cast<uint64_t>(keys[i])) & mask_);
+    }
+    return Status::OK();
+  }));
+  Status st = ParallelFor(num_slices, [&](int slice) -> Status {
+    const size_t lo = slice_rows_ * static_cast<size_t>(slice);
+    const size_t hi = lo + slice_rows_;
+    size_t used = 0;
+    for (size_t i = 0; i < n; ++i) {
+      size_t slot = home[i];
+      if (slot < lo || slot >= hi) continue;  // another slice's key
+      while (buckets_[slot].head != kNone && buckets_[slot].key != keys[i]) {
+        slot = NextSlot(slot);
+      }
+      if (buckets_[slot].head == kNone) {
+        if (++used >= slice_rows_) {
+          // Pathological hash skew filled this slice completely.
+          return Status::Internal("BuildParallel: bucket slice overflow");
+        }
+      }
+      entries_[i] =
+          Entry{keys[i], static_cast<uint32_t>(i), buckets_[slot].head};
+      buckets_[slot].key = keys[i];
+      buckets_[slot].head = static_cast<uint32_t>(i);
+    }
+    return Status::OK();
+  });
+  if (!st.ok()) sliced_ = false;
+  return st;
+}
+
 void JoinHashTable::Insert(int64_t key, uint32_t row_index) {
   if (buckets_.empty() || entries_.size() * 2 >= buckets_.size()) {
     entries_.push_back(Entry{key, row_index, kNone});
@@ -39,7 +95,7 @@ void JoinHashTable::Insert(int64_t key, uint32_t row_index) {
   }
   size_t slot = MixHash64(static_cast<uint64_t>(key)) & mask_;
   while (buckets_[slot].head != kNone && buckets_[slot].key != key) {
-    slot = (slot + 1) & mask_;
+    slot = NextSlot(slot);
   }
   Entry e{key, row_index, buckets_[slot].head};
   buckets_[slot].key = key;
@@ -52,7 +108,7 @@ uint32_t JoinHashTable::Find(int64_t key) const {
   size_t slot = MixHash64(static_cast<uint64_t>(key)) & mask_;
   while (buckets_[slot].head != kNone) {
     if (buckets_[slot].key == key) return buckets_[slot].head;
-    slot = (slot + 1) & mask_;
+    slot = NextSlot(slot);
   }
   return kNone;
 }
@@ -168,6 +224,11 @@ inline void CopyRun(uint8_t* dst, const uint8_t* src, uint32_t bytes) {
 Status BuildProbe::Open(ExecContext* ctx) {
   MODULARIS_RETURN_NOT_OK(SubOperator::Open(ctx));
   built_ = false;
+  par_probe_decided_ = false;
+  par_probe_ = false;
+  par_sinks_.clear();
+  par_sink_ = 0;
+  par_row_ = 0;
   bulk_probe_ = false;
   have_probe_row_ = false;
   probe_bulk_.reset();
@@ -220,23 +281,72 @@ Status BuildProbe::BuildTable() {
     }
     MODULARIS_RETURN_NOT_OK(child(0)->status());
   }
-  table_.Reserve(build_rows_->size());
   // Bulk insert: extract the (shifted) keys from the packed bytes with a
   // hoisted layout, then load the table with bucket prefetching.
   const size_t n = build_rows_->size();
   key_scratch_.resize(n);
   ExtractShiftedKeys(build_rows_->data(), n, build_schema_, build_key_col_,
                      key_shift_, key_scratch_.data());
+  if (ctx_->options.enable_vectorized) {
+    int workers = PlanWorkers(n, ctx_->options);
+    int slices = 1;
+    while (slices * 2 <= workers) slices *= 2;
+    if (slices > 1 &&
+        table_.BuildParallel(key_scratch_.data(), n, slices).ok()) {
+      return Status::OK();
+    }
+    // Too small to slice, or pathological skew overfilled a slice:
+    // rebuild serially (byte-identical either way).
+  } else if (ctx_->options.ResolvedNumThreads() > 1) {
+    NoteSerialFallback(ctx_, "BuildProbe");
+  }
+  table_.Reserve(n);
   table_.InsertBatch(key_scratch_.data(), n, 0);
   return Status::OK();
 }
 
+Status BuildProbe::MaybeSetupParallelProbe() {
+  par_probe_decided_ = true;
+  if (!ctx_->options.enable_vectorized ||
+      ctx_->options.ResolvedNumThreads() <= 1) {
+    return Status::OK();
+  }
+  RowVectorPtr probe;
+  MODULARIS_RETURN_NOT_OK(DrainRecordStream(child(1), &probe));
+  if (probe == nullptr || probe->empty()) {
+    par_probe_ = true;  // empty stream: emit nothing
+    return Status::OK();
+  }
+  int workers = PlanWorkers(probe->size(), ctx_->options);
+  if (workers <= 1) {
+    // Below the sizing threshold: replay the materialized rows through
+    // the serial streaming cursor.
+    probe_bulk_ = std::move(probe);
+    probe_bulk_pos_ = 0;
+    bulk_probe_ = true;
+    have_probe_row_ = true;
+    return Status::OK();
+  }
+  const uint32_t stride = probe->row_size();
+  std::vector<size_t> bounds = SplitRows(probe->size(), workers);
+  par_sinks_.resize(workers);
+  MODULARIS_RETURN_NOT_OK(ParallelFor(workers, [&](int w) -> Status {
+    par_sinks_[w] = RowVector::Make(out_schema_);
+    ProbeScratch scratch;
+    ProbeSpanInto(probe->data() + bounds[w] * stride,
+                  bounds[w + 1] - bounds[w], &scratch, par_sinks_[w].get());
+    return Status::OK();
+  }));
+  par_probe_ = true;
+  return Status::OK();
+}
+
 void BuildProbe::EmitInnerInto(uint32_t entry, const uint8_t* probe_row,
-                               RowVector* sink) {
-  // Assemble in the zero-initialized scratch row (alignment gaps stay
+                               RowVector* staging, RowVector* sink) const {
+  // Assemble in the zero-initialized staging row (alignment gaps stay
   // zero, matching the row-at-a-time path byte for byte), then append
   // with one packed copy — no per-row zero-fill in the sink.
-  uint8_t* dst = scratch_->mutable_row(0);
+  uint8_t* dst = staging->mutable_row(0);
   const uint8_t* bsrc = build_rows_->row(table_.RowOf(entry)).data();
   for (const FieldCopy& c : build_copies_) {
     std::memcpy(dst + c.dst_offset, bsrc + c.src_offset, c.bytes);
@@ -248,15 +358,16 @@ void BuildProbe::EmitInnerInto(uint32_t entry, const uint8_t* probe_row,
 }
 
 void BuildProbe::ProbeSpanInto(const uint8_t* base, size_t n,
-                               RowVector* sink) {
+                               ProbeScratch* scratch, RowVector* sink) const {
   const uint32_t stride = probe_schema_.row_size();
   // Pass 1: extract shifted keys; pass 2: prefetched bulk lookup;
   // pass 3: emit matches (prefetching the matched build rows ahead).
-  key_scratch_.resize(n);
-  match_scratch_.resize(n);
+  scratch->keys.resize(n);
+  scratch->matches.resize(n);
+  std::vector<uint32_t>& match_scratch_ = scratch->matches;
   ExtractShiftedKeys(base, n, probe_schema_, probe_key_col_, key_shift_,
-                     key_scratch_.data());
-  table_.FindBatch(key_scratch_.data(), n, match_scratch_.data());
+                     scratch->keys.data());
+  table_.FindBatch(scratch->keys.data(), n, match_scratch_.data());
   if (type_ == JoinType::kInner && gapless_out_) {
     // Direct emission: assemble rows with raw pointer arithmetic into
     // uninitialized chunks of the sink — no per-row append bookkeeping,
@@ -291,6 +402,10 @@ void BuildProbe::ProbeSpanInto(const uint8_t* base, size_t n,
     sink->TruncateRows(kChunkRows - chunk_used);
     return;
   }
+  if (scratch->staging == nullptr) {
+    scratch->staging = RowVector::Make(out_schema_);
+    scratch->staging->AppendRow();
+  }
   for (size_t i = 0; i < n; ++i, base += stride) {
     uint32_t e = match_scratch_[i];
     if (type_ == JoinType::kInner) {
@@ -299,7 +414,7 @@ void BuildProbe::ProbeSpanInto(const uint8_t* base, size_t n,
             build_rows_->row(table_.RowOf(match_scratch_[i + 4])).data(), 0);
       }
       for (; e != JoinHashTable::kNone; e = table_.NextMatch(e)) {
-        EmitInnerInto(e, base, sink);
+        EmitInnerInto(e, base, scratch->staging.get(), sink);
       }
     } else {
       bool matched = e != JoinHashTable::kNone;
@@ -329,7 +444,22 @@ bool BuildProbe::NextBatch(RowBatch* out) {
     if (!st.ok()) return Fail(st);
     built_ = true;
   }
+  if (!par_probe_decided_) {
+    Status st = MaybeSetupParallelProbe();
+    if (!st.ok()) return Fail(st);
+  }
   out->Clear();
+  if (par_probe_) {
+    // Emit the per-worker sinks in worker order (the serial emission
+    // order); a sink partially consumed through Next() yields its
+    // remainder as one borrowed batch.
+    if (!AdvanceParSink()) return false;
+    RowVectorPtr& sink = par_sinks_[par_sink_];
+    out->BorrowRange(sink, par_row_, sink->size() - par_row_);
+    out->MarkDurable();  // sinks are immutable once probed
+    par_row_ = sink->size();
+    return true;
+  }
   if (out_rows_ == nullptr) {
     out_rows_ = RowVector::Make(out_schema_);
   } else {
@@ -343,7 +473,7 @@ bool BuildProbe::NextBatch(RowBatch* out) {
     if (in_match_chain_) {
       for (uint32_t e = match_entry_; e != JoinHashTable::kNone;
            e = table_.NextMatch(e)) {
-        EmitInnerInto(e, row.data(), out_rows_.get());
+        EmitInnerInto(e, row.data(), scratch_.get(), out_rows_.get());
       }
       in_match_chain_ = false;
       match_entry_ = JoinHashTable::kNone;
@@ -354,10 +484,11 @@ bool BuildProbe::NextBatch(RowBatch* out) {
         ProbeSpanInto(probe_bulk_->data() +
                           probe_bulk_pos_ * probe_bulk_->row_size(),
                       probe_bulk_->size() - probe_bulk_pos_,
-                      out_rows_.get());
+                      &probe_scratch_, out_rows_.get());
         probe_bulk_pos_ = probe_bulk_->size();
       } else {
-        ProbeSpanInto(CurrentProbeRow().data(), 1, out_rows_.get());
+        ProbeSpanInto(CurrentProbeRow().data(), 1, &probe_scratch_,
+                      out_rows_.get());
       }
       have_probe_row_ = false;
     }
@@ -373,7 +504,8 @@ bool BuildProbe::NextBatch(RowBatch* out) {
   while (child(1)->NextBatch(&probe_in_)) {
     if (probe_in_.empty()) continue;
     out_rows_->Reserve(probe_in_.size());
-    ProbeSpanInto(probe_in_.data(), probe_in_.size(), out_rows_.get());
+    ProbeSpanInto(probe_in_.data(), probe_in_.size(), &probe_scratch_,
+                  out_rows_.get());
     if (out_rows_->empty()) continue;  // no matches in this batch
     out->Borrow(std::move(out_rows_));
     out->MarkReleased();
@@ -387,6 +519,16 @@ bool BuildProbe::Next(Tuple* out) {
     Status st = BuildTable();
     if (!st.ok()) return Fail(st);
     built_ = true;
+  }
+  if (!par_probe_decided_) {
+    Status st = MaybeSetupParallelProbe();
+    if (!st.ok()) return Fail(st);
+  }
+  if (par_probe_) {
+    if (!AdvanceParSink()) return false;
+    out->clear();
+    out->push_back(Item(par_sinks_[par_sink_]->row(par_row_++)));
+    return true;
   }
 
   while (true) {

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/parallel.h"
 #include "core/sub_operator.h"
 #include "suboperators/partition_ops.h"
 
@@ -34,6 +35,15 @@ class JoinHashTable {
   /// cache-miss latency of the random bucket walk is hidden behind the
   /// packed key stream — only a batched caller can do this).
   void InsertBatch(const int64_t* keys, size_t n, uint32_t first_row);
+  /// Partition-local parallel build (docs/DESIGN-parallel.md): the bucket
+  /// array is cut into `num_slices` (a power of two) equal ranges and
+  /// each worker inserts exactly the keys whose hash lands in its slice,
+  /// probing with slice-local wraparound — no cross-worker writes, and
+  /// duplicate chains come out in the same (descending row) order as a
+  /// serial build, so probe emission stays byte-identical. Entry index ==
+  /// build row index. Fails (caller falls back to a serial build) if key
+  /// skew overfills one slice.
+  Status BuildParallel(const int64_t* keys, size_t n, int num_slices);
   /// First entry matching `key`, or kNone.
   uint32_t Find(int64_t key) const;
   /// Bulk lookup with software prefetching; out[i] = Find(keys[i]).
@@ -57,9 +67,19 @@ class JoinHashTable {
 
   void Rehash(size_t buckets);
 
+  /// Next bucket in the probe sequence: global wraparound for serially
+  /// built tables, slice-local wraparound after BuildParallel.
+  size_t NextSlot(size_t slot) const {
+    if (!sliced_) return (slot + 1) & mask_;
+    size_t next = slot + 1;
+    return (next & (slice_rows_ - 1)) == 0 ? next - slice_rows_ : next;
+  }
+
   std::vector<Entry> entries_;
   std::vector<Bucket> buckets_;
   size_t mask_ = 0;
+  bool sliced_ = false;
+  size_t slice_rows_ = 0;  // buckets per slice (power of two)
 };
 
 /// Byte-range copy instruction used to assemble concatenated output rows.
@@ -109,15 +129,55 @@ class BuildProbe : public SubOperator {
 
   const Schema& out_schema() const { return out_schema_; }
 
+  SubOpPtr CloneForWorker(WorkerCloneContext* cc) const override {
+    SubOpPtr build_clone = child(0)->CloneForWorker(cc);
+    SubOpPtr probe_clone =
+        build_clone == nullptr ? nullptr : child(1)->CloneForWorker(cc);
+    if (probe_clone == nullptr) return nullptr;
+    return std::make_unique<BuildProbe>(std::move(build_clone),
+                                        std::move(probe_clone), build_schema_,
+                                        probe_schema_, build_key_col_,
+                                        probe_key_col_, type_, key_shift_,
+                                        timer_key_);
+  }
+
  private:
+  /// Per-worker probe scratch: extracted keys, match entries and the one
+  /// zero-initialized staging row used by the gapped emit path.
+  struct ProbeScratch {
+    std::vector<int64_t> keys;
+    std::vector<uint32_t> matches;
+    RowVectorPtr staging;
+  };
+
   Status BuildTable();
+  /// Decides the probe strategy once per Open when a thread budget
+  /// exists: materializes the probe side and either fans morsel ranges
+  /// out to workers (per-worker sinks concatenated in input order — the
+  /// serial emission order) or, below the sizing threshold, replays the
+  /// materialized rows through the serial streaming path.
+  Status MaybeSetupParallelProbe();
   /// Emits the concatenated row for (build entry, current probe row).
   void EmitInner(uint32_t entry, const RowRef& probe_row, Tuple* out);
-  /// Assembles the concatenated ⟨build, probe⟩ row into `sink`.
+  /// Assembles the concatenated ⟨build, probe⟩ row into `sink` via the
+  /// given staging row.
   void EmitInnerInto(uint32_t entry, const uint8_t* probe_row,
-                     RowVector* sink);
+                     RowVector* staging, RowVector* sink) const;
   /// Probes `n` packed rows starting at `base`, appending results.
-  void ProbeSpanInto(const uint8_t* base, size_t n, RowVector* sink);
+  /// Read-only on the table/build side, so worker threads run it
+  /// concurrently with private scratch and sinks.
+  void ProbeSpanInto(const uint8_t* base, size_t n, ProbeScratch* scratch,
+                     RowVector* sink) const;
+  /// Advances the par-sink cursor past exhausted sinks. True when
+  /// (par_sink_, par_row_) points at an unread row; false at end.
+  bool AdvanceParSink() {
+    while (par_sink_ < par_sinks_.size()) {
+      if (par_row_ < par_sinks_[par_sink_]->size()) return true;
+      ++par_sink_;
+      par_row_ = 0;
+    }
+    return false;
+  }
 
   /// The probe cursor: the row currently being probed, from either a bulk
   /// collection or a streamed record tuple.
@@ -152,8 +212,8 @@ class BuildProbe : public SubOperator {
   RowVectorPtr scratch_;
   RowBatch probe_in_;
   RowVectorPtr out_rows_;
+  ProbeScratch probe_scratch_;
   std::vector<int64_t> key_scratch_;
-  std::vector<uint32_t> match_scratch_;
   /// True when the inner-join copy plans cover every output byte, which
   /// enables direct emission into uninitialized sink rows.
   bool gapless_out_ = false;
@@ -168,6 +228,14 @@ class BuildProbe : public SubOperator {
   /// Remaining duplicate-match chain for the current probe row.
   uint32_t match_entry_ = JoinHashTable::kNone;
   bool in_match_chain_ = false;
+
+  // Parallel probe state: per-worker output sinks emitted in worker
+  // (= input range) order.
+  bool par_probe_decided_ = false;
+  bool par_probe_ = false;
+  std::vector<RowVectorPtr> par_sinks_;
+  size_t par_sink_ = 0;
+  size_t par_row_ = 0;
 };
 
 }  // namespace modularis

@@ -65,6 +65,41 @@ void ScatterRows(const RowVector& rows, const RadixSpec& spec, int key_col,
   ScatterSpan(rows.data(), rows.size(), rows.schema(), spec, key_col, parts);
 }
 
+void ScatterSpanPresizedWc(const uint8_t* rows, size_t n,
+                           const Schema& schema, const RadixSpec& spec,
+                           int key_col, std::vector<RowVectorPtr>* parts,
+                           std::vector<size_t>* cursors) {
+  const KeyLayout kl = KeyLayoutOf(schema, key_col);
+  const uint32_t stride = schema.row_size();
+  const int fanout = spec.fanout();
+  // ~512B of staging per partition: large enough that flushes amortize
+  // the random partition access, small enough that fanout * buffer stays
+  // cache-resident per worker.
+  size_t wc_rows = 512 / stride;
+  if (wc_rows < 4) wc_rows = 4;
+  std::vector<uint8_t> stage(static_cast<size_t>(fanout) * wc_rows * stride);
+  std::vector<uint32_t> fill(fanout, 0);
+  const size_t buf_bytes = wc_rows * stride;
+  const uint8_t* p = rows;
+  for (size_t i = 0; i < n; ++i, p += stride) {
+    uint32_t pid = spec.PartitionOf(LoadKey(p, kl.offset, kl.wide));
+    uint8_t* buf = stage.data() + pid * buf_bytes;
+    std::memcpy(buf + fill[pid] * stride, p, stride);
+    if (++fill[pid] == wc_rows) {
+      std::memcpy((*parts)[pid]->mutable_row((*cursors)[pid]), buf,
+                  buf_bytes);
+      (*cursors)[pid] += wc_rows;
+      fill[pid] = 0;
+    }
+  }
+  for (int pid = 0; pid < fanout; ++pid) {
+    if (fill[pid] == 0) continue;
+    std::memcpy((*parts)[pid]->mutable_row((*cursors)[pid]),
+                stage.data() + pid * buf_bytes, fill[pid] * stride);
+    (*cursors)[pid] += fill[pid];
+  }
+}
+
 Status ScatterSpanPresized(const uint8_t* rows, size_t n,
                            const Schema& schema, const RadixSpec& spec,
                            int key_col, std::vector<RowVectorPtr>* parts,
@@ -91,11 +126,48 @@ Status ScatterSpanPresized(const uint8_t* rows, size_t n,
 // LocalHistogram
 // ---------------------------------------------------------------------------
 
+Status LocalHistogram::CountParallel(std::vector<int64_t>* counts) {
+  // Materialize the record stream as one packed span (zero-copy when the
+  // upstream hands a single durable collection, the hot case) and count
+  // dynamically claimed morsels into per-worker histograms; the sum-merge
+  // is order-insensitive, so the dynamic schedule costs no determinism.
+  RowVectorPtr input;
+  MODULARIS_RETURN_NOT_OK(DrainRecordStream(child(0), &input));
+  if (input == nullptr) return Status::OK();
+  const size_t n = input->size();
+  int workers = PlanWorkers(n, ctx_->options);
+  if (workers <= 1) {
+    CountRows(*input, spec_, key_col_, counts->data());
+    return Status::OK();
+  }
+  const uint32_t stride = input->row_size();
+  std::vector<std::vector<int64_t>> worker_counts(
+      workers, std::vector<int64_t>(spec_.fanout(), 0));
+  MorselCursor cursor(n, ctx_->options.morsel_rows);
+  MODULARIS_RETURN_NOT_OK(ParallelFor(workers, [&](int w) -> Status {
+    size_t begin = 0, count = 0;
+    while (cursor.Claim(&begin, &count)) {
+      CountSpan(input->data() + begin * stride, count, input->schema(),
+                spec_, key_col_, worker_counts[w].data());
+    }
+    return Status::OK();
+  }));
+  for (const std::vector<int64_t>& wc : worker_counts) {
+    for (int p = 0; p < spec_.fanout(); ++p) (*counts)[p] += wc[p];
+  }
+  return Status::OK();
+}
+
 bool LocalHistogram::Next(Tuple* out) {
   if (done_) return false;
   std::vector<int64_t> counts(spec_.fanout(), 0);
   timer_.Bind(ctx_->stats, timer_key_);
-  if (ctx_->options.enable_vectorized) {
+  if (ctx_->options.enable_vectorized &&
+      ctx_->options.ResolvedNumThreads() > 1) {
+    ScopedPhase phase(&timer_);
+    Status st = CountParallel(&counts);
+    if (!st.ok()) return Fail(std::move(st));
+  } else if (ctx_->options.enable_vectorized) {
     // Batched drain: every batch is counted in one packed loop,
     // regardless of whether the upstream streams records or hands whole
     // collections.
@@ -106,6 +178,10 @@ bool LocalHistogram::Next(Tuple* out) {
                 counts.data());
     }
   } else {
+    if (ctx_->options.ResolvedNumThreads() > 1) {
+      // Row-at-a-time streams have no packed span to split into morsels.
+      NoteSerialFallback(ctx_, "LocalHistogram");
+    }
     ScopedPhase phase(&timer_);
     Tuple t;
     while (child(0)->Next(&t)) {
@@ -133,9 +209,124 @@ bool LocalHistogram::Next(Tuple* out) {
   return true;
 }
 
+namespace {
+
+/// The shared two-phase parallel scatter skeleton: per-worker counts over
+/// static contiguous ranges (which replay the input order), then
+/// per-(worker, partition) write offsets as the prefix sums across
+/// workers, then every worker scatters its range through write-combining
+/// buffers into its private, contiguous region of each partition.
+struct RangedScatterPlan {
+  std::vector<size_t> bounds;                      // worker row ranges
+  std::vector<std::vector<int64_t>> worker_counts;  // [worker][partition]
+  std::vector<int64_t> totals;                      // per-partition rows
+};
+
+Status CountRanges(const RowVector& input, const RadixSpec& spec, int key_col,
+                   int workers, RangedScatterPlan* plan) {
+  const uint32_t stride = input.row_size();
+  plan->bounds = SplitRows(input.size(), workers);
+  plan->worker_counts.assign(workers,
+                             std::vector<int64_t>(spec.fanout(), 0));
+  MODULARIS_RETURN_NOT_OK(ParallelFor(workers, [&](int w) -> Status {
+    CountSpan(input.data() + plan->bounds[w] * stride,
+              plan->bounds[w + 1] - plan->bounds[w], input.schema(), spec,
+              key_col, plan->worker_counts[w].data());
+    return Status::OK();
+  }));
+  plan->totals.assign(spec.fanout(), 0);
+  for (int p = 0; p < spec.fanout(); ++p) {
+    for (int w = 0; w < workers; ++w) {
+      plan->totals[p] += plan->worker_counts[w][p];
+    }
+  }
+  return Status::OK();
+}
+
+Status ScatterRanges(const RowVector& input, const RadixSpec& spec,
+                     int key_col, const RangedScatterPlan& plan,
+                     std::vector<RowVectorPtr>* parts) {
+  const int workers = static_cast<int>(plan.worker_counts.size());
+  const int fanout = spec.fanout();
+  const uint32_t stride = input.row_size();
+  std::vector<std::vector<size_t>> offsets(workers,
+                                           std::vector<size_t>(fanout, 0));
+  for (int p = 0; p < fanout; ++p) {
+    size_t off = 0;
+    for (int w = 0; w < workers; ++w) {
+      offsets[w][p] = off;
+      off += static_cast<size_t>(plan.worker_counts[w][p]);
+    }
+  }
+  return ParallelFor(workers, [&](int w) -> Status {
+    ScatterSpanPresizedWc(input.data() + plan.bounds[w] * stride,
+                          plan.bounds[w + 1] - plan.bounds[w], input.schema(),
+                          spec, key_col, parts, &offsets[w]);
+    return Status::OK();
+  });
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // LocalPartition
 // ---------------------------------------------------------------------------
+
+Status LocalPartition::PartitionAllParallel(const RowVector& hist) {
+  ScopedPhase phase(&timer_);
+  RowVectorPtr input;
+  MODULARIS_RETURN_NOT_OK(DrainRecordStream(child(0), &input));
+  if (input == nullptr) {
+    // Empty input: empty partitions, as in the serial vectorized path.
+    for (int p = 0; p < spec_.fanout(); ++p) {
+      parts_.push_back(RowVector::Make(KeyValueSchema()));
+    }
+    return Status::OK();
+  }
+  const size_t n = input->size();
+  const Schema& schema = input->schema();
+  const int fanout = spec_.fanout();
+  const int workers = PlanWorkers(n, ctx_->options);
+
+  // Exact allocation per partition from the histogram; every row is
+  // overwritten by a full-stride copy below (count totals are verified
+  // against the histogram first), so no zero-fill.
+  for (int p = 0; p < fanout; ++p) {
+    RowVectorPtr part = RowVector::Make(schema);
+    part->ResizeRowsUninitialized(static_cast<size_t>(hist.row(p).GetInt64(0)));
+    parts_.push_back(std::move(part));
+  }
+
+  if (workers <= 1) {
+    std::vector<size_t> cursors(fanout, 0);
+    MODULARIS_RETURN_NOT_OK(ScatterSpanPresized(
+        input->data(), n, schema, spec_, key_col_, &parts_, &cursors));
+    for (int p = 0; p < fanout; ++p) {
+      if (cursors[p] != parts_[p]->size()) {
+        return Status::InvalidArgument(
+            "LocalPartition: histogram count " +
+            std::to_string(parts_[p]->size()) + " != scattered rows " +
+            std::to_string(cursors[p]) + " for partition " +
+            std::to_string(p));
+      }
+    }
+    return Status::OK();
+  }
+
+  RangedScatterPlan plan;
+  MODULARIS_RETURN_NOT_OK(CountRanges(*input, spec_, key_col_, workers,
+                                      &plan));
+  for (int p = 0; p < fanout; ++p) {
+    if (plan.totals[p] != static_cast<int64_t>(parts_[p]->size())) {
+      return Status::InvalidArgument(
+          "LocalPartition: histogram count " +
+          std::to_string(parts_[p]->size()) + " != scattered rows " +
+          std::to_string(plan.totals[p]) + " for partition " +
+          std::to_string(p));
+    }
+  }
+  return ScatterRanges(*input, spec_, key_col_, plan, &parts_);
+}
 
 Status LocalPartition::PartitionAllVectorized(const RowVector& hist) {
   ScopedPhase phase(&timer_);
@@ -199,7 +390,13 @@ Status LocalPartition::PartitionAll() {
   timer_.Bind(ctx_->stats, timer_key_);
   parts_.reserve(spec_.fanout());
   if (ctx_->options.enable_vectorized) {
+    if (ctx_->options.ResolvedNumThreads() > 1) {
+      return PartitionAllParallel(*hist);
+    }
     return PartitionAllVectorized(*hist);
+  }
+  if (ctx_->options.ResolvedNumThreads() > 1) {
+    NoteSerialFallback(ctx_, "LocalPartition");
   }
 
   ScopedPhase phase(&timer_);
@@ -271,6 +468,21 @@ bool LocalPartition::Next(Tuple* out) {
 // PartitionOp
 // ---------------------------------------------------------------------------
 
+Status PartitionOp::PartitionAllParallel(const RowVectorPtr& input,
+                                         int workers) {
+  RangedScatterPlan plan;
+  MODULARIS_RETURN_NOT_OK(CountRanges(*input, spec_, key_col_, workers,
+                                      &plan));
+  // Counts come from the data itself, so the pre-sizing is exact by
+  // construction and every uninitialized row gets overwritten.
+  for (int p = 0; p < spec_.fanout(); ++p) {
+    RowVectorPtr part = RowVector::Make(input->schema());
+    part->ResizeRowsUninitialized(static_cast<size_t>(plan.totals[p]));
+    parts_.push_back(std::move(part));
+  }
+  return ScatterRanges(*input, spec_, key_col_, plan, &parts_);
+}
+
 bool PartitionOp::Next(Tuple* out) {
   if (!partitioned_) {
     timer_.Bind(ctx_->stats, timer_key_);
@@ -283,7 +495,24 @@ bool PartitionOp::Next(Tuple* out) {
       }
       have_parts = true;
     };
-    if (ctx_->options.enable_vectorized) {
+    if (ctx_->options.enable_vectorized &&
+        ctx_->options.ResolvedNumThreads() > 1) {
+      RowVectorPtr input;
+      Status st = DrainRecordStream(child(0), &input);
+      if (!st.ok()) return Fail(std::move(st));
+      if (input != nullptr && !input->empty()) {
+        int workers = PlanWorkers(input->size(), ctx_->options);
+        if (workers > 1) {
+          st = PartitionAllParallel(input, workers);
+          if (!st.ok()) return Fail(std::move(st));
+          have_parts = true;
+        } else {
+          ensure_parts(input->schema());
+          ScatterSpan(input->data(), input->size(), input->schema(), spec_,
+                      key_col_, &parts_);
+        }
+      }
+    } else if (ctx_->options.enable_vectorized) {
       RowBatch batch;
       while (child(0)->NextBatch(&batch)) {
         if (batch.empty()) continue;
@@ -292,6 +521,9 @@ bool PartitionOp::Next(Tuple* out) {
                     key_col_, &parts_);
       }
     } else {
+      if (ctx_->options.ResolvedNumThreads() > 1) {
+        NoteSerialFallback(ctx_, "Partition");
+      }
       Tuple t;
       while (child(0)->Next(&t)) {
         const Item& item = t[0];

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/parallel.h"
 #include "core/sub_operator.h"
 #include "suboperators/radix.h"
 
@@ -41,9 +42,21 @@ class LocalHistogram : public SubOperator {
 
   bool Next(Tuple* out) override;
 
+  SubOpPtr CloneForWorker(WorkerCloneContext* cc) const override {
+    SubOpPtr child_clone = child(0)->CloneForWorker(cc);
+    if (child_clone == nullptr) return nullptr;
+    return std::make_unique<LocalHistogram>(std::move(child_clone), spec_,
+                                            key_col_, timer_key_);
+  }
+
   const RadixSpec& spec() const { return spec_; }
 
  private:
+  /// Morsel-parallel counting over the materialized input; per-worker
+  /// histograms sum-merge (order-insensitive, so morsels are claimed
+  /// dynamically). Used when the thread budget allows, vectorized only.
+  Status CountParallel(std::vector<int64_t>* counts);
+
   RadixSpec spec_;
   int key_col_;
   std::string timer_key_;
@@ -78,12 +91,29 @@ class LocalPartition : public SubOperator {
 
   bool Next(Tuple* out) override;
 
+  SubOpPtr CloneForWorker(WorkerCloneContext* cc) const override {
+    SubOpPtr data_clone = child(0)->CloneForWorker(cc);
+    SubOpPtr hist_clone =
+        data_clone == nullptr ? nullptr : child(1)->CloneForWorker(cc);
+    if (hist_clone == nullptr) return nullptr;
+    return std::make_unique<LocalPartition>(std::move(data_clone),
+                                            std::move(hist_clone), spec_,
+                                            key_col_, timer_key_);
+  }
+
  private:
   Status PartitionAll();
   /// Vectorized variant: partitions are sized exactly from the histogram
   /// up front (ResizeRows) and rows land at histogram prefix offsets in
   /// one streaming pass — no per-row append bookkeeping.
   Status PartitionAllVectorized(const RowVector& hist);
+  /// Morsel-parallel variant (docs/DESIGN-parallel.md): static contiguous
+  /// worker ranges are counted, per-(worker, partition) write offsets are
+  /// derived from the histogram prefix sums, then every worker scatters
+  /// its range through software write-combining buffers into the shared
+  /// pre-sized partitions — byte-identical to the serial scatter because
+  /// offsets replay the input order.
+  Status PartitionAllParallel(const RowVector& hist);
 
   RadixSpec spec_;
   int key_col_;
@@ -117,7 +147,20 @@ class PartitionOp : public SubOperator {
 
   bool Next(Tuple* out) override;
 
+  SubOpPtr CloneForWorker(WorkerCloneContext* cc) const override {
+    SubOpPtr child_clone = child(0)->CloneForWorker(cc);
+    if (child_clone == nullptr) return nullptr;
+    return std::make_unique<PartitionOp>(std::move(child_clone), spec_,
+                                         key_col_, timer_key_);
+  }
+
  private:
+  /// Single-pass parallel form: parallel count over static ranges sizes
+  /// the partitions exactly, then the same write-combining scatter as
+  /// LocalPartition. No histogram child, so no count/histogram mismatch
+  /// is possible.
+  Status PartitionAllParallel(const RowVectorPtr& input, int workers);
+
   RadixSpec spec_;
   int key_col_;
   std::string timer_key_;
@@ -141,6 +184,18 @@ void ScatterSpan(const uint8_t* rows, size_t n, const Schema& schema,
 /// ResizeRows'd to their exact histogram counts; returns
 /// InvalidArgument if a partition overflows (histogram/data mismatch).
 Status ScatterSpanPresized(const uint8_t* rows, size_t n,
+                           const Schema& schema, const RadixSpec& spec,
+                           int key_col, std::vector<RowVectorPtr>* parts,
+                           std::vector<size_t>* cursors);
+
+/// Write-combining pre-sized scatter (the per-worker form): rows are
+/// staged in a small per-partition buffer and flushed with one memcpy per
+/// full buffer, so a high-fanout scatter touches each partition's cache
+/// lines in bursts instead of per row. `cursors` holds this worker's
+/// absolute start row per partition and must have been reserved so that
+/// every row of the span fits (counts verified by the caller); advanced
+/// past the written rows on return.
+void ScatterSpanPresizedWc(const uint8_t* rows, size_t n,
                            const Schema& schema, const RadixSpec& spec,
                            int key_col, std::vector<RowVectorPtr>* parts,
                            std::vector<size_t>* cursors);

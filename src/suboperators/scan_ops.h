@@ -33,6 +33,12 @@ class TupleSource : public SubOperator {
     return true;
   }
 
+  /// Tuples are shallow-copied: atom items by value, collection items as
+  /// shared read-only pointers.
+  SubOpPtr CloneForWorker(WorkerCloneContext*) const override {
+    return std::make_unique<TupleSource>(tuples_);
+  }
+
  private:
   std::vector<Tuple> tuples_;
   size_t pos_ = 0;
@@ -55,6 +61,11 @@ class CollectionSource : public SubOperator {
     out->clear();
     out->push_back(Item(collections_[pos_++]));
     return true;
+  }
+
+  /// Collections are shared read-only between workers.
+  SubOpPtr CloneForWorker(WorkerCloneContext*) const override {
+    return std::make_unique<CollectionSource>(collections_);
   }
 
  private:
@@ -98,6 +109,12 @@ class RowScan : public SubOperator {
   }
 
   bool ProducesRecordStream() const override { return true; }
+
+  SubOpPtr CloneForWorker(WorkerCloneContext* cc) const override {
+    SubOpPtr child_clone = child(0)->CloneForWorker(cc);
+    if (child_clone == nullptr) return nullptr;
+    return std::make_unique<RowScan>(std::move(child_clone), item_index_);
+  }
 
   /// Native batch path: each input collection is forwarded as one
   /// zero-copy borrowed batch (the remainder of it, if Next() already
@@ -179,6 +196,13 @@ class ColumnScan : public SubOperator {
   /// cell). Continues from wherever Next() left the scan.
   bool NextBatch(RowBatch* out) override;
 
+  SubOpPtr CloneForWorker(WorkerCloneContext* cc) const override {
+    SubOpPtr child_clone = child(0)->CloneForWorker(cc);
+    if (child_clone == nullptr) return nullptr;
+    return std::make_unique<ColumnScan>(std::move(child_clone), schema_,
+                                        item_index_);
+  }
+
  private:
   Schema schema_;
   int item_index_;
@@ -216,6 +240,13 @@ class TableToCollection : public SubOperator {
     return true;
   }
 
+  SubOpPtr CloneForWorker(WorkerCloneContext* cc) const override {
+    SubOpPtr child_clone = child(0)->CloneForWorker(cc);
+    if (child_clone == nullptr) return nullptr;
+    return std::make_unique<TableToCollection>(std::move(child_clone),
+                                               item_index_);
+  }
+
  private:
   int item_index_;
 };
@@ -237,6 +268,13 @@ class MaterializeRowVector : public SubOperator {
   }
 
   bool Next(Tuple* out) override;
+
+  SubOpPtr CloneForWorker(WorkerCloneContext* cc) const override {
+    SubOpPtr child_clone = child(0)->CloneForWorker(cc);
+    if (child_clone == nullptr) return nullptr;
+    return std::make_unique<MaterializeRowVector>(std::move(child_clone),
+                                                  schema_);
+  }
 
  private:
   Schema schema_;

@@ -1,0 +1,468 @@
+/// \file test_parallel.cc
+/// Morsel-driven parallel execution parity (docs/DESIGN-parallel.md):
+/// `num_threads = 4` must produce byte-identical results to
+/// `num_threads = 1` — across join types, duplicate-heavy keys, empty
+/// inputs, the aggregate kinds, and the TPC-H reference queries — and the
+/// operators with native parallel paths must never report a
+/// `parallel.serial_fallback.*` counter in those plans. This suite is
+/// also the ThreadSanitizer target in CI.
+
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/parallel.h"
+#include "core/pipeline.h"
+#include "suboperators/agg_ops.h"
+#include "suboperators/basic_ops.h"
+#include "suboperators/join_ops.h"
+#include "suboperators/partition_ops.h"
+#include "suboperators/scan_ops.h"
+#include "tpch/queries.h"
+
+namespace modularis {
+namespace {
+
+void ExpectBytesEqual(const RowVector& expected, const RowVector& actual,
+                      const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  ASSERT_EQ(expected.row_size(), actual.row_size()) << label;
+  ASSERT_EQ(0, std::memcmp(expected.data(), actual.data(),
+                           expected.byte_size()))
+      << label << ": payload bytes differ";
+}
+
+RowVectorPtr MakeKv(int64_t rows, int64_t key_space, uint32_t seed,
+                    int sequential_dup = 0) {
+  RowVectorPtr data = RowVector::Make(KeyValueSchema());
+  data->Reserve(rows);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> dist(0, key_space - 1);
+  for (int64_t i = 0; i < rows; ++i) {
+    RowWriter w = data->AppendRow();
+    w.SetInt64(0, sequential_dup > 0 ? i / sequential_dup : dist(rng));
+    w.SetInt64(1, i);
+  }
+  return data;
+}
+
+/// Small parallel_min_rows so the worker pool engages on test-sized
+/// inputs; 4 workers regardless of the host's core count. (ExecContext
+/// is pinned — it owns a registry — so configure in place.)
+void InitCtx(ExecContext* ctx, int threads, StatsRegistry* stats) {
+  ctx->options.num_threads = threads;
+  ctx->options.parallel_min_rows = 256;
+  ctx->options.morsel_rows = 512;
+  ctx->stats = stats;
+}
+
+/// Drains a record-stream root into one packed vector via Next() tuples
+/// (exercises the row protocol) or NextBatch (the batch protocol).
+RowVectorPtr DrainRoot(SubOperator* root, ExecContext* ctx, bool batched) {
+  Status st = root->Open(ctx);
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  RowVectorPtr out;
+  if (batched) {
+    RowBatch batch;
+    while (root->NextBatch(&batch)) {
+      if (out == nullptr) out = RowVector::Make(batch.schema());
+      out->AppendRawBatch(batch.data(), batch.size());
+    }
+  } else {
+    Tuple t;
+    while (root->Next(&t)) {
+      if (t.size() == 1 && t[0].is_row()) {
+        if (out == nullptr) out = RowVector::Make(t[0].row().schema());
+        out->AppendRaw(t[0].row().data());
+      } else if (t.size() == 1 && t[0].is_collection()) {
+        if (out == nullptr) {
+          out = RowVector::Make(t[0].collection()->schema());
+        }
+        out->AppendAll(*t[0].collection());
+      } else {
+        ADD_FAILURE() << "unexpected tuple shape " << t.ToString();
+      }
+    }
+  }
+  EXPECT_TRUE(root->status().ok()) << root->status().ToString();
+  EXPECT_TRUE(root->Close().ok());
+  if (out == nullptr) out = RowVector::Make(KeyValueSchema());
+  return out;
+}
+
+void ExpectNoFallback(const StatsRegistry& stats, const char* op) {
+  EXPECT_EQ(stats.GetCounter(std::string("parallel.serial_fallback.") + op),
+            0)
+      << op << " fell back to serial execution";
+}
+
+// ---------------------------------------------------------------------------
+// Partitioned join (the bench plan): histograms + pre-sized partitioning
+// + per-pair BuildProbe inside a NestedMap.
+// ---------------------------------------------------------------------------
+
+SubOpPtr BuildPartitionedJoinPlan(const RowVectorPtr& r, const RowVectorPtr& s,
+                                  JoinType type) {
+  RadixSpec spec{4, 0, RadixHash::kIdentity};
+  const Schema kv = KeyValueSchema();
+  auto plan = std::make_unique<PipelinePlan>();
+  auto scan = [](const RowVectorPtr& v) {
+    return std::make_unique<RowScan>(std::make_unique<CollectionSource>(
+        std::vector<RowVectorPtr>{v}));
+  };
+  plan->Add("lh_r", std::make_unique<LocalHistogram>(scan(r), spec, 0));
+  plan->Add("lp_r", std::make_unique<LocalPartition>(
+                        scan(r), plan->MakeRef("lh_r"), spec, 0));
+  plan->Add("lh_s", std::make_unique<LocalHistogram>(scan(s), spec, 0));
+  plan->Add("lp_s", std::make_unique<LocalPartition>(
+                        scan(s), plan->MakeRef("lh_s"), spec, 0));
+  auto zip = std::make_unique<Zip>(plan->MakeRef("lp_r"),
+                                   plan->MakeRef("lp_s"));
+  auto bp = std::make_unique<BuildProbe>(
+      std::make_unique<RowScan>(std::make_unique<Projection>(
+          std::make_unique<ParameterLookup>(), std::vector<int>{1})),
+      std::make_unique<RowScan>(std::make_unique<Projection>(
+          std::make_unique<ParameterLookup>(), std::vector<int>{3})),
+      kv, kv, /*build_key_col=*/0, /*probe_key_col=*/0, type);
+  Schema out_schema = bp->out_schema();
+  auto nested_root =
+      std::make_unique<MaterializeRowVector>(std::move(bp), out_schema);
+  plan->SetOutput(std::make_unique<NestedMap>(std::move(zip),
+                                              std::move(nested_root)));
+  return plan;
+}
+
+class PartitionedJoinParity : public ::testing::TestWithParam<JoinType> {};
+
+TEST_P(PartitionedJoinParity, FourThreadsByteEqual) {
+  const JoinType type = GetParam();
+  // Build keys cover [0, 10000); probe keys draw from [0, 20000) so
+  // inner/semi AND anti joins all have non-empty output.
+  RowVectorPtr r = MakeKv(40000, 10000, /*seed=*/1, /*sequential_dup=*/4);
+  RowVectorPtr s = MakeKv(40000, 20000, /*seed=*/2);
+  for (bool batched : {false, true}) {
+    StatsRegistry stats1, stats4;
+    ExecContext c1, c4;
+    InitCtx(&c1, 1, &stats1);
+    InitCtx(&c4, 4, &stats4);
+    auto p1 = BuildPartitionedJoinPlan(r, s, type);
+    auto p4 = BuildPartitionedJoinPlan(r, s, type);
+    RowVectorPtr out1 = DrainRoot(p1.get(), &c1, batched);
+    RowVectorPtr out4 = DrainRoot(p4.get(), &c4, batched);
+    ASSERT_GT(out1->size(), 0u);
+    ExpectBytesEqual(*out1, *out4,
+                     std::string("partitioned join, batched=") +
+                         (batched ? "1" : "0"));
+    ExpectNoFallback(stats4, "LocalHistogram");
+    ExpectNoFallback(stats4, "LocalPartition");
+    ExpectNoFallback(stats4, "NestedMap");
+    ExpectNoFallback(stats4, "BuildProbe");
+    ExpectNoFallback(stats4, "ReduceByKey");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(JoinTypes, PartitionedJoinParity,
+                         ::testing::Values(JoinType::kInner, JoinType::kSemi,
+                                           JoinType::kAnti),
+                         [](const ::testing::TestParamInfo<JoinType>& info) {
+                           switch (info.param) {
+                             case JoinType::kInner: return "Inner";
+                             case JoinType::kSemi: return "Semi";
+                             case JoinType::kAnti: return "Anti";
+                           }
+                           return "Unknown";
+                         });
+
+TEST(PartitionedJoinParity, EmptyInputs) {
+  RowVectorPtr empty = RowVector::Make(KeyValueSchema());
+  RowVectorPtr some = MakeKv(5000, 1000, 3);
+  for (const auto& [r, s] : std::vector<std::pair<RowVectorPtr, RowVectorPtr>>{
+           {empty, some}, {some, empty}, {empty, empty}}) {
+    StatsRegistry stats1, stats4;
+    ExecContext c1, c4;
+    InitCtx(&c1, 1, &stats1);
+    InitCtx(&c4, 4, &stats4);
+    auto p1 = BuildPartitionedJoinPlan(r, s, JoinType::kInner);
+    auto p4 = BuildPartitionedJoinPlan(r, s, JoinType::kInner);
+    RowVectorPtr out1 = DrainRoot(p1.get(), &c1, true);
+    RowVectorPtr out4 = DrainRoot(p4.get(), &c4, true);
+    ExpectBytesEqual(*out1, *out4, "empty-input join");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flat BuildProbe: sliced parallel build + morsel-parallel probe.
+// ---------------------------------------------------------------------------
+
+SubOpPtr FlatJoin(const RowVectorPtr& build, const RowVectorPtr& probe,
+                  JoinType type) {
+  const Schema kv = KeyValueSchema();
+  return std::make_unique<BuildProbe>(
+      std::make_unique<RowScan>(std::make_unique<CollectionSource>(
+          std::vector<RowVectorPtr>{build})),
+      std::make_unique<RowScan>(std::make_unique<CollectionSource>(
+          std::vector<RowVectorPtr>{probe})),
+      kv, kv, 0, 0, type);
+}
+
+TEST(FlatBuildProbeParity, JoinTypesAndDuplicates) {
+  // Duplicate-heavy build side: 8-long duplicate chains stress the
+  // chain-order determinism of the sliced parallel build.
+  RowVectorPtr build = MakeKv(30000, 4000, /*seed=*/5, /*sequential_dup=*/8);
+  RowVectorPtr probe = MakeKv(50000, 8000, /*seed=*/6);
+  for (JoinType type :
+       {JoinType::kInner, JoinType::kSemi, JoinType::kAnti}) {
+    for (bool batched : {false, true}) {
+      StatsRegistry stats1, stats4;
+      ExecContext c1, c4;
+      InitCtx(&c1, 1, &stats1);
+      InitCtx(&c4, 4, &stats4);
+      auto j1 = FlatJoin(build, probe, type);
+      auto j4 = FlatJoin(build, probe, type);
+      RowVectorPtr out1 = DrainRoot(j1.get(), &c1, batched);
+      RowVectorPtr out4 = DrainRoot(j4.get(), &c4, batched);
+      ExpectBytesEqual(*out1, *out4, "flat join");
+      ExpectNoFallback(stats4, "BuildProbe");
+    }
+  }
+}
+
+TEST(FlatBuildProbeParity, EmptySides) {
+  RowVectorPtr empty = RowVector::Make(KeyValueSchema());
+  RowVectorPtr some = MakeKv(2000, 100, 7);
+  for (const auto& [b, p] : std::vector<std::pair<RowVectorPtr, RowVectorPtr>>{
+           {empty, some}, {some, empty}, {empty, empty}}) {
+    StatsRegistry stats1, stats4;
+    ExecContext c1, c4;
+    InitCtx(&c1, 1, &stats1);
+    InitCtx(&c4, 4, &stats4);
+    auto j1 = FlatJoin(b, p, JoinType::kInner);
+    auto j4 = FlatJoin(b, p, JoinType::kInner);
+    RowVectorPtr out1 = DrainRoot(j1.get(), &c1, true);
+    RowVectorPtr out4 = DrainRoot(j4.get(), &c4, true);
+    ExpectBytesEqual(*out1, *out4, "flat join empty side");
+  }
+}
+
+TEST(FlatBuildProbeParity, MixedNextAndNextBatch) {
+  RowVectorPtr build = MakeKv(20000, 2000, 8, /*sequential_dup=*/4);
+  RowVectorPtr probe = MakeKv(20000, 2000, 9);
+  auto drain_mixed = [&](int threads) {
+    StatsRegistry stats;
+    ExecContext ctx;
+    InitCtx(&ctx, threads, &stats);
+    auto j = FlatJoin(build, probe, JoinType::kInner);
+    EXPECT_TRUE(j->Open(&ctx).ok());
+    RowVectorPtr out;
+    Tuple t;
+    // A few row pulls first, then batch pulls for the remainder.
+    for (int i = 0; i < 100 && j->Next(&t); ++i) {
+      if (out == nullptr) out = RowVector::Make(t[0].row().schema());
+      out->AppendRaw(t[0].row().data());
+    }
+    RowBatch batch;
+    while (j->NextBatch(&batch)) {
+      out->AppendRawBatch(batch.data(), batch.size());
+    }
+    EXPECT_TRUE(j->status().ok()) << j->status().ToString();
+    EXPECT_TRUE(j->Close().ok());
+    return out;
+  };
+  RowVectorPtr out1 = drain_mixed(1);
+  RowVectorPtr out4 = drain_mixed(4);
+  ExpectBytesEqual(*out1, *out4, "mixed protocol flat join");
+}
+
+// ---------------------------------------------------------------------------
+// ReduceByKey: thread-local tables with ordered merge.
+// ---------------------------------------------------------------------------
+
+SubOpPtr MakeReduce(const RowVectorPtr& data, std::vector<AggSpec> aggs) {
+  return std::make_unique<ReduceByKey>(
+      std::make_unique<RowScan>(std::make_unique<CollectionSource>(
+          std::vector<RowVectorPtr>{data})),
+      std::vector<int>{0}, std::move(aggs), KeyValueSchema());
+}
+
+std::vector<AggSpec> IntAggs() {
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSpec{AggKind::kSum, ex::Col(1), "sum", AtomType::kInt64});
+  aggs.push_back(AggSpec{AggKind::kCount, nullptr, "cnt", AtomType::kInt64});
+  aggs.push_back(AggSpec{AggKind::kMin, ex::Col(1), "min", AtomType::kInt64});
+  aggs.push_back(AggSpec{AggKind::kMax, ex::Col(1), "max", AtomType::kInt64});
+  return aggs;
+}
+
+TEST(ReduceByKeyParity, IntAggregates) {
+  for (int64_t key_space : {int64_t{7}, int64_t{4000}}) {  // dup-heavy & wide
+    RowVectorPtr data = MakeKv(60000, key_space, 11);
+    StatsRegistry stats1, stats4;
+    ExecContext c1, c4;
+    InitCtx(&c1, 1, &stats1);
+    InitCtx(&c4, 4, &stats4);
+    auto r1 = MakeReduce(data, IntAggs());
+    auto r4 = MakeReduce(data, IntAggs());
+    RowVectorPtr out1 = DrainRoot(r1.get(), &c1, false);
+    RowVectorPtr out4 = DrainRoot(r4.get(), &c4, false);
+    ASSERT_GT(out1->size(), 0u);
+    ExpectBytesEqual(*out1, *out4, "reduce_by_key int aggs");
+    ExpectNoFallback(stats4, "ReduceByKey");
+  }
+}
+
+TEST(ReduceByKeyParity, FloatMinMaxParallel) {
+  // f64 MIN/MAX merge bit-exactly (commutative, no re-association).
+  RowVectorPtr data = MakeKv(40000, 500, 12);
+  std::vector<AggSpec> aggs;
+  aggs.push_back(
+      AggSpec{AggKind::kMin, ex::Col(1), "mn", AtomType::kFloat64});
+  aggs.push_back(
+      AggSpec{AggKind::kMax, ex::Col(1), "mx", AtomType::kFloat64});
+  StatsRegistry stats1, stats4;
+  ExecContext c1, c4;
+  InitCtx(&c1, 1, &stats1);
+  InitCtx(&c4, 4, &stats4);
+  auto r1 = MakeReduce(data, aggs);
+  auto r4 = MakeReduce(data, aggs);
+  RowVectorPtr out1 = DrainRoot(r1.get(), &c1, false);
+  RowVectorPtr out4 = DrainRoot(r4.get(), &c4, false);
+  ExpectBytesEqual(*out1, *out4, "reduce_by_key f64 min/max");
+  ExpectNoFallback(stats4, "ReduceByKey");
+}
+
+TEST(ReduceByKeyParity, FloatSumFallsBackSerial) {
+  // Order-dependent f64 SUM must keep the serial path (documented
+  // determinism rule) — and still produce identical results, trivially.
+  RowVectorPtr data = MakeKv(40000, 500, 13);
+  std::vector<AggSpec> aggs;
+  aggs.push_back(
+      AggSpec{AggKind::kSum, ex::Col(1), "s", AtomType::kFloat64});
+  StatsRegistry stats1, stats4;
+  ExecContext c1, c4;
+  InitCtx(&c1, 1, &stats1);
+  InitCtx(&c4, 4, &stats4);
+  auto r1 = MakeReduce(data, aggs);
+  auto r4 = MakeReduce(data, aggs);
+  RowVectorPtr out1 = DrainRoot(r1.get(), &c1, false);
+  RowVectorPtr out4 = DrainRoot(r4.get(), &c4, false);
+  ExpectBytesEqual(*out1, *out4, "reduce_by_key f64 sum");
+  EXPECT_EQ(stats4.GetCounter("parallel.serial_fallback.ReduceByKey"), 1);
+}
+
+TEST(ReduceByKeyParity, EmptyInput) {
+  RowVectorPtr data = RowVector::Make(KeyValueSchema());
+  StatsRegistry stats4;
+  ExecContext c4;
+  InitCtx(&c4, 4, &stats4);
+  auto r4 = MakeReduce(data, IntAggs());
+  RowVectorPtr out4 = DrainRoot(r4.get(), &c4, false);
+  EXPECT_EQ(out4->size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// PartitionOp (single-pass) parity.
+// ---------------------------------------------------------------------------
+
+TEST(PartitionOpParity, FourThreadsByteEqual) {
+  RowVectorPtr data = MakeKv(50000, 100000, 21);
+  RadixSpec spec{5, 0, RadixHash::kIdentity};
+  auto run = [&](int threads, StatsRegistry* stats) {
+    ExecContext ctx;
+    InitCtx(&ctx, threads, stats);
+    PartitionOp op(std::make_unique<RowScan>(
+                       std::make_unique<CollectionSource>(
+                           std::vector<RowVectorPtr>{data})),
+                   spec, 0);
+    EXPECT_TRUE(op.Open(&ctx).ok());
+    std::vector<RowVectorPtr> parts;
+    Tuple t;
+    while (op.Next(&t)) {
+      EXPECT_EQ(t[0].i64(), static_cast<int64_t>(parts.size()));
+      parts.push_back(t[1].collection());
+    }
+    EXPECT_TRUE(op.status().ok()) << op.status().ToString();
+    EXPECT_TRUE(op.Close().ok());
+    return parts;
+  };
+  StatsRegistry stats1, stats4;
+  auto parts1 = run(1, &stats1);
+  auto parts4 = run(4, &stats4);
+  ASSERT_EQ(parts1.size(), parts4.size());
+  for (size_t p = 0; p < parts1.size(); ++p) {
+    ExpectBytesEqual(*parts1[p], *parts4[p],
+                     "partition " + std::to_string(p));
+  }
+  ExpectNoFallback(stats4, "Partition");
+}
+
+// ---------------------------------------------------------------------------
+// num_threads=1 must take exactly today's serial code paths (no fallback
+// counters, no parallel counters — it never even plans workers).
+// ---------------------------------------------------------------------------
+
+TEST(SerialBaseline, NoParallelCountersAtOneThread) {
+  RowVectorPtr r = MakeKv(20000, 4000, 31, 4);
+  RowVectorPtr s = MakeKv(20000, 4000, 32);
+  StatsRegistry stats;
+  ExecContext ctx;
+  InitCtx(&ctx, 1, &stats);
+  auto plan = BuildPartitionedJoinPlan(r, s, JoinType::kInner);
+  DrainRoot(plan.get(), &ctx, true);
+  for (const auto& [key, value] : stats.counters()) {
+    EXPECT_TRUE(key.rfind("parallel.", 0) != 0)
+        << "unexpected parallel counter " << key << " = " << value;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TPC-H reference queries: 1 vs 4 threads, byte-equal.
+// ---------------------------------------------------------------------------
+
+const tpch::TpchTables& Db() {
+  static tpch::TpchTables db = [] {
+    tpch::GeneratorOptions gen;
+    gen.scale_factor = 0.01;
+    gen.seed = 7;
+    return tpch::GenerateTpch(gen);
+  }();
+  return db;
+}
+
+class TpchParallelParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpchParallelParity, FourThreadsByteEqual) {
+  const int query = GetParam();
+  auto run = [&](int threads) {
+    tpch::TpchRunOptions opts = tpch::TpchRunOptions::Rdma(2);
+    opts.fabric.throttle = false;
+    opts.storage.throttle = false;
+    opts.lambda.throttle = false;
+    opts.lambda.s3.throttle = false;
+    opts.s3select.throttle = false;
+    opts.exec.network_radix_bits = 4;
+    opts.exec.num_threads = threads;
+    opts.exec.parallel_min_rows = 256;
+    auto ctx = tpch::PrepareTpch(Db(), opts);
+    EXPECT_TRUE(ctx.ok()) << ctx.status().ToString();
+    StatsRegistry stats;
+    auto result = tpch::RunTpchQuery(query, **ctx, opts, &stats);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return *result;
+  };
+  RowVectorPtr out1 = run(1);
+  // 8 across 2 ranks = 4 workers per rank.
+  RowVectorPtr out8 = run(8);
+  ExpectBytesEqual(*out1, *out8, "tpch q" + std::to_string(query));
+}
+
+INSTANTIATE_TEST_SUITE_P(Queries, TpchParallelParity,
+                         ::testing::Values(1, 3, 4, 6, 12, 14, 18, 19),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "Q" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace modularis

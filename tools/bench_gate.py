@@ -39,14 +39,27 @@ GATED_OPS = [
 # (op, off/on): the vectorized-vs-row speedup ratios that must not decay.
 GATED_RATIOS = ["partition_build_probe", "filter_map", "reduce_by_key"]
 
+# Thread-scaling gates: (op, threads, min speedup of <op>_t<threads> over
+# <op>_t1 in the CURRENT run). Only enforced when the machine that
+# produced the current run reports >= `threads` hardware threads (the
+# "_meta" entry) — a 1-core container cannot scale and is skipped, not
+# failed.
+SCALING_GATES = [
+    ("partition_build_probe", 4, 2.0),
+]
+
 
 def load(path):
     with open(path) as f:
         entries = json.load(f)
     table = {}
+    meta = {}
     for e in entries:
+        if e["op"] == "_meta":
+            meta = e
+            continue
         table[(e["op"], e.get("vectorized"))] = e
-    return table
+    return table, meta
 
 
 def main():
@@ -59,8 +72,8 @@ def main():
                     help="bench used to normalize machine speed ('' = off)")
     args = ap.parse_args()
 
-    base = load(args.baseline)
-    cur = load(args.current)
+    base, _ = load(args.baseline)
+    cur, cur_meta = load(args.current)
 
     scale = 1.0
     if args.calibrate:
@@ -110,6 +123,28 @@ def main():
                 f"{ratio_b:.2f}x ({delta * 100:+.1f}%)")
         print(f"  {status:10s} {op} vectorized speedup: {ratio_c:.2f}x "
               f"(baseline {ratio_b:.2f}x)")
+
+    hw = cur_meta.get("hardware_concurrency", 0)
+    for op, threads, min_ratio in SCALING_GATES:
+        one = cur.get((f"{op}_t1", True))
+        many = cur.get((f"{op}_t{threads}", True))
+        if not (one and many):
+            print(f"  MISSING    {op} thread-scaling entries (_t1/_t{threads})")
+            continue
+        ratio = many["rows_per_sec"] / one["rows_per_sec"]
+        if hw < threads:
+            print(f"  SKIPPED    {op} {threads}-thread speedup: {ratio:.2f}x "
+                  f"(machine has {hw} hardware threads, gate needs "
+                  f">= {threads})")
+            continue
+        status = "OK"
+        if ratio < min_ratio:
+            status = "REGRESSION"
+            failures.append(
+                f"{op} {threads}-thread speedup: {ratio:.2f}x < required "
+                f"{min_ratio:.2f}x")
+        print(f"  {status:10s} {op} {threads}-thread speedup: {ratio:.2f}x "
+              f"(required {min_ratio:.2f}x)")
 
     if failures:
         print("\nbench gate FAILED:")
