@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <functional>
 #include <memory>
@@ -527,6 +528,90 @@ void BenchThreadScaling() {
   }
 }
 
+/// Sort/TopK thread sweep (1/2/4/8): 1M rows with an f64 sort key — the
+/// exact shape the NaN-comparator fix and the parallel run-sort +
+/// loser-tree merge target. `sort_1m` drains the full sorted stream
+/// through the native batch path; `topk_1m` (k = 100) exercises the
+/// bounded per-run selection that replaced TopK's old sort-everything
+/// path — bench_gate.py requires it to beat the full sort. Output bytes
+/// are checksummed and compared across thread counts, so a determinism
+/// regression fails the bench run itself, not just the parity suite.
+void BenchSortTopK() {
+  const size_t n = 1 << 20;
+  const size_t k = 100;
+  Schema schema({Field::F64("key"), Field::I64("v")});
+  RowVectorPtr data = RowVector::Make(schema);
+  data->Reserve(n);
+  std::mt19937_64 rng(99);
+  std::uniform_real_distribution<double> dist(-1e6, 1e6);
+  for (size_t i = 0; i < n; ++i) {
+    RowWriter w = data->AppendRow();
+    w.SetFloat64(0, std::floor(dist(rng)));  // duplicate-heavy keys
+    w.SetInt64(1, static_cast<int64_t>(i));
+  }
+
+  auto make_sort = [&]() {
+    return std::make_unique<SortOp>(
+        std::make_unique<RowScan>(std::make_unique<CollectionSource>(
+            std::vector<RowVectorPtr>{data})),
+        std::vector<SortKey>{{0, false}}, schema);
+  };
+  auto make_topk = [&]() {
+    return std::make_unique<TopK>(
+        std::make_unique<RowScan>(std::make_unique<CollectionSource>(
+            std::vector<RowVectorPtr>{data})),
+        std::vector<SortKey>{{0, false}}, k, schema);
+  };
+  // `checksum` null in the timed runs: the FNV byte loop is serial bench
+  // overhead that would dilute the 4-thread speedup the gate measures.
+  auto drain = [&](SubOperator* op, int threads, uint64_t* checksum) {
+    ExecContext ctx;
+    ctx.options.num_threads = threads;
+    if (!op->Open(&ctx).ok()) std::abort();
+    uint64_t h = 1469598103934665603ull;  // FNV-1a over emitted bytes
+    size_t rows = 0;
+    RowBatch batch;
+    while (op->NextBatch(&batch)) {
+      if (checksum != nullptr) {
+        const uint8_t* p = batch.data();
+        const size_t bytes = batch.byte_size();
+        for (size_t i = 0; i < bytes; ++i) h = (h ^ p[i]) * 1099511628211ull;
+      }
+      rows += batch.size();
+    }
+    if (!op->status().ok() || !op->Close().ok()) std::abort();
+    if (checksum != nullptr) *checksum = h;
+    return rows;
+  };
+
+  uint64_t sort_sum_t1 = 0, topk_sum_t1 = 0;
+  for (int t : {1, 2, 4, 8}) {
+    // Untimed determinism pass first: output bytes must match t1 exactly.
+    uint64_t sort_sum = 0, topk_sum = 0;
+    if (drain(make_sort().get(), t, &sort_sum) != n) std::abort();
+    if (drain(make_topk().get(), t, &topk_sum) != k) std::abort();
+    if (t == 1) {
+      sort_sum_t1 = sort_sum;
+      topk_sum_t1 = topk_sum;
+    } else if (sort_sum != sort_sum_t1 || topk_sum != topk_sum_t1) {
+      std::fprintf(stderr, "FAIL: sort/topk t%d output differs from t1\n", t);
+      std::exit(1);
+    }
+    RunBench("sort_1m_t" + std::to_string(t), n, data->byte_size(), 1,
+             [&] {
+               auto sort = make_sort();
+               if (drain(sort.get(), t, nullptr) != n) std::abort();
+             },
+             t);
+    RunBench("topk_1m_t" + std::to_string(t), n, data->byte_size(), 1,
+             [&] {
+               auto topk = make_topk();
+               if (drain(topk.get(), t, nullptr) != k) std::abort();
+             },
+             t);
+  }
+}
+
 void WriteJson(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -576,6 +661,7 @@ int main(int argc, char** argv) {
   BenchColumnFileRoundTrip();
   BenchPartitionBuildProbe();
   BenchThreadScaling();
+  BenchSortTopK();
   WriteJson(argc > 1 ? argv[1] : "BENCH_micro.json");
   return 0;
 }

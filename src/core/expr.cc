@@ -130,8 +130,16 @@ Status EvalViaFilter(const Expr& e, const RowSpan& rows, const uint32_t* sel,
   return st;
 }
 
-/// In place: remaining -= removed (removed ⊆ remaining, both ascending).
-void SubtractSorted(SelVector* remaining, const SelVector& removed) {
+/// In place: remaining -= removed. Returns true when `removed` was an
+/// ascending subset of `remaining` — the FilterBatch postcondition every
+/// subtract site relies on: a child that hands back an unsorted (or
+/// foreign) selection would otherwise silently leave its rows in
+/// `remaining` and corrupt the result. The check is free: the merge
+/// cursor `j` reaches removed.size() iff `removed` is an ascending
+/// subsequence of `remaining`. Callers turn false into a hard Status so
+/// a future unsorted producer fails loudly.
+[[nodiscard]] bool SubtractSorted(SelVector* remaining,
+                                  const SelVector& removed) {
   size_t k = 0, j = 0;
   for (size_t i = 0; i < remaining->size(); ++i) {
     if (j < removed.size() && removed[j] == (*remaining)[i]) {
@@ -141,6 +149,15 @@ void SubtractSorted(SelVector* remaining, const SelVector& removed) {
     (*remaining)[k++] = (*remaining)[i];
   }
   remaining->resize(k);
+  return j == removed.size();
+}
+
+/// The loud failure for a SubtractSorted precondition violation.
+Status UnsortedSelectionError(const char* op) {
+  return Status::Internal(
+      std::string(op) +
+      ": child FilterBatch returned a selection that is not an ascending "
+      "subset of its input");
 }
 
 // ---------------------------------------------------------------------------
@@ -818,7 +835,10 @@ class OrExpr : public Expr {
       st = c->FilterBatch(rows, tmp, scratch, checked);
       if (!st.ok()) break;
       accepted->insert(accepted->end(), tmp->begin(), tmp->end());
-      SubtractSorted(remaining, *tmp);
+      if (!SubtractSorted(remaining, *tmp)) {
+        st = UnsortedSelectionError("OR");
+        break;
+      }
     }
     if (st.ok()) {
       std::sort(accepted->begin(), accepted->end());
@@ -874,7 +894,9 @@ class NotExpr : public Expr {
     SelVector* tmp = scratch->AcquireSel();
     *tmp = *sel;
     Status st = inner_->FilterBatch(rows, tmp, scratch, checked);
-    if (st.ok()) SubtractSorted(sel, *tmp);
+    if (st.ok() && !SubtractSorted(sel, *tmp)) {
+      st = UnsortedSelectionError("NOT");
+    }
     scratch->ReleaseSel();
     return st;
   }
@@ -1199,7 +1221,11 @@ class IfExpr : public Expr {
     Status st = cond_->FilterBatch(rows, passed, scratch, /*checked=*/false);
     if (st.ok()) {
       failed->assign(sel, sel + n);
-      SubtractSorted(failed, *passed);
+      if (!SubtractSorted(failed, *passed)) {
+        st = UnsortedSelectionError("IF");
+      }
+    }
+    if (st.ok()) {
       BatchColumn* tc = scratch->AcquireColumn();
       BatchColumn* ec = scratch->AcquireColumn();
       st = then_->EvalBatch(rows, passed->data(), passed->size(), tc,

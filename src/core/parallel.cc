@@ -76,6 +76,19 @@ std::vector<size_t> SplitRows(size_t total, int workers) {
   return bounds;
 }
 
+std::vector<IndexRun> BuildIndexRuns(const uint32_t* order,
+                                     const std::vector<size_t>& bounds,
+                                     size_t cap) {
+  std::vector<IndexRun> runs;
+  runs.reserve(bounds.size() - 1);
+  for (size_t w = 0; w + 1 < bounds.size(); ++w) {
+    const size_t run_n = bounds[w + 1] - bounds[w];
+    const size_t run_cap = run_n < cap ? run_n : cap;
+    runs.push_back(IndexRun{order + bounds[w], order + bounds[w] + run_cap});
+  }
+  return runs;
+}
+
 WorkerSet::WorkerSet(ExecContext* base, int num_workers) : base_(base) {
   registries_.reserve(num_workers);
   contexts_.reserve(num_workers);

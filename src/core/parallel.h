@@ -3,8 +3,10 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "core/exec_context.h"
@@ -55,6 +57,109 @@ void NoteSerialFallback(ExecContext* ctx, const char* op_name);
 /// order: range w is [out[w], out[w+1]). Ranges differ in size by at most
 /// one row, so out has workers + 1 entries.
 std::vector<size_t> SplitRows(size_t total, int workers);
+
+/// One sorted run of row indices inside a shared order array: [pos, end)
+/// ascending under the caller's comparator. Produced by the
+/// morsel-parallel run-formation phase of SortOp/TopK, consumed by
+/// MergeIndexRuns.
+struct IndexRun {
+  const uint32_t* pos;
+  const uint32_t* end;
+  bool exhausted() const { return pos == end; }
+};
+
+/// Builds the merge descriptors for per-worker runs laid out by
+/// SplitRows: run w covers order[bounds[w], bounds[w+1]), clipped to its
+/// first min(cap, run size) entries. A bounded (top-k) sort only orders
+/// that prefix per run, and the merge provably never reads past it:
+/// popping `cap` elements in total takes at most `cap` from any single
+/// run.
+std::vector<IndexRun> BuildIndexRuns(const uint32_t* order,
+                                     const std::vector<size_t>& bounds,
+                                     size_t cap);
+
+/// K-way merge of sorted index runs through a tournament (loser) tree.
+/// `less` must be a strict TOTAL order over the indices themselves (sort
+/// callers tie-break equal keys by the index), which makes the merged
+/// order independent of how the input was cut into runs — the heart of
+/// the N-threads-byte-equal-to-1 guarantee. One comparison per tree
+/// level per pop: the replay walks only the advanced run's leaf-to-root
+/// path, re-seating losers — cheaper than a binary heap, which pays two
+/// comparisons per level sifting down.
+template <typename Less>
+class LoserTree {
+ public:
+  LoserTree(std::vector<IndexRun> runs, Less less)
+      : runs_(std::move(runs)), less_(std::move(less)), k_(runs_.size()) {
+    if (k_ > 1) {
+      tree_.assign(k_, 0);
+      winner_ = Init(1);
+    }
+  }
+
+  /// Pops the globally smallest remaining index; false once every run is
+  /// exhausted (an exhausted run loses every comparison, so an exhausted
+  /// winner implies all runs are dry).
+  bool Pop(uint32_t* out) {
+    if (k_ == 0 || runs_[winner_].exhausted()) return false;
+    *out = *runs_[winner_].pos++;
+    if (k_ > 1) Replay();
+    return true;
+  }
+
+ private:
+  /// True when run `a`'s front comes before run `b`'s. Exhausted runs
+  /// lose to live ones and order among themselves by run id (which the
+  /// merge output never observes).
+  bool Beats(size_t a, size_t b) const {
+    if (runs_[a].exhausted() || runs_[b].exhausted()) {
+      return runs_[b].exhausted() && (!runs_[a].exhausted() || a < b);
+    }
+    return less_(*runs_[a].pos, *runs_[b].pos);
+  }
+
+  /// Builds the complete tournament tree (internal nodes 1..k-1; leaf
+  /// node k + i is run i): stores the loser at each internal node,
+  /// returns the subtree winner.
+  size_t Init(size_t node) {
+    if (node >= k_) return node - k_;
+    size_t l = Init(2 * node);
+    size_t r = Init(2 * node + 1);
+    if (Beats(l, r)) {
+      tree_[node] = r;
+      return l;
+    }
+    tree_[node] = l;
+    return r;
+  }
+
+  /// Re-seats the winner after its run advanced: replay losers along the
+  /// winner's fixed leaf-to-root path only.
+  void Replay() {
+    size_t cur = winner_;
+    for (size_t node = (winner_ + k_) / 2; node >= 1; node /= 2) {
+      if (Beats(tree_[node], cur)) std::swap(cur, tree_[node]);
+    }
+    winner_ = cur;
+  }
+
+  std::vector<IndexRun> runs_;
+  Less less_;  // by value: a reference would dangle for temporary lambdas
+  size_t k_;
+  std::vector<size_t> tree_;  // loser at each internal node
+  size_t winner_ = 0;
+};
+
+/// Merges `runs` into `out`, popping at most `out_count` indices (fewer
+/// when the runs hold fewer). Returns the number written.
+template <typename Less>
+size_t MergeIndexRuns(std::vector<IndexRun> runs, size_t out_count,
+                      const Less& less, uint32_t* out) {
+  LoserTree<Less> tree(std::move(runs), less);
+  size_t i = 0;
+  while (i < out_count && tree.Pop(&out[i])) ++i;
+  return i;
+}
 
 /// Dynamic morsel dispenser over [0, total): workers claim fixed-size
 /// morsels with one atomic add. Use only for order-insensitive merges.

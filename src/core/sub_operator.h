@@ -216,6 +216,14 @@ class SubOperator {
     return false;
   }
 
+  /// Bumps a named counter on the bound stats registry (no-op before
+  /// Open()). For per-batch hot-loop counters prefer a key prebuilt at
+  /// construction, like adapter_counter_key_; this is for once-per-phase
+  /// events (parallel region shapes, fallback reasons, merge fan-ins).
+  void AddStatCounter(const std::string& key, int64_t delta) {
+    if (ctx_ != nullptr) ctx_->stats->AddCounter(key, delta);
+  }
+
   /// Marks this operator failed and returns false (for use in Next()).
   bool Fail(Status s) {
     status_ = std::move(s);

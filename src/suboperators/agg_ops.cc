@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
 #include "suboperators/partition_ops.h"
@@ -492,8 +493,10 @@ int CompareRows(const RowRef& a, const RowRef& b,
         break;
       }
       case AtomType::kFloat64: {
-        double x = a.GetFloat64(k.col), y = b.GetFloat64(k.col);
-        c = x < y ? -1 : (x == y ? 0 : 1);
+        // Total order: NaN == NaN, NaN after every non-NaN (last
+        // ascending). The naive three-way idiom is UB fuel here — see
+        // CompareF64TotalOrder.
+        c = CompareF64TotalOrder(a.GetFloat64(k.col), b.GetFloat64(k.col));
         break;
       }
       case AtomType::kString: {
@@ -536,38 +539,101 @@ Status SortOp::ConsumeAndSort(size_t limit) {
     }
   }
   MODULARIS_RETURN_NOT_OK(child(0)->status());
-  order_.resize(rows_->size());
+  const size_t n = rows_->size();
+  order_.resize(n);
   for (uint32_t i = 0; i < order_.size(); ++i) order_[i] = i;
-  std::stable_sort(order_.begin(), order_.end(),
-                   [this](uint32_t x, uint32_t y) {
-                     return CompareRows(rows_->row(x), rows_->row(y),
-                                        keys_) < 0;
-                   });
-  emit_limit_ = limit == 0 ? order_.size() : std::min(limit, order_.size());
+  const size_t cap = limit < n ? limit : n;
+  emit_limit_ = cap;
+  if (n < 2 || cap == 0) return Status::OK();
+
+  // Strict TOTAL order: the NaN-safe key comparator, tie-broken by the
+  // original row index. At one thread this reproduces stable_sort's
+  // order exactly; across threads it makes the merged order independent
+  // of the run partitioning — N workers byte-equal to 1 by construction.
+  auto less = [this](uint32_t x, uint32_t y) {
+    int c = CompareRows(rows_->row(x), rows_->row(y), keys_);
+    return c != 0 ? c < 0 : x < y;
+  };
+
+  int workers = 1;
+  if (ctx_->options.enable_vectorized) {
+    workers = PlanWorkers(n, ctx_->options);
+  } else if (ctx_->options.ResolvedNumThreads() > 1) {
+    // Row-at-a-time mode is the serial correctness oracle; it has no
+    // parallel path (structural, like the other parallel operators).
+    NoteSerialFallback(ctx_, "Sort");
+  }
+  if (workers <= 1) {
+    if (cap < n) {
+      // Bounded selection: heap-select the top `cap` (O(n log cap))
+      // instead of fully sorting the input just to emit `cap` rows.
+      std::partial_sort(order_.begin(), order_.begin() + cap, order_.end(),
+                        less);
+    } else {
+      std::sort(order_.begin(), order_.end(), less);
+    }
+    return Status::OK();
+  }
+
+  // Morsel-parallel run formation: each worker orders its static
+  // contiguous range (its top-`cap` prefix under a limit) by the total
+  // order.
+  std::vector<size_t> bounds = SplitRows(n, workers);
+  MODULARIS_RETURN_NOT_OK(ParallelFor(workers, [&](int w) -> Status {
+    auto first = order_.begin() + bounds[w];
+    auto last = order_.begin() + bounds[w + 1];
+    const size_t run_n = bounds[w + 1] - bounds[w];
+    if (cap < run_n) {
+      std::partial_sort(first, first + cap, last, less);
+    } else {
+      std::sort(first, last, less);
+    }
+    return Status::OK();
+  }));
+  // K-way loser-tree merge of the per-worker runs. Under a limit each
+  // run descriptor is clipped to its top-`cap` prefix; popping `cap`
+  // elements total can take at most `cap` from any one run, so the
+  // unsorted tails are never read.
+  std::vector<uint32_t> merged(cap);
+  MergeIndexRuns(BuildIndexRuns(order_.data(), bounds, cap), cap, less,
+                 merged.data());
+  order_ = std::move(merged);
+  AddStatCounter("parallel.sort.runs", workers);
   return Status::OK();
 }
 
+bool SortOp::EnsureSorted() {
+  if (sorted_) return true;
+  Status st = ConsumeAndSort(SortLimit());
+  if (!st.ok()) return Fail(std::move(st));
+  sorted_ = true;
+  return true;
+}
+
 bool SortOp::Next(Tuple* out) {
-  if (!sorted_) {
-    Status st = ConsumeAndSort(0);
-    if (!st.ok()) return Fail(st);
-    sorted_ = true;
-  }
+  if (!EnsureSorted()) return false;
   if (emit_pos_ >= emit_limit_) return false;
   out->clear();
   out->push_back(Item(rows_->row(order_[emit_pos_++])));
   return true;
 }
 
-bool TopK::Next(Tuple* out) {
-  if (!sorted_) {
-    Status st = ConsumeAndSort(k_);
-    if (!st.ok()) return Fail(st);
-    sorted_ = true;
-  }
+bool SortOp::NextBatch(RowBatch* out) {
+  if (!EnsureSorted()) return false;
+  out->Clear();
   if (emit_pos_ >= emit_limit_) return false;
-  out->clear();
-  out->push_back(Item(rows_->row(order_[emit_pos_++])));
+  const size_t n = std::min(RowBatch::kDefaultRows, emit_limit_ - emit_pos_);
+  RowVector* sink = out->Scratch(schema_);
+  const uint32_t stride = rows_->row_size();
+  const uint8_t* src = rows_->data();
+  uint8_t* dst = sink->AppendUninitialized(n);
+  for (size_t i = 0; i < n; ++i, dst += stride) {
+    std::memcpy(dst,
+                src + static_cast<size_t>(order_[emit_pos_ + i]) * stride,
+                stride);
+  }
+  emit_pos_ += n;
+  out->SealScratch();
   return true;
 }
 

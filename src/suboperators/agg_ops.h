@@ -1,6 +1,8 @@
 #ifndef MODULARIS_SUBOPERATORS_AGG_OPS_H_
 #define MODULARIS_SUBOPERATORS_AGG_OPS_H_
 
+#include <cmath>
+#include <limits>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -180,11 +182,36 @@ struct SortKey {
   bool desc = false;
 };
 
-/// Compares two packed rows by a sequence of sort keys.
+/// Three-way compare of f64 sort keys under a TOTAL order: NaN is greater
+/// than every non-NaN and equal to itself, so NaN sorts last ascending /
+/// first descending — the same "NaN orders as greater" rule the
+/// MODULARIS_SIMD compare kernels document (core/expr.cc). -0.0 == 0.0 as
+/// in IEEE compares. The plain `x < y ? -1 : (x == y ? 0 : 1)` idiom is
+/// NOT a strict weak ordering once a NaN appears (NaN would compare
+/// "greater" than itself), which hands std::sort/std::stable_sort
+/// undefined behaviour.
+inline int CompareF64TotalOrder(double x, double y) {
+  if (x < y) return -1;
+  if (y < x) return 1;
+  if (x == y) return 0;
+  // Neither ordered nor equal: at least one side is NaN.
+  const bool nx = std::isnan(x);
+  return nx == std::isnan(y) ? 0 : (nx ? 1 : -1);
+}
+
+/// Compares two packed rows by a sequence of sort keys. Float64 keys use
+/// CompareF64TotalOrder, so the result is a strict weak ordering even
+/// with NaN keys present.
 int CompareRows(const RowRef& a, const RowRef& b,
                 const std::vector<SortKey>& keys);
 
 /// Sort materializes its input and emits records in sorted order.
+/// Deterministic parallel execution (docs/DESIGN-parallel.md):
+/// morsel-parallel run formation — each worker sorts a static contiguous
+/// index range by the total-order comparator, tie-broken by original row
+/// index — followed by a K-way loser-tree merge of the per-worker runs,
+/// so N-thread output is byte-identical to 1-thread output by
+/// construction.
 class SortOp : public SubOperator {
  public:
   SortOp(SubOpPtr child, std::vector<SortKey> keys, Schema schema,
@@ -198,6 +225,11 @@ class SortOp : public SubOperator {
 
   Status Open(ExecContext* ctx) override;
   bool Next(Tuple* out) override;
+  /// Native batch path: gathers the sorted permutation into packed
+  /// kDefaultRows batches (one full-stride memcpy per row instead of the
+  /// default adapter's tuple loop). Shares the emit cursor with Next(),
+  /// so the two protocols may be mixed mid-stream.
+  bool NextBatch(RowBatch* out) override;
   bool ProducesRecordStream() const override { return true; }
 
   SubOpPtr CloneForWorker(WorkerCloneContext* cc) const override {
@@ -208,6 +240,20 @@ class SortOp : public SubOperator {
   }
 
  protected:
+  /// Emit limit: kNoLimit = the whole input. TopK overrides with k (a
+  /// literal count: k = 0 emits nothing, like LIMIT 0); Next() and
+  /// NextBatch() are shared verbatim (one emit path), so the limit
+  /// semantics cannot drift between the two operators again.
+  static constexpr size_t kNoLimit = std::numeric_limits<size_t>::max();
+  virtual size_t SortLimit() const { return kNoLimit; }
+
+  /// Lazily drains + sorts on first pull; false (status set) on error.
+  bool EnsureSorted();
+
+  /// Materializes the input and produces the sorted index permutation.
+  /// Under `limit`, per-run selection is bounded: each run partial-sorts
+  /// only its top-`limit` prefix and the merge emits the global
+  /// top-`limit` — the input is never fully sorted just to emit k rows.
   Status ConsumeAndSort(size_t limit);
 
   std::vector<SortKey> keys_;
@@ -222,21 +268,26 @@ class SortOp : public SubOperator {
 };
 
 /// TopK: sort + limit (paper Table 1; the final SELECT ... LIMIT k of
-/// Q3/Q18 and the single-row result of Q12's plan in Fig. 6).
+/// Q3/Q18 and the single-row result of Q12's plan in Fig. 6). Pure
+/// configuration over SortOp: the bounded selection, the merge and both
+/// emit protocols live in the base class.
 class TopK : public SortOp {
  public:
-  TopK(SubOpPtr child, std::vector<SortKey> keys, size_t k, Schema schema)
+  TopK(SubOpPtr child, std::vector<SortKey> keys, size_t k, Schema schema,
+       std::string timer_key = "phase.topk")
       : SortOp(std::move(child), std::move(keys), std::move(schema),
-               "phase.topk"),
+               std::move(timer_key)),
         k_(k) {}
-
-  bool Next(Tuple* out) override;
 
   SubOpPtr CloneForWorker(WorkerCloneContext* cc) const override {
     SubOpPtr child_clone = child(0)->CloneForWorker(cc);
     if (child_clone == nullptr) return nullptr;
-    return std::make_unique<TopK>(std::move(child_clone), keys_, k_, schema_);
+    return std::make_unique<TopK>(std::move(child_clone), keys_, k_, schema_,
+                                  timer_key_);
   }
+
+ protected:
+  size_t SortLimit() const override { return k_; }
 
  private:
   size_t k_;

@@ -6,6 +6,12 @@
 #include <unordered_map>
 #include <unordered_set>
 
+// For CompareF64TotalOrder: the reference comparators must rank f64 sort
+// keys by the engine's exact total order (NaN greatest, NaN == NaN) or
+// reference parity would diverge — and the naive `a != b ? a > b : ...`
+// lambdas here had the same strict-weak-ordering UB the engine fixed.
+#include "suboperators/agg_ops.h"
+
 namespace modularis::tpch {
 
 namespace {
@@ -117,9 +123,8 @@ RowVectorPtr ReferenceQ3(const TpchTables& db) {
   // Top 10 by revenue desc, orderdate asc.
   std::vector<std::pair<int64_t, Group>> rows(groups.begin(), groups.end());
   std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
-    if (a.second.revenue != b.second.revenue) {
-      return a.second.revenue > b.second.revenue;
-    }
+    int c = CompareF64TotalOrder(a.second.revenue, b.second.revenue);
+    if (c != 0) return c > 0;  // revenue desc (NaN would sort first)
     if (a.second.info.orderdate != b.second.info.orderdate) {
       return a.second.info.orderdate < b.second.info.orderdate;
     }
@@ -315,7 +320,8 @@ RowVectorPtr ReferenceQ18(const TpchTables& db) {
                        it->second});
   }
   std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
-    if (a.totalprice != b.totalprice) return a.totalprice > b.totalprice;
+    int c = CompareF64TotalOrder(a.totalprice, b.totalprice);
+    if (c != 0) return c > 0;  // totalprice desc (NaN would sort first)
     if (a.orderdate != b.orderdate) return a.orderdate < b.orderdate;
     return a.orderkey < b.orderkey;
   });

@@ -7,7 +7,9 @@
 /// `parallel.serial_fallback.*` counter in those plans. This suite is
 /// also the ThreadSanitizer target in CI.
 
+#include <cmath>
 #include <cstring>
+#include <limits>
 #include <random>
 #include <string>
 #include <vector>
@@ -30,6 +32,7 @@ void ExpectBytesEqual(const RowVector& expected, const RowVector& actual,
                       const std::string& label) {
   ASSERT_EQ(expected.size(), actual.size()) << label;
   ASSERT_EQ(expected.row_size(), actual.row_size()) << label;
+  if (expected.byte_size() == 0) return;  // empty buffers may be null
   ASSERT_EQ(0, std::memcmp(expected.data(), actual.data(),
                            expected.byte_size()))
       << label << ": payload bytes differ";
@@ -396,6 +399,251 @@ TEST(PartitionOpParity, FourThreadsByteEqual) {
                      "partition " + std::to_string(p));
   }
   ExpectNoFallback(stats4, "Partition");
+}
+
+// ---------------------------------------------------------------------------
+// Sort / TopK: NaN total order (the CompareRows strict-weak-ordering
+// bugfix) + morsel-parallel run formation with loser-tree merge. The
+// TPC-H block below additionally runs the Q3/Q18 ORDER BY ... LIMIT
+// plans through the parallel driver-side TopK at 8 threads.
+// ---------------------------------------------------------------------------
+
+Schema SortSchema() {
+  return Schema({Field::F64("key"), Field::I64("seq"), Field::F64("key2")});
+}
+
+/// Float rows with adversarial keys: NaNs, +/-0.0, +/-inf, and heavy
+/// duplicates (integral keys) so the original-row-index tie-break is
+/// exercised everywhere. `seq` records the input position.
+RowVectorPtr MakeFloatRows(size_t rows, uint32_t seed) {
+  RowVectorPtr data = RowVector::Make(SortSchema());
+  data->Reserve(rows);
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-100.0, 100.0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < rows; ++i) {
+    RowWriter w = data->AppendRow();
+    double k;
+    switch (rng() % 16) {
+      case 0: k = nan; break;
+      case 1: k = 0.0; break;
+      case 2: k = -0.0; break;
+      case 3: k = (rng() % 2) ? inf : -inf; break;
+      default: k = std::floor(dist(rng)); break;  // dup-heavy
+    }
+    w.SetFloat64(0, k);
+    w.SetInt64(1, static_cast<int64_t>(i));
+    w.SetFloat64(2, std::floor(dist(rng)));
+  }
+  return data;
+}
+
+SubOpPtr MakeSort(const RowVectorPtr& data, std::vector<SortKey> keys) {
+  return std::make_unique<SortOp>(
+      std::make_unique<RowScan>(std::make_unique<CollectionSource>(
+          std::vector<RowVectorPtr>{data})),
+      std::move(keys), data->schema());
+}
+
+SubOpPtr MakeTopK(const RowVectorPtr& data, std::vector<SortKey> keys,
+                  size_t k) {
+  return std::make_unique<TopK>(
+      std::make_unique<RowScan>(std::make_unique<CollectionSource>(
+          std::vector<RowVectorPtr>{data})),
+      std::move(keys), k, data->schema());
+}
+
+TEST(SortNaNOrder, TotalOrderMatchesStableOracle) {
+  // Independent oracle: stable partition of the input into non-NaN rows
+  // stable-sorted by (value, input order) and NaN rows in input order
+  // appended last (ascending) / prepended (descending).
+  RowVectorPtr data = MakeFloatRows(4000, 17);
+  for (bool desc : {false, true}) {
+    StatsRegistry stats;
+    ExecContext ctx;
+    InitCtx(&ctx, 1, &stats);
+    auto sort = MakeSort(data, {{0, desc}});
+    RowVectorPtr out = DrainRoot(sort.get(), &ctx, /*batched=*/true);
+    ASSERT_EQ(out->size(), data->size());
+
+    std::vector<uint32_t> oracle(data->size());
+    for (uint32_t i = 0; i < oracle.size(); ++i) oracle[i] = i;
+    std::stable_sort(oracle.begin(), oracle.end(),
+                     [&](uint32_t x, uint32_t y) {
+                       double a = data->row(x).GetFloat64(0);
+                       double b = data->row(y).GetFloat64(0);
+                       bool na = std::isnan(a), nb = std::isnan(b);
+                       if (na || nb) return desc ? (na && !nb) : (!na && nb);
+                       return desc ? b < a : a < b;
+                     });
+    for (size_t i = 0; i < oracle.size(); ++i) {
+      ASSERT_EQ(out->row(i).GetInt64(1), data->row(oracle[i]).GetInt64(1))
+          << "desc=" << desc << " position " << i;
+    }
+    // Placement: NaNs last ascending, first descending.
+    size_t nans = 0;
+    for (size_t i = 0; i < data->size(); ++i) {
+      nans += std::isnan(data->row(i).GetFloat64(0));
+    }
+    ASSERT_GT(nans, 0u);
+    for (size_t i = 0; i < out->size(); ++i) {
+      bool in_nan_block = desc ? i < nans : i >= out->size() - nans;
+      EXPECT_EQ(std::isnan(out->row(i).GetFloat64(0)), in_nan_block)
+          << "desc=" << desc << " position " << i;
+    }
+  }
+}
+
+TEST(SortNaNOrder, NegativeZeroTiesKeepInputOrder) {
+  // -0.0 == 0.0 under the total order: rows with either key form one tie
+  // group emitted in input order (the stable tie-break), regardless of
+  // the zero's sign.
+  RowVectorPtr data = RowVector::Make(SortSchema());
+  const double zeros[] = {0.0, -0.0, -0.0, 0.0, -0.0};
+  for (size_t i = 0; i < 5; ++i) {
+    RowWriter w = data->AppendRow();
+    w.SetFloat64(0, zeros[i]);
+    w.SetInt64(1, static_cast<int64_t>(i));
+    w.SetFloat64(2, 0.0);
+  }
+  StatsRegistry stats;
+  ExecContext ctx;
+  InitCtx(&ctx, 1, &stats);
+  auto sort = MakeSort(data, {{0, false}});
+  RowVectorPtr out = DrainRoot(sort.get(), &ctx, false);
+  ASSERT_EQ(out->size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(out->row(i).GetInt64(1), static_cast<int64_t>(i));
+    // The byte pattern (zero sign) must survive the permutation intact.
+    EXPECT_EQ(std::signbit(out->row(i).GetFloat64(0)), std::signbit(zeros[i]));
+  }
+}
+
+class SortParallelParity
+    : public ::testing::TestWithParam<std::vector<SortKey>> {};
+
+TEST_P(SortParallelParity, FourThreadsByteEqual) {
+  const std::vector<SortKey> keys = GetParam();
+  RowVectorPtr data = MakeFloatRows(50000, 41);
+  for (bool batched : {false, true}) {
+    StatsRegistry stats1, stats4;
+    ExecContext c1, c4;
+    InitCtx(&c1, 1, &stats1);
+    InitCtx(&c4, 4, &stats4);
+    auto s1 = MakeSort(data, keys);
+    auto s4 = MakeSort(data, keys);
+    RowVectorPtr out1 = DrainRoot(s1.get(), &c1, batched);
+    RowVectorPtr out4 = DrainRoot(s4.get(), &c4, batched);
+    ASSERT_EQ(out1->size(), data->size());
+    ExpectBytesEqual(*out1, *out4,
+                     std::string("sort batched=") + (batched ? "1" : "0"));
+    ExpectNoFallback(stats4, "Sort");
+    EXPECT_GT(stats4.GetCounter("parallel.sort.runs"), 0)
+        << "4-thread sort did not take the parallel run-sort path";
+    if (batched) {
+      EXPECT_EQ(stats4.GetCounter("vectorized.default_adapter.Sort"), 0)
+          << "Sort served batches through the default adapter";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Keys, SortParallelParity,
+    ::testing::Values(std::vector<SortKey>{{0, false}},
+                      std::vector<SortKey>{{0, true}},
+                      std::vector<SortKey>{{0, true}, {2, false}},
+                      std::vector<SortKey>{{2, false}, {0, false}}),
+    [](const ::testing::TestParamInfo<std::vector<SortKey>>& info) {
+      std::string name;
+      for (const SortKey& k : info.param) {
+        name += "c" + std::to_string(k.col) + (k.desc ? "d" : "a");
+      }
+      return name;
+    });
+
+TEST(TopKParallelParity, ByteEqualAndPrefixOfFullSort) {
+  RowVectorPtr data = MakeFloatRows(50000, 43);
+  const std::vector<SortKey> keys = {{0, true}, {2, false}};
+  StatsRegistry stats_full;
+  ExecContext ctx_full;
+  InitCtx(&ctx_full, 1, &stats_full);
+  auto full = MakeSort(data, keys);
+  RowVectorPtr sorted = DrainRoot(full.get(), &ctx_full, true);
+  for (size_t k : {size_t{0}, size_t{1}, size_t{100}, size_t{4096},
+                   data->size(), 2 * data->size()}) {
+    for (bool batched : {false, true}) {
+      StatsRegistry stats1, stats4;
+      ExecContext c1, c4;
+      InitCtx(&c1, 1, &stats1);
+      InitCtx(&c4, 4, &stats4);
+      auto t1 = MakeTopK(data, keys, k);
+      auto t4 = MakeTopK(data, keys, k);
+      RowVectorPtr out1 = DrainRoot(t1.get(), &c1, batched);
+      RowVectorPtr out4 = DrainRoot(t4.get(), &c4, batched);
+      // k is a literal count: k = 0 emits nothing (LIMIT 0 semantics).
+      const size_t want = std::min(k, data->size());
+      ASSERT_EQ(out1->size(), want);
+      ExpectBytesEqual(*out1, *out4, "topk k=" + std::to_string(k));
+      ExpectNoFallback(stats4, "Sort");
+      // Limit semantics: top-k must be exactly the first k of the full
+      // sorted output (the bounded selection changes cost, not order).
+      if (out1->byte_size() > 0) {
+        ASSERT_EQ(0, std::memcmp(sorted->data(), out1->data(),
+                                 out1->byte_size()))
+            << "topk k=" << k << " is not a prefix of the full sort";
+      }
+    }
+  }
+}
+
+TEST(SortTopKParallelParity, EmptyAndTinyInputs) {
+  for (size_t rows : {size_t{0}, size_t{1}, size_t{3}}) {
+    RowVectorPtr data = MakeFloatRows(rows, 47);
+    for (bool topk : {false, true}) {
+      StatsRegistry stats1, stats4;
+      ExecContext c1, c4;
+      InitCtx(&c1, 1, &stats1);
+      InitCtx(&c4, 4, &stats4);
+      auto p1 = topk ? MakeTopK(data, {{0, false}}, 2)
+                     : MakeSort(data, {{0, false}});
+      auto p4 = topk ? MakeTopK(data, {{0, false}}, 2)
+                     : MakeSort(data, {{0, false}});
+      RowVectorPtr out1 = DrainRoot(p1.get(), &c1, true);
+      RowVectorPtr out4 = DrainRoot(p4.get(), &c4, true);
+      ExpectBytesEqual(*out1, *out4,
+                       "tiny sort rows=" + std::to_string(rows));
+    }
+  }
+}
+
+TEST(SortTopKParallelParity, MixedNextAndNextBatch) {
+  RowVectorPtr data = MakeFloatRows(30000, 53);
+  auto drain_mixed = [&](int threads) {
+    StatsRegistry stats;
+    ExecContext ctx;
+    InitCtx(&ctx, threads, &stats);
+    auto s = MakeSort(data, {{0, false}});
+    EXPECT_TRUE(s->Open(&ctx).ok());
+    RowVectorPtr out = RowVector::Make(data->schema());
+    Tuple t;
+    // A few row pulls first, then batch pulls for the remainder: both
+    // protocols share one emit cursor over the sorted permutation.
+    for (int i = 0; i < 100 && s->Next(&t); ++i) {
+      out->AppendRaw(t[0].row().data());
+    }
+    RowBatch batch;
+    while (s->NextBatch(&batch)) {
+      out->AppendRawBatch(batch.data(), batch.size());
+    }
+    EXPECT_TRUE(s->status().ok()) << s->status().ToString();
+    EXPECT_TRUE(s->Close().ok());
+    return out;
+  };
+  RowVectorPtr out1 = drain_mixed(1);
+  RowVectorPtr out4 = drain_mixed(4);
+  ASSERT_EQ(out1->size(), data->size());
+  ExpectBytesEqual(*out1, *out4, "mixed protocol sort");
 }
 
 // ---------------------------------------------------------------------------

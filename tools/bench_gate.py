@@ -46,6 +46,20 @@ GATED_RATIOS = ["partition_build_probe", "filter_map", "reduce_by_key"]
 # failed.
 SCALING_GATES = [
     ("partition_build_probe", 4, 2.0),
+    # Parallel run-sort + loser-tree merge: the K-way merge is the serial
+    # Amdahl tail, so the bar sits below the join pipeline's.
+    ("sort_1m", 4, 1.8),
+]
+
+# Algorithmic-win gates, evaluated within the CURRENT run only (the ratio
+# is machine-independent): TopK's bounded per-run selection (partial
+# top-k per run + loser-tree merge) must beat the full sort it replaced.
+# (fast_op, slow_op, min rows_per_sec ratio, min hardware threads): the
+# single-thread pair holds on any machine; only the 4-thread pair needs
+# real cores to be meaningful.
+WIN_GATES = [
+    ("topk_1m_t1", "sort_1m_t1", 1.2, 1),
+    ("topk_1m_t4", "sort_1m_t4", 1.2, 4),
 ]
 
 
@@ -144,6 +158,25 @@ def main():
                 f"{op} {threads}-thread speedup: {ratio:.2f}x < required "
                 f"{min_ratio:.2f}x")
         print(f"  {status:10s} {op} {threads}-thread speedup: {ratio:.2f}x "
+              f"(required {min_ratio:.2f}x)")
+
+    for fast, slow, min_ratio, min_hw in WIN_GATES:
+        f = cur.get((fast, True))
+        s = cur.get((slow, True))
+        if not (f and s):
+            print(f"  MISSING    win-gate entries {fast} / {slow}")
+            continue
+        ratio = f["rows_per_sec"] / s["rows_per_sec"]
+        if hw < min_hw:
+            print(f"  SKIPPED    {fast} vs {slow}: {ratio:.2f}x (machine has "
+                  f"{hw} hardware threads, gate needs >= {min_hw})")
+            continue
+        status = "OK"
+        if ratio < min_ratio:
+            status = "REGRESSION"
+            failures.append(
+                f"{fast} vs {slow}: {ratio:.2f}x < required {min_ratio:.2f}x")
+        print(f"  {status:10s} {fast} vs {slow}: {ratio:.2f}x "
               f"(required {min_ratio:.2f}x)")
 
     if failures:
