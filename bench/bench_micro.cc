@@ -612,6 +612,142 @@ void BenchSortTopK() {
   }
 }
 
+/// Cardinality-sweep group-by benches for the partition-owned parallel
+/// aggregation path: 1M rows at 16 / 64k / 1M groups, over int, string
+/// and multi-column (i64 + string) keys, swept at 1/2/4/8 threads.
+/// Entries are named groupby_1m_<shape>_<g16|g64k|g1m>_t<N>;
+/// bench_gate.py requires the g64k int and string shapes to reach a
+/// 4-thread speedup >= 1.8x on machines with >= 4 hardware threads.
+/// Output bytes are checksummed and compared across thread counts (a
+/// determinism regression fails the bench run itself), and every
+/// parallel run must report zero ReduceByKey fallbacks and zero
+/// mid-aggregation rehashes.
+void BenchGroupBy() {
+  const size_t n = 1 << 20;
+  struct Card {
+    const char* name;
+    int64_t groups;
+  };
+  const Card cards[] = {{"g16", 16}, {"g64k", 1 << 16}, {"g1m", 1 << 20}};
+
+  Schema str_schema({Field::Str("k", 12), Field::F64("v")});
+  Schema multi_schema({Field::I64("k1"), Field::Str("k2", 8), Field::F64("v")});
+
+  auto make_int = [&](int64_t groups) {
+    return MakeKv(n, groups, /*seed=*/7);
+  };
+  auto make_str = [&](int64_t groups) {
+    RowVectorPtr data = RowVector::Make(str_schema);
+    data->Reserve(n);
+    std::mt19937_64 rng(11);
+    std::uniform_int_distribution<int64_t> dist(0, groups - 1);
+    std::uniform_real_distribution<double> fdist(-1000.0, 1000.0);
+    for (size_t i = 0; i < n; ++i) {
+      RowWriter w = data->AppendRow();
+      w.SetString(0, "k" + std::to_string(dist(rng)));
+      w.SetFloat64(1, fdist(rng));
+    }
+    return data;
+  };
+  auto make_multi = [&](int64_t groups) {
+    // Composite cardinality: k1 in [0, groups/16), k2 in 16 values.
+    RowVectorPtr data = RowVector::Make(multi_schema);
+    data->Reserve(n);
+    std::mt19937_64 rng(13);
+    const int64_t hi = groups / 16 > 0 ? groups / 16 : 1;
+    std::uniform_int_distribution<int64_t> dist(0, hi - 1);
+    std::uniform_int_distribution<int64_t> lo(0, 15);
+    std::uniform_real_distribution<double> fdist(-1000.0, 1000.0);
+    for (size_t i = 0; i < n; ++i) {
+      RowWriter w = data->AppendRow();
+      w.SetInt64(0, dist(rng));
+      w.SetString(1, "m" + std::to_string(lo(rng)));
+      w.SetFloat64(2, fdist(rng));
+    }
+    return data;
+  };
+
+  struct Shape {
+    const char* name;
+    RowVectorPtr data;
+    std::vector<int> keys;
+    int agg_col;
+    AtomType agg_type;
+  };
+
+  auto run_one = [&](const Shape& shape, int threads, uint64_t* checksum,
+                     size_t* groups_out) {
+    ExecContext ctx;
+    ctx.options.num_threads = threads;
+    std::vector<AggSpec> aggs;
+    aggs.push_back(AggSpec{AggKind::kSum, ex::Col(shape.agg_col), "s",
+                           shape.agg_type});
+    aggs.push_back(
+        AggSpec{AggKind::kCount, nullptr, "c", AtomType::kInt64});
+    ReduceByKey rk(std::make_unique<RowScan>(
+                       std::make_unique<CollectionSource>(
+                           std::vector<RowVectorPtr>{shape.data})),
+                   shape.keys, std::move(aggs), shape.data->schema());
+    if (!rk.Open(&ctx).ok()) std::abort();
+    uint64_t h = 1469598103934665603ull;  // FNV-1a over emitted bytes
+    size_t groups = 0;
+    Tuple t;
+    while (rk.Next(&t)) {
+      ++groups;
+      if (checksum != nullptr) {
+        const uint8_t* p = t[0].row().data();
+        const size_t bytes = t[0].row().schema().row_size();
+        for (size_t b = 0; b < bytes; ++b) h = (h ^ p[b]) * 1099511628211ull;
+      }
+    }
+    if (!rk.status().ok() || !rk.Close().ok()) std::abort();
+    if (threads > 1) {
+      if (ctx.stats->GetCounter("parallel.serial_fallback.ReduceByKey") != 0) {
+        std::fprintf(stderr, "FAIL: groupby %s t%d fell back to serial\n",
+                     shape.name, threads);
+        std::exit(1);
+      }
+      if (ctx.stats->GetCounter("reduce.rehash") != 0) {
+        std::fprintf(stderr, "FAIL: groupby %s t%d rehashed mid-aggregation\n",
+                     shape.name, threads);
+        std::exit(1);
+      }
+    }
+    if (checksum != nullptr) *checksum = h;
+    if (groups_out != nullptr) *groups_out = groups;
+    return groups;
+  };
+
+  for (const Card& card : cards) {
+    const Shape shapes[] = {
+        {"int", make_int(card.groups), {0}, 1, AtomType::kInt64},
+        {"str", make_str(card.groups), {0}, 1, AtomType::kFloat64},
+        {"multi", make_multi(card.groups), {0, 1}, 2, AtomType::kFloat64},
+    };
+    for (const Shape& shape : shapes) {
+      uint64_t sum_t1 = 0;
+      for (int t : {1, 2, 4, 8}) {
+        // Untimed determinism pass: output bytes must match t1 exactly.
+        uint64_t sum = 0;
+        size_t groups = 0;
+        run_one(shape, t, &sum, &groups);
+        if (t == 1) {
+          sum_t1 = sum;
+        } else if (sum != sum_t1) {
+          std::fprintf(stderr,
+                       "FAIL: groupby %s %s t%d output differs from t1\n",
+                       shape.name, card.name, t);
+          std::exit(1);
+        }
+        RunBench("groupby_1m_" + std::string(shape.name) + "_" + card.name +
+                     "_t" + std::to_string(t),
+                 n, shape.data->byte_size(), 1,
+                 [&] { run_one(shape, t, nullptr, nullptr); }, t);
+      }
+    }
+  }
+}
+
 void WriteJson(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -662,6 +798,7 @@ int main(int argc, char** argv) {
   BenchPartitionBuildProbe();
   BenchThreadScaling();
   BenchSortTopK();
+  BenchGroupBy();
   WriteJson(argc > 1 ? argv[1] : "BENCH_micro.json");
   return 0;
 }

@@ -1,6 +1,8 @@
 #ifndef MODULARIS_CORE_EXPR_H_
 #define MODULARIS_CORE_EXPR_H_
 
+#include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -121,6 +123,90 @@ class BatchScratch {
   std::vector<std::unique_ptr<SelVector>> sels_;
   size_t sels_used_ = 0;
 };
+
+// -- Group-key serialization + hash kernels ---------------------------------
+// Grouping operators (ReduceByKey, the partition-owned parallel
+// aggregation pass) compare group keys as fixed-stride byte strings.
+// KeyCodec compiles a (schema, key columns) pair into a column-wise
+// serializer — one tight fixed-width copy loop per key column instead of
+// a per-row type switch — and HashKeysSpan hashes the serialized keys in
+// one pass. Both the radix partition pass and the state-table probes
+// consume the same bytes/hashes, so partition assignment is a pure
+// function of the key.
+
+/// Fixed-stride serialized group keys. Each key column contributes its
+/// packed-row field bytes verbatim: 4 bytes for i32/date, 8 for i64/f64
+/// (so f64 keys group by bit pattern, exactly like the row-at-a-time
+/// path), and `2 + width` for strings. Strings rely on the packed-row
+/// invariant that RowWriter::SetString zero-fills the tail, which makes
+/// the fixed-width field bytes a canonical encoding of the value.
+class KeyCodec {
+ public:
+  KeyCodec() = default;
+  KeyCodec(const Schema& schema, const std::vector<int>& key_cols);
+
+  /// Bytes per serialized key (fixed for the schema; 0 for no columns).
+  uint32_t key_size() const { return key_size_; }
+
+  /// Serializes the keys of rows [begin, begin + n) of `rows` into `out`
+  /// (n * key_size() bytes), column-wise: one fixed-width copy loop per
+  /// key column.
+  void SerializeKeys(const RowSpan& rows, size_t begin, size_t n,
+                     uint8_t* out) const;
+
+  /// Single-row form for per-row probes (the serial selective path).
+  void SerializeKey(const RowRef& row, uint8_t* out) const;
+
+ private:
+  struct Part {
+    uint32_t src_offset;  // byte offset inside the packed row
+    uint32_t dst_offset;  // byte offset inside the serialized key
+    uint32_t bytes;
+  };
+  std::vector<Part> parts_;
+  uint32_t key_size_ = 0;
+};
+
+/// splitmix64-style finalizer used by the key hash kernels. Self-contained
+/// so core/ stays independent of the sub-operator radix header.
+inline uint64_t MixKeyHash64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// 64-bit hash of one serialized key (word-wise mix over the fixed-size
+/// bytes). Deterministic across runs and platforms of equal endianness —
+/// the partition pass derives partition ids from the high bits, the state
+/// tables consume the low bits, so the two never alias.
+inline uint64_t HashKeyBytes(const uint8_t* key, uint32_t len) {
+  if (len == 8) {
+    uint64_t w;
+    std::memcpy(&w, key, sizeof(w));
+    return MixKeyHash64(w);
+  }
+  uint64_t h = 0x9e3779b97f4a7c15ull ^ len;
+  uint32_t i = 0;
+  for (; i + 8 <= len; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, key + i, sizeof(w));
+    h = MixKeyHash64(h ^ w);
+  }
+  if (i < len) {
+    uint64_t w = 0;
+    std::memcpy(&w, key + i, len - i);
+    h = MixKeyHash64(h ^ w);
+  }
+  return h;
+}
+
+/// Hash kernel over `n` serialized keys of `key_size` bytes each, packed
+/// at a fixed stride (the KeyCodec output layout): fills out[0..n).
+void HashKeysSpan(const uint8_t* keys, size_t n, uint32_t key_size,
+                  uint64_t* out);
 
 /// Immutable expression node. Expressions are shared (shared_ptr) between
 /// plans and passes.

@@ -161,6 +161,18 @@ size_t MergeIndexRuns(std::vector<IndexRun> runs, size_t out_count,
   return i;
 }
 
+/// Combines `count` fixed-size partial-state rows (each `stride` bytes,
+/// packed back to back in `rows`) down to rows[0] with a fixed-shape
+/// pairwise tree: level by level, combine(row 2i, row 2i+1) with an odd
+/// tail carried up unchanged. The tree shape depends only on `count` —
+/// never on thread count or scheduling — so float accumulators folded
+/// through it are byte-stable at any parallelism (the scalar-Reduce
+/// determinism rule, docs/DESIGN-parallel.md). `combine(dst, src)` folds
+/// src into dst. No-op for count < 2.
+void PairwiseCombineRows(
+    uint8_t* rows, size_t count, uint32_t stride,
+    const std::function<void(uint8_t* dst, const uint8_t* src)>& combine);
+
 /// Dynamic morsel dispenser over [0, total): workers claim fixed-size
 /// morsels with one atomic add. Use only for order-insensitive merges.
 class MorselCursor {

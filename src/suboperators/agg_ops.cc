@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <functional>
 #include <limits>
+#include <queue>
 
 #include "suboperators/partition_ops.h"
 #include "suboperators/radix.h"
@@ -20,10 +22,11 @@ void I64StateMap::Clear() {
   used_.clear();
   mask_ = 0;
   size_ = 0;
+  rehashes_ = 0;
 }
 
-void I64StateMap::Grow() {
-  size_t cap = keys_.empty() ? 1024 : keys_.size() * 2;
+void I64StateMap::Rehash(size_t cap) {
+  if (size_ > 0) ++rehashes_;  // live entries move: a real mid-use rehash
   std::vector<int64_t> old_keys = std::move(keys_);
   std::vector<uint32_t> old_vals = std::move(vals_);
   std::vector<uint8_t> old_used = std::move(used_);
@@ -41,6 +44,16 @@ void I64StateMap::Grow() {
   }
 }
 
+void I64StateMap::Grow() {
+  Rehash(keys_.empty() ? 1024 : keys_.size() * 2);
+}
+
+void I64StateMap::Reserve(size_t keys) {
+  size_t cap = 1024;
+  while (keys * 10 >= cap * 7) cap *= 2;
+  if (cap > keys_.size()) Rehash(cap);
+}
+
 uint32_t I64StateMap::FindOrInsert(int64_t key, bool* inserted) {
   if (keys_.empty() || size_ * 10 >= keys_.size() * 7) Grow();
   size_t slot = MixHash64(static_cast<uint64_t>(key)) & mask_;
@@ -54,6 +67,76 @@ uint32_t I64StateMap::FindOrInsert(int64_t key, bool* inserted) {
   keys_[slot] = key;
   vals_[slot] = static_cast<uint32_t>(size_);
   used_[slot] = 1;
+  *inserted = true;
+  return static_cast<uint32_t>(size_++);
+}
+
+// ---------------------------------------------------------------------------
+// ByteStateTable
+// ---------------------------------------------------------------------------
+
+void ByteStateTable::Clear() {
+  slots_.clear();
+  arena_.clear();
+  mask_ = 0;
+  size_ = 0;
+  rehashes_ = 0;
+}
+
+const uint8_t* ByteStateTable::SlotKey(const Slot& s) const {
+  if (s.len_plus1 - 1 <= kInlineBytes) return s.key;
+  uint64_t off;
+  std::memcpy(&off, s.key, sizeof(off));
+  return arena_.data() + off;
+}
+
+void ByteStateTable::Rehash(size_t cap) {
+  if (size_ > 0) ++rehashes_;
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(cap, Slot{});
+  mask_ = cap - 1;
+  for (const Slot& s : old) {
+    if (s.len_plus1 == 0) continue;
+    // Arena offsets are stable, so growth never touches key bytes —
+    // slots relocate by their stored hash alone.
+    size_t slot = s.hash & mask_;
+    while (slots_[slot].len_plus1 != 0) slot = (slot + 1) & mask_;
+    slots_[slot] = s;
+  }
+}
+
+void ByteStateTable::Reserve(size_t keys) {
+  size_t cap = 1024;
+  while (keys * 10 >= cap * 7) cap *= 2;
+  if (cap > slots_.size()) Rehash(cap);
+}
+
+uint32_t ByteStateTable::FindOrInsert(const uint8_t* key, uint32_t len,
+                                      uint64_t hash, bool* inserted) {
+  if (slots_.empty() || size_ * 10 >= slots_.size() * 7) {
+    Rehash(slots_.empty() ? 1024 : slots_.size() * 2);
+  }
+  size_t slot = hash & mask_;
+  while (slots_[slot].len_plus1 != 0) {
+    const Slot& s = slots_[slot];
+    if (s.hash == hash && s.len_plus1 == len + 1 &&
+        std::memcmp(SlotKey(s), key, len) == 0) {
+      *inserted = false;
+      return s.val;
+    }
+    slot = (slot + 1) & mask_;
+  }
+  Slot& s = slots_[slot];
+  s.hash = hash;
+  s.val = static_cast<uint32_t>(size_);
+  s.len_plus1 = len + 1;
+  if (len <= kInlineBytes) {
+    std::memcpy(s.key, key, len);
+  } else {
+    const uint64_t off = arena_.size();
+    arena_.insert(arena_.end(), key, key + len);
+    std::memcpy(s.key, &off, sizeof(off));
+  }
   *inserted = true;
   return static_cast<uint32_t>(size_++);
 }
@@ -78,7 +161,9 @@ Status ReduceByKey::Open(ExecContext* ctx) {
   MODULARIS_RETURN_NOT_OK(SubOperator::Open(ctx));
   states_ = RowVector::Make(out_schema_);
   i64_map_.Clear();
-  byte_map_.clear();
+  byte_table_.Clear();
+  keyless_partials_.reset();
+  keyless_fill_ = 0;
   consumed_ = false;
   emit_pos_ = 0;
 
@@ -87,6 +172,9 @@ Status ReduceByKey::Open(ExecContext* ctx) {
       (in_schema_.field(key_cols_[0]).type == AtomType::kInt64 ||
        in_schema_.field(key_cols_[0]).type == AtomType::kInt32 ||
        in_schema_.field(key_cols_[0]).type == AtomType::kDate);
+  if (!single_i64_key_ && !key_cols_.empty()) {
+    codec_ = KeyCodec(in_schema_, key_cols_);
+  }
 
   // Compile the update plan: direct offsets when every aggregate input is
   // a bare column (the fused/JIT-analog path).
@@ -165,48 +253,18 @@ uint32_t ReduceByKey::StateFor(const RowRef& row) {
   if (single_i64_key_) {
     state = i64_map_.FindOrInsert(KeyAt(row, key_cols_[0]), &inserted);
   } else {
-    key_scratch_.clear();
-    for (int c : key_cols_) {
-      const Field& f = in_schema_.field(c);
-      switch (f.type) {
-        case AtomType::kInt32:
-        case AtomType::kDate: {
-          int32_t v = row.GetInt32(c);
-          key_scratch_.append(reinterpret_cast<const char*>(&v), sizeof(v));
-          break;
-        }
-        case AtomType::kInt64: {
-          int64_t v = row.GetInt64(c);
-          key_scratch_.append(reinterpret_cast<const char*>(&v), sizeof(v));
-          break;
-        }
-        case AtomType::kFloat64: {
-          double v = row.GetFloat64(c);
-          key_scratch_.append(reinterpret_cast<const char*>(&v), sizeof(v));
-          break;
-        }
-        case AtomType::kString: {
-          std::string_view v = row.GetString(c);
-          key_scratch_.push_back(static_cast<char>(v.size()));
-          key_scratch_.append(v);
-          break;
-        }
-      }
-    }
-    auto it = byte_map_.find(std::string_view(key_scratch_));
-    if (it != byte_map_.end()) {
-      state = it->second;
-    } else {
-      state = static_cast<uint32_t>(byte_map_.size());
-      byte_map_.emplace(key_scratch_, state);
-      inserted = true;
-    }
+    const uint32_t ks = codec_.key_size();
+    key_scratch_.resize(ks);
+    codec_.SerializeKey(row, key_scratch_.data());
+    state = byte_table_.FindOrInsert(key_scratch_.data(), ks,
+                                     HashKeyBytes(key_scratch_.data(), ks),
+                                     &inserted);
   }
   if (inserted) InitState(states_.get(), row);
   return state;
 }
 
-void ReduceByKey::InitState(RowVector* states, const RowRef& row) {
+void ReduceByKey::InitState(RowVector* states, const RowRef& row) const {
   // States are appended densely; the new state index == new row index.
   RowWriter w = states->AppendRow();
   for (size_t i = 0; i < key_cols_.size(); ++i) {
@@ -228,9 +286,12 @@ void ReduceByKey::InitState(RowVector* states, const RowRef& row) {
         break;
     }
   }
+  InitStateAggs(states->mutable_row(states->size() - 1));
+}
+
+void ReduceByKey::InitStateAggs(uint8_t* dst) const {
   // Initialize aggregates to their identity; min/max to +/- infinity
   // equivalents so the first update takes effect.
-  uint8_t* dst = states->mutable_row(states->size() - 1);
   for (const AggSlot& s : slots_) {
     double init = 0;
     if (s.kind == AggKind::kMin) {
@@ -251,7 +312,10 @@ void ReduceByKey::InitState(RowVector* states, const RowRef& row) {
 
 void ReduceByKey::UpdateState(RowVector* states, uint32_t state,
                               const RowRef& row) {
-  uint8_t* dst = states->mutable_row(state);
+  UpdateStateRow(states->mutable_row(state), row);
+}
+
+void ReduceByKey::UpdateStateRow(uint8_t* dst, const RowRef& row) const {
   for (const AggSlot& s : slots_) {
     double v = 0;
     if (s.kind != AggKind::kCount) {
@@ -287,33 +351,11 @@ void ReduceByKey::UpdateState(RowVector* states, uint32_t state,
 }
 
 void ReduceByKey::Accumulate(const RowRef& row) {
+  if (key_cols_.empty()) {
+    AccumulateKeylessRow(row);
+    return;
+  }
   UpdateState(states_.get(), StateFor(row), row);
-}
-
-void ReduceByKey::AccumulateSpanInto(const uint8_t* rows, size_t n,
-                                     const Schema& schema, RowVector* states,
-                                     I64StateMap* map) {
-  const uint32_t stride = schema.row_size();
-  for (size_t i = 0; i < n; ++i, rows += stride) {
-    RowRef row(rows, &schema);
-    bool inserted = false;
-    uint32_t state = map->FindOrInsert(KeyAt(row, key_cols_[0]), &inserted);
-    if (inserted) InitState(states, row);
-    UpdateState(states, state, row);
-  }
-}
-
-bool ReduceByKey::ParallelMergeSafe() const {
-  if (!single_i64_key_) return false;
-  for (const AggSlot& s : slots_) {
-    // Float SUM is order-dependent (merging partial sums re-associates
-    // the additions); COUNT into a float destination stays exact because
-    // every partial is integer-valued.
-    if (s.kind == AggKind::kSum && s.dst_float) return false;
-    // The worker update loop only runs the compiled direct-offset plan.
-    if (s.kind != AggKind::kCount && s.src_col < 0) return false;
-  }
-  return true;
 }
 
 void ReduceByKey::MergeStateRow(uint8_t* dst, const uint8_t* src) const {
@@ -343,54 +385,289 @@ void ReduceByKey::MergeStateRow(uint8_t* dst, const uint8_t* src) const {
   }
 }
 
-Status ReduceByKey::ConsumeAllParallel() {
-  RowVectorPtr input;
-  MODULARIS_RETURN_NOT_OK(DrainRecordStream(child(0), &input));
-  if (input == nullptr) return Status::OK();
-  const size_t n = input->size();
-  int workers = PlanWorkers(n, ctx_->options);
-  if (workers <= 1) {
-    AccumulateSpan(input->data(), n, input->schema());
-    return Status::OK();
-  }
-  // Thread-local aggregation over static contiguous ranges, then an
-  // ordered merge: worker 0's groups first (its range is the stream
-  // prefix), later workers contribute only keys unseen so far — exactly
-  // the serial first-occurrence order.
-  const uint32_t stride = input->row_size();
-  std::vector<size_t> bounds = SplitRows(n, workers);
-  std::vector<RowVectorPtr> worker_states(workers);
-  std::vector<I64StateMap> worker_maps(workers);
-  for (int w = 0; w < workers; ++w) {
-    worker_states[w] = RowVector::Make(out_schema_);
-  }
-  MODULARIS_RETURN_NOT_OK(ParallelFor(workers, [&](int w) -> Status {
-    AccumulateSpanInto(input->data() + bounds[w] * stride,
-                       bounds[w + 1] - bounds[w], input->schema(),
-                       worker_states[w].get(), &worker_maps[w]);
-    return Status::OK();
-  }));
-  for (int w = 0; w < workers; ++w) {
-    const RowVector& ws = *worker_states[w];
-    for (size_t i = 0; i < ws.size(); ++i) {
-      RowRef row = ws.row(i);
+void ReduceByKey::AggregatePartition(
+    const uint8_t* rows, size_t n, const Schema& schema, const uint32_t* idx,
+    RowVector* states, std::vector<uint32_t>* first, I64StateMap* map,
+    ByteStateTable* table, std::vector<uint8_t>* key_scratch,
+    std::vector<uint64_t>* hash_scratch) const {
+  // The partition's row count is a hard upper bound on its distinct keys,
+  // so reserving it guarantees zero mid-aggregation rehashes — but on a
+  // duplicate-heavy skewed partition (all rows of a hot key in one
+  // place) it would also allocate O(rows) slots for a handful of groups.
+  // Cap the up-front reservation; a partition with more rows than the
+  // cap falls back to (deterministic — table internals never affect the
+  // output) geometric growth only if it really holds that many groups.
+  constexpr size_t kMaxReserveKeys = size_t{1} << 20;
+  const size_t reserve = std::min(n, kMaxReserveKeys);
+  const uint32_t stride = schema.row_size();
+  if (single_i64_key_) {
+    map->Clear();
+    map->Reserve(reserve);
+    const uint8_t* p = rows;
+    for (size_t j = 0; j < n; ++j, p += stride) {
+      RowRef row(p, &schema);
       bool inserted = false;
-      uint32_t state = i64_map_.FindOrInsert(KeyAt(row, 0), &inserted);
+      uint32_t state = map->FindOrInsert(KeyAt(row, key_cols_[0]), &inserted);
       if (inserted) {
-        states_->AppendRaw(row.data());
-      } else {
-        MergeStateRow(states_->mutable_row(state), row.data());
+        InitState(states, row);
+        first->push_back(idx[j]);
       }
+      UpdateStateRow(states->mutable_row(state), row);
+    }
+    return;
+  }
+  table->Clear();
+  table->Reserve(reserve);
+  const uint32_t ks = codec_.key_size();
+  key_scratch->resize(kKeyChunkRows * ks);
+  hash_scratch->resize(kKeyChunkRows);
+  RowSpan span{rows, stride, &schema};
+  for (size_t base = 0; base < n; base += kKeyChunkRows) {
+    const size_t m = std::min(n - base, kKeyChunkRows);
+    codec_.SerializeKeys(span, base, m, key_scratch->data());
+    HashKeysSpan(key_scratch->data(), m, ks, hash_scratch->data());
+    for (size_t i = 0; i < m; ++i) {
+      bool inserted = false;
+      uint32_t state = table->FindOrInsert(key_scratch->data() + i * ks, ks,
+                                           (*hash_scratch)[i], &inserted);
+      RowRef row(rows + (base + i) * stride, &schema);
+      if (inserted) {
+        InitState(states, row);
+        first->push_back(idx[base + i]);
+      }
+      UpdateStateRow(states->mutable_row(state), row);
     }
   }
+}
+
+Status ReduceByKey::ConsumeAllParallel(const RowVectorPtr& input,
+                                       int workers) {
+  const size_t n = input->size();
+  const Schema& schema = input->schema();
+  const uint32_t stride = input->row_size();
+  constexpr int kFanout = 1 << kPartitionBits;
+  constexpr int kPidShift = 64 - kPartitionBits;
+
+  // Phase 1: per-row partition ids over static contiguous ranges. The id
+  // is a pure function of the group key (hash HIGH bits; the state
+  // tables use the low bits), so the assignment never depends on the
+  // worker count.
+  std::vector<uint8_t> pids(n);
+  std::vector<size_t> bounds = SplitRows(n, workers);
+  std::vector<std::vector<int64_t>> wcounts(
+      workers, std::vector<int64_t>(kFanout, 0));
+  MODULARIS_RETURN_NOT_OK(ParallelFor(workers, [&](int w) -> Status {
+    int64_t* counts = wcounts[w].data();
+    if (single_i64_key_) {
+      const uint8_t* p = input->data() + bounds[w] * stride;
+      for (size_t i = bounds[w]; i < bounds[w + 1]; ++i, p += stride) {
+        const uint64_t key =
+            static_cast<uint64_t>(KeyAt(RowRef(p, &schema), key_cols_[0]));
+        const uint8_t pid = static_cast<uint8_t>(MixHash64(key) >> kPidShift);
+        pids[i] = pid;
+        ++counts[pid];
+      }
+    } else {
+      const uint32_t ks = codec_.key_size();
+      std::vector<uint8_t> keys(kKeyChunkRows * ks);
+      std::vector<uint64_t> hashes(kKeyChunkRows);
+      RowSpan span{input->data(), stride, &schema};
+      for (size_t base = bounds[w]; base < bounds[w + 1];
+           base += kKeyChunkRows) {
+        const size_t m = std::min(bounds[w + 1] - base, kKeyChunkRows);
+        codec_.SerializeKeys(span, base, m, keys.data());
+        HashKeysSpan(keys.data(), m, ks, hashes.data());
+        for (size_t i = 0; i < m; ++i) {
+          const uint8_t pid = static_cast<uint8_t>(hashes[i] >> kPidShift);
+          pids[base + i] = pid;
+          ++counts[pid];
+        }
+      }
+    }
+    return Status::OK();
+  }));
+
+  // Phase 2: prefix offsets + write-combining scatter into one flat
+  // pre-sized buffer (rows and their original indices side by side).
+  // Static ranges at prefix offsets replay the input order, so every
+  // partition holds its rows in ascending original order — the property
+  // that makes per-group float SUM accumulate exactly like one thread.
+  std::vector<size_t> prefix(kFanout + 1, 0);
+  for (int p = 0; p < kFanout; ++p) {
+    int64_t total = 0;
+    for (int w = 0; w < workers; ++w) total += wcounts[w][p];
+    prefix[p + 1] = prefix[p] + static_cast<size_t>(total);
+  }
+  std::vector<std::vector<size_t>> offsets(workers,
+                                           std::vector<size_t>(kFanout, 0));
+  for (int p = 0; p < kFanout; ++p) {
+    size_t off = prefix[p];
+    for (int w = 0; w < workers; ++w) {
+      offsets[w][p] = off;
+      off += static_cast<size_t>(wcounts[w][p]);
+    }
+  }
+  RowVectorPtr scat = RowVector::Make(schema);
+  scat->ResizeRowsUninitialized(n);
+  std::vector<uint32_t> idx(n);
+  MODULARIS_RETURN_NOT_OK(ParallelFor(workers, [&](int w) -> Status {
+    ScatterSpanByPidWc(input->data() + bounds[w] * stride,
+                       bounds[w + 1] - bounds[w], stride,
+                       pids.data() + bounds[w], kFanout, bounds[w],
+                       scat->mutable_data(), idx.data(), &offsets[w]);
+    return Status::OK();
+  }));
+
+  // Phase 3: partition-owned aggregation. Each partition is claimed by
+  // exactly one worker (dynamic claiming — ownership is exclusive, so
+  // the schedule costs no determinism) and aggregated in its original
+  // row order with zero cross-thread merging. Tables are reserved from
+  // the partition's row count, so aggregation never rehashes.
+  std::vector<RowVectorPtr> part_states(kFanout);
+  std::vector<std::vector<uint32_t>> part_first(kFanout);
+  std::vector<int64_t> wrehash(workers, 0);
+  MorselCursor cursor(kFanout, 1);
+  MODULARIS_RETURN_NOT_OK(ParallelFor(workers, [&](int w) -> Status {
+    I64StateMap map;
+    ByteStateTable table;
+    std::vector<uint8_t> keys;
+    std::vector<uint64_t> hashes;
+    size_t begin = 0, count = 0;
+    while (cursor.Claim(&begin, &count)) {
+      for (size_t p = begin; p < begin + count; ++p) {
+        const size_t rows_p = prefix[p + 1] - prefix[p];
+        if (rows_p == 0) continue;
+        RowVectorPtr states = RowVector::Make(out_schema_);
+        AggregatePartition(scat->data() + prefix[p] * stride, rows_p, schema,
+                           idx.data() + prefix[p], states.get(),
+                           &part_first[p], &map, &table, &keys, &hashes);
+        wrehash[w] += single_i64_key_ ? map.rehashes() : table.rehashes();
+        part_states[p] = std::move(states);
+      }
+    }
+    return Status::OK();
+  }));
+
+  // Phase 4: emit groups in global first-occurrence order. Each
+  // partition discovers its groups in ascending first-occurrence index
+  // (its rows are in original order), so a K-way merge over the
+  // per-partition runs replays the serial emission order exactly.
+  size_t total_groups = 0;
+  for (int p = 0; p < kFanout; ++p) total_groups += part_first[p].size();
+  states_->Reserve(total_groups);
+  using Head = std::pair<uint32_t, uint32_t>;  // (first index, partition)
+  std::priority_queue<Head, std::vector<Head>, std::greater<Head>> heap;
+  std::vector<uint32_t> pos(kFanout, 0);
+  int used_partitions = 0;
+  for (int p = 0; p < kFanout; ++p) {
+    if (!part_first[p].empty()) {
+      heap.emplace(part_first[p][0], static_cast<uint32_t>(p));
+      ++used_partitions;
+    }
+  }
+  while (!heap.empty()) {
+    const uint32_t p = heap.top().second;
+    heap.pop();
+    states_->AppendRaw(part_states[p]->row(pos[p]).data());
+    if (++pos[p] < part_first[p].size()) {
+      heap.emplace(part_first[p][pos[p]], p);
+    }
+  }
+  int64_t rehashes = 0;
+  for (int w = 0; w < workers; ++w) rehashes += wrehash[w];
+  AddStatCounter("reduce.rehash", rehashes);
+  AddStatCounter("parallel.reduce.partitions", used_partitions);
   return Status::OK();
+}
+
+Status ReduceByKey::ConsumeKeylessParallel(const RowVectorPtr& input,
+                                           int workers) {
+  const size_t n = input->size();
+  const Schema& schema = input->schema();
+  const uint32_t stride = input->row_size();
+  const size_t chunks = (n + kKeylessChunkRows - 1) / kKeylessChunkRows;
+  keyless_partials_ = RowVector::Make(out_schema_);
+  // Zero-filled like the streaming path's AppendRow, so padding bytes
+  // match byte-for-byte.
+  keyless_partials_->ResizeRows(chunks);
+  MorselCursor cursor(chunks, 1);
+  MODULARIS_RETURN_NOT_OK(ParallelFor(workers, [&](int) -> Status {
+    size_t begin = 0, count = 0;
+    while (cursor.Claim(&begin, &count)) {
+      for (size_t c = begin; c < begin + count; ++c) {
+        uint8_t* dst = keyless_partials_->mutable_row(c);
+        InitStateAggs(dst);
+        const size_t lo = c * kKeylessChunkRows;
+        const size_t hi = std::min(n, lo + kKeylessChunkRows);
+        const uint8_t* p = input->data() + lo * stride;
+        for (size_t i = lo; i < hi; ++i, p += stride) {
+          UpdateStateRow(dst, RowRef(p, &schema));
+        }
+      }
+    }
+    return Status::OK();
+  }));
+  return Status::OK();
+}
+
+void ReduceByKey::AccumulateKeylessRow(const RowRef& row) {
+  if (keyless_fill_ == 0) {
+    if (keyless_partials_ == nullptr) {
+      keyless_partials_ = RowVector::Make(out_schema_);
+    }
+    keyless_partials_->AppendRow();
+    InitStateAggs(
+        keyless_partials_->mutable_row(keyless_partials_->size() - 1));
+  }
+  UpdateStateRow(keyless_partials_->mutable_row(keyless_partials_->size() - 1),
+                 row);
+  if (++keyless_fill_ == kKeylessChunkRows) keyless_fill_ = 0;
+}
+
+void ReduceByKey::FinalizeKeyless() {
+  if (keyless_partials_ == nullptr || keyless_partials_->empty()) return;
+  PairwiseCombineRows(
+      keyless_partials_->mutable_data(), keyless_partials_->size(),
+      keyless_partials_->row_size(),
+      [this](uint8_t* dst, const uint8_t* src) { MergeStateRow(dst, src); });
+  states_->AppendRaw(keyless_partials_->data());
 }
 
 void ReduceByKey::AccumulateSpan(const uint8_t* rows, size_t n,
                                  const Schema& schema) {
   const uint32_t stride = schema.row_size();
-  for (size_t i = 0; i < n; ++i, rows += stride) {
-    Accumulate(RowRef(rows, &schema));
+  if (key_cols_.empty()) {
+    const uint8_t* p = rows;
+    for (size_t i = 0; i < n; ++i, p += stride) {
+      AccumulateKeylessRow(RowRef(p, &schema));
+    }
+    return;
+  }
+  if (single_i64_key_) {
+    const uint8_t* p = rows;
+    for (size_t i = 0; i < n; ++i, p += stride) {
+      Accumulate(RowRef(p, &schema));
+    }
+    return;
+  }
+  // Byte keys: the same chunked serialize→hash→probe kernel the parallel
+  // partitions run, against the operator-owned table.
+  const uint32_t ks = codec_.key_size();
+  key_scratch_.resize(kKeyChunkRows * ks);
+  hash_scratch_.resize(kKeyChunkRows);
+  RowSpan span{rows, stride, &schema};
+  for (size_t base = 0; base < n; base += kKeyChunkRows) {
+    const size_t m = std::min(n - base, kKeyChunkRows);
+    codec_.SerializeKeys(span, base, m, key_scratch_.data());
+    HashKeysSpan(key_scratch_.data(), m, ks, hash_scratch_.data());
+    for (size_t i = 0; i < m; ++i) {
+      bool inserted = false;
+      uint32_t state = byte_table_.FindOrInsert(
+          key_scratch_.data() + i * ks, ks, hash_scratch_[i], &inserted);
+      RowRef row(rows + (base + i) * stride, &schema);
+      if (inserted) InitState(states_.get(), row);
+      UpdateStateRow(states_->mutable_row(state), row);
+    }
   }
 }
 
@@ -401,10 +678,31 @@ void ReduceByKey::AccumulateBulk(const RowVector& rows) {
 Status ReduceByKey::ConsumeAll() {
   timer_.Bind(ctx_->stats, timer_key_);
   ScopedPhase phase(&timer_);
+  Status st = ConsumeAllInner();
+  // The keyless chunk partials combine through the fixed pairwise tree
+  // exactly once, whichever path accumulated them.
+  if (st.ok() && key_cols_.empty()) FinalizeKeyless();
+  return st;
+}
+
+Status ReduceByKey::ConsumeAllInner() {
   if (ctx_->options.enable_vectorized) {
     if (ctx_->options.ResolvedNumThreads() > 1) {
-      if (ParallelMergeSafe()) return ConsumeAllParallel();
-      NoteSerialFallback(ctx_, "ReduceByKey");
+      // Partition-owned (keyed) / fixed-chunk-tree (keyless) parallel
+      // aggregation covers every key and aggregate shape — float SUM,
+      // string and multi-column keys included — so there is no
+      // structural serial fallback left on the vectorized path.
+      RowVectorPtr input;
+      MODULARIS_RETURN_NOT_OK(DrainRecordStream(child(0), &input));
+      if (input == nullptr) return Status::OK();
+      const int workers = PlanWorkers(input->size(), ctx_->options);
+      if (workers <= 1) {
+        // Sizing decision (input too small to split), not a fallback.
+        AccumulateSpan(input->data(), input->size(), input->schema());
+        return Status::OK();
+      }
+      if (key_cols_.empty()) return ConsumeKeylessParallel(input, workers);
+      return ConsumeAllParallel(input, workers);
     }
     // Selective pull: an upstream Filter hands its input batch plus a
     // selection vector, so rejected rows are never compacted just to be
@@ -419,6 +717,10 @@ Status ReduceByKey::ConsumeAll() {
       }
     }
     return child(0)->status();
+  }
+  if (ctx_->options.ResolvedNumThreads() > 1) {
+    // Row-at-a-time streams have no packed span to partition.
+    NoteSerialFallback(ctx_, "ReduceByKey");
   }
   Tuple t;
   while (child(0)->Next(&t)) {

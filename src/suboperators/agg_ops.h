@@ -5,7 +5,6 @@
 #include <limits>
 #include <map>
 #include <string>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -29,7 +28,17 @@ class I64StateMap {
   size_t size() const { return size_; }
   void Clear();
 
+  /// Pre-sizes the table for up to `keys` distinct keys (capacity kept
+  /// under the 0.7 load factor). The partition-owned aggregation pass
+  /// reserves from each partition's histogram row count — a hard upper
+  /// bound on its distinct keys — so aggregation never rehashes.
+  void Reserve(size_t keys);
+
+  /// Grow calls that had to move live entries since the last Clear().
+  int64_t rehashes() const { return rehashes_; }
+
  private:
+  void Rehash(size_t cap);
   void Grow();
 
   std::vector<int64_t> keys_;
@@ -37,6 +46,44 @@ class I64StateMap {
   std::vector<uint8_t> used_;
   size_t mask_ = 0;
   size_t size_ = 0;
+  int64_t rehashes_ = 0;
+};
+
+/// Flat open-addressing hash table from serialized byte keys (KeyCodec
+/// output) to dense state indices — the string / multi-column / float-key
+/// analog of I64StateMap, shared by the serial and partition-owned
+/// parallel aggregation paths. Linear probing over a power-of-two slot
+/// array; keys of up to 16 bytes live inline in the slot, longer keys
+/// spill into an append-only overflow arena (offsets stay stable across
+/// growth, so rehashing never touches key bytes).
+class ByteStateTable {
+ public:
+  /// Returns the state index for `key[0..len)`; `hash` must be
+  /// HashKeyBytes(key, len). Sets `*inserted` if the key was new.
+  uint32_t FindOrInsert(const uint8_t* key, uint32_t len, uint64_t hash,
+                        bool* inserted);
+  size_t size() const { return size_; }
+  void Clear();
+  /// Pre-sizes for up to `keys` distinct keys (see I64StateMap::Reserve).
+  void Reserve(size_t keys);
+  int64_t rehashes() const { return rehashes_; }
+
+ private:
+  static constexpr uint32_t kInlineBytes = 16;
+  struct Slot {
+    uint64_t hash = 0;
+    uint32_t val = 0;
+    uint32_t len_plus1 = 0;  // 0 = empty (len 0 is a valid key)
+    uint8_t key[kInlineBytes];  // inline bytes, or a u64 arena offset
+  };
+  void Rehash(size_t cap);
+  const uint8_t* SlotKey(const Slot& s) const;
+
+  std::vector<Slot> slots_;
+  std::vector<uint8_t> arena_;  // overflow storage for keys > 16 bytes
+  size_t mask_ = 0;
+  size_t size_ = 0;
+  int64_t rehashes_ = 0;
 };
 
 /// ReduceByKey aggregates records by one or more key columns.
@@ -77,30 +124,64 @@ class ReduceByKey : public SubOperator {
   }
 
  private:
+  /// Hash-partition fanout of the partition-owned parallel pass: 256
+  /// partitions bound the per-partition state tables L1/L2-resident at
+  /// 1M-group inputs while leaving enough independent units for dynamic
+  /// claiming to balance skew. Partition ids come from the key hash's
+  /// HIGH bits (the state tables consume the low bits), so the two never
+  /// alias — and the id is a pure function of the key, never of the
+  /// worker count, which is what makes the plan deterministic.
+  static constexpr int kPartitionBits = 8;
+  /// Rows per serialize+hash+probe chunk of the byte-key paths.
+  static constexpr size_t kKeyChunkRows = 1024;
+  /// Fixed chunk size of the keyless (scalar Reduce) pairwise combine
+  /// tree. A constant — NOT a thread-derived split — so the tree shape,
+  /// and with it every float partial sum, is identical at any thread
+  /// count and in row-at-a-time mode.
+  static constexpr size_t kKeylessChunkRows = 1 << 14;
+
   Status ConsumeAll();
-  /// Morsel-parallel aggregation (docs/DESIGN-parallel.md): static
-  /// contiguous worker ranges accumulate into thread-local tables, merged
-  /// worker 0 first — which reproduces the serial first-occurrence group
-  /// order exactly, so the emitted states are byte-identical to one
-  /// thread's.
-  Status ConsumeAllParallel();
-  /// True when the merge is deterministic and the update plan is safe to
-  /// run from worker threads: one integer-typed key column and aggregates
-  /// that combine associatively byte-for-byte (integer SUM, COUNT,
-  /// MIN/MAX; float SUM is order-dependent and keeps the serial path).
-  bool ParallelMergeSafe() const;
+  Status ConsumeAllInner();
+  /// Partition-owned parallel aggregation (docs/DESIGN-parallel.md):
+  /// radix-partition the input by the key hash with the two-phase
+  /// count→write-combining scatter (rows land grouped by key partition in
+  /// original row order), then each partition is aggregated exclusively
+  /// by one worker — zero cross-thread merging, so float SUM accumulates
+  /// in exactly the serial order and N threads are byte-equal to 1 by
+  /// construction. Groups are emitted in global first-occurrence order
+  /// via a K-way merge over the per-partition discovery runs.
+  Status ConsumeAllParallel(const RowVectorPtr& input, int workers);
+  /// Keyless parallel form: fixed-shape chunk partials combined pairwise
+  /// (PairwiseCombineRows), byte-stable at any thread count.
+  Status ConsumeKeylessParallel(const RowVectorPtr& input, int workers);
   void Accumulate(const RowRef& row);
   void AccumulateBulk(const RowVector& rows);
   void AccumulateSpan(const uint8_t* rows, size_t n, const Schema& schema);
-  /// Restricted (single-i64-key) accumulation into an explicit table, the
-  /// per-worker loop of the parallel path.
-  void AccumulateSpanInto(const uint8_t* rows, size_t n, const Schema& schema,
-                          RowVector* states, I64StateMap* map);
-  /// Combines one worker state row into the merged state row.
+  void AccumulateKeylessRow(const RowRef& row);
+  /// Folds the keyless chunk partials through the fixed pairwise tree
+  /// into the single output state. No-op when no input arrived.
+  void FinalizeKeyless();
+  /// Combines one partial state row into another (associative merge).
   void MergeStateRow(uint8_t* dst, const uint8_t* src) const;
   uint32_t StateFor(const RowRef& row);
-  void InitState(RowVector* states, const RowRef& row);
+  void InitState(RowVector* states, const RowRef& row) const;
+  /// Writes the aggregate identity values into a state row (keys
+  /// untouched).
+  void InitStateAggs(uint8_t* dst) const;
   void UpdateState(RowVector* states, uint32_t state, const RowRef& row);
+  /// The per-row update against an explicit state row — safe to run from
+  /// worker threads (reads only immutable compiled slots; Expr::Eval is
+  /// thread-safe).
+  void UpdateStateRow(uint8_t* dst, const RowRef& row) const;
+  /// Aggregates the rows of one key partition (ascending original order)
+  /// into `states`, recording each new group's global first-occurrence
+  /// index. `map`/`table` are the caller's reusable scratch tables.
+  void AggregatePartition(const uint8_t* rows, size_t n, const Schema& schema,
+                          const uint32_t* idx, RowVector* states,
+                          std::vector<uint32_t>* first, I64StateMap* map,
+                          ByteStateTable* table,
+                          std::vector<uint8_t>* key_scratch,
+                          std::vector<uint64_t>* hash_scratch) const;
 
   std::vector<int> key_cols_;
   std::vector<AggSpec> aggs_;
@@ -126,22 +207,18 @@ class ReduceByKey : public SubOperator {
 
   RowVectorPtr states_;
   I64StateMap i64_map_;
-  struct SvHash {
-    using is_transparent = void;
-    size_t operator()(std::string_view s) const noexcept {
-      size_t h = 1469598103934665603ull;
-      for (char c : s) h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ull;
-      return h;
-    }
-  };
-  struct SvEq {
-    using is_transparent = void;
-    bool operator()(std::string_view a, std::string_view b) const noexcept {
-      return a == b;
-    }
-  };
-  std::unordered_map<std::string, uint32_t, SvHash, SvEq> byte_map_;
-  std::string key_scratch_;
+  /// Byte-key machinery shared by the serial and parallel paths:
+  /// fixed-stride serialized keys (KeyCodec) probed into the flat
+  /// open-addressing ByteStateTable.
+  KeyCodec codec_;
+  ByteStateTable byte_table_;
+  std::vector<uint8_t> key_scratch_;
+  std::vector<uint64_t> hash_scratch_;
+
+  /// Keyless (scalar) aggregation: one partial state per fixed-size input
+  /// chunk, combined pairwise at finalize.
+  RowVectorPtr keyless_partials_;
+  size_t keyless_fill_ = 0;
 
   bool consumed_ = false;
   size_t emit_pos_ = 0;

@@ -100,6 +100,45 @@ void ScatterSpanPresizedWc(const uint8_t* rows, size_t n,
   }
 }
 
+void ScatterSpanByPidWc(const uint8_t* rows, size_t n, uint32_t stride,
+                        const uint8_t* pids, int fanout, size_t base_index,
+                        uint8_t* dst_rows, uint32_t* dst_idx,
+                        std::vector<size_t>* cursors) {
+  // Same ~512B-per-partition staging discipline as ScatterSpanPresizedWc;
+  // the original-row indices ride along in a parallel staging array so
+  // both flush as bursts.
+  size_t wc_rows = 512 / stride;
+  if (wc_rows < 4) wc_rows = 4;
+  std::vector<uint8_t> stage(static_cast<size_t>(fanout) * wc_rows * stride);
+  std::vector<uint32_t> istage(static_cast<size_t>(fanout) * wc_rows);
+  std::vector<uint32_t> fill(fanout, 0);
+  const size_t buf_bytes = wc_rows * stride;
+  const uint8_t* p = rows;
+  for (size_t i = 0; i < n; ++i, p += stride) {
+    const uint32_t pid = pids[i];
+    uint8_t* buf = stage.data() + pid * buf_bytes;
+    std::memcpy(buf + fill[pid] * stride, p, stride);
+    istage[pid * wc_rows + fill[pid]] = static_cast<uint32_t>(base_index + i);
+    if (++fill[pid] == wc_rows) {
+      size_t& cur = (*cursors)[pid];
+      std::memcpy(dst_rows + cur * stride, buf, buf_bytes);
+      std::memcpy(dst_idx + cur, istage.data() + pid * wc_rows,
+                  wc_rows * sizeof(uint32_t));
+      cur += wc_rows;
+      fill[pid] = 0;
+    }
+  }
+  for (int pid = 0; pid < fanout; ++pid) {
+    if (fill[pid] == 0) continue;
+    size_t& cur = (*cursors)[pid];
+    std::memcpy(dst_rows + cur * stride, stage.data() + pid * buf_bytes,
+                fill[pid] * stride);
+    std::memcpy(dst_idx + cur, istage.data() + pid * wc_rows,
+                fill[pid] * sizeof(uint32_t));
+    cur += fill[pid];
+  }
+}
+
 Status ScatterSpanPresized(const uint8_t* rows, size_t n,
                            const Schema& schema, const RadixSpec& spec,
                            int key_col, std::vector<RowVectorPtr>* parts,

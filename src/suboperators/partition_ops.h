@@ -200,6 +200,28 @@ void ScatterSpanPresizedWc(const uint8_t* rows, size_t n,
                            int key_col, std::vector<RowVectorPtr>* parts,
                            std::vector<size_t>* cursors);
 
+/// Precomputed-pid variant of the two-phase count→write-combining
+/// scatter (partition-owned aggregation, docs/DESIGN-parallel.md): the
+/// caller derives one partition id per row from an arbitrary key hash
+/// (multi-column / string / float group keys) and counts during that
+/// pass, then reuses the same prefix-offset scatter machinery the radix
+/// partitioners run.
+///
+/// Write-combining scatter of `n` packed rows into one flat pre-sized
+/// destination, keyed by a precomputed per-row partition id: row i lands
+/// at `dst_rows + cursors[pids[i]] * stride`, and its original row index
+/// `base_index + i` lands in `dst_idx` at the same cursor. Rows and
+/// indices are staged in small per-partition buffers and flushed with one
+/// memcpy per full buffer, exactly like ScatterSpanPresizedWc. `cursors`
+/// holds this worker's absolute start row per partition (prefix sums
+/// across partitions and earlier workers) and is advanced past the
+/// written rows on return — so every partition ends up holding its rows
+/// in ascending original-row order with the global index recoverable.
+void ScatterSpanByPidWc(const uint8_t* rows, size_t n, uint32_t stride,
+                        const uint8_t* pids, int fanout, size_t base_index,
+                        uint8_t* dst_rows, uint32_t* dst_idx,
+                        std::vector<size_t>* cursors);
+
 /// Shared count routine: adds per-partition record counts of `rows` into
 /// `counts` (size must be spec.fanout()).
 void CountRows(const RowVector& rows, const RadixSpec& spec, int key_col,

@@ -7,6 +7,7 @@
 /// `parallel.serial_fallback.*` counter in those plans. This suite is
 /// also the ThreadSanitizer target in CI.
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -24,6 +25,7 @@
 #include "suboperators/partition_ops.h"
 #include "suboperators/scan_ops.h"
 #include "tpch/queries.h"
+#include "tpch/reference.h"
 
 namespace modularis {
 namespace {
@@ -280,7 +282,11 @@ TEST(FlatBuildProbeParity, MixedNextAndNextBatch) {
 }
 
 // ---------------------------------------------------------------------------
-// ReduceByKey: thread-local tables with ordered merge.
+// ReduceByKey: partition-owned parallel aggregation. Every key shape —
+// single int, string, multi-column, keyless — and every aggregate
+// (order-dependent float SUM included) must be byte-identical across
+// thread counts with zero serial fallbacks and zero mid-aggregation
+// rehashes.
 // ---------------------------------------------------------------------------
 
 SubOpPtr MakeReduce(const RowVectorPtr& data, std::vector<AggSpec> aggs) {
@@ -336,9 +342,11 @@ TEST(ReduceByKeyParity, FloatMinMaxParallel) {
   ExpectNoFallback(stats4, "ReduceByKey");
 }
 
-TEST(ReduceByKeyParity, FloatSumFallsBackSerial) {
-  // Order-dependent f64 SUM must keep the serial path (documented
-  // determinism rule) — and still produce identical results, trivially.
+TEST(ReduceByKeyParity, FloatSumParallelByteEqual) {
+  // Order-dependent f64 SUM parallelizes under partition-owned
+  // aggregation: all rows of a group land in one key partition in
+  // original order, so the parallel fold replays the serial addition
+  // order exactly — no fallback, bytes identical.
   RowVectorPtr data = MakeKv(40000, 500, 13);
   std::vector<AggSpec> aggs;
   aggs.push_back(
@@ -352,7 +360,164 @@ TEST(ReduceByKeyParity, FloatSumFallsBackSerial) {
   RowVectorPtr out1 = DrainRoot(r1.get(), &c1, false);
   RowVectorPtr out4 = DrainRoot(r4.get(), &c4, false);
   ExpectBytesEqual(*out1, *out4, "reduce_by_key f64 sum");
-  EXPECT_EQ(stats4.GetCounter("parallel.serial_fallback.ReduceByKey"), 1);
+  ExpectNoFallback(stats4, "ReduceByKey");
+  EXPECT_GT(stats4.GetCounter("parallel.reduce.partitions"), 0)
+      << "4-thread f64 SUM did not take the partition-owned path";
+  EXPECT_EQ(stats4.GetCounter("reduce.rehash"), 0)
+      << "pre-sized per-partition tables must never rehash";
+}
+
+// Non-integer key shapes: string, multi-column, and a computed (non
+// bare-column) aggregate input — every one of these used to take
+// parallel.serial_fallback.ReduceByKey onto the serial byte-key map.
+
+Schema StrKeySchema() {
+  return Schema({Field::Str("k", 12), Field::I64("v"), Field::F64("x")});
+}
+
+RowVectorPtr MakeStrKeyed(size_t rows, int64_t key_space, uint32_t seed) {
+  RowVectorPtr data = RowVector::Make(StrKeySchema());
+  data->Reserve(rows);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int64_t> dist(0, key_space - 1);
+  std::uniform_real_distribution<double> fdist(-1000.0, 1000.0);
+  for (size_t i = 0; i < rows; ++i) {
+    RowWriter w = data->AppendRow();
+    w.SetString(0, "key" + std::to_string(dist(rng)));
+    w.SetInt64(1, static_cast<int64_t>(i));
+    w.SetFloat64(2, fdist(rng));
+  }
+  return data;
+}
+
+SubOpPtr MakeKeyedReduce(const RowVectorPtr& data, std::vector<int> keys,
+                         std::vector<AggSpec> aggs) {
+  return std::make_unique<ReduceByKey>(
+      std::make_unique<RowScan>(std::make_unique<CollectionSource>(
+          std::vector<RowVectorPtr>{data})),
+      std::move(keys), std::move(aggs), data->schema());
+}
+
+std::vector<AggSpec> MixedAggs() {
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSpec{AggKind::kSum, ex::Col(2), "s", AtomType::kFloat64});
+  aggs.push_back(AggSpec{AggKind::kCount, nullptr, "c", AtomType::kInt64});
+  aggs.push_back(AggSpec{AggKind::kMin, ex::Col(1), "mn", AtomType::kInt64});
+  aggs.push_back(AggSpec{AggKind::kMax, ex::Col(2), "mx", AtomType::kFloat64});
+  // Computed input: exercises the Expr::Eval update path on workers.
+  aggs.push_back(AggSpec{AggKind::kSum,
+                         ex::Mul(ex::Col(2), ex::Lit(2.0)), "s2",
+                         AtomType::kFloat64});
+  return aggs;
+}
+
+TEST(ReduceByKeyParity, StringKeyByteEqual) {
+  for (int64_t key_space : {int64_t{7}, int64_t{5000}}) {
+    RowVectorPtr data = MakeStrKeyed(60000, key_space, 17);
+    StatsRegistry stats1, stats4;
+    ExecContext c1, c4;
+    InitCtx(&c1, 1, &stats1);
+    InitCtx(&c4, 4, &stats4);
+    auto r1 = MakeKeyedReduce(data, {0}, MixedAggs());
+    auto r4 = MakeKeyedReduce(data, {0}, MixedAggs());
+    RowVectorPtr out1 = DrainRoot(r1.get(), &c1, false);
+    RowVectorPtr out4 = DrainRoot(r4.get(), &c4, false);
+    ASSERT_GT(out1->size(), 0u);
+    ExpectBytesEqual(*out1, *out4, "reduce_by_key string key");
+    ExpectNoFallback(stats4, "ReduceByKey");
+    EXPECT_EQ(stats4.GetCounter("reduce.rehash"), 0);
+  }
+}
+
+TEST(ReduceByKeyParity, MultiColumnKeyByteEqual) {
+  // (string, i64) composite key over a dup-heavy value domain.
+  RowVectorPtr data = MakeStrKeyed(60000, 40, 19);
+  StatsRegistry stats1, stats4;
+  ExecContext c1, c4;
+  InitCtx(&c1, 1, &stats1);
+  InitCtx(&c4, 4, &stats4);
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSpec{AggKind::kSum, ex::Col(2), "s", AtomType::kFloat64});
+  aggs.push_back(AggSpec{AggKind::kCount, nullptr, "c", AtomType::kInt64});
+  auto key2 = [](const RowVectorPtr& d) {
+    // Second key column: v % 8 — rebuild the rows with a low-cardinality
+    // i64 column so the composite key has real cross-products.
+    RowVectorPtr out = RowVector::Make(d->schema());
+    out->Reserve(d->size());
+    for (size_t i = 0; i < d->size(); ++i) {
+      RowRef r = d->row(i);
+      RowWriter w = out->AppendRow();
+      w.SetString(0, std::string(r.GetString(0)));
+      w.SetInt64(1, r.GetInt64(1) % 8);
+      w.SetFloat64(2, r.GetFloat64(2));
+    }
+    return out;
+  }(data);
+  auto r1 = MakeKeyedReduce(key2, {0, 1}, aggs);
+  auto r4 = MakeKeyedReduce(key2, {0, 1}, aggs);
+  RowVectorPtr out1 = DrainRoot(r1.get(), &c1, false);
+  RowVectorPtr out4 = DrainRoot(r4.get(), &c4, false);
+  ASSERT_GT(out1->size(), 0u);
+  ExpectBytesEqual(*out1, *out4, "reduce_by_key multi-column key");
+  ExpectNoFallback(stats4, "ReduceByKey");
+  EXPECT_EQ(stats4.GetCounter("reduce.rehash"), 0);
+}
+
+TEST(ReduceByKeyParity, HighCardinalityMillionGroups) {
+  // 1M rows, every key distinct: stresses the per-partition table
+  // reservation (zero rehashes) and the K-way first-occurrence merge at
+  // maximum group count.
+  const size_t n = 1 << 20;
+  RowVectorPtr data = RowVector::Make(KeyValueSchema());
+  data->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    RowWriter w = data->AppendRow();
+    // Scrambled insertion order so first-occurrence order != key order.
+    w.SetInt64(0, static_cast<int64_t>((i * 2654435761u) % (1u << 20)));
+    w.SetInt64(1, static_cast<int64_t>(i));
+  }
+  StatsRegistry stats1, stats4;
+  ExecContext c1, c4;
+  InitCtx(&c1, 1, &stats1);
+  InitCtx(&c4, 4, &stats4);
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSpec{AggKind::kSum, ex::Col(1), "s", AtomType::kInt64});
+  auto r1 = MakeReduce(data, aggs);
+  auto r4 = MakeReduce(data, aggs);
+  RowVectorPtr out1 = DrainRoot(r1.get(), &c1, false);
+  RowVectorPtr out4 = DrainRoot(r4.get(), &c4, false);
+  ASSERT_EQ(out1->size(), size_t{1} << 20);
+  ExpectBytesEqual(*out1, *out4, "reduce_by_key 1M distinct keys");
+  ExpectNoFallback(stats4, "ReduceByKey");
+  EXPECT_EQ(stats4.GetCounter("reduce.rehash"), 0);
+}
+
+TEST(ReduceByKeyParity, KeylessFloatSumStableAcrossThreadCounts) {
+  // Scalar (no-key) aggregation: the fixed-shape pairwise combine tree
+  // makes float SUM byte-stable at ANY thread count — 1, 2 and 4 threads
+  // all produce the same bytes, and no serial fallback is recorded.
+  RowVectorPtr data = MakeKv(100000, 1000, 23);
+  std::vector<AggSpec> aggs;
+  aggs.push_back(AggSpec{AggKind::kSum, ex::Col(1), "s", AtomType::kFloat64});
+  aggs.push_back(AggSpec{AggKind::kCount, nullptr, "c", AtomType::kInt64});
+  aggs.push_back(AggSpec{AggKind::kMin, ex::Col(1), "mn", AtomType::kFloat64});
+  auto run = [&](int threads, StatsRegistry* stats) {
+    ExecContext ctx;
+    InitCtx(&ctx, threads, stats);
+    auto r = std::make_unique<Reduce>(
+        std::make_unique<RowScan>(std::make_unique<CollectionSource>(
+            std::vector<RowVectorPtr>{data})),
+        aggs, KeyValueSchema());
+    return DrainRoot(r.get(), &ctx, false);
+  };
+  StatsRegistry stats1, stats2, stats4;
+  RowVectorPtr out1 = run(1, &stats1);
+  RowVectorPtr out2 = run(2, &stats2);
+  RowVectorPtr out4 = run(4, &stats4);
+  ASSERT_EQ(out1->size(), 1u);
+  ExpectBytesEqual(*out1, *out2, "keyless reduce 2 threads");
+  ExpectBytesEqual(*out1, *out4, "keyless reduce 4 threads");
+  ExpectNoFallback(stats4, "ReduceByKey");
 }
 
 TEST(ReduceByKeyParity, EmptyInput) {
@@ -711,6 +876,59 @@ INSTANTIATE_TEST_SUITE_P(Queries, TpchParallelParity,
                          [](const ::testing::TestParamInfo<int>& info) {
                            return "Q" + std::to_string(info.param);
                          });
+
+TEST(TpchParallelParity, Q1ParallelDriverMatchesReference) {
+  // TPC-H Q1 is the pure-aggregation query (two 1-char string keys, four
+  // float SUMs with computed inputs + COUNT): exactly the shape that used
+  // to fall back serial. Run it through the parallel driver at 8 threads
+  // and diff against the independent reference implementation.
+  tpch::TpchRunOptions opts = tpch::TpchRunOptions::Rdma(2);
+  opts.fabric.throttle = false;
+  opts.storage.throttle = false;
+  opts.lambda.throttle = false;
+  opts.lambda.s3.throttle = false;
+  opts.s3select.throttle = false;
+  opts.exec.network_radix_bits = 4;
+  opts.exec.num_threads = 8;
+  opts.exec.parallel_min_rows = 256;
+  auto ctx = tpch::PrepareTpch(Db(), opts);
+  ASSERT_TRUE(ctx.ok()) << ctx.status().ToString();
+  StatsRegistry stats;
+  auto result = tpch::RunTpchQuery(1, **ctx, opts, &stats);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(stats.GetCounter("parallel.serial_fallback.ReduceByKey"), 0)
+      << "Q1 aggregation fell back to serial execution";
+
+  RowVectorPtr expected = tpch::ReferenceQ1(Db());
+  const RowVector& actual = **result;
+  ASSERT_EQ(expected->size(), actual.size());
+  for (size_t i = 0; i < expected->size(); ++i) {
+    RowRef e = expected->row(i);
+    RowRef a = actual.row(i);
+    for (size_t c = 0; c < expected->schema().num_fields(); ++c) {
+      const int col = static_cast<int>(c);
+      switch (expected->schema().field(c).type) {
+        case AtomType::kInt32:
+        case AtomType::kDate:
+          ASSERT_EQ(e.GetInt32(col), a.GetInt32(col)) << "row " << i;
+          break;
+        case AtomType::kInt64:
+          ASSERT_EQ(e.GetInt64(col), a.GetInt64(col)) << "row " << i;
+          break;
+        case AtomType::kFloat64: {
+          const double x = e.GetFloat64(col), y = a.GetFloat64(col);
+          const double tol =
+              1e-6 * std::max({1.0, std::fabs(x), std::fabs(y)});
+          ASSERT_NEAR(x, y, tol) << "row " << i << " col " << c;
+          break;
+        }
+        case AtomType::kString:
+          ASSERT_EQ(e.GetString(col), a.GetString(col)) << "row " << i;
+          break;
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace modularis

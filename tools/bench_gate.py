@@ -49,6 +49,13 @@ SCALING_GATES = [
     # Parallel run-sort + loser-tree merge: the K-way merge is the serial
     # Amdahl tail, so the bar sits below the join pipeline's.
     ("sort_1m", 4, 1.8),
+    # Partition-owned parallel aggregation (1M rows, 64k groups): the
+    # radix partition pass adds two extra passes over the data, so the
+    # parallel win has to beat that overhead too. Int and string key
+    # shapes are gated; the multi-column shape is reported but not gated
+    # (its serial baseline already runs the same batch key kernels).
+    ("groupby_1m_int_g64k", 4, 1.8),
+    ("groupby_1m_str_g64k", 4, 1.8),
 ]
 
 # Algorithmic-win gates, evaluated within the CURRENT run only (the ratio
