@@ -56,7 +56,7 @@ RunResult Run(const std::vector<std::vector<RowVectorPtr>>& relations,
     return r;
   }
   r.seconds = timer.Seconds();
-  r.network_seconds = stats.GetTime("net.charged");
+  r.network_seconds = stats.GetTime("net.charged_seconds");
   return r;
 }
 

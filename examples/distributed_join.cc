@@ -56,9 +56,14 @@ int main() {
       std::printf("  %-28s %8.3f s\n", phase.c_str() + 6, seconds);
     }
   }
-  std::printf("\nnetwork: %.1f MB sent, %.3f s modelled transfer time\n",
-              stats.GetCounter("net.bytes_sent") / 1e6,
-              stats.GetTime("net.charged"));
+  std::printf(
+      "\nnetwork: %.1f MB sent in %lld messages, %.3f s modelled transfer "
+      "time, %.3f s stalled (overlap %.2f)\n",
+      stats.GetCounter("net.bytes_sent") / 1e6,
+      static_cast<long long>(stats.GetCounter("net.msgs_sent")),
+      stats.GetTime("net.charged_seconds"),
+      stats.GetTime("net.stall_seconds"),
+      stats.GetTime("exchange.overlap_ratio"));
 
   // Spot-check a row: key k joins value 2k with value 3k.
   RowRef row = (*result)->row(0);

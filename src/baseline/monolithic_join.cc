@@ -320,7 +320,9 @@ Result<RowVectorPtr> RunMonolithicJoin(
         MODULARIS_RETURN_NOT_OK(worker.Run(&results[r]));
         rank_stats[r].AddCounter("net.bytes_sent",
                                  comm.fabric().bytes_sent(r));
-        rank_stats[r].AddTime("net.charged",
+        rank_stats[r].AddCounter("net.msgs_sent",
+                                 comm.fabric().msgs_sent(r));
+        rank_stats[r].AddTime("net.charged_seconds",
                               comm.fabric().charged_seconds(r));
         return Status::OK();
       });

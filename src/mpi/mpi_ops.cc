@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/parallel.h"
 #include "suboperators/partition_ops.h"
 #include "suboperators/scan_ops.h"
 
@@ -58,9 +59,18 @@ Status MpiExecutor::Open(ExecContext* ctx) {
         total.Stop();
 
         // Snapshot fabric accounting before the world is torn down.
+        const double charged = comm.fabric().charged_seconds(r);
+        const double stall = comm.fabric().stall_seconds(r);
         rctx.stats->AddCounter("net.bytes_sent", comm.fabric().bytes_sent(r));
-        rctx.stats->AddTime("net.charged", comm.fabric().charged_seconds(r));
-        rctx.stats->AddTime("net.stall", comm.fabric().stall_seconds(r));
+        rctx.stats->AddCounter("net.msgs_sent", comm.fabric().msgs_sent(r));
+        rctx.stats->AddTime("net.charged_seconds", charged);
+        rctx.stats->AddTime("net.stall_seconds", stall);
+        // Fraction of modelled wire time hidden behind compute: 1 when
+        // every Put drained before Flush, 0 when the rank waited out the
+        // full transfer time. Zero traffic counts as fully overlapped.
+        double overlap =
+            charged > 0 ? 1.0 - std::min(stall / charged, 1.0) : 1.0;
+        rctx.stats->AddTime("exchange.overlap_ratio", overlap);
         return Status::OK();
       });
   MODULARIS_RETURN_NOT_OK(st);
@@ -249,110 +259,289 @@ Status MpiExchange::DoExchange() {
   net::WindowId window =
       comm->WinAllocate(static_cast<size_t>(owner_rows[me]) * out_row);
 
-  // Software write-combining buffers, flushed by async one-sided writes.
-  const size_t buf_rows =
-      std::max<size_t>(1, opts_.buffer_bytes / out_row);
-  std::vector<std::vector<uint8_t>> buffers(fanout);
-  std::vector<size_t> buffered(fanout, 0);
-  for (auto& b : buffers) b.resize(buf_rows * out_row);
-
-  auto flush_partition = [&](int p) -> Status {
-    if (buffered[p] == 0) return Status::OK();
-    int owner = p % world;
-    MODULARIS_RETURN_NOT_OK(comm->WinPut(
-        owner, window, static_cast<size_t>(write_offset[p]) * out_row,
-        buffers[p].data(), buffered[p] * out_row));
-    write_offset[p] += static_cast<int64_t>(buffered[p]);
-    buffered[p] = 0;
-    return Status::OK();
-  };
-
   const int key_col = opts_.key_col;
   const uint32_t in_row = in_schema.row_size();
-  for (const RowVectorPtr& input : inputs) {
-    const uint8_t* p = input->data();
-    const size_t n = input->size();
-    const uint32_t key_offset = in_schema.offset(key_col);
-    const bool wide = in_schema.field(key_col).type == AtomType::kInt64;
-    for (size_t i = 0; i < n; ++i, p += in_row) {
-      int64_t key;
-      if (wide) {
-        std::memcpy(&key, p + key_offset, sizeof(key));
-      } else {
-        int32_t k32;
-        std::memcpy(&k32, p + key_offset, sizeof(k32));
-        key = k32;
-      }
-      uint32_t pid = opts_.spec.PartitionOf(key);
-      uint8_t* dst = buffers[pid].data() + buffered[pid] * out_row;
-      if (opts_.compress) {
-        int64_t value;
-        std::memcpy(&value, p + in_schema.offset(1), sizeof(value));
-        int64_t word =
-            CompressKV(key, value, opts_.spec.bits, opts_.domain_bits);
-        std::memcpy(dst, &word, sizeof(word));
-      } else {
-        std::memcpy(dst, p, in_row);
-      }
-      if (++buffered[pid] == buf_rows) {
-        MODULARIS_RETURN_NOT_OK(flush_partition(static_cast<int>(pid)));
+  const uint32_t key_offset = in_schema.offset(key_col);
+  const bool wide = in_schema.field(key_col).type == AtomType::kInt64;
+  const uint32_t val_offset =
+      in_schema.num_fields() > 1 ? in_schema.offset(1) : 0;
+  auto load_key = [&](const uint8_t* p) -> int64_t {
+    if (wide) {
+      int64_t k;
+      std::memcpy(&k, p + key_offset, sizeof(k));
+      return k;
+    }
+    int32_t k32;
+    std::memcpy(&k32, p + key_offset, sizeof(k32));
+    return k32;
+  };
+  auto serialize_row = [&](const uint8_t* src, int64_t key, uint8_t* dst) {
+    if (opts_.compress) {
+      int64_t value;
+      std::memcpy(&value, src + val_offset, sizeof(value));
+      int64_t word =
+          CompressKV(key, value, opts_.spec.bits, opts_.domain_bits);
+      std::memcpy(dst, &word, sizeof(word));
+    } else {
+      std::memcpy(dst, src, in_row);
+    }
+  };
+
+  // Serial-wire ablation staging (opts_.serial_wire): the scatter lands in
+  // a local buffer laid out by local prefix offsets and ships only after
+  // partitioning completes — no overlap, the baseline the stall gate
+  // compares against.
+  std::vector<int64_t> local_base(fanout, 0);
+  int64_t local_total = 0;
+  for (int p = 0; p < fanout; ++p) {
+    local_base[p] = local_total;
+    local_total += local_counts[p];
+  }
+  std::vector<uint8_t> wire_stage;
+  if (opts_.serial_wire) {
+    wire_stage.resize(static_cast<size_t>(local_total) * out_row);
+  }
+
+  size_t total_rows = 0;
+  for (const RowVectorPtr& input : inputs) total_rows += input->size();
+  int workers = 1;
+  if (ctx_->options.enable_vectorized && total_rows > 0) {
+    workers = PlanWorkers(total_rows, ctx_->options);
+  }
+
+  if (workers > 1) {
+    // Morsel-parallel two-phase scatter (docs/DESIGN-exchange.md): static
+    // contiguous ranges are counted, each (worker, partition) pair gets an
+    // exclusive region of the owner's window at an offset that replays the
+    // serial input order, then every worker streams its range through
+    // write-combining buffers flushed by concurrent async Puts — wire
+    // traffic starts while other workers are still partitioning.
+    RowVectorPtr flat;
+    if (inputs.size() == 1) {
+      flat = inputs.front();
+    } else {
+      flat = RowVector::Make(in_schema);
+      flat->Reserve(total_rows);
+      for (const RowVectorPtr& input : inputs) flat->AppendAll(*input);
+    }
+    const std::vector<size_t> bounds = SplitRows(total_rows, workers);
+    std::vector<std::vector<int64_t>> worker_counts(
+        workers, std::vector<int64_t>(fanout, 0));
+    MODULARIS_RETURN_NOT_OK(ParallelFor(workers, [&](int w) -> Status {
+      CountSpan(flat->data() + bounds[w] * in_row, bounds[w + 1] - bounds[w],
+                in_schema, opts_.spec, key_col, worker_counts[w].data());
+      return Status::OK();
+    }));
+    // The cross-rank window layout was derived from the local histogram;
+    // a mismatch would corrupt a peer's window, so verify before writing.
+    for (int p = 0; p < fanout; ++p) {
+      int64_t counted = 0;
+      for (int w = 0; w < workers; ++w) counted += worker_counts[w][p];
+      if (counted != local_counts[p]) {
+        return Status::InvalidArgument(
+            "MpiExchange: local histogram count " +
+            std::to_string(local_counts[p]) + " != counted rows " +
+            std::to_string(counted) + " for partition " + std::to_string(p));
       }
     }
+    std::vector<std::vector<int64_t>> offsets(
+        workers, std::vector<int64_t>(fanout, 0));
+    for (int p = 0; p < fanout; ++p) {
+      int64_t off = opts_.serial_wire ? local_base[p] : write_offset[p];
+      for (int w = 0; w < workers; ++w) {
+        offsets[w][p] = off;
+        off += worker_counts[w][p];
+      }
+    }
+    // The write-combining budget is shared across the pool so the total
+    // staging footprint matches the serial path's.
+    const size_t buf_rows = std::max<size_t>(
+        4, opts_.buffer_bytes / static_cast<size_t>(workers) / out_row);
+    MODULARIS_RETURN_NOT_OK(ParallelFor(workers, [&](int w) -> Status {
+      std::vector<uint8_t> stage(static_cast<size_t>(fanout) * buf_rows *
+                                 out_row);
+      std::vector<uint32_t> fill(fanout, 0);
+      auto flush = [&](int p) -> Status {
+        if (fill[p] == 0) return Status::OK();
+        const uint8_t* buf =
+            stage.data() + static_cast<size_t>(p) * buf_rows * out_row;
+        if (opts_.serial_wire) {
+          std::memcpy(
+              wire_stage.data() + static_cast<size_t>(offsets[w][p]) * out_row,
+              buf, fill[p] * out_row);
+        } else {
+          MODULARIS_RETURN_NOT_OK(comm->WinPut(
+              p % world, window,
+              static_cast<size_t>(offsets[w][p]) * out_row, buf,
+              fill[p] * out_row));
+        }
+        offsets[w][p] += fill[p];
+        fill[p] = 0;
+        return Status::OK();
+      };
+      const uint8_t* p_row = flat->data() + bounds[w] * in_row;
+      for (size_t i = bounds[w]; i < bounds[w + 1]; ++i, p_row += in_row) {
+        const int64_t key = load_key(p_row);
+        const uint32_t pid = opts_.spec.PartitionOf(key);
+        serialize_row(
+            p_row, key,
+            stage.data() +
+                (static_cast<size_t>(pid) * buf_rows + fill[pid]) * out_row);
+        if (++fill[pid] == buf_rows) {
+          MODULARIS_RETURN_NOT_OK(flush(static_cast<int>(pid)));
+        }
+      }
+      for (int p = 0; p < fanout; ++p) MODULARIS_RETURN_NOT_OK(flush(p));
+      return Status::OK();
+    }));
+  } else {
+    // Serial scatter through software write-combining buffers, flushed by
+    // async one-sided writes as they fill.
+    const size_t buf_rows = std::max<size_t>(1, opts_.buffer_bytes / out_row);
+    std::vector<std::vector<uint8_t>> buffers(fanout);
+    std::vector<size_t> buffered(fanout, 0);
+    for (auto& b : buffers) b.resize(buf_rows * out_row);
+    std::vector<int64_t> cursor =
+        opts_.serial_wire ? local_base : write_offset;
+
+    auto flush_partition = [&](int p) -> Status {
+      if (buffered[p] == 0) return Status::OK();
+      if (opts_.serial_wire) {
+        std::memcpy(
+            wire_stage.data() + static_cast<size_t>(cursor[p]) * out_row,
+            buffers[p].data(), buffered[p] * out_row);
+      } else {
+        MODULARIS_RETURN_NOT_OK(comm->WinPut(
+            p % world, window, static_cast<size_t>(cursor[p]) * out_row,
+            buffers[p].data(), buffered[p] * out_row));
+      }
+      cursor[p] += static_cast<int64_t>(buffered[p]);
+      buffered[p] = 0;
+      return Status::OK();
+    };
+
+    for (const RowVectorPtr& input : inputs) {
+      const uint8_t* p = input->data();
+      const size_t n = input->size();
+      for (size_t i = 0; i < n; ++i, p += in_row) {
+        const int64_t key = load_key(p);
+        const uint32_t pid = opts_.spec.PartitionOf(key);
+        serialize_row(p, key,
+                      buffers[pid].data() + buffered[pid] * out_row);
+        if (++buffered[pid] == buf_rows) {
+          MODULARIS_RETURN_NOT_OK(flush_partition(static_cast<int>(pid)));
+        }
+      }
+    }
+    for (int p = 0; p < fanout; ++p) {
+      MODULARIS_RETURN_NOT_OK(flush_partition(p));
+    }
   }
-  for (int p = 0; p < fanout; ++p) {
-    MODULARIS_RETURN_NOT_OK(flush_partition(p));
+
+  if (opts_.serial_wire) {
+    // Partition-then-send: every byte ships only now, after the scatter —
+    // the whole wire time serializes behind compute and surfaces as
+    // Flush stall.
+    for (int p = 0; p < fanout; ++p) {
+      if (local_counts[p] == 0) continue;
+      MODULARIS_RETURN_NOT_OK(comm->WinPut(
+          p % world, window, static_cast<size_t>(write_offset[p]) * out_row,
+          wire_stage.data() + static_cast<size_t>(local_base[p]) * out_row,
+          static_cast<size_t>(local_counts[p]) * out_row));
+    }
   }
   comm->WinFlush();
   comm->Barrier();  // all one-sided writes of all ranks have landed
 
   // Materialize owned partitions out of the window (the paper's extension
-  // of the original algorithm, §4.1.2).
+  // of the original algorithm, §4.1.2) straight into batch-served
+  // RowVectors, split across the pool — partitions are disjoint window
+  // regions, so the copies are embarrassingly parallel.
   const uint8_t* win = comm->WinData(window);
-  for (int p = me; p < fanout; p += world) {
-    RowVectorPtr part = RowVector::Make(out_schema);
-    part->AppendRawBatch(
-        win + static_cast<size_t>(partition_base[p]) * out_row,
-        static_cast<size_t>(global_counts[p]));
-    out_parts_.emplace_back(p, std::move(part));
+  std::vector<int> owned;
+  for (int p = me; p < fanout; p += world) owned.push_back(p);
+  out_parts_.resize(owned.size());
+  int mat_workers = 1;
+  if (ctx_->options.enable_vectorized && !owned.empty()) {
+    mat_workers = std::min<int>(
+        PlanWorkers(static_cast<size_t>(owner_rows[me]), ctx_->options),
+        static_cast<int>(owned.size()));
+    if (mat_workers < 1) mat_workers = 1;
   }
+  const std::vector<size_t> obounds = SplitRows(owned.size(), mat_workers);
+  MODULARIS_RETURN_NOT_OK(ParallelFor(mat_workers, [&](int w) -> Status {
+    for (size_t i = obounds[w]; i < obounds[w + 1]; ++i) {
+      const int p = owned[i];
+      RowVectorPtr part = RowVector::Make(out_schema);
+      part->AppendRawBatch(
+          win + static_cast<size_t>(partition_base[p]) * out_row,
+          static_cast<size_t>(global_counts[p]));
+      out_parts_[i] = {p, std::move(part)};
+    }
+    return Status::OK();
+  }));
   timer.Stop();
   comm->WinFree(window);
   return Status::OK();
 }
 
-bool MpiBroadcast::Next(Tuple* out) {
-  if (done_) return false;
+Status MpiBroadcast::DoBroadcast() {
   if (ctx_->comm == nullptr) {
-    return Fail(Status::Internal("MpiBroadcast requires a communicator"));
+    return Status::Internal("MpiBroadcast requires a communicator");
   }
   RowVectorPtr local = RowVector::Make(schema_);
-  Tuple t;
-  while (child(0)->Next(&t)) {
-    const Item& item = t[0];
-    if (item.is_collection()) {
-      local->AppendAll(*item.collection());
-    } else if (item.is_row()) {
-      local->AppendRaw(item.row().data());
-    } else {
-      return Fail(Status::InvalidArgument(
-          "MpiBroadcast expects rows or collections, got " +
-          item.ToString()));
+  if (ctx_->options.enable_vectorized && child(0)->ProducesRecordStream()) {
+    // Batched drain: the packed allgather payload is assembled from whole
+    // batches (zero-copy when the upstream hands one durable collection).
+    MODULARIS_RETURN_NOT_OK(DrainRecordStreamInto(child(0), &local));
+  } else {
+    Tuple t;
+    while (child(0)->Next(&t)) {
+      const Item& item = t[0];
+      if (item.is_collection()) {
+        local->AppendAll(*item.collection());
+      } else if (item.is_row()) {
+        local->AppendRaw(item.row().data());
+      } else {
+        return Status::InvalidArgument(
+            "MpiBroadcast expects rows or collections, got " +
+            item.ToString());
+      }
     }
+    MODULARIS_RETURN_NOT_OK(child(0)->status());
   }
-  if (!child(0)->status().ok()) return Fail(child(0)->status());
 
   ScopedTimer timer(ctx_->stats, timer_key_);
   std::vector<uint8_t> bytes(local->data(),
                              local->data() + local->byte_size());
   std::vector<std::vector<uint8_t>> all =
       ctx_->comm->AllgatherBytes(bytes);
-  RowVectorPtr merged = RowVector::Make(schema_);
+  merged_ = RowVector::Make(schema_);
   for (const auto& part : all) {
-    merged->AppendRawBatch(part.data(), part.size() / schema_.row_size());
+    merged_->AppendRawBatch(part.data(), part.size() / schema_.row_size());
   }
+  return Status::OK();
+}
+
+bool MpiBroadcast::Next(Tuple* out) {
+  if (done_) return false;
+  Status st = DoBroadcast();
+  if (!st.ok()) return Fail(std::move(st));
   done_ = true;
   out->clear();
-  out->push_back(Item(std::move(merged)));
+  out->push_back(Item(merged_));
+  return true;
+}
+
+bool MpiBroadcast::NextBatch(RowBatch* out) {
+  out->Clear();
+  if (done_) return false;
+  Status st = DoBroadcast();
+  if (!st.ok()) return Fail(std::move(st));
+  done_ = true;
+  if (merged_->empty()) return false;
+  out->Borrow(merged_);
+  out->MarkDurable();  // kept alive and unmutated for the whole Open cycle
   return true;
 }
 
@@ -368,6 +557,24 @@ bool MpiExchange::Next(Tuple* out) {
   out->push_back(Item(out_parts_[emit_pos_].second));
   ++emit_pos_;
   return true;
+}
+
+bool MpiExchange::NextBatch(RowBatch* out) {
+  out->Clear();
+  if (!exchanged_) {
+    Status st = DoExchange();
+    if (!st.ok()) return Fail(st);
+    exchanged_ = true;
+  }
+  while (emit_pos_ < out_parts_.size()) {
+    const RowVectorPtr& part = out_parts_[emit_pos_].second;
+    ++emit_pos_;
+    if (part->empty()) continue;
+    out->Borrow(part);
+    out->MarkDurable();  // owned partitions live for the whole Open cycle
+    return true;
+  }
+  return false;
 }
 
 }  // namespace modularis

@@ -102,6 +102,15 @@ class MpiHistogram : public SubOperator {
 ///  4. flushes + barriers, then materializes each owned partition and
 ///     emits ⟨networkPartitionID, partitionData⟩ in ascending pid order.
 /// Partition ownership is round-robin: owner(p) = p mod world.
+///
+/// With a thread budget, the scatter runs morsel-parallel inside the rank
+/// (docs/DESIGN-exchange.md): static worker ranges are counted, each
+/// (worker, partition) pair gets an exclusive window region whose offset
+/// replays the serial input order, and every worker flushes its
+/// write-combining buffers straight into async one-sided Puts while the
+/// other workers are still partitioning — compute/network overlap with a
+/// single Flush/Barrier at drain end. N threads × R ranks is byte-equal
+/// to 1 × R per owned partition.
 class MpiExchange : public SubOperator {
  public:
   struct Options {
@@ -110,6 +119,11 @@ class MpiExchange : public SubOperator {
     bool compress = false;      // §4.1.2 compression pass output
     int domain_bits = 29;       // P
     size_t buffer_bytes = 1 << 16;
+    /// Ablation baseline for the overlap measurement (bench/tests only):
+    /// stage the whole scatter locally and ship every partition after
+    /// partitioning completes — partition-then-send-then-wait, the very
+    /// schedule the pipelined default exists to beat on stall time.
+    bool serial_wire = false;
     std::string timer_key = "phase.network_partition";
   };
 
@@ -130,6 +144,13 @@ class MpiExchange : public SubOperator {
   }
 
   bool Next(Tuple* out) override;
+
+  /// Record projection of the stream (docs/DESIGN-vectorized.md): each
+  /// owned partition as one durable borrowed batch in ascending pid order
+  /// (the pid atom is only observable through Next()). Next() and
+  /// NextBatch() share the emit cursor, so each partition is delivered
+  /// exactly once per Open, whichever protocol pulls it.
+  bool NextBatch(RowBatch* out) override;
 
  private:
   Status DoExchange();
@@ -157,15 +178,26 @@ class MpiBroadcast : public SubOperator {
 
   Status Open(ExecContext* ctx) override {
     done_ = false;
+    merged_.reset();
     return SubOperator::Open(ctx);
   }
 
   bool Next(Tuple* out) override;
 
+  /// Record projection: the replicated union as one durable borrowed
+  /// batch (Next() wraps the same collection in a tuple). The allgather
+  /// payload is the packed RowVector bytes either way; the input side
+  /// drains record streams through the batch protocol.
+  bool NextBatch(RowBatch* out) override;
+
  private:
+  /// Drains the input, allgathers the packed bytes and fills merged_.
+  Status DoBroadcast();
+
   Schema schema_;
   std::string timer_key_;
   bool done_ = false;
+  RowVectorPtr merged_;
 };
 
 }  // namespace modularis

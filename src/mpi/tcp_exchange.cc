@@ -1,5 +1,8 @@
 #include "mpi/tcp_exchange.h"
 
+#include <algorithm>
+
+#include "core/parallel.h"
 #include "suboperators/partition_ops.h"
 
 namespace modularis {
@@ -12,49 +15,26 @@ Status TcpExchange::DoExchange() {
   const int world = comm->size();
   const int me = comm->rank();
 
-  // Gather input and bucket it per destination rank.
+  // Drain the input into one packed span (zero-copy when the upstream
+  // hands a single durable collection through the batch protocol).
   Schema schema = KeyValueSchema();
-  bool have_schema = false;
-  std::vector<RowVectorPtr> buckets;
-  auto ensure_buckets = [&](const Schema& s) {
-    if (have_schema) return;
-    schema = s;
-    have_schema = true;
-    for (int r = 0; r < world; ++r) {
-      buckets.push_back(RowVector::Make(schema));
-    }
-  };
-  auto route = [&](const RowRef& row) {
-    uint64_t h = MixHash64(static_cast<uint64_t>(KeyAt(row, opts_.key_col)));
-    buckets[h % world]->AppendRaw(row.data());
-  };
-
+  RowVectorPtr input;
   if (ctx_->options.enable_vectorized && child(0)->ProducesRecordStream()) {
-    // Batched drain (the MpiExchange packed-row pattern): whole batches of
-    // packed rows are routed without a virtual Next() call per record.
-    RowBatch batch;
-    while (child(0)->NextBatch(&batch)) {
-      if (batch.empty()) continue;
-      ensure_buckets(batch.schema());
-      const uint8_t* p = batch.data();
-      const uint32_t stride = batch.row_size();
-      const size_t n = batch.size();
-      for (size_t i = 0; i < n; ++i, p += stride) {
-        route(RowRef(p, &batch.schema()));
-      }
-    }
-    MODULARIS_RETURN_NOT_OK(child(0)->status());
+    MODULARIS_RETURN_NOT_OK(DrainRecordStream(child(0), &input));
   } else {
     Tuple t;
     while (child(0)->Next(&t)) {
       const Item& item = t[0];
       if (item.is_collection()) {
-        ensure_buckets(item.collection()->schema());
-        const RowVector& rows = *item.collection();
-        for (size_t i = 0; i < rows.size(); ++i) route(rows.row(i));
+        if (input == nullptr) {
+          input = RowVector::Make(item.collection()->schema());
+        }
+        input->AppendAll(*item.collection());
       } else if (item.is_row()) {
-        ensure_buckets(item.row().schema());
-        route(item.row());
+        if (input == nullptr) {
+          input = RowVector::Make(item.row().schema());
+        }
+        input->AppendRaw(item.row().data());
       } else {
         return Status::InvalidArgument(
             "TcpExchange expects rows or collections, got " +
@@ -63,25 +43,107 @@ Status TcpExchange::DoExchange() {
     }
     MODULARIS_RETURN_NOT_OK(child(0)->status());
   }
-  if (!have_schema) ensure_buckets(KeyValueSchema());
+  if (input != nullptr) schema = input->schema();
+  const size_t n = input == nullptr ? 0 : input->size();
+  const uint32_t stride = schema.row_size();
 
   ScopedTimer timer(ctx_->stats, opts_.timer_key);
+
+  // Route into one flat wire buffer ordered by destination rank; rows of a
+  // destination replay input order, so N-thread routing is byte-equal to
+  // serial per peer (docs/DESIGN-exchange.md).
+  RowVectorPtr wire = RowVector::Make(schema);
+  std::vector<size_t> dest_base(world + 1, 0);
+  int workers = 1;
+  if (n > 0 && ctx_->options.enable_vectorized) {
+    workers = PlanWorkers(n, ctx_->options);
+  }
+  auto dest_of = [&](const uint8_t* p) -> uint32_t {
+    uint64_t h = MixHash64(static_cast<uint64_t>(
+        KeyAt(RowRef(p, &schema), opts_.key_col)));
+    return static_cast<uint32_t>(h % world);
+  };
+  if (workers > 1 && world <= 256) {
+    // Two-phase count→write-combining scatter over static worker ranges:
+    // the routing hash is computed once into a pid array, per-(worker,
+    // destination) offsets replay the input order, and every worker
+    // scatters through the shared WC kernel into its exclusive region.
+    wire->ResizeRowsUninitialized(n);
+    const std::vector<size_t> bounds = SplitRows(n, workers);
+    std::vector<uint8_t> pids(n);
+    std::vector<std::vector<size_t>> worker_counts(
+        workers, std::vector<size_t>(world, 0));
+    MODULARIS_RETURN_NOT_OK(ParallelFor(workers, [&](int w) -> Status {
+      const uint8_t* p = input->data() + bounds[w] * stride;
+      for (size_t i = bounds[w]; i < bounds[w + 1]; ++i, p += stride) {
+        const uint32_t d = dest_of(p);
+        pids[i] = static_cast<uint8_t>(d);
+        ++worker_counts[w][d];
+      }
+      return Status::OK();
+    }));
+    for (int r = 0; r < world; ++r) {
+      size_t total = 0;
+      for (int w = 0; w < workers; ++w) total += worker_counts[w][r];
+      dest_base[r + 1] = dest_base[r] + total;
+    }
+    std::vector<std::vector<size_t>> offsets(
+        workers, std::vector<size_t>(world, 0));
+    for (int r = 0; r < world; ++r) {
+      size_t off = dest_base[r];
+      for (int w = 0; w < workers; ++w) {
+        offsets[w][r] = off;
+        off += worker_counts[w][r];
+      }
+    }
+    MODULARIS_RETURN_NOT_OK(ParallelFor(workers, [&](int w) -> Status {
+      ScatterSpanByPidWc(input->data() + bounds[w] * stride,
+                         bounds[w + 1] - bounds[w], stride,
+                         pids.data() + bounds[w], world, bounds[w],
+                         wire->mutable_row(0), /*dst_idx=*/nullptr,
+                         &offsets[w]);
+      return Status::OK();
+    }));
+  } else if (n > 0) {
+    if (workers > 1) {
+      // pids are staged as uint8_t, so a >256-rank world routes serially.
+      NoteSerialFallback(ctx_, "TcpExchange");
+    }
+    wire->ResizeRowsUninitialized(n);
+    std::vector<size_t> counts(world, 0);
+    const uint8_t* p = input->data();
+    for (size_t i = 0; i < n; ++i, p += stride) ++counts[dest_of(p)];
+    for (int r = 0; r < world; ++r) dest_base[r + 1] = dest_base[r] + counts[r];
+    std::vector<size_t> cursor(dest_base.begin(), dest_base.end() - 1);
+    p = input->data();
+    for (size_t i = 0; i < n; ++i, p += stride) {
+      std::memcpy(wire->mutable_row(cursor[dest_of(p)]++), p, stride);
+    }
+  }
+
+  // Two-sided push of packed RowVector segments: send each peer its
+  // contiguous slice of the wire buffer, then collect world-1 messages
+  // addressed to us. Sends block for the modelled wire time — TCP gives
+  // none of the RDMA overlap.
   mine_ = RowVector::Make(schema);
-  mine_->AppendAll(*buckets[me]);
-  // Two-sided push: send each peer its bucket, then collect world-1
-  // messages addressed to us. Sends block for the modelled wire time —
-  // TCP gives none of the RDMA overlap.
+  if (dest_base[me + 1] > dest_base[me]) {
+    mine_->AppendRawBatch(wire->data() + dest_base[me] * stride,
+                          dest_base[me + 1] - dest_base[me]);
+  }
   for (int peer = 0; peer < world; ++peer) {
     if (peer == me) continue;
-    const RowVector& bucket = *buckets[peer];
-    std::vector<uint8_t> payload(bucket.data(),
-                                 bucket.data() + bucket.byte_size());
+    const size_t rows = dest_base[peer + 1] - dest_base[peer];
+    std::vector<uint8_t> payload(rows * stride);
+    if (rows > 0) {
+      std::memcpy(payload.data(), wire->data() + dest_base[peer] * stride,
+                  rows * stride);
+    }
     comm->fabric().Send(me, peer, std::move(payload));
   }
   for (int peer = 0; peer < world; ++peer) {
     if (peer == me) continue;
     std::vector<uint8_t> payload = comm->fabric().Recv(me, peer);
-    mine_->AppendRawBatch(payload.data(), payload.size() / schema.row_size());
+    mine_->AppendRawBatch(payload.data(), payload.size() / stride);
   }
   timer.Stop();
   exchanged_ = true;

@@ -57,6 +57,7 @@ Fabric::Clock::time_point Fabric::ChargeTransfer(int rank, size_t len) {
   auto start = nic.egress_busy_until > now ? nic.egress_busy_until : now;
   nic.egress_busy_until = start + dur;
   nic.bytes_sent += static_cast<int64_t>(len);
+  nic.msgs_sent += 1;
   nic.charged_seconds += seconds;
   return nic.egress_busy_until;
 }
@@ -89,19 +90,18 @@ Status Fabric::Put(int src, int dst, WindowId window, size_t offset,
 
 void Fabric::Flush(int src) {
   Nic& nic = *nics_[src];
+  // One critical section for read-clock + record-stall: a concurrent
+  // worker Put between an unlocked read and a relock would otherwise
+  // attribute its wire time to nobody (the latent race this fixes).
   Clock::time_point until;
   {
     std::lock_guard<std::mutex> lock(nic.mu);
     until = nic.egress_busy_until;
+    auto now = Clock::now();
+    if (until <= now) return;
+    nic.stall_seconds += std::chrono::duration<double>(until - now).count();
   }
-  auto now = Clock::now();
-  if (until <= now) return;
-  double wait = std::chrono::duration<double>(until - now).count();
-  {
-    std::lock_guard<std::mutex> lock(nic.mu);
-    nic.stall_seconds += wait;
-  }
-  if (options_.throttle && until - now >= kMinSleep) {
+  if (options_.throttle && until - Clock::now() >= kMinSleep) {
     std::this_thread::sleep_until(until);
   }
 }
@@ -145,6 +145,12 @@ int64_t Fabric::bytes_sent(int rank) const {
   return nic.bytes_sent;
 }
 
+int64_t Fabric::msgs_sent(int rank) const {
+  Nic& nic = *nics_[rank];
+  std::lock_guard<std::mutex> lock(nic.mu);
+  return nic.msgs_sent;
+}
+
 double Fabric::charged_seconds(int rank) const {
   Nic& nic = *nics_[rank];
   std::lock_guard<std::mutex> lock(nic.mu);
@@ -161,6 +167,7 @@ void Fabric::ResetStats() {
   for (auto& nic : nics_) {
     std::lock_guard<std::mutex> lock(nic->mu);
     nic->bytes_sent = 0;
+    nic->msgs_sent = 0;
     nic->charged_seconds = 0;
     nic->stall_seconds = 0;
     nic->egress_busy_until = Clock::time_point::min();

@@ -111,6 +111,8 @@ class Fabric {
 
   /// Bytes put/sent by `rank` since the last ResetStats.
   int64_t bytes_sent(int rank) const;
+  /// Messages (Puts/Sends/Charges) issued by `rank` since ResetStats.
+  int64_t msgs_sent(int rank) const;
   /// Pure modelled transfer time charged to `rank` (bytes/bw + latency),
   /// independent of achieved overlap. This is the Fig. 11c series.
   double charged_seconds(int rank) const;
@@ -122,10 +124,14 @@ class Fabric {
  private:
   using Clock = std::chrono::steady_clock;
 
+  /// Per-rank egress state. All fields are guarded by `mu`; the busy-clock
+  /// advance in ChargeTransfer is a single critical section so concurrent
+  /// worker Puts from one rank serialize correctly in the timing model.
   struct Nic {
     std::mutex mu;
     Clock::time_point egress_busy_until = Clock::time_point::min();
     int64_t bytes_sent = 0;
+    int64_t msgs_sent = 0;
     double charged_seconds = 0;
     double stall_seconds = 0;
   };

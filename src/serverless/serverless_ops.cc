@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/parallel.h"
 #include "storage/csv.h"
 
 namespace modularis {
@@ -88,7 +89,7 @@ Status S3Exchange::DoExchange() {
 
   // Collect the per-receiver partitions (dense pid order from GroupBy /
   // Partition; missing pids become empty row groups).
-  std::vector<ColumnTablePtr> parts(world);
+  std::vector<RowVectorPtr> raw(world);
   Schema schema = KeyValueSchema();
   bool have_schema = false;
   Tuple t;
@@ -107,12 +108,32 @@ Status S3Exchange::DoExchange() {
       schema = data->schema();
       have_schema = true;
     }
-    parts[pid] = ColumnTable::FromRowVector(*data);
+    raw[pid] = data;
   }
   MODULARIS_RETURN_NOT_OK(child(0)->status());
-  for (auto& p : parts) {
-    if (p == nullptr) p = ColumnTable::Make(schema);
+
+  // The row→column transposes (the wire serialization of this transport)
+  // are independent per receiver: split them across the worker pool.
+  // Slot-indexed results make the parallel form trivially byte-equal.
+  size_t total_rows = 0;
+  for (const RowVectorPtr& r : raw) {
+    if (r != nullptr) total_rows += r->size();
   }
+  int workers = 1;
+  if (ctx_->options.enable_vectorized && total_rows > 0) {
+    workers = std::min(PlanWorkers(total_rows, ctx_->options), world);
+    if (workers < 1) workers = 1;
+  }
+  std::vector<ColumnTablePtr> parts(world);
+  const std::vector<size_t> bounds =
+      SplitRows(static_cast<size_t>(world), workers);
+  MODULARIS_RETURN_NOT_OK(ParallelFor(workers, [&](int w) -> Status {
+    for (size_t i = bounds[w]; i < bounds[w + 1]; ++i) {
+      parts[i] = raw[i] == nullptr ? ColumnTable::Make(schema)
+                                   : ColumnTable::FromRowVector(*raw[i]);
+    }
+    return Status::OK();
+  }));
 
   auto retry_put = [&](const std::string& key, std::string bytes) {
     int attempt = 0;

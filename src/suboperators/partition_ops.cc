@@ -122,8 +122,10 @@ void ScatterSpanByPidWc(const uint8_t* rows, size_t n, uint32_t stride,
     if (++fill[pid] == wc_rows) {
       size_t& cur = (*cursors)[pid];
       std::memcpy(dst_rows + cur * stride, buf, buf_bytes);
-      std::memcpy(dst_idx + cur, istage.data() + pid * wc_rows,
-                  wc_rows * sizeof(uint32_t));
+      if (dst_idx != nullptr) {
+        std::memcpy(dst_idx + cur, istage.data() + pid * wc_rows,
+                    wc_rows * sizeof(uint32_t));
+      }
       cur += wc_rows;
       fill[pid] = 0;
     }
@@ -133,8 +135,10 @@ void ScatterSpanByPidWc(const uint8_t* rows, size_t n, uint32_t stride,
     size_t& cur = (*cursors)[pid];
     std::memcpy(dst_rows + cur * stride, stage.data() + pid * buf_bytes,
                 fill[pid] * stride);
-    std::memcpy(dst_idx + cur, istage.data() + pid * wc_rows,
-                fill[pid] * sizeof(uint32_t));
+    if (dst_idx != nullptr) {
+      std::memcpy(dst_idx + cur, istage.data() + pid * wc_rows,
+                  fill[pid] * sizeof(uint32_t));
+    }
     cur += fill[pid];
   }
 }

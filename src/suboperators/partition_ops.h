@@ -217,6 +217,8 @@ void ScatterSpanPresizedWc(const uint8_t* rows, size_t n,
 /// across partitions and earlier workers) and is advanced past the
 /// written rows on return — so every partition ends up holding its rows
 /// in ascending original-row order with the global index recoverable.
+/// `dst_idx` may be null when the caller needs only the reordered rows
+/// (the exchange wire scatter, which never maps rows back).
 void ScatterSpanByPidWc(const uint8_t* rows, size_t n, uint32_t stride,
                         const uint8_t* pids, int fanout, size_t base_index,
                         uint8_t* dst_rows, uint32_t* dst_idx,

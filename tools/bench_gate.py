@@ -56,6 +56,10 @@ SCALING_GATES = [
     # (its serial baseline already runs the same batch key kernels).
     ("groupby_1m_int_g64k", 4, 1.8),
     ("groupby_1m_str_g64k", 4, 1.8),
+    # Morsel-parallel exchange (single simulated rank): two-phase scatter
+    # into write-combining buffers flushed by concurrent window Puts,
+    # plus parallel owned-partition materialization.
+    ("exchange_shuffle", 4, 2.0),
 ]
 
 # Algorithmic-win gates, evaluated within the CURRENT run only (the ratio
@@ -67,6 +71,15 @@ SCALING_GATES = [
 WIN_GATES = [
     ("topk_1m_t1", "sort_1m_t1", 1.2, 1),
     ("topk_1m_t4", "sort_1m_t4", 1.2, 4),
+    # Batched wire format (packed RowVector segments end-to-end) vs the
+    # per-tuple drain ablation: one virtual Next() per record must cost
+    # measurably more than the zero-copy batch drain.
+    ("exchange_shuffle_t1", "exchange_shuffle_rowdrain_t1", 1.5, 4),
+    # Compute/network overlap: the pipelined exchange's modelled fabric
+    # stall (these entries record stall seconds, so rows_per_sec is
+    # rows/stall) must be strictly below the partition-then-send
+    # ablation's.
+    ("exchange_overlap_pipelined", "exchange_overlap_serialwire", 1.05, 4),
 ]
 
 
