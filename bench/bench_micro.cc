@@ -22,6 +22,7 @@
 
 #include "core/exec_context.h"
 #include "core/expr.h"
+#include "core/expr_bc.h"
 #include "core/parallel.h"
 #include "core/pipeline.h"
 #include "mpi/mpi_ops.h"
@@ -235,7 +236,7 @@ void BenchFilterSelectivity() {
                  for (size_t i = 0; i < n; ++i) {
                    sel[i] = static_cast<uint32_t>(base + i);
                  }
-                 Status st = pred->FilterBatch(span, &sel, &scratch, true);
+                 Status st = pred->FilterBatch(span, &sel, &scratch);
                  if (!st.ok()) std::abort();
                  matches += sel.size();
                }
@@ -246,6 +247,74 @@ void BenchFilterSelectivity() {
                    interp_matches, batch_matches);
       std::exit(1);
     }
+    // The compiled tier: fused comparison/range opcodes over the same
+    // predicate, batch-sized runs like the interpreted kernel above.
+    BcProgram prog = BcProgram::CompileFilter(pred, data->schema());
+    BcState state;
+    size_t bc_matches = 0;
+    RunBench(std::string("expr_bytecode_filter_") + p.name, data->size(),
+             data->byte_size(), 1, [&] {
+               RowSpan span{data->data(), data->row_size(), &data->schema()};
+               size_t matches = 0;
+               for (size_t base = 0; base < data->size();
+                    base += RowBatch::kDefaultRows) {
+                 size_t n = std::min(data->size() - base,
+                                     RowBatch::kDefaultRows);
+                 sel.resize(n);
+                 for (size_t i = 0; i < n; ++i) {
+                   sel[i] = static_cast<uint32_t>(base + i);
+                 }
+                 Status st = prog.RunFilter(span, &sel, &state);
+                 if (!st.ok()) std::abort();
+                 matches += sel.size();
+               }
+               bc_matches = matches;
+             });
+    if (bc_matches != interp_matches) {
+      std::fprintf(stderr, "FAIL: bytecode filter %s mismatch (%zu vs %zu)\n",
+                   p.name, bc_matches, interp_matches);
+      std::exit(1);
+    }
+  }
+}
+
+/// Group-by key path: KeyCodec::SerializeKeys + HashKeysSpan (the
+/// interpreted pair) vs the fused KeyProgram, over a two-i64-column key
+/// (serialized width 16 — the unrolled hash form ReduceByKey probes
+/// with).
+void BenchKeySerializeHash() {
+  RowVectorPtr data = MakeKv(1 << 20, 1000);
+  const std::vector<int> key_cols = {0, 1};
+  KeyCodec codec(data->schema(), key_cols);
+  KeyProgram prog(data->schema(), key_cols);
+  const uint32_t ks = codec.key_size();
+  constexpr size_t kChunk = 2048;
+  std::vector<uint8_t> keys(kChunk * ks);
+  std::vector<uint64_t> hashes(kChunk);
+  RowSpan span{data->data(), data->row_size(), &data->schema()};
+  uint64_t interp_sum = 0, bc_sum = 0;
+  RunBench("expr_keys_interp", data->size(), data->byte_size(), 0, [&] {
+    uint64_t sum = 0;
+    for (size_t base = 0; base < data->size(); base += kChunk) {
+      const size_t m = std::min(data->size() - base, kChunk);
+      codec.SerializeKeys(span, base, m, keys.data());
+      HashKeysSpan(keys.data(), m, ks, hashes.data());
+      for (size_t i = 0; i < m; ++i) sum ^= hashes[i];
+    }
+    interp_sum = sum;
+  });
+  RunBench("expr_bytecode_keys", data->size(), data->byte_size(), 1, [&] {
+    uint64_t sum = 0;
+    for (size_t base = 0; base < data->size(); base += kChunk) {
+      const size_t m = std::min(data->size() - base, kChunk);
+      prog.SerializeAndHash(span, base, m, keys.data(), hashes.data());
+      for (size_t i = 0; i < m; ++i) sum ^= hashes[i];
+    }
+    bc_sum = sum;
+  });
+  if (interp_sum != bc_sum) {
+    std::fprintf(stderr, "FAIL: key serialize+hash mismatch\n");
+    std::exit(1);
   }
 }
 
@@ -506,7 +575,7 @@ void BenchThreadScaling() {
                        sel[i] = static_cast<uint32_t>(base + i);
                      }
                      MODULARIS_RETURN_NOT_OK(
-                         pred->FilterBatch(span, &sel, &scratch, true));
+                         pred->FilterBatch(span, &sel, &scratch));
                      local += sel.size();
                    }
                    counts[w] = local;
@@ -1027,6 +1096,7 @@ int main(int argc, char** argv) {
   BenchReduceByKey(true);
   BenchExprFilterEval();
   BenchFilterSelectivity();
+  BenchKeySerializeHash();
   BenchFilterMap();
   BenchColumnFileRoundTrip();
   BenchPartitionBuildProbe();

@@ -1,11 +1,13 @@
 #include "core/expr.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdlib>
 #include <cstring>
 #include <string_view>
 #include <unordered_set>
 
+#include "core/expr_bc.h"
 #include "core/types.h"
 
 /// Vectorization hint for the typed batch kernels (the explicit-SIMD
@@ -119,16 +121,40 @@ void HashKeysSpan(const uint8_t* keys, size_t n, uint32_t key_size,
 // Batch evaluation: interpreted fallbacks
 // ---------------------------------------------------------------------------
 
+Status ValidateSelection(const char* where, const uint32_t* sel, size_t n) {
+  if (IsAscendingSel(sel, n)) return Status::OK();
+  return Status::Internal(std::string(where) +
+                          ": selection vector violates the strictly "
+                          "ascending SelVector contract");
+}
+
+int Expr::BcEmitValue(BcCompiler& c, int sel) const {
+  (void)c;
+  (void)sel;
+  return -1;  // no native form: the compiler emits an EvalBatch fallback
+}
+
+bool Expr::BcEmitFilter(BcCompiler& c, int sel) const {
+  (void)c;
+  (void)sel;
+  return false;  // derived from the value form, like the base FilterBatch
+}
+
 Status Expr::EvalBatch(const RowSpan& rows, const uint32_t* sel, size_t n,
                        BatchColumn* out, BatchScratch* scratch) const {
   (void)scratch;
   out->Reset(BatchTag::kItem, n);
-  for (size_t i = 0; i < n; ++i) out->items[i] = Eval(rows.row(sel[i]));
+  // Checked per-row evaluation: nested predicate positions (IfExpr
+  // conditions) error instead of silently turning false, matching the
+  // row-at-a-time EvalChecked oracle.
+  for (size_t i = 0; i < n; ++i) {
+    MODULARIS_RETURN_NOT_OK(EvalChecked(rows.row(sel[i]), &out->items[i]));
+  }
   return Status::OK();
 }
 
 Status Expr::FilterBatch(const RowSpan& rows, SelVector* sel,
-                         BatchScratch* scratch, bool checked) const {
+                         BatchScratch* scratch) const {
   if (sel->empty()) return Status::OK();
   BatchColumn* v = scratch->AcquireColumn();
   Status st = EvalBatch(rows, sel->data(), sel->size(), v, scratch);
@@ -148,14 +174,10 @@ Status Expr::FilterBatch(const RowSpan& rows, SelVector* sel,
         sel->resize(k);
         break;
       case BatchTag::kStr:
-        // The satellite of EvalBoolChecked: a string-valued predicate is a
-        // hard error on the checked path, legacy-false on the unchecked one.
-        if (checked) {
-          st = Status::InvalidArgument("predicate " + ToString() +
-                                       " evaluated to a non-numeric value");
-        } else {
-          sel->clear();
-        }
+        // EvalBoolChecked semantics: a string-valued predicate is a hard
+        // error, on every tier.
+        st = Status::InvalidArgument("predicate " + ToString() +
+                                     " evaluated to a non-numeric value");
         break;
       case BatchTag::kItem:
         for (size_t i = 0; i < sel->size(); ++i) {
@@ -165,7 +187,7 @@ Status Expr::FilterBatch(const RowSpan& rows, SelVector* sel,
             keep = item.i64() != 0;
           } else if (item.is_f64()) {
             keep = item.f64() != 0;
-          } else if (checked) {
+          } else {
             st = Status::InvalidArgument("predicate " + ToString() +
                                          " evaluated to a non-numeric value");
             break;
@@ -200,13 +222,13 @@ void MarkMatches(const uint32_t* sel, size_t n, const SelVector& passed,
 }
 
 /// Value kernel of a predicate node: narrow a copy of the selection, then
-/// mark survivors. Unchecked narrowing, because the value form mirrors
-/// Eval(), which uses the unchecked EvalBool.
+/// mark survivors. Checked narrowing — the value form mirrors
+/// EvalChecked, the oracle of every tier.
 Status EvalViaFilter(const Expr& e, const RowSpan& rows, const uint32_t* sel,
                      size_t n, BatchColumn* out, BatchScratch* scratch) {
   SelVector* s = scratch->AcquireSel();
   s->assign(sel, sel + n);
-  Status st = e.FilterBatch(rows, s, scratch, /*checked=*/false);
+  Status st = e.FilterBatch(rows, s, scratch);
   if (st.ok()) MarkMatches(sel, n, *s, out);
   scratch->ReleaseSel();
   return st;
@@ -306,6 +328,11 @@ class ColumnRefExpr : public Expr {
 
   Status EvalBatch(const RowSpan& rows, const uint32_t* sel, size_t n,
                    BatchColumn* out, BatchScratch*) const override {
+    // Debug-build defense of the SelVector contract right where its
+    // violation would bite: a permuted selection aliases the contiguity
+    // test below and silently mis-assigns lanes.
+    assert(IsAscendingSel(sel, n) &&
+           "EvalBatch selection must be strictly ascending");
     const uint32_t off = rows.schema->offset(index_);
     // A dense (contiguous) selection turns the gather into a fixed-stride
     // load the auto-vectorizer handles; all-pass batches hit this path.
@@ -377,6 +404,39 @@ class ColumnRefExpr : public Expr {
       }
     }
     return Status::OK();
+  }
+
+  int BcEmitValue(BcCompiler& c, int sel) const override {
+    const Field& f = c.schema().field(index_);
+    const uint32_t off = c.schema().offset(index_);
+    BcInst in;
+    in.s = static_cast<uint16_t>(sel);
+    in.imm = off;
+    int r;
+    switch (f.type) {
+      case AtomType::kInt32:
+      case AtomType::kDate:
+        in.op = BcOp::kLoadI32;
+        r = c.NewReg(BatchTag::kI64);
+        break;
+      case AtomType::kInt64:
+        in.op = BcOp::kLoadI64;
+        r = c.NewReg(BatchTag::kI64);
+        break;
+      case AtomType::kFloat64:
+        in.op = BcOp::kLoadF64;
+        r = c.NewReg(BatchTag::kF64);
+        break;
+      case AtomType::kString:
+        in.op = BcOp::kLoadStr;
+        r = c.NewReg(BatchTag::kStr);
+        break;
+      default:
+        return -1;
+    }
+    in.dst = static_cast<uint16_t>(r);
+    c.Emit(in);
+    return r;
   }
 
   void CollectColumns(std::vector<int>* cols) const override {
@@ -500,7 +560,26 @@ class CompareExpr : public Expr {
   }
 
   Status EvalBoolChecked(const RowRef& row, bool* out) const override {
-    *out = EvalBool(row);
+    ScalarView a, b;
+    if (lhs_->TryEvalView(row, &a) && rhs_->TryEvalView(row, &b)) {
+      *out = Holds(CompareViews(a, b));
+      return Status::OK();
+    }
+    // Slow path: checked child evaluation, so a nested IF with a
+    // non-numeric condition errors instead of silently taking the else
+    // branch.
+    Item ia, ib;
+    MODULARIS_RETURN_NOT_OK(lhs_->EvalChecked(row, &ia));
+    MODULARIS_RETURN_NOT_OK(rhs_->EvalChecked(row, &ib));
+    std::string sa, sb;
+    *out = Holds(CompareViews(ViewOf(ia, &sa), ViewOf(ib, &sb)));
+    return Status::OK();
+  }
+
+  Status EvalChecked(const RowRef& row, Item* out) const override {
+    bool b = false;
+    MODULARIS_RETURN_NOT_OK(EvalBoolChecked(row, &b));
+    *out = Item(static_cast<int64_t>(b ? 1 : 0));
     return Status::OK();
   }
 
@@ -512,16 +591,18 @@ class CompareExpr : public Expr {
   }
 
   Status FilterBatch(const RowSpan& rows, SelVector* sel,
-                     BatchScratch* scratch, bool) const override {
+                     BatchScratch* scratch) const override {
     if (sel->empty()) return Status::OK();
     const BatchTag lt = lhs_->BatchType(*rows.schema);
     const BatchTag rt = rhs_->BatchType(*rows.schema);
     if (lt == BatchTag::kItem || rt == BatchTag::kItem) {
-      // Dynamically typed side: per-row EvalBool materializes Items
-      // exactly like the row path.
+      // Dynamically typed side: per-row checked evaluation materializes
+      // Items exactly like the row path's EvalBoolChecked.
       size_t k = 0;
       for (size_t i = 0; i < sel->size(); ++i) {
-        if (EvalBool(rows.row((*sel)[i]))) (*sel)[k++] = (*sel)[i];
+        bool keep = false;
+        MODULARIS_RETURN_NOT_OK(EvalBoolChecked(rows.row((*sel)[i]), &keep));
+        if (keep) (*sel)[k++] = (*sel)[i];
       }
       sel->resize(k);
       return Status::OK();
@@ -644,6 +725,44 @@ class CompareExpr : public Expr {
     return st;
   }
 
+  int BcEmitValue(BcCompiler& c, int sel) const override {
+    return c.EmitPredicateValue(*this, sel);
+  }
+
+  bool BcEmitFilter(BcCompiler& c, int sel) const override {
+    const BatchTag lt = lhs_->BatchType(c.schema());
+    const BatchTag rt = rhs_->BatchType(c.schema());
+    if (lt == BatchTag::kItem || rt == BatchTag::kItem) {
+      c.EmitFilterFallback(*this, sel);  // dynamically typed side
+      return true;
+    }
+    // Both sides are always evaluated, in lhs-then-rhs order, exactly
+    // like the interpreted kernel — so errors nested inside a side keep
+    // their precedence even when the comparison ignores its value.
+    int la = c.CompileValue(*lhs_, sel);
+    int lb = c.CompileValue(*rhs_, sel);
+    BcInst in;
+    in.cmp = op_;
+    in.s = static_cast<uint16_t>(sel);
+    if (lt == BatchTag::kStr || rt == BatchTag::kStr) {
+      // Mirrors CompareViews: a non-string side contributes the empty
+      // view to the string comparison.
+      in.op = BcOp::kFilterCmpStr;
+      in.a = static_cast<uint16_t>(lt == BatchTag::kStr ? la : c.ConstStr(""));
+      in.b = static_cast<uint16_t>(rt == BatchTag::kStr ? lb : c.ConstStr(""));
+    } else if (lt == BatchTag::kF64 || rt == BatchTag::kF64) {
+      in.op = BcOp::kFilterCmpF64;
+      in.a = static_cast<uint16_t>(c.CastToF64(la, sel));
+      in.b = static_cast<uint16_t>(c.CastToF64(lb, sel));
+    } else {
+      in.op = BcOp::kFilterCmpI64;
+      in.a = static_cast<uint16_t>(la);
+      in.b = static_cast<uint16_t>(lb);
+    }
+    c.Emit(in);
+    return true;
+  }
+
   void CollectColumns(std::vector<int>* cols) const override {
     lhs_->CollectColumns(cols);
     rhs_->CollectColumns(cols);
@@ -700,25 +819,15 @@ class ArithExpr : public Expr {
       : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
 
   Item Eval(const RowRef& row) const override {
-    Item a = lhs_->Eval(row);
-    Item b = rhs_->Eval(row);
-    if (op_ != ArithOp::kDiv && a.is_i64() && b.is_i64()) {
-      switch (op_) {
-        case ArithOp::kAdd: return Item(a.i64() + b.i64());
-        case ArithOp::kSub: return Item(a.i64() - b.i64());
-        case ArithOp::kMul: return Item(a.i64() * b.i64());
-        default: break;
-      }
-    }
-    double x = a.AsDouble();
-    double y = b.AsDouble();
-    switch (op_) {
-      case ArithOp::kAdd: return Item(x + y);
-      case ArithOp::kSub: return Item(x - y);
-      case ArithOp::kMul: return Item(x * y);
-      case ArithOp::kDiv: return Item(y == 0 ? 0.0 : x / y);
-    }
-    return Item();
+    return Apply(lhs_->Eval(row), rhs_->Eval(row));
+  }
+
+  Status EvalChecked(const RowRef& row, Item* out) const override {
+    Item a, b;
+    MODULARIS_RETURN_NOT_OK(lhs_->EvalChecked(row, &a));
+    MODULARIS_RETURN_NOT_OK(rhs_->EvalChecked(row, &b));
+    *out = Apply(a, b);
+    return Status::OK();
   }
 
   BatchTag BatchType(const Schema& schema) const override {
@@ -782,6 +891,38 @@ class ArithExpr : public Expr {
     return st;
   }
 
+  int BcEmitValue(BcCompiler& c, int sel) const override {
+    const BatchTag tag = BatchType(c.schema());
+    if (tag == BatchTag::kItem) return -1;  // interpreted fallback
+    int a = c.CompileValue(*lhs_, sel);
+    int b = c.CompileValue(*rhs_, sel);
+    BcInst in;
+    in.s = static_cast<uint16_t>(sel);
+    if (tag == BatchTag::kI64) {
+      switch (op_) {
+        case ArithOp::kAdd: in.op = BcOp::kAddI64; break;
+        case ArithOp::kSub: in.op = BcOp::kSubI64; break;
+        case ArithOp::kMul: in.op = BcOp::kMulI64; break;
+        case ArithOp::kDiv: return -1;  // unreachable: kDiv is typed kF64
+      }
+    } else {
+      a = c.CastToF64(a, sel);
+      b = c.CastToF64(b, sel);
+      switch (op_) {
+        case ArithOp::kAdd: in.op = BcOp::kAddF64; break;
+        case ArithOp::kSub: in.op = BcOp::kSubF64; break;
+        case ArithOp::kMul: in.op = BcOp::kMulF64; break;
+        case ArithOp::kDiv: in.op = BcOp::kDivF64; break;
+      }
+    }
+    int r = c.NewReg(tag);
+    in.dst = static_cast<uint16_t>(r);
+    in.a = static_cast<uint16_t>(a);
+    in.b = static_cast<uint16_t>(b);
+    c.Emit(in);
+    return r;
+  }
+
   void CollectColumns(std::vector<int>* cols) const override {
     lhs_->CollectColumns(cols);
     rhs_->CollectColumns(cols);
@@ -794,6 +935,28 @@ class ArithExpr : public Expr {
   }
 
  private:
+  /// The engine's arithmetic: i64 preserved when both sides are i64
+  /// (except division, always f64), division by zero yields 0.0.
+  Item Apply(const Item& a, const Item& b) const {
+    if (op_ != ArithOp::kDiv && a.is_i64() && b.is_i64()) {
+      switch (op_) {
+        case ArithOp::kAdd: return Item(a.i64() + b.i64());
+        case ArithOp::kSub: return Item(a.i64() - b.i64());
+        case ArithOp::kMul: return Item(a.i64() * b.i64());
+        default: break;
+      }
+    }
+    double x = a.AsDouble();
+    double y = b.AsDouble();
+    switch (op_) {
+      case ArithOp::kAdd: return Item(x + y);
+      case ArithOp::kSub: return Item(x - y);
+      case ArithOp::kMul: return Item(x * y);
+      case ArithOp::kDiv: return Item(y == 0 ? 0.0 : x / y);
+    }
+    return Item();
+  }
+
   ArithOp op_;
   ExprPtr lhs_, rhs_;
 };
@@ -827,6 +990,13 @@ class AndExpr : public Expr {
     return Status::OK();
   }
 
+  Status EvalChecked(const RowRef& row, Item* out) const override {
+    bool b = false;
+    MODULARIS_RETURN_NOT_OK(EvalBoolChecked(row, &b));
+    *out = Item(static_cast<int64_t>(b ? 1 : 0));
+    return Status::OK();
+  }
+
   BatchTag BatchType(const Schema&) const override { return BatchTag::kI64; }
 
   Status EvalBatch(const RowSpan& rows, const uint32_t* sel, size_t n,
@@ -835,14 +1005,31 @@ class AndExpr : public Expr {
   }
 
   Status FilterBatch(const RowSpan& rows, SelVector* sel,
-                     BatchScratch* scratch, bool checked) const override {
+                     BatchScratch* scratch) const override {
     // Child-by-child narrowing IS short-circuit evaluation: a row that
     // fails child i never reaches child i+1, exactly as in the row path.
     for (const ExprPtr& c : children_) {
       if (sel->empty()) return Status::OK();
-      MODULARIS_RETURN_NOT_OK(c->FilterBatch(rows, sel, scratch, checked));
+      MODULARIS_RETURN_NOT_OK(c->FilterBatch(rows, sel, scratch));
     }
     return Status::OK();
+  }
+
+  int BcEmitValue(BcCompiler& c, int sel) const override {
+    return c.EmitPredicateValue(*this, sel);
+  }
+
+  bool BcEmitFilter(BcCompiler& c, int sel) const override {
+    // Sequential child filters with short-circuit jumps between them:
+    // once the selection runs dry, the remaining children are skipped
+    // in one bound.
+    std::vector<size_t> jumps;
+    for (size_t i = 0; i < children_.size(); ++i) {
+      if (i > 0) jumps.push_back(c.EmitJumpIfEmpty(sel));
+      c.CompileFilter(*children_[i], sel);
+    }
+    for (size_t pc : jumps) c.PatchJump(pc);
+    return true;
   }
 
   void CollectColumns(std::vector<int>* cols) const override {
@@ -893,6 +1080,13 @@ class OrExpr : public Expr {
     return Status::OK();
   }
 
+  Status EvalChecked(const RowRef& row, Item* out) const override {
+    bool b = false;
+    MODULARIS_RETURN_NOT_OK(EvalBoolChecked(row, &b));
+    *out = Item(static_cast<int64_t>(b ? 1 : 0));
+    return Status::OK();
+  }
+
   BatchTag BatchType(const Schema&) const override { return BatchTag::kI64; }
 
   Status EvalBatch(const RowSpan& rows, const uint32_t* sel, size_t n,
@@ -901,7 +1095,7 @@ class OrExpr : public Expr {
   }
 
   Status FilterBatch(const RowSpan& rows, SelVector* sel,
-                     BatchScratch* scratch, bool checked) const override {
+                     BatchScratch* scratch) const override {
     if (sel->empty()) return Status::OK();
     // Each child only sees the rows every earlier child rejected — the
     // short-circuit dual of AND's narrowing.
@@ -914,7 +1108,7 @@ class OrExpr : public Expr {
     for (const ExprPtr& c : children_) {
       if (remaining->empty()) break;
       *tmp = *remaining;
-      st = c->FilterBatch(rows, tmp, scratch, checked);
+      st = c->FilterBatch(rows, tmp, scratch);
       if (!st.ok()) break;
       accepted->insert(accepted->end(), tmp->begin(), tmp->end());
       if (!SubtractSorted(remaining, *tmp)) {
@@ -930,6 +1124,40 @@ class OrExpr : public Expr {
     scratch->ReleaseSel();
     scratch->ReleaseSel();
     return st;
+  }
+
+  int BcEmitValue(BcCompiler& c, int sel) const override {
+    return c.EmitPredicateValue(*this, sel);
+  }
+
+  bool BcEmitFilter(BcCompiler& c, int sel) const override {
+    // remaining/accepted/tmp mirror the interpreted OR: each child filters
+    // only what every earlier child rejected, matches are accumulated and
+    // re-sorted at the end.
+    const int remaining = c.NewSel();
+    const int accepted = c.NewSel();
+    const int tmp = c.NewSel();
+    auto sel_op = [&c](BcOp op, int s, int s2) {
+      BcInst in;
+      in.op = op;
+      in.s = static_cast<uint16_t>(s);
+      in.s2 = static_cast<uint16_t>(s2);
+      c.Emit(in);
+    };
+    sel_op(BcOp::kSelCopy, remaining, sel);
+    sel_op(BcOp::kFilterClear, accepted, 0);
+    std::vector<size_t> jumps;
+    for (const ExprPtr& child : children_) {
+      jumps.push_back(c.EmitJumpIfEmpty(remaining));
+      sel_op(BcOp::kSelCopy, tmp, remaining);
+      c.CompileFilter(*child, tmp);
+      sel_op(BcOp::kSelAppend, accepted, tmp);
+      sel_op(BcOp::kSelSub, remaining, tmp);
+    }
+    for (size_t pc : jumps) c.PatchJump(pc);
+    sel_op(BcOp::kSelSort, accepted, 0);
+    sel_op(BcOp::kSelCopy, sel, accepted);
+    return true;
   }
 
   void CollectColumns(std::vector<int>* cols) const override {
@@ -965,22 +1193,47 @@ class NotExpr : public Expr {
     *out = !b;
     return Status::OK();
   }
+  Status EvalChecked(const RowRef& row, Item* out) const override {
+    bool b = false;
+    MODULARIS_RETURN_NOT_OK(EvalBoolChecked(row, &b));
+    *out = Item(static_cast<int64_t>(b ? 1 : 0));
+    return Status::OK();
+  }
   BatchTag BatchType(const Schema&) const override { return BatchTag::kI64; }
   Status EvalBatch(const RowSpan& rows, const uint32_t* sel, size_t n,
                    BatchColumn* out, BatchScratch* scratch) const override {
     return EvalViaFilter(*this, rows, sel, n, out, scratch);
   }
   Status FilterBatch(const RowSpan& rows, SelVector* sel,
-                     BatchScratch* scratch, bool checked) const override {
+                     BatchScratch* scratch) const override {
     if (sel->empty()) return Status::OK();
     SelVector* tmp = scratch->AcquireSel();
     *tmp = *sel;
-    Status st = inner_->FilterBatch(rows, tmp, scratch, checked);
+    Status st = inner_->FilterBatch(rows, tmp, scratch);
     if (st.ok() && !SubtractSorted(sel, *tmp)) {
       st = UnsortedSelectionError("NOT");
     }
     scratch->ReleaseSel();
     return st;
+  }
+  int BcEmitValue(BcCompiler& c, int sel) const override {
+    return c.EmitPredicateValue(*this, sel);
+  }
+  bool BcEmitFilter(BcCompiler& c, int sel) const override {
+    // Filter a copy, then subtract the survivors from the input.
+    const int tmp = c.NewSel();
+    BcInst cp;
+    cp.op = BcOp::kSelCopy;
+    cp.s = static_cast<uint16_t>(tmp);
+    cp.s2 = static_cast<uint16_t>(sel);
+    c.Emit(cp);
+    c.CompileFilter(*inner_, tmp);
+    BcInst sub;
+    sub.op = BcOp::kSelSub;
+    sub.s = static_cast<uint16_t>(sel);
+    sub.s2 = static_cast<uint16_t>(tmp);
+    c.Emit(sub);
+    return true;
   }
   void CollectColumns(std::vector<int>* cols) const override {
     inner_->CollectColumns(cols);
@@ -993,7 +1246,9 @@ class NotExpr : public Expr {
   ExprPtr inner_;
 };
 
-/// Recursive SQL LIKE matcher supporting '%' and '_'.
+}  // namespace
+
+/// Iterative SQL LIKE matcher supporting '%' and '_'.
 bool LikeMatch(std::string_view text, std::string_view pattern) {
   size_t ti = 0, pi = 0;
   size_t star_p = std::string_view::npos, star_t = 0;
@@ -1016,6 +1271,8 @@ bool LikeMatch(std::string_view text, std::string_view pattern) {
   return pi == pattern.size();
 }
 
+namespace {
+
 class LikeExpr : public Expr {
  public:
   LikeExpr(ExprPtr input, std::string pattern)
@@ -1035,7 +1292,21 @@ class LikeExpr : public Expr {
   }
 
   Status EvalBoolChecked(const RowRef& row, bool* out) const override {
-    *out = EvalBool(row);
+    ScalarView v;
+    if (input_->TryEvalView(row, &v) && v.tag == ScalarView::Tag::kString) {
+      *out = LikeMatch(v.s, pattern_);
+      return Status::OK();
+    }
+    Item item;
+    MODULARIS_RETURN_NOT_OK(input_->EvalChecked(row, &item));
+    *out = item.is_str() && LikeMatch(item.str(), pattern_);
+    return Status::OK();
+  }
+
+  Status EvalChecked(const RowRef& row, Item* out) const override {
+    bool b = false;
+    MODULARIS_RETURN_NOT_OK(EvalBoolChecked(row, &b));
+    *out = Item(static_cast<int64_t>(b ? 1 : 0));
     return Status::OK();
   }
 
@@ -1047,7 +1318,7 @@ class LikeExpr : public Expr {
   }
 
   Status FilterBatch(const RowSpan& rows, SelVector* sel,
-                     BatchScratch* scratch, bool) const override {
+                     BatchScratch* scratch) const override {
     if (sel->empty()) return Status::OK();
     const BatchTag it = input_->BatchType(*rows.schema);
     if (it == BatchTag::kI64 || it == BatchTag::kF64) {
@@ -1072,6 +1343,37 @@ class LikeExpr : public Expr {
     }
     scratch->ReleaseColumn();
     return st;
+  }
+
+  int BcEmitValue(BcCompiler& c, int sel) const override {
+    return c.EmitPredicateValue(*this, sel);
+  }
+
+  bool BcEmitFilter(BcCompiler& c, int sel) const override {
+    switch (input_->BatchType(c.schema())) {
+      case BatchTag::kI64:
+      case BatchTag::kF64: {
+        BcInst in;
+        in.op = BcOp::kFilterClear;
+        in.s = static_cast<uint16_t>(sel);
+        c.Emit(in);
+        return true;
+      }
+      case BatchTag::kStr: {
+        const int r = c.CompileValue(*input_, sel);
+        BcInst in;
+        in.op = BcOp::kFilterLike;
+        in.a = static_cast<uint16_t>(r);
+        in.s = static_cast<uint16_t>(sel);
+        in.imm = c.AddPattern(pattern_);
+        c.Emit(in);
+        return true;
+      }
+      case BatchTag::kItem:
+        c.EmitFilterFallback(*this, sel);
+        return true;
+    }
+    return false;
   }
 
   void CollectColumns(std::vector<int>* cols) const override {
@@ -1107,7 +1409,21 @@ class InStrExpr : public Expr {
   }
 
   Status EvalBoolChecked(const RowRef& row, bool* out) const override {
-    *out = EvalBool(row);
+    ScalarView v;
+    if (input_->TryEvalView(row, &v) && v.tag == ScalarView::Tag::kString) {
+      *out = Contains(v.s);
+      return Status::OK();
+    }
+    Item item;
+    MODULARIS_RETURN_NOT_OK(input_->EvalChecked(row, &item));
+    *out = item.is_str() && Contains(item.str());
+    return Status::OK();
+  }
+
+  Status EvalChecked(const RowRef& row, Item* out) const override {
+    bool b = false;
+    MODULARIS_RETURN_NOT_OK(EvalBoolChecked(row, &b));
+    *out = Item(static_cast<int64_t>(b ? 1 : 0));
     return Status::OK();
   }
 
@@ -1119,7 +1435,7 @@ class InStrExpr : public Expr {
   }
 
   Status FilterBatch(const RowSpan& rows, SelVector* sel,
-                     BatchScratch* scratch, bool) const override {
+                     BatchScratch* scratch) const override {
     if (sel->empty()) return Status::OK();
     const BatchTag it = input_->BatchType(*rows.schema);
     if (it == BatchTag::kI64 || it == BatchTag::kF64) {
@@ -1144,6 +1460,38 @@ class InStrExpr : public Expr {
     }
     scratch->ReleaseColumn();
     return st;
+  }
+
+  int BcEmitValue(BcCompiler& c, int sel) const override {
+    return c.EmitPredicateValue(*this, sel);
+  }
+
+  bool BcEmitFilter(BcCompiler& c, int sel) const override {
+    switch (input_->BatchType(c.schema())) {
+      case BatchTag::kI64:
+      case BatchTag::kF64: {
+        BcInst in;
+        in.op = BcOp::kFilterClear;
+        in.s = static_cast<uint16_t>(sel);
+        c.Emit(in);
+        return true;
+      }
+      case BatchTag::kStr: {
+        const int r = c.CompileValue(*input_, sel);
+        BcInst in;
+        in.op = BcOp::kFilterInStr;
+        in.a = static_cast<uint16_t>(r);
+        in.s = static_cast<uint16_t>(sel);
+        in.imm = c.AddStrSet(
+            std::vector<std::string>(values_.begin(), values_.end()));
+        c.Emit(in);
+        return true;
+      }
+      case BatchTag::kItem:
+        c.EmitFilterFallback(*this, sel);
+        return true;
+    }
+    return false;
   }
 
   void CollectColumns(std::vector<int>* cols) const override {
@@ -1205,7 +1553,21 @@ class InIntExpr : public Expr {
   }
 
   Status EvalBoolChecked(const RowRef& row, bool* out) const override {
-    *out = EvalBool(row);
+    ScalarView v;
+    if (input_->TryEvalView(row, &v) && v.tag == ScalarView::Tag::kInt) {
+      *out = Contains(v.i);
+      return Status::OK();
+    }
+    Item item;
+    MODULARIS_RETURN_NOT_OK(input_->EvalChecked(row, &item));
+    *out = item.is_i64() && Contains(item.i64());
+    return Status::OK();
+  }
+
+  Status EvalChecked(const RowRef& row, Item* out) const override {
+    bool b = false;
+    MODULARIS_RETURN_NOT_OK(EvalBoolChecked(row, &b));
+    *out = Item(static_cast<int64_t>(b ? 1 : 0));
     return Status::OK();
   }
 
@@ -1217,7 +1579,7 @@ class InIntExpr : public Expr {
   }
 
   Status FilterBatch(const RowSpan& rows, SelVector* sel,
-                     BatchScratch* scratch, bool) const override {
+                     BatchScratch* scratch) const override {
     if (sel->empty()) return Status::OK();
     const BatchTag it = input_->BatchType(*rows.schema);
     if (it == BatchTag::kF64 || it == BatchTag::kStr) {
@@ -1242,6 +1604,37 @@ class InIntExpr : public Expr {
     }
     scratch->ReleaseColumn();
     return st;
+  }
+
+  int BcEmitValue(BcCompiler& c, int sel) const override {
+    return c.EmitPredicateValue(*this, sel);
+  }
+
+  bool BcEmitFilter(BcCompiler& c, int sel) const override {
+    switch (input_->BatchType(c.schema())) {
+      case BatchTag::kF64:
+      case BatchTag::kStr: {
+        BcInst in;
+        in.op = BcOp::kFilterClear;
+        in.s = static_cast<uint16_t>(sel);
+        c.Emit(in);
+        return true;
+      }
+      case BatchTag::kI64: {
+        const int r = c.CompileValue(*input_, sel);
+        BcInst in;
+        in.op = BcOp::kFilterInI64;
+        in.a = static_cast<uint16_t>(r);
+        in.s = static_cast<uint16_t>(sel);
+        in.imm = c.AddIntSet(values_);
+        c.Emit(in);
+        return true;
+      }
+      case BatchTag::kItem:
+        c.EmitFilterFallback(*this, sel);
+        return true;
+    }
+    return false;
   }
 
   void CollectColumns(std::vector<int>* cols) const override {
@@ -1280,6 +1673,16 @@ class IfExpr : public Expr {
     return cond_->EvalBool(row) ? then_->Eval(row) : else_->Eval(row);
   }
 
+  Status EvalChecked(const RowRef& row, Item* out) const override {
+    // The checked row tier routes the condition through EvalBoolChecked:
+    // a string-valued condition is a hard error here, exactly as it is on
+    // the batch and bytecode tiers (unchecked Eval() keeps the legacy
+    // silent-false coercion for callers that ask for it explicitly).
+    bool cond = false;
+    MODULARIS_RETURN_NOT_OK(cond_->EvalBoolChecked(row, &cond));
+    return (cond ? then_ : else_)->EvalChecked(row, out);
+  }
+
   BatchTag BatchType(const Schema& schema) const override {
     const BatchTag t = then_->BatchType(schema);
     const BatchTag e = else_->BatchType(schema);
@@ -1294,13 +1697,13 @@ class IfExpr : public Expr {
     if (tag == BatchTag::kItem) {
       return Expr::EvalBatch(rows, sel, n, out, scratch);
     }
-    // Split the selection by the condition (unchecked: Eval() routes
-    // through the unchecked EvalBool), evaluate each branch only on its
-    // rows, and merge positionally.
+    // Split the selection by the condition (checked: a non-numeric
+    // condition is a hard error), evaluate each branch only on its rows,
+    // and merge positionally.
     SelVector* passed = scratch->AcquireSel();
     SelVector* failed = scratch->AcquireSel();
     passed->assign(sel, sel + n);
-    Status st = cond_->FilterBatch(rows, passed, scratch, /*checked=*/false);
+    Status st = cond_->FilterBatch(rows, passed, scratch);
     if (st.ok()) {
       failed->assign(sel, sel + n);
       if (!SubtractSorted(failed, *passed)) {
@@ -1347,6 +1750,52 @@ class IfExpr : public Expr {
     scratch->ReleaseSel();
     scratch->ReleaseSel();
     return st;
+  }
+
+  int BcEmitValue(BcCompiler& c, int sel) const override {
+    // Dead-branch elimination: a constant numeric condition selects one
+    // branch at compile time; the other is never emitted (even if it is
+    // a kItem subtree the compiler could only run interpreted).
+    Item cv;
+    if (c.TryConstEval(*cond_, &cv) && (cv.is_i64() || cv.is_f64())) {
+      const bool truthy = cv.is_i64() ? cv.i64() != 0 : cv.f64() != 0;
+      return c.CompileValue(truthy ? *then_ : *else_, sel);
+    }
+    const BatchTag tag = BatchType(c.schema());
+    if (tag == BatchTag::kItem) return -1;  // per-row dynamic typing
+    // Split / branch-evaluate / positional merge — the bytecode shape of
+    // the typed EvalBatch above.
+    const int passed = c.NewSel();
+    const int failed = c.NewSel();
+    auto sel_op = [&c](BcOp op, int s, int s2) {
+      BcInst in;
+      in.op = op;
+      in.s = static_cast<uint16_t>(s);
+      in.s2 = static_cast<uint16_t>(s2);
+      c.Emit(in);
+    };
+    sel_op(BcOp::kSelCopy, passed, sel);
+    c.CompileFilter(*cond_, passed);
+    sel_op(BcOp::kSelCopy, failed, sel);
+    sel_op(BcOp::kSelSub, failed, passed);
+    const size_t jt = c.EmitJumpIfEmpty(passed);
+    const int then_reg_live = c.CompileValue(*then_, passed);
+    c.PatchJump(jt);
+    const size_t je = c.EmitJumpIfEmpty(failed);
+    const int else_reg_live = c.CompileValue(*else_, failed);
+    c.PatchJump(je);
+    const int dst = c.NewReg(tag);
+    BcInst mg;
+    mg.op = tag == BatchTag::kI64   ? BcOp::kMergeI64
+            : tag == BatchTag::kF64 ? BcOp::kMergeF64
+                                    : BcOp::kMergeStr;
+    mg.dst = static_cast<uint16_t>(dst);
+    mg.a = static_cast<uint16_t>(then_reg_live);
+    mg.b = static_cast<uint16_t>(else_reg_live);
+    mg.s = static_cast<uint16_t>(sel);
+    mg.s2 = static_cast<uint16_t>(passed);
+    c.Emit(mg);
+    return dst;
   }
 
   void CollectColumns(std::vector<int>* cols) const override {

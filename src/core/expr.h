@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/row_vector.h"
+#include "core/status.h"
 #include "core/tuple.h"
 
 /// \file expr.h
@@ -45,6 +46,24 @@ struct ScalarView {
 
 /// Ascending indices of the rows of a batch that are still live.
 using SelVector = std::vector<uint32_t>;
+
+/// True when sel[0..n) is strictly ascending — the SelVector contract every
+/// batch kernel assumes. The contiguous-run fast paths detect dense runs by
+/// their endpoints (sel[n-1] - sel[0] == n - 1), so a permuted selection
+/// would silently mis-assign lanes instead of failing.
+inline bool IsAscendingSel(const uint32_t* sel, size_t n) {
+  for (size_t i = 1; i < n; ++i) {
+    if (sel[i] <= sel[i - 1]) return false;
+  }
+  return true;
+}
+
+/// Release-mode defense of the SelVector contract at kernel entry points
+/// (operators validate inherited selections before handing them to the
+/// typed kernels; the bytecode tier validates at program entry). Returns
+/// Internal mentioning `where` on a violation. One predictable pass over
+/// memory the kernels are about to touch anyway.
+Status ValidateSelection(const char* where, const uint32_t* sel, size_t n);
 
 /// A span of packed rows handed to batch kernels (the data/stride/schema
 /// triple of a RowBatch without the ownership machinery).
@@ -157,12 +176,16 @@ class KeyCodec {
   /// Single-row form for per-row probes (the serial selective path).
   void SerializeKey(const RowRef& row, uint8_t* out) const;
 
- private:
   struct Part {
     uint32_t src_offset;  // byte offset inside the packed row
     uint32_t dst_offset;  // byte offset inside the serialized key
     uint32_t bytes;
   };
+  /// Layout of the serialized key, one entry per key column. KeyProgram
+  /// (core/expr_bc.h) compiles these into fused serialize+hash kernels.
+  const std::vector<Part>& parts() const { return parts_; }
+
+ private:
   std::vector<Part> parts_;
   uint32_t key_size_ = 0;
 };
@@ -208,20 +231,39 @@ inline uint64_t HashKeyBytes(const uint8_t* key, uint32_t len) {
 void HashKeysSpan(const uint8_t* keys, size_t n, uint32_t key_size,
                   uint64_t* out);
 
+/// SQL LIKE matcher supporting '%' and '_' — shared by the interpreted
+/// and bytecode LIKE kernels so both tiers match byte-for-byte.
+bool LikeMatch(std::string_view text, std::string_view pattern);
+
+class BcCompiler;  // core/expr_bc.h — bytecode compilation tier
+
 /// Immutable expression node. Expressions are shared (shared_ptr) between
 /// plans and passes.
 class Expr {
  public:
   virtual ~Expr() = default;
 
-  /// Evaluates to an owned Item (allocates for strings).
+  /// Evaluates to an owned Item (allocates for strings). NOTE: has no
+  /// error channel, so nested predicate positions (IfExpr conditions)
+  /// degrade to unchecked EvalBool() semantics here. Every evaluation
+  /// site with a Status channel uses EvalChecked() instead.
   virtual Item Eval(const RowRef& row) const = 0;
 
+  /// Checked evaluation: like Eval(), but nested predicate positions
+  /// (IfExpr conditions, AND/OR/NOT children) use checked boolean
+  /// semantics — a condition that evaluates to a non-numeric value is a
+  /// hard error instead of silently false. This is the row-at-a-time
+  /// oracle the batch and bytecode tiers must match.
+  virtual Status EvalChecked(const RowRef& row, Item* out) const {
+    *out = Eval(row);
+    return Status::OK();
+  }
+
   /// Boolean evaluation fast path; default falls back to Eval().
-  /// NOTE: silently treats non-numeric results as false. Predicate
-  /// contexts with an error channel (Filter, the batch kernels) use
-  /// EvalBoolChecked() instead; this unchecked form remains only where no
-  /// Status can surface (IfExpr conditions inside Eval()).
+  /// NOTE: silently treats non-numeric results as false. Remains only for
+  /// callers that opted out of checked semantics; every predicate context
+  /// in the engine (Filter, IfExpr conditions, the batch and bytecode
+  /// kernels) goes through EvalBoolChecked().
   virtual bool EvalBool(const RowRef& row) const {
     Item v = Eval(row);
     return v.is_i64() ? v.i64() != 0 : (v.is_f64() && v.f64() != 0);
@@ -231,7 +273,8 @@ class Expr {
   /// evaluates to a non-numeric value (a string column used as a filter)
   /// is a hard error instead of silently false.
   virtual Status EvalBoolChecked(const RowRef& row, bool* out) const {
-    Item v = Eval(row);
+    Item v;
+    MODULARIS_RETURN_NOT_OK(EvalChecked(row, &v));
     if (v.is_i64()) {
       *out = v.i64() != 0;
       return Status::OK();
@@ -268,11 +311,24 @@ class Expr {
   /// satisfying this predicate. Composite predicates narrow child by
   /// child, which preserves the row path's short-circuit semantics: a row
   /// never reaches a child that per-row evaluation would have skipped.
-  /// With `checked`, a non-numeric predicate value is a hard error
-  /// (EvalBoolChecked semantics); unchecked matches legacy EvalBool
-  /// (non-numeric → false) and is used where Eval() has no error channel.
+  /// Checked semantics throughout: a non-numeric predicate value is a
+  /// hard error (EvalBoolChecked), on every tier.
   virtual Status FilterBatch(const RowSpan& rows, SelVector* sel,
-                             BatchScratch* scratch, bool checked) const;
+                             BatchScratch* scratch) const;
+
+  /// Bytecode emission hooks (core/expr_bc.h). BcEmitValue appends
+  /// instructions computing this node over the lanes of sel register
+  /// `sel` and returns the value register holding the result, or -1 when
+  /// the node cannot be compiled (the compiler then emits an interpreted
+  /// EvalBatch fallback instruction and bumps the expr.bc_fallback.value
+  /// counter). BcEmitFilter appends instructions narrowing sel register
+  /// `sel` to the rows satisfying this predicate and returns false when
+  /// the node has no native filter form (the compiler derives one from
+  /// the value form, mirroring the base FilterBatch). Emission must be
+  /// side-effect free on the tree: programs are immutable after compile
+  /// and shareable across workers like the tree itself.
+  virtual int BcEmitValue(BcCompiler& c, int sel) const;
+  virtual bool BcEmitFilter(BcCompiler& c, int sel) const;
 
   /// Non-allocating scalar view fast path; returns false if this node
   /// cannot produce a borrowed view (then use Eval()).

@@ -174,6 +174,11 @@ Status ReduceByKey::Open(ExecContext* ctx) {
        in_schema_.field(key_cols_[0]).type == AtomType::kDate);
   if (!single_i64_key_ && !key_cols_.empty()) {
     codec_ = KeyCodec(in_schema_, key_cols_);
+    // Fused serialize+hash program for the chunked byte-key kernels.
+    // Byte-identical to SerializeKeys + HashKeysSpan by construction.
+    key_prog_ = ctx->options.enable_expr_bytecode
+                    ? KeyProgram(in_schema_, key_cols_)
+                    : KeyProgram();
   }
 
   // Compile the update plan: direct offsets when every aggregate input is
@@ -424,8 +429,13 @@ void ReduceByKey::AggregatePartition(
   RowSpan span{rows, stride, &schema};
   for (size_t base = 0; base < n; base += kKeyChunkRows) {
     const size_t m = std::min(n - base, kKeyChunkRows);
-    codec_.SerializeKeys(span, base, m, key_scratch->data());
-    HashKeysSpan(key_scratch->data(), m, ks, hash_scratch->data());
+    if (key_prog_.valid()) {
+      key_prog_.SerializeAndHash(span, base, m, key_scratch->data(),
+                                 hash_scratch->data());
+    } else {
+      codec_.SerializeKeys(span, base, m, key_scratch->data());
+      HashKeysSpan(key_scratch->data(), m, ks, hash_scratch->data());
+    }
     for (size_t i = 0; i < m; ++i) {
       bool inserted = false;
       uint32_t state = table->FindOrInsert(key_scratch->data() + i * ks, ks,
@@ -475,8 +485,13 @@ Status ReduceByKey::ConsumeAllParallel(const RowVectorPtr& input,
       for (size_t base = bounds[w]; base < bounds[w + 1];
            base += kKeyChunkRows) {
         const size_t m = std::min(bounds[w + 1] - base, kKeyChunkRows);
-        codec_.SerializeKeys(span, base, m, keys.data());
-        HashKeysSpan(keys.data(), m, ks, hashes.data());
+        if (key_prog_.valid()) {
+          key_prog_.SerializeAndHash(span, base, m, keys.data(),
+                                     hashes.data());
+        } else {
+          codec_.SerializeKeys(span, base, m, keys.data());
+          HashKeysSpan(keys.data(), m, ks, hashes.data());
+        }
         for (size_t i = 0; i < m; ++i) {
           const uint8_t pid = static_cast<uint8_t>(hashes[i] >> kPidShift);
           pids[base + i] = pid;
@@ -658,8 +673,13 @@ void ReduceByKey::AccumulateSpan(const uint8_t* rows, size_t n,
   RowSpan span{rows, stride, &schema};
   for (size_t base = 0; base < n; base += kKeyChunkRows) {
     const size_t m = std::min(n - base, kKeyChunkRows);
-    codec_.SerializeKeys(span, base, m, key_scratch_.data());
-    HashKeysSpan(key_scratch_.data(), m, ks, hash_scratch_.data());
+    if (key_prog_.valid()) {
+      key_prog_.SerializeAndHash(span, base, m, key_scratch_.data(),
+                                 hash_scratch_.data());
+    } else {
+      codec_.SerializeKeys(span, base, m, key_scratch_.data());
+      HashKeysSpan(key_scratch_.data(), m, ks, hash_scratch_.data());
+    }
     for (size_t i = 0; i < m; ++i) {
       bool inserted = false;
       uint32_t state = byte_table_.FindOrInsert(

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/expr.h"
+#include "core/expr_bc.h"
 #include "core/parallel.h"
 #include "core/sub_operator.h"
 
@@ -211,6 +212,9 @@ class ReduceByKey : public SubOperator {
   /// fixed-stride serialized keys (KeyCodec) probed into the flat
   /// open-addressing ByteStateTable.
   KeyCodec codec_;
+  /// Fused serialize+hash bytecode program (invalid when the toggle is
+  /// off; falls back to SerializeKeys + HashKeysSpan).
+  KeyProgram key_prog_;
   ByteStateTable byte_table_;
   std::vector<uint8_t> key_scratch_;
   std::vector<uint64_t> hash_scratch_;

@@ -225,10 +225,29 @@ bool Filter::NextBatchSelective(RowBatch* out) {
     // FilterBatch narrows sel_ in place, so an inherited selection is
     // copied rather than aliased.
     const uint32_t* in_sel = in_batch_.SelectionOrIdentity(&sel_);
-    if (in_sel != sel_.data()) sel_.assign(in_sel, in_sel + n);
+    if (in_sel != sel_.data()) {
+      // An upstream-provided selection is the one entry point where a
+      // contract violation could silently mis-assign lanes downstream.
+      Status vst = ValidateSelection("Filter", in_sel, n);
+      if (!vst.ok()) return Fail(std::move(vst));
+      sel_.assign(in_sel, in_sel + n);
+    }
     RowSpan span{in_batch_.data(), in_batch_.row_size(), &in_batch_.schema()};
-    Status st =
-        predicate_->FilterBatch(span, &sel_, &expr_scratch_, /*checked=*/true);
+    if (!bc_compile_attempted_) {
+      bc_compile_attempted_ = true;
+      if (ctx_ != nullptr && ctx_->options.enable_expr_bytecode) {
+        bc_prog_ = std::make_unique<BcProgram>(
+            BcProgram::CompileFilter(predicate_, in_batch_.schema()));
+        bc_state_ = std::make_unique<BcState>();
+        if (bc_prog_->fallback_count() > 0) {
+          AddStatCounter("expr.bc_fallback.filter",
+                         static_cast<int64_t>(bc_prog_->fallback_count()));
+        }
+      }
+    }
+    Status st = bc_prog_ != nullptr
+                    ? bc_prog_->RunFilter(span, &sel_, bc_state_.get())
+                    : predicate_->FilterBatch(span, &sel_, &expr_scratch_);
     if (!st.ok()) return Fail(std::move(st));
     if (sel_.empty()) continue;
     out->BorrowFrom(in_batch_);
@@ -275,7 +294,7 @@ bool Filter::NextBatch(RowBatch* out) {
 // MapOp
 // ---------------------------------------------------------------------------
 
-void MapOp::WriteOutput(const RowRef& in, RowWriter* w) {
+Status MapOp::WriteOutput(const RowRef& in, RowWriter* w) {
   for (size_t c = 0; c < outputs_.size(); ++c) {
     int col = static_cast<int>(c);
     const MapOutput& spec = outputs_[c];
@@ -298,7 +317,11 @@ void MapOp::WriteOutput(const RowRef& in, RowWriter* w) {
       }
       continue;
     }
-    Item v = spec.expr->Eval(in);
+    // Checked evaluation: a string-valued IF condition (or any other
+    // non-numeric predicate result inside the tree) is a hard error on
+    // the row path, exactly as on the batch and bytecode paths.
+    Item v;
+    MODULARIS_RETURN_NOT_OK(spec.expr->EvalChecked(in, &v));
     switch (out_schema_.field(c).type) {
       case AtomType::kInt32:
       case AtomType::kDate:
@@ -315,13 +338,15 @@ void MapOp::WriteOutput(const RowRef& in, RowWriter* w) {
         break;
     }
   }
+  return Status::OK();
 }
 
 bool MapOp::Next(Tuple* out) {
   Tuple t;
   if (!child(0)->Next(&t)) return ChildEnd(child(0));
   RowWriter w(scratch_->mutable_row(0), &scratch_->schema());
-  WriteOutput(t[row_item_].row(), &w);
+  Status st = WriteOutput(t[row_item_].row(), &w);
+  if (!st.ok()) return Fail(std::move(st));
   out->clear();
   out->push_back(Item(scratch_->row(0)));
   return true;
@@ -343,6 +368,27 @@ bool MapOp::NextBatch(RowBatch* out) {
 Status MapOp::TransformBatch(const RowBatch& in) {
   const size_t n = in.size();
   const uint32_t* sel = in.SelectionOrIdentity(&identity_sel_);
+  if (in.has_selection()) {
+    // Inherited selections cross an operator boundary: defend the
+    // strictly-ascending contract before any contiguity fast path runs.
+    MODULARIS_RETURN_NOT_OK(ValidateSelection("Map", sel, n));
+  }
+  if (!bc_compile_attempted_) {
+    bc_compile_attempted_ = true;
+    if (ctx_ != nullptr && ctx_->options.enable_expr_bytecode) {
+      bc_progs_.resize(outputs_.size());
+      int64_t fallbacks = 0;
+      for (size_t c = 0; c < outputs_.size(); ++c) {
+        if (outputs_[c].passthrough_col >= 0) continue;
+        auto prog = std::make_unique<BcProgram>(
+            BcProgram::CompileValue(outputs_[c].expr, in.schema()));
+        fallbacks += static_cast<int64_t>(prog->fallback_count());
+        bc_progs_[c] = std::move(prog);
+      }
+      if (fallbacks > 0) AddStatCounter("expr.bc_fallback.value", fallbacks);
+      bc_state_ = std::make_unique<BcState>();
+    }
+  }
   if (out_rows_ == nullptr) {
     out_rows_ = RowVector::Make(out_schema_);
   } else {
@@ -391,7 +437,9 @@ Status MapOp::TransformBatch(const RowBatch& in) {
       continue;
     }
     BatchColumn* v = expr_scratch_.AcquireColumn();
-    Status st = spec.expr->EvalBatch(span, sel, n, v, &expr_scratch_);
+    Status st = c < bc_progs_.size() && bc_progs_[c] != nullptr
+                    ? bc_progs_[c]->RunValue(span, sel, n, v, bc_state_.get())
+                    : spec.expr->EvalBatch(span, sel, n, v, &expr_scratch_);
     if (st.ok()) st = StoreColumn(*v, col, ooff, obase, ostride, n);
     expr_scratch_.ReleaseColumn();
     MODULARIS_RETURN_NOT_OK(st);

@@ -2,11 +2,13 @@
 #define MODULARIS_SUBOPERATORS_BASIC_OPS_H_
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/expr.h"
+#include "core/expr_bc.h"
 #include "core/parallel.h"
 #include "core/sub_operator.h"
 
@@ -204,6 +206,13 @@ class Filter : public SubOperator {
   RowVectorPtr out_rows_;
   SelVector sel_;
   BatchScratch expr_scratch_;
+  // Bytecode tier, compiled lazily against the first batch's schema.
+  // Programs are immutable after compilation; the BcState (register
+  // files) is this operator's alone, so worker clones — which construct
+  // their own Filter — never share mutable state.
+  std::unique_ptr<BcProgram> bc_prog_;
+  std::unique_ptr<BcState> bc_state_;
+  bool bc_compile_attempted_ = false;
 };
 
 /// One output column of a Map: either a passthrough of an input column or
@@ -253,7 +262,7 @@ class MapOp : public SubOperator {
   }
 
  private:
-  void WriteOutput(const RowRef& in, RowWriter* w);
+  Status WriteOutput(const RowRef& in, RowWriter* w);
   /// Column-wise projection of the (possibly selection-carrying) input
   /// batch into out_rows_.
   Status TransformBatch(const RowBatch& in);
@@ -269,6 +278,12 @@ class MapOp : public SubOperator {
   RowVectorPtr out_rows_;
   SelVector identity_sel_;
   BatchScratch expr_scratch_;
+  // Bytecode tier: one value program per computed output column,
+  // compiled lazily against the first batch's schema (empty entries for
+  // passthrough columns and for columns that fell back entirely).
+  std::vector<std::unique_ptr<BcProgram>> bc_progs_;
+  std::unique_ptr<BcState> bc_state_;
+  bool bc_compile_attempted_ = false;
 };
 
 /// ParametrizedMap transforms each record of its data upstream with a

@@ -18,6 +18,7 @@
 
 #include "core/exec_context.h"
 #include "core/expr.h"
+#include "core/expr_bc.h"
 #include "suboperators/agg_ops.h"
 #include "suboperators/basic_ops.h"
 #include "suboperators/scan_ops.h"
@@ -222,7 +223,9 @@ void ExpectValueEqual(const BatchColumn& col, size_t i, const Item& expected,
   }
 }
 
-/// Runs every differential check for one expression over one row set.
+/// Runs every differential check for one expression over one row set,
+/// across all three tiers: interpreted per-row (the oracle), the batch
+/// kernels, and the compiled bytecode programs (optimized and raw).
 void CheckTree(const ExprPtr& expr, const RowVector& rows,
                const SelVector& sel, BatchScratch* scratch,
                const std::string& label) {
@@ -240,6 +243,34 @@ void CheckTree(const ExprPtr& expr, const RowVector& rows,
     ExpectValueEqual(col, i, expected, label + " row " + std::to_string(i));
   }
 
+  // 1b. Bytecode value parity: byte-equal to the batch kernel column,
+  // with and without the optimizer.
+  BcState bc_state;
+  for (bool optimize : {true, false}) {
+    BcProgram prog = BcProgram::CompileValue(expr, rows.schema(), optimize);
+    ASSERT_TRUE(prog.valid()) << label;
+    // Dead-branch elimination may narrow a statically mixed-type (kItem)
+    // IF to the taken branch's concrete tag; values are still checked
+    // per row against the interpreted oracle below.
+    if (col.tag != BatchTag::kItem) {
+      ASSERT_EQ(prog.value_tag(), col.tag) << label;
+    }
+    BatchColumn bc_col;
+    st = prog.RunValue(span, sel.data(), n, &bc_col, &bc_state);
+    ASSERT_TRUE(st.ok()) << label << " (bc value opt=" << optimize
+                         << "): " << st.ToString();
+    ASSERT_EQ(bc_col.size(), n) << label;
+    if (col.tag != BatchTag::kItem) {
+      ASSERT_EQ(bc_col.tag, col.tag) << label;
+    }
+    for (size_t i = 0; i < n; ++i) {
+      Item expected = expr->Eval(rows.row(sel[i]));
+      ExpectValueEqual(bc_col, i, expected,
+                       label + " (bc value opt=" + std::to_string(optimize) +
+                           ") row " + std::to_string(i));
+    }
+  }
+
   // 2. Checked predicate parity: FilterBatch vs per-row EvalBoolChecked.
   SelVector expected_sel;
   bool oracle_error = false;
@@ -253,7 +284,7 @@ void CheckTree(const ExprPtr& expr, const RowVector& rows,
     }
   }
   SelVector got_sel = sel;
-  st = expr->FilterBatch(span, &got_sel, scratch, /*checked=*/true);
+  st = expr->FilterBatch(span, &got_sel, scratch);
   if (oracle_error) {
     ASSERT_FALSE(st.ok()) << label << ": oracle errored, batch did not";
   } else {
@@ -261,24 +292,37 @@ void CheckTree(const ExprPtr& expr, const RowVector& rows,
     ASSERT_EQ(got_sel, expected_sel) << label;
   }
 
-  // 3. Unchecked predicate parity: legacy EvalBool semantics, no errors.
-  SelVector expected_unchecked;
-  for (size_t i = 0; i < n; ++i) {
-    if (expr->EvalBool(rows.row(sel[i]))) expected_unchecked.push_back(sel[i]);
+  // 2b. Bytecode predicate parity: identical selections (or the same
+  // error verdict), with and without the optimizer.
+  for (bool optimize : {true, false}) {
+    BcProgram prog = BcProgram::CompileFilter(expr, rows.schema(), optimize);
+    ASSERT_TRUE(prog.valid()) << label;
+    SelVector bc_sel = sel;
+    st = prog.RunFilter(span, &bc_sel, &bc_state);
+    if (oracle_error) {
+      ASSERT_FALSE(st.ok())
+          << label << " (bc filter opt=" << optimize
+          << "): oracle errored, bytecode did not";
+    } else {
+      ASSERT_TRUE(st.ok()) << label << " (bc filter opt=" << optimize
+                           << "): " << st.ToString();
+      ASSERT_EQ(bc_sel, expected_sel)
+          << label << " (bc filter opt=" << optimize << ")";
+    }
   }
-  got_sel = sel;
-  st = expr->FilterBatch(span, &got_sel, scratch, /*checked=*/false);
-  ASSERT_TRUE(st.ok()) << label << ": " << st.ToString();
-  ASSERT_EQ(got_sel, expected_unchecked) << label;
 
-  // 4. Empty selection: trivially OK on every path.
+  // 3. Empty selection: trivially OK on every path.
   SelVector empty;
-  st = expr->FilterBatch(span, &empty, scratch, /*checked=*/true);
+  st = expr->FilterBatch(span, &empty, scratch);
   ASSERT_TRUE(st.ok()) << label;
   ASSERT_TRUE(empty.empty()) << label;
   st = expr->EvalBatch(span, nullptr, 0, &col, scratch);
   ASSERT_TRUE(st.ok()) << label;
   ASSERT_EQ(col.size(), 0u) << label;
+  BcProgram fprog = BcProgram::CompileFilter(expr, rows.schema());
+  st = fprog.RunFilter(span, &empty, &bc_state);
+  ASSERT_TRUE(st.ok()) << label;
+  ASSERT_TRUE(empty.empty()) << label;
 }
 
 TEST(ExprBatchDifferentialTest, RandomTreesMatchInterpretedOracle) {
@@ -317,7 +361,7 @@ TEST(ExprBatchDifferentialTest, EmptyBatchAllPaths) {
   ExprPtr expr = ex::And(ex::Lt(ex::Col(0), ex::Lit(int64_t{3})),
                          ex::Like(ex::Col(2), "a%"));
   SelVector sel;
-  ASSERT_TRUE(expr->FilterBatch(span, &sel, &scratch, true).ok());
+  ASSERT_TRUE(expr->FilterBatch(span, &sel, &scratch).ok());
   EXPECT_TRUE(sel.empty());
   BatchColumn col;
   ASSERT_TRUE(expr->EvalBatch(span, nullptr, 0, &col, &scratch).ok());
@@ -366,10 +410,13 @@ TEST(StringPredicateTest, ExprLevelCheckedError) {
   BatchScratch scratch;
   RowSpan span{rows->data(), rows->row_size(), &rows->schema()};
   SelVector sel = {0, 1, 2};
-  EXPECT_FALSE(pred->FilterBatch(span, &sel, &scratch, true).ok());
+  EXPECT_FALSE(pred->FilterBatch(span, &sel, &scratch).ok());
+  // The bytecode tier raises the identical error.
+  BcProgram prog = BcProgram::CompileFilter(pred, rows->schema());
+  BcState state;
   sel = {0, 1, 2};
-  ASSERT_TRUE(pred->FilterBatch(span, &sel, &scratch, false).ok());
-  EXPECT_TRUE(sel.empty());
+  Status bst = prog.RunFilter(span, &sel, &state);
+  EXPECT_FALSE(bst.ok());
 }
 
 TEST(StringPredicateTest, FilterRowPathFailsHard) {
@@ -531,6 +578,260 @@ TEST(SelectionFlowTest, MapMixedSchemaParity) {
   ASSERT_EQ(baseline->size(), got->size());
   ASSERT_EQ(0, std::memcmp(baseline->data(), got->data(),
                            baseline->byte_size()));
+}
+
+// ---------------------------------------------------------------------------
+// Bytecode optimizer semantics
+// ---------------------------------------------------------------------------
+
+TEST(BytecodeOptimizerTest, ConstantFoldingDivByZeroMatchesEvaluation) {
+  // Engine semantics: division always produces f64 and x/0 == 0.0. The
+  // folder must bake in exactly that value — never a compile-time error.
+  std::mt19937_64 rng(3);
+  RowVectorPtr rows = MakeRows(&rng, 16);
+  ExprPtr expr = ex::Add(ex::Div(ex::Lit(int64_t{7}), ex::Lit(int64_t{0})),
+                         ex::Lit(1.5));
+  BcProgram prog = BcProgram::CompileValue(expr, rows->schema());
+  EXPECT_GT(prog.stats().folded, 0u) << prog.Disassemble();
+  EXPECT_EQ(prog.fallback_count(), 0u);
+  RowSpan span{rows->data(), rows->row_size(), &rows->schema()};
+  SelVector all(rows->size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<uint32_t>(i);
+  BcState state;
+  BatchColumn col;
+  ASSERT_TRUE(
+      prog.RunValue(span, all.data(), all.size(), &col, &state).ok());
+  ASSERT_EQ(col.tag, BatchTag::kF64);
+  for (size_t i = 0; i < col.size(); ++i) {
+    const double want = expr->Eval(rows->row(i)).f64();
+    ASSERT_EQ(0, std::memcmp(&col.f64[i], &want, sizeof(double)));
+    EXPECT_EQ(col.f64[i], 1.5);  // 7/0 -> 0.0, + 1.5
+  }
+}
+
+TEST(BytecodeOptimizerTest, ShortCircuitSkipsErroringChild) {
+  // AND narrows child by child; once the selection is empty, a later
+  // child that would raise (a statically string-typed predicate) must
+  // never fire — on the interpreted tier or the compiled one.
+  std::mt19937_64 rng(5);
+  RowVectorPtr rows = MakeRows(&rng, 32);
+  ExprPtr never = ex::Eq(ex::Col(0), ex::Lit(int64_t{123456789}));
+  ExprPtr raising = ex::Col(2);  // string column as a predicate
+  ExprPtr expr = ex::And(never, raising);
+  RowSpan span{rows->data(), rows->row_size(), &rows->schema()};
+  SelVector all(rows->size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<uint32_t>(i);
+
+  BatchScratch scratch;
+  SelVector sel = all;
+  ASSERT_TRUE(expr->FilterBatch(span, &sel, &scratch).ok());
+  EXPECT_TRUE(sel.empty());
+
+  for (bool optimize : {true, false}) {
+    BcProgram prog = BcProgram::CompileFilter(expr, rows->schema(), optimize);
+    BcState state;
+    sel = all;
+    Status st = prog.RunFilter(span, &sel, &state);
+    ASSERT_TRUE(st.ok()) << "opt=" << optimize << ": " << st.ToString()
+                         << "\n" << prog.Disassemble();
+    EXPECT_TRUE(sel.empty());
+  }
+
+  // Flipped order: every lane reaches the string predicate, so all
+  // three tiers must raise.
+  ExprPtr always = ex::Ge(ex::Col(0), ex::Lit(int64_t{-10000000}));
+  ExprPtr bad = ex::And(always, raising);
+  sel = all;
+  EXPECT_FALSE(bad->FilterBatch(span, &sel, &scratch).ok());
+  BcProgram bad_prog = BcProgram::CompileFilter(bad, rows->schema());
+  BcState state;
+  sel = all;
+  EXPECT_FALSE(bad_prog.RunFilter(span, &sel, &state).ok());
+}
+
+TEST(BytecodeOptimizerTest, DeadBranchEliminationUnderItemChildren) {
+  // A constant condition selects one branch at compile time. The dead
+  // branch is a mixed-type IF (statically kItem) that would force an
+  // interpreted fallback — eliminating it must leave zero fallbacks.
+  std::mt19937_64 rng(9);
+  RowVectorPtr rows = MakeRows(&rng, 24);
+  ExprPtr item_branch =
+      ex::If(ex::Gt(ex::Col(0), ex::Lit(int64_t{0})), ex::Lit(int64_t{1}),
+             ex::Lit(0.5));  // i64 vs f64 branches -> kItem
+  ASSERT_EQ(item_branch->BatchType(rows->schema()), BatchTag::kItem);
+  ExprPtr expr =
+      ex::If(ex::Lit(int64_t{1}), ex::Add(ex::Col(0), ex::Lit(int64_t{3})),
+             item_branch);
+  BcProgram prog = BcProgram::CompileValue(expr, rows->schema());
+  EXPECT_EQ(prog.fallback_count(), 0u) << prog.Disassemble();
+  RowSpan span{rows->data(), rows->row_size(), &rows->schema()};
+  SelVector all(rows->size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<uint32_t>(i);
+  BcState state;
+  BatchColumn col;
+  ASSERT_TRUE(
+      prog.RunValue(span, all.data(), all.size(), &col, &state).ok());
+  ASSERT_EQ(col.tag, BatchTag::kI64);
+  for (size_t i = 0; i < col.size(); ++i) {
+    EXPECT_EQ(col.i64[i], rows->row(i).GetInt64(0) + 3);
+  }
+}
+
+TEST(BytecodeOptimizerTest, ComparisonFusionKeepsSemantics) {
+  // col < const compiles into a single fused filter opcode; the result
+  // must match the unfused program and the interpreted kernel.
+  std::mt19937_64 rng(13);
+  RowVectorPtr rows = MakeRows(&rng, 64);
+  ExprPtr expr = ex::Lt(ex::Col(0), ex::Lit(int64_t{10}));
+  BcProgram fused = BcProgram::CompileFilter(expr, rows->schema());
+  EXPECT_GT(fused.stats().fused, 0u) << fused.Disassemble();
+  RowSpan span{rows->data(), rows->row_size(), &rows->schema()};
+  SelVector all(rows->size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<uint32_t>(i);
+  BatchScratch scratch;
+  SelVector want = all;
+  ASSERT_TRUE(expr->FilterBatch(span, &want, &scratch).ok());
+  BcState state;
+  SelVector got = all;
+  ASSERT_TRUE(fused.RunFilter(span, &got, &state).ok());
+  EXPECT_EQ(got, want);
+}
+
+// ---------------------------------------------------------------------------
+// String-valued IF conditions are hard errors on all three tiers
+// ---------------------------------------------------------------------------
+
+TEST(StringPredicateTest, StringIfConditionHardErrorAllTiers) {
+  RowVectorPtr rows = MixedRows(8);
+  ExprPtr expr =
+      ex::If(ex::Col(2), ex::Lit(int64_t{1}), ex::Lit(int64_t{0}));
+
+  // Row tier (checked).
+  Item out;
+  Status st = expr->EvalChecked(rows->row(0), &out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("non-numeric"), std::string::npos)
+      << st.ToString();
+
+  // Batch tier: both branches are i64, so the typed split path runs the
+  // condition filter — which must raise.
+  BatchScratch scratch;
+  RowSpan span{rows->data(), rows->row_size(), &rows->schema()};
+  SelVector all(rows->size());
+  for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<uint32_t>(i);
+  BatchColumn col;
+  EXPECT_FALSE(
+      expr->EvalBatch(span, all.data(), all.size(), &col, &scratch).ok());
+
+  // Bytecode tier.
+  for (bool optimize : {true, false}) {
+    BcProgram prog = BcProgram::CompileValue(expr, rows->schema(), optimize);
+    BcState state;
+    EXPECT_FALSE(
+        prog.RunValue(span, all.data(), all.size(), &col, &state).ok())
+        << "opt=" << optimize << "\n" << prog.Disassemble();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The strictly-ascending SelVector contract is defended
+// ---------------------------------------------------------------------------
+
+/// Emits one borrowed batch carrying a deliberately permuted selection.
+class PermutedSelectionSource : public SubOperator {
+ public:
+  explicit PermutedSelectionSource(RowVectorPtr rows)
+      : SubOperator("PermutedSelectionSource"),
+        rows_(std::move(rows)),
+        sel_{2, 0, 1} {}
+  bool Next(Tuple*) override { return false; }
+  bool ProducesRecordStream() const override { return true; }
+  bool NextBatchSelective(RowBatch* out) override {
+    if (done_) return false;
+    done_ = true;
+    out->Borrow(rows_);
+    out->SetSelection(sel_.data(), sel_.size());
+    return true;
+  }
+
+ private:
+  RowVectorPtr rows_;
+  SelVector sel_;
+  bool done_ = false;
+};
+
+TEST(SelectionContractTest, MalformedSelectionIsCaughtNotGarbled) {
+  EXPECT_TRUE(IsAscendingSel(nullptr, 0));
+  const uint32_t ascending[] = {0, 3, 7};
+  EXPECT_TRUE(IsAscendingSel(ascending, 3));
+  const uint32_t permuted[] = {2, 0, 1};
+  EXPECT_FALSE(IsAscendingSel(permuted, 3));
+  const uint32_t duplicated[] = {0, 1, 1};
+  EXPECT_FALSE(IsAscendingSel(duplicated, 3));
+  EXPECT_FALSE(ValidateSelection("test", permuted, 3).ok());
+  EXPECT_TRUE(ValidateSelection("test", ascending, 3).ok());
+
+  // Bytecode entry points reject it outright.
+  std::mt19937_64 rng(17);
+  RowVectorPtr rows = MakeRows(&rng, 8);
+  RowSpan span{rows->data(), rows->row_size(), &rows->schema()};
+  ExprPtr pred = ex::Lt(ex::Col(0), ex::Lit(int64_t{50}));
+  BcProgram fprog = BcProgram::CompileFilter(pred, rows->schema());
+  BcState state;
+  SelVector bad = {2, 0, 1};
+  EXPECT_FALSE(fprog.RunFilter(span, &bad, &state).ok());
+  BcProgram vprog = BcProgram::CompileValue(pred, rows->schema());
+  BatchColumn col;
+  EXPECT_FALSE(vprog.RunValue(span, permuted, 3, &col, &state).ok());
+
+  // Operator entry: a permuted upstream selection fails the Filter pull
+  // instead of silently mis-assigning lanes.
+  Filter filter(std::make_unique<PermutedSelectionSource>(rows), pred);
+  ExecContext ctx;
+  ASSERT_TRUE(filter.Open(&ctx).ok());
+  RowBatch batch;
+  EXPECT_FALSE(filter.NextBatchSelective(&batch));
+  EXPECT_FALSE(filter.status().ok());
+  EXPECT_NE(filter.status().ToString().find("ascending"), std::string::npos)
+      << filter.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Fused serialize+hash key programs
+// ---------------------------------------------------------------------------
+
+TEST(KeyProgramTest, FusedSerializeHashMatchesCodecPlusHashSpan) {
+  std::mt19937_64 rng(19);
+  RowVectorPtr rows = MakeRows(&rng, 512);
+  RowSpan span{rows->data(), rows->row_size(), &rows->schema()};
+  const std::vector<std::vector<int>> key_sets = {
+      {0}, {1}, {2}, {3}, {4}, {0, 5}, {3, 4}, {0, 2, 3}, {2, 0, 1, 5}};
+  for (const auto& keys : key_sets) {
+    KeyCodec codec(rows->schema(), keys);
+    KeyProgram prog(rows->schema(), keys);
+    ASSERT_TRUE(prog.valid());
+    ASSERT_EQ(prog.key_size(), codec.key_size());
+    const uint32_t ks = codec.key_size();
+    const size_t n = rows->size();
+    std::vector<uint8_t> want_keys(n * ks), got_keys(n * ks);
+    std::vector<uint64_t> want_hashes(n), got_hashes(n);
+    codec.SerializeKeys(span, 0, n, want_keys.data());
+    HashKeysSpan(want_keys.data(), n, ks, want_hashes.data());
+    // Run in two uneven chunks to exercise the `begin` offset.
+    const size_t split = n / 3;
+    prog.SerializeAndHash(span, 0, split, got_keys.data(),
+                          got_hashes.data());
+    prog.SerializeAndHash(span, split, n - split,
+                          got_keys.data() + split * ks,
+                          got_hashes.data() + split);
+    std::string label = "keys={";
+    for (int k : keys) label += std::to_string(k) + ",";
+    label += "}";
+    ASSERT_EQ(0, std::memcmp(want_keys.data(), got_keys.data(),
+                             want_keys.size()))
+        << label;
+    ASSERT_EQ(want_hashes, got_hashes) << label;
+  }
 }
 
 }  // namespace

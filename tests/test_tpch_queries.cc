@@ -170,6 +170,46 @@ TEST(TpchQueryTest, InterpretedModeAgreesWithFused) {
   ExpectRowsEqual(**expected, **result);
 }
 
+TEST(TpchQueryTest, BytecodeTierAgreesWithInterpretedOnAllQueries) {
+  // The compiled expression tier must be a pure drop-in: every query
+  // result identical with bytecode on and off, at 1 and 4 intra-rank
+  // threads, and no TPC-H predicate or map expression may fall back to
+  // the interpreter.
+  for (int threads : {1, 4}) {
+    TpchRunOptions base = Unthrottled(TpchRunOptions::Rdma(2));
+    base.exec.network_radix_bits = 4;
+    base.exec.num_threads = threads;
+
+    TpchRunOptions interp = base;
+    interp.exec.enable_expr_bytecode = false;
+    TpchRunOptions bc = base;
+    bc.exec.enable_expr_bytecode = true;
+
+    auto interp_ctx = PrepareTpch(Db(), interp);
+    ASSERT_TRUE(interp_ctx.ok()) << interp_ctx.status().ToString();
+    auto bc_ctx = PrepareTpch(Db(), bc);
+    ASSERT_TRUE(bc_ctx.ok()) << bc_ctx.status().ToString();
+
+    for (int q : {1, 3, 4, 6, 12, 14, 18, 19}) {
+      StatsRegistry interp_stats;
+      auto expected = RunTpchQuery(q, **interp_ctx, interp, &interp_stats);
+      ASSERT_TRUE(expected.ok())
+          << "Q" << q << " interp: " << expected.status().ToString();
+
+      StatsRegistry bc_stats;
+      auto result = RunTpchQuery(q, **bc_ctx, bc, &bc_stats);
+      ASSERT_TRUE(result.ok())
+          << "Q" << q << " bytecode: " << result.status().ToString();
+
+      ExpectRowsEqual(**expected, **result);
+      EXPECT_EQ(bc_stats.GetCounter("expr.bc_fallback.filter"), 0)
+          << "Q" << q << " threads=" << threads;
+      EXPECT_EQ(bc_stats.GetCounter("expr.bc_fallback.value"), 0)
+          << "Q" << q << " threads=" << threads;
+    }
+  }
+}
+
 TEST(TpchQueryTest, S3TransientFailuresAreRetried) {
   TpchRunOptions opts = Unthrottled(TpchRunOptions::Lambda(4));
   opts.exec.network_radix_bits = 4;

@@ -32,12 +32,27 @@ GATED_OPS = [
     ("expr_filter_batch_p01", True),
     ("expr_filter_batch_p50", True),
     ("expr_filter_batch_p99", True),
+    ("expr_bytecode_filter_p01", True),
+    ("expr_bytecode_filter_p50", True),
+    ("expr_bytecode_filter_p99", True),
+    ("expr_keys_interp", False),
+    ("expr_bytecode_keys", True),
     ("reduce_by_key", False),
     ("reduce_by_key", True),
 ]
 
-# (op, off/on): the vectorized-vs-row speedup ratios that must not decay.
-GATED_RATIOS = ["partition_build_probe", "filter_map", "reduce_by_key"]
+# (op, floor): the vectorized-vs-row speedup ratios that must not decay.
+# Speedup ratios are more machine-sensitive than calibrated throughputs
+# (they depend on the row/batch kernel cost *balance*, not just machine
+# speed), so a decay relative to the committed baseline is only fatal if
+# the current ratio has also dropped below `floor` — i.e. the win itself
+# is gone, not merely smaller on this host than on the baseline host.
+# Decay above the floor prints DRIFT and passes.
+GATED_RATIOS = [
+    ("partition_build_probe", 1.2),
+    ("filter_map", 1.2),
+    ("reduce_by_key", 1.2),
+]
 
 # Thread-scaling gates: (op, threads, min speedup of <op>_t<threads> over
 # <op>_t1 in the CURRENT run). Only enforced when the machine that
@@ -65,21 +80,30 @@ SCALING_GATES = [
 # Algorithmic-win gates, evaluated within the CURRENT run only (the ratio
 # is machine-independent): TopK's bounded per-run selection (partial
 # top-k per run + loser-tree merge) must beat the full sort it replaced.
-# (fast_op, slow_op, min rows_per_sec ratio, min hardware threads): the
-# single-thread pair holds on any machine; only the 4-thread pair needs
-# real cores to be meaningful.
+# (fast_op, fast_vec, slow_op, slow_vec, min rows_per_sec ratio, min
+# hardware threads): the single-thread pairs hold on any machine; only
+# the 4-thread pairs need real cores to be meaningful.
 WIN_GATES = [
-    ("topk_1m_t1", "sort_1m_t1", 1.2, 1),
-    ("topk_1m_t4", "sort_1m_t4", 1.2, 4),
+    ("topk_1m_t1", True, "sort_1m_t1", True, 1.2, 1),
+    ("topk_1m_t4", True, "sort_1m_t4", True, 1.2, 4),
     # Batched wire format (packed RowVector segments end-to-end) vs the
     # per-tuple drain ablation: one virtual Next() per record must cost
     # measurably more than the zero-copy batch drain.
-    ("exchange_shuffle_t1", "exchange_shuffle_rowdrain_t1", 1.5, 4),
+    ("exchange_shuffle_t1", True, "exchange_shuffle_rowdrain_t1", True,
+     1.5, 4),
     # Compute/network overlap: the pipelined exchange's modelled fabric
     # stall (these entries record stall seconds, so rows_per_sec is
     # rows/stall) must be strictly below the partition-then-send
     # ablation's.
-    ("exchange_overlap_pipelined", "exchange_overlap_serialwire", 1.05, 4),
+    ("exchange_overlap_pipelined", True, "exchange_overlap_serialwire", True,
+     1.05, 4),
+    # Compiled expression tier: the bytecode filter program (fused
+    # column-vs-constant range opcode over the selectivity-sweep
+    # predicate) against the row-at-a-time interpreter, and the fused
+    # serialize+hash key program against KeyCodec + HashKeysSpan.
+    ("expr_bytecode_filter_p50", True, "expr_filter_interp_p50", False,
+     1.5, 1),
+    ("expr_bytecode_keys", True, "expr_keys_interp", False, 1.15, 1),
 ]
 
 
@@ -141,7 +165,7 @@ def main():
         print(f"  {status:10s} {op} vectorized={vec}: {delta * 100:+.1f}% "
               f"vs calibrated baseline")
 
-    for op in GATED_RATIOS:
+    for op, floor in GATED_RATIOS:
         off_b, on_b = base.get((op, False)), base.get((op, True))
         off_c, on_c = cur.get((op, False)), cur.get((op, True))
         if not (off_b and on_b and off_c and on_c):
@@ -151,12 +175,16 @@ def main():
         delta = ratio_c / ratio_b - 1.0
         status = "OK"
         if ratio_c < ratio_b * (1.0 - args.threshold):
-            status = "REGRESSION"
-            failures.append(
-                f"{op} speedup ratio: {ratio_c:.2f}x vs baseline "
-                f"{ratio_b:.2f}x ({delta * 100:+.1f}%)")
+            if ratio_c >= floor:
+                status = "DRIFT"
+            else:
+                status = "REGRESSION"
+                failures.append(
+                    f"{op} speedup ratio: {ratio_c:.2f}x vs baseline "
+                    f"{ratio_b:.2f}x ({delta * 100:+.1f}%), below the "
+                    f"{floor:.2f}x floor")
         print(f"  {status:10s} {op} vectorized speedup: {ratio_c:.2f}x "
-              f"(baseline {ratio_b:.2f}x)")
+              f"(baseline {ratio_b:.2f}x, floor {floor:.2f}x)")
 
     hw = cur_meta.get("hardware_concurrency", 0)
     for op, threads, min_ratio in SCALING_GATES:
@@ -180,9 +208,9 @@ def main():
         print(f"  {status:10s} {op} {threads}-thread speedup: {ratio:.2f}x "
               f"(required {min_ratio:.2f}x)")
 
-    for fast, slow, min_ratio, min_hw in WIN_GATES:
-        f = cur.get((fast, True))
-        s = cur.get((slow, True))
+    for fast, fast_vec, slow, slow_vec, min_ratio, min_hw in WIN_GATES:
+        f = cur.get((fast, fast_vec))
+        s = cur.get((slow, slow_vec))
         if not (f and s):
             print(f"  MISSING    win-gate entries {fast} / {slow}")
             continue
