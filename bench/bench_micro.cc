@@ -22,6 +22,7 @@
 
 #include "core/exec_context.h"
 #include "core/expr.h"
+#include "core/fault.h"
 #include "core/expr_bc.h"
 #include "core/parallel.h"
 #include "core/pipeline.h"
@@ -746,9 +747,11 @@ void BenchGroupBy() {
   };
 
   auto run_one = [&](const Shape& shape, int threads, uint64_t* checksum,
-                     size_t* groups_out) {
+                     size_t* groups_out,
+                     const CancellationToken* cancel = nullptr) {
     ExecContext ctx;
     ctx.options.num_threads = threads;
+    ctx.cancel = cancel;
     std::vector<AggSpec> aggs;
     aggs.push_back(AggSpec{AggKind::kSum, ex::Col(shape.agg_col), "s",
                            shape.agg_type});
@@ -813,6 +816,27 @@ void BenchGroupBy() {
                      "_t" + std::to_string(t),
                  n, shape.data->byte_size(), 1,
                  [&] { run_one(shape, t, nullptr, nullptr); }, t);
+      }
+      if (std::string(shape.name) == "int" &&
+          std::string(card.name) == "g64k") {
+        // Fault-layer hook cost on the fault-free path (bench_gate.py
+        // WIN_GATES: >= 0.97x of the plain t4 run). A live deadline token
+        // is polled by the morsel loop and the partition merge — the only
+        // fault-layer hooks on this path — but never expires. t4 because
+        // the serial path bypasses the morsel loop entirely.
+        CancellationToken idle_deadline;
+        idle_deadline.SetDeadlineAfter(3600.0);
+        uint64_t armed_sum = 0;
+        run_one(shape, 4, &armed_sum, nullptr, &idle_deadline);
+        if (armed_sum != sum_t1) {
+          std::fprintf(stderr,
+                       "FAIL: groupby int g64k armed output differs from t1\n");
+          std::exit(1);
+        }
+        RunBench("groupby_1m_int_g64k_faultarmed_t4", n,
+                 shape.data->byte_size(), 1,
+                 [&] { run_one(shape, 4, nullptr, nullptr, &idle_deadline); },
+                 4);
       }
     }
   }
@@ -879,7 +903,8 @@ struct ShuffleOut {
 ShuffleOut RunExchangeShuffle(const ShuffleFixture& fx, int threads,
                               bool vectorized, bool serial_wire,
                               const net::FabricOptions& fabric,
-                              bool checksum) {
+                              bool checksum,
+                              const CancellationToken* cancel = nullptr) {
   const RadixSpec spec{4, 0, RadixHash::kIdentity};
   const int world = static_cast<int>(fx.frags.size());
   std::vector<uint64_t> sums(world, 1469598103934665603ull);
@@ -895,6 +920,7 @@ ShuffleOut RunExchangeShuffle(const ShuffleFixture& fx, int threads,
         ctx.comm = &comm;
         ctx.options.enable_vectorized = vectorized;
         ctx.options.num_threads = threads;
+        ctx.cancel = cancel;
         ctx.stats = &stats;
         MpiExchange::Options xopts;
         xopts.spec = spec;
@@ -984,6 +1010,29 @@ void BenchExchangeShuffle() {
     }
     RunBench("exchange_shuffle_rowdrain_t1", fx.rows, fx.bytes, 1,
              [&] { RunExchangeShuffle(fx, 1, false, false, fast, false); }, 1);
+
+    // Fault-layer hook cost on the fault-free path (bench_gate.py
+    // WIN_GATES: >= 0.97x of the plain t1 run). The armed injector runs
+    // the full seeded decision path at every Put/Flush at rate 0, and a
+    // live deadline token is checked by the morsel loops and drains —
+    // everything the fault layer adds, with nothing ever firing.
+    net::FabricOptions armed = fast;
+    armed.fault.armed = true;
+    CancellationToken idle_deadline;
+    idle_deadline.SetDeadlineAfter(3600.0);
+    ShuffleOut armed_check =
+        RunExchangeShuffle(fx, 1, true, false, armed, true, &idle_deadline);
+    if (armed_check.checksum != sum_t1) {
+      std::fprintf(stderr,
+                   "FAIL: exchange_shuffle armed output differs from t1\n");
+      std::exit(1);
+    }
+    RunBench("exchange_shuffle_faultarmed_t1", fx.rows, fx.bytes, 1,
+             [&] {
+               RunExchangeShuffle(fx, 1, true, false, armed, false,
+                                  &idle_deadline);
+             },
+             1);
   }
 
   // Multi-rank shuffles (reported only): ranks are threads too, so the

@@ -39,7 +39,7 @@ class JoinWorker {
   };
 
   void LocalHistogram(Relation* rel);
-  void GlobalHistogram(Relation* rel);
+  Status GlobalHistogram(Relation* rel);
   Status NetworkPartition(Relation* rel);
   int Owner(int pid) const { return pid % comm_->size(); }
 
@@ -63,10 +63,10 @@ void JoinWorker::LocalHistogram(Relation* rel) {
   }
 }
 
-void JoinWorker::GlobalHistogram(Relation* rel) {
+Status JoinWorker::GlobalHistogram(Relation* rel) {
   rel->global_hist = rel->local_hist;
-  comm_->AllreduceSum(&rel->global_hist);
-  rel->all_local = comm_->AllgatherI64(rel->local_hist);
+  MODULARIS_RETURN_NOT_OK(comm_->AllreduceSum(&rel->global_hist));
+  return comm_->AllgatherI64(rel->local_hist, &rel->all_local);
 }
 
 Status JoinWorker::NetworkPartition(Relation* rel) {
@@ -82,8 +82,9 @@ Status JoinWorker::NetworkPartition(Relation* rel) {
     owner_rows[Owner(pid)] += rel->global_hist[pid];
   }
   rel->my_rows = owner_rows[me];
-  rel->window = comm_->WinAllocate(static_cast<size_t>(rel->my_rows) *
-                                   out_row);
+  MODULARIS_ASSIGN_OR_RETURN(
+      rel->window,
+      comm_->WinAllocate(static_cast<size_t>(rel->my_rows) * out_row));
 
   std::vector<int64_t> write_offset(fanout_);
   for (int pid = 0; pid < fanout_; ++pid) {
@@ -131,8 +132,7 @@ Status JoinWorker::NetworkPartition(Relation* rel) {
         buffers[pid].data(), filled[pid] * out_row));
     filled[pid] = 0;
   }
-  comm_->WinFlush();
-  return Status::OK();
+  return comm_->WinFlush();
 }
 
 Status JoinWorker::Run(RowVectorPtr* result) {
@@ -157,8 +157,8 @@ Status JoinWorker::Run(RowVectorPtr* result) {
   }
   {
     ScopedTimer t(stats_, "phase.global_histogram");
-    GlobalHistogram(&rels[0]);
-    GlobalHistogram(&rels[1]);
+    MODULARIS_RETURN_NOT_OK(GlobalHistogram(&rels[0]));
+    MODULARIS_RETURN_NOT_OK(GlobalHistogram(&rels[1]));
   }
 
   // Phase 3: network partitioning for both relations back to back, one
@@ -167,7 +167,7 @@ Status JoinWorker::Run(RowVectorPtr* result) {
     ScopedTimer t(stats_, "phase.network_partition");
     MODULARIS_RETURN_NOT_OK(NetworkPartition(&rels[0]));
     MODULARIS_RETURN_NOT_OK(NetworkPartition(&rels[1]));
-    comm_->Barrier();
+    MODULARIS_RETURN_NOT_OK(comm_->Barrier());
   }
 
   // Phase 4: local radix partitioning, hand-tuned: single contiguous
@@ -218,7 +218,7 @@ Status JoinWorker::Run(RowVectorPtr* result) {
         lp.begin.push_back(std::move(begins));
         lp.count.push_back(std::move(hist));
       }
-      comm_->WinFree(rel.window);
+      MODULARIS_RETURN_NOT_OK(comm_->WinFree(rel.window));
     }
   }
 

@@ -4,6 +4,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/fault.h"
 #include "core/stats.h"
 #include "core/tuple.h"
 
@@ -80,8 +81,16 @@ struct ExecOptions {
   /// runs with it).
   bool tcp_exchange = false;
 
-  /// Max retries for transient S3 failures.
-  int s3_max_retries = 4;
+  /// The one transient-failure retry policy (core/fault.h): exponential
+  /// backoff + deterministic jitter, retryability classified by
+  /// StatusCode. Shared by blob reads/writes, the S3 exchange and the
+  /// fabric transports (replaces the old per-site max_retries knobs).
+  RetryPolicy retry;
+
+  /// Whole-query deadline in seconds (0 = none). The executors arm the
+  /// run's CancellationToken with it so even a hung blocking wait returns
+  /// non-OK within the deadline.
+  double deadline_seconds = 0;
 
   // -- Intra-node parallelism (docs/DESIGN-parallel.md) ---------------------
 
@@ -126,6 +135,13 @@ class ExecContext {
   serverless::S3SelectEngine* s3select = nullptr;
   serverless::LambdaWorkerContext* lambda = nullptr;
 
+  /// Query-wide cancellation token (core/fault.h), owned by the executor;
+  /// null when the plan runs without one. Checked in morsel loops,
+  /// exchange drains and fabric blocking waits; a failing rank cancels it
+  /// so its peers stop claiming work instead of computing into a dead
+  /// query.
+  const CancellationToken* cancel = nullptr;
+
   ExecOptions options;
 
   /// Metrics sink; never null during execution.
@@ -148,6 +164,7 @@ class ExecContext {
     blob = base.blob;
     s3select = base.s3select;
     lambda = base.lambda;
+    cancel = base.cancel;
     options = base.options;
     options.num_threads = 1;
     stats = worker_stats;

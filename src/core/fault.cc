@@ -1,0 +1,153 @@
+#include "core/fault.h"
+
+namespace modularis {
+
+namespace {
+
+/// SplitMix64 — the standard seeded bit mixer; full-period, statistically
+/// strong enough for probability gates and jitter.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Maps a 64-bit draw to a double in [0, 1).
+double ToUnit(uint64_t x) {
+  return static_cast<double>(x >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kFabricPut: return "fabric.put";
+    case FaultSite::kFabricSend: return "fabric.send";
+    case FaultSite::kFabricRecv: return "fabric.recv";
+    case FaultSite::kFabricFlush: return "fabric.flush";
+    case FaultSite::kBlobGet: return "blob.get";
+    case FaultSite::kBlobGetRange: return "blob.get_range";
+    case FaultSite::kBlobPut: return "blob.put";
+    case FaultSite::kBlobHead: return "blob.head";
+    case FaultSite::kLambdaSpawn: return "lambda.spawn";
+    case FaultSite::kNumSites: break;
+  }
+  return "unknown";
+}
+
+Status FaultInjector::MaybeInject(FaultSite site) {
+  const size_t s = static_cast<size_t>(site);
+  // The sequence number is the only mutable state: the decision for call
+  // n at a site is a pure function of (seed, salt, site, n).
+  const uint64_t n = static_cast<uint64_t>(
+      calls_[s].fetch_add(1, std::memory_order_relaxed));
+  if (options_.transient_failure_rate <= 0) return Status::OK();
+  const uint64_t draw = SplitMix64(options_.seed ^ salt_ ^
+                                   (static_cast<uint64_t>(s) << 56) ^ n);
+  if (ToUnit(draw) >= options_.transient_failure_rate) return Status::OK();
+  injected_[s].fetch_add(1, std::memory_order_relaxed);
+  return Status::IOError(std::string("transient failure (injected at ") +
+                         FaultSiteName(site) + ")");
+}
+
+void FaultInjector::ExportCounters(StatsRegistry* stats) const {
+  for (size_t s = 0; s < static_cast<size_t>(FaultSite::kNumSites); ++s) {
+    const int64_t count = injected_[s].load(std::memory_order_relaxed);
+    if (count == 0) continue;
+    stats->AddCounter(std::string("fault.injected.") +
+                          FaultSiteName(static_cast<FaultSite>(s)),
+                      count);
+  }
+}
+
+int64_t FaultInjector::total_injected() const {
+  int64_t total = 0;
+  for (const auto& c : injected_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+bool IsRetryableStatus(const Status& status) {
+  return status.code() == StatusCode::kIOError ||
+         status.code() == StatusCode::kResourceExhausted;
+}
+
+double RetryPolicy::BackoffSeconds(int attempt, uint64_t call_key) const {
+  double backoff = base_backoff_seconds;
+  for (int i = 0; i < attempt; ++i) backoff *= backoff_multiplier;
+  if (backoff > max_backoff_seconds) backoff = max_backoff_seconds;
+  // Deterministic jitter in [0, backoff/2): decorrelates retry herds
+  // without making reruns diverge.
+  const uint64_t draw =
+      SplitMix64(call_key ^ (static_cast<uint64_t>(attempt) * 0x9E37ULL));
+  return backoff * (1.0 + 0.5 * ToUnit(draw));
+}
+
+namespace fault_internal {
+
+uint64_t HashCallSite(const char* site) {
+  // FNV-1a over the site literal; cheap and stable across runs.
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char* p = site; *p != '\0'; ++p) {
+    h = (h ^ static_cast<uint8_t>(*p)) * 0x100000001B3ULL;
+  }
+  return h;
+}
+
+void RecordRetry(StatsRegistry* stats, int attempts, bool gave_up) {
+  if (stats == nullptr) return;
+  if (attempts > 0) stats->AddCounter("retry.attempts", attempts);
+  if (gave_up) stats->AddCounter("retry.giveups", 1);
+}
+
+bool CancelRequested(const CancellationToken* cancel) {
+  return cancel != nullptr && cancel->ShouldStop();
+}
+
+}  // namespace fault_internal
+
+void CancellationToken::SetDeadlineAfter(double seconds) {
+  if (seconds <= 0) {
+    deadline_ns_.store(0, std::memory_order_relaxed);
+    return;
+  }
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::duration<double>(seconds));
+  deadline_ns_.store(deadline.time_since_epoch().count(),
+                     std::memory_order_relaxed);
+}
+
+void CancellationToken::Cancel(Status cause) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cancelled_.load(std::memory_order_relaxed)) return;
+  cause_ = std::move(cause);
+  cancelled_.store(true, std::memory_order_release);
+}
+
+bool CancellationToken::ShouldStop() const {
+  if (cancelled_.load(std::memory_order_acquire)) return true;
+  const int64_t deadline = deadline_ns_.load(std::memory_order_relaxed);
+  if (deadline == 0) return false;
+  const int64_t now =
+      std::chrono::steady_clock::now().time_since_epoch().count();
+  if (now <= deadline) return false;
+  // Latch the expiry as a regular cancellation so every subsequent check
+  // is one atomic load and the cause is uniform across ranks.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!cancelled_.load(std::memory_order_relaxed)) {
+      cause_ = Status::Aborted("deadline exceeded");
+      cancelled_.store(true, std::memory_order_release);
+    }
+  }
+  return true;
+}
+
+Status CancellationToken::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!cancelled_.load(std::memory_order_relaxed)) return Status::OK();
+  return cause_;
+}
+
+}  // namespace modularis

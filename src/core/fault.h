@@ -1,0 +1,257 @@
+#ifndef MODULARIS_CORE_FAULT_H_
+#define MODULARIS_CORE_FAULT_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "core/stats.h"
+#include "core/status.h"
+
+/// \file fault.h
+/// The fault layer (docs/DESIGN-fault-tolerance.md): deterministic fault
+/// injection, the one shared retry policy, and cancellation/deadlines.
+///
+/// Modularis targets platforms where failure is routine — serverless
+/// workers die mid-query and S3 requests transiently fail (paper §4.4) —
+/// so the runtime needs three things the operators themselves never see:
+///  * FaultInjector — a seeded, site-keyed probability gate wired into the
+///    fabric (Put/Send/Recv/Flush), the blob store (Get/GetRange/Put/Head)
+///    and the lambda runtime (worker crash at a chosen spawn depth). The
+///    decision for the n-th call at a site is a pure function of
+///    (seed, salt, site, n), so a run's fault pattern is reproducible.
+///  * RetryPolicy + RetryCall — exponential backoff with deterministic
+///    jitter, retrying only genuinely transient StatusCodes. This replaces
+///    the ad-hoc immediate-retry loops that used to spin on NotFound.
+///  * CancellationToken — a poisonable, deadline-armed stop flag checked
+///    in morsel loops, exchange drains and fabric blocking waits so an
+///    unrecoverable failure on one rank aborts the query everywhere
+///    instead of deadlocking its peers.
+
+namespace modularis {
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+/// The injection sites the runtime arms. A fixed enum (not free-form
+/// strings) keeps the per-call bookkeeping to one atomic increment.
+enum class FaultSite : int {
+  kFabricPut = 0,
+  kFabricSend,
+  kFabricRecv,
+  kFabricFlush,
+  kBlobGet,
+  kBlobGetRange,
+  kBlobPut,
+  kBlobHead,
+  kLambdaSpawn,
+  kNumSites,
+};
+
+/// Stats-counter suffix for a site ("fault.injected.<name>").
+const char* FaultSiteName(FaultSite site);
+
+/// Injection configuration, carried by FabricOptions, BlobClientOptions
+/// and LambdaOptions (each component builds its own injector from it).
+struct FaultOptions {
+  /// Probability of an injected transient kIOError per call at each armed
+  /// site. 0 disables injection entirely.
+  double transient_failure_rate = 0.0;
+  /// Seed of the per-site decision sequence. Two runs with the same seed,
+  /// salt and per-site call counts inject the same number of faults.
+  uint64_t seed = 0x5eed5eedULL;
+  /// Crash (non-retryable kAborted, never run) every lambda worker whose
+  /// spawn-tree depth equals this value; 0 disables. Models a function
+  /// instance dying during the tree-plan spawn (paper §3.1).
+  int lambda_crash_depth = 0;
+  /// Run the full decision path (hash + counters) even when the rate is 0
+  /// and nothing can ever fire. Only used by the bench harness to measure
+  /// the hook cost on the fault-free paths (tools/bench_gate.py).
+  bool armed = false;
+
+  bool enabled() const {
+    return armed || transient_failure_rate > 0 || lambda_crash_depth > 0;
+  }
+};
+
+/// Seeded, site-keyed fault source. Thread-safe; one per component
+/// (fabric, blob client, lambda fleet), disambiguated by `salt` so two
+/// clients with the same seed draw independent sequences.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultOptions options, uint64_t salt = 0)
+      : options_(options), salt_(salt) {}
+
+  /// Cheap guard for hot paths: callers skip MaybeInject entirely when
+  /// injection is off, so the fault-free cost is one predictable branch.
+  bool enabled() const { return options_.enabled(); }
+  const FaultOptions& options() const { return options_; }
+
+  /// Draws the next seeded decision for `site`: the injected transient
+  /// failure when it fires, OK otherwise.
+  Status MaybeInject(FaultSite site);
+
+  /// True when a lambda worker spawned at tree depth `depth` must crash.
+  bool ShouldCrashAtDepth(int depth) const {
+    return options_.lambda_crash_depth > 0 &&
+           depth == options_.lambda_crash_depth;
+  }
+
+  /// Books an unconditionally injected fault at `site` — the lambda
+  /// crash-at-depth path, which is depth- not rate-triggered and so never
+  /// goes through MaybeInject.
+  void RecordInjected(FaultSite site) {
+    const size_t s = static_cast<size_t>(site);
+    calls_[s].fetch_add(1, std::memory_order_relaxed);
+    injected_[s].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Per-site injected-failure counts, exported as
+  /// "fault.injected.<site>" (only non-zero sites, so a fault-free run
+  /// contributes no fault.* keys at all).
+  void ExportCounters(StatsRegistry* stats) const;
+  int64_t injected(FaultSite site) const {
+    return injected_[static_cast<size_t>(site)].load(
+        std::memory_order_relaxed);
+  }
+  int64_t total_injected() const;
+
+ private:
+  FaultOptions options_;
+  uint64_t salt_ = 0;
+  std::array<std::atomic<int64_t>, static_cast<size_t>(FaultSite::kNumSites)>
+      calls_{};
+  std::array<std::atomic<int64_t>, static_cast<size_t>(FaultSite::kNumSites)>
+      injected_{};
+};
+
+// ---------------------------------------------------------------------------
+// Retry policy
+// ---------------------------------------------------------------------------
+
+/// True for the StatusCodes a retry can actually fix: kIOError (transient
+/// network/storage hiccups, exactly what the injector emits) and
+/// kResourceExhausted (throttling). Everything else — kNotFound,
+/// kInvalidArgument, kAborted, ... — fails fast: retrying a missing key
+/// or a poisoned channel only burns the backoff budget.
+bool IsRetryableStatus(const Status& status);
+
+/// The one retry configuration shared by every transient-failure site
+/// (blob reads/writes, fabric puts/sends/recvs), carried by ExecOptions.
+struct RetryPolicy {
+  /// Retries after the first attempt; max_retries = 4 means up to 5 calls.
+  int max_retries = 4;
+  /// Backoff before retry k (0-based): base * multiplier^k, capped at
+  /// `max_backoff_seconds`, plus deterministic jitter in [0, backoff/2).
+  double base_backoff_seconds = 200e-6;
+  double backoff_multiplier = 2.0;
+  double max_backoff_seconds = 20e-3;
+  /// When false the backoff is computed but not slept (functional tests).
+  bool sleep = true;
+
+  /// Deterministic jittered backoff for retry `attempt` of the call
+  /// identified by `call_key` (pure function — reruns back off the same).
+  double BackoffSeconds(int attempt, uint64_t call_key) const;
+};
+
+class CancellationToken;
+
+namespace fault_internal {
+inline const Status& StatusOf(const Status& s) { return s; }
+template <typename T>
+const Status& StatusOf(const Result<T>& r) {
+  return r.status();
+}
+uint64_t HashCallSite(const char* site);
+void RecordRetry(StatsRegistry* stats, int attempts, bool gave_up);
+bool CancelRequested(const CancellationToken* cancel);
+}  // namespace fault_internal
+
+/// Runs `fn` (returning Status or Result<T>), retrying transient failures
+/// per `policy` with exponential backoff + deterministic jitter. Retried
+/// attempts count into "retry.attempts"; an exhausted budget counts one
+/// "retry.giveups" and returns the last error unchanged. Non-retryable
+/// errors and cancellation fail fast. `stats` may be null.
+template <typename Fn>
+auto RetryCall(const RetryPolicy& policy, StatsRegistry* stats,
+               const char* site, Fn&& fn,
+               const CancellationToken* cancel = nullptr) -> decltype(fn()) {
+  int attempt = 0;
+  while (true) {
+    auto result = fn();
+    const Status& st = fault_internal::StatusOf(result);
+    if (st.ok() || !IsRetryableStatus(st)) {
+      if (attempt > 0) fault_internal::RecordRetry(stats, attempt, false);
+      return result;
+    }
+    if (attempt >= policy.max_retries ||
+        fault_internal::CancelRequested(cancel)) {
+      fault_internal::RecordRetry(stats, attempt, true);
+      return result;
+    }
+    double backoff = policy.BackoffSeconds(
+        attempt, fault_internal::HashCallSite(site));
+    if (policy.sleep && backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    }
+    ++attempt;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cancellation + deadlines
+// ---------------------------------------------------------------------------
+
+/// Query-wide stop flag. The executor owns one per run; every rank/worker
+/// context points at it (ExecContext::cancel). The first Cancel() wins and
+/// records its cause; an optional deadline self-cancels with kAborted.
+/// ShouldStop() is the hot-path check (one relaxed atomic load when no
+/// deadline is armed); Check() additionally surfaces the cause.
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Arms the deadline `seconds` from now (0 disarms).
+  void SetDeadlineAfter(double seconds);
+
+  /// Requests cancellation; the first cause is kept, later ones ignored.
+  void Cancel(Status cause);
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+  /// Hot-path check: cancelled flag, then the armed deadline (one clock
+  /// read, only when a deadline exists). Const so read-only contexts can
+  /// poll it — expiry latches the cancel state via the mutable members.
+  bool ShouldStop() const;
+
+  /// OK while running; the cancellation cause once stopped.
+  Status Check() const {
+    if (!ShouldStop()) return Status::OK();
+    return status();
+  }
+
+  /// The recorded cause (OK when not cancelled).
+  Status status() const;
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::atomic<bool> cancelled_{false};
+  mutable Status cause_;  // guarded by mu_
+  /// steady_clock deadline in ns since epoch; 0 = disarmed.
+  std::atomic<int64_t> deadline_ns_{0};
+};
+
+}  // namespace modularis
+
+#endif  // MODULARIS_CORE_FAULT_H_

@@ -47,6 +47,18 @@ Status ParallelFor(int num_workers, const std::function<Status(int)>& body) {
   return Status::OK();
 }
 
+Status ParallelFor(const ExecContext* ctx, int num_workers,
+                   const std::function<Status(int)>& body) {
+  const CancellationToken* cancel = ctx != nullptr ? ctx->cancel : nullptr;
+  // Don't dispatch work into a dead query.
+  if (cancel != nullptr && cancel->ShouldStop()) return cancel->status();
+  MODULARIS_RETURN_NOT_OK(ParallelFor(num_workers, body));
+  // Workers whose MorselCursor went dry because of cancellation return OK
+  // with partial state; surface the real cause instead.
+  if (cancel != nullptr && cancel->ShouldStop()) return cancel->status();
+  return Status::OK();
+}
+
 int PlanWorkers(size_t rows, const ExecOptions& options) {
   int budget = options.ResolvedNumThreads();
   if (budget <= 1) return 1;

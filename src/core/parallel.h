@@ -38,6 +38,14 @@ namespace modularis {
 /// parallel region always amortizes it over a large morsel run.
 Status ParallelFor(int num_workers, const std::function<Status(int)>& body);
 
+/// Cancellation-aware variant: refuses to dispatch when `ctx->cancel` has
+/// already stopped the query, and reports the cancellation cause if it
+/// fired while the region ran (workers end their morsel loops early via a
+/// cancellable MorselCursor, which would otherwise look like a clean — but
+/// partial — completion). `ctx` (or its token) may be null.
+Status ParallelFor(const ExecContext* ctx, int num_workers,
+                   const std::function<Status(int)>& body);
+
 /// Picks the worker count for a phase over `rows` input rows: enough rows
 /// per worker (options.parallel_min_rows) to amortize thread startup and
 /// merge cost, capped at the resolved thread budget. Returns 1 when the
@@ -175,13 +183,21 @@ void PairwiseCombineRows(
 
 /// Dynamic morsel dispenser over [0, total): workers claim fixed-size
 /// morsels with one atomic add. Use only for order-insensitive merges.
+/// With a CancellationToken attached, Claim stops dispensing once the
+/// query is cancelled — workers drain out at the next morsel boundary and
+/// the enclosing ParallelFor(ctx, ...) reports the cancellation cause.
 class MorselCursor {
  public:
-  MorselCursor(size_t total, size_t morsel_rows)
-      : total_(total), morsel_rows_(morsel_rows == 0 ? 1 : morsel_rows) {}
+  MorselCursor(size_t total, size_t morsel_rows,
+               const CancellationToken* cancel = nullptr)
+      : total_(total),
+        morsel_rows_(morsel_rows == 0 ? 1 : morsel_rows),
+        cancel_(cancel) {}
 
-  /// Claims the next morsel; false when the input is exhausted.
+  /// Claims the next morsel; false when the input is exhausted or the
+  /// query was cancelled.
   bool Claim(size_t* begin, size_t* count) {
+    if (cancel_ != nullptr && cancel_->ShouldStop()) return false;
     size_t b = next_.fetch_add(morsel_rows_, std::memory_order_relaxed);
     if (b >= total_) return false;
     *begin = b;
@@ -192,6 +208,7 @@ class MorselCursor {
  private:
   const size_t total_;
   const size_t morsel_rows_;
+  const CancellationToken* cancel_;
   std::atomic<size_t> next_{0};
 };
 

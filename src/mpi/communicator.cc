@@ -4,11 +4,45 @@
 
 namespace modularis::mpi {
 
-void Communicator::Rendezvous(
+void World::Poison(const Status& cause) {
+  {
+    std::lock_guard<std::mutex> lock(poison_mu_);
+    if (poisoned_.load(std::memory_order_relaxed)) return;  // first wins
+    poison_cause_ = cause;
+    poisoned_.store(true, std::memory_order_release);
+  }
+  // Empty critical section on the slot lock before notifying: a rank
+  // between its predicate check and its wait would otherwise miss the
+  // wakeup forever (the classic lost-notify race).
+  { std::lock_guard<std::mutex> lock(slot_.mu); }
+  slot_.cv.notify_all();
+  // Then wake ranks blocked in the fabric (two-sided Recv waits live in
+  // per-mailbox cvs).
+  fabric_.Poison(cause);
+}
+
+Status World::poison_cause() const {
+  std::lock_guard<std::mutex> lock(poison_mu_);
+  if (!poisoned_.load(std::memory_order_relaxed)) return Status::OK();
+  return poison_cause_;
+}
+
+namespace {
+
+Status PoisonedStatus(const Status& cause) {
+  return Status::Aborted("peer rank failed: " + cause.ToString());
+}
+
+}  // namespace
+
+Status Communicator::Rendezvous(
     const std::function<void(World::CollectiveSlot&)>& on_arrive,
     const std::function<void(World::CollectiveSlot&)>& on_complete) {
   World::CollectiveSlot& slot = world_->slot_;
   std::unique_lock<std::mutex> lock(slot.mu);
+  if (world_->poisoned_.load(std::memory_order_relaxed)) {
+    return PoisonedStatus(world_->poison_cause_);
+  }
   uint64_t my_generation = slot.generation;
   if (on_arrive) on_arrive(slot);
   if (++slot.arrived == world_->size()) {
@@ -17,16 +51,25 @@ void Communicator::Rendezvous(
     ++slot.generation;
     slot.cv.notify_all();
   } else {
-    slot.cv.wait(lock, [&] { return slot.generation != my_generation; });
+    // A poisoned world never bumps the generation (the failed rank is
+    // gone), so the predicate must also wake on poisoning.
+    slot.cv.wait(lock, [&] {
+      return slot.generation != my_generation ||
+             world_->poisoned_.load(std::memory_order_relaxed);
+    });
+    if (slot.generation == my_generation) {
+      return PoisonedStatus(world_->poison_cause_);
+    }
   }
+  return Status::OK();
 }
 
-void Communicator::Barrier() {
-  Rendezvous(nullptr, nullptr);
+Status Communicator::Barrier() {
+  return Rendezvous(nullptr, nullptr);
 }
 
-void Communicator::AllreduceSum(std::vector<int64_t>* data) {
-  Rendezvous(
+Status Communicator::AllreduceSum(std::vector<int64_t>* data) {
+  MODULARIS_RETURN_NOT_OK(Rendezvous(
       [&](World::CollectiveSlot& slot) {
         if (slot.reduce_acc.size() != data->size()) {
           slot.reduce_acc.assign(data->size(), 0);
@@ -35,7 +78,7 @@ void Communicator::AllreduceSum(std::vector<int64_t>* data) {
           slot.reduce_acc[i] += (*data)[i];
         }
       },
-      nullptr);
+      nullptr));
   // After the rendezvous every rank copies the reduced vector out. The
   // accumulator is reset by the first arriver of the *next* allreduce, so
   // a second rendezvous fences the read before reuse.
@@ -43,65 +86,64 @@ void Communicator::AllreduceSum(std::vector<int64_t>* data) {
     std::unique_lock<std::mutex> lock(world_->slot_.mu);
     *data = world_->slot_.reduce_acc;
   }
-  Rendezvous(nullptr, [](World::CollectiveSlot& slot) {
+  return Rendezvous(nullptr, [](World::CollectiveSlot& slot) {
     slot.reduce_acc.clear();
   });
 }
 
-std::vector<std::vector<int64_t>> Communicator::AllgatherI64(
-    const std::vector<int64_t>& local) {
-  Rendezvous(
+Status Communicator::AllgatherI64(const std::vector<int64_t>& local,
+                                  std::vector<std::vector<int64_t>>* out) {
+  MODULARIS_RETURN_NOT_OK(Rendezvous(
       [&](World::CollectiveSlot& slot) {
         if (slot.gather_parts.size() != static_cast<size_t>(size())) {
           slot.gather_parts.assign(size(), {});
         }
         slot.gather_parts[rank_] = local;
       },
-      nullptr);
-  std::vector<std::vector<int64_t>> result;
+      nullptr));
   {
     std::unique_lock<std::mutex> lock(world_->slot_.mu);
-    result = world_->slot_.gather_parts;
+    *out = world_->slot_.gather_parts;
   }
-  Rendezvous(nullptr, [](World::CollectiveSlot& slot) {
+  return Rendezvous(nullptr, [](World::CollectiveSlot& slot) {
     slot.gather_parts.clear();
   });
-  return result;
 }
 
-std::vector<std::vector<uint8_t>> Communicator::AllgatherBytes(
-    const std::vector<uint8_t>& local) {
+Status Communicator::AllgatherBytes(const std::vector<uint8_t>& local,
+                                    std::vector<std::vector<uint8_t>>* out) {
   // Charge the fabric for sending this payload to every peer, then wait
-  // out the modelled serialization before publishing.
+  // out the modelled serialization before publishing. An injected Flush
+  // failure is transient — retry it here so a broadcast under fault
+  // injection stays byte-identical to the fault-free run.
   for (int peer = 0; peer < size(); ++peer) {
     if (peer == rank_) continue;
     world_->fabric().Charge(rank_, local.size());
   }
-  world_->fabric().Flush(rank_);
-  Rendezvous(
+  MODULARIS_RETURN_NOT_OK(RetryCall(RetryPolicy{}, nullptr, "fabric.flush",
+                                    [&] { return WinFlush(); }));
+  MODULARIS_RETURN_NOT_OK(Rendezvous(
       [&](World::CollectiveSlot& slot) {
         if (slot.gather_bytes.size() != static_cast<size_t>(size())) {
           slot.gather_bytes.assign(size(), {});
         }
         slot.gather_bytes[rank_] = local;
       },
-      nullptr);
-  std::vector<std::vector<uint8_t>> result;
+      nullptr));
   {
     std::unique_lock<std::mutex> lock(world_->slot_.mu);
-    result = world_->slot_.gather_bytes;
+    *out = world_->slot_.gather_bytes;
   }
-  Rendezvous(nullptr, [](World::CollectiveSlot& slot) {
+  return Rendezvous(nullptr, [](World::CollectiveSlot& slot) {
     slot.gather_bytes.clear();
   });
-  return result;
 }
 
-net::WindowId Communicator::WinAllocate(size_t local_bytes) {
+Result<net::WindowId> Communicator::WinAllocate(size_t local_bytes) {
   net::WindowId id = world_->fabric().RegisterWindow(rank_, local_bytes);
   // Window ids align across ranks because every rank registers in the
   // same collective order; the barrier publishes the registrations.
-  Barrier();
+  MODULARIS_RETURN_NOT_OK(Barrier());
   return id;
 }
 
@@ -110,8 +152,8 @@ Status Communicator::WinPut(int target, net::WindowId window, size_t offset,
   return world_->fabric().Put(rank_, target, window, offset, data, len);
 }
 
-void Communicator::WinFlush() {
-  world_->fabric().Flush(rank_);
+Status Communicator::WinFlush() {
+  return world_->fabric().Flush(rank_);
 }
 
 uint8_t* Communicator::WinData(net::WindowId window) {
@@ -122,14 +164,18 @@ size_t Communicator::WinSize(net::WindowId window) {
   return world_->fabric().WindowSize(rank_, window);
 }
 
-void Communicator::WinFree(net::WindowId window) {
-  Barrier();  // no rank may free while others still read
+Status Communicator::WinFree(net::WindowId window) {
+  // No rank may free while others still read; a poisoned barrier means
+  // peers may never arrive — skip the free (the World owns the memory and
+  // reclaims it on teardown) instead of racing their window reads.
+  MODULARIS_RETURN_NOT_OK(Barrier());
   world_->fabric().FreeWindow(rank_, window);
+  return Status::OK();
 }
 
 Status MpiRuntime::Run(int world_size,
                        const net::FabricOptions& fabric_options,
-                       const RankFn& fn) {
+                       const RankFn& fn, MpiRunReport* report) {
   World world(world_size, fabric_options);
   std::vector<Status> statuses(world_size, Status::OK());
   std::vector<std::thread> threads;
@@ -137,10 +183,25 @@ Status MpiRuntime::Run(int world_size,
   for (int r = 0; r < world_size; ++r) {
     threads.emplace_back([&, r] {
       Communicator comm(r, &world);
-      statuses[r] = fn(comm);
+      Status st = fn(comm);
+      if (!st.ok()) {
+        // Cross-rank error propagation: wake peers blocked in collectives
+        // or Recvs so the whole query aborts instead of deadlocking.
+        world.Poison(st);
+      }
+      statuses[r] = std::move(st);
     });
   }
   for (auto& t : threads) t.join();
+  if (report != nullptr) {
+    report->rank_status = statuses;
+    world.fabric().fault_injector().ExportCounters(&report->stats);
+  }
+  if (world.poisoned()) {
+    // The first failing rank's original status, not a peer's kAborted
+    // echo of it.
+    return world.poison_cause();
+  }
   for (const Status& st : statuses) {
     if (!st.ok()) return st;
   }

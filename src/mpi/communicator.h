@@ -1,6 +1,7 @@
 #ifndef MODULARIS_MPI_COMMUNICATOR_H_
 #define MODULARIS_MPI_COMMUNICATOR_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -8,6 +9,7 @@
 #include <mutex>
 #include <vector>
 
+#include "core/stats.h"
 #include "core/status.h"
 #include "net/fabric.h"
 
@@ -18,6 +20,11 @@
 /// the collective-skew / tail-latency effects the paper analyzes in §5.2.2
 /// (MPI_Allreduce waiting on stalled ranks, window allocation as a
 /// collective, etc.).
+///
+/// Every collective is fallible (docs/DESIGN-fault-tolerance.md): a rank
+/// that fails poisons the world, which wakes every peer blocked in a
+/// rendezvous or a fabric Recv with kAborted instead of deadlocking them
+/// on an arrival that will never come.
 
 namespace modularis::mpi {
 
@@ -31,6 +38,17 @@ class World {
 
   int size() const { return size_; }
   net::Fabric& fabric() { return fabric_; }
+
+  /// Marks the world dead with a failing rank's status: wakes every rank
+  /// blocked in a collective or a fabric Recv. The first cause wins and is
+  /// preserved verbatim (MpiRuntime::Run reports it as the run's status).
+  void Poison(const Status& cause);
+
+  bool poisoned() const {
+    return poisoned_.load(std::memory_order_acquire);
+  }
+  /// The first failing rank's original status (OK while healthy).
+  Status poison_cause() const;
 
  private:
   friend class Communicator;
@@ -48,6 +66,9 @@ class World {
   const int size_;
   net::Fabric fabric_;
   CollectiveSlot slot_;
+  mutable std::mutex poison_mu_;
+  std::atomic<bool> poisoned_{false};
+  Status poison_cause_;  // guarded by poison_mu_
 };
 
 /// Per-rank handle to the world; mirrors the subset of the MPI API the
@@ -59,64 +80,80 @@ class Communicator {
   int rank() const { return rank_; }
   int size() const { return world_->size(); }
   net::Fabric& fabric() { return world_->fabric(); }
+  World* world() { return world_; }
 
-  /// MPI_Barrier.
-  void Barrier();
+  /// Poisons the world with this rank's failure (peers' collectives and
+  /// Recvs abort promptly). Idempotent; the first cause wins.
+  void Abort(const Status& cause) { world_->Poison(cause); }
+
+  /// MPI_Barrier. Returns kAborted when the world was poisoned.
+  Status Barrier();
 
   /// MPI_Allreduce(MPI_SUM) over an i64 vector, in place. All ranks must
   /// pass equally sized vectors.
-  void AllreduceSum(std::vector<int64_t>* data);
+  Status AllreduceSum(std::vector<int64_t>* data);
 
-  /// MPI_Allgather: returns every rank's vector, indexed by rank.
-  std::vector<std::vector<int64_t>> AllgatherI64(
-      const std::vector<int64_t>& local);
+  /// MPI_Allgather: fills `out` with every rank's vector, indexed by rank.
+  Status AllgatherI64(const std::vector<int64_t>& local,
+                      std::vector<std::vector<int64_t>>* out);
 
   /// MPI_Allgather over opaque byte payloads (used by broadcast joins).
   /// Transfer costs are charged through the fabric (each rank sends its
   /// payload to every other rank).
-  std::vector<std::vector<uint8_t>> AllgatherBytes(
-      const std::vector<uint8_t>& local);
+  Status AllgatherBytes(const std::vector<uint8_t>& local,
+                        std::vector<std::vector<uint8_t>>* out);
 
   // -- One-sided (MPI-3 RMA over the fabric) --------------------------------
 
   /// Collective window allocation: every rank contributes a local window
   /// of `local_bytes`; the returned id addresses the matching window on
   /// every rank.
-  net::WindowId WinAllocate(size_t local_bytes);
+  Result<net::WindowId> WinAllocate(size_t local_bytes);
 
   /// One-sided write into `target`'s window (asynchronous).
   Status WinPut(int target, net::WindowId window, size_t offset,
                 const void* data, size_t len);
 
   /// Completes all outstanding WinPuts issued by this rank.
-  void WinFlush();
+  Status WinFlush();
 
   /// Local access to this rank's own window.
   uint8_t* WinData(net::WindowId window);
   size_t WinSize(net::WindowId window);
 
   /// Collective window release.
-  void WinFree(net::WindowId window);
+  Status WinFree(net::WindowId window);
 
  private:
   /// Generic rendezvous helper: the last-arriving rank runs `on_complete`
-  /// while holding the slot lock, then everyone is released.
-  void Rendezvous(const std::function<void(World::CollectiveSlot&)>& on_arrive,
-                  const std::function<void(World::CollectiveSlot&)>&
-                      on_complete);
+  /// while holding the slot lock, then everyone is released. Returns
+  /// kAborted without waiting once the world is poisoned.
+  Status Rendezvous(
+      const std::function<void(World::CollectiveSlot&)>& on_arrive,
+      const std::function<void(World::CollectiveSlot&)>& on_complete);
 
   int rank_;
   World* world_;
 };
 
+/// Per-run diagnostics of MpiRuntime::Run, for callers that need more
+/// than the collapsed status: the status every rank returned (peers of a
+/// failed rank report kAborted, never hang) and the fabric's
+/// "fault.injected.*" counters.
+struct MpiRunReport {
+  std::vector<Status> rank_status;
+  StatsRegistry stats;
+};
+
 /// Spawns a world of rank threads, runs `fn` on each, and joins them.
-/// Returns the first non-OK per-rank status (if any).
+/// A failing rank poisons the world (waking peers blocked in collectives
+/// and Recvs); the run returns that rank's original status.
 class MpiRuntime {
  public:
   using RankFn = std::function<Status(Communicator&)>;
 
   static Status Run(int world_size, const net::FabricOptions& fabric_options,
-                    const RankFn& fn);
+                    const RankFn& fn, MpiRunReport* report = nullptr);
 };
 
 }  // namespace modularis::mpi

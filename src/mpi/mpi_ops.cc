@@ -27,6 +27,13 @@ Status MpiExecutor::Open(ExecContext* ctx) {
   std::vector<std::vector<Tuple>> rank_results(config_.world_size);
   const ExecOptions options = ctx->options;
 
+  // One query-wide token: a failing rank cancels it (on top of poisoning
+  // the world), so peers' morsel loops and blocking waits stop promptly;
+  // the optional deadline bounds even a wedged blocking wait.
+  CancellationToken cancel;
+  cancel.SetDeadlineAfter(options.deadline_seconds);
+  mpi::MpiRunReport report;
+
   Status st = mpi::MpiRuntime::Run(
       config_.world_size, config_.fabric,
       [&](mpi::Communicator& comm) -> Status {
@@ -35,6 +42,7 @@ Status MpiExecutor::Open(ExecContext* ctx) {
         rctx.rank = r;
         rctx.world = comm.size();
         rctx.comm = &comm;
+        rctx.cancel = &cancel;
         rctx.options = options;
         // Ranks already run as concurrent threads on this machine: divide
         // the intra-node worker budget between them so a multi-rank run
@@ -49,13 +57,26 @@ Status MpiExecutor::Open(ExecContext* ctx) {
 
         ScopedTimer total(rctx.stats, "phase.rank_total");
         SubOpPtr plan = config_.plan_factory(r);
-        MODULARIS_RETURN_NOT_OK(plan->Open(&rctx));
-        Tuple t;
-        while (plan->Next(&t)) {
-          rank_results[r].push_back(OwnTuple(t, &arenas_[r]));
+        Status rank_st = [&]() -> Status {
+          // Cancellation points: query start and every result tuple — the
+          // morsel loops and blocking waits inside Open() check too, but a
+          // serial plan on a tiny input must still honour the deadline.
+          MODULARIS_RETURN_NOT_OK(cancel.Check());
+          MODULARIS_RETURN_NOT_OK(plan->Open(&rctx));
+          Tuple t;
+          while (plan->Next(&t)) {
+            MODULARIS_RETURN_NOT_OK(cancel.Check());
+            rank_results[r].push_back(OwnTuple(t, &arenas_[r]));
+          }
+          MODULARIS_RETURN_NOT_OK(plan->status());
+          return plan->Close();
+        }();
+        if (!rank_st.ok()) {
+          // Stop peers' morsel loops too; the runtime poisons their
+          // collectives and Recvs.
+          cancel.Cancel(rank_st);
+          return rank_st;
         }
-        MODULARIS_RETURN_NOT_OK(plan->status());
-        MODULARIS_RETURN_NOT_OK(plan->Close());
         total.Stop();
 
         // Snapshot fabric accounting before the world is torn down.
@@ -72,7 +93,12 @@ Status MpiExecutor::Open(ExecContext* ctx) {
             charged > 0 ? 1.0 - std::min(stall / charged, 1.0) : 1.0;
         rctx.stats->AddTime("exchange.overlap_ratio", overlap);
         return Status::OK();
-      });
+      },
+      &report);
+  // Fabric-level "fault.injected.*" counters (one shared injector, so the
+  // export happens exactly once per run, not per rank) — merged even on
+  // failure so the faults that aborted the query show up in the stats.
+  ctx->stats->Merge(report.stats);
   MODULARIS_RETURN_NOT_OK(st);
 
   // Phase times are reported as the slowest rank (as in the paper's
@@ -111,7 +137,8 @@ bool MpiHistogram::Next(Tuple* out) {
   }
   {
     ScopedTimer timer(ctx_->stats, timer_key_);
-    ctx_->comm->AllreduceSum(&counts);
+    Status st = ctx_->comm->AllreduceSum(&counts);
+    if (!st.ok()) return Fail(std::move(st));
   }
   RowVectorPtr global = RowVector::Make(HistogramSchema());
   global->Reserve(counts.size());
@@ -236,8 +263,8 @@ Status MpiExchange::DoExchange() {
   ScopedTimer timer(ctx_->stats, opts_.timer_key);
 
   // Exclusive write offsets from the allgathered local histograms.
-  std::vector<std::vector<int64_t>> all_local =
-      comm->AllgatherI64(local_counts);
+  std::vector<std::vector<int64_t>> all_local;
+  MODULARIS_RETURN_NOT_OK(comm->AllgatherI64(local_counts, &all_local));
 
   // Window layout at each owner: its partitions in ascending pid order.
   std::vector<int64_t> partition_base(fanout, 0);  // row offset at owner
@@ -256,8 +283,9 @@ Status MpiExchange::DoExchange() {
     write_offset[p] = partition_base[p] + before_me;
   }
 
-  net::WindowId window =
-      comm->WinAllocate(static_cast<size_t>(owner_rows[me]) * out_row);
+  MODULARIS_ASSIGN_OR_RETURN(
+      net::WindowId window,
+      comm->WinAllocate(static_cast<size_t>(owner_rows[me]) * out_row));
 
   const int key_col = opts_.key_col;
   const uint32_t in_row = in_schema.row_size();
@@ -327,7 +355,7 @@ Status MpiExchange::DoExchange() {
     const std::vector<size_t> bounds = SplitRows(total_rows, workers);
     std::vector<std::vector<int64_t>> worker_counts(
         workers, std::vector<int64_t>(fanout, 0));
-    MODULARIS_RETURN_NOT_OK(ParallelFor(workers, [&](int w) -> Status {
+    MODULARIS_RETURN_NOT_OK(ParallelFor(ctx_, workers, [&](int w) -> Status {
       CountSpan(flat->data() + bounds[w] * in_row, bounds[w + 1] - bounds[w],
                 in_schema, opts_.spec, key_col, worker_counts[w].data());
       return Status::OK();
@@ -357,7 +385,7 @@ Status MpiExchange::DoExchange() {
     // staging footprint matches the serial path's.
     const size_t buf_rows = std::max<size_t>(
         4, opts_.buffer_bytes / static_cast<size_t>(workers) / out_row);
-    MODULARIS_RETURN_NOT_OK(ParallelFor(workers, [&](int w) -> Status {
+    MODULARIS_RETURN_NOT_OK(ParallelFor(ctx_, workers, [&](int w) -> Status {
       std::vector<uint8_t> stage(static_cast<size_t>(fanout) * buf_rows *
                                  out_row);
       std::vector<uint32_t> fill(fanout, 0);
@@ -370,10 +398,17 @@ Status MpiExchange::DoExchange() {
               wire_stage.data() + static_cast<size_t>(offsets[w][p]) * out_row,
               buf, fill[p] * out_row);
         } else {
-          MODULARIS_RETURN_NOT_OK(comm->WinPut(
-              p % world, window,
-              static_cast<size_t>(offsets[w][p]) * out_row, buf,
-              fill[p] * out_row));
+          // An injected Put failure fires before any byte lands, so the
+          // retry writes the same exclusive region exactly once.
+          MODULARIS_RETURN_NOT_OK(RetryCall(
+              ctx_->options.retry, ctx_->stats, "fabric.put",
+              [&] {
+                return comm->WinPut(
+                    p % world, window,
+                    static_cast<size_t>(offsets[w][p]) * out_row, buf,
+                    fill[p] * out_row);
+              },
+              ctx_->cancel));
         }
         offsets[w][p] += fill[p];
         fill[p] = 0;
@@ -411,9 +446,14 @@ Status MpiExchange::DoExchange() {
             wire_stage.data() + static_cast<size_t>(cursor[p]) * out_row,
             buffers[p].data(), buffered[p] * out_row);
       } else {
-        MODULARIS_RETURN_NOT_OK(comm->WinPut(
-            p % world, window, static_cast<size_t>(cursor[p]) * out_row,
-            buffers[p].data(), buffered[p] * out_row));
+        MODULARIS_RETURN_NOT_OK(RetryCall(
+            ctx_->options.retry, ctx_->stats, "fabric.put",
+            [&] {
+              return comm->WinPut(
+                  p % world, window, static_cast<size_t>(cursor[p]) * out_row,
+                  buffers[p].data(), buffered[p] * out_row);
+            },
+            ctx_->cancel));
       }
       cursor[p] += static_cast<int64_t>(buffered[p]);
       buffered[p] = 0;
@@ -444,14 +484,24 @@ Status MpiExchange::DoExchange() {
     // Flush stall.
     for (int p = 0; p < fanout; ++p) {
       if (local_counts[p] == 0) continue;
-      MODULARIS_RETURN_NOT_OK(comm->WinPut(
-          p % world, window, static_cast<size_t>(write_offset[p]) * out_row,
-          wire_stage.data() + static_cast<size_t>(local_base[p]) * out_row,
-          static_cast<size_t>(local_counts[p]) * out_row));
+      MODULARIS_RETURN_NOT_OK(RetryCall(
+          ctx_->options.retry, ctx_->stats, "fabric.put",
+          [&] {
+            return comm->WinPut(
+                p % world, window,
+                static_cast<size_t>(write_offset[p]) * out_row,
+                wire_stage.data() +
+                    static_cast<size_t>(local_base[p]) * out_row,
+                static_cast<size_t>(local_counts[p]) * out_row);
+          },
+          ctx_->cancel));
     }
   }
-  comm->WinFlush();
-  comm->Barrier();  // all one-sided writes of all ranks have landed
+  MODULARIS_RETURN_NOT_OK(
+      RetryCall(ctx_->options.retry, ctx_->stats, "fabric.flush",
+                [&] { return comm->WinFlush(); }, ctx_->cancel));
+  // All one-sided writes of all ranks have landed.
+  MODULARIS_RETURN_NOT_OK(comm->Barrier());
 
   // Materialize owned partitions out of the window (the paper's extension
   // of the original algorithm, §4.1.2) straight into batch-served
@@ -469,7 +519,7 @@ Status MpiExchange::DoExchange() {
     if (mat_workers < 1) mat_workers = 1;
   }
   const std::vector<size_t> obounds = SplitRows(owned.size(), mat_workers);
-  MODULARIS_RETURN_NOT_OK(ParallelFor(mat_workers, [&](int w) -> Status {
+  MODULARIS_RETURN_NOT_OK(ParallelFor(ctx_, mat_workers, [&](int w) -> Status {
     for (size_t i = obounds[w]; i < obounds[w + 1]; ++i) {
       const int p = owned[i];
       RowVectorPtr part = RowVector::Make(out_schema);
@@ -481,8 +531,7 @@ Status MpiExchange::DoExchange() {
     return Status::OK();
   }));
   timer.Stop();
-  comm->WinFree(window);
-  return Status::OK();
+  return comm->WinFree(window);
 }
 
 Status MpiBroadcast::DoBroadcast() {
@@ -514,8 +563,8 @@ Status MpiBroadcast::DoBroadcast() {
   ScopedTimer timer(ctx_->stats, timer_key_);
   std::vector<uint8_t> bytes(local->data(),
                              local->data() + local->byte_size());
-  std::vector<std::vector<uint8_t>> all =
-      ctx_->comm->AllgatherBytes(bytes);
+  std::vector<std::vector<uint8_t>> all;
+  MODULARIS_RETURN_NOT_OK(ctx_->comm->AllgatherBytes(bytes, &all));
   merged_ = RowVector::Make(schema_);
   for (const auto& part : all) {
     merged_->AppendRawBatch(part.data(), part.size() / schema_.row_size());

@@ -73,7 +73,7 @@ Status TcpExchange::DoExchange() {
     std::vector<uint8_t> pids(n);
     std::vector<std::vector<size_t>> worker_counts(
         workers, std::vector<size_t>(world, 0));
-    MODULARIS_RETURN_NOT_OK(ParallelFor(workers, [&](int w) -> Status {
+    MODULARIS_RETURN_NOT_OK(ParallelFor(ctx_, workers, [&](int w) -> Status {
       const uint8_t* p = input->data() + bounds[w] * stride;
       for (size_t i = bounds[w]; i < bounds[w + 1]; ++i, p += stride) {
         const uint32_t d = dest_of(p);
@@ -96,7 +96,7 @@ Status TcpExchange::DoExchange() {
         off += worker_counts[w][r];
       }
     }
-    MODULARIS_RETURN_NOT_OK(ParallelFor(workers, [&](int w) -> Status {
+    MODULARIS_RETURN_NOT_OK(ParallelFor(ctx_, workers, [&](int w) -> Status {
       ScatterSpanByPidWc(input->data() + bounds[w] * stride,
                          bounds[w + 1] - bounds[w], stride,
                          pids.data() + bounds[w], world, bounds[w],
@@ -133,16 +133,29 @@ Status TcpExchange::DoExchange() {
   for (int peer = 0; peer < world; ++peer) {
     if (peer == me) continue;
     const size_t rows = dest_base[peer + 1] - dest_base[peer];
-    std::vector<uint8_t> payload(rows * stride);
-    if (rows > 0) {
-      std::memcpy(payload.data(), wire->data() + dest_base[peer] * stride,
-                  rows * stride);
-    }
-    comm->fabric().Send(me, peer, std::move(payload));
+    // The payload is rebuilt from the wire buffer inside the retried call
+    // (Send consumes it by value); an injected failure fires before the
+    // enqueue, so the retry delivers exactly one copy.
+    MODULARIS_RETURN_NOT_OK(RetryCall(
+        ctx_->options.retry, ctx_->stats, "fabric.send",
+        [&] {
+          std::vector<uint8_t> payload(rows * stride);
+          if (rows > 0) {
+            std::memcpy(payload.data(),
+                        wire->data() + dest_base[peer] * stride,
+                        rows * stride);
+          }
+          return comm->fabric().Send(me, peer, std::move(payload));
+        },
+        ctx_->cancel));
   }
   for (int peer = 0; peer < world; ++peer) {
     if (peer == me) continue;
-    std::vector<uint8_t> payload = comm->fabric().Recv(me, peer);
+    std::vector<uint8_t> payload;
+    MODULARIS_RETURN_NOT_OK(RetryCall(
+        ctx_->options.retry, ctx_->stats, "fabric.recv",
+        [&] { return comm->fabric().Recv(me, peer, &payload, ctx_->cancel); },
+        ctx_->cancel));
     mine_->AppendRawBatch(payload.data(), payload.size() / stride);
   }
   timer.Stop();

@@ -9,10 +9,15 @@ namespace {
 // Sleeps shorter than this are skipped: the scheduler cannot honour them
 // accurately and they would only add noise.
 constexpr auto kMinSleep = std::chrono::microseconds(50);
+// Recv re-checks poisoning/cancellation at this period even without a
+// notify — belt and braces against a lost wakeup while a peer dies.
+constexpr auto kRecvPollPeriod = std::chrono::milliseconds(10);
 }  // namespace
 
 Fabric::Fabric(int world_size, FabricOptions options)
-    : world_size_(world_size), options_(std::move(options)) {
+    : world_size_(world_size),
+      options_(std::move(options)),
+      injector_(options_.fault) {
   windows_.resize(world_size_);
   nics_.reserve(world_size_);
   for (int i = 0; i < world_size_; ++i) {
@@ -64,6 +69,11 @@ Fabric::Clock::time_point Fabric::ChargeTransfer(int rank, size_t len) {
 
 Status Fabric::Put(int src, int dst, WindowId window, size_t offset,
                    const void* data, size_t len) {
+  if (injector_.enabled()) {
+    // Fires before the memcpy: a failed Put leaves the window untouched,
+    // so the caller's retry writes the same disjoint region once.
+    MODULARIS_RETURN_NOT_OK(injector_.MaybeInject(FaultSite::kFabricPut));
+  }
   uint8_t* base;
   size_t size;
   {
@@ -88,7 +98,11 @@ Status Fabric::Put(int src, int dst, WindowId window, size_t offset,
   return Status::OK();
 }
 
-void Fabric::Flush(int src) {
+Status Fabric::Flush(int src) {
+  if (poisoned_.load(std::memory_order_acquire)) return poison_status();
+  if (injector_.enabled()) {
+    MODULARIS_RETURN_NOT_OK(injector_.MaybeInject(FaultSite::kFabricFlush));
+  }
   Nic& nic = *nics_[src];
   // One critical section for read-clock + record-stall: a concurrent
   // worker Put between an unlocked read and a relock would otherwise
@@ -98,15 +112,22 @@ void Fabric::Flush(int src) {
     std::lock_guard<std::mutex> lock(nic.mu);
     until = nic.egress_busy_until;
     auto now = Clock::now();
-    if (until <= now) return;
+    if (until <= now) return Status::OK();
     nic.stall_seconds += std::chrono::duration<double>(until - now).count();
   }
   if (options_.throttle && until - Clock::now() >= kMinSleep) {
     std::this_thread::sleep_until(until);
   }
+  return Status::OK();
 }
 
-void Fabric::Send(int src, int dst, std::vector<uint8_t> payload) {
+Status Fabric::Send(int src, int dst, std::vector<uint8_t> payload) {
+  if (poisoned_.load(std::memory_order_acquire)) return poison_status();
+  if (injector_.enabled()) {
+    // Fires before the charge and the enqueue: a failed Send is invisible
+    // to the receiver, so the caller's retry delivers exactly one copy.
+    MODULARIS_RETURN_NOT_OK(injector_.MaybeInject(FaultSite::kFabricSend));
+  }
   auto done = ChargeTransfer(src, payload.size());
   // Two-sided transfers do not overlap with computation: block for the
   // modelled serialization time before the message becomes visible.
@@ -128,15 +149,49 @@ void Fabric::Send(int src, int dst, std::vector<uint8_t> payload) {
     box.messages.push_back(std::move(payload));
   }
   box.cv.notify_all();
+  return Status::OK();
 }
 
-std::vector<uint8_t> Fabric::Recv(int dst, int src) {
+Status Fabric::Recv(int dst, int src, std::vector<uint8_t>* out,
+                    const CancellationToken* cancel) {
   Mailbox& box = *mailboxes_[static_cast<size_t>(dst) * world_size_ + src];
   std::unique_lock<std::mutex> lock(box.mu);
-  box.cv.wait(lock, [&] { return !box.messages.empty(); });
-  std::vector<uint8_t> msg = std::move(box.messages.front());
+  // Wait for a message, a poison wakeup, or cancellation/deadline. A
+  // queued message is still delivered after poisoning — the sender paid
+  // for it before failing — so draining peers that already sent works.
+  while (box.messages.empty()) {
+    if (poisoned_.load(std::memory_order_acquire)) return poison_status();
+    if (cancel != nullptr && cancel->ShouldStop()) return cancel->status();
+    box.cv.wait_for(lock, kRecvPollPeriod);
+  }
+  if (injector_.enabled()) {
+    // Fires before the pop: the message stays queued for the retry.
+    MODULARIS_RETURN_NOT_OK(injector_.MaybeInject(FaultSite::kFabricRecv));
+  }
+  *out = std::move(box.messages.front());
   box.messages.pop_front();
-  return msg;
+  return Status::OK();
+}
+
+void Fabric::Poison(const Status& cause) {
+  {
+    std::lock_guard<std::mutex> lock(poison_mu_);
+    if (poisoned_.load(std::memory_order_relaxed)) return;  // first wins
+    poison_cause_ = Status::Aborted("peer failure poisoned the fabric: " +
+                                    cause.ToString());
+    poisoned_.store(true, std::memory_order_release);
+  }
+  // Wake every blocked Recv so no rank waits on a sender that died.
+  for (auto& box : mailboxes_) {
+    std::lock_guard<std::mutex> lock(box->mu);
+    box->cv.notify_all();
+  }
+}
+
+Status Fabric::poison_status() const {
+  std::lock_guard<std::mutex> lock(poison_mu_);
+  if (!poisoned_.load(std::memory_order_relaxed)) return Status::OK();
+  return poison_cause_;
 }
 
 int64_t Fabric::bytes_sent(int rank) const {

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fault.h"
 #include "core/stats.h"
 #include "core/status.h"
 
@@ -43,6 +44,12 @@ struct FabricOptions {
   /// When false, transfers are not slept on (functional tests); charged
   /// time is still accounted in stats.
   bool throttle = true;
+
+  /// Deterministic fault injection at Put/Send/Recv/Flush
+  /// (docs/DESIGN-fault-tolerance.md). Injected failures fire BEFORE the
+  /// op's side effect (no bytes land, no message enqueues), so a
+  /// retried-to-success call is byte-identical to a fault-free one.
+  FaultOptions fault;
 
   /// A slower, two-sided profile approximating IP-over-IB / datacenter TCP
   /// as used by the Presto/SingleStore-profile baselines.
@@ -92,16 +99,38 @@ class Fabric {
 
   /// Blocks until all Puts issued by `src` have "drained" (busy-clock
   /// caught up). Stall time is recorded under "net.flush_wait".
-  void Flush(int src);
+  Status Flush(int src);
 
   // -- Two-sided (TCP profile, used by baselines) -----------------------------
 
   /// Sends a message from `src` to `dst` (copies the payload; blocks for
-  /// the modelled serialization time — two-sided has no overlap).
-  void Send(int src, int dst, std::vector<uint8_t> payload);
+  /// the modelled serialization time — two-sided has no overlap). An
+  /// injected failure fires before the message enqueues, so the send is
+  /// safe to retry.
+  Status Send(int src, int dst, std::vector<uint8_t> payload);
 
-  /// Receives the next message sent from `src` to `dst` (blocking).
-  std::vector<uint8_t> Recv(int dst, int src);
+  /// Receives the next message sent from `src` to `dst` into `out`
+  /// (blocking). Returns non-OK on an injected transient (message left
+  /// queued; retry to pop it), on poisoning (a peer failed — the mailbox
+  /// wait is woken rather than deadlocking forever on a sender that will
+  /// never arrive), or when `cancel` stops the query / its deadline
+  /// expires while waiting.
+  Status Recv(int dst, int src, std::vector<uint8_t>* out,
+              const CancellationToken* cancel = nullptr);
+
+  // -- Failure propagation ----------------------------------------------------
+
+  /// Poisons the fabric with a peer's failure: every blocked and future
+  /// Recv/Send/Flush returns kAborted carrying `cause`'s message. Called
+  /// by the runtimes when a rank fails so its peers cannot hang waiting
+  /// for traffic that will never come.
+  void Poison(const Status& cause);
+
+  /// OK while healthy; the poison status once a peer failure landed.
+  Status poison_status() const;
+
+  /// The fabric's fault injector (counter export; see FaultSiteName).
+  const FaultInjector& fault_injector() const { return injector_; }
 
   /// Charges `rank`'s egress clock for a transfer of `len` bytes without
   /// moving data (collectives whose payload travels via shared memory).
@@ -148,6 +177,11 @@ class Fabric {
 
   const int world_size_;
   const FabricOptions options_;
+  FaultInjector injector_;
+
+  mutable std::mutex poison_mu_;
+  std::atomic<bool> poisoned_{false};
+  Status poison_cause_;  // guarded by poison_mu_
 
   std::mutex windows_mu_;
   std::vector<std::vector<std::unique_ptr<std::vector<uint8_t>>>> windows_;

@@ -22,46 +22,94 @@ int LambdaRuntime::SpawnDepth(int worker_id, int fanout) {
 
 namespace {
 
-/// Reusable generation barrier across the worker fleet.
+/// Reusable generation barrier across the worker fleet. Poisonable: once
+/// any worker dies, every blocked and future Wait returns kAborted — the
+/// storage-polling synchronization it stands in for would otherwise wait
+/// forever for a dead peer's S3 write.
 class FleetBarrier {
  public:
   explicit FleetBarrier(int parties) : parties_(parties) {}
 
-  void Wait() {
+  Status Wait() {
     std::unique_lock<std::mutex> lock(mu_);
+    if (poisoned_) return PeerStatus();
     uint64_t my_generation = generation_;
     if (++arrived_ == parties_) {
       arrived_ = 0;
       ++generation_;
       cv_.notify_all();
     } else {
-      cv_.wait(lock, [&] { return generation_ != my_generation; });
+      // A poisoned fleet never completes the generation (the dead worker
+      // cannot arrive), so the predicate must also wake on poisoning.
+      cv_.wait(lock,
+               [&] { return generation_ != my_generation || poisoned_; });
+      if (generation_ == my_generation) return PeerStatus();
     }
+    return Status::OK();
+  }
+
+  void Poison(const Status& cause) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (poisoned_) return;  // first wins
+      poisoned_ = true;
+      cause_ = cause;
+    }
+    cv_.notify_all();
   }
 
  private:
+  Status PeerStatus() const {
+    return Status::Aborted("peer lambda worker failed: " + cause_.ToString());
+  }
+
   const int parties_;
   std::mutex mu_;
   std::condition_variable cv_;
   int arrived_ = 0;
   uint64_t generation_ = 0;
+  bool poisoned_ = false;
+  Status cause_;  // guarded by mu_
 };
 
 }  // namespace
 
 Status LambdaRuntime::Run(const LambdaOptions& options, BlobStore* store,
-                          const WorkerFn& fn) {
+                          const WorkerFn& fn, LambdaRunReport* report) {
   FleetBarrier barrier(options.num_workers);
+  FaultInjector spawn_injector(options.fault);
   std::vector<Status> statuses(options.num_workers, Status::OK());
+  std::mutex failure_mu;
+  Status first_failure;  // guarded by failure_mu; the run's return value
+  auto note_failure = [&](const Status& st) {
+    {
+      std::lock_guard<std::mutex> lock(failure_mu);
+      if (first_failure.ok()) first_failure = st;
+    }
+    barrier.Poison(st);
+  };
   std::vector<std::thread> threads;
   threads.reserve(options.num_workers);
   for (int w = 0; w < options.num_workers; ++w) {
     threads.emplace_back([&, w] {
       // Tree-spawn startup latency: depth hops of function invocation.
+      const int depth = SpawnDepth(w, options.spawn_fanout);
       if (options.throttle) {
-        double delay = options.invoke_latency_seconds *
-                       SpawnDepth(w, options.spawn_fanout);
+        double delay = options.invoke_latency_seconds * depth;
         std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+      }
+      if (spawn_injector.ShouldCrashAtDepth(depth)) {
+        // The function instance dies during the tree spawn: the worker
+        // body never runs. Non-retryable — a crashed worker's partition
+        // of the query is simply gone, so the whole query must abort.
+        spawn_injector.RecordInjected(FaultSite::kLambdaSpawn);
+        Status st = Status::Aborted(
+            "lambda worker " + std::to_string(w) +
+            " crashed (injected at spawn depth " + std::to_string(depth) +
+            ")");
+        statuses[w] = st;
+        note_failure(st);
+        return;
       }
       BlobClientOptions client_options = options.s3;
       client_options.throttle = options.throttle && client_options.throttle;
@@ -70,15 +118,25 @@ Status LambdaRuntime::Run(const LambdaOptions& options, BlobStore* store,
       ctx.worker_id = w;
       ctx.num_workers = options.num_workers;
       ctx.s3 = &client;
-      ctx.barrier = [&barrier] { barrier.Wait(); };
-      statuses[w] = fn(ctx);
+      ctx.barrier = [&barrier] { return barrier.Wait(); };
+      Status st = fn(ctx);
+      statuses[w] = st;
+      if (!st.ok()) note_failure(st);
+      if (report != nullptr) {
+        // StatsRegistry is thread-safe; same-named counters sum across
+        // workers into one fleet-wide total.
+        client.fault_injector().ExportCounters(&report->stats);
+      }
     });
   }
   for (auto& t : threads) t.join();
-  for (const Status& st : statuses) {
-    if (!st.ok()) return st;
+  if (report != nullptr) {
+    report->worker_status = statuses;
+    spawn_injector.ExportCounters(&report->stats);
   }
-  return Status::OK();
+  // The first failure's original status, not a peer's kAborted echo.
+  std::lock_guard<std::mutex> lock(failure_mu);
+  return first_failure;
 }
 
 }  // namespace modularis::serverless

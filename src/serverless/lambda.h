@@ -5,6 +5,8 @@
 #include <functional>
 #include <mutex>
 
+#include "core/fault.h"
+#include "core/stats.h"
 #include "core/status.h"
 #include "storage/blob_store.h"
 
@@ -16,6 +18,12 @@
 /// number of children per unit time). Workers have NO direct channel to
 /// each other — the structural constraint that forces exchanges through
 /// storage (§4.4) — and reach S3 through per-worker BlobClients.
+///
+/// Failure model (docs/DESIGN-fault-tolerance.md): a worker that fails —
+/// or is crashed by the injector at a chosen spawn depth — poisons the
+/// fleet barrier, so peers blocked on storage-based synchronization abort
+/// with kAborted instead of waiting forever for a write that will never
+/// appear. The run returns the crashed worker's original status.
 
 namespace modularis::serverless {
 
@@ -29,8 +37,11 @@ struct LambdaOptions {
   double invoke_latency_seconds = 0.08;
   /// Children each worker spawns (tree fan-out).
   int spawn_fanout = 8;
-  /// Per-worker S3 connection profile.
+  /// Per-worker S3 connection profile (carries the blob-side FaultOptions).
   BlobClientOptions s3 = BlobClientOptions::S3();
+  /// Runtime-level fault injection: `lambda_crash_depth` kills every
+  /// worker at that spawn-tree depth before it runs (kLambdaSpawn site).
+  FaultOptions fault;
   bool throttle = true;
 };
 
@@ -41,18 +52,30 @@ struct LambdaWorkerContext {
   BlobClient* s3 = nullptr;
   /// In-process stand-in for Lambada's storage-based synchronization
   /// (workers polling S3 listings until all peers have written): blocks
-  /// until every worker reached the same rendezvous point.
-  std::function<void()> barrier;
+  /// until every worker reached the same rendezvous point. Returns
+  /// kAborted once a peer worker has died — the poll would otherwise spin
+  /// on an object that is never written.
+  std::function<Status()> barrier;
+};
+
+/// Per-run diagnostics of LambdaRuntime::Run: what every worker returned
+/// (peers of a crashed worker report kAborted, never hang) plus the
+/// fleet's "fault.injected.*" counters (spawn crashes and every worker's
+/// blob-client injections).
+struct LambdaRunReport {
+  std::vector<Status> worker_status;
+  StatsRegistry stats;
 };
 
 /// Spawns the worker fleet, applies tree-spawn latency, runs `fn` on each
-/// worker, joins, and returns the first failure.
+/// worker, joins, and returns the first failure (original status — peers'
+/// kAborted echoes never mask it).
 class LambdaRuntime {
  public:
   using WorkerFn = std::function<Status(LambdaWorkerContext&)>;
 
   static Status Run(const LambdaOptions& options, BlobStore* store,
-                    const WorkerFn& fn);
+                    const WorkerFn& fn, LambdaRunReport* report = nullptr);
 
   /// Depth of worker `w` in the spawn tree (root = 1 invocation hop).
   static int SpawnDepth(int worker_id, int fanout);

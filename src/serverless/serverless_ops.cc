@@ -22,6 +22,13 @@ Status LambdaExecutor::Open(ExecContext* ctx) {
   std::vector<std::vector<Tuple>> worker_results(config_.lambda.num_workers);
   const ExecOptions options = ctx->options;
 
+  // Query-wide token: a failing worker cancels it (on top of poisoning
+  // the fleet barrier), so surviving workers stop claiming morsels and
+  // abandon blob retries; the optional deadline bounds blocking waits.
+  CancellationToken cancel;
+  cancel.SetDeadlineAfter(options.deadline_seconds);
+  serverless::LambdaRunReport report;
+
   Status st = serverless::LambdaRuntime::Run(
       config_.lambda, config_.store,
       [&](serverless::LambdaWorkerContext& wctx) -> Status {
@@ -32,6 +39,7 @@ Status LambdaExecutor::Open(ExecContext* ctx) {
         rctx.blob = wctx.s3;
         rctx.s3select = config_.s3select;
         rctx.lambda = &wctx;
+        rctx.cancel = &cancel;
         rctx.options = options;
         // Lambda workers are concurrent threads of this process: split
         // the intra-node worker budget between them (see MpiExecutor).
@@ -44,20 +52,37 @@ Status LambdaExecutor::Open(ExecContext* ctx) {
 
         ScopedTimer total(rctx.stats, "phase.worker_total");
         SubOpPtr plan = config_.plan_factory(w);
-        MODULARIS_RETURN_NOT_OK(plan->Open(&rctx));
-        Tuple t;
-        while (plan->Next(&t)) {
-          worker_results[w].push_back(OwnTuple(t, &arenas_[w]));
+        Status worker_st = [&]() -> Status {
+          // Cancellation points: query start and every result tuple (see
+          // MpiExecutor — serial plans must honour the deadline too).
+          MODULARIS_RETURN_NOT_OK(cancel.Check());
+          MODULARIS_RETURN_NOT_OK(plan->Open(&rctx));
+          Tuple t;
+          while (plan->Next(&t)) {
+            MODULARIS_RETURN_NOT_OK(cancel.Check());
+            worker_results[w].push_back(OwnTuple(t, &arenas_[w]));
+          }
+          MODULARIS_RETURN_NOT_OK(plan->status());
+          return plan->Close();
+        }();
+        if (!worker_st.ok()) {
+          // Stop the surviving workers' morsel loops and blob retries;
+          // the runtime poisons the fleet barrier.
+          cancel.Cancel(worker_st);
+          return worker_st;
         }
-        MODULARIS_RETURN_NOT_OK(plan->status());
-        MODULARIS_RETURN_NOT_OK(plan->Close());
         total.Stop();
 
         rctx.stats->AddTime("s3.charged", wctx.s3->charged_seconds());
         rctx.stats->AddCounter("s3.bytes", wctx.s3->bytes_transferred());
         rctx.stats->AddCounter("s3.requests", wctx.s3->requests());
         return Status::OK();
-      });
+      },
+      &report);
+  // Fleet-level "fault.injected.*" counters (spawn crashes plus every
+  // worker's blob-client injections), exported once per run — merged even
+  // on failure so the crash that aborted the query shows up in the stats.
+  ctx->stats->Merge(report.stats);
   MODULARIS_RETURN_NOT_OK(st);
 
   for (const StatsRegistry& ws : worker_stats) {
@@ -127,7 +152,7 @@ Status S3Exchange::DoExchange() {
   std::vector<ColumnTablePtr> parts(world);
   const std::vector<size_t> bounds =
       SplitRows(static_cast<size_t>(world), workers);
-  MODULARIS_RETURN_NOT_OK(ParallelFor(workers, [&](int w) -> Status {
+  MODULARIS_RETURN_NOT_OK(ParallelFor(ctx_, workers, [&](int w) -> Status {
     for (size_t i = bounds[w]; i < bounds[w + 1]; ++i) {
       parts[i] = raw[i] == nullptr ? ColumnTable::Make(schema)
                                    : ColumnTable::FromRowVector(*raw[i]);
@@ -135,33 +160,33 @@ Status S3Exchange::DoExchange() {
     return Status::OK();
   }));
 
-  auto retry_put = [&](const std::string& key, std::string bytes) {
-    int attempt = 0;
-    while (true) {
-      Status st = ctx_->blob->Put(key, bytes);
-      if (st.ok() || attempt >= opts_.max_retries) return st;
-      ++attempt;
-    }
+  // Shared retry policy (core/fault.h); the injected Put failure fires
+  // before the object lands, so the retry stores exactly one copy.
+  auto put_object = [&](const std::string& key, const std::string& bytes) {
+    return RetryCall(
+        opts_.retry, ctx_->stats, "blob.put",
+        [&] { return ctx_->blob->Put(key, bytes); }, ctx_->cancel);
   };
 
   if (opts_.write_combining) {
     // One object per sender; one row group per receiver (Lambada §4.4).
     std::string key = opts_.prefix + "/part-" + std::to_string(me) + ".mcf";
     MODULARIS_RETURN_NOT_OK(
-        retry_put(key, storage::WriteColumnFileFromParts(parts)));
+        put_object(key, storage::WriteColumnFileFromParts(parts)));
   } else {
     // Ablation: one object per (sender, receiver) pair — W² requests.
     for (int r = 0; r < world; ++r) {
       std::string key = opts_.prefix + "/part-" + std::to_string(me) + "-" +
                         std::to_string(r) + ".mcf";
       MODULARIS_RETURN_NOT_OK(
-          retry_put(key, storage::WriteColumnFileFromParts({parts[r]})));
+          put_object(key, storage::WriteColumnFileFromParts({parts[r]})));
     }
   }
 
   // Stand-in for Lambada's storage-based synchronization: wait until all
-  // senders have published their objects.
-  ctx_->lambda->barrier();
+  // senders have published their objects. Aborts (instead of waiting
+  // forever) once a peer worker has died.
+  MODULARIS_RETURN_NOT_OK(ctx_->lambda->barrier());
 
   // Emit the read set for this worker: its row group in every sender's
   // object.
@@ -242,7 +267,7 @@ bool S3Exchange::NextBatch(RowBatch* out) {
     ScopedTimer timer(ctx_->stats, opts_.timer_key);
     batch_path_ = triple[0].str();
     batch_source_ = std::make_shared<storage::BlobReader>(
-        ctx_->blob, batch_path_, opts_.max_retries);
+        ctx_->blob, batch_path_, opts_.retry, ctx_->stats, ctx_->cancel);
     auto reader = storage::ColumnFileReader::Open(batch_source_);
     if (!reader.ok()) return Fail(reader.status());
     batch_reader_ = reader.TakeValue();
@@ -291,8 +316,8 @@ bool ColumnFileScan::Next(Tuple* out) {
       return Fail(Status::Internal("ColumnFileScan: no storage client"));
     }
     ScopedTimer timer(ctx_->stats, opts_.timer_key);
-    source_ = std::make_shared<storage::BlobReader>(ctx_->blob, t[0].str(),
-                                                    opts_.max_retries);
+    source_ = std::make_shared<storage::BlobReader>(
+        ctx_->blob, t[0].str(), opts_.retry, ctx_->stats, ctx_->cancel);
     auto reader = storage::ColumnFileReader::Open(source_);
     if (!reader.ok()) return Fail(reader.status());
     reader_ = reader.TakeValue();
@@ -334,12 +359,10 @@ bool MaterializeColumnFile::Next(Tuple* out) {
     return Fail(Status::Internal("MaterializeColumnFile: no storage client"));
   }
   std::string bytes = storage::WriteColumnFile(*table);
-  int attempt = 0;
-  while (true) {
-    Status st = ctx_->blob->Put(key_, bytes);
-    if (st.ok()) break;
-    if (attempt++ >= max_retries_) return Fail(st);
-  }
+  Status put_st = RetryCall(
+      retry_, ctx_->stats, "blob.put",
+      [&] { return ctx_->blob->Put(key_, bytes); }, ctx_->cancel);
+  if (!put_st.ok()) return Fail(std::move(put_st));
   done_ = true;
   out->clear();
   out->push_back(Item(key_));

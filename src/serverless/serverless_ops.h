@@ -58,7 +58,8 @@ class S3Exchange : public SubOperator {
     std::string prefix = "exchange";
     /// When false (§4.4 ablation): one object per (sender, receiver) pair.
     bool write_combining = true;
-    int max_retries = 4;
+    /// Transient-failure retry policy for the S3 PUTs/GETs (core/fault.h).
+    RetryPolicy retry;
     std::string timer_key = "phase.s3_exchange";
   };
 
@@ -124,7 +125,8 @@ class ColumnFileScan : public SubOperator {
   struct Options {
     std::vector<int> projection;  // empty = all columns
     std::vector<Range> ranges;    // min-max pruning
-    int max_retries = 4;
+    /// Transient-failure retry policy for the ranged GETs (core/fault.h).
+    RetryPolicy retry;
     std::string timer_key = "phase.scan";
   };
 
@@ -155,11 +157,11 @@ class ColumnFileScan : public SubOperator {
 class MaterializeColumnFile : public SubOperator {
  public:
   MaterializeColumnFile(SubOpPtr rows, Schema schema, std::string key,
-                        int max_retries = 4)
+                        RetryPolicy retry = {})
       : SubOperator("MaterializeColumnFile"),
         schema_(std::move(schema)),
         key_(std::move(key)),
-        max_retries_(max_retries) {
+        retry_(retry) {
     AddChild(std::move(rows));
   }
 
@@ -173,7 +175,7 @@ class MaterializeColumnFile : public SubOperator {
  private:
   Schema schema_;
   std::string key_;
-  int max_retries_;
+  RetryPolicy retry_;
   bool done_ = false;
 };
 

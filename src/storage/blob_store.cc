@@ -17,13 +17,13 @@ void BlobClient::ChargeRequest(size_t bytes) {
   }
 }
 
-Status BlobClient::MaybeFailAndCharge(size_t bytes) {
-  if (options_.transient_failure_rate > 0) {
-    std::uniform_real_distribution<double> dist(0.0, 1.0);
-    if (dist(rng_) < options_.transient_failure_rate) {
+Status BlobClient::MaybeFailAndCharge(FaultSite site, size_t bytes) {
+  if (injector_.enabled()) {
+    Status st = injector_.MaybeInject(site);
+    if (!st.ok()) {
       // Failed requests still cost a round trip.
       ChargeRequest(0);
-      return Status::IOError("transient failure (injected)");
+      return st;
     }
   }
   ChargeRequest(bytes);
@@ -31,8 +31,10 @@ Status BlobClient::MaybeFailAndCharge(size_t bytes) {
 }
 
 Result<std::string> BlobClient::Get(const std::string& key) {
+  // The existence check comes first: a missing object is kNotFound (fails
+  // fast — not retryable), never masked by an injected transient.
   MODULARIS_ASSIGN_OR_RETURN(BlobStore::Blob blob, store_->Get(key));
-  MODULARIS_RETURN_NOT_OK(MaybeFailAndCharge(blob->size()));
+  MODULARIS_RETURN_NOT_OK(MaybeFailAndCharge(FaultSite::kBlobGet, blob->size()));
   return std::string(*blob);
 }
 
@@ -43,19 +45,19 @@ Result<std::string> BlobClient::GetRange(const std::string& key,
     return Status::OutOfRange("range offset beyond object size");
   }
   len = std::min(len, blob->size() - offset);
-  MODULARIS_RETURN_NOT_OK(MaybeFailAndCharge(len));
+  MODULARIS_RETURN_NOT_OK(MaybeFailAndCharge(FaultSite::kBlobGetRange, len));
   return blob->substr(offset, len);
 }
 
 Status BlobClient::Put(const std::string& key, std::string value) {
-  MODULARIS_RETURN_NOT_OK(MaybeFailAndCharge(value.size()));
+  MODULARIS_RETURN_NOT_OK(MaybeFailAndCharge(FaultSite::kBlobPut, value.size()));
   store_->Put(key, std::move(value));
   return Status::OK();
 }
 
 Result<size_t> BlobClient::Head(const std::string& key) {
   MODULARIS_ASSIGN_OR_RETURN(BlobStore::Blob blob, store_->Get(key));
-  MODULARIS_RETURN_NOT_OK(MaybeFailAndCharge(0));
+  MODULARIS_RETURN_NOT_OK(MaybeFailAndCharge(FaultSite::kBlobHead, 0));
   return blob->size();
 }
 

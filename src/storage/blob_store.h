@@ -5,10 +5,10 @@
 #include <map>
 #include <memory>
 #include <mutex>
-#include <random>
 #include <string>
 #include <vector>
 
+#include "core/fault.h"
 #include "core/status.h"
 
 /// \file blob_store.h
@@ -29,8 +29,11 @@ struct BlobClientOptions {
   double request_latency_seconds = 0.015;
   /// Per-connection transfer bandwidth in bytes/second.
   double bandwidth_bytes_per_sec = 10e6;  // 80 Mbit/s
-  /// Probability of a transient IOError per request (deterministic RNG).
-  double transient_failure_rate = 0.0;
+  /// Deterministic transient-failure injection at Get/GetRange/Put/Head
+  /// (core/fault.h; replaces the old one-off transient_failure_rate RNG
+  /// hook). Failures fire before the store side effect, so a retried Put
+  /// lands exactly one copy.
+  FaultOptions fault;
   /// When false, no sleeping; costs are still accounted.
   bool throttle = true;
 
@@ -107,14 +110,16 @@ class BlobStore {
 };
 
 /// Per-worker client applying the request-cost model (latency, bandwidth,
-/// failure injection) on top of a shared BlobStore. Not thread-safe; one
-/// per worker.
+/// fault injection) on top of a shared BlobStore. Not thread-safe; one
+/// per worker. The injector is salted with the worker id, so each worker
+/// draws an independent — but run-to-run reproducible — failure sequence.
 class BlobClient {
  public:
   BlobClient(BlobStore* store, BlobClientOptions options, int worker_id = 0)
       : store_(store),
         options_(std::move(options)),
-        rng_(0x9E3779B9u ^ static_cast<uint32_t>(worker_id)) {}
+        injector_(options_.fault,
+                  /*salt=*/0x9E3779B9ull ^ static_cast<uint64_t>(worker_id)) {}
 
   /// Full-object GET.
   Result<std::string> Get(const std::string& key);
@@ -141,31 +146,23 @@ class BlobClient {
 
   BlobStore* store() { return store_; }
   const BlobClientOptions& options() const { return options_; }
+  /// This client's injector ("fault.injected.blob.*" counter export).
+  const FaultInjector& fault_injector() const { return injector_; }
 
  private:
-  /// Injects a transient failure (if configured) and charges the request
-  /// latency + transfer time for `bytes`.
-  Status MaybeFailAndCharge(size_t bytes);
+  /// Injects a transient failure at `site` (if configured) and charges the
+  /// request latency + transfer time for `bytes`. Fires before the caller
+  /// touches the store, so failed ops have no storage side effect.
+  Status MaybeFailAndCharge(FaultSite site, size_t bytes);
   void ChargeRequest(size_t bytes);
 
   BlobStore* store_;
   BlobClientOptions options_;
-  std::mt19937 rng_;
+  FaultInjector injector_;
   double charged_seconds_ = 0;
   int64_t bytes_ = 0;
   int64_t requests_ = 0;
 };
-
-/// Retries transient failures of `fn` up to `max_retries` times.
-template <typename Fn>
-auto WithRetries(int max_retries, Fn&& fn) -> decltype(fn()) {
-  int attempt = 0;
-  while (true) {
-    auto result = fn();
-    if (result.ok() || attempt >= max_retries) return result;
-    ++attempt;
-  }
-}
 
 }  // namespace modularis::storage
 

@@ -74,23 +74,36 @@ class StringReader : public RandomReader {
 
 /// RandomReader issuing ranged GETs through a BlobClient (S3/NFS profile);
 /// every ReadAt is one charged request, so projection pushdown genuinely
-/// saves modelled IO.
+/// saves modelled IO. Transient failures retry under the shared
+/// RetryPolicy (core/fault.h); a missing object is kNotFound and fails
+/// fast instead of burning the backoff budget.
 class BlobReader : public RandomReader {
  public:
-  BlobReader(BlobClient* client, std::string key, int max_retries = 4)
-      : client_(client), key_(std::move(key)), max_retries_(max_retries) {}
+  BlobReader(BlobClient* client, std::string key, RetryPolicy retry = {},
+             StatsRegistry* stats = nullptr,
+             const CancellationToken* cancel = nullptr)
+      : client_(client),
+        key_(std::move(key)),
+        retry_(retry),
+        stats_(stats),
+        cancel_(cancel) {}
   Result<std::string> ReadAt(size_t offset, size_t len) const override {
-    return WithRetries(max_retries_,
-                       [&] { return client_->GetRange(key_, offset, len); });
+    return RetryCall(
+        retry_, stats_, "blob.get_range",
+        [&] { return client_->GetRange(key_, offset, len); }, cancel_);
   }
   Result<size_t> Size() const override {
-    return WithRetries(max_retries_, [&] { return client_->Head(key_); });
+    return RetryCall(
+        retry_, stats_, "blob.head", [&] { return client_->Head(key_); },
+        cancel_);
   }
 
  private:
   BlobClient* client_;
   std::string key_;
-  int max_retries_;
+  RetryPolicy retry_;
+  StatsRegistry* stats_;
+  const CancellationToken* cancel_;
 };
 
 /// Reader with projection pushdown and min-max chunk pruning.

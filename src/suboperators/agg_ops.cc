@@ -466,7 +466,7 @@ Status ReduceByKey::ConsumeAllParallel(const RowVectorPtr& input,
   std::vector<size_t> bounds = SplitRows(n, workers);
   std::vector<std::vector<int64_t>> wcounts(
       workers, std::vector<int64_t>(kFanout, 0));
-  MODULARIS_RETURN_NOT_OK(ParallelFor(workers, [&](int w) -> Status {
+  MODULARIS_RETURN_NOT_OK(ParallelFor(ctx_, workers, [&](int w) -> Status {
     int64_t* counts = wcounts[w].data();
     if (single_i64_key_) {
       const uint8_t* p = input->data() + bounds[w] * stride;
@@ -525,7 +525,7 @@ Status ReduceByKey::ConsumeAllParallel(const RowVectorPtr& input,
   RowVectorPtr scat = RowVector::Make(schema);
   scat->ResizeRowsUninitialized(n);
   std::vector<uint32_t> idx(n);
-  MODULARIS_RETURN_NOT_OK(ParallelFor(workers, [&](int w) -> Status {
+  MODULARIS_RETURN_NOT_OK(ParallelFor(ctx_, workers, [&](int w) -> Status {
     ScatterSpanByPidWc(input->data() + bounds[w] * stride,
                        bounds[w + 1] - bounds[w], stride,
                        pids.data() + bounds[w], kFanout, bounds[w],
@@ -541,8 +541,8 @@ Status ReduceByKey::ConsumeAllParallel(const RowVectorPtr& input,
   std::vector<RowVectorPtr> part_states(kFanout);
   std::vector<std::vector<uint32_t>> part_first(kFanout);
   std::vector<int64_t> wrehash(workers, 0);
-  MorselCursor cursor(kFanout, 1);
-  MODULARIS_RETURN_NOT_OK(ParallelFor(workers, [&](int w) -> Status {
+  MorselCursor cursor(kFanout, 1, ctx_->cancel);
+  MODULARIS_RETURN_NOT_OK(ParallelFor(ctx_, workers, [&](int w) -> Status {
     I64StateMap map;
     ByteStateTable table;
     std::vector<uint8_t> keys;
@@ -605,8 +605,8 @@ Status ReduceByKey::ConsumeKeylessParallel(const RowVectorPtr& input,
   // Zero-filled like the streaming path's AppendRow, so padding bytes
   // match byte-for-byte.
   keyless_partials_->ResizeRows(chunks);
-  MorselCursor cursor(chunks, 1);
-  MODULARIS_RETURN_NOT_OK(ParallelFor(workers, [&](int) -> Status {
+  MorselCursor cursor(chunks, 1, ctx_->cancel);
+  MODULARIS_RETURN_NOT_OK(ParallelFor(ctx_, workers, [&](int) -> Status {
     size_t begin = 0, count = 0;
     while (cursor.Claim(&begin, &count)) {
       for (size_t c = begin; c < begin + count; ++c) {
@@ -901,7 +901,7 @@ Status SortOp::ConsumeAndSort(size_t limit) {
   // contiguous range (its top-`cap` prefix under a limit) by the total
   // order.
   std::vector<size_t> bounds = SplitRows(n, workers);
-  MODULARIS_RETURN_NOT_OK(ParallelFor(workers, [&](int w) -> Status {
+  MODULARIS_RETURN_NOT_OK(ParallelFor(ctx_, workers, [&](int w) -> Status {
     auto first = order_.begin() + bounds[w];
     auto last = order_.begin() + bounds[w + 1];
     const size_t run_n = bounds[w + 1] - bounds[w];

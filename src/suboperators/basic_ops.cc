@@ -83,7 +83,7 @@ bool NestedMap::FillParGroup() {
   std::atomic<size_t> next_task{0};
   const int workers =
       static_cast<int>(std::min(par_plans_.size(), par_group_.size()));
-  Status st = ParallelFor(workers, [&](int w) -> Status {
+  Status st = ParallelFor(ctx_, workers, [&](int w) -> Status {
     SubOperator* plan = par_plans_[w].get();
     ExecContext* wctx = par_workers_->ctx(w);
     Status worker_st = Status::OK();

@@ -330,7 +330,7 @@ Status BuildProbe::MaybeSetupParallelProbe() {
   const uint32_t stride = probe->row_size();
   std::vector<size_t> bounds = SplitRows(probe->size(), workers);
   par_sinks_.resize(workers);
-  MODULARIS_RETURN_NOT_OK(ParallelFor(workers, [&](int w) -> Status {
+  MODULARIS_RETURN_NOT_OK(ParallelFor(ctx_, workers, [&](int w) -> Status {
     par_sinks_[w] = RowVector::Make(out_schema_);
     ProbeScratch scratch;
     ProbeSpanInto(probe->data() + bounds[w] * stride,

@@ -186,8 +186,8 @@ Status LocalHistogram::CountParallel(std::vector<int64_t>* counts) {
   const uint32_t stride = input->row_size();
   std::vector<std::vector<int64_t>> worker_counts(
       workers, std::vector<int64_t>(spec_.fanout(), 0));
-  MorselCursor cursor(n, ctx_->options.morsel_rows);
-  MODULARIS_RETURN_NOT_OK(ParallelFor(workers, [&](int w) -> Status {
+  MorselCursor cursor(n, ctx_->options.morsel_rows, ctx_->cancel);
+  MODULARIS_RETURN_NOT_OK(ParallelFor(ctx_, workers, [&](int w) -> Status {
     size_t begin = 0, count = 0;
     while (cursor.Claim(&begin, &count)) {
       CountSpan(input->data() + begin * stride, count, input->schema(),

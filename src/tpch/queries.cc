@@ -205,7 +205,7 @@ std::string AddExchange(PipelinePlan* plan, Env* env, const std::string& src,
   S3Exchange::Options xopts;
   xopts.prefix = env->tag + "/" + base;
   xopts.write_combining = env->exec.s3_write_combining;
-  xopts.max_retries = env->exec.s3_max_retries;
+  xopts.retry = env->exec.retry;
   plan->Add(base + "_s3x", std::make_unique<S3Exchange>(
                                plan->MakeRef(base + "_part"), xopts));
   return base + "_s3x";
@@ -221,7 +221,7 @@ SubOpPtr ExchangedData(PipelinePlan* plan, const Env& env,
   }
   // Serverless: read this worker's row groups back from S3.
   ColumnFileScan::Options copts;
-  copts.max_retries = env.exec.s3_max_retries;
+  copts.retry = env.exec.retry;
   return std::make_unique<TableToCollection>(std::make_unique<ColumnFileScan>(
       plan->MakeRef(xpipe), std::move(copts)));
 }
@@ -948,7 +948,7 @@ Result<RowVectorPtr> RunTpchQuery(int query, const TpchContext& ctx,
     storage::BlobClient driver_client(ctx.store.get(), opts.storage, -1);
     driver.blob = &driver_client;
     ColumnFileScan::Options copts;
-    copts.max_retries = opts.exec.s3_max_retries;
+    copts.retry = opts.exec.retry;
     auto scan = std::make_unique<ColumnScan>(
         std::make_unique<ColumnFileScan>(
             std::make_unique<LambdaExecutor>(std::move(config)), copts),

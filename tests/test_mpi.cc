@@ -23,7 +23,7 @@ TEST(FabricTest, PutLandsInRemoteWindow) {
   net::WindowId win = fabric.RegisterWindow(1, 64);
   uint64_t payload = 0xDEADBEEFu;
   ASSERT_TRUE(fabric.Put(0, 1, win, 8, &payload, sizeof(payload)).ok());
-  fabric.Flush(0);
+  ASSERT_TRUE(fabric.Flush(0).ok());
   uint64_t read;
   std::memcpy(&read, fabric.WindowData(1, win) + 8, sizeof(read));
   EXPECT_EQ(read, payload);
@@ -64,7 +64,12 @@ TEST(FabricTest, ConcurrentPutsFromOneRankAreSafe) {
   // exchange schedule): every byte must land, and the per-NIC bookkeeping
   // — bytes, message count, busy-clock — must account for all of them.
   const int kThreads = 4, kPerThread = 64;
-  net::Fabric fabric(2, Unthrottled());
+  // A deliberately slow modelled NIC (1 ms/message) keeps the busy clock
+  // far ahead of wall time even on a loaded machine, so the Flush residue
+  // assertion below cannot evaporate; throttle=false means no real sleeps.
+  net::FabricOptions slow = Unthrottled();
+  slow.latency_seconds = 1e-3;
+  net::Fabric fabric(2, slow);
   net::WindowId win = fabric.RegisterWindow(1, kThreads * kPerThread * 8);
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
@@ -77,7 +82,7 @@ TEST(FabricTest, ConcurrentPutsFromOneRankAreSafe) {
     });
   }
   for (std::thread& t : threads) t.join();
-  fabric.Flush(0);
+  ASSERT_TRUE(fabric.Flush(0).ok());
   for (int64_t v = 0; v < kThreads * kPerThread; ++v) {
     int64_t got;
     std::memcpy(&got, fabric.WindowData(1, win) + v * 8, sizeof(got));
@@ -94,8 +99,10 @@ TEST(FabricTest, ConcurrentPutsFromOneRankAreSafe) {
 TEST(FabricTest, TwoSidedSendRecv) {
   net::Fabric fabric(2, Unthrottled());
   std::vector<uint8_t> msg = {1, 2, 3};
-  fabric.Send(0, 1, msg);
-  EXPECT_EQ(fabric.Recv(1, 0), msg);
+  ASSERT_TRUE(fabric.Send(0, 1, msg).ok());
+  std::vector<uint8_t> got;
+  ASSERT_TRUE(fabric.Recv(1, 0, &got).ok());
+  EXPECT_EQ(got, msg);
 }
 
 class CollectiveTest : public ::testing::TestWithParam<int> {};
@@ -106,11 +113,11 @@ TEST_P(CollectiveTest, AllreduceSumsAcrossRanks) {
   Status st = mpi::MpiRuntime::Run(
       world, Unthrottled(), [&](mpi::Communicator& comm) -> Status {
         std::vector<int64_t> v = {comm.rank() + 1, 10};
-        comm.AllreduceSum(&v);
+        MODULARIS_RETURN_NOT_OK(comm.AllreduceSum(&v));
         results[comm.rank()] = v;
         // A second collective immediately after must not see stale state.
         std::vector<int64_t> w = {1};
-        comm.AllreduceSum(&w);
+        MODULARIS_RETURN_NOT_OK(comm.AllreduceSum(&w));
         if (w[0] != comm.size()) {
           return Status::Internal("second allreduce corrupted");
         }
@@ -128,7 +135,8 @@ TEST_P(CollectiveTest, AllgatherReturnsEveryRanksVector) {
   const int world = GetParam();
   Status st = mpi::MpiRuntime::Run(
       world, Unthrottled(), [&](mpi::Communicator& comm) -> Status {
-        auto all = comm.AllgatherI64({comm.rank() * 100});
+        std::vector<std::vector<int64_t>> all;
+        MODULARIS_RETURN_NOT_OK(comm.AllgatherI64({comm.rank() * 100}, &all));
         if (static_cast<int>(all.size()) != comm.size()) {
           return Status::Internal("wrong world size");
         }
@@ -148,7 +156,8 @@ TEST_P(CollectiveTest, AllgatherBytes) {
       world, Unthrottled(), [&](mpi::Communicator& comm) -> Status {
         std::vector<uint8_t> mine(static_cast<size_t>(comm.rank()) + 1,
                                   static_cast<uint8_t>(comm.rank()));
-        auto all = comm.AllgatherBytes(mine);
+        std::vector<std::vector<uint8_t>> all;
+        MODULARIS_RETURN_NOT_OK(comm.AllgatherBytes(mine, &all));
         for (int r = 0; r < comm.size(); ++r) {
           if (all[r].size() != static_cast<size_t>(r) + 1) {
             return Status::Internal("wrong size");
@@ -169,7 +178,7 @@ TEST(CollectiveTest, BarrierSynchronizesAllRanks) {
   Status st = mpi::MpiRuntime::Run(
       world, Unthrottled(), [&](mpi::Communicator& comm) -> Status {
         arrived.fetch_add(1);
-        comm.Barrier();
+        MODULARIS_RETURN_NOT_OK(comm.Barrier());
         if (arrived.load() != world) violated = true;
         return Status::OK();
       });
@@ -191,21 +200,21 @@ TEST(WindowTest, OneSidedExchangeAcrossRanks) {
   const int world = 4;
   Status st = mpi::MpiRuntime::Run(
       world, Unthrottled(), [&](mpi::Communicator& comm) -> Status {
-        net::WindowId win = comm.WinAllocate(world * 8);
+        MODULARIS_ASSIGN_OR_RETURN(net::WindowId win,
+                                   comm.WinAllocate(world * 8));
         for (int peer = 0; peer < comm.size(); ++peer) {
           int64_t value = comm.rank();
           MODULARIS_RETURN_NOT_OK(
               comm.WinPut(peer, win, comm.rank() * 8, &value, 8));
         }
-        comm.WinFlush();
-        comm.Barrier();
+        MODULARIS_RETURN_NOT_OK(comm.WinFlush());
+        MODULARIS_RETURN_NOT_OK(comm.Barrier());
         for (int r = 0; r < comm.size(); ++r) {
           int64_t got;
           std::memcpy(&got, comm.WinData(win) + r * 8, 8);
           if (got != r) return Status::Internal("bad window content");
         }
-        comm.WinFree(win);
-        return Status::OK();
+        return comm.WinFree(win);
       });
   EXPECT_TRUE(st.ok()) << st.ToString();
 }

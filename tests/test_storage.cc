@@ -221,7 +221,7 @@ TEST(BlobStoreTest, TransientFailuresAndRetries) {
   BlobStore store;
   store.Put("k", "value");
   BlobClientOptions opts = BlobClientOptions::Unthrottled();
-  opts.transient_failure_rate = 0.5;
+  opts.fault.transient_failure_rate = 0.5;
   BlobClient client(&store, opts, /*worker_id=*/1);
 
   int failures = 0;
@@ -230,12 +230,28 @@ TEST(BlobStoreTest, TransientFailuresAndRetries) {
   }
   EXPECT_GT(failures, 50);
   EXPECT_LT(failures, 150);
+  EXPECT_EQ(client.fault_injector().injected(FaultSite::kBlobGet),
+            static_cast<uint64_t>(failures));
 
-  // WithRetries recovers with overwhelming probability.
+  // RetryCall recovers with overwhelming probability (0.5^11 per op).
+  RetryPolicy policy;
+  policy.max_retries = 10;
+  policy.sleep = false;
   for (int i = 0; i < 20; ++i) {
-    auto result = WithRetries(10, [&] { return client.Get("k"); });
+    auto result =
+        RetryCall(policy, nullptr, "blob.get", [&] { return client.Get("k"); });
     ASSERT_TRUE(result.ok());
   }
+
+  // Missing keys fail fast: kNotFound is not retryable, so the injector's
+  // call counter must advance by exactly zero across the lookup.
+  const uint64_t calls_before = client.fault_injector().injected(
+      FaultSite::kBlobGet);
+  auto missing =
+      RetryCall(policy, nullptr, "blob.get", [&] { return client.Get("nope"); });
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(client.fault_injector().injected(FaultSite::kBlobGet),
+            calls_before);
 }
 
 }  // namespace

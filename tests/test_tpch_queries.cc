@@ -213,9 +213,10 @@ TEST(TpchQueryTest, BytecodeTierAgreesWithInterpretedOnAllQueries) {
 TEST(TpchQueryTest, S3TransientFailuresAreRetried) {
   TpchRunOptions opts = Unthrottled(TpchRunOptions::Lambda(4));
   opts.exec.network_radix_bits = 4;
-  opts.storage.transient_failure_rate = 0.05;
-  opts.lambda.s3.transient_failure_rate = 0.05;
-  opts.exec.s3_max_retries = 12;
+  opts.storage.fault.transient_failure_rate = 0.05;
+  opts.lambda.s3.fault.transient_failure_rate = 0.05;
+  opts.exec.retry.max_retries = 12;
+  opts.exec.retry.sleep = false;
   auto ctx = PrepareTpch(Db(), opts);
   ASSERT_TRUE(ctx.ok());
   StatsRegistry stats;

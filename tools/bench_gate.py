@@ -104,6 +104,15 @@ WIN_GATES = [
     ("expr_bytecode_filter_p50", True, "expr_filter_interp_p50", False,
      1.5, 1),
     ("expr_bytecode_keys", True, "expr_keys_interp", False, 1.15, 1),
+    # Fault-layer hook cost (docs/DESIGN-fault-tolerance.md): with the
+    # injector armed at rate zero and a live-but-idle deadline token, the
+    # fault-free paths must run within 3% of the plain entries. These are
+    # overhead ceilings, not wins — the "fast" op is the instrumented one
+    # and the ratio bar sits just below 1.
+    ("exchange_shuffle_faultarmed_t1", True, "exchange_shuffle_t1", True,
+     0.97, 4),
+    ("groupby_1m_int_g64k_faultarmed_t4", True, "groupby_1m_int_g64k_t4",
+     True, 0.97, 4),
 ]
 
 
