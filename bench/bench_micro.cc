@@ -27,7 +27,10 @@
 #include "core/parallel.h"
 #include "core/pipeline.h"
 #include "mpi/mpi_ops.h"
+#include "planner/lower.h"
+#include "planner/passes.h"
 #include "storage/column_file.h"
+#include "tpch/queries.h"
 #include "suboperators/agg_ops.h"
 #include "suboperators/basic_ops.h"
 #include "suboperators/join_ops.h"
@@ -1100,6 +1103,60 @@ void BenchExchangeShuffle() {
   }
 }
 
+/// End-to-end plan derivation: build the logical plan, optimize with a
+/// populated catalog, split at the driver, and lower all four platform
+/// shapes. Gated in bench_gate.py on an absolute plans/sec floor —
+/// planning is microseconds per query and must stay negligible against
+/// even the smallest execution. Q3 is the 3-table join (the join-order
+/// pass's busiest TPC-H input); Q18 adds HAVING + the driver top-k
+/// split.
+void BenchPlannerBuildLower() {
+  const planner::Catalog catalog =
+      tpch::TpchCatalog({60000, 15000, 1500, 2000});
+  struct PlatformShape {
+    planner::ScanLeafKind leaf;
+    bool serverless;
+    bool tcp;
+  };
+  const PlatformShape shapes[] = {
+      {planner::ScanLeafKind::kMemoryRows, false, false},
+      {planner::ScanLeafKind::kMemoryRows, false, true},
+      {planner::ScanLeafKind::kColumnFile, true, false},
+      {planner::ScanLeafKind::kS3Select, true, false},
+  };
+  for (int q : {3, 18}) {
+    constexpr int kIters = 200;
+    RunBench(
+        "planner_q" + std::to_string(q) + "_build_lower", kIters, 0, -1,
+        [&] {
+          for (int i = 0; i < kIters; ++i) {
+            auto root = tpch::TpchLogicalPlan(q);
+            if (!root.ok()) std::exit(1);
+            planner::PlannerOptions popts;
+            popts.catalog = catalog;
+            planner::LogicalPlanPtr opt =
+                planner::Optimize(root.value(), popts, nullptr);
+            auto split = planner::SplitAtDriver(opt);
+            if (!split.ok()) std::exit(1);
+            for (const PlatformShape& shape : shapes) {
+              planner::LoweringContext lctx;
+              lctx.scan_leaf = shape.leaf;
+              lctx.serverless = shape.serverless;
+              lctx.fused = true;
+              lctx.world = 4;
+              lctx.exec.network_radix_bits = 4;
+              lctx.exec.tcp_exchange = shape.tcp;
+              lctx.tag = "bench";
+              PipelinePlan plan;
+              auto lowered = planner::LowerRankPlan(*split.value().rank_root,
+                                                    &plan, &lctx);
+              if (!lowered.ok()) std::exit(1);
+            }
+          }
+        });
+  }
+}
+
 void WriteJson(const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -1153,6 +1210,7 @@ int main(int argc, char** argv) {
   BenchSortTopK();
   BenchGroupBy();
   BenchExchangeShuffle();
+  BenchPlannerBuildLower();
   WriteJson(argc > 1 ? argv[1] : "BENCH_micro.json");
   return 0;
 }

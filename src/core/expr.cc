@@ -449,6 +449,8 @@ class ColumnRefExpr : public Expr {
     return "$" + std::to_string(index_);
   }
 
+  ExprKind kind() const override { return ExprKind::kColumn; }
+
   int index() const { return index_; }
 
  private:
@@ -511,6 +513,13 @@ class LiteralExpr : public Expr {
   }
 
   std::string ToString() const override { return value_.ToString(); }
+
+  ExprKind kind() const override { return ExprKind::kLiteral; }
+
+  bool AsLiteral(Item* out) const override {
+    *out = value_;
+    return true;
+  }
 
  private:
   Item value_;
@@ -774,6 +783,20 @@ class CompareExpr : public Expr {
            " " + rhs_->ToString() + ")";
   }
 
+  ExprKind kind() const override { return ExprKind::kCompare; }
+  size_t NumExprChildren() const override { return 2; }
+  ExprPtr ExprChild(size_t i) const override {
+    return i == 0 ? lhs_ : (i == 1 ? rhs_ : nullptr);
+  }
+  ExprPtr RebuildWithChildren(std::vector<ExprPtr> c) const override {
+    return std::make_shared<CompareExpr>(op_, std::move(c[0]),
+                                         std::move(c[1]));
+  }
+  bool AsCompare(CmpOp* op) const override {
+    *op = op_;
+    return true;
+  }
+
  private:
   bool Holds(int c) const {
     switch (op_) {
@@ -934,6 +957,15 @@ class ArithExpr : public Expr {
            " " + rhs_->ToString() + ")";
   }
 
+  ExprKind kind() const override { return ExprKind::kArith; }
+  size_t NumExprChildren() const override { return 2; }
+  ExprPtr ExprChild(size_t i) const override {
+    return i == 0 ? lhs_ : (i == 1 ? rhs_ : nullptr);
+  }
+  ExprPtr RebuildWithChildren(std::vector<ExprPtr> c) const override {
+    return std::make_shared<ArithExpr>(op_, std::move(c[0]), std::move(c[1]));
+  }
+
  private:
   /// The engine's arithmetic: i64 preserved when both sides are i64
   /// (except division, always f64), division by zero yields 0.0.
@@ -1046,6 +1078,15 @@ class AndExpr : public Expr {
   }
 
   const std::vector<ExprPtr>& children() const { return children_; }
+
+  ExprKind kind() const override { return ExprKind::kAnd; }
+  size_t NumExprChildren() const override { return children_.size(); }
+  ExprPtr ExprChild(size_t i) const override {
+    return i < children_.size() ? children_[i] : nullptr;
+  }
+  ExprPtr RebuildWithChildren(std::vector<ExprPtr> c) const override {
+    return std::make_shared<AndExpr>(std::move(c));
+  }
 
  private:
   std::vector<ExprPtr> children_;
@@ -1173,6 +1214,15 @@ class OrExpr : public Expr {
     return out + ")";
   }
 
+  ExprKind kind() const override { return ExprKind::kOr; }
+  size_t NumExprChildren() const override { return children_.size(); }
+  ExprPtr ExprChild(size_t i) const override {
+    return i < children_.size() ? children_[i] : nullptr;
+  }
+  ExprPtr RebuildWithChildren(std::vector<ExprPtr> c) const override {
+    return std::make_shared<OrExpr>(std::move(c));
+  }
+
  private:
   std::vector<ExprPtr> children_;
 };
@@ -1240,6 +1290,15 @@ class NotExpr : public Expr {
   }
   std::string ToString() const override {
     return "NOT " + inner_->ToString();
+  }
+
+  ExprKind kind() const override { return ExprKind::kNot; }
+  size_t NumExprChildren() const override { return 1; }
+  ExprPtr ExprChild(size_t i) const override {
+    return i == 0 ? inner_ : nullptr;
+  }
+  ExprPtr RebuildWithChildren(std::vector<ExprPtr> c) const override {
+    return std::make_shared<NotExpr>(std::move(c[0]));
   }
 
  private:
@@ -1384,6 +1443,15 @@ class LikeExpr : public Expr {
     return input_->ToString() + " LIKE '" + pattern_ + "'";
   }
 
+  ExprKind kind() const override { return ExprKind::kLike; }
+  size_t NumExprChildren() const override { return 1; }
+  ExprPtr ExprChild(size_t i) const override {
+    return i == 0 ? input_ : nullptr;
+  }
+  ExprPtr RebuildWithChildren(std::vector<ExprPtr> c) const override {
+    return std::make_shared<LikeExpr>(std::move(c[0]), pattern_);
+  }
+
  private:
   ExprPtr input_;
   std::string pattern_;
@@ -1508,6 +1576,18 @@ class InStrExpr : public Expr {
     }
     return out + ")";
   }
+
+  ExprKind kind() const override { return ExprKind::kInStr; }
+  size_t NumExprChildren() const override { return 1; }
+  ExprPtr ExprChild(size_t i) const override {
+    return i == 0 ? input_ : nullptr;
+  }
+  ExprPtr RebuildWithChildren(std::vector<ExprPtr> c) const override {
+    return std::make_shared<InStrExpr>(
+        std::move(c[0]),
+        std::vector<std::string>(values_.begin(), values_.end()));
+  }
+  size_t InListSize() const override { return values_.size(); }
 
  private:
   // Transparent hashing so membership tests take string_view without a
@@ -1649,6 +1729,16 @@ class InIntExpr : public Expr {
     }
     return out + ")";
   }
+
+  ExprKind kind() const override { return ExprKind::kInInt; }
+  size_t NumExprChildren() const override { return 1; }
+  ExprPtr ExprChild(size_t i) const override {
+    return i == 0 ? input_ : nullptr;
+  }
+  ExprPtr RebuildWithChildren(std::vector<ExprPtr> c) const override {
+    return std::make_shared<InIntExpr>(std::move(c[0]), values_);
+  }
+  size_t InListSize() const override { return values_.size(); }
 
  private:
   bool Contains(int64_t x) const {
@@ -1807,6 +1897,21 @@ class IfExpr : public Expr {
   std::string ToString() const override {
     return "IF(" + cond_->ToString() + ", " + then_->ToString() + ", " +
            else_->ToString() + ")";
+  }
+
+  ExprKind kind() const override { return ExprKind::kIf; }
+  size_t NumExprChildren() const override { return 3; }
+  ExprPtr ExprChild(size_t i) const override {
+    switch (i) {
+      case 0: return cond_;
+      case 1: return then_;
+      case 2: return else_;
+      default: return nullptr;
+    }
+  }
+  ExprPtr RebuildWithChildren(std::vector<ExprPtr> c) const override {
+    return std::make_shared<IfExpr>(std::move(c[0]), std::move(c[1]),
+                                    std::move(c[2]));
   }
 
  private:

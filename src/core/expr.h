@@ -235,6 +235,24 @@ void HashKeysSpan(const uint8_t* keys, size_t n, uint32_t key_size,
 /// and bytecode LIKE kernels so both tiers match byte-for-byte.
 bool LikeMatch(std::string_view text, std::string_view pattern);
 
+/// Structural kind of an expression node. The planner's rewrite passes
+/// (src/planner/) dispatch on this to walk and rebuild trees without
+/// depending on the concrete node classes, which stay private to expr.cc.
+enum class ExprKind {
+  kOther,
+  kColumn,
+  kLiteral,
+  kCompare,
+  kArith,
+  kAnd,
+  kOr,
+  kNot,
+  kLike,
+  kInStr,
+  kInInt,
+  kIf,
+};
+
 class BcCompiler;  // core/expr_bc.h — bytecode compilation tier
 
 /// Immutable expression node. Expressions are shared (shared_ptr) between
@@ -344,6 +362,50 @@ class Expr {
   /// If this node is a bare column reference, its index; otherwise -1.
   /// Lets operators compile direct-offset fast paths (the JIT analog).
   virtual int AsColumnIndex() const { return -1; }
+
+  // -- Structural introspection (planner rewrites) --------------------------
+  // The rewrite passes split conjunctions, remap column indices across
+  // projection pruning and join-side swaps, and fold constant subtrees.
+  // Nodes expose their shape through these hooks; a node that does not
+  // override RebuildWithChildren() is simply not rewritable and passes
+  // keep the original tree (bailing out of the rewrite, never failing).
+
+  /// Structural kind for planner dispatch.
+  virtual ExprKind kind() const { return ExprKind::kOther; }
+
+  /// Number of expression-valued children.
+  virtual size_t NumExprChildren() const { return 0; }
+
+  /// Child `i` (0 <= i < NumExprChildren()); nullptr out of range.
+  virtual std::shared_ptr<const Expr> ExprChild(size_t i) const {
+    (void)i;
+    return nullptr;
+  }
+
+  /// Rebuilds this node over new children (exactly NumExprChildren() of
+  /// them, same order as ExprChild). Returns nullptr when the node cannot
+  /// be rebuilt — callers must then keep the original subtree.
+  virtual std::shared_ptr<const Expr> RebuildWithChildren(
+      std::vector<std::shared_ptr<const Expr>> children) const {
+    (void)children;
+    return nullptr;
+  }
+
+  /// If this node is a literal, stores its value and returns true.
+  virtual bool AsLiteral(Item* out) const {
+    (void)out;
+    return false;
+  }
+
+  /// If this node is a comparison, stores its operator and returns true.
+  virtual bool AsCompare(CmpOp* op) const {
+    (void)op;
+    return false;
+  }
+
+  /// For IN-list nodes, the number of list values (the cardinality input
+  /// to the planner's selectivity model); 0 for everything else.
+  virtual size_t InListSize() const { return 0; }
 
   virtual std::string ToString() const = 0;
 };

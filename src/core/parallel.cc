@@ -72,6 +72,7 @@ int PlanWorkers(size_t rows, const ExecOptions& options) {
 }
 
 void NoteSerialFallback(ExecContext* ctx, const char* op_name) {
+  if (ctx->stats == nullptr) return;
   ctx->stats->AddCounter(std::string("parallel.serial_fallback.") + op_name,
                          1);
 }
@@ -148,7 +149,10 @@ void WorkerSet::MergeStats() {
     region.MergeMax(*reg);
     reg->Clear();
   }
-  base_->stats->Merge(region);
+  // The base context's stats sink is nullable (ExecContext convention).
+  if (base_->stats != nullptr) {
+    base_->stats->Merge(region);
+  }
 }
 
 }  // namespace modularis

@@ -90,6 +90,17 @@ class PipelinePlan : public SubOperator {
     return std::make_unique<PipelineRef>(this, name);
   }
 
+  /// Read-only structure accessors, used by the EXPLAIN renderer
+  /// (planner/explain.h) to walk the plan without executing it.
+  size_t num_pipelines() const { return pipelines_.size(); }
+  const std::string& pipeline_name(size_t i) const {
+    return pipelines_[i].first;
+  }
+  const SubOperator* pipeline_root(size_t i) const {
+    return pipelines_[i].second.get();
+  }
+  const SubOperator* output_op() const { return output_.get(); }
+
   Status Open(ExecContext* ctx) override;
   bool Next(Tuple* out) override;
   bool ProducesRecordStream() const override {

@@ -132,6 +132,13 @@ class ScopedTimer {
 class PhaseTimer {
  public:
   void Bind(StatsRegistry* registry, const std::string& key) {
+    if (registry == nullptr) {
+      // ExecContext::stats is nullable; keep Start/Stop branch-free by
+      // accumulating into a private discard slot.
+      registry_ = nullptr;
+      slot_ = &discard_;
+      return;
+    }
     uint64_t epoch = registry->epoch();
     if (registry == registry_ && epoch == epoch_ && key == key_) {
       return;  // cached
@@ -153,6 +160,7 @@ class PhaseTimer {
   uint64_t epoch_ = 0;
   std::string key_;
   double* slot_ = nullptr;
+  double discard_ = 0;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -112,7 +112,7 @@ class SubOperator {
     // batch, keyed by operator name. The parity suite asserts the named
     // hot operators (ColumnScan, GroupBy, TcpExchange, S3Exchange, ...)
     // never report this counter, i.e. they own a native batch path.
-    if (ctx_ != nullptr) {
+    if (ctx_ != nullptr && ctx_->stats != nullptr) {
       ctx_->stats->AddCounter(adapter_counter_key_, 1);
     }
     return NextBatchFromTuples(out, 0, /*require_arity_one=*/true);
@@ -221,7 +221,9 @@ class SubOperator {
   /// construction, like adapter_counter_key_; this is for once-per-phase
   /// events (parallel region shapes, fallback reasons, merge fan-ins).
   void AddStatCounter(const std::string& key, int64_t delta) {
-    if (ctx_ != nullptr) ctx_->stats->AddCounter(key, delta);
+    if (ctx_ != nullptr && ctx_->stats != nullptr) {
+      ctx_->stats->AddCounter(key, delta);
+    }
   }
 
   /// Marks this operator failed and returns false (for use in Next()).

@@ -98,13 +98,19 @@ Status MpiExecutor::Open(ExecContext* ctx) {
   // Fabric-level "fault.injected.*" counters (one shared injector, so the
   // export happens exactly once per run, not per rank) — merged even on
   // failure so the faults that aborted the query show up in the stats.
-  ctx->stats->Merge(report.stats);
+  // ExecContext::stats is nullable: drivers that don't collect stats
+  // still run.
+  if (ctx->stats != nullptr) {
+    ctx->stats->Merge(report.stats);
+  }
   MODULARIS_RETURN_NOT_OK(st);
 
   // Phase times are reported as the slowest rank (as in the paper's
   // breakdowns); counters accumulate.
-  for (const StatsRegistry& rs : rank_stats) {
-    ctx->stats->MergeMax(rs);
+  if (ctx->stats != nullptr) {
+    for (const StatsRegistry& rs : rank_stats) {
+      ctx->stats->MergeMax(rs);
+    }
   }
   for (auto& tuples : rank_results) {
     for (Tuple& t : tuples) results_.push_back(std::move(t));

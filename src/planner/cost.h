@@ -1,0 +1,91 @@
+#ifndef MODULARIS_PLANNER_COST_H_
+#define MODULARIS_PLANNER_COST_H_
+
+#include <map>
+#include <string>
+
+#include "planner/logical_plan.h"
+
+/// \file cost.h
+/// Cardinality estimation and the join-order cost model.
+///
+/// The Catalog carries per-table row counts and per-column statistics
+/// (distinct counts and min/max ranges); EstimateRows walks the logical
+/// plan bottom-up with textbook independence-based selectivities, except
+/// that range conjuncts on the same column inside an AND are first merged
+/// into one interval (independence would square the selectivity of a
+/// BETWEEN and mis-order joins whose inputs carry date windows).
+///
+/// The CostModel prices a join order with per-row weights for the
+/// exchange, build and probe phases. Following HRDBMS's hybrid approach
+/// (PAPERS.md) the weights can be seeded from a measured analytical
+/// model: CostModel::FromJoinModel converts the phase-seconds breakdown
+/// that baseline/join_model.h obtains by running the §5.2.2
+/// microbenchmarks into per-row weights.
+
+namespace modularis::planner {
+
+struct ColumnStats {
+  /// Distinct-value count (0 = unknown).
+  double distinct = 0;
+  /// Value range for numeric/date columns when has_range is set.
+  bool has_range = false;
+  double min = 0;
+  double max = 0;
+};
+
+struct TableStats {
+  double rows = 0;
+  /// Keyed by full-table column index.
+  std::map<int, ColumnStats> columns;
+};
+
+/// Statistics keyed by the scan's parameter-tuple index (LogicalPlan
+/// ::table). Empty catalog = estimation disabled (passes keep the
+/// authored plan).
+struct Catalog {
+  std::map<int, TableStats> tables;
+  bool empty() const { return tables.empty(); }
+};
+
+/// Base-table origin of an output column, traced through projections,
+/// joins and aggregate keys. table/column are -1 when the column is
+/// computed (no single origin).
+struct ColumnSite {
+  int table = -1;
+  int column = -1;
+};
+
+ColumnSite ColumnOrigin(const LogicalPlan& node, int col);
+
+/// Selectivity of `pred` evaluated against `input`'s output, in [0, 1].
+double Selectivity(const ExprPtr& pred, const LogicalPlan& input,
+                   const Catalog& catalog);
+
+/// Estimated output rows of `node` (global, across all ranks).
+double EstimateRows(const LogicalPlan& node, const Catalog& catalog);
+
+/// Per-row phase weights (arbitrary time units; only ratios matter).
+/// Hash-table insertion is priced above probing — the asymmetry that
+/// makes "build on the smaller side" the winning order.
+struct CostModel {
+  double exchange_per_row = 1.0;
+  double build_per_row = 2.0;
+  double probe_per_row = 1.0;
+
+  /// Seeds the weights from a measured join-model phase breakdown
+  /// (baseline/join_model.h RunJoinModel output: phase key → seconds for
+  /// a symmetric join of `rows_per_side` rows per side). The build-probe
+  /// phase is split 2:1 between insertion and probing, matching the
+  /// microbenchmark's observed hash-table asymmetry. Unknown or empty
+  /// phases leave the corresponding default untouched.
+  static CostModel FromJoinModel(const std::map<std::string, double>& phases,
+                                 double rows_per_side);
+};
+
+/// Cost of one hash join under `model` (both sides already exchanged).
+double JoinCost(const CostModel& model, double build_rows, double probe_rows);
+
+}  // namespace modularis::planner
+
+#endif  // MODULARIS_PLANNER_COST_H_

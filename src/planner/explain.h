@@ -1,0 +1,33 @@
+#ifndef MODULARIS_PLANNER_EXPLAIN_H_
+#define MODULARIS_PLANNER_EXPLAIN_H_
+
+#include <string>
+
+#include "core/pipeline.h"
+#include "planner/cost.h"
+#include "planner/logical_plan.h"
+
+/// \file explain.h
+/// EXPLAIN renderers for both plan layers:
+///
+///  * ExplainLogical — the IR tree, one node per line, children indented
+///    two spaces. With a catalog, each line carries the cardinality
+///    estimate (`rows~N`) the join-order pass acts on.
+///  * ExplainPhysical — the sub-operator DAG via the SubOperator
+///    introspection surface (name/num_children/child), descending into
+///    PipelinePlan pipelines (`[name]` sections, `[output]` last) and
+///    NestedMap nested plans (`(nested)` subtrees).
+///
+/// The output is deterministic for a given plan and is what the golden
+/// plan-shape snapshots under tests/golden/planner/ diff against.
+
+namespace modularis::planner {
+
+std::string ExplainLogical(const LogicalPlan& root,
+                           const Catalog* catalog = nullptr);
+
+std::string ExplainPhysical(const SubOperator& op);
+
+}  // namespace modularis::planner
+
+#endif  // MODULARIS_PLANNER_EXPLAIN_H_

@@ -1,0 +1,61 @@
+#ifndef MODULARIS_PLANNER_KV_LOWER_H_
+#define MODULARIS_PLANNER_KV_LOWER_H_
+
+#include "core/exec_context.h"
+#include "planner/logical_plan.h"
+#include "plans/common.h"
+
+/// \file kv_lower.h
+/// Lowering for the key-value benchmark templates (paper §4.1–§4.3).
+///
+/// The KV plans differ from the TPC-H lowering (lower.h) in that their
+/// exchanges are *explicit* IR nodes: the distinction the paper draws in
+/// Fig. 4 — the naive cascade re-shuffles every intermediate, the
+/// optimized one shuffles each base relation exactly once — is visible
+/// in the logical plan as the presence or absence of an Exchange above
+/// the intermediate join. plans/distributed_join.cc, distributed_
+/// groupby.cc and join_sequence.cc author these templates declaratively;
+/// the validated emission below owns the physical shapes (compressed
+/// exchange, nested local partitioning, build-probe chains), with the
+/// network exchange triple wired through plans::AddExchangePipelines.
+///
+/// Accepted template shapes (kv = ⟨key i64, value i64⟩ base relations;
+/// table i = parameter-tuple index i):
+///
+///   join     Project₍₀,₁,₃₎(Join(X(Scan 0), X(Scan 1)))   (inner)
+///            Join(X(Scan 0), X(Scan 1))                   (semi/anti)
+///   groupby  Aggregate₍key₎(X(Scan 0))  with a single int64 SUM
+///   sequence stage j = Project(Join(X(Scan j), probe)) where probe is
+///            stage j−1 (optimized) or X(stage j−1) (naive); stage 0 is
+///            X(Scan 0)
+
+namespace modularis::planner {
+
+/// Physical knobs of the KV emissions (world size and fabric belong to
+/// the executor, not the plan).
+struct KvLowerOptions {
+  /// §4.1.2 16→8-byte key/value compression in the network exchange.
+  bool compress = true;
+  ExecOptions exec;
+};
+
+/// Output schema of an N-join cascade stage: ⟨key, v0, ..., vN⟩.
+Schema KvStageSchema(int num_joins);
+
+/// Lower the pairwise-join template (Fig. 3). Inner joins must carry the
+/// ⟨key, value, value_r⟩ projection; semi/anti joins must not.
+Result<SubOpPtr> LowerKvJoin(const LogicalPlan& root,
+                             const KvLowerOptions& opts);
+
+/// Lower the GROUP BY template (Fig. 5).
+Result<SubOpPtr> LowerKvGroupBy(const LogicalPlan& root,
+                                const KvLowerOptions& opts);
+
+/// Lower a join-cascade template (Fig. 4). Naive vs optimized is deduced
+/// from the template shape (Exchange above intermediates = naive).
+Result<SubOpPtr> LowerKvSequence(const LogicalPlan& root,
+                                 const KvLowerOptions& opts);
+
+}  // namespace modularis::planner
+
+#endif  // MODULARIS_PLANNER_KV_LOWER_H_

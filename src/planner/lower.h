@@ -1,0 +1,107 @@
+#ifndef MODULARIS_PLANNER_LOWER_H_
+#define MODULARIS_PLANNER_LOWER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+#include "planner/logical_plan.h"
+#include "plans/common.h"
+
+/// \file lower.h
+/// Lowering from the logical-plan IR to the sub-operator DAG.
+///
+/// A query splits into two physical pieces:
+///
+///  * SplitAtDriver peels the driver-side tail off the logical root —
+///    LIMIT → ORDER BY → [finalize projection] → merge aggregation —
+///    leaving `rank_root`, the part every rank executes over its shard.
+///    The peeled tail becomes the DriverSpec the executor's driver
+///    applies to the concatenated rank partials.
+///  * LowerRankPlan emits `rank_root` as a PipelinePlan of sub-operators.
+///    The scan leaves (ScanLeafKind) and the exchange transport
+///    (LoweringContext::serverless + ExecOptions::tcp_exchange, routed
+///    through plans::AddExchangePipelines) are the only plan fragments
+///    that differ per platform — the paper's Figs. 6/7 in one lowering.
+///
+/// The emitted shapes are exactly the hand-built ones these helpers were
+/// hoisted from (tpch/queries.cc pre-planner): a lowered plan is
+/// byte-identical in output to its hand-built equivalent.
+
+namespace modularis::planner {
+
+/// How a Scan node turns into sub-operators.
+enum class ScanLeafKind {
+  /// In-memory RowVector fragment: RowScan + MapOp column prune.
+  kMemoryRows,
+  /// ColumnFile on NFS/S3: ColumnFileScan with projection + range
+  /// pushdown (scan_cols / scan_ranges).
+  kColumnFile,
+  /// Smart storage: S3SelectRequest carries projection AND the full scan
+  /// filter into the storage service; no residual filter remains (§4.5).
+  kS3Select,
+};
+
+/// Per-rank lowering environment. Copy per rank; the exchange counter
+/// then yields identical (shared) S3 object prefixes on every rank.
+struct LoweringContext {
+  ScanLeafKind scan_leaf = ScanLeafKind::kMemoryRows;
+  /// Serverless data plane: S3Exchange instead of MPI/TCP, exchanged
+  /// partitions read back via ColumnFileScan.
+  bool serverless = false;
+  bool fused = true;
+  int world = 1;
+  ExecOptions exec;
+  /// Unique-per-run namespace prefixing S3 exchange objects.
+  std::string tag;
+  /// Receives planner.time.lower (nullable).
+  StatsRegistry* stats = nullptr;
+
+  // Name-allocation state (internal).
+  int next_exchange = 0;
+  int next_join = 0;
+  int next_agg = 0;
+  int next_misc = 0;
+  std::map<std::string, int> used_names;
+};
+
+struct LoweredPlan {
+  /// Name of the pipeline holding the rank's partial result.
+  std::string pipeline;
+  Schema schema;
+};
+
+/// Emits `root` into `plan` as pipelines of sub-operators. The caller
+/// still owns SetOutput (rank output handling differs per executor).
+Result<LoweredPlan> LowerRankPlan(const LogicalPlan& root, PipelinePlan* plan,
+                                  LoweringContext* ctx);
+
+/// The driver-side tail of a query: what the driver applies to the
+/// concatenated per-rank partials.
+struct DriverSpec {
+  /// The subtree every rank executes (feed this to LowerRankPlan).
+  LogicalPlanPtr rank_root;
+  Schema rank_schema;
+  /// Re-aggregate the rank partials (rank aggregation is partial: each
+  /// rank reduced only its own shard).
+  bool merge = false;
+  std::vector<int> merge_keys;
+  std::vector<AggSpec> merge_aggs;
+  /// HAVING over the merged groups (must run after the merge).
+  ExprPtr merge_having;
+  /// Final projection after the merge (empty = none).
+  std::vector<MapOutput> finalize;
+  Schema final_schema;
+  std::vector<SortKey> sort;
+  /// 0 = no limit; otherwise requires a sort (TopK).
+  size_t limit = 0;
+};
+
+/// Splits the logical root into rank subtree + driver tail. Fails only
+/// on shapes with no distributed execution (LIMIT without ORDER BY).
+Result<DriverSpec> SplitAtDriver(LogicalPlanPtr root);
+
+}  // namespace modularis::planner
+
+#endif  // MODULARIS_PLANNER_LOWER_H_

@@ -1,0 +1,80 @@
+#ifndef MODULARIS_PLANNER_PASSES_H_
+#define MODULARIS_PLANNER_PASSES_H_
+
+#include <vector>
+
+#include "core/stats.h"
+#include "planner/cost.h"
+#include "planner/logical_plan.h"
+
+/// \file passes.h
+/// The rewrite-pass pipeline over the logical-plan IR. Each pass is a
+/// pure tree-to-tree function (copy-on-write over the immutable nodes);
+/// Optimize() composes them in the fixed order
+///
+///   pushdown → constant-fold → join-order → prune
+///
+/// Pushdown first so scan filters are in place before anything reasons
+/// about scan cardinalities; fold before the cost pass so folded
+/// comparison bounds are visible to the range-selectivity estimator;
+/// join order before pruning because side swaps permute intermediate
+/// schemas and pruning re-derives the required columns afterwards.
+///
+/// Every pass bails to its unchanged input when it meets an expression
+/// it cannot rewrite (Expr::RebuildWithChildren returning null) — the
+/// safe default for IR extensions. Pass activity is reported through the
+/// StatsRegistry (nullable) under "planner.passes.*".
+
+namespace modularis::planner {
+
+struct PlannerOptions {
+  /// Empty catalog disables the cost-based join-order pass.
+  Catalog catalog;
+  CostModel cost;
+};
+
+/// Merges Filter nodes downward: Filter(Scan) folds into the scan's
+/// residual filter, stacked Filters merge into one conjunction. Filters
+/// above joins stay put (they reference both sides).
+/// Stats: planner.passes.pushdown.moved.
+LogicalPlanPtr PushDownPredicates(LogicalPlanPtr root, StatsRegistry* stats);
+
+/// Evaluates constant subtrees via the checked Expr interpreter and
+/// replaces them with literals (e.g. the authored `date - interval`
+/// arithmetic of Q1, which must become a plain literal for range
+/// extraction to see the bound).
+/// Stats: planner.passes.fold.folded.
+LogicalPlanPtr FoldConstants(LogicalPlanPtr root, StatsRegistry* stats);
+
+/// Cost-based build/probe side selection: for every inner join, builds
+/// on the side with fewer estimated rows (hash-table insertion costs
+/// more than probing under any sensible CostModel), and records whether
+/// broadcasting the chosen build side is sane (build ≤ probe) in
+/// LogicalPlan::broadcast_ok. Semi/anti joins never swap (their sides
+/// are semantically fixed). No-op when the catalog is empty.
+/// Stats: planner.passes.joinorder.{swaps,broadcast_allowed,bailouts}.
+LogicalPlanPtr ChooseJoinOrder(LogicalPlanPtr root, const Catalog& catalog,
+                               const CostModel& model, StatsRegistry* stats);
+
+/// Narrows every scan to the columns actually consumed above it and
+/// remaps all column references accordingly. Also extracts min-max
+/// ranges for date/integer scan-filter bounds into scan_ranges (the
+/// column-file chunk-pruning contract; the residual filter keeps every
+/// conjunct, so extraction is output-invariant).
+/// Stats: planner.passes.prune.cols_dropped.
+LogicalPlanPtr PruneColumns(LogicalPlanPtr root, StatsRegistry* stats);
+
+/// The full pipeline. Also records planner.time.optimize and, with a
+/// catalog, the root cardinality estimate (planner.cost.root_rows).
+LogicalPlanPtr Optimize(LogicalPlanPtr root, const PlannerOptions& options,
+                        StatsRegistry* stats);
+
+/// Rewrites every column reference in `e` through `map` (old index →
+/// new index, -1 = dropped). Returns null when the tree references a
+/// dropped column or contains a non-rewritable node. Shared by the
+/// passes and exposed for tests.
+ExprPtr RemapColumns(const ExprPtr& e, const std::vector<int>& map);
+
+}  // namespace modularis::planner
+
+#endif  // MODULARIS_PLANNER_PASSES_H_

@@ -1,7 +1,9 @@
 #ifndef MODULARIS_PLANS_COMMON_H_
 #define MODULARIS_PLANS_COMMON_H_
 
+#include <functional>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -9,6 +11,7 @@
 #include "core/pipeline.h"
 #include "core/sub_operator.h"
 #include "suboperators/basic_ops.h"
+#include "suboperators/radix.h"
 #include "suboperators/scan_ops.h"
 
 /// \file common.h
@@ -55,6 +58,46 @@ inline Schema JoinOutSchema() {
 /// into one RowVector of `schema`.
 Result<RowVectorPtr> DrainCollections(SubOperator* root, ExecContext* ctx,
                                       const Schema& schema);
+
+/// Transport-specific exchange prefix (paper §4.1): everything between a
+/// materialized per-rank stream and the shuffled ⟨pid, partition⟩ stream
+/// that the downstream nested plan consumes. One configuration covers the
+/// three platforms:
+///   kMpi → LocalHistogram → MpiHistogram → MpiExchange  (one-sided RDMA)
+///   kTcp → TcpExchange                                  (socket fabric)
+///   kS3  → PartitionOp → GroupByPid → S3Exchange        (object store)
+struct ExchangeConfig {
+  enum class Transport { kMpi, kTcp, kS3 };
+  Transport transport = Transport::kMpi;
+  /// Plan-time fusion decision: wraps each source in RowScan when false
+  /// (see MaybeScan above).
+  bool fused = true;
+  /// Partitioning key column of the exchanged stream.
+  int key_col = 0;
+  /// Radix partitioning spec (kMpi: network fan-out; kS3: one partition
+  /// per worker). Passed through verbatim — callers choose the hash
+  /// (TPC-H shuffles mix non-uniform keys, the KV workloads keep the
+  /// identity hash of the paper's microbenchmarks).
+  RadixSpec spec;
+  /// kMpi only: §4.1.2 16-to-8-byte wire compression + its key domain.
+  bool compress = false;
+  int domain_bits = 29;
+  size_t buffer_bytes = 1 << 16;
+  /// kS3 only.
+  std::string prefix;
+  bool write_combining = true;
+  RetryPolicy retry;
+};
+
+/// Appends the exchange pipelines for `cfg` to `plan`, reading the stream
+/// produced by `src` (a factory — the MPI prefix consumes the source twice:
+/// once for the histogram, once for the partition+write pass). Pipelines
+/// are named `base` + "_lh"/"_mh"/"_mx" (kMpi), "_tcp" (kTcp) or
+/// "_part"/"_s3x" (kS3); returns the name of the final pipeline, whose
+/// result is the ⟨pid, partition⟩ stream of this rank's inbound data.
+std::string AddExchangePipelines(PipelinePlan* plan, const std::string& base,
+                                 const std::function<SubOpPtr()>& src,
+                                 const ExchangeConfig& cfg);
 
 }  // namespace modularis::plans
 

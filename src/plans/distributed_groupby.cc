@@ -1,120 +1,41 @@
 #include "plans/distributed_groupby.h"
 
-#include "suboperators/agg_ops.h"
-#include "suboperators/partition_ops.h"
+#include <cstdio>
+#include <cstdlib>
+
+#include "planner/kv_lower.h"
 
 namespace modularis::plans {
 
 namespace {
 
-/// Innermost nested plan (per local partition): restore full keys, then
-/// aggregate. Parameter tuple: ⟨pid, lpid, data⟩.
-SubOpPtr BuildAggregateNestedPlan(const DistGroupByOptions& opts) {
-  const bool fused = opts.exec.enable_fusion;
-  const int F = opts.exec.network_radix_bits;
-  const int P = opts.exec.key_domain_bits;
+namespace lp = planner::lp;
 
-  SubOpPtr records;
-  if (opts.compress && fused) {
-    // Fused form: restore the keys of the whole partition in one tight
-    // loop (the JIT-inlined UDF analog).
-    records = CloneSafe(std::make_unique<ParametrizedMap>(
-        ParamItem(0), ParamItem(2), KeyValueSchema(),
-        ParametrizedMap::BulkFn(
-            [F, P](const Tuple& param, const RowVector& in) {
-              RowVectorPtr res = RowVector::Make(KeyValueSchema());
-              res->Reserve(in.size());
-              const int64_t pid = param[0].i64();
-              const uint32_t stride = in.row_size();
-              const uint8_t* p = in.data();
-              uint8_t row[16];
-              for (size_t i = 0; i < in.size(); ++i, p += stride) {
-                int64_t word;
-                std::memcpy(&word, p, 8);
-                int64_t key, value;
-                DecompressKV(word, pid, F, P, &key, &value);
-                std::memcpy(row, &key, 8);
-                std::memcpy(row + 8, &value, 8);
-                res->AppendRaw(row);
-              }
-              return res;
-            })));
-  } else if (opts.compress) {
-    // Restore the full keys before the ReduceByKey (paper §4.3: unlike the
-    // join, recovery happens before the aggregation).
-    records = CloneSafe(std::make_unique<ParametrizedMap>(
-        ParamItem(0), MaybeScan(ParamItem(2), fused), KeyValueSchema(),
-        [F, P](const Tuple& param, const RowRef& in, RowWriter* w) {
-          int64_t key, value;
-          DecompressKV(in.GetInt64(0), param[0].i64(), F, P, &key, &value);
-          w->SetInt64(0, key);
-          w->SetInt64(1, value);
-        }));
-  } else {
-    records = MaybeScan(ParamItem(2), fused);
-  }
-
-  std::vector<AggSpec> aggs;
-  aggs.push_back(AggSpec{AggKind::kSum, ex::Col(1), "sum", AtomType::kInt64});
-  auto rk = std::make_unique<ReduceByKey>(std::move(records),
-                                          std::vector<int>{0}, std::move(aggs),
-                                          KeyValueSchema());
-  return std::make_unique<MaterializeRowVector>(std::move(rk),
-                                                GroupByOutSchema());
-}
-
-/// Per network-partition nested plan. Parameter tuple: ⟨pid, data⟩.
-SubOpPtr BuildLocalGroupNestedPlan(const DistGroupByOptions& opts) {
-  const bool fused = opts.exec.enable_fusion;
-  RadixSpec local_spec;
-  local_spec.bits = opts.exec.local_radix_bits;
-  local_spec.shift = opts.compress ? opts.exec.key_domain_bits
-                                   : opts.exec.network_radix_bits;
-
-  auto plan = std::make_unique<PipelinePlan>();
-  plan->Add("lh", std::make_unique<LocalHistogram>(
-                      MaybeScan(ParamItem(1), fused), local_spec,
-                      /*key_col=*/0, "phase.local_partition"));
-  plan->Add("lp", std::make_unique<LocalPartition>(
-                      MaybeScan(ParamItem(1), fused), plan->MakeRef("lh"),
-                      local_spec, /*key_col=*/0, "phase.local_partition"));
-  plan->Add("cp", std::make_unique<CartesianProduct>(ParamItem(0),
-                                                     plan->MakeRef("lp")));
-
-  auto nested = std::make_unique<NestedMap>(plan->MakeRef("cp"),
-                                            BuildAggregateNestedPlan(opts));
-  plan->SetOutput(std::make_unique<MaterializeRowVector>(
-      MaybeScan(std::move(nested), fused), GroupByOutSchema()));
-  return plan;
+/// The Fig. 5 template as IR: SUM(value) GROUP BY key over the exchanged
+/// base relation. The physical shapes (compressed exchange, nested local
+/// partitioning, key restoration before ReduceByKey) live in the
+/// planner's KV lowering.
+planner::LogicalPlanPtr GroupByTemplate() {
+  auto data = lp::Exchange(lp::Scan(0, "data", KeyValueSchema()), 0);
+  return lp::Aggregate(
+      std::move(data), {0},
+      {AggSpec{AggKind::kSum, ex::Col(1), "sum", AtomType::kInt64}});
 }
 
 }  // namespace
 
 SubOpPtr BuildGroupByRankPlan(const DistGroupByOptions& opts) {
-  const bool fused = opts.exec.enable_fusion;
-  RadixSpec net_spec;
-  net_spec.bits = opts.exec.network_radix_bits;
-  net_spec.shift = 0;
-
-  auto plan = std::make_unique<PipelinePlan>();
-  plan->Add("lh", std::make_unique<LocalHistogram>(
-                      MaybeScan(ParamItem(0), fused), net_spec, 0));
-  plan->Add("mh", std::make_unique<MpiHistogram>(plan->MakeRef("lh")));
-  MpiExchange::Options xopts;
-  xopts.spec = net_spec;
-  xopts.key_col = 0;
-  xopts.compress = opts.compress;
-  xopts.domain_bits = opts.exec.key_domain_bits;
-  xopts.buffer_bytes = opts.exec.exchange_buffer_bytes;
-  plan->Add("mx", std::make_unique<MpiExchange>(
-                      MaybeScan(ParamItem(0), fused), plan->MakeRef("lh"),
-                      plan->MakeRef("mh"), xopts));
-
-  auto nested = std::make_unique<NestedMap>(plan->MakeRef("mx"),
-                                            BuildLocalGroupNestedPlan(opts));
-  plan->SetOutput(std::make_unique<MaterializeRowVector>(
-      MaybeScan(std::move(nested), fused), GroupByOutSchema()));
-  return plan;
+  planner::KvLowerOptions kv;
+  kv.compress = opts.compress;
+  kv.exec = opts.exec;
+  auto lowered = planner::LowerKvGroupBy(*GroupByTemplate(), kv);
+  if (!lowered.ok()) {
+    // Unreachable: the template above is exactly the accepted shape.
+    std::fprintf(stderr, "BuildGroupByRankPlan: %s\n",
+                 lowered.status().ToString().c_str());
+    std::abort();
+  }
+  return lowered.TakeValue();
 }
 
 Result<RowVectorPtr> RunDistributedGroupBy(

@@ -1,193 +1,50 @@
 #include "plans/distributed_join.h"
 
-#include "suboperators/agg_ops.h"
-#include "suboperators/partition_ops.h"
+#include <cstdio>
+#include <cstdlib>
+
+#include "planner/kv_lower.h"
 
 namespace modularis::plans {
 
 namespace {
 
-/// Builds the innermost nested plan (per local-partition pair): hash
-/// build-and-probe plus recovery of the compressed key bits.
-/// Parameter tuple: ⟨pid, lpid, data_inner, pid, lpid, data_outer⟩.
-SubOpPtr BuildProbeNestedPlan(const DistJoinOptions& opts,
-                              const Schema& part_schema) {
-  const bool fused = opts.exec.enable_fusion;
-  auto build = MaybeScan(ParamItem(2), fused);
-  auto probe = MaybeScan(ParamItem(5), fused);
-  const int F = opts.exec.network_radix_bits;
-  const int P = opts.exec.key_domain_bits;
-  auto bp = std::make_unique<BuildProbe>(
-      std::move(build), std::move(probe), part_schema, part_schema,
-      /*build_key_col=*/0, /*probe_key_col=*/0, opts.join_type,
-      /*key_shift=*/opts.compress ? P : 0);
+namespace lp = planner::lp;
 
-  SubOpPtr transformed;
-  Schema out_schema;
-  if (opts.join_type == JoinType::kInner) {
-    out_schema = JoinOutSchema();
-    if (opts.compress && fused) {
-      // Fused form: materialize the compressed pairs once, then recover
-      // the key bits in one tight loop (the JIT-inlined UDF analog).
-      Schema pair_schema = part_schema.Concat(part_schema);
-      auto pairs = std::make_unique<MaterializeRowVector>(std::move(bp),
-                                                          pair_schema);
-      Schema out = out_schema;
-      return CloneSafe(std::make_unique<ParametrizedMap>(
-          ParamItem(0), std::move(pairs), out_schema,
-          ParametrizedMap::BulkFn(
-              [F, P, out](const Tuple& param, const RowVector& in) {
-                RowVectorPtr res = RowVector::Make(out);
-                res->Reserve(in.size());
-                const int64_t pid = param[0].i64();
-                const uint32_t stride = in.row_size();
-                const uint8_t* p = in.data();
-                uint8_t row[24];
-                for (size_t i = 0; i < in.size(); ++i, p += stride) {
-                  int64_t word, word_r;
-                  std::memcpy(&word, p, 8);
-                  std::memcpy(&word_r, p + 8, 8);
-                  int64_t key, value, key_r, value_r;
-                  DecompressKV(word, pid, F, P, &key, &value);
-                  DecompressKV(word_r, pid, F, P, &key_r, &value_r);
-                  std::memcpy(row, &key, 8);
-                  std::memcpy(row + 8, &value, 8);
-                  std::memcpy(row + 16, &value_r, 8);
-                  res->AppendRaw(row);
-                }
-                return res;
-              })));
-    }
-    if (opts.compress) {
-      // ⟨word, word_r⟩ → ⟨key, value, value_r⟩ given the network pid.
-      transformed = CloneSafe(std::make_unique<ParametrizedMap>(
-          ParamItem(0), std::move(bp), out_schema,
-          [F, P](const Tuple& param, const RowRef& in, RowWriter* w) {
-            int64_t pid = param[0].i64();
-            int64_t key, value, key_r, value_r;
-            DecompressKV(in.GetInt64(0), pid, F, P, &key, &value);
-            DecompressKV(in.GetInt64(1), pid, F, P, &key_r, &value_r);
-            w->SetInt64(0, key);
-            w->SetInt64(1, value);
-            w->SetInt64(2, value_r);
-          }));
-    } else {
-      // ⟨key, value, key_r, value_r⟩ → ⟨key, value, value_r⟩.
-      transformed = std::make_unique<MapOp>(
-          std::move(bp), out_schema,
-          std::vector<MapOutput>{MapOutput::Pass(0), MapOutput::Pass(1),
-                                 MapOutput::Pass(3)});
-    }
-  } else {
-    // Semi/anti joins emit the surviving probe records.
-    out_schema = KeyValueSchema();
-    if (opts.compress) {
-      transformed = CloneSafe(std::make_unique<ParametrizedMap>(
-          ParamItem(0), std::move(bp), out_schema,
-          [F, P](const Tuple& param, const RowRef& in, RowWriter* w) {
-            int64_t key, value;
-            DecompressKV(in.GetInt64(0), param[0].i64(), F, P, &key, &value);
-            w->SetInt64(0, key);
-            w->SetInt64(1, value);
-          }));
-    } else {
-      transformed = std::make_unique<MapOp>(
-          std::move(bp), out_schema,
-          std::vector<MapOutput>{MapOutput::Pass(0), MapOutput::Pass(1)});
-    }
-  }
-  return std::make_unique<MaterializeRowVector>(std::move(transformed),
-                                                out_schema);
+/// The Fig. 3 template as IR: both base relations cross the network
+/// exactly once; inner joins prune the duplicate key column. The
+/// physical shapes (compressed exchange, nested local partitioning,
+/// key-bit recovery) live in the planner's KV lowering.
+planner::LogicalPlanPtr JoinTemplate(JoinType type) {
+  auto inner = lp::Exchange(lp::Scan(0, "inner", KeyValueSchema()), 0);
+  auto outer = lp::Exchange(lp::Scan(1, "outer", KeyValueSchema()), 0);
+  auto join = lp::Join(std::move(inner), std::move(outer), type, 0, 0);
+  if (type != JoinType::kInner) return join;
+  return lp::Project(std::move(join),
+                     {MapOutput::Pass(0), MapOutput::Pass(1),
+                      MapOutput::Pass(3)},
+                     JoinOutSchema());
 }
 
-/// Builds the first nested plan (per network-partition pair): local
-/// histograms + cache-conscious local partitioning on both sides, pid
-/// re-attachment, then the inner NestedMap over local-partition pairs.
-/// Parameter tuple: ⟨pid_inner, data_inner, pid_outer, data_outer⟩.
-SubOpPtr BuildLocalJoinNestedPlan(const DistJoinOptions& opts,
-                                  const Schema& part_schema) {
-  const bool fused = opts.exec.enable_fusion;
-  // The local radix pass consumes the bits just above the network pass:
-  // on compressed words the key's high bits sit above the P value bits.
-  RadixSpec local_spec;
-  local_spec.bits = opts.exec.local_radix_bits;
-  local_spec.shift = opts.compress ? opts.exec.key_domain_bits
-                                   : opts.exec.network_radix_bits;
-
-  auto plan = std::make_unique<PipelinePlan>();
-  const char* lh_names[2] = {"lh_inner", "lh_outer"};
-  const char* lp_names[2] = {"lp_inner", "lp_outer"};
-  const char* cp_names[2] = {"cp_inner", "cp_outer"};
-  for (int side = 0; side < 2; ++side) {
-    int pid_item = side * 2;
-    int data_item = side * 2 + 1;
-    plan->Add(lh_names[side],
-              std::make_unique<LocalHistogram>(
-                  MaybeScan(ParamItem(data_item), fused), local_spec,
-                  /*key_col=*/0, "phase.local_partition"));
-    plan->Add(lp_names[side],
-              std::make_unique<LocalPartition>(
-                  MaybeScan(ParamItem(data_item), fused),
-                  plan->MakeRef(lh_names[side]), local_spec, /*key_col=*/0,
-                  "phase.local_partition"));
-    plan->Add(cp_names[side],
-              std::make_unique<CartesianProduct>(
-                  ParamItem(pid_item), plan->MakeRef(lp_names[side])));
-  }
-
-  auto zip = std::make_unique<Zip>(plan->MakeRef(cp_names[0]),
-                                   plan->MakeRef(cp_names[1]));
-  auto nested = std::make_unique<NestedMap>(
-      std::move(zip), BuildProbeNestedPlan(opts, part_schema));
-  Schema out_schema = opts.join_type == JoinType::kInner ? JoinOutSchema()
-                                                         : KeyValueSchema();
-  plan->SetOutput(std::make_unique<MaterializeRowVector>(
-      MaybeScan(std::move(nested), fused), out_schema));
-  return plan;
+planner::KvLowerOptions KvOptions(const DistJoinOptions& opts) {
+  planner::KvLowerOptions kv;
+  kv.compress = opts.compress;
+  kv.exec = opts.exec;
+  return kv;
 }
 
 }  // namespace
 
 SubOpPtr BuildJoinRankPlan(const DistJoinOptions& opts) {
-  const bool fused = opts.exec.enable_fusion;
-  RadixSpec net_spec;
-  net_spec.bits = opts.exec.network_radix_bits;
-  net_spec.shift = 0;
-  const Schema part_schema =
-      opts.compress ? CompressedSchema() : KeyValueSchema();
-
-  auto plan = std::make_unique<PipelinePlan>();
-  const char* lh_names[2] = {"lh_inner", "lh_outer"};
-  const char* mh_names[2] = {"mh_inner", "mh_outer"};
-  const char* mx_names[2] = {"mx_inner", "mx_outer"};
-  for (int side = 0; side < 2; ++side) {
-    plan->Add(lh_names[side],
-              std::make_unique<LocalHistogram>(MaybeScan(ParamItem(side), fused),
-                                               net_spec, /*key_col=*/0));
-    plan->Add(mh_names[side],
-              std::make_unique<MpiHistogram>(plan->MakeRef(lh_names[side])));
-    MpiExchange::Options xopts;
-    xopts.spec = net_spec;
-    xopts.key_col = 0;
-    xopts.compress = opts.compress;
-    xopts.domain_bits = opts.exec.key_domain_bits;
-    xopts.buffer_bytes = opts.exec.exchange_buffer_bytes;
-    plan->Add(mx_names[side],
-              std::make_unique<MpiExchange>(
-                  MaybeScan(ParamItem(side), fused),
-                  plan->MakeRef(lh_names[side]),
-                  plan->MakeRef(mh_names[side]), xopts));
+  auto lowered =
+      planner::LowerKvJoin(*JoinTemplate(opts.join_type), KvOptions(opts));
+  if (!lowered.ok()) {
+    // Unreachable: the template above is exactly the accepted shape.
+    std::fprintf(stderr, "BuildJoinRankPlan: %s\n",
+                 lowered.status().ToString().c_str());
+    std::abort();
   }
-
-  auto zip = std::make_unique<Zip>(plan->MakeRef(mx_names[0]),
-                                   plan->MakeRef(mx_names[1]));
-  auto nested = std::make_unique<NestedMap>(
-      std::move(zip), BuildLocalJoinNestedPlan(opts, part_schema));
-  Schema out_schema = opts.join_type == JoinType::kInner ? JoinOutSchema()
-                                                         : KeyValueSchema();
-  plan->SetOutput(std::make_unique<MaterializeRowVector>(
-      MaybeScan(std::move(nested), fused), out_schema));
-  return plan;
+  return lowered.TakeValue();
 }
 
 Result<RowVectorPtr> RunDistributedJoin(

@@ -1,216 +1,71 @@
 #include "plans/join_sequence.h"
 
-#include "suboperators/agg_ops.h"
-#include "suboperators/join_ops.h"
-#include "suboperators/partition_ops.h"
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "planner/kv_lower.h"
 
 namespace modularis::plans {
 
 namespace {
 
-/// Stage output schema S_j = ⟨key, v0, ..., vj⟩ (j joins performed).
-Schema StageSchema(int j) {
-  std::vector<Field> fields;
-  fields.push_back(Field::I64("key"));
-  for (int i = 0; i <= j; ++i) {
-    fields.push_back(Field::I64("v" + std::to_string(i)));
+namespace lp = planner::lp;
+
+/// The Fig. 4 templates as IR. The naive/optimized distinction is purely
+/// logical: the naive cascade re-exchanges every intermediate (an
+/// Exchange node above each interior stage), the optimized one exchanges
+/// each base relation exactly once and consumes intermediates in place.
+planner::LogicalPlanPtr SequenceTemplate(int num_joins, bool optimized) {
+  auto scan = [](int i) {
+    return lp::Exchange(
+        lp::Scan(i, "r" + std::to_string(i), KeyValueSchema()), 0);
+  };
+  planner::LogicalPlanPtr prev = scan(0);
+  for (int j = 1; j <= num_joins; ++j) {
+    planner::LogicalPlanPtr probe = prev;
+    if (!optimized && j >= 2) probe = lp::Exchange(std::move(probe), 0);
+    auto join = lp::Join(scan(j), std::move(probe), JoinType::kInner, 0, 0);
+    std::vector<MapOutput> prune;
+    prune.push_back(MapOutput::Pass(0));  // key
+    for (int i = 0; i < j; ++i) prune.push_back(MapOutput::Pass(3 + i));
+    prune.push_back(MapOutput::Pass(1));  // vj
+    prev = lp::Project(std::move(join), std::move(prune),
+                       planner::KvStageSchema(j));
   }
-  return Schema(std::move(fields));
+  return prev;
 }
 
-/// Prune map after BuildProbe(build = R_j kv16, probe = S_{j-1} stream):
-/// BP output = ⟨key, vj⟩ ⊕ ⟨key_p, v0..v_{j-1}⟩ → S_j = ⟨key, v0..vj⟩.
-std::vector<MapOutput> PruneOutputs(int j) {
-  std::vector<MapOutput> outs;
-  outs.push_back(MapOutput::Pass(0));                   // key
-  for (int i = 0; i < j; ++i) {
-    outs.push_back(MapOutput::Pass(3 + i));             // v0..v_{j-1}
+SubOpPtr LowerSequence(int num_joins, bool optimized,
+                       const JoinSequenceOptions& opts) {
+  planner::KvLowerOptions kv;
+  kv.compress = false;  // cascades need full keys at every stage
+  kv.exec = opts.exec;
+  auto lowered =
+      planner::LowerKvSequence(*SequenceTemplate(num_joins, optimized), kv);
+  if (!lowered.ok()) {
+    // Unreachable: the template above is exactly the accepted shape.
+    std::fprintf(stderr, "BuildSequenceRankPlan: %s\n",
+                 lowered.status().ToString().c_str());
+    std::abort();
   }
-  outs.push_back(MapOutput::Pass(1));                   // vj
-  return outs;
-}
-
-/// Per network-partition nested plan of one *naive* stage: local-partition
-/// both sides, then build-probe per local partition pair and prune.
-/// Parameter tuple: ⟨pid_L, data_L, pid_R, data_R⟩ where L = S_{j-1}
-/// (probe side) and R = relation j (build side).
-SubOpPtr NaiveStageLocalPlan(int j, const JoinSequenceOptions& opts) {
-  const bool fused = opts.exec.enable_fusion;
-  RadixSpec local_spec;
-  local_spec.bits = opts.exec.local_radix_bits;
-  local_spec.shift = opts.exec.network_radix_bits;
-  const Schema left_schema = StageSchema(j - 1);   // probe
-  const Schema right_schema = KeyValueSchema();    // build
-  const Schema out_schema = StageSchema(j);
-
-  auto plan = std::make_unique<PipelinePlan>();
-  for (int side = 0; side < 2; ++side) {
-    std::string suffix = side == 0 ? "_l" : "_r";
-    int data_item = side * 2 + 1;
-    plan->Add("lh" + suffix,
-              std::make_unique<LocalHistogram>(
-                  MaybeScan(ParamItem(data_item), fused), local_spec, 0,
-                  "phase.local_partition"));
-    plan->Add("lp" + suffix,
-              std::make_unique<LocalPartition>(
-                  MaybeScan(ParamItem(data_item), fused),
-                  plan->MakeRef("lh" + suffix), local_spec, 0,
-                  "phase.local_partition"));
-  }
-
-  // Inner nested plan per local-partition pair:
-  // param ⟨lpid_l, data_l, lpid_r, data_r⟩.
-  auto inner = [&]() -> SubOpPtr {
-    auto build = MaybeScan(ParamItem(3), fused);
-    auto probe = MaybeScan(ParamItem(1), fused);
-    auto bp = std::make_unique<BuildProbe>(
-        std::move(build), std::move(probe), right_schema, left_schema, 0, 0);
-    auto pruned = std::make_unique<MapOp>(std::move(bp), out_schema,
-                                          PruneOutputs(j));
-    return std::make_unique<MaterializeRowVector>(std::move(pruned),
-                                                  out_schema);
-  }();
-
-  auto zip = std::make_unique<Zip>(plan->MakeRef("lp_l"),
-                                   plan->MakeRef("lp_r"));
-  auto nested = std::make_unique<NestedMap>(std::move(zip), std::move(inner));
-  plan->SetOutput(std::make_unique<MaterializeRowVector>(
-      MaybeScan(std::move(nested), fused), out_schema));
-  return plan;
-}
-
-/// Adds the LH → MH → MX pipeline triple for `src` under `name`, returning
-/// the exchange pipeline's name.
-std::string AddExchange(PipelinePlan* plan, const std::string& name,
-                        std::function<SubOpPtr()> src,
-                        const JoinSequenceOptions& opts) {
-  const bool fused = opts.exec.enable_fusion;
-  RadixSpec net_spec;
-  net_spec.bits = opts.exec.network_radix_bits;
-  net_spec.shift = 0;
-  plan->Add("lh_" + name, std::make_unique<LocalHistogram>(
-                              MaybeScan(src(), fused), net_spec, 0));
-  plan->Add("mh_" + name,
-            std::make_unique<MpiHistogram>(plan->MakeRef("lh_" + name)));
-  MpiExchange::Options xopts;
-  xopts.spec = net_spec;
-  xopts.key_col = 0;
-  xopts.compress = false;  // cascades need full keys at every stage
-  xopts.buffer_bytes = opts.exec.exchange_buffer_bytes;
-  plan->Add("mx_" + name, std::make_unique<MpiExchange>(
-                              MaybeScan(src(), fused),
-                              plan->MakeRef("lh_" + name),
-                              plan->MakeRef("mh_" + name), xopts));
-  return "mx_" + name;
+  return lowered.TakeValue();
 }
 
 }  // namespace
 
-Schema SequenceOutSchema(int num_joins) { return StageSchema(num_joins); }
+Schema SequenceOutSchema(int num_joins) {
+  return planner::KvStageSchema(num_joins);
+}
 
 SubOpPtr BuildNaiveSequenceRankPlan(int num_joins,
                                     const JoinSequenceOptions& opts) {
-  auto plan = std::make_unique<PipelinePlan>();
-  // Stage j joins S_{j-1} (previous output, re-shuffled!) with R_j.
-  for (int j = 1; j <= num_joins; ++j) {
-    std::string sj = std::to_string(j);
-    auto left_src = [&, j]() -> SubOpPtr {
-      if (j == 1) return ParamItem(0);
-      return plan->MakeRef("out_" + std::to_string(j - 1));
-    };
-    auto right_src = [&, j]() -> SubOpPtr { return ParamItem(j); };
-    std::string mx_l = AddExchange(plan.get(), "l" + sj, left_src, opts);
-    std::string mx_r = AddExchange(plan.get(), "r" + sj, right_src, opts);
-    auto zip = std::make_unique<Zip>(plan->MakeRef(mx_l),
-                                     plan->MakeRef(mx_r));
-    auto nested = std::make_unique<NestedMap>(std::move(zip),
-                                              NaiveStageLocalPlan(j, opts));
-    plan->Add("out_" + sj,
-              std::make_unique<MaterializeRowVector>(
-                  MaybeScan(std::move(nested), opts.exec.enable_fusion), StageSchema(j)));
-  }
-  plan->SetOutput(plan->MakeRef("out_" + std::to_string(num_joins)));
-  return plan;
+  return LowerSequence(num_joins, /*optimized=*/false, opts);
 }
-
-namespace {
-
-/// Optimized variant: the whole cascade inside one network partition.
-/// Parameter tuple: ⟨pid_0, data_0, pid_1, data_1, ..., pid_N, data_N⟩.
-SubOpPtr OptimizedLocalPlan(int num_joins, const JoinSequenceOptions& opts) {
-  const bool fused = opts.exec.enable_fusion;
-  RadixSpec local_spec;
-  local_spec.bits = opts.exec.local_radix_bits;
-  local_spec.shift = opts.exec.network_radix_bits;
-
-  auto plan = std::make_unique<PipelinePlan>();
-  for (int i = 0; i <= num_joins; ++i) {
-    std::string si = std::to_string(i);
-    int data_item = 2 * i + 1;
-    plan->Add("lh_" + si, std::make_unique<LocalHistogram>(
-                              MaybeScan(ParamItem(data_item), fused),
-                              local_spec, 0, "phase.local_partition"));
-    plan->Add("lp_" + si, std::make_unique<LocalPartition>(
-                              MaybeScan(ParamItem(data_item), fused),
-                              plan->MakeRef("lh_" + si), local_spec, 0,
-                              "phase.local_partition"));
-  }
-
-  // Inner nested plan per local-partition tuple:
-  // param ⟨lpid_0, data_0, ..., lpid_N, data_N⟩ — a chain of BuildProbes,
-  // the output of the (j−1)-th streaming into the j-th (paper §4.2).
-  auto inner = [&]() -> SubOpPtr {
-    SubOpPtr stream = MaybeScan(ParamItem(1), fused);  // S_0 records
-    for (int j = 1; j <= num_joins; ++j) {
-      auto build = MaybeScan(ParamItem(2 * j + 1), fused);
-      auto bp = std::make_unique<BuildProbe>(
-          std::move(build), std::move(stream), KeyValueSchema(),
-          StageSchema(j - 1), 0, 0);
-      stream = std::make_unique<MapOp>(std::move(bp), StageSchema(j),
-                                       PruneOutputs(j));
-    }
-    return std::make_unique<MaterializeRowVector>(std::move(stream),
-                                                  StageSchema(num_joins));
-  }();
-
-  // Zip all local partition streams into one aligned tuple stream.
-  SubOpPtr zipped = plan->MakeRef("lp_0");
-  for (int i = 1; i <= num_joins; ++i) {
-    zipped = std::make_unique<Zip>(std::move(zipped),
-                                   plan->MakeRef("lp_" + std::to_string(i)));
-  }
-  auto nested = std::make_unique<NestedMap>(std::move(zipped),
-                                            std::move(inner));
-  plan->SetOutput(std::make_unique<MaterializeRowVector>(
-      MaybeScan(std::move(nested), fused), StageSchema(num_joins)));
-  return plan;
-}
-
-}  // namespace
 
 SubOpPtr BuildOptimizedSequenceRankPlan(int num_joins,
                                         const JoinSequenceOptions& opts) {
-  auto plan = std::make_unique<PipelinePlan>();
-  // Network-partition all N+1 relations once (Fig. 4, right).
-  std::vector<std::string> mx_names;
-  for (int i = 0; i <= num_joins; ++i) {
-    auto src = [&plan, i]() -> SubOpPtr {
-      (void)plan;
-      return ParamItem(i);
-    };
-    mx_names.push_back(
-        AddExchange(plan.get(), std::to_string(i), src, opts));
-  }
-  SubOpPtr zipped = plan->MakeRef(mx_names[0]);
-  for (int i = 1; i <= num_joins; ++i) {
-    zipped = std::make_unique<Zip>(std::move(zipped),
-                                   plan->MakeRef(mx_names[i]));
-  }
-  auto nested = std::make_unique<NestedMap>(
-      std::move(zipped), OptimizedLocalPlan(num_joins, opts));
-  plan->SetOutput(std::make_unique<MaterializeRowVector>(
-      MaybeScan(std::move(nested), opts.exec.enable_fusion), StageSchema(num_joins)));
-  return plan;
+  return LowerSequence(num_joins, /*optimized=*/true, opts);
 }
 
 Result<RowVectorPtr> RunJoinSequence(

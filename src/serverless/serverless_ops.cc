@@ -82,11 +82,17 @@ Status LambdaExecutor::Open(ExecContext* ctx) {
   // Fleet-level "fault.injected.*" counters (spawn crashes plus every
   // worker's blob-client injections), exported once per run — merged even
   // on failure so the crash that aborted the query shows up in the stats.
-  ctx->stats->Merge(report.stats);
+  // ExecContext::stats is nullable: drivers that don't collect stats
+  // still run.
+  if (ctx->stats != nullptr) {
+    ctx->stats->Merge(report.stats);
+  }
   MODULARIS_RETURN_NOT_OK(st);
 
-  for (const StatsRegistry& ws : worker_stats) {
-    ctx->stats->MergeMax(ws);
+  if (ctx->stats != nullptr) {
+    for (const StatsRegistry& ws : worker_stats) {
+      ctx->stats->MergeMax(ws);
+    }
   }
   for (auto& tuples : worker_results) {
     for (Tuple& t : tuples) results_.push_back(std::move(t));
@@ -294,7 +300,9 @@ bool ColumnFileScan::Next(Tuple* out) {
           }
         }
         if (!keep) {
-          ctx_->stats->AddCounter("scan.row_groups_pruned", 1);
+          if (ctx_->stats != nullptr) {
+            ctx_->stats->AddCounter("scan.row_groups_pruned", 1);
+          }
           continue;
         }
         ScopedTimer timer(ctx_->stats, opts_.timer_key);

@@ -1,19 +1,18 @@
 #include "tpch/queries.h"
 
 #include <atomic>
-#include <cmath>
+#include <cstdio>
+#include <cstdlib>
 
-#include "mpi/tcp_exchange.h"
+#include "planner/passes.h"
 #include "plans/common.h"
 #include "storage/csv.h"
 #include "suboperators/agg_ops.h"
-#include "suboperators/join_ops.h"
-#include "suboperators/partition_ops.h"
 
 namespace modularis::tpch {
 
-using plans::MaybeScan;
-using plans::ParamItem;
+namespace lp = planner::lp;
+using planner::LogicalPlanPtr;
 
 const char* PlatformName(Platform platform) {
   switch (platform) {
@@ -72,283 +71,6 @@ const char* TableName(int table) {
   return "?";
 }
 
-/// Per-rank plan construction environment. Copied per rank; the exchange
-/// counter yields identical (shared) object prefixes on every rank.
-struct Env {
-  Platform platform = Platform::kRdma;
-  bool fused = true;
-  int world = 1;
-  ExecOptions exec;
-  std::string tag;  // unique per query run; prefixes exchange objects
-  int next_exchange = 0;
-
-  bool serverless() const {
-    return platform == Platform::kLambda || platform == Platform::kS3Select;
-  }
-};
-
-int Log2Exact(int v) {
-  int bits = 0;
-  while ((1 << bits) < v) ++bits;
-  return bits;
-}
-
-/// One base-table leaf: projection (full-schema indices), residual filter
-/// (over the pruned schema) and row-group pruning ranges (full-schema
-/// column indices).
-struct TableInput {
-  int table = kLineitem;
-  std::vector<int> cols;
-  ExprPtr filter;
-  std::vector<ColumnFileScan::Range> ranges;
-};
-
-Schema PrunedSchema(const TableInput& in) {
-  return FullSchema(in.table).Select(in.cols);
-}
-
-/// Adds pipeline `name` yielding this rank's filtered + pruned shard of
-/// the table — the only plan fragment that differs per platform
-/// (scan leaves, Figs. 6/7).
-void AddInput(PipelinePlan* plan, const std::string& name,
-              const TableInput& in, const Env& env) {
-  Schema pruned = PrunedSchema(in);
-  SubOpPtr rows;
-  switch (env.platform) {
-    case Platform::kRdma: {
-      // In-memory base table fragment: prune + filter record-wise.
-      std::vector<MapOutput> prune;
-      prune.reserve(in.cols.size());
-      for (int c : in.cols) prune.push_back(MapOutput::Pass(c));
-      rows = std::make_unique<MapOp>(
-          std::make_unique<RowScan>(ParamItem(in.table)), pruned,
-          std::move(prune));
-      break;
-    }
-    case Platform::kRdmaDisc:
-    case Platform::kLambda: {
-      // ColumnFile on NFS/S3: projection + range pushdown in the scan.
-      ColumnFileScan::Options copts;
-      copts.projection = in.cols;
-      copts.ranges = in.ranges;
-      rows = std::make_unique<ColumnScan>(
-          std::make_unique<ColumnFileScan>(ParamItem(in.table), copts),
-          pruned);
-      break;
-    }
-    case Platform::kS3Select: {
-      // Smart storage: both projection and selection are pushed into the
-      // storage service; nothing remains to filter here (§4.5).
-      S3SelectRequest::Options sopts;
-      sopts.object_schema = FullSchema(in.table);
-      sopts.projection = in.cols;
-      sopts.predicate = in.filter;
-      plan->Add(name, std::make_unique<TableToCollection>(
-                          std::make_unique<S3SelectRequest>(
-                              ParamItem(in.table), std::move(sopts))));
-      return;
-    }
-  }
-  if (in.filter != nullptr) {
-    rows = std::make_unique<Filter>(std::move(rows), in.filter);
-  }
-  plan->Add(name, std::make_unique<MaterializeRowVector>(std::move(rows),
-                                                         pruned));
-}
-
-/// Adds the platform's exchange for pipeline `src` keyed on `key_col`
-/// and returns the name of the pipeline yielding the exchanged data:
-/// ⟨pid, collection⟩ tuples on RDMA, ⟨path, rg, rg⟩ triples on serverless.
-std::string AddExchange(PipelinePlan* plan, Env* env, const std::string& src,
-                        int key_col) {
-  std::string base = src + "_x" + std::to_string(env->next_exchange++);
-  if (!env->serverless() && env->exec.tcp_exchange) {
-    // The TCP backend of §4.4: swapping this single operator (plus the
-    // executor) is all a new network platform requires.
-    TcpExchange::Options topts;
-    topts.key_col = key_col;
-    plan->Add(base + "_tcp",
-              std::make_unique<TcpExchange>(
-                  MaybeScan(plan->MakeRef(src), env->fused), topts));
-    return base + "_tcp";
-  }
-  if (!env->serverless()) {
-    RadixSpec spec;
-    spec.bits = env->exec.network_radix_bits;
-    spec.shift = 0;
-    spec.hash = RadixHash::kMix;
-    plan->Add(base + "_lh",
-              std::make_unique<LocalHistogram>(
-                  MaybeScan(plan->MakeRef(src), env->fused), spec, key_col));
-    plan->Add(base + "_mh",
-              std::make_unique<MpiHistogram>(plan->MakeRef(base + "_lh")));
-    MpiExchange::Options xopts;
-    xopts.spec = spec;
-    xopts.key_col = key_col;
-    xopts.compress = false;
-    xopts.buffer_bytes = env->exec.exchange_buffer_bytes;
-    plan->Add(base + "_mx",
-              std::make_unique<MpiExchange>(
-                  MaybeScan(plan->MakeRef(src), env->fused),
-                  plan->MakeRef(base + "_lh"),
-                  plan->MakeRef(base + "_mh"), xopts));
-    return base + "_mx";
-  }
-  // Serverless: Partition → GroupBy → S3Exchange (Fig. 7, §4.4).
-  RadixSpec spec;
-  spec.bits = Log2Exact(env->world);
-  spec.shift = 0;
-  spec.hash = RadixHash::kMix;
-  plan->Add(base + "_part",
-            std::make_unique<GroupByPid>(std::make_unique<PartitionOp>(
-                MaybeScan(plan->MakeRef(src), env->fused), spec, key_col)));
-  S3Exchange::Options xopts;
-  xopts.prefix = env->tag + "/" + base;
-  xopts.write_combining = env->exec.s3_write_combining;
-  xopts.retry = env->exec.retry;
-  plan->Add(base + "_s3x", std::make_unique<S3Exchange>(
-                               plan->MakeRef(base + "_part"), xopts));
-  return base + "_s3x";
-}
-
-/// Source of exchanged records for one side of a downstream operator.
-SubOpPtr ExchangedData(PipelinePlan* plan, const Env& env,
-                       const std::string& xpipe, int param_item) {
-  if (!env.serverless()) {
-    // Inside a NestedMap over zipped partition pairs: the data collection
-    // sits at `param_item` of the parameter tuple.
-    return MaybeScan(ParamItem(param_item), env.fused);
-  }
-  // Serverless: read this worker's row groups back from S3.
-  ColumnFileScan::Options copts;
-  copts.retry = env.exec.retry;
-  return std::make_unique<TableToCollection>(std::make_unique<ColumnFileScan>(
-      plan->MakeRef(xpipe), std::move(copts)));
-}
-
-/// Adds a distributed hash join between two materialized pipelines and
-/// materializes the (optionally filtered/mapped) join output as pipeline
-/// `out_name` with schema `out_schema`.
-void AddJoin(PipelinePlan* plan, Env* env, const std::string& out_name,
-             const std::string& build_pipe, const Schema& build_schema,
-             int build_key, const std::string& probe_pipe,
-             const Schema& probe_schema, int probe_key, JoinType type,
-             ExprPtr post_filter, std::vector<MapOutput> post,
-             const Schema& out_schema, bool allow_broadcast = true) {
-  auto finish = [&](SubOpPtr cur) -> SubOpPtr {
-    if (post_filter != nullptr) {
-      cur = std::make_unique<Filter>(std::move(cur), post_filter);
-    }
-    if (!post.empty()) {
-      cur = std::make_unique<MapOp>(std::move(cur), out_schema,
-                                    std::move(post));
-    }
-    return std::make_unique<MaterializeRowVector>(std::move(cur),
-                                                  out_schema);
-  };
-
-  if (!env->serverless() && env->exec.broadcast_small_build &&
-      allow_broadcast) {
-    // Broadcast join: replicate the (small) build side everywhere; the
-    // probe side never crosses the network.
-    std::string bx = build_pipe + "_bcast" +
-                     std::to_string(env->next_exchange++);
-    plan->Add(bx, std::make_unique<MpiBroadcast>(
-                      MaybeScan(plan->MakeRef(build_pipe), env->fused),
-                      build_schema));
-    auto bp = std::make_unique<BuildProbe>(
-        MaybeScan(plan->MakeRef(bx), env->fused),
-        MaybeScan(plan->MakeRef(probe_pipe), env->fused), build_schema,
-        probe_schema, build_key, probe_key, type);
-    plan->Add(out_name, finish(std::move(bp)));
-    return;
-  }
-
-  std::string xb = AddExchange(plan, env, build_pipe, build_key);
-  std::string xp = AddExchange(plan, env, probe_pipe, probe_key);
-
-  if (!env->serverless()) {
-    // NestedMap over zipped ⟨pid, data⟩ pairs (Fig. 6).
-    auto nested = finish(std::make_unique<BuildProbe>(
-        MaybeScan(ParamItem(1), env->fused), MaybeScan(ParamItem(3),
-                                                       env->fused),
-        build_schema, probe_schema, build_key, probe_key, type));
-    auto zip = std::make_unique<Zip>(plan->MakeRef(xb), plan->MakeRef(xp));
-    auto nm = std::make_unique<NestedMap>(std::move(zip), std::move(nested));
-    plan->Add(out_name, std::make_unique<MaterializeRowVector>(
-                            MaybeScan(std::move(nm), env->fused), out_schema));
-    return;
-  }
-  // Serverless: each worker holds exactly one partition after the
-  // exchange — no NestedMap (Fig. 7).
-  auto bp = std::make_unique<BuildProbe>(
-      ExchangedData(plan, *env, xb, 1), ExchangedData(plan, *env, xp, 3),
-      build_schema, probe_schema, build_key, probe_key, type);
-  plan->Add(out_name, finish(std::move(bp)));
-}
-
-/// Adds a shuffled aggregation: exchange `in_pipe` on `key_col`, then
-/// ReduceByKey per partition with an optional HAVING filter.
-void AddShuffledAgg(PipelinePlan* plan, Env* env, const std::string& out_name,
-                    const std::string& in_pipe, const Schema& in_schema,
-                    int key_col, std::vector<int> keys,
-                    std::vector<AggSpec> aggs, ExprPtr having,
-                    const Schema& out_schema) {
-  std::string x = AddExchange(plan, env, in_pipe, key_col);
-
-  auto finish = [&](SubOpPtr records) -> SubOpPtr {
-    SubOpPtr cur = std::make_unique<ReduceByKey>(
-        std::move(records), std::move(keys), std::move(aggs), in_schema);
-    if (having != nullptr) {
-      cur = std::make_unique<Filter>(std::move(cur), having);
-    }
-    return std::make_unique<MaterializeRowVector>(std::move(cur),
-                                                  out_schema);
-  };
-
-  if (!env->serverless()) {
-    auto nested = finish(MaybeScan(ParamItem(1), env->fused));
-    auto nm = std::make_unique<NestedMap>(plan->MakeRef(x),
-                                          std::move(nested));
-    plan->Add(out_name, std::make_unique<MaterializeRowVector>(
-                            MaybeScan(std::move(nm), env->fused), out_schema));
-    return;
-  }
-  plan->Add(out_name, finish(ExchangedData(plan, *env, x, 1)));
-}
-
-/// Adds a rank-local aggregation over a materialized pipeline.
-void AddLocalAgg(PipelinePlan* plan, const Env& env,
-                 const std::string& out_name, const std::string& in_pipe,
-                 const Schema& in_schema, std::vector<int> keys,
-                 std::vector<AggSpec> aggs, const Schema& out_schema) {
-  SubOpPtr cur = std::make_unique<ReduceByKey>(
-      MaybeScan(plan->MakeRef(in_pipe), env.fused), std::move(keys),
-      std::move(aggs), in_schema);
-  plan->Add(out_name, std::make_unique<MaterializeRowVector>(std::move(cur),
-                                                             out_schema));
-}
-
-// ---------------------------------------------------------------------------
-// Query definitions
-// ---------------------------------------------------------------------------
-
-/// A query = per-rank plan builder + driver-side merge specification.
-struct QueryDef {
-  /// Builds the rank plan; `out_pipe` must be the name of the pipeline
-  /// holding the rank's partial result.
-  std::function<std::string(PipelinePlan*, Env*)> build;
-  Schema rank_schema;
-
-  bool merge = false;                 // re-aggregate at the driver
-  std::vector<int> merge_keys;
-  std::vector<AggSpec> merge_aggs;
-  std::vector<MapOutput> finalize;    // over merged schema (empty = id)
-  Schema final_schema;
-  std::vector<SortKey> sort;
-  size_t limit = 0;
-};
-
 AggSpec SumF64(ExprPtr in, std::string name) {
   return AggSpec{AggKind::kSum, std::move(in), std::move(name),
                  AtomType::kFloat64};
@@ -363,395 +85,268 @@ AggSpec CountStar(std::string name) {
 
 int32_t Date(int y, int m, int d) { return DateFromYMD(y, m, d); }
 
-QueryDef MakeQ1() {
-  QueryDef q;
-  const int32_t cutoff = Date(1998, 12, 1) - 90;
-  q.build = [cutoff](PipelinePlan* plan, Env* env) -> std::string {
-    TableInput li;
-    li.table = kLineitem;
-    li.cols = {l::kReturnFlag, l::kLineStatus, l::kQuantity,
-               l::kExtendedPrice, l::kDiscount, l::kTax, l::kShipDate};
-    li.filter = ex::Le(ex::Col(6), ex::Lit(int64_t{cutoff}));
-    li.ranges = {{l::kShipDate, INT32_MIN, cutoff}};
-    AddInput(plan, "li", li, *env);
-    // disc_price = price * (1 - disc); charge = disc_price * (1 + tax).
-    ExprPtr disc_price =
-        ex::Mul(ex::Col(3), ex::Sub(ex::Lit(1.0), ex::Col(4)));
-    ExprPtr charge = ex::Mul(ex::Mul(ex::Col(3), ex::Sub(ex::Lit(1.0),
-                                                         ex::Col(4))),
-                             ex::Add(ex::Lit(1.0), ex::Col(5)));
-    AddLocalAgg(plan, *env, "agg", "li", PrunedSchema(li), {0, 1},
-                {SumF64(ex::Col(2), "sum_qty"),
-                 SumF64(ex::Col(3), "sum_base_price"),
-                 SumF64(disc_price, "sum_disc_price"),
-                 SumF64(charge, "sum_charge"), CountStar("count_order")},
-                Q1OutSchema());
-    return "agg";
-  };
-  q.rank_schema = Q1OutSchema();
-  q.merge = true;
-  q.merge_keys = {0, 1};
-  q.merge_aggs = {SumF64(ex::Col(2), "sum_qty"),
-                  SumF64(ex::Col(3), "sum_base_price"),
-                  SumF64(ex::Col(4), "sum_disc_price"),
-                  SumF64(ex::Col(5), "sum_charge"),
-                  SumI64(ex::Col(6), "count_order")};
-  q.final_schema = Q1OutSchema();
-  q.sort = {{0, false}, {1, false}};
-  return q;
+// ---------------------------------------------------------------------------
+// Query definitions (logical plans over the full table schemas)
+// ---------------------------------------------------------------------------
+
+LogicalPlanPtr ScanTable(int table) {
+  return lp::Scan(table, TableName(table), FullSchema(table));
 }
 
-QueryDef MakeQ3() {
-  QueryDef q;
-  const int32_t date = Date(1995, 3, 15);
-  q.build = [date](PipelinePlan* plan, Env* env) -> std::string {
-    TableInput cust;
-    cust.table = kCustomerT;
-    cust.cols = {c::kCustKey, c::kMktSegment};
-    cust.filter = ex::Eq(ex::Col(1), ex::Lit(std::string("BUILDING")));
-    AddInput(plan, "cust", cust, *env);
-
-    TableInput ord;
-    ord.table = kOrdersT;
-    ord.cols = {o::kOrderKey, o::kCustKey, o::kOrderDate, o::kShipPriority};
-    ord.filter = ex::Lt(ex::Col(2), ex::Lit(int64_t{date}));
-    ord.ranges = {{o::kOrderDate, INT32_MIN, date - 1}};
-    AddInput(plan, "ord", ord, *env);
-
-    TableInput li;
-    li.table = kLineitem;
-    li.cols = {l::kOrderKey, l::kExtendedPrice, l::kDiscount, l::kShipDate};
-    li.filter = ex::Gt(ex::Col(3), ex::Lit(int64_t{date}));
-    li.ranges = {{l::kShipDate, date + 1, INT32_MAX}};
-    AddInput(plan, "li", li, *env);
-
-    // customer ⋈ orders on custkey.
-    Schema j1({Field::I64("o_orderkey"), Field::Date("o_orderdate"),
-               Field::I32("o_shippriority")});
-    AddJoin(plan, env, "j1", "cust", PrunedSchema(cust), 0, "ord",
-            PrunedSchema(ord), 1, JoinType::kInner, nullptr,
-            {MapOutput::Pass(2), MapOutput::Pass(4), MapOutput::Pass(5)},
-            j1);
-
-    // (customer ⋈ orders) ⋈ lineitem on orderkey, computing revenue.
-    Schema j2({Field::I64("l_orderkey"), Field::Date("o_orderdate"),
-               Field::I32("o_shippriority"), Field::F64("revenue")});
-    AddJoin(plan, env, "j2", "j1", j1, 0, "li", PrunedSchema(li), 0,
-            JoinType::kInner, nullptr,
-            {MapOutput::Pass(0), MapOutput::Pass(1), MapOutput::Pass(2),
-             MapOutput::Compute(ex::Mul(
-                 ex::Col(4), ex::Sub(ex::Lit(1.0), ex::Col(5))))},
-            j2);
-
-    AddLocalAgg(plan, *env, "agg", "j2", j2, {0, 1, 2},
-                {SumF64(ex::Col(3), "revenue")},
-                Schema({Field::I64("l_orderkey"), Field::Date("o_orderdate"),
-                        Field::I32("o_shippriority"),
-                        Field::F64("revenue")}));
-    return "agg";
-  };
-  q.rank_schema = Schema({Field::I64("l_orderkey"),
-                          Field::Date("o_orderdate"),
-                          Field::I32("o_shippriority"),
-                          Field::F64("revenue")});
-  q.merge = true;
-  q.merge_keys = {0, 1, 2};
-  q.merge_aggs = {SumF64(ex::Col(3), "revenue")};
-  q.finalize = {MapOutput::Pass(0), MapOutput::Pass(3), MapOutput::Pass(1),
-                MapOutput::Pass(2)};
-  q.final_schema = Q3OutSchema();
-  q.sort = {{1, true}, {2, false}, {0, false}};
-  q.limit = 10;
-  return q;
+/// Authoring override of the Join::broadcast_ok default. Only consulted
+/// when no catalog is available (the join-order pass recomputes the flag
+/// from cardinality estimates otherwise).
+LogicalPlanPtr NoBroadcast(const LogicalPlanPtr& join) {
+  auto m = std::make_shared<planner::LogicalPlan>(*join);
+  m->broadcast_ok = false;
+  return m;
 }
 
-QueryDef MakeQ4() {
-  QueryDef q;
-  const int32_t lo = Date(1993, 7, 1);
-  const int32_t hi = AddMonths(lo, 3);
-  q.build = [lo, hi](PipelinePlan* plan, Env* env) -> std::string {
-    TableInput ord;
-    ord.table = kOrdersT;
-    ord.cols = {o::kOrderKey, o::kOrderDate, o::kOrderPriority};
-    ord.filter = ex::And(ex::Ge(ex::Col(1), ex::Lit(int64_t{lo})),
-                         ex::Lt(ex::Col(1), ex::Lit(int64_t{hi})));
-    ord.ranges = {{o::kOrderDate, lo, hi - 1}};
-    AddInput(plan, "ord", ord, *env);
-
-    TableInput li;
-    li.table = kLineitem;
-    li.cols = {l::kOrderKey, l::kCommitDate, l::kReceiptDate};
-    li.filter = ex::Lt(ex::Col(1), ex::Col(2));
-    AddInput(plan, "li", li, *env);
-
-    // EXISTS: orders ⋉ late lineitems on orderkey (semi join — one of the
-    // §3.4 BuildProbe variants).
-    Schema semi_out = PrunedSchema(ord);
-    AddJoin(plan, env, "semi", "li", PrunedSchema(li), 0, "ord",
-            PrunedSchema(ord), 0, JoinType::kSemi, nullptr, {}, semi_out,
-            /*allow_broadcast=*/false);  // build side is lineitem-sized
-
-    AddLocalAgg(plan, *env, "agg", "semi", semi_out, {2},
-                {CountStar("order_count")}, Q4OutSchema());
-    return "agg";
-  };
-  q.rank_schema = Q4OutSchema();
-  q.merge = true;
-  q.merge_keys = {0};
-  q.merge_aggs = {SumI64(ex::Col(1), "order_count")};
-  q.final_schema = Q4OutSchema();
-  q.sort = {{0, false}};
-  return q;
+LogicalPlanPtr Q1Logical() {
+  // The cutoff stays an expression — DATE '1998-12-01' - 90: constant
+  // folding reduces it to a literal, which is what lets the scan extract
+  // a shipdate pruning range from the pushed-down predicate.
+  ExprPtr cutoff =
+      ex::Sub(ex::Lit(int64_t{Date(1998, 12, 1)}), ex::Lit(int64_t{90}));
+  auto li = lp::Filter(ScanTable(kLineitem),
+                       ex::Le(ex::Col(l::kShipDate), cutoff));
+  // disc_price = price * (1 - disc); charge = disc_price * (1 + tax).
+  ExprPtr disc_price = ex::Mul(ex::Col(l::kExtendedPrice),
+                               ex::Sub(ex::Lit(1.0), ex::Col(l::kDiscount)));
+  ExprPtr charge =
+      ex::Mul(ex::Mul(ex::Col(l::kExtendedPrice),
+                      ex::Sub(ex::Lit(1.0), ex::Col(l::kDiscount))),
+              ex::Add(ex::Lit(1.0), ex::Col(l::kTax)));
+  auto agg = lp::Aggregate(li, {l::kReturnFlag, l::kLineStatus},
+                           {SumF64(ex::Col(l::kQuantity), "sum_qty"),
+                            SumF64(ex::Col(l::kExtendedPrice),
+                                   "sum_base_price"),
+                            SumF64(disc_price, "sum_disc_price"),
+                            SumF64(charge, "sum_charge"),
+                            CountStar("count_order")});
+  return lp::Sort(agg, {{0, false}, {1, false}});
 }
 
-QueryDef MakeQ6() {
-  QueryDef q;
-  const int32_t lo = Date(1994, 1, 1);
-  const int32_t hi = Date(1995, 1, 1);
-  q.build = [lo, hi](PipelinePlan* plan, Env* env) -> std::string {
-    TableInput li;
-    li.table = kLineitem;
-    li.cols = {l::kShipDate, l::kDiscount, l::kQuantity, l::kExtendedPrice};
-    li.filter = ex::And(
-        {ex::Ge(ex::Col(0), ex::Lit(int64_t{lo})),
-         ex::Lt(ex::Col(0), ex::Lit(int64_t{hi})),
-         ex::Ge(ex::Col(1), ex::Lit(0.05 - 1e-9)),
-         ex::Le(ex::Col(1), ex::Lit(0.07 + 1e-9)),
-         ex::Lt(ex::Col(2), ex::Lit(24.0))});
-    li.ranges = {{l::kShipDate, lo, hi - 1}};
-    AddInput(plan, "li", li, *env);
-    AddLocalAgg(plan, *env, "agg", "li", PrunedSchema(li), {},
-                {SumF64(ex::Mul(ex::Col(3), ex::Col(1)), "revenue")},
-                Q6OutSchema());
-    return "agg";
-  };
-  q.rank_schema = Q6OutSchema();
-  q.merge = true;
-  q.merge_aggs = {SumF64(ex::Col(0), "revenue")};
-  q.final_schema = Q6OutSchema();
-  return q;
+LogicalPlanPtr Q3Logical() {
+  const int64_t date = Date(1995, 3, 15);
+  auto cust = lp::Filter(
+      ScanTable(kCustomerT),
+      ex::Eq(ex::Col(c::kMktSegment), ex::Lit(std::string("BUILDING"))));
+  auto ord = lp::Filter(ScanTable(kOrdersT),
+                        ex::Lt(ex::Col(o::kOrderDate), ex::Lit(date)));
+  auto li = lp::Filter(ScanTable(kLineitem),
+                       ex::Gt(ex::Col(l::kShipDate), ex::Lit(date)));
+
+  // customer ⋈ orders on custkey; concat columns: customer then orders.
+  const int nc = CustomerSchema().num_fields();
+  Schema j1s({Field::I64("o_orderkey"), Field::Date("o_orderdate"),
+              Field::I32("o_shippriority")});
+  auto j1 = lp::Project(
+      lp::Join(cust, ord, JoinType::kInner, c::kCustKey, o::kCustKey),
+      {MapOutput::Pass(nc + o::kOrderKey), MapOutput::Pass(nc + o::kOrderDate),
+       MapOutput::Pass(nc + o::kShipPriority)},
+      j1s);
+
+  // (customer ⋈ orders) ⋈ lineitem on orderkey, computing revenue.
+  Schema j2s({Field::I64("l_orderkey"), Field::Date("o_orderdate"),
+              Field::I32("o_shippriority"), Field::F64("revenue")});
+  auto j2 = lp::Project(
+      lp::Join(j1, li, JoinType::kInner, 0, l::kOrderKey),
+      {MapOutput::Pass(0), MapOutput::Pass(1), MapOutput::Pass(2),
+       MapOutput::Compute(
+           ex::Mul(ex::Col(3 + l::kExtendedPrice),
+                   ex::Sub(ex::Lit(1.0), ex::Col(3 + l::kDiscount))))},
+      j2s);
+
+  auto agg = lp::Aggregate(j2, {0, 1, 2}, {SumF64(ex::Col(3), "revenue")});
+  auto fin = lp::Project(agg,
+                         {MapOutput::Pass(0), MapOutput::Pass(3),
+                          MapOutput::Pass(1), MapOutput::Pass(2)},
+                         Q3OutSchema());
+  return lp::Limit(lp::Sort(fin, {{1, true}, {2, false}, {0, false}}), 10);
 }
 
-QueryDef MakeQ12() {
-  QueryDef q;
-  const int32_t lo = Date(1994, 1, 1);
-  const int32_t hi = Date(1995, 1, 1);
-  q.build = [lo, hi](PipelinePlan* plan, Env* env) -> std::string {
-    TableInput li;
-    li.table = kLineitem;
-    li.cols = {l::kOrderKey, l::kShipMode, l::kShipDate, l::kCommitDate,
-               l::kReceiptDate};
-    li.filter = ex::And(
-        {ex::InStr(ex::Col(1), {"MAIL", "SHIP"}),
-         ex::Lt(ex::Col(3), ex::Col(4)), ex::Lt(ex::Col(2), ex::Col(3)),
-         ex::Ge(ex::Col(4), ex::Lit(int64_t{lo})),
-         ex::Lt(ex::Col(4), ex::Lit(int64_t{hi}))});
-    li.ranges = {{l::kReceiptDate, lo, hi - 1}};
-    AddInput(plan, "li", li, *env);
+LogicalPlanPtr Q4Logical() {
+  const int64_t lo = Date(1993, 7, 1);
+  const int64_t hi = AddMonths(static_cast<int32_t>(lo), 3);
+  auto ord = lp::Filter(
+      ScanTable(kOrdersT),
+      ex::And(ex::Ge(ex::Col(o::kOrderDate), ex::Lit(lo)),
+              ex::Lt(ex::Col(o::kOrderDate), ex::Lit(hi))));
+  auto li = lp::Filter(ScanTable(kLineitem),
+                       ex::Lt(ex::Col(l::kCommitDate),
+                              ex::Col(l::kReceiptDate)));
 
-    TableInput ord;
-    ord.table = kOrdersT;
-    ord.cols = {o::kOrderKey, o::kOrderPriority};
-    AddInput(plan, "ord", ord, *env);
-
-    // lineitem' ⋈ orders on orderkey; classify priority (Fig. 6's plan).
-    // Concat schema: 0..4 lineitem', 5 o_orderkey, 6 o_orderpriority.
-    Schema j({Field::Str("l_shipmode", 10), Field::I64("high"),
-              Field::I64("low")});
-    ExprPtr is_high =
-        ex::InStr(ex::Col(6), {"1-URGENT", "2-HIGH"});
-    AddJoin(plan, env, "j", "li", PrunedSchema(li), 0, "ord",
-            PrunedSchema(ord), 0, JoinType::kInner, nullptr,
-            {MapOutput::Pass(1),
-             MapOutput::Compute(ex::If(is_high, ex::Lit(int64_t{1}),
-                                       ex::Lit(int64_t{0}))),
-             MapOutput::Compute(ex::If(is_high, ex::Lit(int64_t{0}),
-                                       ex::Lit(int64_t{1})))},
-            j);
-
-    AddLocalAgg(plan, *env, "agg", "j", j, {0},
-                {SumI64(ex::Col(1), "high_line_count"),
-                 SumI64(ex::Col(2), "low_line_count")},
-                Q12OutSchema());
-    return "agg";
-  };
-  q.rank_schema = Q12OutSchema();
-  q.merge = true;
-  q.merge_keys = {0};
-  q.merge_aggs = {SumI64(ex::Col(1), "high_line_count"),
-                  SumI64(ex::Col(2), "low_line_count")};
-  q.final_schema = Q12OutSchema();
-  q.sort = {{0, false}};
-  return q;
+  // EXISTS: orders ⋉ late lineitems on orderkey (semi join — one of the
+  // §3.4 BuildProbe variants). The build side is lineitem-sized, so
+  // broadcasting it would be a mistake; the cost pass reaches the same
+  // verdict from the estimates.
+  auto semi = NoBroadcast(
+      lp::Join(li, ord, JoinType::kSemi, l::kOrderKey, o::kOrderKey));
+  auto agg =
+      lp::Aggregate(semi, {o::kOrderPriority}, {CountStar("order_count")});
+  return lp::Sort(agg, {{0, false}});
 }
 
-QueryDef MakeQ14() {
-  QueryDef q;
-  const int32_t lo = Date(1995, 9, 1);
-  const int32_t hi = AddMonths(lo, 1);
-  q.build = [lo, hi](PipelinePlan* plan, Env* env) -> std::string {
-    TableInput li;
-    li.table = kLineitem;
-    li.cols = {l::kPartKey, l::kExtendedPrice, l::kDiscount, l::kShipDate};
-    li.filter = ex::And(ex::Ge(ex::Col(3), ex::Lit(int64_t{lo})),
-                        ex::Lt(ex::Col(3), ex::Lit(int64_t{hi})));
-    li.ranges = {{l::kShipDate, lo, hi - 1}};
-    AddInput(plan, "li", li, *env);
-
-    TableInput part;
-    part.table = kPartT;
-    part.cols = {p::kPartKey, p::kType};
-    AddInput(plan, "part", part, *env);
-
-    // lineitem' ⋈ part on partkey; conditional promo revenue (the UDF-ish
-    // Map the paper singles out in §5.1.1).
-    ExprPtr rev = ex::Mul(ex::Col(1), ex::Sub(ex::Lit(1.0), ex::Col(2)));
-    Schema j({Field::F64("promo_rev"), Field::F64("rev")});
-    AddJoin(plan, env, "j", "li", PrunedSchema(li), 0, "part",
-            PrunedSchema(part), 0, JoinType::kInner, nullptr,
-            {MapOutput::Compute(ex::If(ex::Like(ex::Col(5), "PROMO%"), rev,
-                                       ex::Lit(0.0))),
-             MapOutput::Compute(rev)},
-            j);
-
-    AddLocalAgg(plan, *env, "agg", "j", j, {},
-                {SumF64(ex::Col(0), "promo"), SumF64(ex::Col(1), "total")},
-                Schema({Field::F64("promo"), Field::F64("total")}));
-    return "agg";
-  };
-  q.rank_schema = Schema({Field::F64("promo"), Field::F64("total")});
-  q.merge = true;
-  q.merge_aggs = {SumF64(ex::Col(0), "promo"), SumF64(ex::Col(1), "total")};
-  q.finalize = {MapOutput::Compute(
-      ex::Mul(ex::Lit(100.0), ex::Div(ex::Col(0), ex::Col(1))))};
-  q.final_schema = Q14OutSchema();
-  return q;
+LogicalPlanPtr Q6Logical() {
+  const int64_t lo = Date(1994, 1, 1);
+  const int64_t hi = Date(1995, 1, 1);
+  auto li = lp::Filter(
+      ScanTable(kLineitem),
+      ex::And({ex::Ge(ex::Col(l::kShipDate), ex::Lit(lo)),
+               ex::Lt(ex::Col(l::kShipDate), ex::Lit(hi)),
+               ex::Ge(ex::Col(l::kDiscount), ex::Lit(0.05 - 1e-9)),
+               ex::Le(ex::Col(l::kDiscount), ex::Lit(0.07 + 1e-9)),
+               ex::Lt(ex::Col(l::kQuantity), ex::Lit(24.0))}));
+  return lp::Aggregate(li, {},
+                       {SumF64(ex::Mul(ex::Col(l::kExtendedPrice),
+                                       ex::Col(l::kDiscount)),
+                               "revenue")});
 }
 
-QueryDef MakeQ18() {
-  QueryDef q;
-  q.build = [](PipelinePlan* plan, Env* env) -> std::string {
-    TableInput li;
-    li.table = kLineitem;
-    li.cols = {l::kOrderKey, l::kQuantity};
-    AddInput(plan, "li", li, *env);
+LogicalPlanPtr Q12Logical() {
+  const int64_t lo = Date(1994, 1, 1);
+  const int64_t hi = Date(1995, 1, 1);
+  auto li = lp::Filter(
+      ScanTable(kLineitem),
+      ex::And({ex::InStr(ex::Col(l::kShipMode), {"MAIL", "SHIP"}),
+               ex::Lt(ex::Col(l::kCommitDate), ex::Col(l::kReceiptDate)),
+               ex::Lt(ex::Col(l::kShipDate), ex::Col(l::kCommitDate)),
+               ex::Ge(ex::Col(l::kReceiptDate), ex::Lit(lo)),
+               ex::Lt(ex::Col(l::kReceiptDate), ex::Lit(hi))}));
+  auto ord = ScanTable(kOrdersT);
 
-    // High-cardinality aggregation with HAVING sum(qty) > 300.
-    Schema big({Field::I64("o_orderkey"), Field::F64("sum_qty")});
-    AddShuffledAgg(plan, env, "big", "li", PrunedSchema(li), 0, {0},
-                   {SumF64(ex::Col(1), "sum_qty")},
-                   ex::Gt(ex::Col(1), ex::Lit(300.0)), big);
+  // lineitem' ⋈ orders on orderkey; classify priority (Fig. 6's plan).
+  const int nl = LineitemSchema().num_fields();
+  ExprPtr is_high =
+      ex::InStr(ex::Col(nl + o::kOrderPriority), {"1-URGENT", "2-HIGH"});
+  Schema js({Field::Str("l_shipmode", 10), Field::I64("high"),
+             Field::I64("low")});
+  auto j = lp::Project(
+      lp::Join(li, ord, JoinType::kInner, l::kOrderKey, o::kOrderKey),
+      {MapOutput::Pass(l::kShipMode),
+       MapOutput::Compute(ex::If(is_high, ex::Lit(int64_t{1}),
+                                 ex::Lit(int64_t{0}))),
+       MapOutput::Compute(ex::If(is_high, ex::Lit(int64_t{0}),
+                                 ex::Lit(int64_t{1})))},
+      js);
 
-    TableInput ord;
-    ord.table = kOrdersT;
-    ord.cols = {o::kOrderKey, o::kCustKey, o::kOrderDate, o::kTotalPrice};
-    AddInput(plan, "ord", ord, *env);
-
-    // big ⋈ orders on orderkey.
-    Schema j1({Field::I64("o_custkey"), Field::I64("o_orderkey"),
-               Field::Date("o_orderdate"), Field::F64("o_totalprice"),
-               Field::F64("sum_qty")});
-    AddJoin(plan, env, "j1", "big", big, 0, "ord", PrunedSchema(ord), 0,
-            JoinType::kInner, nullptr,
-            {MapOutput::Pass(3), MapOutput::Pass(0), MapOutput::Pass(4),
-             MapOutput::Pass(5), MapOutput::Pass(1)},
-            j1);
-
-    TableInput cust;
-    cust.table = kCustomerT;
-    cust.cols = {c::kCustKey, c::kName};
-    AddInput(plan, "cust", cust, *env);
-
-    // customer ⋈ j1 on custkey → final Q18 rows.
-    AddJoin(plan, env, "j2", "cust", PrunedSchema(cust), 0, "j1", j1, 0,
-            JoinType::kInner, nullptr,
-            {MapOutput::Pass(1), MapOutput::Pass(0), MapOutput::Pass(3),
-             MapOutput::Pass(4), MapOutput::Pass(5), MapOutput::Pass(6)},
-            Q18OutSchema());
-    return "j2";
-  };
-  q.rank_schema = Q18OutSchema();
-  q.final_schema = Q18OutSchema();
-  q.sort = {{4, true}, {3, false}, {2, false}};
-  q.limit = 100;
-  return q;
+  auto agg = lp::Aggregate(j, {0},
+                           {SumI64(ex::Col(1), "high_line_count"),
+                            SumI64(ex::Col(2), "low_line_count")});
+  return lp::Sort(agg, {{0, false}});
 }
 
-QueryDef MakeQ19() {
-  QueryDef q;
-  q.build = [](PipelinePlan* plan, Env* env) -> std::string {
-    TableInput li;
-    li.table = kLineitem;
-    li.cols = {l::kPartKey, l::kQuantity, l::kExtendedPrice, l::kDiscount,
-               l::kShipMode, l::kShipInstruct};
-    li.filter = ex::And(
-        {ex::InStr(ex::Col(4), {"AIR", "REG AIR"}),
-         ex::Eq(ex::Col(5), ex::Lit(std::string("DELIVER IN PERSON"))),
-         ex::Ge(ex::Col(1), ex::Lit(1.0)), ex::Le(ex::Col(1),
-                                                  ex::Lit(30.0))});
-    AddInput(plan, "li", li, *env);
+LogicalPlanPtr Q14Logical() {
+  const int64_t lo = Date(1995, 9, 1);
+  const int64_t hi = AddMonths(static_cast<int32_t>(lo), 1);
+  auto li = lp::Filter(
+      ScanTable(kLineitem),
+      ex::And(ex::Ge(ex::Col(l::kShipDate), ex::Lit(lo)),
+              ex::Lt(ex::Col(l::kShipDate), ex::Lit(hi))));
+  auto part = ScanTable(kPartT);
 
-    TableInput part;
-    part.table = kPartT;
-    part.cols = {p::kPartKey, p::kBrand, p::kSize, p::kContainer};
-    part.filter = ex::And(
-        {ex::InStr(ex::Col(1), {"Brand#12", "Brand#23", "Brand#34"}),
-         ex::Ge(ex::Col(2), ex::Lit(int64_t{1})),
-         ex::Le(ex::Col(2), ex::Lit(int64_t{15}))});
-    AddInput(plan, "part", part, *env);
+  // lineitem' ⋈ part on partkey; conditional promo revenue (the UDF-ish
+  // Map the paper singles out in §5.1.1).
+  const int nl = LineitemSchema().num_fields();
+  ExprPtr rev = ex::Mul(ex::Col(l::kExtendedPrice),
+                        ex::Sub(ex::Lit(1.0), ex::Col(l::kDiscount)));
+  Schema js({Field::F64("promo_rev"), Field::F64("rev")});
+  auto j = lp::Project(
+      lp::Join(li, part, JoinType::kInner, l::kPartKey, p::kPartKey),
+      {MapOutput::Compute(ex::If(ex::Like(ex::Col(nl + p::kType), "PROMO%"),
+                                 rev, ex::Lit(0.0))),
+       MapOutput::Compute(rev)},
+      js);
 
-    // Disjunctive predicate over the joined record (concat schema:
-    // 0 pk, 1 qty, 2 price, 3 disc, 4 mode, 5 instr, 6 p_pk, 7 brand,
-    // 8 size, 9 container).
-    auto branch = [](const char* brand,
-                     std::vector<std::string> containers, double qlo,
-                     double qhi, int64_t smax) {
-      return ex::And({ex::Eq(ex::Col(7), ex::Lit(std::string(brand))),
-                      ex::InStr(ex::Col(9), std::move(containers)),
-                      ex::Ge(ex::Col(1), ex::Lit(qlo)),
-                      ex::Le(ex::Col(1), ex::Lit(qhi)),
-                      ex::Le(ex::Col(8), ex::Lit(smax))});
-    };
-    ExprPtr predicate = ex::Or(
-        {branch("Brand#12", {"SM CASE", "SM BOX", "SM PACK", "SM PKG"}, 1,
-                11, 5),
-         branch("Brand#23", {"MED BAG", "MED BOX", "MED PKG", "MED PACK"},
-                10, 20, 10),
-         branch("Brand#34", {"LG CASE", "LG BOX", "LG PACK", "LG PKG"}, 20,
-                30, 15)});
-
-    Schema j({Field::F64("rev")});
-    AddJoin(plan, env, "j", "li", PrunedSchema(li), 0, "part",
-            PrunedSchema(part), 0, JoinType::kInner, predicate,
-            {MapOutput::Compute(
-                ex::Mul(ex::Col(2), ex::Sub(ex::Lit(1.0), ex::Col(3))))},
-            j);
-
-    AddLocalAgg(plan, *env, "agg", "j", j, {},
-                {SumF64(ex::Col(0), "revenue")}, Q19OutSchema());
-    return "agg";
-  };
-  q.rank_schema = Q19OutSchema();
-  q.merge = true;
-  q.merge_aggs = {SumF64(ex::Col(0), "revenue")};
-  q.final_schema = Q19OutSchema();
-  return q;
+  auto agg = lp::Aggregate(
+      j, {}, {SumF64(ex::Col(0), "promo"), SumF64(ex::Col(1), "total")});
+  return lp::Project(agg,
+                     {MapOutput::Compute(ex::Mul(
+                         ex::Lit(100.0), ex::Div(ex::Col(0), ex::Col(1))))},
+                     Q14OutSchema());
 }
 
-Result<QueryDef> GetQueryDef(int query) {
-  switch (query) {
-    case 1: return MakeQ1();
-    case 3: return MakeQ3();
-    case 4: return MakeQ4();
-    case 6: return MakeQ6();
-    case 12: return MakeQ12();
-    case 14: return MakeQ14();
-    case 18: return MakeQ18();
-    case 19: return MakeQ19();
-    default:
-      return Status::InvalidArgument("unsupported TPC-H query " +
-                                     std::to_string(query));
-  }
+LogicalPlanPtr Q18Logical() {
+  auto li = ScanTable(kLineitem);
+  // High-cardinality aggregation with HAVING sum(qty) > 300.
+  auto big = lp::Aggregate(li, {l::kOrderKey},
+                           {SumF64(ex::Col(l::kQuantity), "sum_qty")},
+                           ex::Gt(ex::Col(1), ex::Lit(300.0)));
+  auto ord = ScanTable(kOrdersT);
+
+  // big ⋈ orders on orderkey; concat columns: big ⟨key, sum_qty⟩ then
+  // orders.
+  Schema j1s({Field::I64("o_custkey"), Field::I64("o_orderkey"),
+              Field::Date("o_orderdate"), Field::F64("o_totalprice"),
+              Field::F64("sum_qty")});
+  auto j1 = lp::Project(
+      lp::Join(big, ord, JoinType::kInner, 0, o::kOrderKey),
+      {MapOutput::Pass(2 + o::kCustKey), MapOutput::Pass(0),
+       MapOutput::Pass(2 + o::kOrderDate), MapOutput::Pass(2 + o::kTotalPrice),
+       MapOutput::Pass(1)},
+      j1s);
+
+  auto cust = ScanTable(kCustomerT);
+  const int nc = CustomerSchema().num_fields();
+  // customer ⋈ j1 on custkey → final Q18 rows.
+  auto j2 = lp::Project(
+      lp::Join(cust, j1, JoinType::kInner, c::kCustKey, 0),
+      {MapOutput::Pass(c::kName), MapOutput::Pass(c::kCustKey),
+       MapOutput::Pass(nc + 1), MapOutput::Pass(nc + 2),
+       MapOutput::Pass(nc + 3), MapOutput::Pass(nc + 4)},
+      Q18OutSchema());
+  return lp::Limit(lp::Sort(j2, {{4, true}, {3, false}, {2, false}}), 100);
+}
+
+LogicalPlanPtr Q19Logical() {
+  auto li = lp::Filter(
+      ScanTable(kLineitem),
+      ex::And({ex::InStr(ex::Col(l::kShipMode), {"AIR", "REG AIR"}),
+               ex::Eq(ex::Col(l::kShipInstruct),
+                      ex::Lit(std::string("DELIVER IN PERSON"))),
+               ex::Ge(ex::Col(l::kQuantity), ex::Lit(1.0)),
+               ex::Le(ex::Col(l::kQuantity), ex::Lit(30.0))}));
+  auto part = lp::Filter(
+      ScanTable(kPartT),
+      ex::And({ex::InStr(ex::Col(p::kBrand),
+                         {"Brand#12", "Brand#23", "Brand#34"}),
+               ex::Ge(ex::Col(p::kSize), ex::Lit(int64_t{1})),
+               ex::Le(ex::Col(p::kSize), ex::Lit(int64_t{15}))}));
+
+  // Disjunctive predicate over the joined record; every branch touches
+  // both sides, so it stays a residual above the join. The columns are
+  // full-concat indices (lineitem then part); the authored build side is
+  // lineitem — the cost pass flips it to the far smaller part' side.
+  const int nl = LineitemSchema().num_fields();
+  auto branch = [nl](const char* brand, std::vector<std::string> containers,
+                     double qlo, double qhi, int64_t smax) {
+    return ex::And({ex::Eq(ex::Col(nl + p::kBrand),
+                           ex::Lit(std::string(brand))),
+                    ex::InStr(ex::Col(nl + p::kContainer),
+                              std::move(containers)),
+                    ex::Ge(ex::Col(l::kQuantity), ex::Lit(qlo)),
+                    ex::Le(ex::Col(l::kQuantity), ex::Lit(qhi)),
+                    ex::Le(ex::Col(nl + p::kSize), ex::Lit(smax))});
+  };
+  ExprPtr predicate = ex::Or(
+      {branch("Brand#12", {"SM CASE", "SM BOX", "SM PACK", "SM PKG"}, 1, 11,
+              5),
+       branch("Brand#23", {"MED BAG", "MED BOX", "MED PKG", "MED PACK"}, 10,
+              20, 10),
+       branch("Brand#34", {"LG CASE", "LG BOX", "LG PACK", "LG PKG"}, 20, 30,
+              15)});
+
+  Schema js({Field::F64("rev")});
+  auto j = lp::Project(
+      lp::Filter(lp::Join(li, part, JoinType::kInner, l::kPartKey,
+                          p::kPartKey),
+                 predicate),
+      {MapOutput::Compute(
+          ex::Mul(ex::Col(l::kExtendedPrice),
+                  ex::Sub(ex::Lit(1.0), ex::Col(l::kDiscount))))},
+      js);
+  return lp::Aggregate(j, {}, {SumF64(ex::Col(0), "revenue")});
 }
 
 std::atomic<uint64_t> g_run_counter{0};
@@ -790,7 +385,110 @@ class WithBlobClient : public SubOperator {
   std::unique_ptr<storage::BlobClient> client_;
 };
 
+planner::ScanLeafKind ScanLeafFor(Platform platform) {
+  switch (platform) {
+    case Platform::kRdma: return planner::ScanLeafKind::kMemoryRows;
+    case Platform::kRdmaDisc:
+    case Platform::kLambda: return planner::ScanLeafKind::kColumnFile;
+    case Platform::kS3Select: return planner::ScanLeafKind::kS3Select;
+  }
+  return planner::ScanLeafKind::kMemoryRows;
+}
+
+planner::LoweringContext MakeLoweringContext(const TpchPlanEnv& env,
+                                             StatsRegistry* stats) {
+  planner::LoweringContext lctx;
+  lctx.scan_leaf = ScanLeafFor(env.platform);
+  lctx.serverless = env.serverless();
+  lctx.fused = env.fused;
+  lctx.world = env.world;
+  lctx.exec = env.exec;
+  lctx.tag = env.tag;
+  lctx.stats = stats;
+  return lctx;
+}
+
 }  // namespace
+
+Result<LogicalPlanPtr> TpchLogicalPlan(int query) {
+  switch (query) {
+    case 1: return Q1Logical();
+    case 3: return Q3Logical();
+    case 4: return Q4Logical();
+    case 6: return Q6Logical();
+    case 12: return Q12Logical();
+    case 14: return Q14Logical();
+    case 18: return Q18Logical();
+    case 19: return Q19Logical();
+    default:
+      return Status::InvalidArgument("unsupported TPC-H query " +
+                                     std::to_string(query));
+  }
+}
+
+planner::Catalog TpchCatalog(const std::array<size_t, kNumPlanTables>& rows) {
+  using planner::ColumnStats;
+  auto distinct = [](double d) {
+    ColumnStats s;
+    s.distinct = d;
+    return s;
+  };
+  auto ranged = [](double d, double lo, double hi) {
+    ColumnStats s;
+    s.distinct = d;
+    s.has_range = true;
+    s.min = lo;
+    s.max = hi;
+    return s;
+  };
+  // TPC-H populations from the spec; dates span 1992-01-01..1998-12-31.
+  const double date_lo = Date(1992, 1, 1);
+  const double date_hi = Date(1998, 12, 31);
+  const double days = date_hi - date_lo;
+  ColumnStats dates = ranged(days, date_lo, date_hi);
+
+  planner::Catalog cat;
+  planner::TableStats li;
+  li.rows = static_cast<double>(rows[kLineitem]);
+  li.columns[l::kOrderKey] = distinct(static_cast<double>(rows[kOrdersT]));
+  li.columns[l::kPartKey] = distinct(static_cast<double>(rows[kPartT]));
+  li.columns[l::kQuantity] = ranged(50, 1, 50);
+  li.columns[l::kDiscount] = ranged(11, 0.0, 0.10);
+  li.columns[l::kReturnFlag] = distinct(3);
+  li.columns[l::kLineStatus] = distinct(2);
+  li.columns[l::kShipDate] = dates;
+  li.columns[l::kCommitDate] = dates;
+  li.columns[l::kReceiptDate] = dates;
+  li.columns[l::kShipInstruct] = distinct(4);
+  li.columns[l::kShipMode] = distinct(7);
+  cat.tables[kLineitem] = li;
+
+  planner::TableStats ord;
+  ord.rows = static_cast<double>(rows[kOrdersT]);
+  ord.columns[o::kOrderKey] = distinct(static_cast<double>(rows[kOrdersT]));
+  ord.columns[o::kCustKey] = distinct(static_cast<double>(rows[kCustomerT]));
+  ord.columns[o::kOrderStatus] = distinct(3);
+  ord.columns[o::kOrderDate] = dates;
+  ord.columns[o::kOrderPriority] = distinct(5);
+  cat.tables[kOrdersT] = ord;
+
+  planner::TableStats cust;
+  cust.rows = static_cast<double>(rows[kCustomerT]);
+  cust.columns[c::kCustKey] = distinct(static_cast<double>(rows[kCustomerT]));
+  cust.columns[c::kMktSegment] = distinct(5);
+  cust.columns[c::kNationKey] = distinct(25);
+  cat.tables[kCustomerT] = cust;
+
+  planner::TableStats part;
+  part.rows = static_cast<double>(rows[kPartT]);
+  part.columns[p::kPartKey] = distinct(static_cast<double>(rows[kPartT]));
+  part.columns[p::kBrand] = distinct(25);
+  part.columns[p::kType] = distinct(150);
+  part.columns[p::kSize] = ranged(50, 1, 50);
+  part.columns[p::kContainer] = distinct(40);
+  cat.tables[kPartT] = part;
+  return cat;
+}
 
 // ---------------------------------------------------------------------------
 // Data preparation
@@ -811,6 +509,7 @@ Result<std::unique_ptr<TpchContext>> PrepareTpch(const TpchTables& db,
     ctx->frags.resize(kNumPlanTables);
     for (int t = 0; t < kNumPlanTables; ++t) {
       RowVectorPtr all = tables[t]->ToRowVector();
+      ctx->table_rows[t] = all->size();
       for (int r = 0; r < world; ++r) {
         ctx->frags[t].push_back(RowVector::Make(all->schema()));
       }
@@ -825,6 +524,7 @@ Result<std::unique_ptr<TpchContext>> PrepareTpch(const TpchTables& db,
   ctx->paths.resize(kNumPlanTables);
   for (int t = 0; t < kNumPlanTables; ++t) {
     RowVectorPtr all = tables[t]->ToRowVector();
+    ctx->table_rows[t] = all->size();
     for (int r = 0; r < world; ++r) {
       RowVectorPtr shard = RowVector::Make(all->schema());
       for (size_t i = r; i < all->size(); i += world) {
@@ -855,10 +555,10 @@ Result<std::unique_ptr<TpchContext>> PrepareTpch(const TpchTables& db,
 // Execution
 // ---------------------------------------------------------------------------
 
-Result<RowVectorPtr> RunTpchQuery(int query, const TpchContext& ctx,
-                                  const TpchRunOptions& opts,
-                                  StatsRegistry* stats) {
-  MODULARIS_ASSIGN_OR_RETURN(QueryDef def, GetQueryDef(query));
+Result<RowVectorPtr> RunTpchQuerySpec(const TpchQuerySpec& spec,
+                                      const TpchContext& ctx,
+                                      const TpchRunOptions& opts,
+                                      StatsRegistry* stats) {
   const bool serverless = opts.platform == Platform::kLambda ||
                           opts.platform == Platform::kS3Select;
   if (serverless && (opts.world_size & (opts.world_size - 1)) != 0) {
@@ -866,24 +566,23 @@ Result<RowVectorPtr> RunTpchQuery(int query, const TpchContext& ctx,
         "serverless platforms require a power-of-two worker count");
   }
 
-  Env env;
+  TpchPlanEnv env;
   env.platform = opts.platform;
   env.fused = opts.exec.enable_fusion;
   env.world = opts.world_size;
   env.exec = opts.exec;
-  env.tag = "q" + std::to_string(query) + "-run" +
-            std::to_string(g_run_counter.fetch_add(1));
+  env.tag = "q-run" + std::to_string(g_run_counter.fetch_add(1));
 
   // Rank/worker plan factory: identical structure on every rank.
-  auto make_plan = [&def, env](int worker) -> SubOpPtr {
-    Env rank_env = env;  // fresh exchange counter per construction
+  auto make_plan = [&spec, env](int worker) -> SubOpPtr {
+    TpchPlanEnv rank_env = env;  // fresh exchange counter per construction
     auto plan = std::make_unique<PipelinePlan>();
-    std::string out = def.build(plan.get(), &rank_env);
+    std::string out = spec.build(plan.get(), &rank_env);
     if (rank_env.serverless()) {
       // Workers publish their partial result to S3 (MaterializeParquet →
       // driver-side ParquetScan path of Fig. 7).
       plan->SetOutput(std::make_unique<MaterializeColumnFile>(
-          plan->MakeRef(out), def.rank_schema,
+          plan->MakeRef(out), spec.rank_schema,
           rank_env.tag + "/result-" + std::to_string(worker) + ".mcf"));
     } else {
       plan->SetOutput(plan->MakeRef(out));
@@ -892,7 +591,7 @@ Result<RowVectorPtr> RunTpchQuery(int query, const TpchContext& ctx,
   };
 
   // Collect rank partials at the driver.
-  RowVectorPtr partials = RowVector::Make(def.rank_schema);
+  RowVectorPtr partials = RowVector::Make(spec.rank_schema);
   ExecContext driver;
   driver.options = opts.exec;
   driver.stats = stats;
@@ -931,7 +630,7 @@ Result<RowVectorPtr> RunTpchQuery(int query, const TpchContext& ctx,
     MpiExecutor executor(std::move(config));
     MODULARIS_ASSIGN_OR_RETURN(
         RowVectorPtr rows,
-        plans::DrainCollections(&executor, &driver, def.rank_schema));
+        plans::DrainCollections(&executor, &driver, spec.rank_schema));
     partials = rows;
   } else {
     LambdaExecutor::Config config;
@@ -952,7 +651,7 @@ Result<RowVectorPtr> RunTpchQuery(int query, const TpchContext& ctx,
     auto scan = std::make_unique<ColumnScan>(
         std::make_unique<ColumnFileScan>(
             std::make_unique<LambdaExecutor>(std::move(config)), copts),
-        def.rank_schema);
+        spec.rank_schema);
     MODULARIS_RETURN_NOT_OK(scan->Open(&driver));
     Tuple t;
     while (scan->Next(&t)) {
@@ -966,39 +665,94 @@ Result<RowVectorPtr> RunTpchQuery(int query, const TpchContext& ctx,
   // TK / MR tail of Figs. 6 and 7).
   SubOpPtr cur = std::make_unique<CollectionSource>(
       std::vector<RowVectorPtr>{partials});
-  Schema cur_schema = def.rank_schema;
-  if (def.merge) {
-    auto rk = std::make_unique<ReduceByKey>(std::move(cur), def.merge_keys,
-                                            def.merge_aggs, cur_schema,
+  Schema cur_schema = spec.rank_schema;
+  if (spec.merge) {
+    auto rk = std::make_unique<ReduceByKey>(std::move(cur), spec.merge_keys,
+                                            spec.merge_aggs, cur_schema,
                                             "phase.driver_merge");
     cur_schema = rk->out_schema();
     cur = std::move(rk);
   } else {
     cur = std::make_unique<RowScan>(std::move(cur));
   }
-  if (!def.finalize.empty()) {
-    cur = std::make_unique<MapOp>(std::move(cur), def.final_schema,
-                                  def.finalize);
-    cur_schema = def.final_schema;
+  if (spec.merge_having != nullptr) {
+    cur = std::make_unique<Filter>(std::move(cur), spec.merge_having);
   }
-  if (!def.sort.empty()) {
+  if (!spec.finalize.empty()) {
+    cur = std::make_unique<MapOp>(std::move(cur), spec.final_schema,
+                                  spec.finalize);
+    cur_schema = spec.final_schema;
+  }
+  if (!spec.sort.empty()) {
     // Distinct driver-phase timer keys so the final ORDER BY [LIMIT]
     // (Q3's top-10, Q18's top-100) never aliases a rank-side sort phase
     // in the stats breakdown. Both operators share one emit path and the
     // morsel-parallel run-sort + loser-tree merge; TopK additionally
     // bounds per-run selection to `limit` rows instead of fully sorting
     // the merged partials.
-    if (def.limit > 0) {
-      cur = std::make_unique<TopK>(std::move(cur), def.sort, def.limit,
+    if (spec.limit > 0) {
+      cur = std::make_unique<TopK>(std::move(cur), spec.sort, spec.limit,
                                    cur_schema, "phase.driver_topk");
     } else {
-      cur = std::make_unique<SortOp>(std::move(cur), def.sort, cur_schema,
+      cur = std::make_unique<SortOp>(std::move(cur), spec.sort, cur_schema,
                                      "phase.driver_sort");
     }
   }
   auto mr = std::make_unique<MaterializeRowVector>(std::move(cur),
-                                                   def.final_schema);
-  return plans::DrainCollections(mr.get(), &driver, def.final_schema);
+                                                   spec.final_schema);
+  return plans::DrainCollections(mr.get(), &driver, spec.final_schema);
+}
+
+Result<RowVectorPtr> RunTpchQuery(int query, const TpchContext& ctx,
+                                  const TpchRunOptions& opts,
+                                  StatsRegistry* stats) {
+  MODULARIS_ASSIGN_OR_RETURN(LogicalPlanPtr root, TpchLogicalPlan(query));
+  planner::PlannerOptions popts;
+  popts.catalog = TpchCatalog(ctx.table_rows);
+  root = planner::Optimize(std::move(root), popts, stats);
+  MODULARIS_ASSIGN_OR_RETURN(planner::DriverSpec driver,
+                             planner::SplitAtDriver(root));
+
+  // Trial-lower once on the driver so a malformed plan surfaces as a
+  // Status here instead of aborting inside the executor's plan factory
+  // (which has no error channel).
+  {
+    TpchPlanEnv env;
+    env.platform = opts.platform;
+    env.fused = opts.exec.enable_fusion;
+    env.world = opts.world_size;
+    env.exec = opts.exec;
+    env.tag = "trial";
+    planner::LoweringContext lctx = MakeLoweringContext(env, nullptr);
+    PipelinePlan scratch;
+    auto trial = planner::LowerRankPlan(*driver.rank_root, &scratch, &lctx);
+    if (!trial.ok()) return trial.status();
+  }
+
+  TpchQuerySpec spec;
+  LogicalPlanPtr rank_root = driver.rank_root;
+  spec.build = [rank_root, stats](PipelinePlan* plan,
+                                  TpchPlanEnv* env) -> std::string {
+    planner::LoweringContext lctx = MakeLoweringContext(*env, stats);
+    auto lowered = planner::LowerRankPlan(*rank_root, plan, &lctx);
+    if (!lowered.ok()) {
+      // Unreachable: the same plan trial-lowered cleanly above.
+      std::fprintf(stderr, "tpch: lowering failed: %s\n",
+                   lowered.status().ToString().c_str());
+      std::abort();
+    }
+    return lowered.value().pipeline;
+  };
+  spec.rank_schema = driver.rank_schema;
+  spec.merge = driver.merge;
+  spec.merge_keys = driver.merge_keys;
+  spec.merge_aggs = driver.merge_aggs;
+  spec.merge_having = driver.merge_having;
+  spec.finalize = driver.finalize;
+  spec.final_schema = driver.final_schema;
+  spec.sort = driver.sort;
+  spec.limit = driver.limit;
+  return RunTpchQuerySpec(spec, ctx, opts, stats);
 }
 
 }  // namespace modularis::tpch

@@ -1,12 +1,17 @@
 #ifndef MODULARIS_TPCH_QUERIES_H_
 #define MODULARIS_TPCH_QUERIES_H_
 
+#include <array>
+#include <cstddef>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "core/stats.h"
 #include "mpi/mpi_ops.h"
+#include "planner/cost.h"
+#include "planner/lower.h"
 #include "serverless/lambda.h"
 #include "serverless/s3select.h"
 #include "serverless/serverless_ops.h"
@@ -14,10 +19,11 @@
 #include "tpch/reference.h"
 
 /// \file queries.h
-/// Modularis plans for the eight evaluated TPC-H queries across the three
-/// platforms of the paper (§4.4, §4.5, Figs. 6–8). One plan builder per
-/// query; only the executor + exchange + scan leaves change per platform —
-/// the modularity claim under test.
+/// The eight evaluated TPC-H queries across the three platforms of the
+/// paper (§4.4, §4.5, Figs. 6–8). Each query is declared once as a
+/// logical plan (TpchLogicalPlan); the planner optimizes it and lowers
+/// it to the platform's sub-operator DAG — only the executor + exchange
+/// + scan leaves change per platform, the modularity claim under test.
 
 namespace modularis::tpch {
 
@@ -50,6 +56,10 @@ struct TpchRunOptions {
   static TpchRunOptions S3Select(int workers);
 };
 
+/// Number of tables a plan's parameter tuple carries (lineitem, orders,
+/// customer, part).
+inline constexpr int kNumPlanTables = 4;
+
 /// Platform-prepared database: in-memory fragments and/or stored files.
 /// Non-copyable (owns the object store).
 struct TpchContext {
@@ -59,20 +69,74 @@ struct TpchContext {
   std::vector<std::vector<RowVectorPtr>> frags;
   /// paths[table][shard] into `store`.
   std::vector<std::vector<std::string>> paths;
+  /// Total rows per table (catalog statistics for the planner).
+  std::array<size_t, kNumPlanTables> table_rows{};
   std::unique_ptr<storage::BlobStore> store;
   std::unique_ptr<serverless::S3SelectEngine> s3select;
 };
-
-/// Number of tables a plan's parameter tuple carries (lineitem, orders,
-/// customer, part).
-inline constexpr int kNumPlanTables = 4;
 
 /// Prepares the database for a platform (fragments, files, CSV objects).
 Result<std::unique_ptr<TpchContext>> PrepareTpch(const TpchTables& db,
                                                  const TpchRunOptions& opts);
 
-/// Runs query `query` (1, 3, 4, 6, 12, 14, 18, 19) on the prepared
-/// context; returns the final result rows (schema per reference.h).
+/// The declarative logical plan of query `query` (1, 3, 4, 6, 12, 14,
+/// 18, 19): the full tree including the driver tail, authored over the
+/// full table schemas. Predicate pushdown, constant folding, join
+/// ordering and column pruning are the planner's job, not the query
+/// author's.
+Result<planner::LogicalPlanPtr> TpchLogicalPlan(int query);
+
+/// Planner catalog: per-table row counts (from a prepared context's
+/// `table_rows`) plus hardcoded TPC-H domain statistics (distinct counts
+/// and date/value ranges from the spec).
+planner::Catalog TpchCatalog(const std::array<size_t, kNumPlanTables>& rows);
+
+/// Per-rank plan-construction environment. Copied per rank; the exchange
+/// counter yields identical (shared) object prefixes on every rank.
+/// Public so tests can drive RunTpchQuerySpec with hand-built plans.
+struct TpchPlanEnv {
+  Platform platform = Platform::kRdma;
+  bool fused = true;
+  int world = 1;
+  ExecOptions exec;
+  std::string tag;  // unique per query run; prefixes exchange objects
+  int next_exchange = 0;
+
+  bool serverless() const {
+    return platform == Platform::kLambda || platform == Platform::kS3Select;
+  }
+};
+
+/// A runnable query = per-rank plan builder + driver-side merge
+/// specification. RunTpchQuery derives one from the logical plan; the
+/// differential-oracle tests build them by hand (the frozen pre-planner
+/// plan shapes) and run both through the same harness.
+struct TpchQuerySpec {
+  /// Builds the rank plan; returns the name of the pipeline holding the
+  /// rank's partial result.
+  std::function<std::string(PipelinePlan*, TpchPlanEnv*)> build;
+  Schema rank_schema;
+
+  bool merge = false;                 // re-aggregate at the driver
+  std::vector<int> merge_keys;
+  std::vector<AggSpec> merge_aggs;
+  ExprPtr merge_having;               // HAVING over the merged groups
+  std::vector<MapOutput> finalize;    // over merged schema (empty = id)
+  Schema final_schema;
+  std::vector<SortKey> sort;
+  size_t limit = 0;
+};
+
+/// Runs `spec` on the prepared context: executor fan-out, partial
+/// collection, then the driver-side merge → finalize → sort/top-k tail.
+Result<RowVectorPtr> RunTpchQuerySpec(const TpchQuerySpec& spec,
+                                      const TpchContext& ctx,
+                                      const TpchRunOptions& opts,
+                                      StatsRegistry* stats);
+
+/// Runs query `query` on the prepared context via the planner: logical
+/// plan → Optimize → SplitAtDriver → LowerRankPlan per rank; returns the
+/// final result rows (schema per reference.h).
 Result<RowVectorPtr> RunTpchQuery(int query, const TpchContext& ctx,
                                   const TpchRunOptions& opts,
                                   StatsRegistry* stats);

@@ -116,6 +116,19 @@ WIN_GATES = [
 ]
 
 
+# Absolute-floor gates, evaluated within the CURRENT run only:
+# (op, vectorized, min rows_per_sec). For the planner entries one "row"
+# is one full plan derivation (build logical plan → optimize → split →
+# lower all four platform shapes), measured at ~7.5k/s on a 1-core
+# container — the floor guards the order of magnitude (planning must
+# stay microseconds per query, negligible against any execution), not
+# the exact figure.
+FLOOR_GATES = [
+    ("planner_q3_build_lower", None, 1000.0),
+    ("planner_q18_build_lower", None, 1000.0),
+]
+
+
 def load(path):
     with open(path) as f:
         entries = json.load(f)
@@ -235,6 +248,19 @@ def main():
                 f"{fast} vs {slow}: {ratio:.2f}x < required {min_ratio:.2f}x")
         print(f"  {status:10s} {fast} vs {slow}: {ratio:.2f}x "
               f"(required {min_ratio:.2f}x)")
+
+    for op, vec, floor in FLOOR_GATES:
+        e = cur.get((op, vec))
+        if not e:
+            print(f"  MISSING    floor-gate entry {op}")
+            continue
+        got = e["rows_per_sec"]
+        status = "OK"
+        if got < floor:
+            status = "REGRESSION"
+            failures.append(
+                f"{op}: {got:.0f} rows/s below the {floor:.0f} rows/s floor")
+        print(f"  {status:10s} {op}: {got:.0f} rows/s (floor {floor:.0f})")
 
     if failures:
         print("\nbench gate FAILED:")
