@@ -29,6 +29,7 @@
 #include "mpi/mpi_ops.h"
 #include "planner/lower.h"
 #include "planner/passes.h"
+#include "storage/blob_store.h"
 #include "storage/column_file.h"
 #include "tpch/queries.h"
 #include "suboperators/agg_ops.h"
@@ -475,6 +476,65 @@ void BenchPartitionBuildProbe() {
               off.seconds / on.seconds, rows_on);
 }
 
+/// Grace-spill join (docs/DESIGN-memory.md): the same 1M x 1M FK-join
+/// shape as partition_build_probe, but as a single unpartitioned
+/// BuildProbe under a memory limit at 1/4 of the build side — both sides
+/// are radix-scattered to an in-memory blob store, build partitions
+/// beyond the hybrid resident prefix spill, and every probe row takes the
+/// partition detour. Reported only (the interesting number is the
+/// slowdown vs partition_build_probe), after a byte-equality check
+/// against the unlimited in-memory run.
+void BenchJoinSpill() {
+  const int64_t n = 1 << 20;
+  RowVectorPtr r = MakeKv(n, n / 4, /*seed=*/1, /*sequential_dup=*/4);
+  RowVectorPtr s = MakeKv(n, n / 4, /*seed=*/2);
+  const Schema kv = KeyValueSchema();
+  storage::BlobStore spill_store;
+
+  auto run_one = [&](size_t mem_limit, uint64_t* checksum) {
+    ExecContext ctx;
+    ctx.options.memory_limit_bytes = mem_limit;
+    MemoryBudget budget(mem_limit);
+    ctx.budget = &budget;
+    ctx.spill_store = &spill_store;
+    BuildProbe bp(std::make_unique<RowScan>(std::make_unique<CollectionSource>(
+                      std::vector<RowVectorPtr>{r})),
+                  std::make_unique<RowScan>(std::make_unique<CollectionSource>(
+                      std::vector<RowVectorPtr>{s})),
+                  kv, kv, /*build_key_col=*/0, /*probe_key_col=*/0);
+    if (!bp.Open(&ctx).ok()) std::abort();
+    const size_t stride = bp.out_schema().row_size();
+    uint64_t h = 1469598103934665603ull;  // FNV-1a over emitted bytes
+    size_t rows = 0;
+    RowBatch batch;
+    while (bp.NextBatch(&batch)) {
+      rows += batch.size();
+      if (checksum != nullptr) {
+        for (size_t i = 0; i < batch.size(); ++i) {
+          const uint8_t* p = batch.row(i).data();
+          for (size_t b = 0; b < stride; ++b) h = (h ^ p[b]) * 1099511628211ull;
+        }
+      }
+    }
+    if (!bp.status().ok() || !bp.Close().ok()) std::abort();
+    if (rows == 0) std::abort();
+    if (checksum != nullptr) *checksum = h;
+  };
+
+  const size_t limit = r->byte_size() / 4;
+  uint64_t mem_sum = 0, spill_sum = 0;
+  run_one(0, &mem_sum);
+  run_one(limit, &spill_sum);
+  if (mem_sum != spill_sum) {
+    std::fprintf(stderr, "FAIL: join_spill_1m output differs from the "
+                         "in-memory join\n");
+    std::exit(1);
+  }
+  RunBench("join_spill_1m", static_cast<size_t>(2 * n),
+           r->byte_size() + s->byte_size(), 1,
+           [&] { run_one(limit, nullptr); });
+}
+
 /// Thread-scaling sweep (1/2/4/8 workers) for the three hot pipelines the
 /// ISSUE gates: the partition→build→probe plan, ReduceByKey, and the p50
 /// batch filter kernel. Entries are named <op>_t<N> and carry a
@@ -751,10 +811,16 @@ void BenchGroupBy() {
 
   auto run_one = [&](const Shape& shape, int threads, uint64_t* checksum,
                      size_t* groups_out,
-                     const CancellationToken* cancel = nullptr) {
+                     const CancellationToken* cancel = nullptr,
+                     size_t mem_limit = 0,
+                     storage::BlobStore* spill_store = nullptr) {
     ExecContext ctx;
     ctx.options.num_threads = threads;
+    ctx.options.memory_limit_bytes = mem_limit;
     ctx.cancel = cancel;
+    MemoryBudget budget(mem_limit);
+    ctx.budget = &budget;
+    ctx.spill_store = spill_store;
     std::vector<AggSpec> aggs;
     aggs.push_back(AggSpec{AggKind::kSum, ex::Col(shape.agg_col), "s",
                            shape.agg_type});
@@ -777,7 +843,7 @@ void BenchGroupBy() {
       }
     }
     if (!rk.status().ok() || !rk.Close().ok()) std::abort();
-    if (threads > 1) {
+    if (threads > 1 && spill_store == nullptr) {
       if (ctx.stats->GetCounter("parallel.serial_fallback.ReduceByKey") != 0) {
         std::fprintf(stderr, "FAIL: groupby %s t%d fell back to serial\n",
                      shape.name, threads);
@@ -839,6 +905,40 @@ void BenchGroupBy() {
         RunBench("groupby_1m_int_g64k_faultarmed_t4", n,
                  shape.data->byte_size(), 1,
                  [&] { run_one(shape, 4, nullptr, nullptr, &idle_deadline); },
+                 4);
+
+        // Memory governance (docs/DESIGN-memory.md). Budget-armed: a
+        // limit far above the input, so the run only pays the accounting
+        // hooks — bench_gate.py WIN_GATES holds it within 3% of the plain
+        // t4 entry. Spill: a limit at 1/8 of the input forces the
+        // Grace-style partitioned aggregation through the blob store;
+        // reported only, but the output must stay byte-equal to t1.
+        storage::BlobStore spill_store;
+        const size_t big_limit = size_t{1} << 30;
+        const size_t tiny_limit = shape.data->byte_size() / 8;
+        uint64_t armed2 = 0, spilled = 0;
+        run_one(shape, 4, &armed2, nullptr, nullptr, big_limit, &spill_store);
+        run_one(shape, 4, &spilled, nullptr, nullptr, tiny_limit,
+                &spill_store);
+        if (armed2 != sum_t1 || spilled != sum_t1) {
+          std::fprintf(stderr,
+                       "FAIL: groupby int g64k budgeted output differs from "
+                       "t1 (armed %d, spill %d)\n",
+                       armed2 != sum_t1, spilled != sum_t1);
+          std::exit(1);
+        }
+        RunBench("groupby_1m_int_g64k_budgetarmed_t4", n,
+                 shape.data->byte_size(), 1,
+                 [&] {
+                   run_one(shape, 4, nullptr, nullptr, nullptr, big_limit,
+                           &spill_store);
+                 },
+                 4);
+        RunBench("groupby_1m_int_g64k_spill", n, shape.data->byte_size(), 1,
+                 [&] {
+                   run_one(shape, 4, nullptr, nullptr, nullptr, tiny_limit,
+                           &spill_store);
+                 },
                  4);
       }
     }
@@ -1206,6 +1306,7 @@ int main(int argc, char** argv) {
   BenchFilterMap();
   BenchColumnFileRoundTrip();
   BenchPartitionBuildProbe();
+  BenchJoinSpill();
   BenchThreadScaling();
   BenchSortTopK();
   BenchGroupBy();

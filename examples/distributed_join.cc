@@ -64,6 +64,15 @@ int main() {
       stats.GetTime("net.charged_seconds"),
       stats.GetTime("net.stall_seconds"),
       stats.GetTime("exchange.overlap_ratio"));
+  std::printf(
+      "memory: %.1f MB peak across ranks, %lld admission denials, "
+      "%lld operators spilled %.1f MB\n",
+      stats.GetCounter("mem.peak_bytes") / 1e6,
+      static_cast<long long>(stats.GetCounter("mem.denials")),
+      static_cast<long long>(stats.GetCounter("spill.ops.BuildProbe") +
+                             stats.GetCounter("spill.ops.ReduceByKey") +
+                             stats.GetCounter("spill.ops.Sort")),
+      stats.GetCounter("spill.bytes") / 1e6);
 
   // Spot-check a row: key k joins value 2k with value 3k.
   RowRef row = (*result)->row(0);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/fault.h"
+#include "core/memory.h"
 #include "core/stats.h"
 #include "core/tuple.h"
 
@@ -20,6 +21,7 @@ class Communicator;
 }
 namespace storage {
 class BlobClient;
+class BlobStore;
 }
 namespace serverless {
 class S3SelectEngine;
@@ -92,6 +94,25 @@ struct ExecOptions {
   /// non-OK within the deadline.
   double deadline_seconds = 0;
 
+  // -- Memory governance (docs/DESIGN-memory.md) ----------------------------
+
+  /// Per-rank (and per-driver) memory budget in bytes; 0 = unlimited.
+  /// Every large allocation site charges the rank's MemoryBudget; blocking
+  /// operators (BuildProbe, ReduceByKey, Sort/TopK) degrade to their
+  /// Grace-partition / external-merge spill paths when their drained input
+  /// exceeds half of this, and fail fast with kResourceExhausted when even
+  /// the spilled working set cannot fit. Spill decisions depend only on
+  /// (this limit, input/histogram sizes), so results stay byte-equal to
+  /// the unlimited run at any thread count.
+  size_t memory_limit_bytes = 0;
+
+  /// Fault injection for the spill clients the blocking operators open
+  /// against ExecContext::spill_store (mirrors BlobClientOptions::fault
+  /// for base-table storage). Spill writes/reads go through the shared
+  /// RetryPolicy, so an injected transient Put is retried like any other
+  /// blob IO.
+  FaultOptions spill_fault;
+
   // -- Intra-node parallelism (docs/DESIGN-parallel.md) ---------------------
 
   /// Worker threads per rank for morsel-driven pipeline phases. 0 resolves
@@ -142,6 +163,22 @@ class ExecContext {
   /// query.
   const CancellationToken* cancel = nullptr;
 
+  /// The rank's memory budget (core/memory.h), owned by the executor;
+  /// null = untracked (zero accounting overhead). Workers share the
+  /// rank's budget — charges are rare (capacity growth only), so the
+  /// shared relaxed atomics beat per-worker slabs that could not observe
+  /// a cross-worker peak.
+  MemoryBudget* budget = nullptr;
+
+  /// Spill target for the blocking operators' graceful-degradation paths
+  /// (docs/DESIGN-memory.md): the blob store backing `spill/…` partition
+  /// chunks and sort runs. Null = spilling unavailable (operators then
+  /// fail fast with kResourceExhausted when the budget forces a spill).
+  /// Each spilling operator opens its own BlobClient against this store
+  /// (clients are not thread-safe; the store is), so cloned operators in
+  /// parallel NestedMap workers never share a client.
+  storage::BlobStore* spill_store = nullptr;
+
   ExecOptions options;
 
   /// Metrics sink; never null during execution.
@@ -165,6 +202,8 @@ class ExecContext {
     s3select = base.s3select;
     lambda = base.lambda;
     cancel = base.cancel;
+    budget = base.budget;
+    spill_store = base.spill_store;
     options = base.options;
     options.num_threads = 1;
     stats = worker_stats;

@@ -38,11 +38,16 @@ Status MpiExecutor::Open(ExecContext* ctx) {
       config_.world_size, config_.fabric,
       [&](mpi::Communicator& comm) -> Status {
         const int r = comm.rank();
+        // Declared before the plan: operator ScopedCharges release into
+        // the budget on plan destruction, so it must outlive the plan.
+        MemoryBudget budget(options.memory_limit_bytes);
         ExecContext rctx;
         rctx.rank = r;
         rctx.world = comm.size();
         rctx.comm = &comm;
         rctx.cancel = &cancel;
+        rctx.budget = &budget;
+        rctx.spill_store = config_.spill_store;
         rctx.options = options;
         // Ranks already run as concurrent threads on this machine: divide
         // the intra-node worker budget between them so a multi-rank run
@@ -92,6 +97,16 @@ Status MpiExecutor::Open(ExecContext* ctx) {
         double overlap =
             charged > 0 ? 1.0 - std::min(stall / charged, 1.0) : 1.0;
         rctx.stats->AddTime("exchange.overlap_ratio", overlap);
+        // Memory governance counters (counters accumulate across ranks,
+        // so mem.peak_bytes is the cross-rank sum of per-rank peaks —
+        // docs/DESIGN-memory.md).
+        if (budget.peak() > 0) {
+          rctx.stats->AddCounter("mem.peak_bytes",
+                                 static_cast<int64_t>(budget.peak()));
+        }
+        if (budget.denials() > 0) {
+          rctx.stats->AddCounter("mem.denials", budget.denials());
+        }
         return Status::OK();
       },
       &report);
@@ -293,6 +308,13 @@ Status MpiExchange::DoExchange() {
       net::WindowId window,
       comm->WinAllocate(static_cast<size_t>(owner_rows[me]) * out_row));
 
+  // Tracking-only budget accounting (docs/DESIGN-memory.md): the window,
+  // wire staging and materialized partitions are transient per-exchange
+  // footprint. They show up in mem.peak_bytes but never fail admission —
+  // the exchange has no spill path to degrade to.
+  ScopedCharge stage_charge(ctx_->budget);
+  stage_charge.Add(static_cast<size_t>(owner_rows[me]) * out_row);
+
   const int key_col = opts_.key_col;
   const uint32_t in_row = in_schema.row_size();
   const uint32_t key_offset = in_schema.offset(key_col);
@@ -334,6 +356,7 @@ Status MpiExchange::DoExchange() {
   std::vector<uint8_t> wire_stage;
   if (opts_.serial_wire) {
     wire_stage.resize(static_cast<size_t>(local_total) * out_row);
+    stage_charge.Add(wire_stage.size());
   }
 
   size_t total_rows = 0;
@@ -536,6 +559,7 @@ Status MpiExchange::DoExchange() {
     }
     return Status::OK();
   }));
+  stage_charge.Add(static_cast<size_t>(owner_rows[me]) * out_row);
   timer.Stop();
   return comm->WinFree(window);
 }

@@ -55,6 +55,11 @@ class MpiExecutor : public SubOperator {
     /// Plan inputs for rank `r` (bound to its ParameterLookups). May be
     /// null when the nested plan has no inputs.
     std::function<Tuple(int rank)> rank_params;
+    /// Destination for the blocking operators' spill files when
+    /// ExecOptions::memory_limit_bytes forces graceful degradation
+    /// (docs/DESIGN-memory.md). Null = spills fail fast with
+    /// kResourceExhausted. Must be thread-safe (shared by all ranks).
+    storage::BlobStore* spill_store = nullptr;
   };
 
   explicit MpiExecutor(Config config)

@@ -33,10 +33,17 @@ Status LambdaExecutor::Open(ExecContext* ctx) {
       config_.lambda, config_.store,
       [&](serverless::LambdaWorkerContext& wctx) -> Status {
         const int w = wctx.worker_id;
+        // Declared before the plan: operator ScopedCharges release into
+        // the budget on plan destruction, so it must outlive the plan.
+        MemoryBudget budget(options.memory_limit_bytes);
         ExecContext rctx;
         rctx.rank = w;
         rctx.world = wctx.num_workers;
         rctx.blob = wctx.s3;
+        rctx.budget = &budget;
+        // Spilled blocking operators write through the worker's own blob
+        // client path (S3 is the only storage a Lambda worker has).
+        rctx.spill_store = wctx.s3->store();
         rctx.s3select = config_.s3select;
         rctx.lambda = &wctx;
         rctx.cancel = &cancel;
@@ -76,6 +83,16 @@ Status LambdaExecutor::Open(ExecContext* ctx) {
         rctx.stats->AddTime("s3.charged", wctx.s3->charged_seconds());
         rctx.stats->AddCounter("s3.bytes", wctx.s3->bytes_transferred());
         rctx.stats->AddCounter("s3.requests", wctx.s3->requests());
+        // Worker stats are folded with MergeMax, so these surface as the
+        // hottest worker's peak / denial count.
+        if (budget.peak() > 0) {
+          rctx.stats->AddCounter("mem.peak_bytes",
+                                 static_cast<int64_t>(budget.peak()));
+        }
+        if (budget.denials() > 0) {
+          rctx.stats->AddCounter("mem.denials",
+                                 static_cast<int64_t>(budget.denials()));
+        }
         return Status::OK();
       },
       &report);

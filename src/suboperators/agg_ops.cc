@@ -7,6 +7,7 @@
 #include <limits>
 #include <queue>
 
+#include "storage/spill.h"
 #include "suboperators/partition_ops.h"
 #include "suboperators/radix.h"
 
@@ -141,6 +142,10 @@ uint32_t ByteStateTable::FindOrInsert(const uint8_t* key, uint32_t len,
   return static_cast<uint32_t>(size_++);
 }
 
+size_t ByteStateTable::byte_size() const {
+  return slots_.capacity() * sizeof(Slot) + arena_.capacity();
+}
+
 // ---------------------------------------------------------------------------
 // ReduceByKey
 // ---------------------------------------------------------------------------
@@ -166,6 +171,7 @@ Status ReduceByKey::Open(ExecContext* ctx) {
   keyless_fill_ = 0;
   consumed_ = false;
   emit_pos_ = 0;
+  mem_charge_.Bind(ctx->budget);
 
   single_i64_key_ =
       key_cols_.size() == 1 &&
@@ -394,7 +400,7 @@ void ReduceByKey::AggregatePartition(
     const uint8_t* rows, size_t n, const Schema& schema, const uint32_t* idx,
     RowVector* states, std::vector<uint32_t>* first, I64StateMap* map,
     ByteStateTable* table, std::vector<uint8_t>* key_scratch,
-    std::vector<uint64_t>* hash_scratch) const {
+    std::vector<uint64_t>* hash_scratch, bool reset_tables) const {
   // The partition's row count is a hard upper bound on its distinct keys,
   // so reserving it guarantees zero mid-aggregation rehashes — but on a
   // duplicate-heavy skewed partition (all rows of a hot key in one
@@ -406,8 +412,10 @@ void ReduceByKey::AggregatePartition(
   const size_t reserve = std::min(n, kMaxReserveKeys);
   const uint32_t stride = schema.row_size();
   if (single_i64_key_) {
-    map->Clear();
-    map->Reserve(reserve);
+    if (reset_tables) {
+      map->Clear();
+      map->Reserve(reserve);
+    }
     const uint8_t* p = rows;
     for (size_t j = 0; j < n; ++j, p += stride) {
       RowRef row(p, &schema);
@@ -421,8 +429,10 @@ void ReduceByKey::AggregatePartition(
     }
     return;
   }
-  table->Clear();
-  table->Reserve(reserve);
+  if (reset_tables) {
+    table->Clear();
+    table->Reserve(reserve);
+  }
   const uint32_t ks = codec_.key_size();
   key_scratch->resize(kKeyChunkRows * ks);
   hash_scratch->resize(kKeyChunkRows);
@@ -595,6 +605,304 @@ Status ReduceByKey::ConsumeAllParallel(const RowVectorPtr& input,
   return Status::OK();
 }
 
+// -- Grace-style spill path (docs/DESIGN-memory.md) -------------------------
+
+void ReduceByKey::ComputeKeyHashes(const uint8_t* rows, size_t n,
+                                   const Schema& schema,
+                                   std::vector<uint64_t>* hashes) const {
+  hashes->resize(n);
+  const uint32_t stride = schema.row_size();
+  if (single_i64_key_) {
+    const uint8_t* p = rows;
+    for (size_t i = 0; i < n; ++i, p += stride) {
+      (*hashes)[i] = MixHash64(
+          static_cast<uint64_t>(KeyAt(RowRef(p, &schema), key_cols_[0])));
+    }
+    return;
+  }
+  const uint32_t ks = codec_.key_size();
+  std::vector<uint8_t> keys(kKeyChunkRows * ks);
+  RowSpan span{rows, stride, &schema};
+  for (size_t base = 0; base < n; base += kKeyChunkRows) {
+    const size_t m = std::min(n - base, kKeyChunkRows);
+    if (key_prog_.valid()) {
+      key_prog_.SerializeAndHash(span, base, m, keys.data(),
+                                 hashes->data() + base);
+    } else {
+      codec_.SerializeKeys(span, base, m, keys.data());
+      HashKeysSpan(keys.data(), m, ks, hashes->data() + base);
+    }
+  }
+}
+
+void ReduceByKey::MergeAggRuns(std::vector<AggRun>* runs, RowVector* states,
+                               std::vector<uint32_t>* first_out) const {
+  using Head = std::pair<uint32_t, uint32_t>;  // (first index, run)
+  std::priority_queue<Head, std::vector<Head>, std::greater<Head>> heap;
+  std::vector<uint32_t> pos(runs->size(), 0);
+  size_t total = 0;
+  for (size_t r = 0; r < runs->size(); ++r) {
+    total += (*runs)[r].first.size();
+    if (!(*runs)[r].first.empty()) {
+      heap.emplace((*runs)[r].first[0], static_cast<uint32_t>(r));
+    }
+  }
+  states->Reserve(states->size() + total);
+  if (first_out != nullptr) first_out->reserve(first_out->size() + total);
+  while (!heap.empty()) {
+    const auto [fi, r] = heap.top();
+    heap.pop();
+    states->AppendRaw((*runs)[r].states->row(pos[r]).data());
+    if (first_out != nullptr) first_out->push_back(fi);
+    if (++pos[r] < (*runs)[r].first.size()) {
+      heap.emplace((*runs)[r].first[pos[r]], r);
+    }
+  }
+}
+
+Status ReduceByKey::ConsumeAllSpill(RowVectorPtr input) {
+  const size_t mem_limit = ctx_->options.memory_limit_bytes;
+  const size_t quota = SpillQuotaBytes(mem_limit);
+  const Schema& schema = input->schema();
+  const uint32_t stride = input->row_size();
+  const size_t n = input->size();
+  // Denied the in-memory path — counted whether the spill fallback is
+  // viable (graceful degradation) or not (fail fast below).
+  if (ctx_->budget != nullptr) ctx_->budget->NoteDenial();
+  if (quota < stride) {
+    return Status::ResourceExhausted(
+        "ReduceByKey: memory_limit_bytes=" + std::to_string(mem_limit) +
+        " cannot hold one " + std::to_string(stride) +
+        "-byte row in the spill quota (" + std::to_string(quota) + " bytes)");
+  }
+  if (ctx_->spill_store == nullptr) {
+    return Status::ResourceExhausted(
+        "ReduceByKey: drained input of " + std::to_string(input->byte_size()) +
+        " bytes exceeds memory_limit_bytes=" + std::to_string(mem_limit) +
+        " and no spill store is configured");
+  }
+  AddStatCounter("spill.ops.ReduceByKey", 1);
+  storage::SpillSet spill(ctx_, "reduce");
+  constexpr int kFanout = 1 << kPartitionBits;
+  constexpr int kPidShift = 64 - kPartitionBits;
+
+  // Histogram over the first hash window. The keep/spill split below is
+  // a pure function of (limit, histogram) — never of the thread count or
+  // the live memory counter — so the output stays byte-equal to the
+  // in-memory paths.
+  std::vector<uint64_t> hashes;
+  ComputeKeyHashes(input->data(), n, schema, &hashes);
+  std::vector<size_t> part_rows(kFanout, 0);
+  for (size_t i = 0; i < n; ++i) ++part_rows[hashes[i] >> kPidShift];
+
+  // Hybrid rule: the greedy ascending-pid prefix stays in memory while it
+  // fits half the budget; everything else streams to the store.
+  std::vector<uint8_t> in_mem(kFanout, 0);
+  size_t kept_bytes = 0;
+  int64_t spilled_parts = 0;
+  for (int p = 0; p < kFanout; ++p) {
+    const size_t bytes_p = part_rows[p] * stride;
+    if (bytes_p == 0) continue;
+    if (kept_bytes + bytes_p <= mem_limit / 2) {
+      in_mem[p] = 1;
+      kept_bytes += bytes_p;
+    } else {
+      ++spilled_parts;
+    }
+  }
+
+  // Serial scatter in input order: every partition holds its rows in
+  // ascending global order whether it stays resident or streams out in
+  // chunks, so per-group float SUM accumulates exactly like one thread.
+  const int pass0 = spill.NewPass();
+  const size_t chunk_rows =
+      std::max<size_t>(1, quota / (static_cast<size_t>(stride) * kFanout));
+  std::vector<RowVectorPtr> mem_parts(kFanout);
+  std::vector<std::vector<uint32_t>> mem_idx(kFanout);
+  std::vector<RowVectorPtr> stage(kFanout);
+  std::vector<std::vector<uint32_t>> stage_idx(kFanout);
+  for (size_t i = 0; i < n; ++i) {
+    const int p = static_cast<int>(hashes[i] >> kPidShift);
+    if (in_mem[p]) {
+      if (mem_parts[p] == nullptr) {
+        mem_parts[p] = RowVector::Make(schema);
+        mem_parts[p]->Reserve(part_rows[p]);
+        mem_idx[p].reserve(part_rows[p]);
+      }
+      mem_parts[p]->AppendRaw(input->data() + i * stride);
+      mem_idx[p].push_back(static_cast<uint32_t>(i));
+      continue;
+    }
+    if (stage[p] == nullptr) stage[p] = RowVector::Make(schema);
+    stage[p]->AppendRaw(input->data() + i * stride);
+    stage_idx[p].push_back(static_cast<uint32_t>(i));
+    if (stage[p]->size() >= chunk_rows) {
+      MODULARIS_RETURN_NOT_OK(spill.WriteChunk(pass0, p, stage[p]->data(),
+                                               stage[p]->size(), stride,
+                                               stage_idx[p].data()));
+      stage[p]->Clear();
+      stage_idx[p].clear();
+    }
+  }
+  for (int p = 0; p < kFanout; ++p) {
+    if (stage[p] != nullptr && !stage[p]->empty()) {
+      MODULARIS_RETURN_NOT_OK(spill.WriteChunk(pass0, p, stage[p]->data(),
+                                               stage[p]->size(), stride,
+                                               stage_idx[p].data()));
+    }
+  }
+  stage.clear();
+  stage_idx.clear();
+  AddStatCounter("spill.partitions", spilled_parts);
+  AddStatCounter("spill.passes", 1);
+  std::vector<uint64_t>().swap(hashes);
+  input.reset();  // drop our reference to the drained input
+
+  // Aggregate partitions in ascending pid order; each yields one group
+  // run ascending by global first-occurrence index.
+  SpillScratch scratch;
+  std::vector<AggRun> runs;
+  for (int p = 0; p < kFanout; ++p) {
+    if (part_rows[p] == 0) continue;
+    AggRun run;
+    run.states = RowVector::Make(out_schema_);
+    if (in_mem[p]) {
+      AggregatePartition(mem_parts[p]->data(), mem_parts[p]->size(), schema,
+                         mem_idx[p].data(), run.states.get(), &run.first,
+                         &scratch.map, &scratch.table, &scratch.keys,
+                         &scratch.hashes);
+      mem_parts[p].reset();
+      std::vector<uint32_t>().swap(mem_idx[p]);
+    } else {
+      MODULARIS_RETURN_NOT_OK(AggregateSpilledPartition(
+          &spill, pass0, p, kPidShift, part_rows[p], schema, &run, &scratch));
+    }
+    runs.push_back(std::move(run));
+  }
+
+  // The phase-4 merge over the partition runs: groups emit in global
+  // first-occurrence order, exactly like the in-memory paths.
+  MergeAggRuns(&runs, states_.get(), nullptr);
+  return Status::OK();
+}
+
+Status ReduceByKey::AggregateSpilledPartition(storage::SpillSet* spill,
+                                              int pass, int pid, int shift,
+                                              size_t part_rows,
+                                              const Schema& schema,
+                                              AggRun* out,
+                                              SpillScratch* scratch) {
+  if (ctx_->cancel != nullptr) MODULARIS_RETURN_NOT_OK(ctx_->cancel->Check());
+  const size_t quota = SpillQuotaBytes(ctx_->options.memory_limit_bytes);
+  const uint32_t stride = schema.row_size();
+  constexpr int kFanout = 1 << kPartitionBits;
+
+  if (part_rows * stride <= quota) {
+    // Fits the quota: read the partition back whole (chunks concatenate
+    // in global input order) and aggregate it in one shot.
+    RowVectorPtr part = RowVector::Make(schema);
+    part->Reserve(part_rows);
+    std::vector<uint32_t> idx;
+    idx.reserve(part_rows);
+    MODULARIS_RETURN_NOT_OK(spill->ReadPartition(pass, pid, part.get(), &idx));
+    AggregatePartition(part->data(), part->size(), schema, idx.data(),
+                       out->states.get(), &out->first, &scratch->map,
+                       &scratch->table, &scratch->keys, &scratch->hashes);
+    spill->DeletePartition(pass, pid);
+    return Status::OK();
+  }
+
+  if (shift < kPartitionBits) {
+    // Hash exhausted: a partition every window maps to one id (a single
+    // hot key, practically). Stream the chunks through one accumulating
+    // table — its states are bounded by the partition's distinct keys,
+    // which is the operator's own irreducible output.
+    const int chunks = spill->NumChunks(pass, pid);
+    RowVectorPtr chunk = RowVector::Make(schema);
+    std::vector<uint32_t> idx;
+    bool reset = true;
+    for (int c = 0; c < chunks; ++c) {
+      chunk->Clear();
+      idx.clear();
+      MODULARIS_RETURN_NOT_OK(
+          spill->ReadChunk(pass, pid, c, chunk.get(), &idx));
+      AggregatePartition(chunk->data(), chunk->size(), schema, idx.data(),
+                         out->states.get(), &out->first, &scratch->map,
+                         &scratch->table, &scratch->keys, &scratch->hashes,
+                         /*reset_tables=*/reset);
+      reset = false;
+    }
+    spill->DeletePartition(pass, pid);
+    return Status::OK();
+  }
+
+  // Recursive pass: re-scatter by the next 8-bit hash window into a
+  // fresh pass namespace, aggregate the sub-partitions ascending, and
+  // merge their runs (each ascending by first index) into this
+  // partition's run.
+  const int sub_shift = shift - kPartitionBits;
+  const int sub_pass = spill->NewPass();
+  AddStatCounter("spill.passes", 1);
+  const size_t chunk_rows =
+      std::max<size_t>(1, quota / (static_cast<size_t>(stride) * kFanout));
+  std::vector<size_t> sub_rows(kFanout, 0);
+  {
+    const int chunks = spill->NumChunks(pass, pid);
+    RowVectorPtr chunk = RowVector::Make(schema);
+    std::vector<uint32_t> idx;
+    std::vector<uint64_t> hashes;
+    std::vector<RowVectorPtr> stage(kFanout);
+    std::vector<std::vector<uint32_t>> stage_idx(kFanout);
+    for (int c = 0; c < chunks; ++c) {
+      chunk->Clear();
+      idx.clear();
+      MODULARIS_RETURN_NOT_OK(
+          spill->ReadChunk(pass, pid, c, chunk.get(), &idx));
+      ComputeKeyHashes(chunk->data(), chunk->size(), schema, &hashes);
+      for (size_t i = 0; i < chunk->size(); ++i) {
+        const int sp =
+            static_cast<int>((hashes[i] >> sub_shift) & (kFanout - 1));
+        ++sub_rows[sp];
+        if (stage[sp] == nullptr) stage[sp] = RowVector::Make(schema);
+        stage[sp]->AppendRaw(chunk->data() + i * stride);
+        stage_idx[sp].push_back(idx[i]);
+        if (stage[sp]->size() >= chunk_rows) {
+          MODULARIS_RETURN_NOT_OK(spill->WriteChunk(
+              sub_pass, sp, stage[sp]->data(), stage[sp]->size(), stride,
+              stage_idx[sp].data()));
+          stage[sp]->Clear();
+          stage_idx[sp].clear();
+        }
+      }
+    }
+    for (int sp = 0; sp < kFanout; ++sp) {
+      if (stage[sp] != nullptr && !stage[sp]->empty()) {
+        MODULARIS_RETURN_NOT_OK(spill->WriteChunk(
+            sub_pass, sp, stage[sp]->data(), stage[sp]->size(), stride,
+            stage_idx[sp].data()));
+      }
+    }
+  }
+  spill->DeletePartition(pass, pid);
+  int64_t sub_parts = 0;
+  for (int sp = 0; sp < kFanout; ++sp) {
+    if (sub_rows[sp] > 0) ++sub_parts;
+  }
+  AddStatCounter("spill.partitions", sub_parts);
+
+  std::vector<AggRun> sub_runs;
+  for (int sp = 0; sp < kFanout; ++sp) {
+    if (sub_rows[sp] == 0) continue;
+    AggRun run;
+    run.states = RowVector::Make(out_schema_);
+    MODULARIS_RETURN_NOT_OK(AggregateSpilledPartition(
+        spill, sub_pass, sp, sub_shift, sub_rows[sp], schema, &run, scratch));
+    sub_runs.push_back(std::move(run));
+  }
+  MergeAggRuns(&sub_runs, out->states.get(), &out->first);
+  return Status::OK();
+}
+
 Status ReduceByKey::ConsumeKeylessParallel(const RowVectorPtr& input,
                                            int workers) {
   const size_t n = input->size();
@@ -702,12 +1010,21 @@ Status ReduceByKey::ConsumeAll() {
   // The keyless chunk partials combine through the fixed pairwise tree
   // exactly once, whichever path accumulated them.
   if (st.ok() && key_cols_.empty()) FinalizeKeyless();
+  if (st.ok()) {
+    mem_charge_.Add(states_->byte_size() + i64_map_.byte_size() +
+                    byte_table_.byte_size());
+  }
   return st;
 }
 
 Status ReduceByKey::ConsumeAllInner() {
   if (ctx_->options.enable_vectorized) {
-    if (ctx_->options.ResolvedNumThreads() > 1) {
+    // Under a memory budget the keyed path always drains (even at one
+    // thread), so the spill decision is a pure function of (limit, input
+    // bytes) — never of the thread count (docs/DESIGN-memory.md).
+    const size_t mem_limit = ctx_->options.memory_limit_bytes;
+    const bool budgeted = mem_limit > 0 && !key_cols_.empty();
+    if (ctx_->options.ResolvedNumThreads() > 1 || budgeted) {
       // Partition-owned (keyed) / fixed-chunk-tree (keyless) parallel
       // aggregation covers every key and aggregate shape — float SUM,
       // string and multi-column keys included — so there is no
@@ -715,6 +1032,10 @@ Status ReduceByKey::ConsumeAllInner() {
       RowVectorPtr input;
       MODULARIS_RETURN_NOT_OK(DrainRecordStream(child(0), &input));
       if (input == nullptr) return Status::OK();
+      mem_charge_.Add(input->byte_size());
+      if (budgeted && ShouldSpill(input->byte_size(), mem_limit)) {
+        return ConsumeAllSpill(std::move(input));
+      }
       const int workers = PlanWorkers(input->size(), ctx_->options);
       if (workers <= 1) {
         // Sizing decision (input too small to split), not a fallback.
@@ -832,10 +1153,28 @@ int CompareRows(const RowRef& a, const RowRef& b,
   return 0;
 }
 
+SortOp::SortOp(SubOpPtr child, std::vector<SortKey> keys, Schema schema,
+               std::string timer_key)
+    : SubOperator("Sort"),
+      keys_(std::move(keys)),
+      schema_(std::move(schema)),
+      timer_key_(std::move(timer_key)) {
+  AddChild(std::move(child));
+}
+
+SortOp::~SortOp() = default;
+
 Status SortOp::Open(ExecContext* ctx) {
   sorted_ = false;
   emit_pos_ = 0;
-  return SubOperator::Open(ctx);
+  external_ = false;
+  spill_.reset();
+  runs_.clear();
+  heap_.clear();
+  emit_row_.reset();
+  MODULARIS_RETURN_NOT_OK(SubOperator::Open(ctx));
+  mem_charge_.Bind(ctx->budget);
+  return Status::OK();
 }
 
 Status SortOp::ConsumeAndSort(size_t limit) {
@@ -861,6 +1200,12 @@ Status SortOp::ConsumeAndSort(size_t limit) {
     }
   }
   MODULARIS_RETURN_NOT_OK(child(0)->status());
+  mem_charge_.Add(rows_->byte_size());
+  const size_t mem_limit = ctx_->options.memory_limit_bytes;
+  if (ctx_->options.enable_vectorized && mem_limit > 0 &&
+      ShouldSpill(rows_->byte_size(), mem_limit)) {
+    return ConsumeExternal(limit);
+  }
   const size_t n = rows_->size();
   order_.resize(n);
   for (uint32_t i = 0; i < order_.size(); ++i) order_[i] = i;
@@ -924,6 +1269,240 @@ Status SortOp::ConsumeAndSort(size_t limit) {
   return Status::OK();
 }
 
+// -- External merge sort (docs/DESIGN-memory.md) ----------------------------
+
+Status SortOp::ConsumeExternal(size_t limit) {
+  const size_t mem_limit = ctx_->options.memory_limit_bytes;
+  const size_t quota = SpillQuotaBytes(mem_limit);
+  const uint32_t stride = schema_.row_size();
+  const size_t n = rows_->size();
+  emit_limit_ = limit < n ? limit : n;
+  order_.clear();
+  if (emit_limit_ == 0) {
+    rows_ = RowVector::Make(schema_);  // LIMIT 0: nothing to sort or emit
+    return Status::OK();
+  }
+  // Denied the in-memory path — counted whether the spill fallback is
+  // viable (graceful degradation) or not (fail fast below).
+  if (ctx_->budget != nullptr) ctx_->budget->NoteDenial();
+  if (quota < stride) {
+    return Status::ResourceExhausted(
+        "Sort: memory_limit_bytes=" + std::to_string(mem_limit) +
+        " cannot hold one " + std::to_string(stride) +
+        "-byte row in the spill quota (" + std::to_string(quota) + " bytes)");
+  }
+  if (ctx_->spill_store == nullptr) {
+    return Status::ResourceExhausted(
+        "Sort: materialized input of " + std::to_string(rows_->byte_size()) +
+        " bytes exceeds memory_limit_bytes=" + std::to_string(mem_limit) +
+        " and no spill store is configured");
+  }
+  AddStatCounter("spill.ops.Sort", 1);
+  external_ = true;
+  spill_ = std::make_unique<storage::SpillSet>(ctx_, "sort");
+
+  // Run formation: quota-sized slices of the input, each ordered by
+  // (keys, global index) — the same total order as the in-memory paths —
+  // and written out sorted. Under a limit each run keeps only its
+  // top-`emit_limit_` prefix: a row outside it can never be emitted.
+  const size_t run_rows = std::max<size_t>(1, quota / stride);
+  const size_t chunk_rows = std::max<size_t>(1, run_rows / 8);
+  const int pass0 = spill_->NewPass();
+  int num_runs = 0;
+  {
+    std::vector<uint32_t> perm;
+    RowVectorPtr out_rows = RowVector::Make(schema_);
+    std::vector<uint32_t> out_idx;
+    auto less = [this](uint32_t x, uint32_t y) {
+      const int c = CompareRows(rows_->row(x), rows_->row(y), keys_);
+      return c != 0 ? c < 0 : x < y;
+    };
+    for (size_t base = 0; base < n; base += run_rows, ++num_runs) {
+      const size_t m = std::min(n - base, run_rows);
+      perm.resize(m);
+      for (size_t i = 0; i < m; ++i) perm[i] = static_cast<uint32_t>(base + i);
+      const size_t keep = std::min(emit_limit_, m);
+      if (keep < m) {
+        std::partial_sort(perm.begin(), perm.begin() + keep, perm.end(), less);
+      } else {
+        std::sort(perm.begin(), perm.end(), less);
+      }
+      for (size_t lo = 0; lo < keep; lo += chunk_rows) {
+        const size_t cm = std::min(keep - lo, chunk_rows);
+        out_rows->Clear();
+        out_idx.clear();
+        for (size_t i = 0; i < cm; ++i) {
+          out_rows->AppendRaw(rows_->data() +
+                              static_cast<size_t>(perm[lo + i]) * stride);
+          out_idx.push_back(perm[lo + i]);
+        }
+        MODULARIS_RETURN_NOT_OK(spill_->WriteChunk(
+            pass0, num_runs, out_rows->data(), cm, stride, out_idx.data()));
+      }
+    }
+  }
+  AddStatCounter("spill.partitions", num_runs);
+  AddStatCounter("spill.passes", 1);
+  rows_ = RowVector::Make(schema_);  // release the materialized input
+
+  // Cascade merge: a merge of F runs keeps F chunks resident
+  // (F · chunk_rows · stride bytes). Cap the fan-in so that resident set
+  // fits the quota; while more runs remain, merge groups of F into
+  // longer runs (each clipped at emit_limit_ rows) until one final merge
+  // can stream the emission through Next()/NextBatch().
+  const int fanin = static_cast<int>(
+      std::max<size_t>(2, quota / (chunk_rows * stride)));
+  auto merge_group = [&](int src_pass, const std::vector<int>& group,
+                         int dst_pass, int dst_run) -> Status {
+    if (ctx_->cancel != nullptr) {
+      MODULARIS_RETURN_NOT_OK(ctx_->cancel->Check());
+    }
+    std::vector<RunCursor> cs(group.size());
+    for (size_t i = 0; i < group.size(); ++i) {
+      cs[i].pass = src_pass;
+      cs[i].pid = group[i];
+      cs[i].num_chunks = spill_->NumChunks(src_pass, group[i]);
+    }
+    std::vector<int> hp;
+    auto cmp = [&](int a, int b) { return CursorBefore(cs[b], cs[a]); };
+    for (size_t i = 0; i < cs.size(); ++i) {
+      bool has = false;
+      MODULARIS_RETURN_NOT_OK(EnsureCursorRow(&cs[i], &has));
+      if (has) hp.push_back(static_cast<int>(i));
+    }
+    std::make_heap(hp.begin(), hp.end(), cmp);
+    RowVectorPtr out_rows = RowVector::Make(schema_);
+    std::vector<uint32_t> out_idx;
+    size_t emitted = 0;
+    while (!hp.empty() && emitted < emit_limit_) {
+      std::pop_heap(hp.begin(), hp.end(), cmp);
+      const int ci = hp.back();
+      hp.pop_back();
+      RunCursor& c = cs[ci];
+      out_rows->AppendRaw(c.rows->data() + c.pos * stride);
+      out_idx.push_back(c.idx[c.pos]);
+      ++emitted;
+      ++c.pos;
+      bool has = false;
+      MODULARIS_RETURN_NOT_OK(EnsureCursorRow(&c, &has));
+      if (has) {
+        hp.push_back(ci);
+        std::push_heap(hp.begin(), hp.end(), cmp);
+      }
+      if (out_rows->size() >= chunk_rows) {
+        MODULARIS_RETURN_NOT_OK(spill_->WriteChunk(dst_pass, dst_run,
+                                                   out_rows->data(),
+                                                   out_rows->size(), stride,
+                                                   out_idx.data()));
+        out_rows->Clear();
+        out_idx.clear();
+      }
+    }
+    if (!out_rows->empty()) {
+      MODULARIS_RETURN_NOT_OK(spill_->WriteChunk(dst_pass, dst_run,
+                                                 out_rows->data(),
+                                                 out_rows->size(), stride,
+                                                 out_idx.data()));
+    }
+    for (int r : group) spill_->DeletePartition(src_pass, r);
+    return Status::OK();
+  };
+  int cur_pass = pass0;
+  std::vector<int> cur_runs(num_runs);
+  for (int r = 0; r < num_runs; ++r) cur_runs[r] = r;
+  while (static_cast<int>(cur_runs.size()) > fanin) {
+    const int next_pass = spill_->NewPass();
+    AddStatCounter("spill.passes", 1);
+    std::vector<int> next_runs;
+    for (size_t g = 0; g < cur_runs.size(); g += fanin) {
+      const size_t ge = std::min(cur_runs.size(), g + fanin);
+      std::vector<int> group(cur_runs.begin() + g, cur_runs.begin() + ge);
+      const int dst = static_cast<int>(next_runs.size());
+      MODULARIS_RETURN_NOT_OK(merge_group(cur_pass, group, next_pass, dst));
+      next_runs.push_back(dst);
+    }
+    cur_runs = std::move(next_runs);
+    cur_pass = next_pass;
+  }
+
+  // Arm the final streaming merge.
+  runs_.clear();
+  heap_.clear();
+  for (int r : cur_runs) {
+    RunCursor c;
+    c.pass = cur_pass;
+    c.pid = r;
+    c.num_chunks = spill_->NumChunks(cur_pass, r);
+    runs_.push_back(std::move(c));
+  }
+  auto cmp = [this](int a, int b) { return CursorBefore(runs_[b], runs_[a]); };
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    bool has = false;
+    MODULARIS_RETURN_NOT_OK(EnsureCursorRow(&runs_[i], &has));
+    if (has) heap_.push_back(static_cast<int>(i));
+  }
+  std::make_heap(heap_.begin(), heap_.end(), cmp);
+  return Status::OK();
+}
+
+Status SortOp::EnsureCursorRow(RunCursor* c, bool* has_row) {
+  while (c->rows == nullptr || c->pos >= c->rows->size()) {
+    if (c->chunk >= c->num_chunks) {
+      *has_row = false;
+      return Status::OK();
+    }
+    if (c->rows == nullptr) c->rows = RowVector::Make(schema_);
+    c->rows->Clear();
+    c->idx.clear();
+    c->pos = 0;
+    MODULARIS_RETURN_NOT_OK(
+        spill_->ReadChunk(c->pass, c->pid, c->chunk, c->rows.get(), &c->idx));
+    ++c->chunk;
+  }
+  *has_row = true;
+  return Status::OK();
+}
+
+bool SortOp::CursorBefore(const RunCursor& a, const RunCursor& b) const {
+  const uint32_t stride = schema_.row_size();
+  const RowRef ra(a.rows->data() + a.pos * stride, &schema_);
+  const RowRef rb(b.rows->data() + b.pos * stride, &schema_);
+  const int c = CompareRows(ra, rb, keys_);
+  return c != 0 ? c < 0 : a.idx[a.pos] < b.idx[b.pos];
+}
+
+Status SortOp::NextExternalRow(const uint8_t** row, bool* done) {
+  if (emit_pos_ >= emit_limit_ || heap_.empty()) {
+    *done = true;
+    return Status::OK();
+  }
+  const uint32_t stride = schema_.row_size();
+  auto cmp = [this](int a, int b) { return CursorBefore(runs_[b], runs_[a]); };
+  std::pop_heap(heap_.begin(), heap_.end(), cmp);
+  const int ci = heap_.back();
+  heap_.pop_back();
+  RunCursor& c = runs_[ci];
+  // Copy out before advancing: refilling the cursor's chunk buffer would
+  // invalidate a pointer into it.
+  if (emit_row_ == nullptr) {
+    emit_row_ = RowVector::Make(schema_);
+    emit_row_->AppendUninitialized(1);
+  }
+  std::memcpy(emit_row_->mutable_row(0), c.rows->data() + c.pos * stride,
+              stride);
+  ++c.pos;
+  ++emit_pos_;
+  bool has = false;
+  MODULARIS_RETURN_NOT_OK(EnsureCursorRow(&c, &has));
+  if (has) {
+    heap_.push_back(ci);
+    std::push_heap(heap_.begin(), heap_.end(), cmp);
+  }
+  *row = emit_row_->row(0).data();
+  *done = false;
+  return Status::OK();
+}
+
 bool SortOp::EnsureSorted() {
   if (sorted_) return true;
   Status st = ConsumeAndSort(SortLimit());
@@ -934,6 +1513,16 @@ bool SortOp::EnsureSorted() {
 
 bool SortOp::Next(Tuple* out) {
   if (!EnsureSorted()) return false;
+  if (external_) {
+    const uint8_t* row = nullptr;
+    bool done = false;
+    Status st = NextExternalRow(&row, &done);
+    if (!st.ok()) return Fail(std::move(st));
+    if (done) return false;
+    out->clear();
+    out->push_back(Item(RowRef(row, &schema_)));
+    return true;
+  }
   if (emit_pos_ >= emit_limit_) return false;
   out->clear();
   out->push_back(Item(rows_->row(order_[emit_pos_++])));
@@ -944,6 +1533,20 @@ bool SortOp::NextBatch(RowBatch* out) {
   if (!EnsureSorted()) return false;
   out->Clear();
   if (emit_pos_ >= emit_limit_) return false;
+  if (external_) {
+    RowVector* sink = out->Scratch(schema_);
+    for (size_t i = 0; i < RowBatch::kDefaultRows; ++i) {
+      const uint8_t* row = nullptr;
+      bool done = false;
+      Status st = NextExternalRow(&row, &done);
+      if (!st.ok()) return Fail(std::move(st));
+      if (done) break;
+      sink->AppendRaw(row);
+    }
+    if (sink->empty()) return false;
+    out->SealScratch();
+    return true;
+  }
   const size_t n = std::min(RowBatch::kDefaultRows, emit_limit_ - emit_pos_);
   RowVector* sink = out->Scratch(schema_);
   const uint32_t stride = rows_->row_size();

@@ -4,12 +4,14 @@
 #include <cmath>
 #include <limits>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/expr.h"
 #include "core/expr_bc.h"
+#include "core/memory.h"
 #include "core/parallel.h"
 #include "core/sub_operator.h"
 
@@ -20,6 +22,10 @@
 /// compiled direct-offset update path when fusion is enabled.
 
 namespace modularis {
+
+namespace storage {
+class SpillSet;
+}
 
 /// Open-addressing hash map from i64 keys to dense state indices.
 class I64StateMap {
@@ -37,6 +43,13 @@ class I64StateMap {
 
   /// Grow calls that had to move live entries since the last Clear().
   int64_t rehashes() const { return rehashes_; }
+
+  /// Allocated footprint in bytes, charged against the rank's
+  /// MemoryBudget by the owning operator (docs/DESIGN-memory.md).
+  size_t byte_size() const {
+    return keys_.capacity() * sizeof(int64_t) +
+           vals_.capacity() * sizeof(uint32_t) + used_.capacity();
+  }
 
  private:
   void Rehash(size_t cap);
@@ -68,6 +81,8 @@ class ByteStateTable {
   /// Pre-sizes for up to `keys` distinct keys (see I64StateMap::Reserve).
   void Reserve(size_t keys);
   int64_t rehashes() const { return rehashes_; }
+  /// Allocated footprint in bytes (slot array + overflow key arena).
+  size_t byte_size() const;
 
  private:
   static constexpr uint32_t kInlineBytes = 16;
@@ -176,13 +191,55 @@ class ReduceByKey : public SubOperator {
   void UpdateStateRow(uint8_t* dst, const RowRef& row) const;
   /// Aggregates the rows of one key partition (ascending original order)
   /// into `states`, recording each new group's global first-occurrence
-  /// index. `map`/`table` are the caller's reusable scratch tables.
+  /// index. `map`/`table` are the caller's reusable scratch tables. With
+  /// `reset_tables` false the call continues accumulating into the live
+  /// tables/states — the chunk-streaming path for a spilled partition
+  /// that no remaining hash window can split (one hot key).
   void AggregatePartition(const uint8_t* rows, size_t n, const Schema& schema,
                           const uint32_t* idx, RowVector* states,
                           std::vector<uint32_t>* first, I64StateMap* map,
                           ByteStateTable* table,
                           std::vector<uint8_t>* key_scratch,
-                          std::vector<uint64_t>* hash_scratch) const;
+                          std::vector<uint64_t>* hash_scratch,
+                          bool reset_tables = true) const;
+
+  // -- Grace-style spill path (docs/DESIGN-memory.md) -----------------------
+
+  /// A run of aggregated groups: the group states plus each group's
+  /// global first-occurrence index, both ascending by that index.
+  struct AggRun {
+    RowVectorPtr states;
+    std::vector<uint32_t> first;
+  };
+  /// Reusable scratch threaded through the spill recursion.
+  struct SpillScratch {
+    I64StateMap map;
+    ByteStateTable table;
+    std::vector<uint8_t> keys;
+    std::vector<uint64_t> hashes;
+  };
+  /// The partition hash of every row — the same key hash the in-memory
+  /// partition pass uses, so a key lands in one partition at every pass.
+  void ComputeKeyHashes(const uint8_t* rows, size_t n, const Schema& schema,
+                        std::vector<uint64_t>* hashes) const;
+  /// Budget-forced degradation: hash-partition the drained input 256 ways
+  /// (greedy ascending-pid prefix stays in memory, the rest spills to the
+  /// blob store), aggregate the partitions one at a time, and merge their
+  /// group runs back into global first-occurrence order — byte-equal to
+  /// the in-memory path at any budget and thread count.
+  Status ConsumeAllSpill(RowVectorPtr input);
+  /// Aggregates one spilled partition into `out`: read-back when it fits
+  /// the quota, recursion by the next 8-bit hash window when it does not,
+  /// chunk-streaming once the hash is exhausted (a single hot key).
+  Status AggregateSpilledPartition(storage::SpillSet* spill, int pass,
+                                   int pid, int shift, size_t part_rows,
+                                   const Schema& schema, AggRun* out,
+                                   SpillScratch* scratch);
+  /// K-way merge of group runs by ascending first-occurrence index
+  /// (the phase-4 merge generalized to arbitrary runs). `first_out` may
+  /// be null when the caller does not need the merged index run.
+  void MergeAggRuns(std::vector<AggRun>* runs, RowVector* states,
+                    std::vector<uint32_t>* first_out) const;
 
   std::vector<int> key_cols_;
   std::vector<AggSpec> aggs_;
@@ -226,6 +283,10 @@ class ReduceByKey : public SubOperator {
 
   bool consumed_ = false;
   size_t emit_pos_ = 0;
+  /// Accounting for the blocking state (drained input, state tables,
+  /// group states) against the rank's MemoryBudget; released on
+  /// destruction or re-Open.
+  ScopedCharge mem_charge_;
 };
 
 /// Reduce: keyless aggregation producing exactly one record.
@@ -295,14 +356,12 @@ int CompareRows(const RowRef& a, const RowRef& b,
 /// construction.
 class SortOp : public SubOperator {
  public:
+  /// Out-of-line (with the destructor): the external-merge SpillSet
+  /// member is forward-declared, and both special members must see the
+  /// complete type.
   SortOp(SubOpPtr child, std::vector<SortKey> keys, Schema schema,
-         std::string timer_key = "phase.sort")
-      : SubOperator("Sort"),
-        keys_(std::move(keys)),
-        schema_(std::move(schema)),
-        timer_key_(std::move(timer_key)) {
-    AddChild(std::move(child));
-  }
+         std::string timer_key = "phase.sort");
+  ~SortOp() override;
 
   Status Open(ExecContext* ctx) override;
   bool Next(Tuple* out) override;
@@ -337,6 +396,38 @@ class SortOp : public SubOperator {
   /// top-`limit` — the input is never fully sorted just to emit k rows.
   Status ConsumeAndSort(size_t limit);
 
+  // -- External merge sort (docs/DESIGN-memory.md) --------------------------
+
+  /// A streaming cursor over one spilled sorted run: loads one chunk at a
+  /// time and walks its rows; `idx` carries the rows' global input
+  /// indices (the comparator tie-break that keeps the external order
+  /// byte-equal to the in-memory one).
+  struct RunCursor {
+    int pass = 0;
+    int pid = 0;
+    int chunk = 0;  // next chunk to load
+    int num_chunks = 0;
+    size_t pos = 0;  // position within the loaded chunk
+    RowVectorPtr rows;
+    std::vector<uint32_t> idx;
+  };
+  /// Budget-forced degradation: cut the drained input into quota-sized
+  /// sorted runs on the blob store, cascade-merge them while the fan-in
+  /// exceeds what the quota can keep resident, and leave the final merge
+  /// streaming through Next()/NextBatch().
+  Status ConsumeExternal(size_t limit);
+  /// Ensures the cursor points at an unread row, loading chunks as
+  /// needed; `*has_row` false when the run is exhausted.
+  Status EnsureCursorRow(RunCursor* c, bool* has_row);
+  /// True when cursor `a`'s head row orders strictly before `b`'s under
+  /// (sort keys, global index).
+  bool CursorBefore(const RunCursor& a, const RunCursor& b) const;
+  /// Pops the next row of the final streaming merge into `*row`
+  /// (`*done` when the merge or the emit limit is exhausted). The
+  /// returned pointer is valid until the owning cursor advances past its
+  /// loaded chunk, so callers must copy before the next pop.
+  Status NextExternalRow(const uint8_t** row, bool* done);
+
   std::vector<SortKey> keys_;
   Schema schema_;
   std::string timer_key_;
@@ -346,6 +437,16 @@ class SortOp : public SubOperator {
   bool sorted_ = false;
   size_t emit_pos_ = 0;
   size_t emit_limit_ = 0;
+
+  // External-merge state (live only when a budget forced the spill).
+  bool external_ = false;
+  std::unique_ptr<storage::SpillSet> spill_;
+  std::vector<RunCursor> runs_;
+  std::vector<int> heap_;  // manual min-heap of cursor indices
+  RowVectorPtr emit_row_;  // one-row scratch backing Next()'s RowRef
+  /// Accounting for the materialized sort input against the rank's
+  /// MemoryBudget (docs/DESIGN-memory.md).
+  ScopedCharge mem_charge_;
 };
 
 /// TopK: sort + limit (paper Table 1; the final SELECT ... LIMIT k of

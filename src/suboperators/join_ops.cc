@@ -1,5 +1,11 @@
 #include "suboperators/join_ops.h"
 
+#include <algorithm>
+#include <cstring>
+#include <queue>
+
+#include "storage/spill.h"
+
 namespace modularis {
 
 // ---------------------------------------------------------------------------
@@ -223,6 +229,7 @@ inline void CopyRun(uint8_t* dst, const uint8_t* src, uint32_t bytes) {
 
 Status BuildProbe::Open(ExecContext* ctx) {
   MODULARIS_RETURN_NOT_OK(SubOperator::Open(ctx));
+  mem_charge_.Bind(ctx->budget);
   built_ = false;
   par_probe_decided_ = false;
   par_probe_ = false;
@@ -265,6 +272,11 @@ Status BuildProbe::BuildTable() {
     // copying (the common case: the build side is one partition);
     // otherwise one memcpy per batch into the build buffer.
     MODULARIS_RETURN_NOT_OK(DrainRecordStreamInto(child(0), &build_rows_));
+    mem_charge_.Add(build_rows_->byte_size());
+    const size_t mem_limit = ctx_->options.memory_limit_bytes;
+    if (mem_limit > 0 && ShouldSpill(build_rows_->byte_size(), mem_limit)) {
+      return GraceSpillJoin();
+    }
   } else {
     Tuple t;
     while (child(0)->Next(&t)) {
@@ -293,6 +305,7 @@ Status BuildProbe::BuildTable() {
     while (slices * 2 <= workers) slices *= 2;
     if (slices > 1 &&
         table_.BuildParallel(key_scratch_.data(), n, slices).ok()) {
+      mem_charge_.Add(table_.byte_size());
       return Status::OK();
     }
     // Too small to slice, or pathological skew overfilled a slice:
@@ -302,6 +315,7 @@ Status BuildProbe::BuildTable() {
   }
   table_.Reserve(n);
   table_.InsertBatch(key_scratch_.data(), n, 0);
+  mem_charge_.Add(table_.byte_size());
   return Status::OK();
 }
 
@@ -358,7 +372,9 @@ void BuildProbe::EmitInnerInto(uint32_t entry, const uint8_t* probe_row,
 }
 
 void BuildProbe::ProbeSpanInto(const uint8_t* base, size_t n,
-                               ProbeScratch* scratch, RowVector* sink) const {
+                               ProbeScratch* scratch, RowVector* sink,
+                               const uint32_t* global_idx,
+                               std::vector<uint32_t>* out_idx) const {
   const uint32_t stride = probe_schema_.row_size();
   // Pass 1: extract shifted keys; pass 2: prefetched bulk lookup;
   // pass 3: emit matches (prefetching the matched build rows ahead).
@@ -368,7 +384,7 @@ void BuildProbe::ProbeSpanInto(const uint8_t* base, size_t n,
   ExtractShiftedKeys(base, n, probe_schema_, probe_key_col_, key_shift_,
                      scratch->keys.data());
   table_.FindBatch(scratch->keys.data(), n, match_scratch_.data());
-  if (type_ == JoinType::kInner && gapless_out_) {
+  if (type_ == JoinType::kInner && gapless_out_ && out_idx == nullptr) {
     // Direct emission: assemble rows with raw pointer arithmetic into
     // uninitialized chunks of the sink — no per-row append bookkeeping,
     // no staging copy (valid because the copy plans cover every output
@@ -415,12 +431,378 @@ void BuildProbe::ProbeSpanInto(const uint8_t* base, size_t n,
       }
       for (; e != JoinHashTable::kNone; e = table_.NextMatch(e)) {
         EmitInnerInto(e, base, scratch->staging.get(), sink);
+        if (out_idx != nullptr) {
+          out_idx->push_back(global_idx != nullptr
+                                 ? global_idx[i]
+                                 : static_cast<uint32_t>(i));
+        }
       }
     } else {
       bool matched = e != JoinHashTable::kNone;
-      if ((type_ == JoinType::kSemi) == matched) sink->AppendRaw(base);
+      if ((type_ == JoinType::kSemi) == matched) {
+        sink->AppendRaw(base);
+        if (out_idx != nullptr) {
+          out_idx->push_back(global_idx != nullptr
+                                 ? global_idx[i]
+                                 : static_cast<uint32_t>(i));
+        }
+      }
     }
   }
+}
+
+// -- Grace-style spill path (docs/DESIGN-memory.md) -------------------------
+
+void BuildProbe::BuildGroupTable() {
+  const size_t n = build_rows_->size();
+  key_scratch_.resize(n);
+  ExtractShiftedKeys(build_rows_->data(), n, build_schema_, build_key_col_,
+                     key_shift_, key_scratch_.data());
+  table_.Reserve(n);
+  table_.InsertBatch(key_scratch_.data(), n, 0);
+}
+
+void BuildProbe::MergeOutRuns(std::vector<OutRun>* runs, RowVector* sink,
+                              std::vector<uint32_t>* idx_out) const {
+  using Head = std::pair<uint32_t, uint32_t>;  // (probe index, run rank)
+  std::priority_queue<Head, std::vector<Head>, std::greater<Head>> heap;
+  std::vector<size_t> pos(runs->size(), 0);
+  size_t total = 0;
+  for (size_t r = 0; r < runs->size(); ++r) {
+    total += (*runs)[r].idx.size();
+    if (!(*runs)[r].idx.empty()) {
+      heap.emplace((*runs)[r].idx[0], static_cast<uint32_t>(r));
+    }
+  }
+  sink->Reserve(sink->size() + total);
+  if (idx_out != nullptr) idx_out->reserve(idx_out->size() + total);
+  while (!heap.empty()) {
+    const auto [pi, r] = heap.top();
+    heap.pop();
+    sink->AppendRaw((*runs)[r].rows->row(pos[r]).data());
+    if (idx_out != nullptr) idx_out->push_back(pi);
+    if (++pos[r] < (*runs)[r].idx.size()) {
+      heap.emplace((*runs)[r].idx[pos[r]], r);
+    }
+  }
+}
+
+Status BuildProbe::GraceSpillJoin() {
+  // The result is surfaced through the parallel-probe emission path:
+  // par_sinks_ ends up holding the one merged output vector.
+  par_probe_decided_ = true;
+  par_probe_ = true;
+  par_sinks_.clear();
+  par_sink_ = 0;
+  par_row_ = 0;
+  const size_t mem_limit = ctx_->options.memory_limit_bytes;
+  const size_t quota = SpillQuotaBytes(mem_limit);
+  const uint32_t stride_b = build_schema_.row_size();
+  const uint32_t stride_p = probe_schema_.row_size();
+  // Denied the in-memory path — counted whether the spill fallback is
+  // viable (graceful degradation) or not (fail fast below).
+  if (ctx_->budget != nullptr) ctx_->budget->NoteDenial();
+  if (quota < stride_b || quota < stride_p) {
+    return Status::ResourceExhausted(
+        "BuildProbe: memory_limit_bytes=" + std::to_string(mem_limit) +
+        " cannot hold one row in the spill quota (" + std::to_string(quota) +
+        " bytes, build stride " + std::to_string(stride_b) +
+        ", probe stride " + std::to_string(stride_p) + ")");
+  }
+  if (ctx_->spill_store == nullptr) {
+    return Status::ResourceExhausted(
+        "BuildProbe: build side of " +
+        std::to_string(build_rows_->byte_size()) +
+        " bytes exceeds memory_limit_bytes=" + std::to_string(mem_limit) +
+        " and no spill store is configured");
+  }
+  AddStatCounter("spill.ops.BuildProbe", 1);
+  storage::SpillSet spill(ctx_, "join");
+  constexpr int kFanout = 256;
+  constexpr int kPidShift = 56;
+
+  // Grace co-partitions both inputs, so drain the probe side up front.
+  RowVectorPtr probe;
+  MODULARIS_RETURN_NOT_OK(DrainRecordStream(child(1), &probe));
+  const size_t n_p = probe == nullptr ? 0 : probe->size();
+  if (probe != nullptr) mem_charge_.Add(probe->byte_size());
+  const size_t n_b = build_rows_->size();
+
+  // Both sides' partition ids come from the same hash of the same
+  // (shifted) key, so a key's build and probe rows meet in one pid. The
+  // split below is a pure function of (limit, histogram): byte-equal at
+  // any thread count.
+  key_scratch_.resize(n_b);
+  ExtractShiftedKeys(build_rows_->data(), n_b, build_schema_, build_key_col_,
+                     key_shift_, key_scratch_.data());
+  std::vector<uint8_t> pid_b(n_b);
+  std::vector<size_t> rows_b(kFanout, 0);
+  for (size_t i = 0; i < n_b; ++i) {
+    pid_b[i] = static_cast<uint8_t>(
+        MixHash64(static_cast<uint64_t>(key_scratch_[i])) >> kPidShift);
+    ++rows_b[pid_b[i]];
+  }
+  std::vector<int64_t> probe_keys(n_p);
+  std::vector<uint8_t> pid_p(n_p);
+  std::vector<size_t> rows_p(kFanout, 0);
+  if (n_p > 0) {
+    ExtractShiftedKeys(probe->data(), n_p, probe_schema_, probe_key_col_,
+                       key_shift_, probe_keys.data());
+    for (size_t i = 0; i < n_p; ++i) {
+      pid_p[i] = static_cast<uint8_t>(
+          MixHash64(static_cast<uint64_t>(probe_keys[i])) >> kPidShift);
+      ++rows_p[pid_p[i]];
+    }
+  }
+  std::vector<int64_t>().swap(probe_keys);
+
+  // Hybrid build side: the greedy ascending-pid prefix stays resident
+  // while it fits half the budget; the rest spills.
+  std::vector<uint8_t> in_mem(kFanout, 0);
+  size_t kept_bytes = 0;
+  int64_t spilled_parts = 0;
+  for (int p = 0; p < kFanout; ++p) {
+    if (rows_b[p] == 0 && rows_p[p] == 0) continue;
+    const size_t bytes_p = rows_b[p] * stride_b;
+    if (kept_bytes + bytes_p <= mem_limit / 2) {
+      in_mem[p] = 1;
+      kept_bytes += bytes_p;
+    } else {
+      ++spilled_parts;
+    }
+  }
+
+  // Scatter both sides in input order — every partition holds its rows
+  // in ascending global order. Per-partition staging is flushed at a
+  // granularity that caps the total resident staging near the quota.
+  const int pass_b = spill.NewPass();
+  const int pass_p = spill.NewPass();
+  const size_t chunk_b =
+      std::max<size_t>(1, quota / (static_cast<size_t>(stride_b) * kFanout));
+  const size_t chunk_p =
+      std::max<size_t>(1, quota / (static_cast<size_t>(stride_p) * kFanout));
+  std::vector<RowVectorPtr> mem_b(kFanout);
+  {
+    std::vector<RowVectorPtr> stage(kFanout);
+    std::vector<std::vector<uint32_t>> stage_idx(kFanout);
+    for (size_t i = 0; i < n_b; ++i) {
+      const int p = pid_b[i];
+      if (in_mem[p]) {
+        if (mem_b[p] == nullptr) {
+          mem_b[p] = RowVector::Make(build_schema_);
+          mem_b[p]->Reserve(rows_b[p]);
+        }
+        mem_b[p]->AppendRaw(build_rows_->data() + i * stride_b);
+        continue;
+      }
+      if (stage[p] == nullptr) stage[p] = RowVector::Make(build_schema_);
+      stage[p]->AppendRaw(build_rows_->data() + i * stride_b);
+      stage_idx[p].push_back(static_cast<uint32_t>(i));
+      if (stage[p]->size() >= chunk_b) {
+        MODULARIS_RETURN_NOT_OK(spill.WriteChunk(pass_b, p, stage[p]->data(),
+                                                 stage[p]->size(), stride_b,
+                                                 stage_idx[p].data()));
+        stage[p]->Clear();
+        stage_idx[p].clear();
+      }
+    }
+    for (int p = 0; p < kFanout; ++p) {
+      if (stage[p] != nullptr && !stage[p]->empty()) {
+        MODULARIS_RETURN_NOT_OK(spill.WriteChunk(pass_b, p, stage[p]->data(),
+                                                 stage[p]->size(), stride_b,
+                                                 stage_idx[p].data()));
+      }
+    }
+  }
+  build_rows_ = RowVector::Make(build_schema_);  // release the build side
+  std::vector<uint8_t>().swap(pid_b);
+  {
+    std::vector<RowVectorPtr> stage(kFanout);
+    std::vector<std::vector<uint32_t>> stage_idx(kFanout);
+    for (size_t i = 0; i < n_p; ++i) {
+      const int p = pid_p[i];
+      if (stage[p] == nullptr) stage[p] = RowVector::Make(probe_schema_);
+      stage[p]->AppendRaw(probe->data() + i * stride_p);
+      stage_idx[p].push_back(static_cast<uint32_t>(i));
+      if (stage[p]->size() >= chunk_p) {
+        MODULARIS_RETURN_NOT_OK(spill.WriteChunk(pass_p, p, stage[p]->data(),
+                                                 stage[p]->size(), stride_p,
+                                                 stage_idx[p].data()));
+        stage[p]->Clear();
+        stage_idx[p].clear();
+      }
+    }
+    for (int p = 0; p < kFanout; ++p) {
+      if (stage[p] != nullptr && !stage[p]->empty()) {
+        MODULARIS_RETURN_NOT_OK(spill.WriteChunk(pass_p, p, stage[p]->data(),
+                                                 stage[p]->size(), stride_p,
+                                                 stage_idx[p].data()));
+      }
+    }
+  }
+  probe.reset();
+  std::vector<uint8_t>().swap(pid_p);
+  AddStatCounter("spill.partitions", spilled_parts);
+  AddStatCounter("spill.passes", 1);
+
+  // Join one partition at a time. A build partition over the quota is
+  // processed in quota-sized chunked groups, DESCENDING: a probe row's
+  // duplicate matches must emit in descending global build-row order
+  // (the in-memory table's chain order), and every row of group k
+  // globally follows every row of group k-1.
+  const size_t group_rows = std::max<size_t>(1, quota / stride_b);
+  ProbeScratch scratch;
+  std::vector<OutRun> part_runs;
+  RowVectorPtr pchunk = RowVector::Make(probe_schema_);
+  std::vector<uint32_t> pidx;
+  for (int p = 0; p < kFanout; ++p) {
+    if (ctx_->cancel != nullptr) {
+      MODULARIS_RETURN_NOT_OK(ctx_->cancel->Check());
+    }
+    if (rows_p[p] == 0) {
+      spill.DeletePartition(pass_b, p);
+      continue;
+    }
+    const size_t nb = rows_b[p];
+    const size_t ngroups =
+        in_mem[p] ? (nb > 0 ? 1 : 0) : (nb + group_rows - 1) / group_rows;
+    const int pchunks = spill.NumChunks(pass_p, p);
+    // Loads group g (partition build rows [g·group_rows, …)) into
+    // build_rows_ and rebuilds the group table over it.
+    auto load_group = [&](size_t g) -> Status {
+      if (in_mem[p]) {
+        build_rows_ = mem_b[p];
+      } else {
+        const size_t lo = g * group_rows;
+        const size_t hi = std::min(nb, lo + group_rows);
+        build_rows_ = RowVector::Make(build_schema_);
+        build_rows_->Reserve(hi - lo);
+        const int bchunks = spill.NumChunks(pass_b, p);
+        RowVectorPtr bchunk = RowVector::Make(build_schema_);
+        size_t off = 0;
+        for (int c = 0; c < bchunks && off < hi; ++c) {
+          bchunk->Clear();
+          MODULARIS_RETURN_NOT_OK(
+              spill.ReadChunk(pass_b, p, c, bchunk.get(), nullptr));
+          const size_t m = bchunk->size();
+          const size_t s = std::max(lo, off);
+          const size_t e = std::min(hi, off + m);
+          if (s < e) {
+            build_rows_->AppendRawBatch(bchunk->data() + (s - off) * stride_b,
+                                        e - s);
+          }
+          off += m;
+        }
+      }
+      BuildGroupTable();
+      return Status::OK();
+    };
+    if (type_ != JoinType::kInner && ngroups > 1) {
+      // Semi/anti across chunked groups: a probe row's verdict needs
+      // every group, so mark matches into a partition-local bitmap
+      // first, then emit in a second pass over the probe chunks.
+      std::vector<uint8_t> matched(rows_p[p], 0);
+      for (size_t g = 0; g < ngroups; ++g) {
+        MODULARIS_RETURN_NOT_OK(load_group(g));
+        size_t local = 0;
+        for (int c = 0; c < pchunks; ++c) {
+          pchunk->Clear();
+          MODULARIS_RETURN_NOT_OK(
+              spill.ReadChunk(pass_p, p, c, pchunk.get(), nullptr));
+          const size_t m = pchunk->size();
+          scratch.keys.resize(m);
+          scratch.matches.resize(m);
+          ExtractShiftedKeys(pchunk->data(), m, probe_schema_, probe_key_col_,
+                             key_shift_, scratch.keys.data());
+          table_.FindBatch(scratch.keys.data(), m, scratch.matches.data());
+          for (size_t i = 0; i < m; ++i) {
+            if (scratch.matches[i] != JoinHashTable::kNone) {
+              matched[local + i] = 1;
+            }
+          }
+          local += m;
+        }
+      }
+      OutRun run;
+      run.rows = RowVector::Make(out_schema_);
+      size_t local = 0;
+      for (int c = 0; c < pchunks; ++c) {
+        pchunk->Clear();
+        pidx.clear();
+        MODULARIS_RETURN_NOT_OK(
+            spill.ReadChunk(pass_p, p, c, pchunk.get(), &pidx));
+        for (size_t i = 0; i < pchunk->size(); ++i) {
+          const bool m = matched[local + i] != 0;
+          if ((type_ == JoinType::kSemi) == m) {
+            run.rows->AppendRaw(pchunk->data() + i * stride_p);
+            run.idx.push_back(pidx[i]);
+          }
+        }
+        local += pchunk->size();
+      }
+      spill.DeletePartition(pass_b, p);
+      spill.DeletePartition(pass_p, p);
+      if (!run.idx.empty()) part_runs.push_back(std::move(run));
+      continue;
+    }
+    std::vector<OutRun> group_runs;
+    if (ngroups == 0) {
+      // No build rows at all: probe against the empty table (anti joins
+      // emit every probe row, inner/semi emit nothing).
+      build_rows_ = RowVector::Make(build_schema_);
+      BuildGroupTable();
+      group_runs.emplace_back();
+      group_runs.back().rows = RowVector::Make(out_schema_);
+      for (int c = 0; c < pchunks; ++c) {
+        pchunk->Clear();
+        pidx.clear();
+        MODULARIS_RETURN_NOT_OK(
+            spill.ReadChunk(pass_p, p, c, pchunk.get(), &pidx));
+        ProbeSpanInto(pchunk->data(), pchunk->size(), &scratch,
+                      group_runs.back().rows.get(), pidx.data(),
+                      &group_runs.back().idx);
+      }
+    } else {
+      for (size_t g = ngroups; g-- > 0;) {
+        MODULARIS_RETURN_NOT_OK(load_group(g));
+        group_runs.emplace_back();
+        group_runs.back().rows = RowVector::Make(out_schema_);
+        for (int c = 0; c < pchunks; ++c) {
+          pchunk->Clear();
+          pidx.clear();
+          MODULARIS_RETURN_NOT_OK(
+              spill.ReadChunk(pass_p, p, c, pchunk.get(), &pidx));
+          ProbeSpanInto(pchunk->data(), pchunk->size(), &scratch,
+                        group_runs.back().rows.get(), pidx.data(),
+                        &group_runs.back().idx);
+        }
+      }
+    }
+    spill.DeletePartition(pass_b, p);
+    spill.DeletePartition(pass_p, p);
+    mem_b[p].reset();
+    if (group_runs.size() == 1) {
+      if (!group_runs[0].idx.empty()) {
+        part_runs.push_back(std::move(group_runs[0]));
+      }
+      continue;
+    }
+    OutRun merged;
+    merged.rows = RowVector::Make(out_schema_);
+    MergeOutRuns(&group_runs, merged.rows.get(), &merged.idx);
+    if (!merged.idx.empty()) part_runs.push_back(std::move(merged));
+  }
+
+  // Partition probe-index ranges interleave but never collide (a probe
+  // row lives in exactly one partition), so the K-way merge restores
+  // the global probe order — the in-memory emission order.
+  RowVectorPtr merged = RowVector::Make(out_schema_);
+  MergeOutRuns(&part_runs, merged.get(), nullptr);
+  mem_charge_.Add(merged->byte_size());
+  if (!merged->empty()) par_sinks_.push_back(std::move(merged));
+  build_rows_ = RowVector::Make(build_schema_);
+  table_ = JoinHashTable();
+  return Status::OK();
 }
 
 void BuildProbe::EmitInner(uint32_t entry, const RowRef& probe_row,

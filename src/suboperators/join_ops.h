@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/memory.h"
 #include "core/parallel.h"
 #include "core/sub_operator.h"
 #include "suboperators/partition_ops.h"
@@ -52,6 +53,11 @@ class JoinHashTable {
   uint32_t NextMatch(uint32_t entry) const { return entries_[entry].next; }
   uint32_t RowOf(uint32_t entry) const { return entries_[entry].row; }
   size_t size() const { return entries_.size(); }
+  /// Resident bytes (entry array + bucket array), for budget accounting.
+  size_t byte_size() const {
+    return entries_.capacity() * sizeof(Entry) +
+           buckets_.capacity() * sizeof(Bucket);
+  }
 
  private:
   struct Entry {
@@ -165,9 +171,36 @@ class BuildProbe : public SubOperator {
                      RowVector* staging, RowVector* sink) const;
   /// Probes `n` packed rows starting at `base`, appending results.
   /// Read-only on the table/build side, so worker threads run it
-  /// concurrently with private scratch and sinks.
+  /// concurrently with private scratch and sinks. When `out_idx` is
+  /// given, every emitted row's global probe index (`global_idx[i]`, or
+  /// `i` when `global_idx` is null) is appended alongside — the Grace
+  /// spill path's merge key. The direct gapless emission path requires
+  /// out_idx == nullptr.
   void ProbeSpanInto(const uint8_t* base, size_t n, ProbeScratch* scratch,
-                     RowVector* sink) const;
+                     RowVector* sink, const uint32_t* global_idx = nullptr,
+                     std::vector<uint32_t>* out_idx = nullptr) const;
+  /// An output run of the Grace spill path: rows plus each row's global
+  /// probe index, ascending.
+  struct OutRun {
+    RowVectorPtr rows;
+    std::vector<uint32_t> idx;
+  };
+  /// Budget-forced degradation (docs/DESIGN-memory.md): co-partition
+  /// both sides 256 ways by the join-key hash (greedy ascending-pid
+  /// build prefix stays resident, everything else spills), join the
+  /// partitions one at a time — oversized build partitions in
+  /// quota-sized chunked groups — and merge the per-partition output
+  /// runs back into global probe order. Byte-equal to the in-memory
+  /// probe at any budget and thread count.
+  Status GraceSpillJoin();
+  /// Rebuilds table_ over the current build_rows_ group (serial insert:
+  /// duplicate chains come out descending, the in-memory chain order).
+  void BuildGroupTable();
+  /// K-way merge of output runs by (global probe index, run rank); rank
+  /// breaks ties so a probe row's duplicate matches keep the descending
+  /// build-row order across chunked build groups.
+  void MergeOutRuns(std::vector<OutRun>* runs, RowVector* sink,
+                    std::vector<uint32_t>* idx_out) const;
   /// Advances the par-sink cursor past exhausted sinks. True when
   /// (par_sink_, par_row_) points at an unread row; false at end.
   bool AdvanceParSink() {
@@ -236,6 +269,10 @@ class BuildProbe : public SubOperator {
   std::vector<RowVectorPtr> par_sinks_;
   size_t par_sink_ = 0;
   size_t par_row_ = 0;
+
+  /// Accounting for the blocking state (build side, hash table, drained
+  /// probe) against the rank's MemoryBudget.
+  ScopedCharge mem_charge_;
 };
 
 }  // namespace modularis

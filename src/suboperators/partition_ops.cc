@@ -1,5 +1,7 @@
 #include "suboperators/partition_ops.h"
 
+#include <limits>
+
 namespace modularis {
 
 Schema HistogramSchema() {
@@ -254,6 +256,24 @@ bool LocalHistogram::Next(Tuple* out) {
 
 namespace {
 
+/// Validates one histogram partition count before it is cast to size_t
+/// and turned into an allocation. The histogram arrives over the
+/// exchange, so it is untrusted input: a corrupted negative value would
+/// wrap to a multi-exabyte size_t, and even a positive count beyond the
+/// uint32 row-index space the operators use cannot be a real partition.
+/// Either one is a protocol violation (kInternal), not a planner error.
+Status CheckedHistCount(int64_t count, int pid, size_t* out) {
+  if (count < 0 ||
+      count > static_cast<int64_t>(std::numeric_limits<uint32_t>::max())) {
+    return Status::Internal("LocalPartition: histogram count " +
+                            std::to_string(count) + " for partition " +
+                            std::to_string(pid) +
+                            " is outside the valid row range");
+  }
+  *out = static_cast<size_t>(count);
+  return Status::OK();
+}
+
 /// The shared two-phase parallel scatter skeleton: per-worker counts over
 /// static contiguous ranges (which replay the input order), then
 /// per-(worker, partition) write offsets as the prefix sums across
@@ -335,8 +355,11 @@ Status LocalPartition::PartitionAllParallel(const RowVector& hist) {
   // overwritten by a full-stride copy below (count totals are verified
   // against the histogram first), so no zero-fill.
   for (int p = 0; p < fanout; ++p) {
+    size_t rows_p = 0;
+    MODULARIS_RETURN_NOT_OK(CheckedHistCount(hist.row(p).GetInt64(0), p,
+                                             &rows_p));
     RowVectorPtr part = RowVector::Make(schema);
-    part->ResizeRowsUninitialized(static_cast<size_t>(hist.row(p).GetInt64(0)));
+    part->ResizeRowsUninitialized(rows_p);
     parts_.push_back(std::move(part));
   }
 
@@ -385,9 +408,11 @@ Status LocalPartition::PartitionAllVectorized(const RowVector& hist) {
       // cursor check below guarantees full coverage), so the rows need
       // no zero-fill.
       for (int p = 0; p < spec_.fanout(); ++p) {
+        size_t rows_p = 0;
+        MODULARIS_RETURN_NOT_OK(CheckedHistCount(hist.row(p).GetInt64(0), p,
+                                                 &rows_p));
         RowVectorPtr part = RowVector::Make(batch.schema());
-        part->ResizeRowsUninitialized(
-            static_cast<size_t>(hist.row(p).GetInt64(0)));
+        part->ResizeRowsUninitialized(rows_p);
         parts_.push_back(std::move(part));
       }
       cursors.assign(spec_.fanout(), 0);
@@ -457,8 +482,11 @@ Status LocalPartition::PartitionAll() {
         data_schema = rows.schema();
         have_schema = true;
         for (int p = 0; p < spec_.fanout(); ++p) {
+          size_t rows_p = 0;
+          MODULARIS_RETURN_NOT_OK(
+              CheckedHistCount(hist->row(p).GetInt64(0), p, &rows_p));
           RowVectorPtr part = RowVector::Make(data_schema);
-          part->Reserve(static_cast<size_t>(hist->row(p).GetInt64(0)));
+          part->Reserve(rows_p);
           parts_.push_back(std::move(part));
         }
       }
@@ -469,8 +497,11 @@ Status LocalPartition::PartitionAll() {
         data_schema = row.schema();
         have_schema = true;
         for (int p = 0; p < spec_.fanout(); ++p) {
+          size_t rows_p = 0;
+          MODULARIS_RETURN_NOT_OK(
+              CheckedHistCount(hist->row(p).GetInt64(0), p, &rows_p));
           RowVectorPtr part = RowVector::Make(data_schema);
-          part->Reserve(static_cast<size_t>(hist->row(p).GetInt64(0)));
+          part->Reserve(rows_p);
           parts_.push_back(std::move(part));
         }
       }

@@ -590,11 +590,17 @@ Result<RowVectorPtr> RunTpchQuerySpec(const TpchQuerySpec& spec,
     return plan;
   };
 
-  // Collect rank partials at the driver.
+  // Collect rank partials at the driver. The driver-side merge tail
+  // (ReduceByKey / Sort) gets its own budget and spills into the same
+  // store as the rank plans (docs/DESIGN-memory.md). Declared before the
+  // merge operators below so it outlives their ScopedCharges.
+  MemoryBudget driver_budget(opts.exec.memory_limit_bytes);
   RowVectorPtr partials = RowVector::Make(spec.rank_schema);
   ExecContext driver;
   driver.options = opts.exec;
   driver.stats = stats;
+  driver.budget = &driver_budget;
+  driver.spill_store = ctx.store.get();
 
   auto path_params = [&ctx](int rank) {
     Tuple t;
@@ -608,6 +614,7 @@ Result<RowVectorPtr> RunTpchQuerySpec(const TpchQuerySpec& spec,
     MpiExecutor::Config config;
     config.world_size = opts.world_size;
     config.fabric = opts.fabric;
+    config.spill_store = ctx.store.get();
     if (opts.platform == Platform::kRdma) {
       config.plan_factory = make_plan;
       config.rank_params = [&ctx](int rank) {
@@ -700,7 +707,16 @@ Result<RowVectorPtr> RunTpchQuerySpec(const TpchQuerySpec& spec,
   }
   auto mr = std::make_unique<MaterializeRowVector>(std::move(cur),
                                                    spec.final_schema);
-  return plans::DrainCollections(mr.get(), &driver, spec.final_schema);
+  auto result = plans::DrainCollections(mr.get(), &driver, spec.final_schema);
+  if (stats != nullptr && driver_budget.peak() > 0) {
+    stats->AddCounter("mem.peak_bytes",
+                      static_cast<int64_t>(driver_budget.peak()));
+    if (driver_budget.denials() > 0) {
+      stats->AddCounter("mem.denials",
+                        static_cast<int64_t>(driver_budget.denials()));
+    }
+  }
+  return result;
 }
 
 Result<RowVectorPtr> RunTpchQuery(int query, const TpchContext& ctx,
